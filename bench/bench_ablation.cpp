@@ -1,0 +1,54 @@
+// Ablation: per-optimization contribution matrix. Every subset of
+// {LPCO, SHALLOW, PDO} on representative and-parallel workloads and LAO
+// on the or-parallel ones (DESIGN.md §3).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ace;
+  std::printf("==============================================================\n");
+  std::printf("Ablation — virtual time per optimization subset\n\n");
+
+  {
+    TextTable table({"benchmark", "agents", "none", "L", "S", "P", "LS",
+                     "LP", "SP", "LSP"});
+    for (const char* name : {"map1", "matrix_bt", "occur", "takeuchi"}) {
+      const Workload& w = workload(name);
+      for (unsigned agents : {1u, 5u, 10u}) {
+        std::vector<std::string> cells{name, strf("%u", agents)};
+        for (int mask = 0; mask < 8; ++mask) {
+          RunConfig cfg;
+          cfg.engine = EngineKind::Andp;
+          cfg.agents = agents;
+          cfg.lpco = mask & 1;
+          cfg.shallow = mask & 2;
+          cfg.pdo = mask & 4;
+          RunOutcome r = run_workload(w, cfg);
+          cells.push_back(strf("%.0f", double(r.virtual_time) / 1000.0));
+        }
+        table.add_row(std::move(cells));
+      }
+    }
+    std::printf("And-parallel (L=LPCO, S=SHALLOW, P=PDO):\n%s\n",
+                table.render().c_str());
+  }
+
+  {
+    TextTable table({"benchmark", "agents", "no LAO", "LAO"});
+    for (const char* name : {"members", "queens1"}) {
+      const Workload& w = workload(name);
+      for (unsigned agents : {1u, 4u, 10u}) {
+        RunConfig off;
+        off.engine = EngineKind::Orp;
+        off.agents = agents;
+        RunConfig on = off;
+        on.lao = true;
+        table.add_row(
+            {name, strf("%u", agents),
+             strf("%.0f", double(run_workload(w, off).virtual_time) / 1000.0),
+             strf("%.0f", double(run_workload(w, on).virtual_time) / 1000.0)});
+      }
+    }
+    std::printf("Or-parallel:\n%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared bench harness: runs workloads across agent counts with an
+// optimization toggled off/on and prints the paper's
+// `unoptimized/optimized (improvement%)` table layout, followed by the
+// numbers the paper reports for side-by-side shape comparison.
+//
+// Times are virtual-time units from the deterministic simulator — absolute
+// values are not comparable to the paper's seconds; the reproduction target
+// is the *shape* (sign and rough magnitude of improvements, their growth
+// with agent count). See EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace::bench {
+
+struct Row {
+  std::string label;
+  std::string workload;
+  std::string query;  // empty = workload default
+};
+
+struct TableSpec {
+  std::string title;
+  std::string paper_ref;      // e.g. "Table 2 (LPCO, backward execution)"
+  std::string paper_numbers;  // the paper's reported rows, verbatim-ish
+  std::vector<Row> rows;
+  std::vector<unsigned> agents;
+  EngineKind engine = EngineKind::Andp;
+  // Optimization flags enabled in the "optimized" runs.
+  bool lpco = false, shallow = false, pdo = false, lao = false;
+};
+
+inline RunConfig make_config(const TableSpec& spec, unsigned agents,
+                             bool optimized) {
+  RunConfig cfg;
+  cfg.engine = spec.engine;
+  cfg.agents = agents;
+  if (optimized) {
+    cfg.lpco = spec.lpco;
+    cfg.shallow = spec.shallow;
+    cfg.pdo = spec.pdo;
+    cfg.lao = spec.lao;
+  }
+  return cfg;
+}
+
+inline void run_paper_table(const TableSpec& spec) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", spec.title.c_str());
+  std::printf("Reproduces: %s\n", spec.paper_ref.c_str());
+  std::printf("Cells: unoptimized/optimized virtual time (improvement%%)\n\n");
+
+  std::vector<std::string> header{"benchmark"};
+  for (unsigned a : spec.agents) {
+    header.push_back(strf("%u agent%s", a, a == 1 ? "" : "s"));
+  }
+  TextTable table(header);
+
+  for (const Row& row : spec.rows) {
+    const Workload& w = workload(row.workload);
+    std::vector<std::string> cells{row.label};
+    for (unsigned agents : spec.agents) {
+      RunOutcome base =
+          run_workload(w, make_config(spec, agents, false), row.query);
+      RunOutcome opt =
+          run_workload(w, make_config(spec, agents, true), row.query);
+      cells.push_back(paper_cell(double(base.virtual_time) / 1000.0,
+                                 double(opt.virtual_time) / 1000.0));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper reported (times in their units):\n%s\n",
+              spec.paper_numbers.c_str());
+}
+
+// Speedup-curve output (Figures 5 and 8): one series per (workload, flag).
+struct CurveSpec {
+  std::string title;
+  std::string paper_ref;
+  std::vector<Row> rows;
+  unsigned max_agents = 10;
+  EngineKind engine = EngineKind::Andp;
+  bool lpco = false, shallow = false, pdo = false, lao = false;
+  bool print_speedup = true;  // else raw times (Figure 8 style)
+};
+
+inline void run_paper_curves(const CurveSpec& spec) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", spec.title.c_str());
+  std::printf("Reproduces: %s\n\n", spec.paper_ref.c_str());
+
+  std::vector<std::string> header{"series"};
+  for (unsigned a = 1; a <= spec.max_agents; ++a) {
+    header.push_back(strf("%u", a));
+  }
+  TextTable table(header);
+
+  for (const Row& row : spec.rows) {
+    const Workload& w = workload(row.workload);
+    for (bool optimized : {false, true}) {
+      TableSpec ts;
+      ts.engine = spec.engine;
+      ts.lpco = spec.lpco;
+      ts.shallow = spec.shallow;
+      ts.pdo = spec.pdo;
+      ts.lao = spec.lao;
+      std::vector<std::string> cells{
+          row.label + (optimized ? " (opt)" : " (no-opt)")};
+      double t1 = 0;
+      for (unsigned a = 1; a <= spec.max_agents; ++a) {
+        RunOutcome r = run_workload(w, make_config(ts, a, optimized),
+                                    row.query);
+        double t = double(r.virtual_time);
+        if (a == 1) t1 = t;
+        if (spec.print_speedup) {
+          cells.push_back(strf("%.2f", t1 / t));
+        } else {
+          cells.push_back(strf("%.0f", t / 1000.0));
+        }
+      }
+      table.add_row(std::move(cells));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace ace::bench

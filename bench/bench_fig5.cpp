@@ -1,0 +1,23 @@
+// Figure 5: speedup curves on backward execution, with/without LPCO.
+// The paper's headline: map shows almost no speedup without the
+// optimization and near-linear speedup with it.
+#include "bench_common.hpp"
+
+int main() {
+  ace::bench::CurveSpec spec;
+  spec.title = "Figure 5 — speedups on backward execution (LPCO off/on)";
+  spec.paper_ref =
+      "Gupta & Pontelli IPPS'97, Figure 5: Map flat without LPCO, "
+      "near-linear with; Matrix Mult and Pderiv improve strongly";
+  spec.rows = {
+      {"map", "map1", ""},
+      {"matrix", "matrix_bt", ""},
+      {"pderiv", "pderiv_bt", ""},
+  };
+  spec.max_agents = 10;
+  spec.engine = ace::EngineKind::Andp;
+  spec.lpco = true;
+  spec.print_speedup = true;
+  ace::bench::run_paper_curves(spec);
+  return 0;
+}

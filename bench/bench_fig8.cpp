@@ -1,0 +1,23 @@
+// Figure 8: execution-time curves with/without the shallow parallelism
+// optimization (the optimized curve sits uniformly below).
+#include "bench_common.hpp"
+
+int main() {
+  ace::bench::CurveSpec spec;
+  spec.title =
+      "Figure 8 — execution time vs agents (shallow parallelism off/on)";
+  spec.paper_ref =
+      "Gupta & Pontelli IPPS'97, Figure 8: Poccur, Annotator and Hanoi "
+      "execution-time curves, optimized curve below unoptimized";
+  spec.rows = {
+      {"poccur", "occur", ""},
+      {"annotator", "annotator", ""},
+      {"hanoi", "hanoi", ""},
+  };
+  spec.max_agents = 10;
+  spec.engine = ace::EngineKind::Andp;
+  spec.shallow = true;
+  spec.print_speedup = false;  // the paper plots raw times here
+  ace::bench::run_paper_curves(spec);
+  return 0;
+}

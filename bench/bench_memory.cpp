@@ -1,0 +1,43 @@
+// Section 3.1 memory claim: "usage of control stack can be decreased by
+// almost 50%" with LPCO. We report control-stack high-water marks in
+// nominal words (choice points 10w, parcall frames 8w + 4w/slot, markers
+// 6w), unoptimized vs optimized.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ace;
+  std::printf("==============================================================\n");
+  std::printf("Memory — control-stack high-water marks (nominal words)\n");
+  std::printf("Reproduces: IPPS'97 §3.1 claim: LPCO cuts control-stack use "
+              "by up to ~50%%\n\n");
+
+  TextTable table({"benchmark", "agents", "no LPCO", "LPCO", "reduction"});
+  struct Case {
+    const char* label;
+    const char* workload;
+  };
+  for (const Case& c : {Case{"map1", "map1"}, Case{"matrix_bt", "matrix_bt"},
+                        Case{"map2", "map2"}}) {
+    const Workload& w = workload(c.workload);
+    for (unsigned agents : {1u, 5u, 10u}) {
+      RunConfig base;
+      base.engine = EngineKind::Andp;
+      base.agents = agents;
+      RunConfig opt = base;
+      opt.lpco = true;
+      RunOutcome rb = run_workload(w, base);
+      RunOutcome ro = run_workload(w, opt);
+      double red = rb.stats.ctrl_words_hw > 0
+                       ? 100.0 * (double(rb.stats.ctrl_words_hw) -
+                                  double(ro.stats.ctrl_words_hw)) /
+                             double(rb.stats.ctrl_words_hw)
+                       : 0.0;
+      table.add_row({c.label, strf("%u", agents),
+                     strf("%llu", (unsigned long long)rb.stats.ctrl_words_hw),
+                     strf("%llu", (unsigned long long)ro.stats.ctrl_words_hw),
+                     strf("%.0f%%", red)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

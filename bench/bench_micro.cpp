@@ -1,0 +1,109 @@
+// Kernel microbenchmarks (google-benchmark): raw substrate throughput —
+// unification, parsing, clause indexing, sequential resolution, virtual
+// stepping. Not a paper table; useful for tracking engine regressions.
+#include <benchmark/benchmark.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+void BM_UnifyFlatStructs(benchmark::State& state) {
+  SymbolTable syms;
+  Store store(1);
+  Trail trail;
+  std::uint32_t f = syms.intern("f");
+  std::vector<Addr> args1, args2;
+  for (int i = 0; i < 16; ++i) {
+    args1.push_back(heap_int(store, 0, i));
+    args2.push_back(heap_int(store, 0, i));
+  }
+  Addr a = heap_struct(store, 0, f, args1);
+  Addr b = heap_struct(store, 0, f, args2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unify(store, trail, a, b));
+  }
+}
+BENCHMARK(BM_UnifyFlatStructs);
+
+void BM_UnifyBindAndUndo(benchmark::State& state) {
+  SymbolTable syms;
+  Store store(1);
+  Trail trail;
+  Addr value = heap_int(store, 0, 42);
+  for (auto _ : state) {
+    std::size_t mark = trail.size();
+    Addr v = store.new_var(0);
+    unify(store, trail, v, value);
+    untrail(store, trail, mark);
+  }
+}
+BENCHMARK(BM_UnifyBindAndUndo);
+
+void BM_ParseClause(benchmark::State& state) {
+  SymbolTable syms;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_term_text(
+        syms, "qsort([P|T], S) :- part(T, P, L, G), qsort(L, SL) & "
+              "qsort(G, SG), append(SL, [P|SG], S)."));
+  }
+}
+BENCHMARK(BM_ParseClause);
+
+void BM_ClauseIndexLookup(benchmark::State& state) {
+  Database db;
+  std::string src;
+  for (int i = 0; i < 200; ++i) {
+    src += "edge(" + std::to_string(i) + ", " + std::to_string(i + 1) + ").\n";
+  }
+  db.consult(src);
+  const Predicate* p = db.find(db.syms().intern("edge"), 2);
+  IndexKey key{IndexKey::Kind::Int, 137};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->candidates(key));
+  }
+}
+BENCHMARK(BM_ClauseIndexLookup);
+
+void BM_SeqNrev30(benchmark::State& state) {
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+)PL");
+  SeqEngine eng(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.solve("numlist(1, 30, L), nrev(L, R).", 1));
+  }
+}
+BENCHMARK(BM_SeqNrev30);
+
+void BM_AndpStepMatrix(benchmark::State& state) {
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.engine = EngineKind::Andp;
+    cfg.agents = 4;
+    cfg.lpco = cfg.shallow = cfg.pdo = true;
+    benchmark::DoNotOptimize(run_small("matrix", cfg));
+  }
+}
+BENCHMARK(BM_AndpStepMatrix);
+
+void BM_OrpQueens5(benchmark::State& state) {
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.engine = EngineKind::Orp;
+    cfg.agents = 4;
+    cfg.lao = true;
+    benchmark::DoNotOptimize(run_small("queens1", cfg));
+  }
+}
+BENCHMARK(BM_OrpQueens5);
+
+}  // namespace
+}  // namespace ace
+
+BENCHMARK_MAIN();

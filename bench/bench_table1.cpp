@@ -1,0 +1,24 @@
+// Table 1: LPCO on forward execution only (modest gains).
+#include "bench_common.hpp"
+
+int main() {
+  ace::bench::TableSpec spec;
+  spec.title = "Table 1 — LPCO, forward execution only";
+  spec.paper_ref =
+      "Gupta & Pontelli IPPS'97, Table 1: savings in execution time "
+      "(forward execution only), LPCO off/on";
+  spec.paper_numbers =
+      "  map2      1p: 7.14/6.39 (11%)  3p: 2.51/2.32 (8%)  "
+      "5p: 1.99/1.48 (26%)  10p: 1.91/1.48 (23%)\n"
+      "  occur(5)  1p: 3.65/3.15 (14%)  3p: 1.25/1.02 (18%)  "
+      "5p: .75/.64 (15%)    10p: .43/.35 (19%)";
+  spec.rows = {
+      {"map2", "map2", ""},
+      {"occur(5)", "occur", ""},
+  };
+  spec.agents = {1, 3, 5, 10};
+  spec.engine = ace::EngineKind::Andp;
+  spec.lpco = true;
+  ace::bench::run_paper_table(spec);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 4: shallow parallelism optimization (procrastinated markers).
+#include "bench_common.hpp"
+
+int main() {
+  ace::bench::TableSpec spec;
+  spec.title = "Table 4 — Shallow Parallelism Optimization";
+  spec.paper_ref =
+      "Gupta & Pontelli IPPS'97, Table 4: unoptimized/optimized execution "
+      "times with the shallow parallelism optimization";
+  spec.paper_numbers =
+      "  matrix mult  1p: 5.59/5.2 (13%)  3p: 1.9/1.7 (11%)  "
+      "5p: 1.1/1.0 (9%)    10p: .57/.53 (7%)\n"
+      "  takeuchi     1p: 2.4/1.8 (25%)   3p: .83/.58 (30%)  "
+      "5p: .52/.36 (31%)   10p: .25/.20 (20%)\n"
+      "  hanoi        1p: 2.2/1.6 (27%)   3p: .76/.55 (28%)  "
+      "5p: .47/.33 (30%)   10p: .23/.18 (22%)\n"
+      "  occur        1p: 3.6/3.1 (14%)   3p: 1.2/1.0 (17%)  "
+      "5p: .75/.66 (12%)   10p: .43/.37 (14%)\n"
+      "  bt_cluster   1p: 1.4/1.3 (7%)    3p: .52/.48 (8%)   "
+      "5p: .34/.31 (9%)    10p: .20/.18 (10%)\n"
+      "  annotator    1p: 1.6/1.4 (13%)   3p: .55/.47 (15%)  "
+      "5p: .39/.32 (18%)   10p: .21/.18 (14%)";
+  spec.rows = {
+      {"matrix mult", "matrix", ""},
+      {"takeuchi", "takeuchi", ""},
+      {"hanoi", "hanoi", ""},
+      {"occur", "occur", ""},
+      {"bt_cluster", "bt_cluster", ""},
+      {"annotator", "annotator", ""},
+  };
+  spec.agents = {1, 3, 5, 10};
+  spec.engine = ace::EngineKind::Andp;
+  spec.shallow = true;
+  ace::bench::run_paper_table(spec);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 5: processor determinacy optimization (merging sequentially
+// adjacent subgoals executed by the same agent).
+#include "bench_common.hpp"
+
+int main() {
+  ace::bench::TableSpec spec;
+  spec.title = "Table 5 — Processor Determinacy Optimization";
+  spec.paper_ref =
+      "Gupta & Pontelli IPPS'97, Table 5: unoptimized/optimized execution "
+      "times (msec) with PDO";
+  spec.paper_numbers =
+      "  matrix mult(30)  1p: 5598/5207 (8%)   3p: 1954/1765 (11%)  "
+      "5p: 1145/1067 (7%)   10p: 573/536 (7%)\n"
+      "  quick_sort(10)   1p: 1882/1503 (25%)  3p: 778/621 (25%)    "
+      "5p: 548/443 (23%)    10p: 442/367 (20%)\n"
+      "  takeuchi(14)     1p: 2366/1632 (45%)  3p: 832/600 (39%)    "
+      "5p: 521/388 (34%)    10p: 252/200 (26%)\n"
+      "  poccur(5)        1p: 3651/3104 (15%)  3p: 1255/1061 (18%)  "
+      "5p: 759/649 (17%)    10p: 430/353 (22%)\n"
+      "  bt_cluster       1p: 1461/1330 (10%)  3p: 528/482 (10%)    "
+      "5p: 345/294 (17%)    10p: 202/165 (22%)\n"
+      "  annotator(5)     1p: 1615/1298 (24%)  3p: 556/454 (23%)    "
+      "5p: 392/302 (30%)    10p: 213/171 (25%)";
+  spec.rows = {
+      {"matrix mult", "matrix", ""},
+      {"quick_sort", "quick_sort", ""},
+      {"takeuchi", "takeuchi", ""},
+      {"poccur", "occur", ""},
+      {"bt_cluster", "bt_cluster", ""},
+      {"annotator", "annotator", ""},
+  };
+  spec.agents = {1, 3, 5, 10};
+  spec.engine = ace::EngineKind::Andp;
+  spec.pdo = true;
+  ace::bench::run_paper_table(spec);
+  return 0;
+}

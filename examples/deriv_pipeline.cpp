@@ -1,0 +1,85 @@
+// Symbolic differentiation pipeline: the pderiv workload driven through
+// all three engines with per-optimization statistics — a tour of the
+// system as a downstream user would wire it up.
+//
+//   $ ./deriv_pipeline [num_expressions] [expression_depth]
+#include <cstdio>
+#include <cstdlib>
+
+#include "andp/machine.hpp"
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  int k = argc > 1 ? std::atoi(argv[1]) : 12;
+  int depth = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+d(x, x, 1).
+d(N, _, 0) :- integer(N).
+d(A + B, X, DA + DB) :- d(A, X, DA) & d(B, X, DB).
+d(A - B, X, DA - DB) :- d(A, X, DA) & d(B, X, DB).
+d(A * B, X, A * DB + DA * B) :- d(A, X, DA) & d(B, X, DB).
+
+mkexp(0, x) :- !.
+mkexp(N, x * E + N) :- N1 is N - 1, mkexp(N1, E).
+
+deriv_all([], _, []).
+deriv_all([E|Es], X, [D|Ds]) :- d(E, X, D) & deriv_all(Es, X, Ds).
+
+mkexps(0, _, []) :- !.
+mkexps(K, N, [E|Es]) :- mkexp(N, E), K1 is K - 1, mkexps(K1, N, Es).
+
+run(K, N, Ds) :- mkexps(K, N, Es), deriv_all(Es, x, Ds).
+)PL");
+
+  std::string query = strf("run(%d, %d, Ds).", k, depth);
+  std::printf("differentiating %d expressions of depth %d\n\n", k, depth);
+
+  SeqEngine seq(db);
+  SolveResult rs = seq.solve(query, 1);
+  std::printf("sequential:              vtime %10llu\n",
+              (unsigned long long)rs.virtual_time);
+
+  struct Config {
+    const char* label;
+    bool lpco, shallow, pdo;
+  };
+  for (const Config& c : {Config{"andp 1 agent, no opts  ", false, false, false},
+                          Config{"andp 1 agent, all opts ", true, true, true}}) {
+    AndpOptions opts;
+    opts.agents = 1;
+    opts.lpco = c.lpco;
+    opts.shallow = c.shallow;
+    opts.pdo = c.pdo;
+    AndpMachine m(db, opts);
+    SolveResult r = m.solve(query, 1);
+    double overhead = (double(r.virtual_time) - double(rs.virtual_time)) /
+                      double(rs.virtual_time) * 100.0;
+    std::printf("%s vtime %10llu  overhead %+5.1f%%\n", c.label,
+                (unsigned long long)r.virtual_time, overhead);
+  }
+
+  std::printf("\nscaling (all optimizations on):\n");
+  std::uint64_t t1 = 0;
+  for (unsigned agents = 1; agents <= 10; ++agents) {
+    AndpOptions opts;
+    opts.agents = agents;
+    opts.lpco = opts.shallow = opts.pdo = true;
+    AndpMachine m(db, opts);
+    SolveResult r = m.solve(query, 1);
+    if (agents == 1) t1 = r.virtual_time;
+    std::printf("  %2u agents: vtime %10llu  speedup %5.2fx  "
+                "markers %llu (skipped %llu)\n",
+                agents, (unsigned long long)r.virtual_time,
+                double(t1) / double(r.virtual_time),
+                (unsigned long long)(r.stats.input_markers +
+                                     r.stats.end_markers),
+                (unsigned long long)r.stats.shallow_skipped_markers);
+  }
+  return 0;
+}

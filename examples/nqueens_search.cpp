@@ -1,0 +1,56 @@
+// Or-parallel search: n-queens on the MUSE-style engine, demonstrating the
+// Last Alternative Optimization (paper §3.2).
+//
+//   $ ./nqueens_search [board_size] [agents]
+//
+// Prints the solution count, the virtual-time speedup across agent counts,
+// and the LAO effect on choice-point allocation.
+#include <cstdio>
+#include <cstdlib>
+
+#include "builtins/lib.hpp"
+#include "orp/machine.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  int n = argc > 1 ? std::atoi(argv[1]) : 7;
+  unsigned max_agents = argc > 2 ? unsigned(std::atoi(argv[2])) : 8;
+
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+queens(N, Qs) :- numlist(1, N, Ns), place(Ns, [], Qs).
+place([], Acc, Acc).
+place(L, Acc, Qs) :- select(Q, L, R), safe(Q, Acc, 1), place(R, [Q|Acc], Qs).
+safe(_, [], _).
+safe(Q, [P|Ps], D) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, safe(Q, Ps, D1).
+)PL");
+
+  std::string query = strf("queens(%d, Qs).", n);
+  std::printf("n-queens, N=%d, or-parallel MUSE-style engine\n\n", n);
+  std::printf("%-7s %-5s %12s %9s %9s %12s %10s\n", "agents", "LAO", "vtime",
+              "speedup", "sols", "choicepts", "cp reused");
+
+  for (bool lao : {false, true}) {
+    std::uint64_t t1 = 0;
+    for (unsigned agents = 1; agents <= max_agents; agents *= 2) {
+      OrpOptions opts;
+      opts.agents = agents;
+      opts.lao = lao;
+      OrpMachine m(db, opts);
+      SolveResult r = m.solve(query);
+      if (agents == 1) t1 = r.virtual_time;
+      std::printf("%-7u %-5s %12llu %8.2fx %9zu %12llu %10llu\n", agents,
+                  lao ? "on" : "off", (unsigned long long)r.virtual_time,
+                  double(t1) / double(r.virtual_time), r.solutions.size(),
+                  (unsigned long long)r.stats.choicepoints,
+                  (unsigned long long)r.stats.lao_reuses);
+    }
+  }
+  std::printf(
+      "\nLAO flattens the or-tree: reused choice points keep idle agents'\n"
+      "work-finding cheap (paper Figure 7), at a small 1-agent check cost\n"
+      "(paper Table 3's negative 1-processor entries).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// A minimal interactive top level over the engines.
+//
+//   $ ./repl [--andp N | --orp N] [--lpco --shallow --pdo --lao] [file.pl...]
+//   ?- member(X, [1, 2, 3]).
+//   X = 1 ;
+//   X = 2 .
+//
+// Type a query ending in '.'; ';' asks for the next solution, anything else
+// stops the enumeration. 'halt.' exits.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "andp/machine.hpp"
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+#include "orp/machine.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ace::AceError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  Database db;
+  load_library(db);
+
+  enum { kSeq, kAndp, kOrp } engine = kSeq;
+  unsigned agents = 1;
+  AndpOptions andp_opts;
+  OrpOptions orp_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--andp" && i + 1 < argc) {
+      engine = kAndp;
+      agents = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--orp" && i + 1 < argc) {
+      engine = kOrp;
+      agents = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--lpco") {
+      andp_opts.lpco = true;
+    } else if (arg == "--shallow") {
+      andp_opts.shallow = true;
+    } else if (arg == "--pdo") {
+      andp_opts.pdo = true;
+    } else if (arg == "--lao") {
+      orp_opts.lao = true;
+    } else {
+      try {
+        db.consult(read_file(arg));
+        std::printf("%% consulted %s\n", arg.c_str());
+      } catch (const AceError& e) {
+        std::fprintf(stderr, "%% %s\n", e.what());
+        return 1;
+      }
+    }
+  }
+  andp_opts.agents = agents;
+  orp_opts.agents = agents;
+
+  std::printf("ace-schemas top level (%s",
+              engine == kSeq ? "sequential"
+                             : (engine == kAndp ? "and-parallel"
+                                                : "or-parallel"));
+  if (engine != kSeq) std::printf(", %u agents", agents);
+  std::printf("). 'halt.' to quit.\n");
+
+  std::string line;
+  for (;;) {
+    std::printf("?- ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "halt." || line == "halt") break;
+    if (line.back() != '.') line += '.';
+
+    try {
+      SolveResult r;
+      // Enumerate lazily-ish: fetch in batches, let the user page with ';'.
+      std::size_t shown = 0;
+      std::size_t want = 1;
+      for (;;) {
+        switch (engine) {
+          case kSeq: {
+            SeqEngine eng(db);
+            r = eng.solve(line, want);
+            break;
+          }
+          case kAndp: {
+            AndpMachine m(db, andp_opts);
+            r = m.solve(line, want);
+            break;
+          }
+          case kOrp: {
+            OrpMachine m(db, orp_opts);
+            r = m.solve(line, want);
+            break;
+          }
+        }
+        if (!r.output.empty() && shown == 0) {
+          std::printf("%s", r.output.c_str());
+        }
+        if (r.solutions.size() <= shown) {
+          std::printf(shown == 0 ? "false.\n" : ".\n");
+          break;
+        }
+        std::printf("%s ", r.solutions.back().c_str());
+        shown = r.solutions.size();
+        std::fflush(stdout);
+        std::string more;
+        if (!std::getline(std::cin, more) || more != ";") {
+          std::printf(".\n");
+          break;
+        }
+        ++want;
+      }
+    } catch (const AceError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

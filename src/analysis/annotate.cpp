@@ -1,0 +1,323 @@
+#include "analysis/annotate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "parse/parser.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+// Collects the variable slots occurring in a template subterm.
+void collect_vars(const TermTemplate& tmpl, Cell c,
+                  std::set<std::uint32_t>& out) {
+  switch (c.tag()) {
+    case Tag::VarSlot:
+      out.insert(c.var_slot());
+      return;
+    case Tag::Lst:
+      collect_vars(tmpl, tmpl.cells[c.payload()], out);
+      collect_vars(tmpl, tmpl.cells[c.payload() + 1], out);
+      return;
+    case Tag::Str: {
+      const Cell f = tmpl.cells[c.payload()];
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        collect_vars(tmpl, tmpl.cells[c.payload() + i], out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool infix_like(const std::string& n) {
+  static const char* kOps[] = {"+",   "-",  "*",  "/",   "//",  "mod", "is",
+                               "=",   "\\=", "==", "\\==", "<",   ">",   "=<",
+                               ">=",  "=:=", "=\\=", "@<",  "@>",  "@=<",
+                               "@>=", "=..", ",",  ";",   "->",  "&"};
+  for (const char* op : kOps) {
+    if (n == op) return true;
+  }
+  return false;
+}
+
+// Renders a template subterm back to source text.
+std::string render(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                   bool arg_pos);
+
+std::string render_args(const SymbolTable& syms, const TermTemplate& tmpl,
+                        std::uint64_t fun_pos, unsigned arity) {
+  std::vector<std::string> parts;
+  for (unsigned i = 1; i <= arity; ++i) {
+    parts.push_back(render(syms, tmpl, tmpl.cells[fun_pos + i], true));
+  }
+  return join(parts, ", ");
+}
+
+std::string render(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                   bool arg_pos) {
+  switch (c.tag()) {
+    case Tag::VarSlot: {
+      const std::string& name = tmpl.var_names[c.var_slot()];
+      if (name == "_" || name.empty()) {
+        return strf("_V%u", c.var_slot());
+      }
+      return name;
+    }
+    case Tag::Int:
+      return strf("%lld", static_cast<long long>(c.integer()));
+    case Tag::Atm: {
+      const std::string& n = syms.name(c.symbol());
+      return is_plain_atom_name(n) ? n : "'" + n + "'";
+    }
+    case Tag::Lst: {
+      std::string out = "[";
+      Cell cur = c;
+      bool first = true;
+      for (;;) {
+        if (cur.tag() == Tag::Lst) {
+          if (!first) out += ", ";
+          first = false;
+          out += render(syms, tmpl, tmpl.cells[cur.payload()], true);
+          cur = tmpl.cells[cur.payload() + 1];
+          continue;
+        }
+        if (cur.tag() == Tag::Atm &&
+            syms.name(cur.symbol()) == "[]") {
+          break;
+        }
+        out += "|" + render(syms, tmpl, cur, true);
+        break;
+      }
+      return out + "]";
+    }
+    case Tag::Str: {
+      const Cell f = tmpl.cells[c.payload()];
+      const std::string& n = syms.name(f.fun_symbol());
+      if (f.fun_arity() == 2 && infix_like(n)) {
+        std::string s =
+            render(syms, tmpl, tmpl.cells[c.payload() + 1], true) + " " + n +
+            " " + render(syms, tmpl, tmpl.cells[c.payload() + 2], true);
+        return arg_pos ? "(" + s + ")" : s;
+      }
+      std::string name = is_plain_atom_name(n) ? n : "'" + n + "'";
+      return name + "(" + render_args(syms, tmpl, c.payload(), f.fun_arity()) +
+             ")";
+    }
+    default:
+      return "?";
+  }
+}
+
+bool is_arith_or_test(const std::string& n, unsigned arity) {
+  static const char* kBuiltins2[] = {"is", "=", "\\=", "==", "\\==", "<",
+                                     ">",  "=<", ">=", "=:=", "=\\=", "@<",
+                                     "@>", "@=<", "@>="};
+  if (arity == 2) {
+    for (const char* b : kBuiltins2) {
+      if (n == b) return true;
+    }
+  }
+  if (arity == 1 &&
+      (n == "var" || n == "nonvar" || n == "atom" || n == "integer" ||
+       n == "atomic" || n == "compound" || n == "ground" || n == "\\+")) {
+    return true;
+  }
+  if (arity == 0 && (n == "true" || n == "fail" || n == "!")) return true;
+  return false;
+}
+
+// Flattens a comma chain into conjunct cells.
+void flatten_comma(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                   std::vector<Cell>& out) {
+  if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    if (f.fun_symbol() == syms.known().comma && f.fun_arity() == 2) {
+      flatten_comma(syms, tmpl, tmpl.cells[c.payload() + 1], out);
+      flatten_comma(syms, tmpl, tmpl.cells[c.payload() + 2], out);
+      return;
+    }
+  }
+  out.push_back(c);
+}
+
+GoalInfo goal_info(const SymbolTable& syms, const TermTemplate& tmpl,
+                   Cell c) {
+  GoalInfo g;
+  std::set<std::uint32_t> vars;
+  collect_vars(tmpl, c, vars);
+  g.vars.assign(vars.begin(), vars.end());
+  if (c.tag() == Tag::Atm) {
+    g.name = syms.name(c.symbol());
+    g.arity = 0;
+  } else if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    g.name = syms.name(f.fun_symbol());
+    g.arity = f.fun_arity();
+  } else {
+    g.name = "?";
+  }
+  // Control constructs and tests never fork.
+  g.builtin_like = is_arith_or_test(g.name, g.arity) || g.name == ";" ||
+                   g.name == "->" || g.name == "," || g.name == "&";
+  return g;
+}
+
+bool shares_unground_var(const GoalInfo& a, const GoalInfo& b,
+                         const std::set<std::uint32_t>& ground) {
+  for (std::uint32_t v : a.vars) {
+    if (ground.count(v)) continue;
+    if (std::find(b.vars.begin(), b.vars.end(), v) != b.vars.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ClauseAnalysis analyze_clause(const SymbolTable& syms,
+                              const TermTemplate& tmpl,
+                              const AnnotateOptions& opts) {
+  ClauseAnalysis out;
+
+  // Split head/body (templates from the parser are not yet normalized).
+  Cell head = tmpl.root;
+  Cell body = atm_cell(syms.known().truesym);
+  if (tmpl.root.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[tmpl.root.payload()];
+    if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
+      head = tmpl.cells[tmpl.root.payload() + 1];
+      body = tmpl.cells[tmpl.root.payload() + 2];
+    }
+  }
+  out.head = render(syms, tmpl, head, false);
+
+  std::vector<Cell> conjuncts;
+  flatten_comma(syms, tmpl, body, conjuncts);
+  for (Cell c : conjuncts) out.goals.push_back(goal_info(syms, tmpl, c));
+
+  // Groundness approximation: the left-hand side of an `is` is ground after
+  // the goal runs (it is a fresh arithmetic result in all our corpora).
+  std::set<std::uint32_t> ground;
+
+  std::vector<std::size_t> group;
+  auto close_group = [&]() {
+    if (!group.empty()) out.groups.push_back(group);
+    group.clear();
+  };
+  for (std::size_t i = 0; i < out.goals.size(); ++i) {
+    const GoalInfo& g = out.goals[i];
+    bool fuse = false;
+    if (!g.builtin_like || !opts.skip_builtins) {
+      fuse = !group.empty();
+      for (std::size_t j : group) {
+        if (shares_unground_var(out.goals[j], g, ground)) {
+          fuse = false;
+          break;
+        }
+      }
+      // Never fuse with a builtin-like group member.
+      for (std::size_t j : group) {
+        if (out.goals[j].builtin_like) fuse = false;
+      }
+    }
+    if (!fuse) close_group();
+    group.push_back(i);
+    if (g.builtin_like) close_group();
+
+    // Post-goal groundness updates.
+    if (g.name == "is" && g.arity == 2 && !g.vars.empty()) {
+      // Result variable(s) of `is` become ground.
+      Cell c = conjuncts[i];
+      std::set<std::uint32_t> lhs;
+      collect_vars(tmpl, tmpl.cells[c.payload() + 1], lhs);
+      ground.insert(lhs.begin(), lhs.end());
+    }
+  }
+  close_group();
+  return out;
+}
+
+std::string render_annotated(const SymbolTable& syms,
+                             const TermTemplate& tmpl,
+                             const ClauseAnalysis& ca,
+                             const std::vector<Cell>& conjuncts) {
+  if (ca.goals.empty() ||
+      (ca.goals.size() == 1 && ca.goals[0].name == "true" &&
+       ca.goals[0].arity == 0)) {
+    return ca.head + ".";
+  }
+  std::vector<std::string> parts;
+  for (const auto& grp : ca.groups) {
+    std::vector<std::string> members;
+    for (std::size_t idx : grp) {
+      members.push_back(render(syms, tmpl, conjuncts[idx], false));
+    }
+    parts.push_back(members.size() == 1 ? members[0]
+                                        : join(members, " & "));
+  }
+  return ca.head + " :-\n    " + join(parts, ",\n    ") + ".";
+}
+
+}  // namespace
+
+std::vector<ClauseAnalysis> analyze_program(SymbolTable& syms,
+                                            const std::string& source,
+                                            const AnnotateOptions& opts) {
+  std::vector<ClauseAnalysis> out;
+  for (const TermTemplate& tmpl : parse_program(syms, source)) {
+    out.push_back(analyze_clause(syms, tmpl, opts));
+  }
+  return out;
+}
+
+std::string annotate_program(SymbolTable& syms, const std::string& source,
+                             const AnnotateOptions& opts) {
+  std::string out;
+  for (const TermTemplate& tmpl : parse_program(syms, source)) {
+    ClauseAnalysis ca = analyze_clause(syms, tmpl, opts);
+    // Recompute the conjunct cells (analyze_clause keeps only GoalInfo).
+    Cell body = atm_cell(syms.known().truesym);
+    if (tmpl.root.tag() == Tag::Str) {
+      const Cell f = tmpl.cells[tmpl.root.payload()];
+      if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
+        body = tmpl.cells[tmpl.root.payload() + 2];
+      }
+    }
+    std::vector<Cell> conjuncts;
+    flatten_comma(syms, tmpl, body, conjuncts);
+    out += render_annotated(syms, tmpl, ca, conjuncts) + "\n";
+  }
+  return out;
+}
+
+Determinacy analyze_determinacy(const Database& db, std::uint32_t sym,
+                                unsigned arity) {
+  const Predicate* pred = db.find(sym, arity);
+  if (pred == nullptr) return Determinacy::Det;  // no clauses: fails det
+  if (pred->is_dynamic()) return Determinacy::Unknown;
+
+  // Provably deterministic if (a) at most one live clause, or (b) every
+  // clause has a distinct non-Var index key (any call selects at most one
+  // candidate... modulo unbound calls, which we cannot rule out statically
+  // — the paper's point about compile-time approximation; we still call
+  // this Det for the common first-arg-bound usage and leave the precise
+  // answer to the runtime check).
+  std::vector<const Clause*> live;
+  for (std::uint32_t i = 0; i < pred->num_clauses(); ++i) {
+    if (!pred->clause(i).retracted) live.push_back(&pred->clause(i));
+  }
+  if (live.size() <= 1) return Determinacy::Det;
+  std::set<std::pair<std::uint8_t, std::uint64_t>> keys;
+  for (const Clause* c : live) {
+    if (c->key.kind == IndexKey::Kind::Var) return Determinacy::Unknown;
+    if (!keys.emplace(static_cast<std::uint8_t>(c->key.kind), c->key.value)
+             .second) {
+      return Determinacy::Unknown;  // two clauses share a key
+    }
+  }
+  return Determinacy::Det;
+}
+
+}  // namespace ace

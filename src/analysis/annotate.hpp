@@ -1,0 +1,76 @@
+// Compile-time parallelization: independence-based '&' annotation and
+// determinacy analysis.
+//
+// The paper's benchmarks are annotated by &ACE's abstract-interpretation
+// parallelizing compiler [Muthukumar & Hermenegildo 91]; this module is a
+// (much simpler) stand-in: a syntactic sharing/groundness analysis that
+// conservatively rewrites  g1, g2  into  g1 & g2  when the goals cannot
+// share unbound variables at call time, plus a clause-level determinacy
+// analysis used to predict where the runtime optimizations will fire.
+//
+// The analysis is deliberately conservative (strict independence): two
+// goals are independent if they share no variables, except variables that
+// are guaranteed ground at the first goal's call — here approximated by
+// "bound by an arithmetic `is` earlier in the body" and "ground in the
+// clause head position is not assumed" (heads bind unknown terms).
+//
+// It also demonstrates the paper's §1/§3.1 point: compile-time detection is
+// necessarily approximate — determinacy and independence are runtime
+// properties, which is why ACE's optimizations trigger at runtime. The
+// tests compare this analyzer's predictions against the runtime counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace ace {
+
+struct AnnotateOptions {
+  // Minimum number of body goals in a conjunction to consider splitting.
+  unsigned min_goals = 2;
+  // Treat calls to these predicates as "cheap" (never worth forking).
+  bool skip_builtins = true;
+};
+
+// Rewrites a program: for each clause body, greedily groups maximal runs of
+// pairwise-independent user-goal conjuncts with '&'. Returns the annotated
+// program text (clauses re-printed).
+std::string annotate_program(SymbolTable& syms, const std::string& source,
+                             const AnnotateOptions& opts = {});
+
+// Per-clause analysis result, exposed for tests and tooling.
+struct GoalInfo {
+  std::string name;
+  unsigned arity = 0;
+  std::vector<std::uint32_t> vars;  // variable slots occurring in the goal
+  bool builtin_like = false;        // control construct or arithmetic
+};
+
+struct ClauseAnalysis {
+  std::string head;
+  std::vector<GoalInfo> goals;
+  // Indices of body conjuncts grouped into one parallel conjunction;
+  // groups of size 1 stay sequential.
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+std::vector<ClauseAnalysis> analyze_program(SymbolTable& syms,
+                                            const std::string& source,
+                                            const AnnotateOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Determinacy analysis: can a call to pred/arity leave a choice point?
+// Conservative three-valued answer.
+
+enum class Determinacy {
+  Det,      // at most one clause can match any call (first-arg index proof)
+  Unknown,  // cannot be proven statically (the paper's point: runtime
+            // checks see what static analysis cannot)
+};
+
+Determinacy analyze_determinacy(const Database& db, std::uint32_t sym,
+                                unsigned arity);
+
+}  // namespace ace

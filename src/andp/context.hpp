@@ -1,0 +1,74 @@
+// Shared state of the and-parallel machine: the parcall arena and the
+// per-agent work pools.
+//
+// Work scheduling follows &ACE: an agent pushes the slots of a parcall it
+// creates onto its own pool (FIFO, leftmost first — this ordering is what
+// gives PDO its "scheduler returns the sequentially next subgoal" hits);
+// idle agents first drain their own pool, then steal the oldest entry from
+// a peer. An agent that owns an incomplete parcall only takes work from
+// that parcall's subtree (descendant parcalls), which keeps every binding
+// above its continuation-resume marks undoable — see DESIGN.md §4.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "engine/worker.hpp"
+
+namespace ace {
+
+class ParContext {
+ public:
+  explicit ParContext(unsigned n_agents) : pools_(n_agents) {}
+
+  // ---- Parcall arena (stable addresses; deque never shrinks) ----
+  Parcall& alloc_parcall() {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    Parcall& pf = parcalls_.emplace_back();
+    pf.id = static_cast<std::uint32_t>(parcalls_.size() - 1);
+    return pf;
+  }
+  Parcall& get(std::uint32_t id) { return parcalls_[id]; }
+  std::size_t num_parcalls() const { return parcalls_.size(); }
+
+  // True if `pf` is `ancestor` or one of its descendants (via creator_pf
+  // links).
+  bool in_subtree(std::uint32_t pf, std::uint32_t ancestor);
+
+  // ---- Work pools ----
+  struct Work {
+    std::uint32_t pf;
+    std::uint32_t slot;
+    std::uint64_t publish_time;
+  };
+
+  void publish(unsigned agent, std::uint32_t pf, std::uint32_t slot,
+               std::uint64_t time);
+
+  // Takes the oldest valid entry from `agent`'s own pool that `taker` may
+  // execute (claims the slot: Pending -> Executing). Entries whose slot is
+  // no longer Pending are dropped. Entries published after `taker`'s clock
+  // are not yet visible (causality in the virtual-time simulator).
+  std::optional<Work> fetch_from(unsigned agent, Worker& taker);
+
+  bool pools_empty() const;
+
+  // Number of parcalls currently in the Failing state; the per-step
+  // cancellation poll is O(1) while this is zero.
+  std::atomic<std::uint32_t> failing_count{0};
+
+ private:
+  bool claim(const Work& w, Worker& taker);
+
+  std::mutex alloc_mu_;
+  std::deque<Parcall> parcalls_;
+
+  struct Pool {
+    mutable std::mutex mu;
+    std::deque<Work> q;
+  };
+  std::vector<Pool> pools_;
+};
+
+}  // namespace ace

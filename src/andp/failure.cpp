@@ -1,0 +1,505 @@
+// Parcall failure (forward kills) and outside backtracking with
+// recomputation — the protocols whose traversal cost LPCO flattens away.
+#include "andp/context.hpp"
+
+namespace ace {
+namespace {
+
+// The innermost-to-outermost chain of failing ancestors: returns the
+// OUTERMOST pf in Failing/Dead state on the creator chain of `pf_id`,
+// or kNoPf.
+std::uint32_t outermost_failing_ancestor(ParContext& ctx,
+                                         std::uint32_t pf_id) {
+  std::uint32_t found = kNoPf;
+  while (pf_id != kNoPf) {
+    PfState st = ctx.get(pf_id).state;
+    if (st == PfState::Failing || st == PfState::Dead) found = pf_id;
+    pf_id = ctx.get(pf_id).creator_pf;
+  }
+  return found;
+}
+
+}  // namespace
+
+void Worker::unwind_parcall(std::uint32_t pf_id) {
+  Parcall& pf = parcall(pf_id);
+  if (pf.state == PfState::Dead) return;
+  if (pf.state == PfState::Failing) {
+    par_->failing_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  pf.state = PfState::Dead;
+  charge(costs_.pf_teardown);
+  charge(costs_.pf_scan_slot * pf.slots.size());
+  for (std::uint32_t i = 0; i < pf.slots.size(); ++i) {
+    if (pf.slots[i].state == SlotState::Dead) continue;
+    unwind_slot(pf_id, i);
+    pf.slots[i].state = SlotState::Dead;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forward failure: a slot failed during its initial execution. By
+// independence the whole parcall fails (paper §2.3 / DESIGN.md §4.2).
+
+void Worker::slot_initial_failure() {
+  std::uint32_t pf_id = cur_pf_;
+  std::uint32_t slot_idx = cur_slot_;
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+
+  ++stats_.slot_failures;
+  charge(costs_.kill_slot);
+  trace(TraceEvent::SlotFail, pf_id, slot_idx);
+
+  close_current_part();
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    s.state = SlotState::Aborted;
+    if (pf.state == PfState::Forward) {
+      pf.state = PfState::Failing;
+      par_->failing_count.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  cur_pf_ = kNoPf;
+  glist_ = kNoRef;
+  bt_ = kNoRef;
+  nested_.clear();
+  failing_pf_ = pf_id;
+  mode_ = Mode::FailWait;
+}
+
+bool Worker::subtree_has_executing(std::uint32_t pf_id) {
+  for (std::uint32_t id = 0; id < par_->num_parcalls(); ++id) {
+    if (!par_->in_subtree(id, pf_id)) continue;
+    for (const Slot& s : par_->get(id).slots) {
+      if (s.state == SlotState::Executing) return true;
+    }
+  }
+  return false;
+}
+
+void Worker::fail_wait_step() {
+  Parcall& pf = parcall(failing_pf_);
+
+  // Subsumed by an outer failure? Then stop coordinating; the outer
+  // coordinator's unwind will cover this parcall.
+  std::uint32_t outer =
+      outermost_failing_ancestor(*par_, pf.creator_pf);
+  if (outer != kNoPf) {
+    failing_pf_ = kNoPf;
+    mode_ = Mode::Idle;
+    charge(costs_.idle_tick);
+    return;
+  }
+
+  // Wait for every executing slot in the whole failing subtree (nested
+  // parcalls included) to acknowledge the kill.
+  if (subtree_has_executing(failing_pf_)) {
+    ++stats_.idle_ticks;
+    charge(costs_.idle_tick);
+    return;
+  }
+  finish_parcall_failure();
+}
+
+void Worker::finish_parcall_failure() {
+  std::uint32_t pf_id = failing_pf_;
+  failing_pf_ = kNoPf;
+  Parcall& pf = parcall(pf_id);
+
+  for (std::uint32_t i = 0; i < pf.slots.size(); ++i) {
+    if (pf.slots[i].state == SlotState::Dead) continue;
+    unwind_slot(pf_id, i);
+    pf.slots[i].state = SlotState::Dead;
+    charge(costs_.kill_slot);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    ACE_CHECK(pf.state == PfState::Failing);
+    pf.state = PfState::Dead;
+    par_->failing_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  if (pf.owner == agent_) {
+    owner_handle_failed_parcall(pf_id);
+  } else {
+    mode_ = Mode::Idle;  // the owner notices via its waiting stack
+  }
+}
+
+void Worker::owner_handle_failed_parcall(std::uint32_t pf_id) {
+  Parcall& pf = parcall(pf_id);
+  ACE_CHECK(pf.owner == agent_);
+  ACE_CHECK(!waiting_pfs_.empty() && waiting_pfs_.back() == pf_id);
+  waiting_pfs_.pop_back();
+  pending_end_pf_ = kNoPf;
+
+  // Kill our frames above (and including) the parcall frame; the slots'
+  // sections were already unwound by the failure coordinator.
+  std::uint32_t pf_idx = ref_index(pf.frame);
+  std::uint32_t top = static_cast<std::uint32_t>(ctrl_.size());
+  for (std::uint32_t i = top; i-- > pf_idx;) {
+    mark_frame_dead(*this, i);
+  }
+  pop_dead_suffix();
+
+  // The parcall as a whole fails: backtrack below it in the creator
+  // context.
+  cur_pf_ = pf.creator_pf;
+  cur_slot_ = pf.creator_slot;
+  glist_ = kNoRef;
+  bt_ = pf.prev_bt;
+  last_done_adjacent_ = false;
+  mode_ = Mode::Backtrack;
+}
+
+bool Worker::check_cancellation() {
+  if (par_->failing_count.load(std::memory_order_acquire) == 0) return false;
+  if (cur_pf_ == kNoPf) return false;
+  std::uint32_t f = outermost_failing_ancestor(*par_, cur_pf_);
+  if (f == kNoPf) return false;
+
+  // Abandon every held context that lies inside the failing subtree:
+  // the current slot, then (via the waiting stack) the suspended slots
+  // around the parcalls we own.
+  charge(costs_.kill_slot);
+  for (;;) {
+    if (cur_pf_ != kNoPf) {
+      if (!par_->in_subtree(cur_pf_, f)) break;
+      Parcall& pf = parcall(cur_pf_);
+      Slot& s = pf.slots[cur_slot_];
+      {
+        std::lock_guard<std::mutex> lock(pf.mu);
+        if (s.state == SlotState::Executing) s.state = SlotState::Aborted;
+      }
+      if (!s.parts.empty() && s.parts.back().open &&
+          s.parts.back().agent == agent_) {
+        close_current_part();
+      }
+      cur_pf_ = kNoPf;
+      continue;
+    }
+    if (waiting_pfs_.empty()) break;
+    std::uint32_t w = waiting_pfs_.back();
+    if (!par_->in_subtree(w, f) || w == f) break;
+    // The parcall we own dies with the subtree; resume the abandonment at
+    // its creator context (our suspended slot).
+    waiting_pfs_.pop_back();
+    Parcall& wpf = parcall(w);
+    cur_pf_ = wpf.creator_pf;
+    cur_slot_ = wpf.creator_slot;
+  }
+  glist_ = kNoRef;
+  bt_ = kNoRef;
+  nested_.clear();
+  pending_end_pf_ = kNoPf;
+  last_done_adjacent_ = false;
+  mode_ = Mode::Idle;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Outside backtracking: failure in the continuation re-enters a completed
+// parcall (paper §2.1 — the traversal LPCO's flattening makes cheap).
+
+void Worker::undo_continuation(Parcall& pf) {
+  Worker& ca = peer(pf.cont_agent);
+  std::uint32_t chi;
+  std::uint64_t thi;
+  bool truncate_own = false;
+  if (pf.creator_pf == kNoPf) {
+    // Top-level parcall: everything above the resume marks on the
+    // coordinator's stacks belongs to the continuation.
+    chi = static_cast<std::uint32_t>(ca.ctrl_.size());
+    thi = ca.trail_.size();
+    truncate_own = &ca == this;
+  } else {
+    // The continuation region lives inside one part of the enclosing slot.
+    Slot& s = parcall(pf.creator_pf).slots[pf.creator_slot];
+    ACE_CHECK(pf.cont_part_idx < s.parts.size());
+    SectionPart& part = s.parts[pf.cont_part_idx];
+    chi = part.open ? static_cast<std::uint32_t>(ca.ctrl_.size())
+                    : part.ctrl_hi;
+    thi = part.open ? ca.trail_.size() : part.trail_hi;
+    // The continuation is removed from the slot's recorded section.
+    part.ctrl_hi = pf.cont_ctrl_mark;
+    part.trail_hi = pf.cont_trail_mark;
+    truncate_own = part.open && &ca == this;
+    if (!(&ca == this && part.open)) part.open = false;
+  }
+  for (std::uint32_t i = chi; i-- > pf.cont_ctrl_mark;) {
+    mark_frame_dead(ca, i);
+  }
+  if (truncate_own) {
+    pop_dead_suffix();
+    untrail_charge(pf.cont_trail_mark);
+  } else {
+    std::uint64_t undone = thi > pf.cont_trail_mark
+                               ? thi - pf.cont_trail_mark : 0;
+    untrail_range(store_, ca.trail_, pf.cont_trail_mark, thi);
+    stats_.untrail_ops += undone;
+    charge(undone * costs_.untrail_entry);
+  }
+}
+
+void Worker::parcall_outside_backtrack(std::uint32_t pf_id) {
+  Parcall& pf = parcall(pf_id);
+  ++stats_.outside_backtracks;
+  trace(TraceEvent::OutsideBt, pf_id);
+  // Take over coordination of this parcall (the creating agent may be
+  // working elsewhere by now).
+  pf.owner = agent_;
+
+  // In-flight recomputations (from an earlier re-entry) must stop before
+  // we unwind and rescan: put the parcall in Failing state so their
+  // executors abort at their next step, then wait for quiescence.
+  if (subtree_has_executing(pf_id)) {
+    {
+      std::lock_guard<std::mutex> lock(pf.mu);
+      if (pf.state == PfState::Forward) {
+        pf.state = PfState::Failing;
+        par_->failing_count.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    reentry_pf_ = pf_id;
+    mode_ = Mode::ReentryWait;
+    return;
+  }
+  outside_backtrack_resume(pf_id);
+}
+
+void Worker::reentry_wait_step() {
+  Parcall& pf = parcall(reentry_pf_);
+  // Subsumed by an outer failure: the outer coordinator unwinds this
+  // parcall (Failing state included) as part of its teardown.
+  std::uint32_t outer = outermost_failing_ancestor(*par_, pf.creator_pf);
+  if (outer != kNoPf) {
+    reentry_pf_ = kNoPf;
+    mode_ = Mode::Idle;
+    charge(costs_.idle_tick);
+    return;
+  }
+  if (subtree_has_executing(reentry_pf_)) {
+    ++stats_.idle_ticks;
+    charge(costs_.idle_tick);
+    return;
+  }
+  std::uint32_t pf_id = reentry_pf_;
+  reentry_pf_ = kNoPf;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    ACE_CHECK(pf.state == PfState::Failing);
+    pf.state = PfState::Forward;
+    par_->failing_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  outside_backtrack_resume(pf_id);
+}
+
+void Worker::outside_backtrack_resume(std::uint32_t pf_id) {
+  Parcall& pf = parcall(pf_id);
+  undo_continuation(pf);
+
+  // Scan slots right-to-left for one with remaining alternatives.
+  std::uint32_t target = kNoSlot;
+  std::uint32_t it = pf.order_tail;
+  while (it != kNoSlot) {
+    charge(costs_.pf_scan_slot);
+    Slot& s = pf.slots[it];
+    if (s.state == SlotState::Succeeded && s.newest_bt != kNoRef) {
+      target = it;
+      break;
+    }
+    it = s.order_prev;
+  }
+
+  if (target == kNoSlot) {
+    // Parcall exhausted: tear it down and keep backtracking below it.
+    unwind_parcall(pf_id);
+    mark_frame_dead(peer(ref_agent(pf.frame)), ref_index(pf.frame));
+    pop_dead_suffix();
+    cur_pf_ = pf.creator_pf;
+    cur_slot_ = pf.creator_slot;
+    bt_ = pf.prev_bt;
+    mode_ = Mode::Backtrack;
+    return;
+  }
+
+  // Unwind the slots to the right of the target (they will recompute once
+  // the target yields a new solution) and account the parcall as pending
+  // again.
+  std::uint32_t n_right = 0;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    pf.state = PfState::Forward;
+    // Slots right of the target recompute. A slot whose LPCO parent is
+    // itself being reset is *deleted*: the parent's re-execution will
+    // re-merge and re-create it (its recorded goal references variables of
+    // the parent's unwound clause instance).
+    std::vector<bool> reset(pf.slots.size(), false);
+    std::uint32_t r = pf.slots[target].order_next;
+    while (r != kNoSlot) {
+      Slot& s = pf.slots[r];
+      std::uint32_t next = s.order_next;
+      if (s.state == SlotState::Succeeded ||
+          s.state == SlotState::Exhausted ||
+          s.state == SlotState::Aborted) {
+        unwind_slot(pf_id, r);
+      }
+      reset[r] = true;
+      if (s.lpco_parent != kNoSlot && reset[s.lpco_parent]) {
+        // Delete from the order list.
+        s.state = SlotState::Dead;
+        if (s.order_prev != kNoSlot) {
+          pf.slots[s.order_prev].order_next = s.order_next;
+        } else {
+          pf.order_head = s.order_next;
+        }
+        if (s.order_next != kNoSlot) {
+          pf.slots[s.order_next].order_prev = s.order_prev;
+        } else {
+          pf.order_tail = s.order_prev;
+        }
+      } else {
+        s.state = SlotState::Pending;
+        ++n_right;
+      }
+      r = next;
+    }
+    pf.pending.store(n_right + 1, std::memory_order_release);
+  }
+  waiting_pfs_.push_back(pf_id);
+
+  Slot& tslot = pf.slots[target];
+  Ref resume_at = tslot.newest_bt;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    tslot.state = SlotState::Executing;
+    tslot.resumed = true;
+    tslot.exec_agent = agent_;
+  }
+
+  if (frame(resume_at).kind == FrameKind::Choice) {
+    // Resume the target slot at its newest choice point. restore_choice()
+    // recognizes the cross-section re-entry, switches our context into the
+    // slot and opens a new section part here.
+    retry_choice_alternative(resume_at);
+    return;
+  }
+  // The slot's newest backtrack point is itself a (nested) parcall: recurse
+  // into it. This chain of descents is exactly the repeated traversal that
+  // LPCO's flattening eliminates (paper §3.1).
+  ACE_CHECK(frame(resume_at).kind == FrameKind::Parcall);
+  cur_pf_ = pf_id;
+  cur_slot_ = target;
+  charge(costs_.marker_bt);
+  parcall_outside_backtrack(frame(resume_at).pf_id);
+}
+
+void Worker::slot_resumed_failure() {
+  // A slot re-entered by outside backtracking ran out of alternatives:
+  // clean its remains and continue the scan to its left — via the parcall
+  // re-entry path again.
+  std::uint32_t pf_id = cur_pf_;
+  std::uint32_t slot_idx = cur_slot_;
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+
+  if (!s.parts.empty() && s.parts.back().open &&
+      s.parts.back().agent == agent_) {
+    close_current_part();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    s.state = SlotState::Exhausted;
+  }
+  unwind_slot(pf_id, slot_idx);
+  s.state = SlotState::Exhausted;
+  cur_pf_ = kNoPf;
+  ACE_CHECK(!waiting_pfs_.empty() && waiting_pfs_.back() == pf_id);
+  waiting_pfs_.pop_back();
+  parcall_outside_backtrack(pf_id);
+}
+
+// ---------------------------------------------------------------------------
+// Idle scheduling.
+
+void Worker::idle_step() {
+  // Cancellation for suspended contexts (we may be waiting inside a dying
+  // subtree).
+  if (par_->failing_count.load(std::memory_order_acquire) != 0 &&
+      !waiting_pfs_.empty()) {
+    std::uint32_t w = waiting_pfs_.back();
+    std::uint32_t outer = outermost_failing_ancestor(*par_, parcall(w).creator_pf);
+    if (outer != kNoPf) {
+      // Our suspended slot chain dies. Reuse the running-context logic by
+      // adopting the suspended context.
+      Parcall& wpf = parcall(w);
+      waiting_pfs_.pop_back();
+      cur_pf_ = wpf.creator_pf;
+      cur_slot_ = wpf.creator_slot;
+      if (!check_cancellation()) {
+        // Shouldn't happen (ancestor was failing); stay idle regardless.
+        cur_pf_ = kNoPf;
+        mode_ = Mode::Idle;
+      }
+      return;
+    }
+  }
+
+  // 1. Resolve the parcall we are waiting on.
+  if (!waiting_pfs_.empty()) {
+    std::uint32_t w = waiting_pfs_.back();
+    Parcall& pf = parcall(w);
+    if (pf.state == PfState::Complete) {
+      resume_continuation(w);
+      return;
+    }
+    if (pf.state == PfState::Dead) {
+      owner_handle_failed_parcall(w);
+      return;
+    }
+  }
+
+  // 2. Sticky dispatch: continue with the sequentially next subgoal of the
+  // parcall whose slot we just finished, if it is still pending — the
+  // scheduling behaviour PDO exploits ("the scheduler returns a subgoal
+  // which immediately follows the one just completed", paper §4.2).
+  if (last_done_adjacent_ && last_done_pf_ != kNoPf) {
+    Parcall& pf = parcall(last_done_pf_);
+    std::uint32_t next = pf.slots[last_done_slot_].order_next;
+    if (next != kNoSlot) {
+      bool claimed = false;
+      {
+        std::lock_guard<std::mutex> lock(pf.mu);
+        if (pf.state == PfState::Forward &&
+            pf.slots[next].state == SlotState::Pending &&
+            (waiting_pfs_.empty() ||
+             par_->in_subtree(last_done_pf_, waiting_pfs_.back()))) {
+          pf.slots[next].state = SlotState::Executing;
+          pf.slots[next].exec_agent = agent_;
+          claimed = true;
+        }
+      }
+      if (claimed) {
+        start_slot(last_done_pf_, next, /*stolen=*/false);
+        return;
+      }
+    }
+  }
+
+  // 3. Own pool, 4. steal.
+  unsigned n = static_cast<unsigned>(group_->size());
+  for (unsigned k = 0; k < n; ++k) {
+    unsigned victim = (agent_ + k) % n;
+    if (auto w = par_->fetch_from(victim, *this)) {
+      start_slot(w->pf, w->slot, /*stolen=*/victim != agent_);
+      return;
+    }
+  }
+
+  // 4. Nothing to do.
+  ++stats_.idle_ticks;
+  charge(costs_.idle_tick);
+}
+
+}  // namespace ace

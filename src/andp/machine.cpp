@@ -1,0 +1,77 @@
+#include "andp/machine.hpp"
+
+#include <memory>
+
+#include "andp/context.hpp"
+#include "runtime/thread_driver.hpp"
+#include "sim/virtual_driver.hpp"
+
+namespace ace {
+
+AndpMachine::AndpMachine(Database& db, AndpOptions opts,
+                         const CostModel& costs)
+    : db_(db), opts_(opts), costs_(costs), builtins_(db.syms()) {
+  ACE_CHECK(opts_.agents >= 1);
+}
+
+SolveResult AndpMachine::solve(const std::string& query_text,
+                               std::size_t max_solutions) {
+  TermTemplate query = parse_term_text(db_.syms(), query_text);
+
+  Store store(opts_.agents);
+  IoSink io;
+  ParContext par(opts_.agents);
+
+  WorkerOptions wopts;
+  wopts.parallel_and = true;
+  wopts.lpco = opts_.lpco;
+  wopts.shallow = opts_.shallow;
+  wopts.pdo = opts_.pdo;
+  wopts.occurs_check = opts_.occurs_check;
+  wopts.resolution_limit = opts_.resolution_limit;
+
+  std::vector<std::unique_ptr<Worker>> owned;
+  std::vector<Worker*> workers;
+  owned.reserve(opts_.agents);
+  for (unsigned a = 0; a < opts_.agents; ++a) {
+    owned.push_back(std::make_unique<Worker>(a, store, db_, builtins_, costs_,
+                                             wopts, io));
+    workers.push_back(owned.back().get());
+  }
+  for (Worker* w : workers) {
+    w->par_ = &par;
+    w->group_ = &workers;
+    w->tracer_ = opts_.tracer;
+    w->mode_ = Worker::Mode::Idle;
+  }
+  workers[0]->load_query(query);
+
+  SolveResult result;
+  if (opts_.use_threads) {
+    ThreadDriver driver;
+    driver.run(workers, max_solutions, result.solutions);
+  } else {
+    VirtualDriver driver;
+    while (result.solutions.size() < max_solutions) {
+      StepOutcome out = driver.run_until_event(workers);
+      if (out == StepOutcome::Solution) {
+        result.solutions.push_back(workers[0]->solution_string());
+        if (result.solutions.size() >= max_solutions) break;
+        workers[0]->request_next_solution();
+      } else {
+        break;
+      }
+    }
+  }
+
+  result.virtual_time = VirtualDriver::makespan(workers);
+  for (Worker* w : workers) {
+    result.stats.add(w->stats_);
+    result.per_agent.push_back(w->stats_);
+    result.agent_clocks.push_back(w->clock_);
+  }
+  result.output = io.text;
+  return result;
+}
+
+}  // namespace ace

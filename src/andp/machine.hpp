@@ -1,0 +1,50 @@
+// AndpMachine: the &ACE-style independent and-parallel engine facade.
+//
+// Usage:
+//   Database db;
+//   load_library(db);
+//   db.consult("p(X,Y) :- q(X) & r(Y).");
+//   AndpOptions opt;
+//   opt.agents = 4;
+//   opt.lpco = opt.shallow = opt.pdo = true;
+//   AndpMachine m(db, opt);
+//   SolveResult r = m.solve("p(A,B).");
+//   // r.virtual_time is the simulated 4-agent makespan.
+#pragma once
+
+#include "engine/seq_engine.hpp"
+#include "engine/worker.hpp"
+
+namespace ace {
+
+struct AndpOptions {
+  unsigned agents = 1;
+  bool lpco = false;
+  bool shallow = false;
+  bool pdo = false;
+  bool occurs_check = false;
+  std::uint64_t resolution_limit = 0;
+  // Optional event tracing (see sim/trace.hpp).
+  Tracer* tracer = nullptr;
+  // Drive with real std::threads instead of the virtual-time simulator.
+  // Correctness-identical; virtual_time is still reported but reflects the
+  // same cost charges without deterministic interleaving.
+  bool use_threads = false;
+};
+
+class AndpMachine {
+ public:
+  explicit AndpMachine(Database& db, AndpOptions opts = {},
+                       const CostModel& costs = CostModel::standard());
+
+  SolveResult solve(const std::string& query_text,
+                    std::size_t max_solutions = SIZE_MAX);
+
+ private:
+  Database& db_;
+  AndpOptions opts_;
+  CostModel costs_;
+  Builtins builtins_;
+};
+
+}  // namespace ace

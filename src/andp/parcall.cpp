@@ -1,0 +1,522 @@
+// The &ACE and-parallel protocol: parcall creation (with LPCO), slot
+// lifecycle (with SHALLOW and PDO), parcall completion, forward-failure
+// kills, and outside backtracking with recomputation.
+#include "andp/context.hpp"
+
+namespace ace {
+
+// ---------------------------------------------------------------------------
+// Parcall slot-order list.
+
+std::uint32_t Parcall::append_slot(Slot s) {
+  std::uint32_t idx = static_cast<std::uint32_t>(slots.size());
+  s.order_prev = order_tail;
+  s.order_next = kNoSlot;
+  slots.push_back(std::move(s));
+  if (order_tail != kNoSlot) slots[order_tail].order_next = idx;
+  order_tail = idx;
+  if (order_head == kNoSlot) order_head = idx;
+  return idx;
+}
+
+std::uint32_t Parcall::insert_slot_after(Slot s, std::uint32_t after) {
+  std::uint32_t idx = static_cast<std::uint32_t>(slots.size());
+  std::uint32_t next = slots[after].order_next;
+  s.order_prev = after;
+  s.order_next = next;
+  slots.push_back(std::move(s));
+  slots[after].order_next = idx;
+  if (next != kNoSlot) {
+    slots[next].order_prev = idx;
+  } else {
+    order_tail = idx;
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// ParContext.
+
+bool ParContext::in_subtree(std::uint32_t pf, std::uint32_t ancestor) {
+  while (pf != kNoPf) {
+    if (pf == ancestor) return true;
+    pf = get(pf).creator_pf;
+  }
+  return false;
+}
+
+void ParContext::publish(unsigned agent, std::uint32_t pf, std::uint32_t slot,
+                         std::uint64_t time) {
+  Pool& pool = pools_[agent];
+  std::lock_guard<std::mutex> lock(pool.mu);
+  pool.q.push_back(Work{pf, slot, time});
+}
+
+bool ParContext::claim(const Work& w, Worker& taker) {
+  Parcall& pf = get(w.pf);
+  std::lock_guard<std::mutex> lock(pf.mu);
+  if (pf.state != PfState::Forward) return false;
+  Slot& s = pf.slots[w.slot];
+  if (s.state != SlotState::Pending) return false;
+  s.state = SlotState::Executing;
+  s.exec_agent = taker.agent_;
+  return true;
+}
+
+std::optional<ParContext::Work> ParContext::fetch_from(unsigned agent,
+                                                       Worker& taker) {
+  Pool& pool = pools_[agent];
+  for (;;) {
+    Work w{};
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      // Find the oldest entry the taker may execute; drop stale entries on
+      // the way. (Lock order: pool.mu, then pf.mu inside claim() — never
+      // the reverse; publishers collect targets before taking pool.mu.)
+      auto it = pool.q.begin();
+      bool found = false;
+      while (it != pool.q.end()) {
+        Parcall& pf = get(it->pf);
+        if (pf.state != PfState::Forward ||
+            pf.slots[it->slot].state != SlotState::Pending) {
+          it = pool.q.erase(it);  // stale
+          continue;
+        }
+        if (it->publish_time > taker.clock_) break;  // not yet visible
+        // An agent waiting on a parcall only takes work from that
+        // parcall's subtree (keeps its continuation-resume marks undoable;
+        // DESIGN.md §4).
+        if (!taker.waiting_pfs_.empty() &&
+            !in_subtree(it->pf, taker.waiting_pfs_.back())) {
+          ++it;
+          continue;
+        }
+        w = *it;
+        pool.q.erase(it);
+        found = true;
+        break;
+      }
+      if (!found) return std::nullopt;
+    }
+    if (claim(w, taker)) return w;
+    // Lost the race / went stale: scan again.
+  }
+}
+
+bool ParContext::pools_empty() const {
+  for (const Pool& p : pools_) {
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (!p.q.empty()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker: parcall creation.
+
+Parcall& Worker::parcall(std::uint32_t pf_id) { return par_->get(pf_id); }
+
+void Worker::maybe_materialize_input_marker() {
+  if (cur_pf_ == kNoPf) return;
+  Slot& s = cur_slot_ref();
+  if (!s.marker_pending) return;
+  s.marker_pending = false;
+  Frame f;
+  f.kind = FrameKind::InMarker;
+  f.pf_id = cur_pf_;
+  f.slot_idx = cur_slot_;
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  ctrl_.push_back(f);
+  s.in_marker = make_ref(agent_, idx);
+  ++stats_.input_markers;
+  charge(costs_.input_marker);
+  note_ctrl_alloc(kWordsInputMarker);
+}
+
+namespace {
+
+// Flattens the right spine of (a & b & c) into [a, b, c].
+void flatten_amp(Store& store, const SymbolTable& syms, Addr goal,
+                 std::vector<Addr>& out) {
+  Addr a = deref(store, goal);
+  Cell c = store.get(a);
+  if (c.tag() == Tag::Str) {
+    Cell f = store.get(c.ref());
+    if (f.fun_symbol() == syms.known().amp && f.fun_arity() == 2) {
+      out.push_back(c.ref() + 1);
+      flatten_amp(store, syms, c.ref() + 2, out);
+      return;
+    }
+  }
+  out.push_back(a);
+}
+
+}  // namespace
+
+void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
+  (void)cut_parent;  // cuts are local to parallel subgoals
+  std::vector<Addr> subgoals;
+  flatten_amp(store_, syms_, amp_goal, subgoals);
+  ACE_CHECK(subgoals.size() >= 2);
+
+  if (opts_.lpco) {
+    ++stats_.opt_checks;
+    charge(costs_.opt_check);
+    if (lpco_try_merge(subgoals)) return;
+  }
+
+  Parcall& pf = par_->alloc_parcall();
+  pf.owner = agent_;
+  pf.prev_bt = bt_;
+  pf.cont = glist_;
+  pf.creator_pf = cur_pf_;
+  pf.creator_slot = cur_slot_;
+  pf.state = PfState::Forward;
+
+  // The parcall frame goes on the owner's stack.
+  Frame f;
+  f.kind = FrameKind::Parcall;
+  f.pf_id = pf.id;
+  f.prev_bt = bt_;
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  ctrl_.push_back(f);
+  pf.frame = make_ref(agent_, idx);
+  ++stats_.parcall_frames;
+  charge(costs_.parcall_frame);
+  note_ctrl_alloc(kWordsParcallFrame);
+
+  for (Addr g : subgoals) {
+    Slot s;
+    s.goal = g;
+    pf.append_slot(std::move(s));
+    ++stats_.parcall_slots;
+    charge(costs_.parcall_slot);
+    note_ctrl_alloc(kWordsParcallSlot);
+  }
+  pf.pending.store(static_cast<std::uint32_t>(subgoals.size()),
+                   std::memory_order_release);
+
+  // Publish all but the first; we run the first ourselves.
+  for (std::uint32_t i = 1; i < pf.slots.size(); ++i) {
+    par_->publish(agent_, pf.id, i, clock_);
+  }
+  waiting_pfs_.push_back(pf.id);
+
+  // Claim and start slot 0.
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    pf.slots[0].state = SlotState::Executing;
+    pf.slots[0].exec_agent = agent_;
+  }
+  last_done_adjacent_ = false;
+  trace(TraceEvent::ParcallCreate, pf.id, pf.slots.size());
+  start_slot(pf.id, 0, /*stolen=*/false);
+}
+
+bool Worker::lpco_try_merge(const std::vector<Addr>& subgoals) {
+  // Paper §3.1 conditions, checked at runtime:
+  //   (i)+(ii) the current slot has produced no backtrack points
+  //            (goal and everything before the parcall determinate),
+  //   (iii)    the parcall is the last goal of the slot,
+  // and the enclosing parcall must still be in forward execution.
+  if (cur_pf_ == kNoPf) return false;
+  if (bt_ != kNoRef || glist_ != kNoRef) return false;
+  Slot& cur = cur_slot_ref();
+  if (cur.resumed) return false;
+  Parcall& pf = parcall(cur_pf_);
+  if (pf.state != PfState::Forward) return false;
+
+  ++stats_.lpco_merges;
+  trace(TraceEvent::LpcoMerge, cur_pf_, subgoals.size());
+  std::uint32_t first_new = kNoSlot;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    std::uint32_t after = cur_slot_;
+    for (Addr g : subgoals) {
+      Slot s;
+      s.goal = g;
+      s.lpco_parent = cur_slot_;
+      after = pf.insert_slot_after(std::move(s), after);
+      if (first_new == kNoSlot) first_new = after;
+      ++stats_.parcall_slots;
+      charge(costs_.parcall_slot);
+      note_ctrl_alloc(kWordsParcallSlot);
+    }
+    // The current slot completes here (deterministically — no end marker
+    // needed; the flattened slots continue the frame). Net pending change:
+    // +n for the new slots, -1 for the current slot.
+    pf.pending.fetch_add(static_cast<std::uint32_t>(subgoals.size()) - 1,
+                         std::memory_order_acq_rel);
+  }
+
+  close_current_part();
+  Slot& cur2 = cur_slot_ref();
+  cur2.newest_bt = kNoRef;
+  cur2.state = SlotState::Succeeded;
+  cur2.marker_pending = false;
+  ++stats_.slot_completions;
+  charge(costs_.slot_complete);
+
+  // Publish all new slots but the first; run the first ourselves.
+  std::uint32_t slot_iter = parcall(cur_pf_).slots[first_new].order_next;
+  std::uint32_t count = 1;
+  while (slot_iter != kNoSlot &&
+         count < static_cast<std::uint32_t>(subgoals.size())) {
+    par_->publish(agent_, cur_pf_, slot_iter, clock_);
+    slot_iter = parcall(cur_pf_).slots[slot_iter].order_next;
+    ++count;
+  }
+
+  std::uint32_t pf_id = cur_pf_;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    pf.slots[first_new].state = SlotState::Executing;
+    pf.slots[first_new].exec_agent = agent_;
+  }
+  last_done_pf_ = pf_id;
+  last_done_slot_ = cur_slot_;
+  last_done_adjacent_ = true;
+  cur_pf_ = kNoPf;
+  start_slot(pf_id, first_new, /*stolen=*/false);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Slot lifecycle.
+
+void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
+                        bool stolen) {
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+  ACE_CHECK(s.state == SlotState::Executing && s.exec_agent == agent_);
+  if (stolen) {
+    ++stats_.steals;
+    charge(costs_.steal);
+    trace(TraceEvent::Steal, pf_id, slot_idx);
+  } else {
+    ++stats_.fetches;
+    charge(costs_.fetch);
+  }
+  trace(TraceEvent::SlotStart, pf_id, slot_idx);
+
+  // PDO: if this slot is the logical successor of the one we just finished,
+  // the two are one contiguous computation — skip the end marker of the
+  // previous slot and the input marker of this one.
+  bool pdo_merge = false;
+  if (opts_.pdo) {
+    ++stats_.opt_checks;
+    charge(costs_.opt_check);
+    pdo_merge = last_done_adjacent_ && last_done_pf_ == pf_id &&
+                s.order_prev == last_done_slot_ &&
+                pending_end_pf_ == pf_id &&
+                pending_end_slot_ == last_done_slot_;
+  }
+  resolve_pending_end_marker(pdo_merge);
+
+  cur_pf_ = pf_id;
+  cur_slot_ = slot_idx;
+  s.resumed = false;
+  s.pdo_merged = pdo_merge;
+  open_new_part(s);
+
+  if (pdo_merge) {
+    ++stats_.pdo_merges;
+    s.marker_pending = false;
+  } else if (opts_.shallow) {
+    // Procrastinate the input marker until a choice point appears.
+    ++stats_.opt_checks;
+    charge(costs_.opt_check);
+    s.marker_pending = true;
+  } else {
+    s.marker_pending = false;
+    Frame f;
+    f.kind = FrameKind::InMarker;
+    f.pf_id = pf_id;
+    f.slot_idx = slot_idx;
+    std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+    ctrl_.push_back(f);
+    s.in_marker = make_ref(agent_, idx);
+    ++stats_.input_markers;
+    charge(costs_.input_marker);
+    note_ctrl_alloc(kWordsInputMarker);
+  }
+
+  bt_ = kNoRef;
+  glist_ = push_goal(s.goal, kNoRef, kNoRef);
+  last_done_adjacent_ = false;
+  mode_ = Mode::Run;
+}
+
+void Worker::resolve_pending_end_marker(bool pdo_merge) {
+  if (pending_end_pf_ == kNoPf) return;
+  std::uint32_t pf_id = pending_end_pf_;
+  std::uint32_t slot_idx = pending_end_slot_;
+  pending_end_pf_ = kNoPf;
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+  if (pdo_merge) return;  // both boundary markers elided (counted as a
+                          // pdo_merge by the caller)
+  Frame f;
+  f.kind = FrameKind::EndMarker;
+  f.pf_id = pf_id;
+  f.slot_idx = slot_idx;
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  ctrl_.push_back(f);
+  s.end_marker = make_ref(agent_, idx);
+  ++stats_.end_markers;
+  charge(costs_.end_marker);
+  note_ctrl_alloc(kWordsEndMarker);
+  // Keep the marker inside the slot's last section part so unwinding
+  // reclaims it.
+  if (!s.parts.empty()) {
+    SectionPart& part = s.parts.back();
+    if (!part.open && part.agent == agent_ && part.ctrl_hi == idx) {
+      part.ctrl_hi = idx + 1;
+    }
+  }
+}
+
+void Worker::complete_slot() {
+  std::uint32_t pf_id = cur_pf_;
+  std::uint32_t slot_idx = cur_slot_;
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+
+  // SHALLOW resolution (paper §4.1, procrastinated all the way to slot
+  // completion): if the slot retains no backtrack points, neither marker
+  // is needed — the slot descriptor already records the trail section for
+  // later untrailing. If alternatives survive (choice points, or a nested
+  // parcall with alternatives), the input marker materializes now.
+  if (s.marker_pending) {
+    if (bt_ == kNoRef) {
+      s.marker_pending = false;
+      stats_.shallow_skipped_markers += 2;
+    } else {
+      maybe_materialize_input_marker();
+    }
+  }
+  close_current_part();
+  s.newest_bt = bt_;
+  bool was_resumed = s.resumed;
+  if (s.in_marker != kNoRef || s.pdo_merged) {
+    // The end marker is procrastinated to the next scheduling decision so
+    // PDO can elide it (paper §4.2).
+    pending_end_pf_ = pf_id;
+    pending_end_slot_ = slot_idx;
+  } else if (!opts_.shallow) {
+    pending_end_pf_ = pf_id;
+    pending_end_slot_ = slot_idx;
+  }
+
+  ++stats_.slot_completions;
+  charge(costs_.slot_complete);
+  trace(TraceEvent::SlotComplete, pf_id, slot_idx);
+
+  std::vector<std::uint32_t> to_publish;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    s.state = SlotState::Succeeded;
+    std::uint32_t left =
+        pf.pending.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (left == 0) {
+      pf.state = PfState::Complete;
+    } else if (was_resumed) {
+      // Outside backtracking: this slot yielded a new solution — the slots
+      // to its right recompute now (paper: recomputation semantics).
+      std::uint32_t it = s.order_next;
+      while (it != kNoSlot) {
+        if (pf.slots[it].state == SlotState::Pending) {
+          to_publish.push_back(it);
+          ++stats_.recomputations;
+        }
+        it = pf.slots[it].order_next;
+      }
+    }
+  }
+  for (std::uint32_t idx : to_publish) {
+    par_->publish(agent_, pf_id, idx, clock_);
+  }
+
+  last_done_pf_ = pf_id;
+  last_done_slot_ = slot_idx;
+  last_done_adjacent_ = true;
+  cur_pf_ = kNoPf;
+  glist_ = kNoRef;
+  bt_ = kNoRef;
+
+  // Sticky dispatch, decided at completion time (before thieves can get
+  // between two sequentially adjacent subgoals): continue directly with
+  // the next slot of this parcall if it is still pending. This is the
+  // scheduler behaviour PDO exploits (paper §4.2).
+  std::uint32_t next = pf.slots[slot_idx].order_next;
+  if (next != kNoSlot &&
+      (waiting_pfs_.empty() ||
+       par_->in_subtree(pf_id, waiting_pfs_.back()))) {
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> lock(pf.mu);
+      if (pf.state == PfState::Forward &&
+          pf.slots[next].state == SlotState::Pending) {
+        pf.slots[next].state = SlotState::Executing;
+        pf.slots[next].exec_agent = agent_;
+        claimed = true;
+      }
+    }
+    if (claimed) {
+      start_slot(pf_id, next, /*stolen=*/false);
+      return;
+    }
+  }
+
+  mode_ = Mode::Idle;  // the idle step resumes the owner's continuation
+}
+
+void Worker::resume_continuation(std::uint32_t pf_id) {
+  Parcall& pf = parcall(pf_id);
+  ACE_CHECK(pf.owner == agent_);
+  ACE_CHECK(!waiting_pfs_.empty() && waiting_pfs_.back() == pf_id);
+  waiting_pfs_.pop_back();
+  resolve_pending_end_marker(false);
+
+  // The continuation runs inside the enclosing slot; make sure that slot's
+  // newest section part is ours (an agent that took over coordination via
+  // outside backtracking appends a fresh part here).
+  if (pf.creator_pf != kNoPf) {
+    Slot& s = parcall(pf.creator_pf).slots[pf.creator_slot];
+    if (s.parts.empty() ||
+        !(s.parts.back().open && s.parts.back().agent == agent_)) {
+      open_new_part(s);
+    }
+    pf.cont_part_idx = static_cast<std::uint32_t>(s.parts.size()) - 1;
+  }
+  pf.cont_agent = agent_;
+  pf.cont_trail_mark = trail_.size();
+  pf.cont_garena_mark = garena_.size();
+  pf.cont_heap_mark = heap_size();
+  pf.cont_ctrl_mark = static_cast<std::uint32_t>(ctrl_.size());
+
+  cur_pf_ = pf.creator_pf;
+  cur_slot_ = pf.creator_slot;
+  glist_ = pf.cont;
+  // A fully deterministic parcall (no slot kept alternatives) never needs
+  // to be re-entered: skip it in the backtrack chain. Otherwise it becomes
+  // a backtrack point — and a SHALLOW-procrastinated input marker of the
+  // enclosing slot must materialize, exactly as before a choice point.
+  bool has_alternatives = false;
+  for (const Slot& s : pf.slots) {
+    if (s.state == SlotState::Succeeded && s.newest_bt != kNoRef) {
+      has_alternatives = true;
+      break;
+    }
+  }
+  if (has_alternatives) {
+    bt_ = pf.frame;
+  } else {
+    bt_ = pf.prev_bt;
+  }
+  charge(costs_.slot_complete);
+  last_done_adjacent_ = false;
+  mode_ = Mode::Run;
+}
+
+}  // namespace ace

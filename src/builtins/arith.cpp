@@ -1,0 +1,94 @@
+#include "builtins/builtins.hpp"
+
+#include "engine/worker.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+std::int64_t checked_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw AceError("arithmetic: division by zero");
+  return a / b;
+}
+
+std::int64_t checked_mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw AceError("arithmetic: division by zero");
+  std::int64_t r = a % b;
+  // Prolog mod has the sign of the divisor.
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+std::int64_t ipow(std::int64_t base, std::int64_t exp) {
+  if (exp < 0) throw AceError("arithmetic: negative exponent");
+  std::int64_t r = 1;
+  while (exp > 0) {
+    if (exp & 1) r *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::int64_t arith_eval(Worker& w, Addr a) {
+  const ArithOps& ops = w.builtins_.arith();
+  a = deref(w.store_, a);
+  Cell c = w.store_.get(a);
+  switch (c.tag()) {
+    case Tag::Int:
+      return c.integer();
+    case Tag::Ref:
+      throw AceError("arithmetic: unbound variable");
+    case Tag::Atm:
+      throw AceError(strf("arithmetic: unknown constant '%s'",
+                          w.syms_.name(c.symbol()).c_str()));
+    case Tag::Str:
+      break;
+    default:
+      throw AceError("arithmetic: type error");
+  }
+
+  Addr fun = c.ref();
+  Cell f = w.store_.get(fun);
+  std::uint32_t sym = f.fun_symbol();
+  unsigned arity = f.fun_arity();
+
+  if (arity == 1) {
+    std::int64_t x = arith_eval(w, fun + 1);
+    if (sym == ops.neg_functor) return -x;
+    if (sym == ops.plus_functor) return x;
+    if (sym == ops.abs) return x < 0 ? -x : x;
+    if (sym == ops.sign) return x > 0 ? 1 : (x < 0 ? -1 : 0);
+    throw AceError(strf("arithmetic: unknown function %s/1",
+                        w.syms_.name(sym).c_str()));
+  }
+  if (arity == 2) {
+    std::int64_t x = arith_eval(w, fun + 1);
+    std::int64_t y = arith_eval(w, fun + 2);
+    if (sym == ops.plus) return x + y;
+    if (sym == ops.minus) return x - y;
+    if (sym == ops.times) return x * y;
+    // Both '/' and '//' are integer division (this dialect has no floats).
+    if (sym == ops.fdiv || sym == ops.idiv2) return checked_div(x, y);
+    if (sym == ops.mod) return checked_mod(x, y);
+    if (sym == ops.rem) {
+      if (y == 0) throw AceError("arithmetic: division by zero");
+      return x % y;
+    }
+    if (sym == ops.min) return x < y ? x : y;
+    if (sym == ops.max) return x > y ? x : y;
+    if (sym == ops.bitand_) return x & y;
+    if (sym == ops.bitor_) return x | y;
+    if (sym == ops.bitxor) return x ^ y;
+    if (sym == ops.shl) return x << y;
+    if (sym == ops.shr) return x >> y;
+    if (sym == ops.pow) return ipow(x, y);
+    throw AceError(strf("arithmetic: unknown function %s/2",
+                        w.syms_.name(sym).c_str()));
+  }
+  throw AceError("arithmetic: unknown function");
+}
+
+}  // namespace ace

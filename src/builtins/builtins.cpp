@@ -1,0 +1,642 @@
+#include "builtins/builtins.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "engine/worker.hpp"
+#include "support/strutil.hpp"
+#include "term/compare.hpp"
+#include "term/copy.hpp"
+
+namespace ace {
+namespace {
+
+std::uint64_t key_of(std::uint32_t sym, unsigned arity) {
+  return (std::uint64_t{sym} << 12) | arity;
+}
+
+// Structure args live right after the Fun cell.
+Addr struct_arg(const Store& store, Addr str_root, unsigned i) {
+  Cell c = store.get(deref(store, str_root));
+  ACE_DCHECK(c.tag() == Tag::Str);
+  return c.ref() + i;
+}
+
+}  // namespace
+
+Builtins::Builtins(SymbolTable& syms) {
+  reg(syms, "true", 0, BuiltinId::True);
+  reg(syms, "fail", 0, BuiltinId::Fail);
+  reg(syms, "false", 0, BuiltinId::Fail);
+  reg(syms, "=", 2, BuiltinId::Unify);
+  reg(syms, "\\=", 2, BuiltinId::NotUnify);
+  reg(syms, "==", 2, BuiltinId::TermEq);
+  reg(syms, "\\==", 2, BuiltinId::TermNeq);
+  reg(syms, "@<", 2, BuiltinId::TermLt);
+  reg(syms, "@>", 2, BuiltinId::TermGt);
+  reg(syms, "@=<", 2, BuiltinId::TermLeq);
+  reg(syms, "@>=", 2, BuiltinId::TermGeq);
+  reg(syms, "var", 1, BuiltinId::Var);
+  reg(syms, "nonvar", 1, BuiltinId::Nonvar);
+  reg(syms, "atom", 1, BuiltinId::Atom);
+  reg(syms, "integer", 1, BuiltinId::Integer);
+  reg(syms, "atomic", 1, BuiltinId::Atomic);
+  reg(syms, "compound", 1, BuiltinId::Compound);
+  reg(syms, "ground", 1, BuiltinId::Ground);
+  reg(syms, "is", 2, BuiltinId::Is);
+  reg(syms, "=:=", 2, BuiltinId::ArithEq);
+  reg(syms, "=\\=", 2, BuiltinId::ArithNeq);
+  reg(syms, "<", 2, BuiltinId::Lt);
+  reg(syms, ">", 2, BuiltinId::Gt);
+  reg(syms, "=<", 2, BuiltinId::Leq);
+  reg(syms, ">=", 2, BuiltinId::Geq);
+  reg(syms, "functor", 3, BuiltinId::Functor);
+  reg(syms, "arg", 3, BuiltinId::Arg);
+  reg(syms, "=..", 2, BuiltinId::Univ);
+  reg(syms, "copy_term", 2, BuiltinId::CopyTerm);
+  reg(syms, "findall", 3, BuiltinId::Findall);
+  reg(syms, "assert", 1, BuiltinId::AssertZ);
+  reg(syms, "assertz", 1, BuiltinId::AssertZ);
+  reg(syms, "asserta", 1, BuiltinId::AssertA);
+  reg(syms, "retract", 1, BuiltinId::Retract);
+  reg(syms, "write", 1, BuiltinId::Write);
+  reg(syms, "print", 1, BuiltinId::Write);
+  reg(syms, "nl", 0, BuiltinId::Nl);
+  reg(syms, "tab", 1, BuiltinId::Tab);
+  reg(syms, "$ite_commit", 1, BuiltinId::IteCommit);
+  reg(syms, "throw", 1, BuiltinId::Throw);
+  reg(syms, "catch", 3, BuiltinId::Catch);
+  reg(syms, "once", 1, BuiltinId::Once);
+  reg(syms, "succ", 2, BuiltinId::Succ);
+  reg(syms, "msort", 2, BuiltinId::MSort);
+  reg(syms, "sort", 2, BuiltinId::Sort);
+  reg(syms, "atom_codes", 2, BuiltinId::AtomCodes);
+  reg(syms, "number_codes", 2, BuiltinId::NumberCodes);
+  reg(syms, "atom_length", 2, BuiltinId::AtomLength);
+  reg(syms, "atom_concat", 3, BuiltinId::AtomConcat);
+  reg(syms, "char_code", 2, BuiltinId::CharCode);
+  ite_commit_sym_ = syms.intern("$ite_commit");
+
+  arith_.plus = syms.intern("+");
+  arith_.minus = syms.intern("-");
+  arith_.times = syms.intern("*");
+  arith_.idiv2 = syms.intern("//");
+  arith_.fdiv = syms.intern("/");
+  arith_.mod = syms.intern("mod");
+  arith_.rem = syms.intern("rem");
+  arith_.min = syms.intern("min");
+  arith_.max = syms.intern("max");
+  arith_.abs = syms.intern("abs");
+  arith_.sign = syms.intern("sign");
+  arith_.neg_functor = syms.intern("-");
+  arith_.plus_functor = syms.intern("+");
+  arith_.bitand_ = syms.intern("/\\");
+  arith_.bitor_ = syms.intern("\\/");
+  arith_.bitxor = syms.intern("xor");
+  arith_.shl = syms.intern("<<");
+  arith_.shr = syms.intern(">>");
+  arith_.pow = syms.intern("**");
+}
+
+void Builtins::reg(SymbolTable& syms, const char* name, unsigned arity,
+                   BuiltinId id) {
+  map_.emplace(key_of(syms.intern(name), arity), id);
+}
+
+std::optional<BuiltinId> Builtins::lookup(std::uint32_t sym,
+                                          unsigned arity) const {
+  auto it = map_.find(key_of(sym, arity));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+BuiltinResult bool_result(bool ok) {
+  return ok ? BuiltinResult::Ok : BuiltinResult::Failed;
+}
+
+// =/2 with stat accounting.
+bool do_unify(Worker& w, Addr a, Addr b) {
+  std::uint64_t steps = 0;
+  std::uint64_t mark = w.trail_.size();
+  bool ok = unify(w.store_, w.trail_, a, b, &steps, w.opts_.occurs_check);
+  w.stats_.unify_steps += steps;
+  w.charge(steps * w.costs_.unify_step);
+  if (!ok) {
+    std::uint64_t undone = w.trail_.size() - mark;
+    untrail(w.store_, w.trail_, mark);
+    w.stats_.untrail_ops += undone;
+    w.charge(undone * w.costs_.untrail_entry);
+  } else {
+    std::uint64_t added = w.trail_.size() - mark;
+    w.stats_.trail_entries += added;
+    w.charge(added * w.costs_.trail_entry);
+  }
+  return ok;
+}
+
+BuiltinResult do_functor(Worker& w, Addr goal) {
+  Addr t = deref(w.store_, struct_arg(w.store_, goal, 1));
+  Addr fa = struct_arg(w.store_, goal, 2);
+  Addr aa = struct_arg(w.store_, goal, 3);
+  Cell c = w.store_.get(t);
+  unsigned seg = w.seg();
+  if (c.tag() != Tag::Ref) {
+    Addr name;
+    std::int64_t arity;
+    switch (c.tag()) {
+      case Tag::Int:
+        name = t;
+        arity = 0;
+        break;
+      case Tag::Atm:
+        name = t;
+        arity = 0;
+        break;
+      case Tag::Lst:
+        name = heap_atom(w.store_, seg, w.syms_.known().dot);
+        arity = 2;
+        break;
+      default: {
+        Cell f = w.store_.get(c.ref());
+        name = heap_atom(w.store_, seg, f.fun_symbol());
+        arity = f.fun_arity();
+        break;
+      }
+    }
+    Addr an = heap_int(w.store_, seg, arity);
+    return bool_result(do_unify(w, fa, name) && do_unify(w, aa, an));
+  }
+  // Construct mode.
+  Addr fd = deref(w.store_, fa);
+  Addr ad = deref(w.store_, aa);
+  Cell fc = w.store_.get(fd);
+  Cell ac = w.store_.get(ad);
+  if (ac.tag() != Tag::Int) throw AceError("functor/3: arity not integer");
+  std::int64_t arity = ac.integer();
+  if (arity == 0) return bool_result(do_unify(w, t, fd));
+  if (fc.tag() != Tag::Atm) throw AceError("functor/3: name not atom");
+  if (arity < 0 || arity > static_cast<std::int64_t>(kMaxArity)) {
+    throw AceError("functor/3: arity out of range");
+  }
+  std::vector<Addr> args;
+  args.reserve(static_cast<std::size_t>(arity));
+  for (std::int64_t i = 0; i < arity; ++i) {
+    args.push_back(w.store_.new_var(seg));
+  }
+  Addr built;
+  if (fc.symbol() == w.syms_.known().dot && arity == 2) {
+    built = heap_cons(w.store_, seg, args[0], args[1]);
+  } else {
+    built = heap_struct(w.store_, seg, fc.symbol(), args);
+  }
+  return bool_result(do_unify(w, t, built));
+}
+
+BuiltinResult do_arg(Worker& w, Addr goal) {
+  Addr n = deref(w.store_, struct_arg(w.store_, goal, 1));
+  Addr t = deref(w.store_, struct_arg(w.store_, goal, 2));
+  Addr out = struct_arg(w.store_, goal, 3);
+  Cell nc = w.store_.get(n);
+  Cell tc = w.store_.get(t);
+  if (nc.tag() != Tag::Int) throw AceError("arg/3: index not integer");
+  std::int64_t i = nc.integer();
+  if (tc.tag() == Tag::Lst) {
+    if (i < 1 || i > 2) return BuiltinResult::Failed;
+    return bool_result(do_unify(w, out, tc.ref() + (i - 1)));
+  }
+  if (tc.tag() != Tag::Str) throw AceError("arg/3: not a compound term");
+  Cell f = w.store_.get(tc.ref());
+  if (i < 1 || i > static_cast<std::int64_t>(f.fun_arity())) {
+    return BuiltinResult::Failed;
+  }
+  return bool_result(do_unify(w, out, tc.ref() + i));
+}
+
+BuiltinResult do_univ(Worker& w, Addr goal) {
+  Addr t = deref(w.store_, struct_arg(w.store_, goal, 1));
+  Addr l = struct_arg(w.store_, goal, 2);
+  Cell tc = w.store_.get(t);
+  unsigned seg = w.seg();
+  const std::uint32_t nil = w.syms_.known().nil;
+  if (tc.tag() != Tag::Ref) {
+    // Decompose.
+    std::vector<Addr> items;
+    switch (tc.tag()) {
+      case Tag::Atm:
+      case Tag::Int:
+        items.push_back(t);
+        break;
+      case Tag::Lst:
+        items.push_back(heap_atom(w.store_, seg, w.syms_.known().dot));
+        items.push_back(tc.ref());
+        items.push_back(tc.ref() + 1);
+        break;
+      default: {
+        Cell f = w.store_.get(tc.ref());
+        items.push_back(heap_atom(w.store_, seg, f.fun_symbol()));
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          items.push_back(tc.ref() + i);
+        }
+        break;
+      }
+    }
+    Addr lst = heap_list(w.store_, seg, items, nil);
+    return bool_result(do_unify(w, l, lst));
+  }
+  // Construct: walk the list.
+  std::vector<Addr> items;
+  Addr cur = deref(w.store_, l);
+  for (;;) {
+    Cell c = w.store_.get(cur);
+    if (c.tag() == Tag::Atm && c.symbol() == nil) break;
+    if (c.tag() != Tag::Lst) throw AceError("=../2: not a proper list");
+    items.push_back(c.ref());
+    cur = deref(w.store_, c.ref() + 1);
+  }
+  if (items.empty()) throw AceError("=../2: empty list");
+  Addr head = deref(w.store_, items[0]);
+  Cell hc = w.store_.get(head);
+  if (items.size() == 1) return bool_result(do_unify(w, t, head));
+  if (hc.tag() != Tag::Atm) throw AceError("=../2: functor not an atom");
+  std::vector<Addr> args(items.begin() + 1, items.end());
+  Addr built;
+  if (hc.symbol() == w.syms_.known().dot && args.size() == 2) {
+    built = heap_cons(w.store_, seg, args[0], args[1]);
+  } else {
+    built = heap_struct(w.store_, seg, hc.symbol(), args);
+  }
+  return bool_result(do_unify(w, t, built));
+}
+
+BuiltinResult do_retract(Worker& w, Addr goal) {
+  Addr arg = deref(w.store_, struct_arg(w.store_, goal, 1));
+  // Normalize to (Head :- Body) or bare Head.
+  Addr head = arg;
+  Addr body = 0;
+  Cell c = w.store_.get(arg);
+  const std::uint32_t neck = w.syms_.known().neck;
+  if (c.tag() == Tag::Str) {
+    Cell f = w.store_.get(c.ref());
+    if (f.fun_symbol() == neck && f.fun_arity() == 2) {
+      head = c.ref() + 1;
+      body = c.ref() + 2;
+    }
+  }
+  Addr dh = deref(w.store_, head);
+  Cell hc = w.store_.get(dh);
+  std::uint32_t sym;
+  unsigned arity;
+  if (hc.tag() == Tag::Atm) {
+    sym = hc.symbol();
+    arity = 0;
+  } else if (hc.tag() == Tag::Str) {
+    Cell f = w.store_.get(hc.ref());
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    throw AceError("retract/1: head not callable");
+  }
+  Predicate* pred = w.db_.find_mutable(sym, arity);
+  if (pred == nullptr) return BuiltinResult::Failed;
+  for (std::uint32_t i = 0; i < pred->num_clauses(); ++i) {
+    const Clause& cl = pred->clause(i);
+    if (cl.retracted) continue;
+    std::uint64_t mark = w.trail_.size();
+    Addr inst = instantiate(w.store_, w.seg(), cl.tmpl);
+    w.stats_.heap_cells += cl.tmpl.instantiation_cost();
+    w.charge(cl.tmpl.instantiation_cost() * w.costs_.heap_cell);
+    Addr ch = struct_arg(w.store_, inst, 1);
+    Addr cb = struct_arg(w.store_, inst, 2);
+    bool ok = do_unify(w, head, ch) && (body == 0 || do_unify(w, body, cb));
+    if (ok) {
+      pred->retract_clause(i);
+      return BuiltinResult::Ok;
+    }
+    std::uint64_t undone = w.trail_.size() - mark;
+    untrail(w.store_, w.trail_, mark);
+    w.stats_.untrail_ops += undone;
+  }
+  return BuiltinResult::Failed;
+}
+
+// Walks a proper list into element addresses; throws on partial lists.
+std::vector<Addr> list_elements(Worker& w, Addr l, const char* who) {
+  std::vector<Addr> items;
+  Addr cur = deref(w.store_, l);
+  for (;;) {
+    Cell c = w.store_.get(cur);
+    if (c.tag() == Tag::Atm && c.symbol() == w.syms_.known().nil) break;
+    if (c.tag() != Tag::Lst) {
+      throw AceError(std::string(who) + ": not a proper list");
+    }
+    items.push_back(c.ref());
+    cur = deref(w.store_, c.ref() + 1);
+  }
+  return items;
+}
+
+// Builds a code list (list of ints) for a string.
+Addr codes_of(Worker& w, const std::string& s) {
+  std::vector<Addr> items;
+  items.reserve(s.size());
+  for (char ch : s) {
+    items.push_back(heap_int(w.store_, w.seg(),
+                             static_cast<unsigned char>(ch)));
+  }
+  w.stats_.heap_cells += s.size() * 3 + 1;
+  return heap_list(w.store_, w.seg(), items, w.syms_.known().nil);
+}
+
+// Reads a code list back into a string.
+std::string string_of_codes(Worker& w, Addr l, const char* who) {
+  std::string out;
+  for (Addr item : list_elements(w, l, who)) {
+    Cell c = w.store_.get(deref(w.store_, item));
+    if (c.tag() != Tag::Int || c.integer() < 0 || c.integer() > 255) {
+      throw AceError(std::string(who) + ": invalid character code");
+    }
+    out += static_cast<char>(c.integer());
+  }
+  return out;
+}
+
+BuiltinResult do_sort(Worker& w, Addr goal, bool dedup) {
+  Addr in = struct_arg(w.store_, goal, 1);
+  Addr out = struct_arg(w.store_, goal, 2);
+  std::vector<Addr> items = list_elements(w, in, dedup ? "sort/2" : "msort/2");
+  std::stable_sort(items.begin(), items.end(), [&](Addr a, Addr b) {
+    return compare_terms(w.store_, w.syms_, a, b) < 0;
+  });
+  if (dedup) {
+    items.erase(std::unique(items.begin(), items.end(),
+                            [&](Addr a, Addr b) {
+                              return compare_terms(w.store_, w.syms_, a, b) ==
+                                     0;
+                            }),
+                items.end());
+  }
+  w.charge(items.size() * w.costs_.heap_cell * 3);
+  Addr lst = heap_list(w.store_, w.seg(), items, w.syms_.known().nil);
+  return bool_result(w.unify_charge(out, lst));
+}
+
+}  // namespace
+
+BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
+                           Ref cut_parent) {
+  (void)cut_parent;
+  Store& store = w.store_;
+  auto arg = [&](unsigned i) { return struct_arg(store, goal, i); };
+
+  switch (id) {
+    case BuiltinId::True:
+      return BuiltinResult::Ok;
+    case BuiltinId::Fail:
+      return BuiltinResult::Failed;
+    case BuiltinId::Unify:
+      return bool_result(do_unify(w, arg(1), arg(2)));
+    case BuiltinId::NotUnify: {
+      std::uint64_t mark = w.trail_.size();
+      std::uint64_t steps = 0;
+      bool ok = unify(store, w.trail_, arg(1), arg(2), &steps,
+                      w.opts_.occurs_check);
+      w.stats_.unify_steps += steps;
+      w.charge(steps * w.costs_.unify_step);
+      std::uint64_t undone = w.trail_.size() - mark;
+      untrail(store, w.trail_, mark);
+      w.stats_.untrail_ops += undone;
+      w.charge(undone * w.costs_.untrail_entry);
+      return bool_result(!ok);
+    }
+    case BuiltinId::TermEq:
+      return bool_result(
+          compare_terms(store, w.syms_, arg(1), arg(2)) == 0);
+    case BuiltinId::TermNeq:
+      return bool_result(
+          compare_terms(store, w.syms_, arg(1), arg(2)) != 0);
+    case BuiltinId::TermLt:
+      return bool_result(compare_terms(store, w.syms_, arg(1), arg(2)) < 0);
+    case BuiltinId::TermGt:
+      return bool_result(compare_terms(store, w.syms_, arg(1), arg(2)) > 0);
+    case BuiltinId::TermLeq:
+      return bool_result(
+          compare_terms(store, w.syms_, arg(1), arg(2)) <= 0);
+    case BuiltinId::TermGeq:
+      return bool_result(
+          compare_terms(store, w.syms_, arg(1), arg(2)) >= 0);
+    case BuiltinId::Var:
+      return bool_result(
+          store.get(deref(store, arg(1))).tag() == Tag::Ref);
+    case BuiltinId::Nonvar:
+      return bool_result(
+          store.get(deref(store, arg(1))).tag() != Tag::Ref);
+    case BuiltinId::Atom: {
+      Cell c = store.get(deref(store, arg(1)));
+      return bool_result(c.tag() == Tag::Atm);
+    }
+    case BuiltinId::Integer: {
+      Cell c = store.get(deref(store, arg(1)));
+      return bool_result(c.tag() == Tag::Int);
+    }
+    case BuiltinId::Atomic: {
+      Cell c = store.get(deref(store, arg(1)));
+      return bool_result(c.tag() == Tag::Atm || c.tag() == Tag::Int);
+    }
+    case BuiltinId::Compound: {
+      Cell c = store.get(deref(store, arg(1)));
+      return bool_result(c.tag() == Tag::Str || c.tag() == Tag::Lst);
+    }
+    case BuiltinId::Ground:
+      return bool_result(is_ground(store, arg(1)));
+    case BuiltinId::Is: {
+      std::int64_t v = arith_eval(w, arg(2));
+      Addr vi = heap_int(store, w.seg(), v);
+      w.stats_.heap_cells += 1;
+      return bool_result(do_unify(w, arg(1), vi));
+    }
+    case BuiltinId::ArithEq:
+      return bool_result(arith_eval(w, arg(1)) == arith_eval(w, arg(2)));
+    case BuiltinId::ArithNeq:
+      return bool_result(arith_eval(w, arg(1)) != arith_eval(w, arg(2)));
+    case BuiltinId::Lt:
+      return bool_result(arith_eval(w, arg(1)) < arith_eval(w, arg(2)));
+    case BuiltinId::Gt:
+      return bool_result(arith_eval(w, arg(1)) > arith_eval(w, arg(2)));
+    case BuiltinId::Leq:
+      return bool_result(arith_eval(w, arg(1)) <= arith_eval(w, arg(2)));
+    case BuiltinId::Geq:
+      return bool_result(arith_eval(w, arg(1)) >= arith_eval(w, arg(2)));
+    case BuiltinId::Functor:
+      return do_functor(w, goal);
+    case BuiltinId::Arg:
+      return do_arg(w, goal);
+    case BuiltinId::Univ:
+      return do_univ(w, goal);
+    case BuiltinId::CopyTerm: {
+      std::unordered_map<Addr, Addr> var_map;
+      std::uint64_t cells = 0;
+      Addr copy = copy_term(store, w.seg(), arg(1), var_map, &cells);
+      w.stats_.heap_cells += cells;
+      w.charge(cells * w.costs_.heap_cell);
+      return bool_result(do_unify(w, arg(2), copy));
+    }
+    case BuiltinId::Findall:
+      w.begin_nested(arg(1), arg(2), arg(3));
+      (void)rest;
+      return BuiltinResult::Handled;
+    case BuiltinId::AssertZ:
+    case BuiltinId::AssertA: {
+      Addr t = deref(store, arg(1));
+      TermTemplate tmpl = term_to_template(store, t);
+      w.db_.add_clause(std::move(tmpl), id == BuiltinId::AssertA);
+      return BuiltinResult::Ok;
+    }
+    case BuiltinId::Retract:
+      return do_retract(w, goal);
+    case BuiltinId::Write: {
+      PrintOpts opts;
+      opts.quoted = false;
+      w.io_.append(term_to_string(store, w.syms_, arg(1), opts));
+      return BuiltinResult::Ok;
+    }
+    case BuiltinId::Nl:
+      w.io_.append("\n");
+      return BuiltinResult::Ok;
+    case BuiltinId::Tab: {
+      std::int64_t n = arith_eval(w, arg(1));
+      if (n > 0) w.io_.append(std::string(static_cast<std::size_t>(n), ' '));
+      return BuiltinResult::Ok;
+    }
+    case BuiltinId::Throw:
+      w.do_throw(arg(1));
+      return BuiltinResult::Handled;
+    case BuiltinId::Catch: {
+      // Frame: call_goal = catcher, alt_term = recovery.
+      Ref cf = w.push_choice_term(arg(3), cut_parent, AltKind::Catch);
+      w.frame(cf).call_goal = arg(2);
+      // The guarded goal runs cut-opaque (like call/1): its barrier is the
+      // catch frame, so a cut inside cannot remove the catcher.
+      w.glist_ = w.push_goal(arg(1), rest, w.bt_);
+      return BuiltinResult::Handled;
+    }
+    case BuiltinId::Once: {
+      // once(G) == (G -> true): commit to the first solution.
+      Addr alt = heap_atom(store, w.seg(), w.syms_.known().fail);
+      Ref ite = w.push_choice_term(alt, cut_parent, AltKind::IteElse);
+      Addr commit = heap_struct(
+          store, w.seg(), w.builtins_.ite_commit_sym(),
+          {heap_int(store, w.seg(), static_cast<std::int64_t>(ite))});
+      w.stats_.heap_cells += 5;
+      Ref commit_ref = w.push_goal(commit, rest, cut_parent);
+      w.glist_ = w.push_goal(arg(1), commit_ref, ite);
+      return BuiltinResult::Handled;
+    }
+    case BuiltinId::Succ: {
+      Addr x = deref(store, arg(1));
+      Addr y = deref(store, arg(2));
+      Cell cx = store.get(x);
+      Cell cy = store.get(y);
+      if (cx.tag() == Tag::Int) {
+        if (cx.integer() < 0) throw AceError("succ/2: negative argument");
+        return bool_result(
+            w.unify_charge(y, heap_int(store, w.seg(), cx.integer() + 1)));
+      }
+      if (cy.tag() == Tag::Int) {
+        if (cy.integer() <= 0) return BuiltinResult::Failed;
+        return bool_result(
+            w.unify_charge(x, heap_int(store, w.seg(), cy.integer() - 1)));
+      }
+      throw AceError("succ/2: arguments insufficiently instantiated");
+    }
+    case BuiltinId::MSort:
+      return do_sort(w, goal, /*dedup=*/false);
+    case BuiltinId::Sort:
+      return do_sort(w, goal, /*dedup=*/true);
+    case BuiltinId::AtomCodes: {
+      Addr a = deref(store, arg(1));
+      Cell c = store.get(a);
+      if (c.tag() == Tag::Atm) {
+        return bool_result(
+            w.unify_charge(arg(2), codes_of(w, w.syms_.name(c.symbol()))));
+      }
+      if (c.tag() == Tag::Int) {
+        return bool_result(w.unify_charge(
+            arg(2), codes_of(w, strf("%lld", (long long)c.integer()))));
+      }
+      std::string s = string_of_codes(w, arg(2), "atom_codes/2");
+      std::uint32_t sym = w.db_.syms().intern(s);
+      return bool_result(w.unify_charge(a, heap_atom(store, w.seg(), sym)));
+    }
+    case BuiltinId::NumberCodes: {
+      Addr a = deref(store, arg(1));
+      Cell c = store.get(a);
+      if (c.tag() == Tag::Int) {
+        return bool_result(w.unify_charge(
+            arg(2), codes_of(w, strf("%lld", (long long)c.integer()))));
+      }
+      std::string s = string_of_codes(w, arg(2), "number_codes/2");
+      if (s.empty()) throw AceError("number_codes/2: empty code list");
+      char* end = nullptr;
+      long long v = std::strtoll(s.c_str(), &end, 10);
+      if (end != s.c_str() + s.size()) {
+        throw AceError("number_codes/2: not a number: " + s);
+      }
+      return bool_result(w.unify_charge(a, heap_int(store, w.seg(), v)));
+    }
+    case BuiltinId::AtomLength: {
+      Addr a = deref(store, arg(1));
+      Cell c = store.get(a);
+      if (c.tag() != Tag::Atm) throw AceError("atom_length/2: not an atom");
+      return bool_result(w.unify_charge(
+          arg(2),
+          heap_int(store, w.seg(),
+                   static_cast<std::int64_t>(w.syms_.name(c.symbol())
+                                                 .size()))));
+    }
+    case BuiltinId::AtomConcat: {
+      Cell ca = store.get(deref(store, arg(1)));
+      Cell cb = store.get(deref(store, arg(2)));
+      if (ca.tag() != Tag::Atm || cb.tag() != Tag::Atm) {
+        throw AceError("atom_concat/3: first two arguments must be atoms");
+      }
+      std::string s = w.syms_.name(ca.symbol()) + w.syms_.name(cb.symbol());
+      std::uint32_t sym = w.db_.syms().intern(s);
+      return bool_result(
+          w.unify_charge(arg(3), heap_atom(store, w.seg(), sym)));
+    }
+    case BuiltinId::CharCode: {
+      Addr a = deref(store, arg(1));
+      Cell c = store.get(a);
+      if (c.tag() == Tag::Atm) {
+        const std::string& n = w.syms_.name(c.symbol());
+        if (n.size() != 1) throw AceError("char_code/2: not a one-char atom");
+        return bool_result(w.unify_charge(
+            arg(2),
+            heap_int(store, w.seg(),
+                     static_cast<unsigned char>(n[0]))));
+      }
+      Cell cc = store.get(deref(store, arg(2)));
+      if (cc.tag() != Tag::Int || cc.integer() < 0 || cc.integer() > 255) {
+        throw AceError("char_code/2: invalid code");
+      }
+      std::string n(1, static_cast<char>(cc.integer()));
+      std::uint32_t sym = w.db_.syms().intern(n);
+      return bool_result(w.unify_charge(a, heap_atom(store, w.seg(), sym)));
+    }
+    case BuiltinId::IteCommit: {
+      // Kill choice points down to (and including) the referenced ITE frame.
+      Addr n = deref(store, arg(1));
+      Cell c = store.get(n);
+      ACE_CHECK(c.tag() == Tag::Int);
+      Ref ite = static_cast<Ref>(c.integer());
+      w.do_cut(w.frame(ite).prev_bt);
+      return BuiltinResult::Ok;
+    }
+  }
+  ACE_CHECK_MSG(false, "unknown builtin id");
+  return BuiltinResult::Failed;
+}
+
+}  // namespace ace

@@ -1,0 +1,107 @@
+// Builtin predicate registry and dispatcher.
+//
+// Control constructs (',', '&', ';', '->', '!', call/1, '\+') are handled
+// directly by the engine step dispatcher; everything else lands here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "engine/frames.hpp"
+#include "term/cell.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+class Worker;
+
+enum class BuiltinId : std::uint8_t {
+  True,
+  Fail,
+  Unify,        // =/2
+  NotUnify,     // \=/2
+  TermEq,       // ==/2
+  TermNeq,      // \==/2
+  TermLt,       // @</2
+  TermGt,       // @>/2
+  TermLeq,      // @=</2
+  TermGeq,      // @>=/2
+  Var,
+  Nonvar,
+  Atom,
+  Integer,
+  Atomic,
+  Compound,
+  Ground,
+  Is,           // is/2
+  ArithEq,      // =:=
+  ArithNeq,     // =\=
+  Lt,
+  Gt,
+  Leq,
+  Geq,
+  Functor,      // functor/3
+  Arg,          // arg/3
+  Univ,         // =../2
+  CopyTerm,     // copy_term/2
+  Findall,      // findall/3
+  AssertZ,      // assert/1, assertz/1
+  AssertA,      // asserta/1
+  Retract,      // retract/1 (semi-deterministic: first match)
+  Write,
+  Nl,
+  Tab,          // tab/1
+  IteCommit,    // internal $ite_commit/1
+  Throw,        // throw/1
+  Catch,        // catch/3
+  Once,         // once/1
+  Succ,         // succ/2 (both modes)
+  MSort,        // msort/2 (standard order, duplicates kept)
+  Sort,         // sort/2 (standard order, duplicates removed)
+  AtomCodes,    // atom_codes/2 (both modes)
+  NumberCodes,  // number_codes/2 (both modes)
+  AtomLength,   // atom_length/2
+  AtomConcat,   // atom_concat/3 (first two args bound)
+  CharCode,     // char_code/2 (both modes)
+};
+
+enum class BuiltinResult : std::uint8_t {
+  Ok,       // succeeded; caller advances to the continuation
+  Failed,   // caller backtracks
+  Handled,  // builtin took over control flow (set glist_/mode_ itself)
+};
+
+// Cached symbol ids for arithmetic evaluation.
+struct ArithOps {
+  std::uint32_t plus, minus, times, idiv2, fdiv, mod, rem, min, max, abs,
+      sign, neg_functor /* -/1 */, plus_functor /* +/1 */, bitand_, bitor_,
+      bitxor, shl, shr, pow;
+};
+
+class Builtins {
+ public:
+  explicit Builtins(SymbolTable& syms);
+
+  std::optional<BuiltinId> lookup(std::uint32_t sym, unsigned arity) const;
+  const ArithOps& arith() const { return arith_; }
+  std::uint32_t ite_commit_sym() const { return ite_commit_sym_; }
+
+ private:
+  void reg(SymbolTable& syms, const char* name, unsigned arity, BuiltinId id);
+
+  std::unordered_map<std::uint64_t, BuiltinId> map_;
+  ArithOps arith_{};
+  std::uint32_t ite_commit_sym_ = 0;
+};
+
+// Executes builtin `id` for the goal term at `goal`. `rest`/`cut_parent`
+// are the current continuation (needed by Handled-style builtins).
+// Throws AceError for type errors (uninstantiated arithmetic, etc.).
+BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
+                           Ref cut_parent);
+
+// Arithmetic evaluation of the term at `a`.
+std::int64_t arith_eval(Worker& w, Addr a);
+
+}  // namespace ace

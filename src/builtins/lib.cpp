@@ -1,0 +1,84 @@
+#include "builtins/lib.hpp"
+
+#include "db/database.hpp"
+
+namespace ace {
+
+const char* prolog_library_source() {
+  return R"PL(
+% ---- list utilities ---------------------------------------------------
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], A, A).
+reverse_acc([H|T], A, R) :- reverse_acc(T, [H|A], R).
+
+length(L, N) :- length_acc(L, 0, N).
+length_acc([], N, N).
+length_acc([_|T], A, N) :- A1 is A + 1, length_acc(T, A1, N).
+
+nth0(I, L, E) :- nth_walk(L, 0, I, E).
+nth1(I, L, E) :- nth_walk(L, 1, I, E).
+nth_walk([H|_], N, N, H).
+nth_walk([_|T], N, I, E) :- N1 is N + 1, nth_walk(T, N1, I, E).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+% ---- generators --------------------------------------------------------
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+% ---- higher order -------------------------------------------------------
+maplist(_, []).
+maplist(G, [X|Xs]) :- call(G, X), maplist(G, Xs).
+maplist(_, [], []).
+maplist(G, [X|Xs], [Y|Ys]) :- call(G, X, Y), maplist(G, Xs, Ys).
+maplist(_, [], [], []).
+maplist(G, [X|Xs], [Y|Ys], [Z|Zs]) :- call(G, X, Y, Z),
+    maplist(G, Xs, Ys, Zs).
+
+foldl(_, [], A, A).
+foldl(G, [X|Xs], A0, A) :- call(G, X, A0, A1), foldl(G, Xs, A1, A).
+
+include(_, [], []).
+include(G, [X|Xs], Out) :-
+    ( call(G, X) -> Out = [X|Rest] ; Out = Rest ),
+    include(G, Xs, Rest).
+
+exclude(_, [], []).
+exclude(G, [X|Xs], Out) :-
+    ( call(G, X) -> Out = Rest ; Out = [X|Rest] ),
+    exclude(G, Xs, Rest).
+
+% ---- misc ---------------------------------------------------------------
+not(G) :- \+ G.
+ignore(G) :- (G -> true ; true).
+forall(C, A) :- \+ (C, \+ A).
+)PL";
+}
+
+void load_library(Database& db) { db.consult(prolog_library_source()); }
+
+}  // namespace ace

@@ -1,0 +1,13 @@
+// The Prolog-level standard library, consulted into every Database by the
+// machine facades (list utilities, between/3, negation helpers). Written in
+// the object language so it exercises the engine itself.
+#pragma once
+
+namespace ace {
+
+class Database;
+
+const char* prolog_library_source();
+void load_library(Database& db);
+
+}  // namespace ace

@@ -1,0 +1,112 @@
+#include "db/clause.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+// Returns the pool index of the Fun cell if `c` is a Str cell, else -1.
+long fun_index(const Cell& c) {
+  return c.tag() == Tag::Str ? static_cast<long>(c.payload()) : -1;
+}
+
+IndexKey key_from_cell(const Cell& c) {
+  switch (c.tag()) {
+    case Tag::VarSlot:
+      return {IndexKey::Kind::Var, 0};
+    case Tag::Int:
+      return {IndexKey::Kind::Int, static_cast<std::uint64_t>(c.integer())};
+    case Tag::Atm:
+      return {IndexKey::Kind::Atom, c.symbol()};
+    case Tag::Lst:
+      return {IndexKey::Kind::List, 0};
+    case Tag::Str:
+      return {IndexKey::Kind::Struct, 0};  // patched by caller with functor
+    default:
+      return {IndexKey::Kind::Var, 0};
+  }
+}
+
+}  // namespace
+
+IndexKey clause_index_key(const TermTemplate& tmpl, const SymbolTable& syms) {
+  (void)syms;
+  long neck = fun_index(tmpl.root);
+  ACE_CHECK(neck >= 0);
+  const Cell head = tmpl.cells[static_cast<std::size_t>(neck) + 1];
+  if (head.tag() == Tag::Atm) return {IndexKey::Kind::Var, 0};  // 0-arity
+  long hf = fun_index(head);
+  ACE_CHECK(hf >= 0);
+  const Cell arg1 = tmpl.cells[static_cast<std::size_t>(hf) + 1];
+  IndexKey key = key_from_cell(arg1);
+  if (key.kind == IndexKey::Kind::Struct) {
+    const Cell f = tmpl.cells[arg1.payload()];
+    key.value = f.payload();  // (sym << 12) | arity
+  }
+  return key;
+}
+
+IndexKey call_index_key(const Store& store, Addr first_arg,
+                        const SymbolTable& syms) {
+  (void)syms;
+  Addr a = deref(store, first_arg);
+  Cell c = store.get(a);
+  switch (c.tag()) {
+    case Tag::Ref:
+      return {IndexKey::Kind::AnyCall, 0};
+    case Tag::Int:
+      return {IndexKey::Kind::Int, static_cast<std::uint64_t>(c.integer())};
+    case Tag::Atm:
+      return {IndexKey::Kind::Atom, c.symbol()};
+    case Tag::Lst:
+      return {IndexKey::Kind::List, 0};
+    case Tag::Str:
+      return {IndexKey::Kind::Struct, store.get(c.ref()).payload()};
+    default:
+      ACE_CHECK_MSG(false, "call_index_key: unexpected tag");
+      return {IndexKey::Kind::AnyCall, 0};
+  }
+}
+
+Clause make_clause(TermTemplate tmpl, SymbolTable& syms) {
+  const std::uint32_t neck_sym = syms.known().neck;
+  const std::uint32_t true_sym = syms.known().truesym;
+
+  // Normalize: ensure root is ':-'(Head, Body).
+  bool is_rule = false;
+  if (long p = fun_index(tmpl.root); p >= 0) {
+    const Cell f = tmpl.cells[static_cast<std::size_t>(p)];
+    is_rule = f.fun_symbol() == neck_sym && f.fun_arity() == 2;
+  }
+  if (!is_rule) {
+    std::uint32_t p = static_cast<std::uint32_t>(tmpl.cells.size());
+    tmpl.cells.push_back(fun_cell(neck_sym, 2));
+    tmpl.cells.push_back(tmpl.root);
+    tmpl.cells.push_back(atm_cell(true_sym));
+    tmpl.root = str_cell(p);
+  }
+
+  Clause clause;
+  long neck = fun_index(tmpl.root);
+  const Cell head = tmpl.cells[static_cast<std::size_t>(neck) + 1];
+  const Cell body = tmpl.cells[static_cast<std::size_t>(neck) + 2];
+  if (head.tag() == Tag::Atm) {
+    clause.head_sym = head.symbol();
+    clause.head_arity = 0;
+  } else if (long hf = fun_index(head); hf >= 0) {
+    const Cell f = tmpl.cells[static_cast<std::size_t>(hf)];
+    clause.head_sym = f.fun_symbol();
+    clause.head_arity = f.fun_arity();
+  } else {
+    throw AceError("clause head must be an atom or a compound term");
+  }
+  clause.body_is_true =
+      body.tag() == Tag::Atm && body.symbol() == true_sym;
+  clause.tmpl = std::move(tmpl);
+  clause.key = clause.head_arity == 0
+                   ? IndexKey{IndexKey::Kind::Var, 0}
+                   : clause_index_key(clause.tmpl, syms);
+  return clause;
+}
+
+}  // namespace ace

@@ -1,0 +1,57 @@
+// Stored clauses and first-argument index keys.
+#pragma once
+
+#include <cstdint>
+
+#include "term/build.hpp"
+
+namespace ace {
+
+// First-argument index key. Clause keys may have kind Var (the clause's
+// first head argument is a variable: it matches every call); runtime call
+// keys may have kind AnyCall (the call's first argument is unbound: every
+// clause matches).
+struct IndexKey {
+  enum class Kind : std::uint8_t { Var, Int, Atom, Struct, List, AnyCall };
+  Kind kind = Kind::Var;
+  std::uint64_t value = 0;
+
+  bool operator==(const IndexKey&) const = default;
+
+  // True if a clause with this key can match a call with key `call`.
+  bool matches_call(const IndexKey& call) const {
+    if (kind == Kind::Var || call.kind == Kind::AnyCall) return true;
+    return *this == call;
+  }
+};
+
+struct IndexKeyHash {
+  std::size_t operator()(const IndexKey& k) const {
+    return static_cast<std::size_t>(k.value * 0x9e3779b97f4a7c15ull) ^
+           static_cast<std::size_t>(k.kind);
+  }
+};
+
+// A stored clause. The template is normalized so its root is always
+// ':-'(Head, Body) (facts get body 'true').
+struct Clause {
+  TermTemplate tmpl;
+  std::uint32_t head_sym = 0;
+  unsigned head_arity = 0;
+  IndexKey key;
+  bool retracted = false;
+  bool body_is_true = false;  // fact: skip pushing the body goal
+};
+
+// Computes the clause index key from a template's head first argument
+// (template-relative), or the runtime key from a heap term.
+IndexKey clause_index_key(const TermTemplate& tmpl, const SymbolTable& syms);
+IndexKey call_index_key(const Store& store, Addr first_arg,
+                        const SymbolTable& syms);
+
+// Normalizes a parsed clause template into a Clause (wraps facts with
+// ':-'(H, true), extracts the head functor, computes the index key).
+// Throws AceError for malformed clauses (non-callable heads).
+Clause make_clause(TermTemplate tmpl, SymbolTable& syms);
+
+}  // namespace ace

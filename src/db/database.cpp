@@ -1,0 +1,114 @@
+#include "db/database.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+std::uint64_t pred_key(std::uint32_t sym, unsigned arity) {
+  return (std::uint64_t{sym} << 12) | arity;
+}
+
+}  // namespace
+
+Database::Database() = default;
+
+const Predicate* Database::find_locked(std::uint32_t sym,
+                                       unsigned arity) const {
+  auto it = pred_ids_.find(pred_key(sym, arity));
+  if (it == pred_ids_.end()) return nullptr;
+  return preds_[it->second].get();
+}
+
+const Predicate* Database::find(std::uint32_t sym, unsigned arity) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return find_locked(sym, arity);
+}
+
+Predicate* Database::find_mutable(std::uint32_t sym, unsigned arity) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = pred_ids_.find(pred_key(sym, arity));
+  if (it == pred_ids_.end()) return nullptr;
+  return preds_[it->second].get();
+}
+
+Predicate& Database::get_or_create(std::uint32_t sym, unsigned arity) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = pred_ids_.emplace(
+      pred_key(sym, arity), static_cast<std::uint32_t>(preds_.size()));
+  if (inserted) {
+    preds_.push_back(std::make_unique<Predicate>(sym, arity));
+  }
+  return *preds_[it->second];
+}
+
+void Database::add_clause(TermTemplate tmpl, bool front) {
+  Clause clause = make_clause(std::move(tmpl), syms_);
+  std::uint32_t sym = clause.head_sym;
+  unsigned arity = clause.head_arity;
+  Predicate& pred = get_or_create(sym, arity);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  pred.add_clause(std::move(clause), front);
+}
+
+void Database::set_dynamic(std::uint32_t sym, unsigned arity) {
+  get_or_create(sym, arity).set_dynamic();
+}
+
+std::size_t Database::num_predicates() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return preds_.size();
+}
+
+void Database::handle_directive(const TermTemplate& tmpl) {
+  // Directive root: ':-'(Goal). Recognize dynamic/1 with a (possibly
+  // comma-separated) list of name/arity specs; ignore everything else.
+  const Cell goal = tmpl.cells[tmpl.root.payload() + 1];
+  if (goal.tag() != Tag::Str) return;
+  const Cell f = tmpl.cells[goal.payload()];
+  if (syms_.name(f.fun_symbol()) != "dynamic" || f.fun_arity() != 1) return;
+
+  std::vector<Cell> work{tmpl.cells[goal.payload() + 1]};
+  const std::uint32_t comma = syms_.known().comma;
+  while (!work.empty()) {
+    Cell spec = work.back();
+    work.pop_back();
+    if (spec.tag() != Tag::Str) {
+      throw AceError("malformed dynamic/1 directive");
+    }
+    const Cell sf = tmpl.cells[spec.payload()];
+    if (sf.fun_symbol() == comma && sf.fun_arity() == 2) {
+      work.push_back(tmpl.cells[spec.payload() + 1]);
+      work.push_back(tmpl.cells[spec.payload() + 2]);
+      continue;
+    }
+    if (syms_.name(sf.fun_symbol()) == "/" && sf.fun_arity() == 2) {
+      const Cell name = tmpl.cells[spec.payload() + 1];
+      const Cell arity = tmpl.cells[spec.payload() + 2];
+      if (name.tag() == Tag::Atm && arity.tag() == Tag::Int) {
+        set_dynamic(name.symbol(),
+                    static_cast<unsigned>(arity.integer()));
+        continue;
+      }
+    }
+    throw AceError("malformed dynamic/1 directive");
+  }
+}
+
+void Database::consult(const std::string& src) {
+  std::vector<TermTemplate> clauses = parse_program(syms_, src);
+  const std::uint32_t neck = syms_.known().neck;
+  for (TermTemplate& tmpl : clauses) {
+    // A directive is ':-'(Goal) — the prefix operator parse.
+    if (tmpl.root.tag() == Tag::Str) {
+      const Cell f = tmpl.cells[tmpl.root.payload()];
+      if (f.fun_symbol() == neck && f.fun_arity() == 1) {
+        handle_directive(tmpl);
+        continue;
+      }
+    }
+    add_clause(std::move(tmpl));
+  }
+}
+
+}  // namespace ace

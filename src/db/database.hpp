@@ -1,0 +1,68 @@
+// The clause database: predicate registry, program consultation (parsing +
+// directives), dynamic assert/retract.
+//
+// Index buckets are rebuilt eagerly on mutation so that runtime candidate
+// lookups are read-only; a shared_mutex guards against assert/retract racing
+// with lookups in the real-thread runtime.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/predicate.hpp"
+#include "parse/parser.hpp"
+
+namespace ace {
+
+class Database {
+ public:
+  Database();
+
+  SymbolTable& syms() { return syms_; }
+  const SymbolTable& syms() const { return syms_; }
+
+  // Parses and loads a program. Supports the directives
+  //   :- dynamic name/arity, name/arity, ...
+  // Other directives are ignored with effect only on parse (no warnings:
+  // benchmark sources carry SICStus directives we do not need).
+  void consult(const std::string& src);
+
+  // Adds one clause (already parsed). front=true for asserta.
+  void add_clause(TermTemplate tmpl, bool front = false);
+
+  // Predicate lookup; returns nullptr if never defined.
+  const Predicate* find(std::uint32_t sym, unsigned arity) const;
+  Predicate* find_mutable(std::uint32_t sym, unsigned arity);
+  Predicate& get_or_create(std::uint32_t sym, unsigned arity);
+
+  void set_dynamic(std::uint32_t sym, unsigned arity);
+
+  // Snapshot of candidate ordinals for a call: copies under shared lock so
+  // the result stays valid across mutations. The engine avoids the copy on
+  // the fast path via with_candidates().
+  template <typename Fn>
+  auto with_candidates(std::uint32_t sym, unsigned arity,
+                       const IndexKey& call, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const Predicate* p = find_locked(sym, arity);
+    static const std::vector<std::uint32_t> kEmpty;
+    if (p == nullptr) return fn(static_cast<const Predicate*>(nullptr), kEmpty);
+    return fn(p, p->candidates(call));
+  }
+
+  std::size_t num_predicates() const;
+
+ private:
+  const Predicate* find_locked(std::uint32_t sym, unsigned arity) const;
+  void handle_directive(const TermTemplate& tmpl);
+
+  SymbolTable syms_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Predicate>> preds_;
+  std::unordered_map<std::uint64_t, std::uint32_t> pred_ids_;
+};
+
+}  // namespace ace

@@ -1,0 +1,62 @@
+#include "db/predicate.hpp"
+
+namespace ace {
+
+void Predicate::add_clause(Clause c, bool front) {
+  ACE_CHECK(c.head_sym == sym_ && c.head_arity == arity_);
+  if (front) {
+    clauses_.insert(clauses_.begin(), std::move(c));
+  } else {
+    clauses_.push_back(std::move(c));
+  }
+  ++generation_;
+  rebuild_index();
+}
+
+void Predicate::retract_clause(std::uint32_t ordinal) {
+  ACE_CHECK(ordinal < clauses_.size());
+  clauses_[ordinal].retracted = true;
+  ++generation_;
+  rebuild_index();
+}
+
+void Predicate::rebuild_index() {
+  buckets_.clear();
+  var_only_.clear();
+  all_.clear();
+  for (std::uint32_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].retracted) continue;
+    all_.push_back(i);
+    if (clauses_[i].key.kind == IndexKey::Kind::Var) {
+      var_only_.push_back(i);
+      // A var-key clause belongs to every existing bucket...
+      for (auto& [key, bucket] : buckets_) bucket.push_back(i);
+    } else {
+      auto it = buckets_.find(clauses_[i].key);
+      if (it == buckets_.end()) {
+        // ...and every new bucket starts with the var-key clauses seen so
+        // far (they precede this clause in source order).
+        it = buckets_.emplace(clauses_[i].key, var_only_).first;
+      }
+      it->second.push_back(i);
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& Predicate::candidates(
+    const IndexKey& call) const {
+  if (call.kind == IndexKey::Kind::AnyCall) return all_;
+  auto it = buckets_.find(call);
+  return it != buckets_.end() ? it->second : var_only_;
+}
+
+long Predicate::next_matching_from(const IndexKey& call, long after) const {
+  for (std::size_t i = static_cast<std::size_t>(after + 1);
+       i < clauses_.size(); ++i) {
+    if (clauses_[i].retracted) continue;
+    if (clauses_[i].key.matches_call(call)) return static_cast<long>(i);
+  }
+  return -1;
+}
+
+}  // namespace ace

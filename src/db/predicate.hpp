@@ -1,0 +1,59 @@
+// Predicates: clause lists with eagerly maintained first-argument index
+// buckets. Buckets are rebuilt on every mutation so candidate lookups are
+// strictly read-only (safe under the Database's shared lock).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/clause.hpp"
+
+namespace ace {
+
+class Predicate {
+ public:
+  Predicate(std::uint32_t sym, unsigned arity) : sym_(sym), arity_(arity) {}
+
+  std::uint32_t sym() const { return sym_; }
+  unsigned arity() const { return arity_; }
+  bool is_dynamic() const { return dynamic_; }
+  void set_dynamic() { dynamic_ = true; }
+  std::uint64_t generation() const { return generation_; }
+
+  std::size_t num_clauses() const { return clauses_.size(); }
+  const Clause& clause(std::uint32_t ordinal) const {
+    return clauses_[ordinal];
+  }
+
+  void add_clause(Clause c, bool front);
+  void retract_clause(std::uint32_t ordinal);
+
+  // Ordinals of live clauses whose key can match `call`, in source order.
+  // Read-only: valid until the next mutation (generation bump); engine
+  // choice points detect generation changes and fall back to
+  // next_matching_from().
+  const std::vector<std::uint32_t>& candidates(const IndexKey& call) const;
+
+  // Index-free fallback: the first live matching ordinal > `after`
+  // (pass -1 to start from the beginning), or -1 if none.
+  long next_matching_from(const IndexKey& call, long after) const;
+
+ private:
+  void rebuild_index();
+
+  std::uint32_t sym_;
+  unsigned arity_;
+  bool dynamic_ = false;
+  std::uint64_t generation_ = 0;
+  std::vector<Clause> clauses_;
+  // Buckets for every key that appears on some clause (each merged with the
+  // var-key clauses, in ordinal order), plus the var-only and all-clause
+  // lists for calls whose key matches nothing / everything.
+  std::unordered_map<IndexKey, std::vector<std::uint32_t>, IndexKeyHash>
+      buckets_;
+  std::vector<std::uint32_t> var_only_;
+  std::vector<std::uint32_t> all_;
+};
+
+}  // namespace ace

@@ -1,0 +1,443 @@
+// Backtracking: choice-point retry/restore, frame killing, and the
+// section-range unwinding that the paper's markers exist to support.
+#include "engine/worker.hpp"
+
+namespace ace {
+namespace {
+
+std::uint64_t frame_words(FrameKind k) {
+  switch (k) {
+    case FrameKind::Choice:
+      return kWordsChoicePoint;
+    case FrameKind::Parcall:
+      return kWordsParcallFrame;
+    case FrameKind::InMarker:
+      return kWordsInputMarker;
+    case FrameKind::EndMarker:
+      return kWordsEndMarker;
+    case FrameKind::Dead:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Worker::backtrack_step() {
+  if (bt_ == kNoRef) {
+    if (!nested_.empty()) {
+      nested_exhausted();
+      return;
+    }
+    if (cur_pf_ != kNoPf) {
+      if (cur_slot_ref().resumed) {
+        slot_resumed_failure();
+      } else {
+        slot_initial_failure();
+      }
+      return;
+    }
+    if (orp_ != nullptr) {
+      // This worker's copy of the search tree is exhausted; go idle and
+      // look for public alternatives elsewhere. Global exhaustion is
+      // decided by the or-parallel machine.
+      mode_ = Mode::Idle;
+      return;
+    }
+    mode_ = Mode::Done;  // top-level query exhausted
+    return;
+  }
+  Frame& f = frame(bt_);
+  if (f.kind == FrameKind::Choice) {
+    retry_choice_alternative(bt_);
+    return;
+  }
+  ACE_CHECK(f.kind == FrameKind::Parcall);
+  parcall_outside_backtrack(f.pf_id);
+}
+
+void Worker::retry_choice_alternative(Ref cref) {
+  ++stats_.cp_restores;
+  charge(costs_.cp_restore);
+  restore_choice(cref);
+
+  // Copy the immutable fields; the frame may be popped below.
+  Frame snapshot = frame(cref);
+  bt_ = cref;
+  glist_ = snapshot.cont;
+
+  if (snapshot.shared_id != kNoShare) {
+    // Public (shared) choice point: alternatives come from the shared
+    // node's counter. Never trust-popped — the node may be refilled (LAO)
+    // or drained by thieves.
+    for (;;) {
+      long ord = shared_take(snapshot.shared_id, snapshot.pred_gen);
+      if (ord == kTakeTermAlt) {
+        glist_ = push_goal(snapshot.alt_term, snapshot.cont,
+                           snapshot.cut_parent);
+        mode_ = Mode::Run;
+        return;
+      }
+      if (ord < 0) {
+        bt_ = snapshot.prev_bt;
+        mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+        pop_dead_suffix();
+        mode_ = Mode::Backtrack;
+        return;
+      }
+      if (try_clause(*snapshot.pred, static_cast<std::uint32_t>(ord),
+                     snapshot.call_goal, snapshot.cut_parent)) {
+        mode_ = Mode::Run;
+        return;
+      }
+    }
+  }
+
+  if (snapshot.alt_kind == AltKind::Catch) {
+    // catch/3 is transparent to failure: the frame just leaves the chain.
+    bt_ = snapshot.prev_bt;
+    mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+    pop_dead_suffix();
+    mode_ = Mode::Backtrack;
+    return;
+  }
+
+  if (snapshot.alt_kind != AltKind::Clauses) {
+    // Single term alternative: pop the frame and run it.
+    bt_ = snapshot.prev_bt;
+    mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+    pop_dead_suffix();
+    glist_ = push_goal(snapshot.alt_term, snapshot.cont, snapshot.cut_parent);
+    mode_ = Mode::Run;
+    return;
+  }
+
+  const Predicate* pred = snapshot.pred;
+  for (;;) {
+    long ord = -1;
+    bool is_last = false;
+    if (snapshot.pred_gen == pred->generation()) {
+      const std::vector<std::uint32_t>& bucket = pred->candidates(snapshot.key);
+      if (snapshot.bucket_pos < bucket.size()) {
+        ord = static_cast<long>(bucket[snapshot.bucket_pos]);
+        ++snapshot.bucket_pos;
+        snapshot.last_ordinal = ord;
+        is_last = snapshot.bucket_pos >= bucket.size();
+      }
+    } else {
+      // The predicate changed under us (assert/retract): fall back to an
+      // ordinal scan over the mutated clause list.
+      ord = pred->next_matching_from(snapshot.key, snapshot.last_ordinal);
+      if (ord >= 0) {
+        snapshot.last_ordinal = ord;
+        is_last = pred->next_matching_from(snapshot.key, ord) < 0;
+      }
+    }
+
+    if (ord < 0) {
+      // Exhausted: pop from the chain and keep backtracking.
+      bt_ = snapshot.prev_bt;
+      Frame& live = frame(cref);
+      live.bucket_pos = snapshot.bucket_pos;
+      live.last_ordinal = snapshot.last_ordinal;
+      mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+      pop_dead_suffix();
+      mode_ = Mode::Backtrack;
+      return;
+    }
+
+    if (is_last && orp_ != nullptr && opts_.lao) {
+      // LAO keeps the exhausted frame on top so the next choice point can
+      // reuse it in place (the revisit on failure is part of LAO's cost —
+      // the paper's 1-agent slowdown in Table 3).
+      is_last = false;
+      Frame& live = frame(cref);
+      live.bucket_pos = snapshot.bucket_pos;
+      live.last_ordinal = snapshot.last_ordinal;
+    } else if (is_last) {
+      // Trust: the frame leaves the chain before the last alternative runs.
+      bt_ = snapshot.prev_bt;
+      Frame& live = frame(cref);
+      live.bucket_pos = snapshot.bucket_pos;
+      live.last_ordinal = snapshot.last_ordinal;
+      mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+      pop_dead_suffix();
+    } else {
+      Frame& live = frame(cref);
+      live.bucket_pos = snapshot.bucket_pos;
+      live.last_ordinal = snapshot.last_ordinal;
+    }
+
+    if (try_clause(*pred, static_cast<std::uint32_t>(ord), snapshot.call_goal,
+                   snapshot.cut_parent)) {
+      mode_ = Mode::Run;
+      return;
+    }
+    // Head unification failed; try the next candidate (the loop re-reads
+    // the iterator from the snapshot, which we kept advancing).
+    if (is_last) {
+      // Nothing left; resume backtracking below.
+      mode_ = Mode::Backtrack;
+      return;
+    }
+  }
+}
+
+void Worker::do_throw(Addr ball) {
+  // The ball is copied out (serialized) so it survives the unwinding, as
+  // ISO requires.
+  TermTemplate tmpl = term_to_template(store_, deref(store_, ball));
+  std::string rendered = term_to_string(store_, syms_, ball);
+
+  Ref r = bt_;
+  for (;;) {
+    if (r == kNoRef) {
+      if (!nested_.empty()) {
+        // Propagate out of a findall context: roll it back and continue
+        // unwinding the outer chain.
+        NestedCtx ctx = std::move(nested_.back());
+        nested_.pop_back();
+        untrail_charge(ctx.trail_mark);
+        std::uint32_t top = static_cast<std::uint32_t>(ctrl_.size());
+        for (std::uint32_t i = top; i-- > ctx.ctrl_mark;) {
+          mark_frame_dead(*this, i);
+        }
+        ctrl_.truncate(ctx.ctrl_mark);
+        garena_.truncate(ctx.garena_mark);
+        store_.truncate(seg(), ctx.heap_mark);
+        r = ctx.saved_bt;
+        continue;
+      }
+      throw AceError("uncaught exception: " + rendered);
+    }
+    Frame& f = frame(r);
+    if (f.kind == FrameKind::Parcall) {
+      // Exceptions do not cross independent-and-parallel boundaries (the
+      // sibling computations would have to be killed under recovery
+      // semantics the paper's model does not define).
+      throw AceError("uncaught exception in parallel goal: " + rendered);
+    }
+    ACE_CHECK(f.kind == FrameKind::Choice);
+    if (f.alt_kind == AltKind::Catch) {
+      ++stats_.cp_restores;
+      charge(costs_.cp_restore);
+      restore_choice(r);
+      Frame snapshot = frame(r);
+      bt_ = snapshot.prev_bt;
+      mark_frame_dead(peer(ref_agent(r)), ref_index(r));
+      pop_dead_suffix();
+      Addr ball2 = instantiate(store_, seg(), tmpl);
+      stats_.heap_cells += tmpl.instantiation_cost();
+      charge(tmpl.instantiation_cost() * costs_.heap_cell);
+      if (unify_charge(snapshot.call_goal, ball2)) {
+        glist_ = push_goal(snapshot.alt_term, snapshot.cont,
+                           snapshot.cut_parent);
+        mode_ = Mode::Run;
+        return;
+      }
+      // Catcher does not match: keep unwinding outward.
+      r = snapshot.prev_bt;
+      continue;
+    }
+    Ref next = f.prev_bt;
+    mark_frame_dead(peer(ref_agent(r)), ref_index(r));
+    r = next;
+  }
+}
+
+void Worker::restore_choice(Ref cref) {
+  Frame& f = frame(cref);
+  Worker& owner = peer(ref_agent(cref));
+
+  if (par_ == nullptr) {
+    // Sequential / or-parallel: one agent, one stack — full reclamation.
+    ACE_CHECK(&owner == this);
+    std::uint32_t top = static_cast<std::uint32_t>(ctrl_.size());
+    for (std::uint32_t i = f.ctrl_mark + 1; i < top; ++i) {
+      Frame& dead = ctrl_[i];
+      if (dead.kind != FrameKind::Dead) {
+        ++stats_.backtrack_frames;
+        charge(costs_.backtrack_frame);
+        note_ctrl_free(frame_words(dead.kind));
+        dead.kind = FrameKind::Dead;
+      }
+    }
+    ctrl_.truncate(f.ctrl_mark + 1);
+    untrail_charge(f.trail_mark);
+    store_.truncate(seg(), f.heap_mark);
+    garena_.truncate(f.garena_mark);
+    return;
+  }
+
+  // And-parallel restore.
+  bool own_open_region =
+      ref_agent(cref) == agent_ && f.pf_id == cur_pf_ &&
+      (cur_pf_ == kNoPf ||
+       (f.slot_idx == cur_slot_ &&
+        f.part_idx + 1 == cur_slot_ref().parts.size()));
+  if (own_open_region) {
+    kill_own_frames_above(ref_index(cref));
+    untrail_charge(f.trail_mark);
+    // Heap and goal arena are not truncated in parallel mode (sections may
+    // be trapped under other work); they are reclaimed per query.
+    return;
+  }
+
+  // Re-entry into a (closed) section of some slot — the outside
+  // backtracking path set up by parcall_outside_backtrack.
+  ACE_CHECK(f.pf_id != kNoPf);
+  Parcall& pf = parcall(f.pf_id);
+  Slot& s = pf.slots[f.slot_idx];
+  // Kill parts newer than the choice's part.
+  while (s.parts.size() > f.part_idx + 1) {
+    unwind_part_range(s.parts.back(), f.pf_id, f.slot_idx);
+    s.parts.pop_back();
+  }
+  SectionPart& part = s.parts[f.part_idx];
+  ACE_CHECK(!part.open || part.agent == agent_);
+  std::uint32_t hi = part.open
+                         ? static_cast<std::uint32_t>(owner.ctrl_.size())
+                         : part.ctrl_hi;
+  if (hi > owner.ctrl_.size()) {
+    hi = static_cast<std::uint32_t>(owner.ctrl_.size());
+  }
+  for (std::uint32_t i = hi; i-- > ref_index(cref) + 1;) {
+    Frame& dead = owner.ctrl_[i];
+    if (dead.kind == FrameKind::Dead) continue;
+    std::uint32_t fpf;
+    std::uint32_t fslot;
+    if (dead.kind == FrameKind::Parcall) {
+      Parcall& child = parcall(dead.pf_id);
+      fpf = child.creator_pf;
+      fslot = child.creator_slot;
+    } else {
+      fpf = dead.pf_id;
+      fslot = dead.slot_idx;
+    }
+    if (!ctx_within_slot(fpf, fslot, f.pf_id, f.slot_idx)) continue;
+    mark_frame_dead(owner, i);
+  }
+  std::uint64_t thi = part.open ? owner.trail_.size() : part.trail_hi;
+  std::uint64_t undone = thi > f.trail_mark ? thi - f.trail_mark : 0;
+  untrail_range(store_, owner.trail_, f.trail_mark, thi);
+  stats_.untrail_ops += undone;
+  charge(undone * costs_.untrail_entry);
+  part.trail_hi = f.trail_mark;
+  part.ctrl_hi = ref_index(cref) + 1;
+  if (part.open && part.agent == agent_) {
+    // We are the part's owner: we can really truncate.
+    trail_.truncate(f.trail_mark);
+    part.open = false;
+  }
+
+  // Continue executing this slot here: new section part on our stacks,
+  // current context switches to the slot.
+  cur_pf_ = f.pf_id;
+  cur_slot_ = f.slot_idx;
+  s.resumed = true;
+  s.state = SlotState::Executing;
+  s.exec_agent = agent_;
+  open_new_part(s);
+}
+
+void Worker::mark_frame_dead(Worker& owner_agent, std::uint32_t index) {
+  Frame& f = owner_agent.ctrl_[index];
+  if (f.kind == FrameKind::Dead) return;
+  FrameKind kind = f.kind;
+  f.kind = FrameKind::Dead;
+  if (orp_ != nullptr && kind == FrameKind::Choice) {
+    if (f.shared_id != kNoShare) {
+      orp_cancel_node(f.shared_id, f.pred_gen);
+    } else if (f.alt_kind == AltKind::Clauses ||
+               f.alt_kind == AltKind::Term) {
+      --owner_agent.private_cps_;
+    }
+  }
+  ++stats_.backtrack_frames;
+  charge(costs_.backtrack_frame);
+  if (kind == FrameKind::InMarker || kind == FrameKind::EndMarker) {
+    charge(costs_.marker_bt);
+  }
+  owner_agent.note_ctrl_free(frame_words(kind));
+  if (kind == FrameKind::Parcall) {
+    unwind_parcall(f.pf_id);
+  }
+}
+
+void Worker::kill_own_frames_above(std::uint32_t above) {
+  std::uint32_t top = static_cast<std::uint32_t>(ctrl_.size());
+  for (std::uint32_t i = top; i-- > above + 1;) {
+    mark_frame_dead(*this, i);
+  }
+  pop_dead_suffix();
+}
+
+void Worker::pop_dead_suffix() {
+  std::size_t top = ctrl_.size();
+  while (top > 0 && ctrl_[top - 1].kind == FrameKind::Dead) --top;
+  ctrl_.truncate(top);
+}
+
+bool Worker::ctx_within_slot(std::uint32_t frame_pf,
+                             std::uint32_t frame_slot, std::uint32_t pf_id,
+                             std::uint32_t slot_idx) {
+  while (frame_pf != kNoPf) {
+    if (frame_pf == pf_id && frame_slot == slot_idx) return true;
+    Parcall& p = parcall(frame_pf);
+    frame_slot = p.creator_slot;
+    frame_pf = p.creator_pf;
+  }
+  return false;
+}
+
+void Worker::unwind_part_range(const SectionPart& part, std::uint32_t pf_id,
+                               std::uint32_t slot_idx) {
+  Worker& owner = peer(part.agent);
+  std::uint32_t hi = part.open
+                         ? static_cast<std::uint32_t>(owner.ctrl_.size())
+                         : part.ctrl_hi;
+  std::uint32_t top = static_cast<std::uint32_t>(owner.ctrl_.size());
+  if (hi > top) hi = top;  // the owner reclaimed part of the range
+  for (std::uint32_t i = hi; i-- > part.ctrl_lo;) {
+    Frame& f = owner.ctrl_[i];
+    if (f.kind == FrameKind::Dead) continue;
+    // Stale-range guard: after cross-agent dead-marking the owner may have
+    // recycled these positions for unrelated work; only frames whose
+    // context chain descends from the slot being unwound belong to it.
+    std::uint32_t fpf;
+    std::uint32_t fslot;
+    if (f.kind == FrameKind::Parcall) {
+      Parcall& child = parcall(f.pf_id);
+      fpf = child.creator_pf;
+      fslot = child.creator_slot;
+    } else {
+      fpf = f.pf_id;
+      fslot = f.slot_idx;
+    }
+    if (!ctx_within_slot(fpf, fslot, pf_id, slot_idx)) continue;
+    mark_frame_dead(owner, i);
+  }
+  std::uint64_t thi = part.open ? owner.trail_.size() : part.trail_hi;
+  std::uint64_t undone = thi > part.trail_lo ? thi - part.trail_lo : 0;
+  untrail_range(store_, owner.trail_, part.trail_lo, thi);
+  stats_.untrail_ops += undone;
+  charge(undone * costs_.untrail_entry);
+}
+
+void Worker::unwind_slot(std::uint32_t pf_id, std::uint32_t slot_idx) {
+  Parcall& pf = parcall(pf_id);
+  Slot& s = pf.slots[slot_idx];
+  ACE_CHECK_MSG(s.state != SlotState::Executing,
+                "unwinding a slot that is still executing");
+  for (std::size_t p = s.parts.size(); p-- > 0;) {
+    unwind_part_range(s.parts[p], pf_id, slot_idx);
+  }
+  s.parts.clear();
+  s.newest_bt = kNoRef;
+  s.resumed = false;
+  s.marker_pending = false;
+  s.in_marker = kNoRef;
+  s.end_marker = kNoRef;
+}
+
+}  // namespace ace

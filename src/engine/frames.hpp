@@ -1,0 +1,96 @@
+// Control-stack frames, continuation (goal list) nodes and global frame
+// references.
+//
+// The engines never walk raw stacks to backtrack; they follow the logical
+// backtrack chain (Choice.prev_bt / Parcall.prev_bt), which may cross agent
+// stacks. Physical stack *sections* (per-slot ranges of ctrl/trail/heap/goal
+// arenas) are tracked by the and-parallel machinery and unwound explicitly —
+// this is the role the paper's input/end markers play, and the SHALLOW/PDO
+// optimizations elide exactly these marker frames.
+#pragma once
+
+#include <cstdint>
+
+#include "db/predicate.hpp"
+#include "term/cell.hpp"
+
+namespace ace {
+
+// Global reference to a frame or goal node: (agent << 32) | index.
+using Ref = std::uint64_t;
+constexpr Ref kNoRef = ~std::uint64_t{0};
+constexpr Ref make_ref(unsigned agent, std::uint64_t index) {
+  return (Ref{agent} << 32) | index;
+}
+constexpr unsigned ref_agent(Ref r) { return static_cast<unsigned>(r >> 32); }
+constexpr std::uint32_t ref_index(Ref r) {
+  return static_cast<std::uint32_t>(r);
+}
+
+constexpr std::uint32_t kNoPf = ~std::uint32_t{0};
+constexpr std::uint32_t kNoShare = ~std::uint32_t{0};
+
+// Worker::shared_take() result for a term-alternative public node: the
+// single term alternative was granted to the caller (>= 0 results are
+// clause ordinals; -1 means exhausted).
+constexpr long kTakeTermAlt = -2;
+
+// One continuation node. Goal lists are immutable linked lists allocated in
+// per-agent arenas; a choice point saves a single Ref to restore the whole
+// continuation.
+struct GoalNode {
+  Addr goal = 0;
+  Ref next = kNoRef;
+  // The backtrack chain value to restore when a cut in this goal executes
+  // (the bt register at entry of the clause this goal belongs to).
+  Ref cut_parent = kNoRef;
+};
+
+enum class FrameKind : std::uint8_t {
+  Choice,
+  Parcall,
+  InMarker,
+  EndMarker,
+  Dead,
+};
+
+// What a Choice frame iterates over.
+enum class AltKind : std::uint8_t {
+  Clauses,   // remaining matching clauses of a predicate
+  Term,      // a single alternative goal term (disjunction right branch)
+  IteElse,   // like Term, but killed by '$ite_commit' when the cond succeeds
+  Catch,     // catch/3 marker: transparent to backtracking, a target for
+             // throw/1 (call_goal = catcher, alt_term = recovery goal)
+};
+
+// A control frame. One struct covers all kinds (wasted fields are cheap and
+// keep the stack a flat vector); `kind` selects the meaning.
+struct Frame {
+  FrameKind kind = FrameKind::Dead;
+
+  // --- Choice ---
+  AltKind alt_kind = AltKind::Clauses;
+  Addr call_goal = 0;        // the call being retried (Clauses)
+  Addr alt_term = 0;         // the alternative body (Term/IteElse)
+  Ref cont = kNoRef;         // continuation after the retried goal
+  Ref cut_parent = kNoRef;   // saved cut barrier of the retried goal
+  const Predicate* pred = nullptr;
+  IndexKey key;
+  std::uint64_t pred_gen = 0;
+  std::uint32_t bucket_pos = 0;  // next candidate within the index bucket
+  long last_ordinal = -1;        // fallback scan cursor (dynamic preds)
+  // Restore marks, local to the frame's own agent.
+  std::uint64_t trail_mark = 0;
+  std::uint64_t heap_mark = 0;
+  std::uint64_t garena_mark = 0;
+  std::uint32_t ctrl_mark = 0;   // own index; frames above die on restore
+  Ref prev_bt = kNoRef;
+  std::uint32_t part_idx = 0;    // which section part of the slot we sit in
+  std::uint32_t shared_id = kNoShare;  // or-parallel public-node handle
+
+  // --- Parcall / markers ---
+  std::uint32_t pf_id = kNoPf;
+  std::uint32_t slot_idx = 0;
+};
+
+}  // namespace ace

@@ -1,0 +1,169 @@
+#include <algorithm>
+
+#include "engine/worker.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+Worker::Worker(unsigned agent, Store& store, Database& db, const Builtins& bi,
+               const CostModel& costs, WorkerOptions opts, IoSink& io)
+    : agent_(agent),
+      seg_(agent),
+      store_(store),
+      db_(db),
+      syms_(db.syms()),
+      builtins_(bi),
+      costs_(costs),
+      opts_(opts),
+      io_(io) {}
+
+void Worker::load_query(const TermTemplate& query) {
+  query_ = &query;
+  Addr root = instantiate(store_, seg(), query, &query_vars_);
+  stats_.heap_cells += query.instantiation_cost();
+  charge(query.instantiation_cost() * costs_.heap_cell);
+  glist_ = push_goal(root, kNoRef, kNoRef);
+  bt_ = kNoRef;
+  cur_pf_ = kNoPf;
+  mode_ = Mode::Run;
+}
+
+Ref Worker::push_goal(Addr goal, Ref next, Ref cut_parent) {
+  GoalNode node;
+  node.goal = goal;
+  node.next = next;
+  node.cut_parent = cut_parent;
+  std::uint64_t idx = garena_.push_back(node);
+  ++stats_.goal_nodes;
+  charge(costs_.goal_node);
+  return make_ref(agent_, idx);
+}
+
+bool Worker::unify_charge(Addr a, Addr b) {
+  std::uint64_t steps = 0;
+  std::uint64_t mark = trail_.size();
+  bool ok = unify(store_, trail_, a, b, &steps, opts_.occurs_check);
+  stats_.unify_steps += steps;
+  charge(steps * costs_.unify_step);
+  if (ok) {
+    std::uint64_t added = trail_.size() - mark;
+    stats_.trail_entries += added;
+    charge(added * costs_.trail_entry);
+  } else {
+    untrail_charge(mark);
+  }
+  return ok;
+}
+
+void Worker::untrail_charge(std::uint64_t mark) {
+  std::uint64_t undone = trail_.size() - mark;
+  untrail(store_, trail_, mark);
+  stats_.untrail_ops += undone;
+  charge(undone * costs_.untrail_entry);
+}
+
+void Worker::note_ctrl_alloc(std::uint64_t words) {
+  stats_.ctrl_words += words;
+  stats_.ctrl_words_hw = std::max(stats_.ctrl_words_hw, stats_.ctrl_words);
+}
+
+void Worker::note_ctrl_free(std::uint64_t words) {
+  stats_.ctrl_words = words > stats_.ctrl_words ? 0 : stats_.ctrl_words - words;
+}
+
+StepOutcome Worker::step() {
+  switch (mode_) {
+    case Mode::Run:
+      if (par_ != nullptr && check_cancellation()) break;
+      run_step();
+      break;
+    case Mode::Backtrack:
+      if (par_ != nullptr && check_cancellation()) break;
+      backtrack_step();
+      break;
+    case Mode::FailWait:
+      fail_wait_step();
+      break;
+    case Mode::ReentryWait:
+      reentry_wait_step();
+      break;
+    case Mode::Idle:
+      if (par_ != nullptr) {
+        idle_step();
+      } else if (orp_ != nullptr) {
+        orp_idle_step();
+      } else {
+        return StepOutcome::Exhausted;  // sequential worker with no query
+      }
+      break;
+    case Mode::SolutionPause:
+      return StepOutcome::Solution;
+    case Mode::Done:
+      return StepOutcome::Exhausted;
+  }
+  switch (mode_) {
+    case Mode::SolutionPause:
+      return StepOutcome::Solution;
+    case Mode::Done:
+      return StepOutcome::Exhausted;
+    case Mode::Idle:
+      return StepOutcome::Idle;
+    default:
+      return StepOutcome::Progress;
+  }
+}
+
+void Worker::request_next_solution() {
+  ACE_CHECK(mode_ == Mode::SolutionPause);
+  mode_ = Mode::Backtrack;
+}
+
+std::string Worker::solution_string() const {
+  ACE_CHECK(query_ != nullptr);
+  std::unordered_map<Addr, std::string> names;
+  for (std::size_t i = 0; i < query_vars_.size(); ++i) {
+    names.emplace(query_vars_[i], query_->var_names[i]);
+  }
+  PrintOpts opts;
+  opts.var_names = &names;
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < query_vars_.size(); ++i) {
+    const std::string& name = query_->var_names[i];
+    if (name == "_" || starts_with(name, "_")) continue;
+    if (is_unbound(store_, deref(store_, query_vars_[i]))) continue;
+    parts.push_back(
+        name + " = " + term_to_string(store_, syms_, query_vars_[i], opts));
+  }
+  if (parts.empty()) return "true";
+  return join(parts, ", ");
+}
+
+Slot& Worker::cur_slot_ref() {
+  ACE_CHECK(cur_pf_ != kNoPf);
+  return parcall(cur_pf_).slots[cur_slot_];
+}
+
+void Worker::open_new_part(Slot& slot) {
+  SectionPart part;
+  part.agent = agent_;
+  part.trail_lo = part.trail_hi = trail_.size();
+  part.ctrl_lo = part.ctrl_hi = static_cast<std::uint32_t>(ctrl_.size());
+  part.garena_lo = part.garena_hi = garena_.size();
+  part.heap_lo = part.heap_hi = heap_size();
+  part.open = true;
+  slot.parts.push_back(part);
+}
+
+void Worker::close_current_part() {
+  Slot& slot = cur_slot_ref();
+  ACE_CHECK(!slot.parts.empty());
+  SectionPart& part = slot.parts.back();
+  ACE_CHECK(part.open && part.agent == agent_);
+  part.trail_hi = trail_.size();
+  part.ctrl_hi = static_cast<std::uint32_t>(ctrl_.size());
+  part.garena_hi = garena_.size();
+  part.heap_hi = heap_size();
+  part.open = false;
+}
+
+}  // namespace ace

@@ -1,0 +1,119 @@
+// Parcall frames and goal slots — the &ACE data structures for independent
+// and-parallel execution (paper Section 2, Figure 2).
+//
+// A Parcall describes one parallel conjunction (g1 & ... & gn). Each Slot
+// holds one subgoal plus the bookkeeping the markers support: which agent
+// executed it, the stack/trail section(s) it occupies, and its newest
+// internal backtrack point. Slots are stored append-only; *logical* order
+// (the sequential semantics order used by right-to-left outside
+// backtracking) is a doubly linked list through `order_prev`/`order_next`,
+// which lets LPCO splice flattened subgoals in place of the goal they came
+// from in O(1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/frames.hpp"
+
+namespace ace {
+
+constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+// A contiguous range of one agent's stacks belonging to one slot execution.
+// A slot that is re-entered by outside backtracking accumulates parts on
+// the backtracking agent's stacks.
+struct SectionPart {
+  unsigned agent = 0;
+  std::uint64_t trail_lo = 0, trail_hi = 0;
+  std::uint32_t ctrl_lo = 0, ctrl_hi = 0;
+  std::uint64_t garena_lo = 0, garena_hi = 0;
+  std::uint64_t heap_lo = 0, heap_hi = 0;
+  bool open = true;  // still being written by its agent
+};
+
+enum class SlotState : std::uint8_t {
+  Pending,     // available for (re)execution
+  Executing,
+  Succeeded,
+  Exhausted,   // alternatives used up during outside backtracking
+  Aborted,     // abandoned by its executor (parcall failure kill); parts
+               // remain until the failure coordinator unwinds them
+  Dead,        // unwound (parcall failed/flattened away)
+};
+
+struct Slot {
+  Addr goal = 0;
+  SlotState state = SlotState::Pending;
+  unsigned exec_agent = 0;
+  bool resumed = false;       // executing under outside backtracking
+  Ref newest_bt = kNoRef;     // newest Choice/Parcall ref inside the slot
+  std::vector<SectionPart> parts;
+  std::vector<std::uint32_t> child_pfs;  // parcalls created inside this slot
+
+  // Marker bookkeeping (what SHALLOW and PDO optimize away).
+  bool marker_pending = false;  // SHALLOW: input marker procrastinated
+  bool pdo_merged = false;      // PDO: continues the previous slot's section
+  Ref in_marker = kNoRef;
+  Ref end_marker = kNoRef;
+
+  // Logical order links (slot ids within the same Parcall).
+  std::uint32_t order_prev = kNoSlot;
+  std::uint32_t order_next = kNoSlot;
+
+  // LPCO lineage: the merged slot whose flattening created this slot, or
+  // kNoSlot. When the parent is reset for recomputation its children are
+  // deleted from the order list — the parent's re-execution re-merges and
+  // re-creates them (fresh clause instance, fresh variables).
+  std::uint32_t lpco_parent = kNoSlot;
+
+  std::uint64_t publish_time = 0;  // virtual time when made fetchable
+};
+
+enum class PfState : std::uint8_t {
+  Forward,    // slots executing toward first completion
+  Complete,   // all slots succeeded; continuation may run
+  Failing,    // some slot failed; being torn down
+  Dead,
+};
+
+struct Parcall {
+  std::uint32_t id = 0;
+  unsigned owner = 0;           // agent that created the parcall
+  Ref frame = kNoRef;           // the Parcall frame on the owner's stack
+  Ref prev_bt = kNoRef;         // owner's backtrack chain below the parcall
+  Ref cont = kNoRef;            // continuation goal list after the parcall
+  std::uint32_t creator_pf = kNoPf;  // enclosing slot context of the owner
+  std::uint32_t creator_slot = 0;
+
+  std::vector<Slot> slots;
+  std::uint32_t order_head = kNoSlot;  // leftmost slot in logical order
+  std::uint32_t order_tail = kNoSlot;
+
+  PfState state = PfState::Forward;
+  std::atomic<std::uint32_t> pending{0};  // slots not yet Succeeded
+
+  // Continuation-resume marks, taken on the coordinator's stacks each time
+  // the continuation starts, so outside backtracking can undo the
+  // continuation's work. `owner` is dynamic: an agent re-entering the
+  // parcall takes over coordination (the original creator may long be busy
+  // elsewhere).
+  unsigned cont_agent = 0;
+  std::uint32_t cont_part_idx = 0;  // part of the enclosing slot
+  std::uint64_t cont_trail_mark = 0;
+  std::uint64_t cont_garena_mark = 0;
+  std::uint64_t cont_heap_mark = 0;
+  std::uint32_t cont_ctrl_mark = 0;
+
+  // Guards slot-state transitions in the real-thread runtime.
+  std::mutex mu;
+
+  // Appends a slot and links it at the tail of the logical order.
+  std::uint32_t append_slot(Slot s);
+  // Appends a slot and links it right after `after` in logical order.
+  std::uint32_t insert_slot_after(Slot s, std::uint32_t after);
+};
+
+}  // namespace ace

@@ -1,0 +1,56 @@
+// SeqEngine: the sequential baseline engine (the paper's "state-of-the-art
+// purely sequential system" stand-in that parallel overhead is measured
+// against).
+//
+// Usage:
+//   Database db;
+//   load_library(db);
+//   db.consult("p(1). p(2).");
+//   SeqEngine eng(db);
+//   auto solutions = eng.solve("p(X).");   // {"X = 1", "X = 2"}
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/worker.hpp"
+
+namespace ace {
+
+struct SolveResult {
+  std::vector<std::string> solutions;  // "X = 1, Y = f(Z)" per solution
+  std::uint64_t virtual_time = 0;
+  Counters stats;           // aggregated over all agents
+  std::vector<Counters> per_agent;  // one entry per agent (parallel engines)
+  std::vector<std::uint64_t> agent_clocks;
+  std::string output;  // text written by write/1
+};
+
+// Renders a per-agent breakdown table (work distribution, steals, idle
+// time, markers) for a parallel run.
+std::string per_agent_report(const SolveResult& result);
+
+class SeqEngine {
+ public:
+  explicit SeqEngine(Database& db, WorkerOptions opts = {},
+                     const CostModel& costs = CostModel::standard());
+
+  // Runs `query_text` (a '.'-terminated goal), collecting up to
+  // `max_solutions` solutions. Each call resets the engine state.
+  SolveResult solve(const std::string& query_text,
+                    std::size_t max_solutions = SIZE_MAX);
+
+  // Convenience: true if the query has at least one solution.
+  bool succeeds(const std::string& query_text) {
+    return !solve(query_text, 1).solutions.empty();
+  }
+
+ private:
+  Database& db_;
+  WorkerOptions opts_;
+  CostModel costs_;
+  Builtins builtins_;
+};
+
+}  // namespace ace

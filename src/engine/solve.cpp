@@ -1,0 +1,136 @@
+// Goal-list completion, findall/3 nested execution, and the SeqEngine
+// facade.
+#include "engine/seq_engine.hpp"
+#include "engine/worker.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+
+namespace ace {
+
+void Worker::on_goals_done() {
+  if (!nested_.empty()) {
+    nested_solution();
+    return;
+  }
+  if (cur_pf_ != kNoPf) {
+    complete_slot();
+    return;
+  }
+  ++stats_.solutions;
+  trace(TraceEvent::Solution);
+  mode_ = Mode::SolutionPause;
+}
+
+void Worker::begin_nested(Addr template_term, Addr goal, Addr result_var) {
+  NestedCtx ctx;
+  ctx.template_term = template_term;
+  ctx.result_var = result_var;
+  ctx.saved_glist = glist_;
+  ctx.saved_bt = bt_;
+  ctx.trail_mark = trail_.size();
+  ctx.heap_mark = heap_size();
+  ctx.garena_mark = garena_.size();
+  ctx.ctrl_mark = static_cast<std::uint32_t>(ctrl_.size());
+  nested_.push_back(std::move(ctx));
+  // Run the goal on a fresh backtrack chain; cut inside is local.
+  bt_ = kNoRef;
+  glist_ = push_goal(goal, kNoRef, kNoRef);
+  mode_ = Mode::Run;
+}
+
+void Worker::nested_solution() {
+  NestedCtx& ctx = nested_.back();
+  ctx.collected.push_back(term_to_template(store_, ctx.template_term));
+  charge(ctx.collected.back().cells.size() * costs_.heap_cell);
+  mode_ = Mode::Backtrack;  // enumerate the next solution
+}
+
+void Worker::nested_exhausted() {
+  NestedCtx ctx = std::move(nested_.back());
+  nested_.pop_back();
+  // Roll the nested execution back completely.
+  untrail_charge(ctx.trail_mark);
+  std::uint32_t top = static_cast<std::uint32_t>(ctrl_.size());
+  for (std::uint32_t i = top; i-- > ctx.ctrl_mark;) {
+    mark_frame_dead(*this, i);
+  }
+  ctrl_.truncate(ctx.ctrl_mark);
+  garena_.truncate(ctx.garena_mark);
+  store_.truncate(seg(), ctx.heap_mark);
+  glist_ = ctx.saved_glist;
+  bt_ = ctx.saved_bt;
+
+  // Materialize the collected solutions as a list.
+  std::vector<Addr> items;
+  items.reserve(ctx.collected.size());
+  for (const TermTemplate& tmpl : ctx.collected) {
+    items.push_back(instantiate(store_, seg(), tmpl));
+    stats_.heap_cells += tmpl.instantiation_cost();
+    charge(tmpl.instantiation_cost() * costs_.heap_cell);
+  }
+  Addr list = heap_list(store_, seg(), items, syms_.known().nil);
+  stats_.heap_cells += 2 * items.size() + 1;
+  if (unify_charge(ctx.result_var, list)) {
+    mode_ = Mode::Run;
+  } else {
+    mode_ = Mode::Backtrack;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SeqEngine facade.
+
+SeqEngine::SeqEngine(Database& db, WorkerOptions opts, const CostModel& costs)
+    : db_(db), opts_(opts), costs_(costs), builtins_(db.syms()) {
+  opts_.parallel_and = false;
+}
+
+SolveResult SeqEngine::solve(const std::string& query_text,
+                             std::size_t max_solutions) {
+  TermTemplate query = parse_term_text(db_.syms(), query_text);
+  Store store(1);
+  IoSink io;
+  Worker worker(0, store, db_, builtins_, costs_, opts_, io);
+  worker.load_query(query);
+
+  SolveResult result;
+  while (result.solutions.size() < max_solutions) {
+    StepOutcome out = worker.step();
+    if (out == StepOutcome::Solution) {
+      result.solutions.push_back(worker.solution_string());
+      if (result.solutions.size() >= max_solutions) break;
+      worker.request_next_solution();
+    } else if (out == StepOutcome::Exhausted) {
+      break;
+    }
+  }
+  result.virtual_time = worker.clock_;
+  result.stats = worker.stats_;
+  result.per_agent.push_back(worker.stats_);
+  result.agent_clocks.push_back(worker.clock_);
+  result.output = io.text;
+  return result;
+}
+
+std::string per_agent_report(const SolveResult& result) {
+  TextTable table({"agent", "clock", "resolutions", "fetches", "steals",
+                   "idle", "markers", "cp", "untrail"});
+  for (std::size_t a = 0; a < result.per_agent.size(); ++a) {
+    const Counters& c = result.per_agent[a];
+    std::uint64_t clock =
+        a < result.agent_clocks.size() ? result.agent_clocks[a] : 0;
+    table.add_row(
+        {strf("%zu", a), strf("%llu", (unsigned long long)clock),
+         strf("%llu", (unsigned long long)c.resolutions),
+         strf("%llu", (unsigned long long)c.fetches),
+         strf("%llu", (unsigned long long)c.steals),
+         strf("%llu", (unsigned long long)c.idle_ticks),
+         strf("%llu",
+              (unsigned long long)(c.input_markers + c.end_markers)),
+         strf("%llu", (unsigned long long)c.choicepoints),
+         strf("%llu", (unsigned long long)c.untrail_ops)});
+  }
+  return table.render();
+}
+
+}  // namespace ace

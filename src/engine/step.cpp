@@ -1,0 +1,349 @@
+// Forward execution: one goal dispatched per run_step().
+#include "engine/worker.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+struct GoalShape {
+  std::uint32_t sym;
+  unsigned arity;
+  Addr args;  // address of first argument cell (args at args+0 .. arity-1)
+};
+
+GoalShape shape_of(Store& store, const SymbolTable& syms, Addr goal) {
+  Addr a = deref(store, goal);
+  Cell c = store.get(a);
+  switch (c.tag()) {
+    case Tag::Atm:
+      return {c.symbol(), 0, 0};
+    case Tag::Str: {
+      Cell f = store.get(c.ref());
+      return {f.fun_symbol(), f.fun_arity(), c.ref() + 1};
+    }
+    case Tag::Ref:
+      throw AceError("call: unbound goal");
+    case Tag::Int:
+      throw AceError("call: integer is not callable");
+    case Tag::Lst:
+      throw AceError(strf("call: list is not callable (%s)",
+                          syms.name(syms.known().dot).c_str()));
+    default:
+      throw AceError("call: bad goal term");
+  }
+}
+
+}  // namespace
+
+void Worker::run_step() {
+  if (glist_ == kNoRef) {
+    on_goals_done();
+    return;
+  }
+  GoalNode node = goal_node(glist_);
+  glist_ = node.next;
+  execute_goal(node.goal, node.cut_parent);
+}
+
+void Worker::execute_goal(Addr goal, Ref cut_parent) {
+  goal = deref(store_, goal);
+  GoalShape g = shape_of(store_, syms_, goal);
+  const auto& k = syms_.known();
+
+  // ---- Control constructs ----
+  if (g.arity == 2 && g.sym == k.comma) {
+    Ref right = push_goal(g.args + 1, glist_, cut_parent);
+    glist_ = push_goal(g.args + 0, right, cut_parent);
+    return;
+  }
+  if (g.arity == 2 && g.sym == k.amp) {
+    if (opts_.parallel_and && par_ != nullptr && nested_.empty()) {
+      begin_parcall(goal, cut_parent);
+      return;
+    }
+    // Sequential fallback: '&' behaves as ','.
+    Ref right = push_goal(g.args + 1, glist_, cut_parent);
+    glist_ = push_goal(g.args + 0, right, cut_parent);
+    return;
+  }
+  if (g.arity == 2 && g.sym == k.semicolon) {
+    // If-then-else?
+    Addr left = deref(store_, g.args + 0);
+    Cell lc = store_.get(left);
+    if (lc.tag() == Tag::Str) {
+      Cell lf = store_.get(lc.ref());
+      if (lf.fun_symbol() == k.arrow && lf.fun_arity() == 2) {
+        Addr cond = lc.ref() + 1;
+        Addr then = lc.ref() + 2;
+        Ref ite = push_choice_term(g.args + 1, cut_parent, AltKind::IteElse);
+        // Continuation: Cond, $ite_commit(ite), Then, rest.
+        Addr commit = heap_struct(
+            store_, seg(), builtins_.ite_commit_sym(),
+            {heap_int(store_, seg(),
+                      static_cast<std::int64_t>(ite))});
+        stats_.heap_cells += 4;
+        charge(4 * costs_.heap_cell);
+        Ref then_ref = push_goal(then, glist_, cut_parent);
+        Ref commit_ref = push_goal(commit, then_ref, cut_parent);
+        // Cut inside the condition is local to the condition: its barrier
+        // is the ITE frame itself (cutting to it keeps the else reachable
+        // until the commit).
+        glist_ = push_goal(cond, commit_ref, ite);
+        return;
+      }
+    }
+    // Plain disjunction.
+    push_choice_term(g.args + 1, cut_parent, AltKind::Term);
+    glist_ = push_goal(g.args + 0, glist_, cut_parent);
+    return;
+  }
+  if (g.arity == 2 && g.sym == k.arrow) {
+    // Bare (C -> T) is (C -> T ; fail). The else atom is allocated before
+    // the frame so it sits below the frame's heap mark (or-parallel prefix
+    // copies rely on this).
+    Addr alt = heap_atom(store_, seg(), k.fail);
+    Ref ite = push_choice_term(alt, cut_parent, AltKind::IteElse);
+    Addr commit =
+        heap_struct(store_, seg(), builtins_.ite_commit_sym(),
+                    {heap_int(store_, seg(), static_cast<std::int64_t>(ite))});
+    stats_.heap_cells += 5;
+    charge(5 * costs_.heap_cell);
+    Ref then_ref = push_goal(g.args + 1, glist_, cut_parent);
+    Ref commit_ref = push_goal(commit, then_ref, cut_parent);
+    glist_ = push_goal(g.args + 0, commit_ref, ite);
+    return;
+  }
+  if (g.arity == 0 && g.sym == k.cut) {
+    stats_.builtin_calls++;
+    charge(costs_.builtin);
+    do_cut(cut_parent);
+    return;
+  }
+  if (g.arity == 1 && g.sym == k.call) {
+    stats_.builtin_calls++;
+    charge(costs_.builtin);
+    // call/1 is opaque to cut: the inner goal's barrier is the current bt.
+    glist_ = push_goal(g.args + 0, glist_, bt_);
+    return;
+  }
+  if (g.arity >= 2 && g.arity <= 8 && g.sym == k.call) {
+    // call/N: apply the closure in arg 1 to the remaining arguments.
+    stats_.builtin_calls++;
+    charge(costs_.builtin);
+    Addr closure = deref(store_, g.args + 0);
+    Cell cc = store_.get(closure);
+    std::uint32_t fsym;
+    std::vector<Addr> args;
+    if (cc.tag() == Tag::Atm) {
+      fsym = cc.symbol();
+    } else if (cc.tag() == Tag::Str) {
+      Cell f = store_.get(cc.ref());
+      fsym = f.fun_symbol();
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        args.push_back(cc.ref() + i);
+      }
+    } else {
+      throw AceError("call/N: closure is not callable");
+    }
+    for (unsigned i = 1; i < g.arity; ++i) args.push_back(g.args + i);
+    std::size_t extra = args.size() + 1;
+    Addr built = args.empty() ? heap_atom(store_, seg(), fsym)
+                              : heap_struct(store_, seg(), fsym, args);
+    stats_.heap_cells += extra;
+    charge(extra * costs_.heap_cell);
+    glist_ = push_goal(built, glist_, bt_);
+    return;
+  }
+  if (g.arity == 1 && g.sym == k.naf) {
+    // \+ G  ==  (G -> fail ; true)
+    stats_.builtin_calls++;
+    charge(costs_.builtin);
+    Addr alt = heap_atom(store_, seg(), k.truesym);
+    Ref ite = push_choice_term(alt, cut_parent, AltKind::IteElse);
+    Addr commit =
+        heap_struct(store_, seg(), builtins_.ite_commit_sym(),
+                    {heap_int(store_, seg(), static_cast<std::int64_t>(ite))});
+    Addr failatom = heap_atom(store_, seg(), k.fail);
+    stats_.heap_cells += 6;
+    charge(6 * costs_.heap_cell);
+    Ref fail_ref = push_goal(failatom, glist_, cut_parent);
+    Ref commit_ref = push_goal(commit, fail_ref, cut_parent);
+    glist_ = push_goal(g.args + 0, commit_ref, ite);
+    return;
+  }
+
+  // ---- Builtins ----
+  if (auto id = builtins_.lookup(g.sym, g.arity)) {
+    stats_.builtin_calls++;
+    charge(costs_.builtin);
+    switch (exec_builtin(*this, *id, goal, glist_, cut_parent)) {
+      case BuiltinResult::Ok:
+        return;
+      case BuiltinResult::Failed:
+        fail();
+        return;
+      case BuiltinResult::Handled:
+        return;
+    }
+    return;
+  }
+
+  // ---- User predicates ----
+  call_user_pred(goal, g.sym, g.arity);
+}
+
+void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
+  ++stats_.resolutions;
+  charge(costs_.call_dispatch);
+  if (opts_.resolution_limit != 0 &&
+      stats_.resolutions > opts_.resolution_limit) {
+    throw AceError(strf("resolution limit exceeded (%llu)",
+                        static_cast<unsigned long long>(
+                            opts_.resolution_limit)));
+  }
+
+  const Predicate* pred = db_.find(sym, arity);
+  if (pred == nullptr) {
+    throw AceError(strf("undefined predicate %s/%u",
+                        syms_.name(sym).c_str(), arity));
+  }
+  IndexKey key{IndexKey::Kind::AnyCall, 0};
+  if (arity > 0) {
+    Cell c = store_.get(deref(store_, goal));
+    key = call_index_key(store_, c.ref() + 1, syms_);
+  }
+  const std::vector<std::uint32_t>& bucket = pred->candidates(key);
+  if (bucket.empty()) {
+    fail();
+    return;
+  }
+
+  Ref barrier = bt_;
+  if (bucket.size() == 1) {
+    if (!try_clause(*pred, bucket[0], goal, barrier)) fail();
+    return;
+  }
+  Ref cp = push_choice_clauses(goal, pred, key, /*next_bucket_pos=*/1,
+                               static_cast<long>(bucket[0]), barrier);
+  // LAO may have recycled an exhausted frame in place, in which case the
+  // clause bodies' cut barrier is that frame's predecessor, not bt_ as it
+  // was before the call. The frame records the correct barrier either way.
+  barrier = frame(cp).cut_parent;
+  if (!try_clause(*pred, bucket[0], goal, barrier)) fail();
+}
+
+bool Worker::try_clause(const Predicate& pred, std::uint32_t ordinal,
+                        Addr goal, Ref barrier) {
+  const Clause& clause = pred.clause(ordinal);
+  Addr inst = instantiate(store_, seg(), clause.tmpl);
+  stats_.heap_cells += clause.tmpl.instantiation_cost();
+  charge(clause.tmpl.instantiation_cost() * costs_.heap_cell);
+
+  // inst is ':-'(Head, Body).
+  Cell root = store_.get(deref(store_, inst));
+  ACE_DCHECK(root.tag() == Tag::Str);
+  Addr head = root.ref() + 1;
+  Addr body = root.ref() + 2;
+
+  if (!unify_charge(goal, head)) return false;
+  if (!clause.body_is_true) {
+    glist_ = push_goal(body, glist_, barrier);
+  }
+  mode_ = Mode::Run;
+  return true;
+}
+
+Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
+                                const IndexKey& key,
+                                std::uint32_t next_bucket_pos,
+                                long last_ordinal, Ref cut_parent) {
+  if (orp_ != nullptr && opts_.lao) {
+    // LAO (paper §3.2): if the exhausted previous choice point is still on
+    // top — i.e. its last alternative is creating this one — reuse it.
+    ++stats_.opt_checks;
+    charge(costs_.opt_check);
+    if (lao_try_reuse(goal, pred, key, cut_parent, next_bucket_pos,
+                      last_ordinal)) {
+      return bt_;
+    }
+  }
+  Frame f;
+  f.kind = FrameKind::Choice;
+  f.alt_kind = AltKind::Clauses;
+  f.call_goal = goal;
+  f.cont = glist_;
+  f.cut_parent = cut_parent;
+  f.pred = pred;
+  f.key = key;
+  f.pred_gen = pred->generation();
+  f.bucket_pos = next_bucket_pos;
+  f.last_ordinal = last_ordinal;
+  f.trail_mark = trail_.size();
+  f.heap_mark = heap_size();
+  f.garena_mark = garena_.size();
+  f.prev_bt = bt_;
+  f.pf_id = cur_pf_;
+  f.slot_idx = cur_slot_;
+  if (cur_pf_ != kNoPf) {
+    Slot& s = cur_slot_ref();
+    f.part_idx = static_cast<std::uint32_t>(s.parts.size()) - 1;
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  f.ctrl_mark = idx;
+  ctrl_.push_back(f);
+  bt_ = make_ref(agent_, idx);
+  ++stats_.choicepoints;
+  if (orp_ != nullptr) ++private_cps_;
+  charge(costs_.choicepoint);
+  note_ctrl_alloc(kWordsChoicePoint);
+  return bt_;
+}
+
+Ref Worker::push_choice_term(Addr alt, Ref cut_parent, AltKind kind) {
+  Frame f;
+  f.kind = FrameKind::Choice;
+  f.alt_kind = kind;
+  f.alt_term = alt;
+  f.cont = glist_;
+  f.cut_parent = cut_parent;
+  f.trail_mark = trail_.size();
+  f.heap_mark = heap_size();
+  f.garena_mark = garena_.size();
+  f.prev_bt = bt_;
+  f.pf_id = cur_pf_;
+  f.slot_idx = cur_slot_;
+  if (cur_pf_ != kNoPf) {
+    Slot& s = cur_slot_ref();
+    f.part_idx = static_cast<std::uint32_t>(s.parts.size()) - 1;
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  f.ctrl_mark = idx;
+  ctrl_.push_back(f);
+  bt_ = make_ref(agent_, idx);
+  ++stats_.choicepoints;
+  // Only shareable frames count toward sharing-session victim selection.
+  if (orp_ != nullptr && kind == AltKind::Term) ++private_cps_;
+  charge(costs_.choicepoint);
+  note_ctrl_alloc(kWordsChoicePoint);
+  return bt_;
+}
+
+void Worker::do_cut(Ref barrier) {
+  // Discard backtrack points newer than `barrier`. Frames become dead;
+  // contiguous dead suffixes of our own stack are reclaimed.
+  while (bt_ != barrier && bt_ != kNoRef) {
+    Frame& f = frame(bt_);
+    Ref prev = f.prev_bt;
+    if (f.kind == FrameKind::Choice) {
+      mark_frame_dead(peer(ref_agent(bt_)), ref_index(bt_));
+      bt_ = prev;
+    } else {
+      // Cutting across a parcall frame: stop at it (cuts are local to
+      // their slot in independent and-parallel execution).
+      break;
+    }
+  }
+  pop_dead_suffix();
+}
+
+}  // namespace ace

@@ -1,0 +1,321 @@
+// Worker: one agent's resumable engine.
+//
+// A Worker executes goals step by step (one bounded unit of work per step()
+// call) so that the virtual-time simulator can interleave N agents
+// deterministically and the real-thread runtime can run the same loop per
+// std::thread. All state lives in index-addressed, chunked (stable-address)
+// arenas:
+//
+//   trail_   ChunkedVector<Addr>      bindings, unwound by range
+//   ctrl_    ChunkedVector<Frame>     choice points / parcall frames / markers
+//   garena_  ChunkedVector<GoalNode>  continuation lists
+//   heap     a segment of the shared Store
+//
+// Three engines are built from Worker:
+//   * sequential:   parallel_and off; '&' runs as ','  (the baseline)
+//   * and-parallel: parallel_and on; a ParContext links the agents
+//                   (optimizations: LPCO, SHALLOW, PDO)
+//   * or-parallel:  one Worker per isolated Store; an OrpContext provides
+//                   MUSE-style sharing (optimization: LAO)
+//
+// Backtracking follows the logical chain of Choice/Parcall frames (bt_),
+// never raw stack order. Physical per-slot stack sections are unwound by
+// range (SectionPart), which is the work the paper's markers exist to
+// support. See DESIGN.md §4 for the protocol summary.
+//
+// Fields and internal methods are public: the andp/orp modules are
+// co-implementors of the engine, not clients. Applications use the
+// SeqEngine / AndpMachine / OrpMachine facades.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "builtins/builtins.hpp"
+#include "db/database.hpp"
+#include "engine/frames.hpp"
+#include "engine/parcall.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+#include "stats/stats.hpp"
+#include "term/print.hpp"
+#include "term/unify.hpp"
+
+namespace ace {
+
+class ParContext;
+class OrpContext;
+
+struct WorkerOptions {
+  bool parallel_and = false;  // execute '&' as a parcall (else as ',')
+  bool lpco = false;          // last parallel call optimization
+  bool shallow = false;       // shallow parallelism optimization
+  bool pdo = false;           // processor determinacy optimization
+  bool lao = false;           // last alternative optimization (or-parallel)
+  bool occurs_check = false;
+  // Abort the query (throws AceError) once resolutions exceed this
+  // (0 = unlimited); failure-injection tests stop runaway programs with it.
+  std::uint64_t resolution_limit = 0;
+};
+
+enum class StepOutcome : std::uint8_t {
+  Progress,   // did work
+  Idle,       // nothing to do (parallel agents between jobs)
+  Solution,   // top-level query solution reached (worker paused)
+  Exhausted,  // top-level query has no (more) solutions
+};
+
+// Shared sink for write/1 output.
+struct IoSink {
+  std::mutex mu;
+  std::string text;
+  void append(const std::string& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    text += s;
+  }
+};
+
+// Nested-execution context (findall/3): runs a goal to exhaustion on top of
+// the current stacks, collecting solution copies, then rolls everything
+// back. Parallel conjunctions run sequentially inside a nested context.
+struct NestedCtx {
+  Addr template_term = 0;
+  Addr result_var = 0;
+  // Solutions are serialized to templates so they survive the rollback of
+  // the nested execution's heap.
+  std::vector<TermTemplate> collected;
+  Ref saved_glist = kNoRef;
+  Ref saved_bt = kNoRef;
+  std::uint64_t trail_mark = 0;
+  std::uint64_t heap_mark = 0;
+  std::uint64_t garena_mark = 0;
+  std::uint32_t ctrl_mark = 0;
+};
+
+class Worker {
+ public:
+  Worker(unsigned agent, Store& store, Database& db, const Builtins& bi,
+         const CostModel& costs, WorkerOptions opts, IoSink& io);
+
+  // ---- Query control ---------------------------------------------------
+  // Loads a query (its root term becomes the top-level goal). Only the
+  // top-level agent of a machine calls this.
+  void load_query(const TermTemplate& query);
+  StepOutcome step();
+  // After a Solution outcome: resume the search for the next solution.
+  void request_next_solution();
+  // Renders the current solution as "X = t, Y = u" over named query vars
+  // ("true" if the query has no named variables).
+  std::string solution_string() const;
+
+  // ---- Identity and environment -----------------------------------------
+  unsigned agent_;
+  // Heap segment this worker allocates in. Equals agent_ in the shared-
+  // store and-parallel machine; 0 for or-parallel workers, which each own a
+  // private single-segment Store (MUSE copying).
+  unsigned seg_;
+  Store& store_;
+  Database& db_;
+  const SymbolTable& syms_;
+  const Builtins& builtins_;
+  const CostModel& costs_;
+  WorkerOptions opts_;
+  IoSink& io_;
+  ParContext* par_ = nullptr;              // set by AndpMachine
+  OrpContext* orp_ = nullptr;              // set by OrpMachine
+  Tracer* tracer_ = nullptr;               // optional event recording
+  std::vector<Worker*>* group_ = nullptr;  // all agents, self included
+
+  Worker& peer(unsigned agent) {
+    return group_ != nullptr ? *(*group_)[agent] : *this;
+  }
+
+  // ---- Machine state -----------------------------------------------------
+  enum class Mode : std::uint8_t {
+    Idle,           // between jobs (parallel agents)
+    Run,
+    Backtrack,
+    FailWait,       // waiting for sibling slots to acknowledge a kill
+    ReentryWait,    // outside backtracking: waiting for in-flight
+                    // recomputations of the target parcall to stop
+    SolutionPause,  // top-level solution available
+    Done,           // query exhausted
+  };
+  Mode mode_ = Mode::Idle;
+  Trail trail_;
+  ChunkedVector<Frame> ctrl_;
+  ChunkedVector<GoalNode> garena_;
+  Ref glist_ = kNoRef;  // current continuation head
+  Ref bt_ = kNoRef;     // newest backtrack point (Choice or Parcall frame)
+
+  // Current slot context (kNoPf at top level).
+  std::uint32_t cur_pf_ = kNoPf;
+  std::uint32_t cur_slot_ = 0;
+
+  // Procrastinated end marker: set when a slot completes, resolved at the
+  // next scheduling decision (PDO may merge it away).
+  std::uint32_t pending_end_pf_ = kNoPf;
+  std::uint32_t pending_end_slot_ = 0;
+
+  // Parcall whose failure this worker is coordinating (FailWait mode).
+  std::uint32_t failing_pf_ = kNoPf;
+  // Parcall whose re-entry this worker is coordinating (ReentryWait mode).
+  std::uint32_t reentry_pf_ = kNoPf;
+
+  // PDO bookkeeping: the slot completed by the immediately preceding action
+  // (valid only until any other action happens).
+  std::uint32_t last_done_pf_ = kNoPf;
+  std::uint32_t last_done_slot_ = 0;
+  bool last_done_adjacent_ = false;
+
+  // Parcalls this worker owns and is waiting on (innermost last).
+  std::vector<std::uint32_t> waiting_pfs_;
+
+  std::vector<NestedCtx> nested_;
+
+  std::uint64_t clock_ = 0;  // virtual time
+  Counters stats_;
+
+  // Query bookkeeping (top-level agent only).
+  const TermTemplate* query_ = nullptr;
+  std::vector<Addr> query_vars_;
+
+  // Or-parallel bookkeeping: live private (unshared) choice points, used
+  // for sharing-session victim selection.
+  std::int64_t private_cps_ = 0;
+
+  // Incremental-copy accounting (MUSE copies only the stack diff between
+  // two workers; we physically copy the whole prefix for simplicity but
+  // charge the incremental traffic — see DESIGN.md §5). Tracks the last
+  // copy source and the prefix sizes already shared with it.
+  unsigned last_copy_victim_ = ~0u;
+  std::uint64_t last_copy_ctrl_ = 0;
+  std::uint64_t last_copy_garena_ = 0;
+  std::uint64_t last_copy_trail_ = 0;
+  std::uint64_t last_copy_heap_ = 0;
+
+  // ---- Small helpers -----------------------------------------------------
+  void charge(std::uint64_t c) { clock_ += c; }
+  void trace(TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (tracer_ != nullptr) tracer_->record(clock_, agent_, ev, a, b);
+  }
+  unsigned seg() const { return seg_; }
+  bool is_idle() const { return mode_ == Mode::Idle; }
+
+  Ref push_goal(Addr goal, Ref next, Ref cut_parent);
+  GoalNode goal_node(Ref r) {
+    return peer(ref_agent(r)).garena_[ref_index(r)];
+  }
+  Frame& frame(Ref r) { return peer(ref_agent(r)).ctrl_[ref_index(r)]; }
+
+  // Unifies with cost/stat accounting; on failure undoes its own bindings.
+  bool unify_charge(Addr a, Addr b);
+  void untrail_charge(std::uint64_t mark);
+
+  std::uint64_t heap_size() const { return store_.seg_size(seg_); }
+
+  void note_ctrl_alloc(std::uint64_t words);
+  void note_ctrl_free(std::uint64_t words);
+
+  // ---- Step internals (engine/step.cpp) ----------------------------------
+  void run_step();
+  void execute_goal(Addr goal, Ref cut_parent);
+  void call_user_pred(Addr goal, std::uint32_t sym, unsigned arity);
+  bool try_clause(const Predicate& pred, std::uint32_t ordinal, Addr goal,
+                  Ref barrier);
+  Ref push_choice_clauses(Addr goal, const Predicate* pred,
+                          const IndexKey& key, std::uint32_t next_bucket_pos,
+                          long last_ordinal, Ref cut_parent);
+  Ref push_choice_term(Addr alt, Ref cut_parent, AltKind kind);
+  void do_cut(Ref barrier);
+  void fail() { mode_ = Mode::Backtrack; }
+  // throw/1: unwinds the backtrack chain to the nearest matching catch/3
+  // (propagating out of nested findall contexts); throws AceError if
+  // uncaught or if it would cross a parallel-conjunction boundary.
+  void do_throw(Addr ball);
+
+  // ---- Goal-list completion (engine/solve.cpp) ---------------------------
+  void on_goals_done();
+  void begin_nested(Addr template_term, Addr goal, Addr result_var);
+  void nested_solution();
+  void nested_exhausted();
+
+  // ---- Backtracking (engine/backtrack.cpp) -------------------------------
+  void backtrack_step();
+  void retry_choice_alternative(Ref cref);
+  void restore_choice(Ref cref);
+  // Marks this worker's own frames in (above, top) dead — recursing into
+  // parcall frames — and reclaims the contiguous dead suffix.
+  void kill_own_frames_above(std::uint32_t above);
+  void mark_frame_dead(Worker& owner_agent, std::uint32_t index);
+  void pop_dead_suffix();
+
+  // ---- And-parallel protocol (andp/*.cpp) --------------------------------
+  void begin_parcall(Addr amp_goal, Ref cut_parent);
+  bool lpco_try_merge(const std::vector<Addr>& subgoals);
+  void start_slot(std::uint32_t pf_id, std::uint32_t slot_idx, bool stolen);
+  // SHALLOW: allocates the procrastinated input marker just before the
+  // slot's first choice point.
+  void maybe_materialize_input_marker();
+  void complete_slot();
+  void resolve_pending_end_marker(bool pdo_merge);
+  void resume_continuation(std::uint32_t pf_id);
+  void slot_initial_failure();
+  void slot_resumed_failure();
+  void parcall_outside_backtrack(std::uint32_t pf_id);
+  // Second phase of outside backtracking, once the parcall's subtree is
+  // quiescent: undo the continuation, scan right-to-left, resume/teardown.
+  void outside_backtrack_resume(std::uint32_t pf_id);
+  void reentry_wait_step();
+  // True if any slot in pf's subtree (nested parcalls included) is
+  // currently executing.
+  bool subtree_has_executing(std::uint32_t pf_id);
+  // Undoes the (possibly remote) continuation region recorded by the last
+  // resume_continuation of `pf`.
+  void undo_continuation(Parcall& pf);
+  void finish_parcall_failure();
+  void owner_handle_failed_parcall(std::uint32_t pf_id);
+  // Kill-poll: true if this worker's current slot belongs to a failing
+  // parcall subtree and was abandoned (worker went Idle).
+  bool check_cancellation();
+  void idle_step();
+  void fail_wait_step();
+
+  // ---- Or-parallel protocol (orp/*.cpp) ----------------------------------
+  void orp_idle_step();
+  // LAO hook: attempts to reuse an exhausted top choice point in place
+  // (returns true if reused; bt_ then references the recycled frame).
+  bool lao_try_reuse(Addr goal, const Predicate* pred, const IndexKey& key,
+                     Ref cut_parent, std::uint32_t next_bucket_pos,
+                     long last_ordinal);
+  // Takes the next alternative of a shared (public) choice point; -1 when
+  // exhausted or the node moved on (LAO refill generation mismatch).
+  long shared_take(std::uint32_t shared_id, std::uint64_t expected_gen);
+  // Cancels a public node when the dying frame still owns its current
+  // incarnation (LAO refills bump the generation; a stale copy's death
+  // must not kill the refilled node).
+  void orp_cancel_node(std::uint32_t shared_id, std::uint64_t frame_gen);
+
+  // Section unwinding (the markers' job).
+  //
+  // A slot's recorded control ranges can go stale: after the slot's frames
+  // are marked dead cross-agent, the owning agent's pop_dead_suffix may
+  // recycle those positions for unrelated new work. Range unwinding
+  // therefore verifies each frame's context chain really descends from the
+  // slot being unwound before touching it.
+  bool ctx_within_slot(std::uint32_t frame_pf, std::uint32_t frame_slot,
+                       std::uint32_t pf_id, std::uint32_t slot_idx);
+  void unwind_part_range(const SectionPart& part, std::uint32_t pf_id,
+                         std::uint32_t slot_idx);
+  void unwind_slot(std::uint32_t pf_id, std::uint32_t slot_idx);
+  void unwind_parcall(std::uint32_t pf_id);
+  void open_new_part(Slot& slot);
+  void close_current_part();
+  Slot& cur_slot_ref();
+  Parcall& parcall(std::uint32_t pf_id);
+
+  std::uint64_t now() const { return clock_; }
+};
+
+}  // namespace ace

@@ -1,0 +1,42 @@
+// OrpMachine: the MUSE-style or-parallel engine facade.
+//
+// Each agent is a full sequential engine over a private Store; idle agents
+// obtain work through sharing sessions (stack copying) and public
+// choice-point counters. The LAO optimization is toggled per machine.
+//
+// Note: the or-parallel machine runs under the deterministic virtual-time
+// driver only — MUSE-style copying reads a peer's stacks at step
+// granularity, which the simulator makes atomic (DESIGN.md §4). Solutions
+// are reported in discovery order, which (as in any or-parallel Prolog)
+// need not be the sequential solution order.
+#pragma once
+
+#include "engine/seq_engine.hpp"
+#include "engine/worker.hpp"
+
+namespace ace {
+
+struct OrpOptions {
+  unsigned agents = 1;
+  bool lao = false;
+  Tracer* tracer = nullptr;  // optional event tracing
+  bool occurs_check = false;
+  std::uint64_t resolution_limit = 0;
+};
+
+class OrpMachine {
+ public:
+  explicit OrpMachine(Database& db, OrpOptions opts = {},
+                      const CostModel& costs = CostModel::standard());
+
+  SolveResult solve(const std::string& query_text,
+                    std::size_t max_solutions = SIZE_MAX);
+
+ private:
+  Database& db_;
+  OrpOptions opts_;
+  CostModel costs_;
+  Builtins builtins_;
+};
+
+}  // namespace ace

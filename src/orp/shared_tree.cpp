@@ -1,0 +1,307 @@
+// Worker-side or-parallel protocol: shared-node takes, LAO reuse, sharing
+// sessions and stack copying.
+#include "orp/shared_tree.hpp"
+
+namespace ace {
+namespace {
+
+bool node_has_work(SharedNode& n) {
+  std::lock_guard<std::mutex> lock(n.mu);
+  if (n.cancelled) return false;
+  if (n.is_term) return !n.term_taken;
+  if (n.pred == nullptr) return false;
+  if (n.pred_gen != n.pred->generation()) {
+    return n.pred->next_matching_from(n.key, n.last_ordinal) >= 0;
+  }
+  return n.bucket_pos < n.pred->candidates(n.key).size();
+}
+
+}  // namespace
+
+std::uint32_t OrpContext::oldest_with_work(std::size_t* scanned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t out = 0;
+  std::uint32_t found = kNoShare;
+  std::size_t i = 0;
+  for (; i < active_.size(); ++i) {
+    if (scanned != nullptr) ++*scanned;
+    std::uint32_t id = active_[i];
+    SharedNode& n = *nodes_[id];
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> nlock(n.mu);
+      cancelled = n.cancelled;
+    }
+    if (cancelled) continue;  // drop permanently
+    active_[out++] = id;
+    if (node_has_work(n)) {
+      found = id;
+      ++i;
+      break;
+    }
+  }
+  for (; i < active_.size(); ++i) active_[out++] = active_[i];
+  active_.resize(out);
+  return found;
+}
+
+long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen) {
+  SharedNode& n = orp_->node(shared_id);
+  std::lock_guard<std::mutex> lock(n.mu);
+  ++stats_.public_node_takes;
+  charge(costs_.public_take);
+  if (n.cancelled || n.generation != expected_gen) return -1;
+  if (n.is_term) {
+    if (n.term_taken) return -1;
+    n.term_taken = true;
+    return kTakeTermAlt;
+  }
+  if (n.pred_gen != n.pred->generation()) {
+    long ord = n.pred->next_matching_from(n.key, n.last_ordinal);
+    if (ord >= 0) n.last_ordinal = ord;
+    return ord;
+  }
+  const std::vector<std::uint32_t>& bucket = n.pred->candidates(n.key);
+  if (n.bucket_pos >= bucket.size()) return -1;
+  long ord = static_cast<long>(bucket[n.bucket_pos++]);
+  n.last_ordinal = ord;
+  return ord;
+}
+
+void Worker::orp_cancel_node(std::uint32_t shared_id,
+                             std::uint64_t frame_gen) {
+  SharedNode& n = orp_->node(shared_id);
+  std::lock_guard<std::mutex> lock(n.mu);
+  if (n.generation == frame_gen) n.cancelled = true;
+}
+
+bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
+                           const IndexKey& key, Ref cut_parent,
+                           std::uint32_t next_bucket_pos, long last_ordinal) {
+  if (ctrl_.size() == 0) return false;
+  std::uint32_t top_idx = static_cast<std::uint32_t>(ctrl_.size()) - 1;
+  if (bt_ != make_ref(agent_, top_idx)) return false;
+  Frame& top = ctrl_[top_idx];
+  if (top.kind != FrameKind::Choice || top.alt_kind != AltKind::Clauses) {
+    return false;
+  }
+  // The previous choice point must be exhausted (its last alternative is
+  // the execution creating this new choice point).
+  bool exhausted;
+  if (top.shared_id != kNoShare) {
+    SharedNode& n = orp_->node(top.shared_id);
+    std::lock_guard<std::mutex> lock(n.mu);
+    exhausted = !n.cancelled && n.generation == top.pred_gen &&
+                n.pred_gen == n.pred->generation() &&
+                n.bucket_pos >= n.pred->candidates(n.key).size();
+  } else {
+    exhausted = top.pred_gen == top.pred->generation() &&
+                top.bucket_pos >= top.pred->candidates(top.key).size();
+  }
+  if (!exhausted) return false;
+
+  (void)cut_parent;
+  // Reuse in place: B1 becomes B2 (paper §3.2). Restore marks move up to
+  // the current state — correct because B1 had nothing left to restore to.
+  // The cut barrier of the recycled frame is B1's *predecessor*: B1 is
+  // semantically popped, so a cut in B2's clauses must remove the reused
+  // frame itself (callers re-read the barrier from the frame).
+  top.call_goal = goal;
+  top.cont = glist_;
+  top.cut_parent = top.prev_bt;
+  top.pred = pred;
+  top.key = key;
+  top.pred_gen = pred->generation();
+  top.bucket_pos = next_bucket_pos;
+  top.last_ordinal = last_ordinal;
+  top.trail_mark = trail_.size();
+  top.heap_mark = heap_size();
+  top.garena_mark = garena_.size();
+  if (top.shared_id != kNoShare) {
+    // Refill the public node with the new alternatives (the flattened
+    // or-tree of Figure 7): bump the generation so stale copies retire.
+    SharedNode& n = orp_->node(top.shared_id);
+    std::lock_guard<std::mutex> lock(n.mu);
+    ++n.generation;
+    n.pred = pred;
+    n.key = key;
+    n.pred_gen = pred->generation();
+    n.bucket_pos = next_bucket_pos;
+    n.last_ordinal = last_ordinal;
+    // The refiller's copy of the frame carries the new (B2-era) state;
+    // future stack copies must come from here, not the original owner
+    // (whose frame retires on the generation mismatch).
+    n.owner_agent = agent_;
+    n.ctrl_index = top_idx;
+    top.pred_gen = n.generation;  // shared frames track node generation
+  }
+  ++stats_.lao_reuses;
+  charge(costs_.lao_update);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Idle or-parallel worker: find public work, else run a sharing session.
+
+void Worker::orp_idle_step() {
+  std::size_t scanned = 0;
+  std::uint32_t target = orp_->oldest_with_work(&scanned);
+  charge(costs_.tree_descent * (scanned == 0 ? 1 : scanned));
+  stats_.tree_descents += scanned == 0 ? 1 : scanned;
+
+  if (target == kNoShare) {
+    // Sharing session: publicize the busiest peer's private choice points.
+    Worker* victim = nullptr;
+    for (Worker* w : *group_) {
+      if (w == this) continue;
+      if (w->private_cps_ > 0 &&
+          (victim == nullptr || w->private_cps_ > victim->private_cps_)) {
+        victim = w;
+      }
+    }
+    if (victim == nullptr) {
+      ++stats_.idle_ticks;
+      charge(costs_.idle_tick);
+      return;
+    }
+    ++stats_.sharing_sessions;
+    charge(costs_.share_session);
+    // Both sides synchronize for the session.
+    clock_ = std::max(clock_, victim->clock_) + costs_.share_session;
+    victim->clock_ = clock_;
+
+    // Walk the victim's backtrack chain (newest to oldest). A live
+    // IteElse frame means a condition is still being evaluated: every
+    // newer frame is internal to that condition and must stay private
+    // (speculative exploration past an uncommitted if-then-else is
+    // unsound). Only frames older than the oldest live IteElse become
+    // public.
+    std::vector<Ref> chain;
+    for (Ref r = victim->bt_; r != kNoRef;
+         r = victim->ctrl_[ref_index(r)].prev_bt) {
+      Frame& f = victim->ctrl_[ref_index(r)];
+      if (f.kind != FrameKind::Choice) break;
+      chain.push_back(r);
+    }
+    std::size_t first_shareable = 0;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (victim->ctrl_[ref_index(chain[i])].alt_kind == AltKind::IteElse) {
+        first_shareable = i + 1;
+      }
+    }
+    for (std::size_t i = first_shareable; i < chain.size(); ++i) {
+      Frame& f = victim->ctrl_[ref_index(chain[i])];
+      if (f.shared_id != kNoShare) continue;
+      if (f.alt_kind != AltKind::Clauses && f.alt_kind != AltKind::Term) {
+        continue;  // catch/ITE markers have nothing stealable
+      }
+      std::uint32_t id = orp_->make_node();
+      SharedNode& n = orp_->node(id);
+      if (f.alt_kind == AltKind::Clauses) {
+        n.pred = f.pred;
+        n.key = f.key;
+        n.pred_gen = f.pred_gen;
+        n.bucket_pos = f.bucket_pos;
+        n.last_ordinal = f.last_ordinal;
+      } else {
+        n.is_term = true;  // disjunction branch: single alternative
+      }
+      n.owner_agent = victim->agent_;
+      n.ctrl_index = ref_index(chain[i]);
+      f.shared_id = id;
+      f.pred_gen = n.generation;  // shared frames track node generation
+      --victim->private_cps_;
+      charge(costs_.public_make);
+    }
+    std::size_t rescanned = 0;
+    target = orp_->oldest_with_work(&rescanned);
+    charge(costs_.tree_descent * (rescanned == 0 ? 1 : rescanned));
+    stats_.tree_descents += rescanned == 0 ? 1 : rescanned;
+    if (target == kNoShare) {
+      ++stats_.idle_ticks;
+      charge(costs_.idle_tick);
+      return;
+    }
+  }
+
+  // Copy the owner's stacks up to the node and resume backtracking there.
+  SharedNode& n = orp_->node(target);
+  Worker& victim = peer(n.owner_agent);
+  clock_ = std::max(clock_, victim.clock_);
+  ACE_CHECK_MSG(victim.ctrl_.size() > n.ctrl_index,
+                "public node's owner frame vanished");
+  const Frame& nf = victim.ctrl_[n.ctrl_index];
+  ACE_CHECK_MSG(nf.kind == FrameKind::Choice && nf.shared_id == target,
+                "public node's owner frame mismatched");
+
+  // Prefix copies. The physical copy takes the whole prefix (simple and
+  // obviously correct); the *charged* traffic is incremental, as in MUSE:
+  // a prefix already shared with the same victim is not paid for again.
+  // (A public node being alive guarantees the victim never backtracked
+  // below it, so the shared prefix is unchanged.)
+  auto inc = [&](std::uint64_t target, std::uint64_t have) {
+    if (last_copy_victim_ != victim.agent_) return target;
+    return target > have ? target - have : 0;
+  };
+  std::uint64_t copied = 0;
+  copied += inc(n.ctrl_index + 1, last_copy_ctrl_) * kWordsChoicePoint;
+  copied += inc(nf.garena_mark, last_copy_garena_) * 2;
+  copied += inc(nf.trail_mark, last_copy_trail_);
+  copied += inc(nf.heap_mark, last_copy_heap_);
+  last_copy_victim_ = victim.agent_;
+  last_copy_ctrl_ = n.ctrl_index + 1;
+  last_copy_garena_ = nf.garena_mark;
+  last_copy_trail_ = nf.trail_mark;
+  last_copy_heap_ = nf.heap_mark;
+
+  ctrl_.copy_prefix_from(victim.ctrl_, n.ctrl_index + 1);
+  for (std::uint64_t i = 0; i <= n.ctrl_index; ++i) {
+    Frame& f = ctrl_[i];
+    auto remap = [&](Ref x) {
+      return x == kNoRef ? kNoRef : make_ref(agent_, ref_index(x));
+    };
+    f.cont = remap(f.cont);
+    f.cut_parent = remap(f.cut_parent);
+    f.prev_bt = remap(f.prev_bt);
+  }
+  garena_.copy_prefix_from(victim.garena_, nf.garena_mark);
+  for (std::uint64_t i = 0; i < nf.garena_mark; ++i) {
+    GoalNode& g = garena_[i];
+    if (g.next != kNoRef) g.next = make_ref(agent_, ref_index(g.next));
+    if (g.cut_parent != kNoRef) {
+      g.cut_parent = make_ref(agent_, ref_index(g.cut_parent));
+    }
+  }
+  trail_.copy_prefix_from(victim.trail_, nf.trail_mark);
+  store_.copy_seg0_prefix_from(victim.store_, nf.heap_mark);
+
+  // De-install the bindings the owner made after this node into cells that
+  // exist in our copy (the MUSE "installation diff").
+  for (std::uint64_t i = nf.trail_mark; i < victim.trail_.size(); ++i) {
+    Addr a = victim.trail_[i];
+    if (addr_off(a) < nf.heap_mark) {
+      store_.set(a, ref_cell(a));
+      ++copied;
+    }
+  }
+
+  stats_.copied_cells += copied;
+  charge(copied * costs_.copy_cell);
+  trace(TraceEvent::Share, victim.agent_, target);
+
+  // Invariant: everything at or below a public node is public (the sharing
+  // session publicizes the whole chain), so the copy brings no private
+  // choice points with it — both workers draw lower alternatives from the
+  // same shared counters, which is what prevents duplicated exploration.
+  private_cps_ = 0;
+
+  // Resume at the node.
+  bt_ = make_ref(agent_, n.ctrl_index);
+  glist_ = kNoRef;
+  cur_pf_ = kNoPf;
+  nested_.clear();
+  waiting_pfs_.clear();
+  mode_ = Mode::Backtrack;
+}
+
+}  // namespace ace

@@ -1,0 +1,68 @@
+// MUSE-style or-parallel sharing: public choice-point nodes and the
+// stack-copying machinery.
+//
+// Each or-parallel worker is a full sequential engine over a private Store.
+// When an idle worker finds no public alternatives it picks the busiest
+// peer, turns that peer's private choice points into public SharedNodes
+// (a "sharing session"), copies the peer's stacks up to the chosen node
+// (with binding de-installation along the diff) and resumes backtracking
+// at the copied node, whose alternatives now come from the shared counter.
+//
+// LAO refills an exhausted public node in place (generation-guarded), which
+// is exactly the paper's "all alternatives clubbed at one choice point".
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "engine/worker.hpp"
+
+namespace ace {
+
+struct SharedNode {
+  std::mutex mu;
+  const Predicate* pred = nullptr;
+  IndexKey key;
+  std::uint64_t pred_gen = 0;     // database generation when captured
+  std::uint32_t bucket_pos = 0;   // next alternative (shared counter)
+  long last_ordinal = -1;
+  std::uint64_t generation = 0;   // bumped by LAO refill
+  bool cancelled = false;         // killed by cut
+  bool is_term = false;           // disjunction branch (single alternative)
+  bool term_taken = false;
+  unsigned owner_agent = 0;
+  std::uint32_t ctrl_index = 0;   // frame position on the owner's stack
+};
+
+class OrpContext {
+ public:
+  SharedNode& node(std::uint32_t id) { return *nodes_[id]; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  std::uint32_t make_node() {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.push_back(std::make_unique<SharedNode>());
+    std::uint32_t id = static_cast<std::uint32_t>(nodes_.size() - 1);
+    active_.push_back(id);
+    return id;
+  }
+
+  // True if some public node still has an untaken alternative.
+  bool has_public_work() { return oldest_with_work(nullptr) != kNoShare; }
+
+  // The oldest live public node with work, or kNoShare. Cancelled nodes
+  // (killed by cut, or drained and popped by their owner) are permanently
+  // workless and are dropped from the scan list on the way — idle-agent
+  // work finding stays proportional to the live frontier, not to the total
+  // number of nodes ever created. `scanned` (if non-null) receives the
+  // number of node descriptors visited — the tree-traversal work the
+  // LAO's flattening reduces (paper §3.2, Figure 7).
+  std::uint32_t oldest_with_work(std::size_t* scanned);
+
+ private:
+  std::mutex mu_;
+  std::deque<std::unique_ptr<SharedNode>> nodes_;
+  std::vector<std::uint32_t> active_;  // sorted by id (creation order)
+};
+
+}  // namespace ace

@@ -1,0 +1,265 @@
+#include "parse/lexer.hpp"
+
+#include <cctype>
+
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+bool is_symbol_char(char c) {
+  static const std::string kSymbolChars = "+-*/\\^<>=~:.?@#&$";
+  return kSymbolChars.find(c) != std::string::npos;
+}
+
+bool is_alnum_(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string src) : src_(std::move(src)) {}
+
+const Token& Lexer::peek(std::size_t ahead) {
+  while (lookahead_.size() <= ahead) lookahead_.push_back(lex());
+  return lookahead_[ahead];
+}
+
+Token Lexer::next() {
+  peek(0);
+  Token t = lookahead_.front();
+  lookahead_.erase(lookahead_.begin());
+  return t;
+}
+
+void Lexer::error(const std::string& msg, const Token& at) const {
+  throw AceError(strf("parse error at line %d, column %d: %s", at.line,
+                      at.col, msg.c_str()));
+}
+
+void Lexer::skip_layout() {
+  for (;;) {
+    if (pos_ >= src_.size()) return;
+    char c = src_[pos_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++col_;
+      ++pos_;
+    } else if (c == '%') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+      pos_ += 2;
+      col_ += 2;
+      while (pos_ + 1 < src_.size() &&
+             !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+        if (src_[pos_] == '\n') {
+          ++line_;
+          col_ = 1;
+        } else {
+          ++col_;
+        }
+        ++pos_;
+      }
+      if (pos_ + 1 >= src_.size()) {
+        Token t{TokKind::Eof, "", 0, false, line_, col_};
+        error("unterminated block comment", t);
+      }
+      pos_ += 2;
+      col_ += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex() {
+  std::size_t had_layout_pos = pos_;
+  skip_layout();
+  bool had_layout = pos_ != had_layout_pos;
+
+  Token t;
+  t.line = line_;
+  t.col = col_;
+  bool was_name = prev_was_name_;
+  prev_was_name_ = false;
+
+  if (pos_ >= src_.size()) {
+    t.kind = TokKind::Eof;
+    return t;
+  }
+
+  char c = src_[pos_];
+  auto advance = [&](std::size_t n = 1) {
+    pos_ += n;
+    col_ += static_cast<int>(n);
+  };
+
+  // Punctuation.
+  switch (c) {
+    case '(':
+      advance();
+      t.kind = TokKind::LParen;
+      t.functor_lparen = was_name && !had_layout;
+      return t;
+    case ')':
+      advance();
+      t.kind = TokKind::RParen;
+      return t;
+    case '[':
+      advance();
+      t.kind = TokKind::LBracket;
+      return t;
+    case ']':
+      advance();
+      t.kind = TokKind::RBracket;
+      prev_was_name_ = true;  // `[]` may be a functor name part; harmless
+      return t;
+    case '{':
+      advance();
+      t.kind = TokKind::LBrace;
+      return t;
+    case '}':
+      advance();
+      t.kind = TokKind::RBrace;
+      return t;
+    case ',':
+      advance();
+      t.kind = TokKind::Comma;
+      return t;
+    case '|':
+      advance();
+      t.kind = TokKind::Bar;
+      return t;
+    case '!':
+      advance();
+      t.kind = TokKind::Atom;
+      t.text = "!";
+      prev_was_name_ = true;
+      return t;
+    case ';':
+      advance();
+      t.kind = TokKind::Atom;
+      t.text = ";";
+      prev_was_name_ = true;
+      return t;
+    default:
+      break;
+  }
+
+  // Integer.
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::int64_t v = 0;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      v = v * 10 + (src_[pos_] - '0');
+      advance();
+    }
+    // 0'c character code syntax.
+    if (v == 0 && pos_ < src_.size() && src_[pos_] == '\'' &&
+        pos_ + 1 < src_.size()) {
+      advance();
+      char ch = src_[pos_];
+      advance();
+      t.kind = TokKind::Int;
+      t.value = static_cast<std::int64_t>(static_cast<unsigned char>(ch));
+      return t;
+    }
+    t.kind = TokKind::Int;
+    t.value = v;
+    return t;
+  }
+
+  // Variable.
+  if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+    std::string name;
+    while (pos_ < src_.size() && is_alnum_(src_[pos_])) {
+      name += src_[pos_];
+      advance();
+    }
+    t.kind = TokKind::Var;
+    t.text = std::move(name);
+    return t;
+  }
+
+  // Plain atom.
+  if (std::islower(static_cast<unsigned char>(c))) {
+    std::string name;
+    while (pos_ < src_.size() && is_alnum_(src_[pos_])) {
+      name += src_[pos_];
+      advance();
+    }
+    t.kind = TokKind::Atom;
+    t.text = std::move(name);
+    prev_was_name_ = true;
+    return t;
+  }
+
+  // Quoted atom.
+  if (c == '\'') {
+    advance();
+    std::string name;
+    for (;;) {
+      if (pos_ >= src_.size()) error("unterminated quoted atom", t);
+      char ch = src_[pos_];
+      if (ch == '\\' && pos_ + 1 < src_.size()) {
+        char esc = src_[pos_ + 1];
+        advance(2);
+        switch (esc) {
+          case 'n': name += '\n'; break;
+          case 't': name += '\t'; break;
+          case '\\': name += '\\'; break;
+          case '\'': name += '\''; break;
+          default: name += esc; break;
+        }
+        continue;
+      }
+      if (ch == '\'') {
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '\'') {
+          name += '\'';
+          advance(2);
+          continue;
+        }
+        advance();
+        break;
+      }
+      if (ch == '\n') {
+        ++line_;
+        col_ = 1;
+        ++pos_;
+        name += ch;
+        continue;
+      }
+      name += ch;
+      advance();
+    }
+    t.kind = TokKind::Atom;
+    t.text = std::move(name);
+    prev_was_name_ = true;
+    return t;
+  }
+
+  // Symbolic atom / clause terminator.
+  if (is_symbol_char(c)) {
+    std::string name;
+    while (pos_ < src_.size() && is_symbol_char(src_[pos_])) {
+      name += src_[pos_];
+      advance();
+    }
+    // A lone '.' followed by layout or EOF terminates a clause.
+    if (name == "." ) {
+      t.kind = TokKind::End;
+      return t;
+    }
+    t.kind = TokKind::Atom;
+    t.text = std::move(name);
+    prev_was_name_ = true;
+    return t;
+  }
+
+  error(strf("unexpected character '%c'", c), t);
+}
+
+}  // namespace ace

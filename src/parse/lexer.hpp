@@ -1,0 +1,61 @@
+// Tokenizer for the Prolog dialect accepted by this system.
+//
+// Supports: plain/quoted/symbolic atoms, variables, integers, punctuation,
+// %-comments and /* */ comments, and the clause terminator '.'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace ace {
+
+enum class TokKind : std::uint8_t {
+  Atom,     // foo, 'Foo bar', + , == , ...
+  Var,      // X, _Y, _
+  Int,      // 42
+  LParen,   // (   (functor_lparen set if it directly follows an atom)
+  RParen,   // )
+  LBracket, // [
+  RBracket, // ]
+  LBrace,   // {
+  RBrace,   // }
+  Comma,    // ,
+  Bar,      // |
+  End,      // . clause terminator
+  Eof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;     // atom/var name
+  std::int64_t value = 0;  // Int
+  bool functor_lparen = false;  // for LParen: no whitespace before it
+  int line = 0;
+  int col = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string src);
+
+  const Token& peek(std::size_t ahead = 0);
+  Token next();
+
+  [[noreturn]] void error(const std::string& msg, const Token& at) const;
+
+ private:
+  Token lex();
+  void skip_layout();
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool prev_was_name_ = false;  // for functor '(' detection
+  std::vector<Token> lookahead_;
+};
+
+}  // namespace ace

@@ -1,0 +1,77 @@
+#include "parse/ops.hpp"
+
+#include <unordered_map>
+
+namespace ace {
+namespace {
+
+const std::unordered_map<std::string, OpDef>& infix_table() {
+  static const std::unordered_map<std::string, OpDef> table = {
+      {":-", {1200, OpType::xfx}},
+      {"-->", {1200, OpType::xfx}},
+      {";", {1100, OpType::xfy}},
+      {"->", {1050, OpType::xfy}},
+      {",", {1000, OpType::xfy}},
+      {"&", {975, OpType::xfy}},
+      {"=", {700, OpType::xfx}},
+      {"\\=", {700, OpType::xfx}},
+      {"==", {700, OpType::xfx}},
+      {"\\==", {700, OpType::xfx}},
+      {"@<", {700, OpType::xfx}},
+      {"@>", {700, OpType::xfx}},
+      {"@=<", {700, OpType::xfx}},
+      {"@>=", {700, OpType::xfx}},
+      {"is", {700, OpType::xfx}},
+      {"=:=", {700, OpType::xfx}},
+      {"=\\=", {700, OpType::xfx}},
+      {"<", {700, OpType::xfx}},
+      {">", {700, OpType::xfx}},
+      {"=<", {700, OpType::xfx}},
+      {">=", {700, OpType::xfx}},
+      {"=..", {700, OpType::xfx}},
+      {"+", {500, OpType::yfx}},
+      {"-", {500, OpType::yfx}},
+      {"/\\", {500, OpType::yfx}},
+      {"\\/", {500, OpType::yfx}},
+      {"xor", {500, OpType::yfx}},
+      {"*", {400, OpType::yfx}},
+      {"/", {400, OpType::yfx}},
+      {"//", {400, OpType::yfx}},
+      {"mod", {400, OpType::yfx}},
+      {"rem", {400, OpType::yfx}},
+      {"<<", {400, OpType::yfx}},
+      {">>", {400, OpType::yfx}},
+      {"**", {200, OpType::xfx}},
+  };
+  return table;
+}
+
+const std::unordered_map<std::string, OpDef>& prefix_table() {
+  static const std::unordered_map<std::string, OpDef> table = {
+      {":-", {1200, OpType::fx}},
+      {"?-", {1200, OpType::fx}},
+      {"dynamic", {1150, OpType::fx}},
+      {"discontiguous", {1150, OpType::fx}},
+      {"multifile", {1150, OpType::fx}},
+      {"\\+", {900, OpType::fy}},
+      {"-", {200, OpType::fy}},
+      {"+", {200, OpType::fy}},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::optional<OpDef> infix_op(const std::string& name) {
+  auto it = infix_table().find(name);
+  if (it == infix_table().end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OpDef> prefix_op(const std::string& name) {
+  auto it = prefix_table().find(name);
+  if (it == prefix_table().end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ace

@@ -1,0 +1,23 @@
+// Prolog operator table.
+//
+// Fixed table (no user-defined operators): the standard operator set plus
+// '&' — ACE's independent parallel conjunction — at priority 975 xfy,
+// binding tighter than ',' as in &-Prolog.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ace {
+
+enum class OpType { xfx, xfy, yfx, fy, fx };
+
+struct OpDef {
+  int priority;
+  OpType type;
+};
+
+std::optional<OpDef> infix_op(const std::string& name);
+std::optional<OpDef> prefix_op(const std::string& name);
+
+}  // namespace ace

@@ -1,0 +1,193 @@
+#include "parse/parser.hpp"
+
+#include "parse/ops.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+// Recursive-descent operator-precedence parser (standard Prolog read/1
+// algorithm, fixed operator table). One Parser instance parses one clause,
+// sharing a TemplateBuilder so variables are scoped to the clause.
+class Parser {
+ public:
+  Parser(Lexer& lex, TemplateBuilder& builder)
+      : lex_(lex), builder_(builder) {}
+
+  // term(1200) followed by End.
+  Cell parse_clause() {
+    Cell t = parse(1200);
+    Token end = lex_.next();
+    if (end.kind != TokKind::End) {
+      lex_.error("expected '.' at end of clause", end);
+    }
+    return t;
+  }
+
+ private:
+  Cell parse(int max_prec) {
+    auto [left, left_prec] = parse_primary(max_prec);
+    return parse_infix(left, left_prec, max_prec);
+  }
+
+  Cell parse_infix(Cell left, int left_prec, int max_prec) {
+    for (;;) {
+      const Token& tok = lex_.peek();
+      std::string opname;
+      if (tok.kind == TokKind::Atom) {
+        opname = tok.text;
+      } else if (tok.kind == TokKind::Comma) {
+        opname = ",";
+      } else if (tok.kind == TokKind::Bar) {
+        // '|' as an infix is an alias for ';' at priority 1100.
+        opname = ";";
+      } else {
+        return left;
+      }
+      auto op = infix_op(opname);
+      if (!op) return left;
+      int p = op->priority;
+      if (p > max_prec) return left;
+      int left_max = (op->type == OpType::yfx) ? p : p - 1;
+      int right_max = (op->type == OpType::xfy) ? p : p - 1;
+      if (left_prec > left_max) return left;
+      lex_.next();
+      Cell right = parse(right_max);
+      left = builder_.structure(opname, {left, right});
+      left_prec = p;
+    }
+  }
+
+  std::pair<Cell, int> parse_primary(int max_prec) {
+    Token tok = lex_.next();
+    switch (tok.kind) {
+      case TokKind::Int:
+        return {builder_.integer(tok.value), 0};
+      case TokKind::Var:
+        return {builder_.var(tok.text), 0};
+      case TokKind::LParen: {
+        Cell inner = parse(1200);
+        expect(TokKind::RParen, "expected ')'");
+        return {inner, 0};
+      }
+      case TokKind::LBracket:
+        return {parse_list(), 0};
+      case TokKind::LBrace: {
+        if (lex_.peek().kind == TokKind::RBrace) {
+          lex_.next();
+          return {builder_.atom("{}"), 0};
+        }
+        Cell inner = parse(1200);
+        expect(TokKind::RBrace, "expected '}'");
+        return {builder_.structure("{}", {inner}), 0};
+      }
+      case TokKind::Atom:
+        return parse_atom_head(std::move(tok), max_prec);
+      default:
+        lex_.error("expected a term", tok);
+    }
+  }
+
+  std::pair<Cell, int> parse_atom_head(Token tok, int max_prec) {
+    // Functor application: name immediately followed by '('.
+    const Token& after = lex_.peek();
+    if (after.kind == TokKind::LParen && after.functor_lparen) {
+      lex_.next();
+      std::vector<Cell> args;
+      args.push_back(parse(999));
+      while (lex_.peek().kind == TokKind::Comma) {
+        lex_.next();
+        args.push_back(parse(999));
+      }
+      expect(TokKind::RParen, "expected ')' after arguments");
+      return {builder_.structure(tok.text, args), 0};
+    }
+
+    // Prefix operator.
+    if (auto op = prefix_op(tok.text); op && op->priority <= max_prec) {
+      const Token& nxt = lex_.peek();
+      bool operand_follows =
+          nxt.kind == TokKind::Int || nxt.kind == TokKind::Var ||
+          nxt.kind == TokKind::Atom || nxt.kind == TokKind::LParen ||
+          nxt.kind == TokKind::LBracket || nxt.kind == TokKind::LBrace;
+      // An atom that is also an infix op and is followed by an infix
+      // position is not a prefix application (e.g. `- = X`).
+      if (operand_follows) {
+        // Negative integer literal folding.
+        if (tok.text == "-" && nxt.kind == TokKind::Int) {
+          Token num = lex_.next();
+          return {builder_.integer(-num.value), 0};
+        }
+        int arg_max = (op->type == OpType::fy) ? op->priority
+                                               : op->priority - 1;
+        // Don't treat `op` as prefix if the next token is an infix op
+        // (e.g. `X = -` is nonsense we'd rather reject than misparse, but
+        // `a , - 1` must work). A plain atom that names an infix op still
+        // counts as an operand when it cannot start a term... keep simple:
+        // attempt prefix parse.
+        Cell arg = parse(arg_max);
+        return {builder_.structure(tok.text, {arg}), op->priority};
+      }
+    }
+
+    // Plain atom.
+    return {builder_.atom(tok.text), 0};
+  }
+
+  Cell parse_list() {
+    if (lex_.peek().kind == TokKind::RBracket) {
+      lex_.next();
+      return builder_.atom("[]");
+    }
+    std::vector<Cell> items;
+    items.push_back(parse(999));
+    while (lex_.peek().kind == TokKind::Comma) {
+      lex_.next();
+      items.push_back(parse(999));
+    }
+    Cell tail = builder_.atom("[]");
+    if (lex_.peek().kind == TokKind::Bar) {
+      lex_.next();
+      tail = parse(999);
+    }
+    expect(TokKind::RBracket, "expected ']'");
+    return builder_.list(items, tail);
+  }
+
+  void expect(TokKind kind, const char* msg) {
+    Token t = lex_.next();
+    if (t.kind != kind) lex_.error(msg, t);
+  }
+
+  Lexer& lex_;
+  TemplateBuilder& builder_;
+};
+
+}  // namespace
+
+std::vector<TermTemplate> parse_program(SymbolTable& syms,
+                                        const std::string& src) {
+  Lexer lex(src);
+  std::vector<TermTemplate> out;
+  while (lex.peek().kind != TokKind::Eof) {
+    TemplateBuilder builder(syms);
+    Parser parser(lex, builder);
+    Cell root = parser.parse_clause();
+    out.push_back(builder.finish(root));
+  }
+  return out;
+}
+
+TermTemplate parse_term_text(SymbolTable& syms, const std::string& src) {
+  Lexer lex(src);
+  TemplateBuilder builder(syms);
+  Parser parser(lex, builder);
+  Cell root = parser.parse_clause();
+  Token eof = lex.next();
+  if (eof.kind != TokKind::Eof) {
+    lex.error("unexpected input after term", eof);
+  }
+  return builder.finish(root);
+}
+
+}  // namespace ace

@@ -1,0 +1,20 @@
+// Operator-precedence parser producing clause templates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parse/lexer.hpp"
+#include "term/build.hpp"
+
+namespace ace {
+
+// Parses a whole program: a sequence of '.'-terminated clauses. Throws
+// AceError on syntax errors.
+std::vector<TermTemplate> parse_program(SymbolTable& syms,
+                                        const std::string& src);
+
+// Parses a single term followed by '.' (a query body or a test term).
+TermTemplate parse_term_text(SymbolTable& syms, const std::string& src);
+
+}  // namespace ace

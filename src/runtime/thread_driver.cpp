@@ -1,0 +1,59 @@
+#include "runtime/thread_driver.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace ace {
+
+void ThreadDriver::run(const std::vector<Worker*>& workers,
+                       std::size_t max_solutions,
+                       std::vector<std::string>& solutions) {
+  std::atomic<bool> done{false};
+  std::exception_ptr helper_error;
+  std::mutex error_mu;
+
+  // Helper agents 1..n-1.
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size() - 1);
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Worker* w = workers[i];
+      try {
+        while (!done.load(std::memory_order_acquire)) {
+          StepOutcome out = w->step();
+          if (out == StepOutcome::Idle) std::this_thread::yield();
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!helper_error) helper_error = std::current_exception();
+        done.store(true, std::memory_order_release);
+      }
+    });
+  }
+
+  // Top-level agent runs on this thread.
+  Worker* top = workers[0];
+  try {
+    while (!done.load(std::memory_order_acquire)) {
+      StepOutcome out = top->step();
+      if (out == StepOutcome::Solution) {
+        solutions.push_back(top->solution_string());
+        if (solutions.size() >= max_solutions) break;
+        top->request_next_solution();
+      } else if (out == StepOutcome::Exhausted) {
+        break;
+      }
+    }
+  } catch (...) {
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    throw;
+  }
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  if (helper_error) std::rethrow_exception(helper_error);
+}
+
+}  // namespace ace

@@ -1,0 +1,24 @@
+// Real-thread driver: runs each agent's step loop on its own std::thread.
+//
+// The engines' shared structures (chunked arenas, parcall mutexes, atomic
+// pending counters) are thread-safe by construction; this driver exists to
+// demonstrate the implementation is genuinely parallel-capable. Timing
+// measurements come from the deterministic virtual driver (DESIGN.md §1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/worker.hpp"
+
+namespace ace {
+
+class ThreadDriver {
+ public:
+  // Runs all workers until the top-level worker exhausts the query or
+  // `max_solutions` solutions are collected into `solutions`.
+  void run(const std::vector<Worker*>& workers, std::size_t max_solutions,
+           std::vector<std::string>& solutions);
+};
+
+}  // namespace ace

@@ -1,0 +1,55 @@
+#include "sim/cost_model.hpp"
+
+namespace ace {
+
+// Calibration notes.
+//
+// The sequential engine pays: call_dispatch, builtin, unify_step, heap_cell,
+// goal_node, choicepoint/cp_restore, trail/untrail, backtrack_frame.
+//
+// The and-parallel engine additionally pays parcall_frame + slots, markers,
+// fetch/steal/idle, slot bookkeeping and marker crossings on backtracking.
+// On benchmarks with parallel calls every few resolutions (matrix, map,
+// pderiv) the marker+parcall charges amount to ~10-25% of the sequential
+// work at 1 agent, matching the unoptimized overhead the paper reports
+// (Section 2.3). SHALLOW removes the marker charges for deterministic
+// subgoals (most subgoals in the Table 4 benchmarks), PDO removes them for
+// sequentially adjacent subgoals, and LPCO removes nested parcall frames
+// plus the marker crossings / pf scans during backward execution.
+CostModel CostModel::standard() { return CostModel{}; }
+
+CostModel CostModel::unit() {
+  CostModel m;
+  m.call_dispatch = 1;
+  m.builtin = 1;
+  m.unify_step = 1;
+  m.heap_cell = 1;
+  m.goal_node = 1;
+  m.choicepoint = 1;
+  m.cp_restore = 1;
+  m.trail_entry = 1;
+  m.untrail_entry = 1;
+  m.backtrack_frame = 1;
+  m.parcall_frame = 1;
+  m.parcall_slot = 1;
+  m.input_marker = 1;
+  m.end_marker = 1;
+  m.marker_bt = 1;
+  m.slot_complete = 1;
+  m.pf_scan_slot = 1;
+  m.pf_teardown = 1;
+  m.fetch = 1;
+  m.steal = 1;
+  m.idle_tick = 1;
+  m.kill_slot = 1;
+  m.opt_check = 1;
+  m.lao_update = 1;
+  m.copy_cell = 1;
+  m.share_session = 1;
+  m.public_take = 1;
+  m.tree_descent = 1;
+  m.public_make = 1;
+  return m;
+}
+
+}  // namespace ace

@@ -1,0 +1,70 @@
+// Virtual-time cost model.
+//
+// The engines charge every overhead-relevant operation to an agent-local
+// virtual clock through this table. The defaults are calibrated (see
+// cost_model.cpp) so that the *unoptimized* and-parallel engine pays a
+// 10-25% single-agent overhead over the sequential engine — the band the
+// paper reports for unoptimized &ACE vs SICStus — and so that the
+// optimizations' savings flow from the operations they actually eliminate.
+#pragma once
+
+#include <cstdint>
+
+namespace ace {
+
+struct CostModel {
+  using C = std::uint64_t;
+
+  // Core resolution machinery (paid by sequential and parallel engines).
+  C call_dispatch = 6;     // per user-predicate call (lookup + dispatch)
+  C builtin = 4;           // per builtin execution (plus op-specific work)
+  C unify_step = 2;        // per cell pair visited
+  C heap_cell = 1;         // per heap cell allocated
+  C goal_node = 1;         // per continuation node
+  C choicepoint = 12;      // allocate a choice point
+  C cp_restore = 8;        // restore state from a choice point
+  C trail_entry = 1;
+  C untrail_entry = 1;
+  C backtrack_frame = 3;   // walk/kill one frame during unwinding
+
+  // And-parallel machinery.
+  C parcall_frame = 20;    // allocate a parcall frame
+  C parcall_slot = 6;      // per slot in a parcall frame
+  C input_marker = 16;     // allocate input marker ("the expense incurred
+                           // in allocating these markers is considerable",
+                           // paper §4.1)
+  C end_marker = 16;       // allocate end marker
+  C marker_bt = 8;         // cross a marker during backtracking
+  C slot_complete = 4;     // completion bookkeeping + pf counter update
+  C pf_scan_slot = 3;      // outside backtracking: scan one slot descriptor
+  C pf_teardown = 60;      // dismantle one parcall frame during unwinding
+                           // (navigate its slot list, markers and section
+                           // links — the per-nesting-level traversal LPCO's
+                           // flattening eliminates, paper §3.1)
+  C fetch = 4;             // take work from own pool
+  C steal = 12;            // take work from a remote pool
+  C idle_tick = 8;         // one scheduler idle loop iteration
+  C kill_slot = 8;         // cancel a sibling slot on parcall failure
+
+  // Optimization runtime checks (nonzero: the paper stresses the benefit
+  // must be weighed against the cost of applying the optimization; LAO's
+  // 1-agent slowdown in Table 3 comes from exactly this).
+  C opt_check = 2;
+  // LAO's in-place refresh of the reused choice point (MUSE must update
+  // the shared node under its lock; nearly as dear as a fresh frame).
+  C lao_update = 10;
+
+  // Or-parallel machinery.
+  C copy_cell = 1;          // MUSE stack copying, per word
+  C share_session = 40;     // fixed cost of a sharing session
+  C public_take = 6;        // grab an alternative from a public node
+  C tree_descent = 4;       // scan one public node looking for work
+  C public_make = 8;        // convert a private CP to public
+
+  // Returns the default model.
+  static CostModel standard();
+  // A model with every cost = 1 (for tests that want pure step counts).
+  static CostModel unit();
+};
+
+}  // namespace ace

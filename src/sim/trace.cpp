@@ -1,0 +1,113 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+const char* Tracer::event_name(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::SlotStart:
+      return "slot_start";
+    case TraceEvent::SlotComplete:
+      return "slot_complete";
+    case TraceEvent::SlotFail:
+      return "slot_fail";
+    case TraceEvent::ParcallCreate:
+      return "parcall_create";
+    case TraceEvent::LpcoMerge:
+      return "lpco_merge";
+    case TraceEvent::Steal:
+      return "steal";
+    case TraceEvent::OutsideBt:
+      return "outside_bt";
+    case TraceEvent::Share:
+      return "share";
+    case TraceEvent::Solution:
+      return "solution";
+  }
+  return "?";
+}
+
+std::string Tracer::to_csv() const {
+  std::string out = "time,agent,event,a,b\n";
+  for (const TraceRecord& r : snapshot()) {
+    out += strf("%llu,%u,%s,%llu,%llu\n", (unsigned long long)r.time, r.agent,
+                event_name(r.event), (unsigned long long)r.a,
+                (unsigned long long)r.b);
+  }
+  return out;
+}
+
+std::string Tracer::timeline(unsigned num_agents, unsigned width) const {
+  std::vector<TraceRecord> recs = snapshot();
+  if (recs.empty() || width == 0) return "(no trace)\n";
+  std::uint64_t makespan = 0;
+  for (const TraceRecord& r : recs) makespan = std::max(makespan, r.time);
+  if (makespan == 0) makespan = 1;
+
+  // Per agent, per bucket: pick the "most interesting" event in the
+  // bucket; busy spans (between SlotStart and SlotComplete/Fail) fill '#'.
+  std::vector<std::string> lanes(num_agents, std::string(width, '.'));
+  auto bucket_of = [&](std::uint64_t t) {
+    std::uint64_t b = t * width / (makespan + 1);
+    return static_cast<unsigned>(b >= width ? width - 1 : b);
+  };
+
+  // Fill busy spans first.
+  std::vector<std::uint64_t> open_since(num_agents, ~std::uint64_t{0});
+  std::sort(recs.begin(), recs.end(),
+            [](const TraceRecord& x, const TraceRecord& y) {
+              return x.time < y.time;
+            });
+  for (const TraceRecord& r : recs) {
+    if (r.agent >= num_agents) continue;
+    if (r.event == TraceEvent::SlotStart) {
+      open_since[r.agent] = r.time;
+    } else if (r.event == TraceEvent::SlotComplete ||
+               r.event == TraceEvent::SlotFail) {
+      if (open_since[r.agent] != ~std::uint64_t{0}) {
+        unsigned lo = bucket_of(open_since[r.agent]);
+        unsigned hi = bucket_of(r.time);
+        for (unsigned i = lo; i <= hi && i < width; ++i) {
+          lanes[r.agent][i] = '#';
+        }
+        open_since[r.agent] = ~std::uint64_t{0};
+      }
+    }
+  }
+  // Point events overlay.
+  for (const TraceRecord& r : recs) {
+    if (r.agent >= num_agents) continue;
+    char c = 0;
+    switch (r.event) {
+      case TraceEvent::Steal:
+        c = 'S';
+        break;
+      case TraceEvent::OutsideBt:
+        c = 'B';
+        break;
+      case TraceEvent::Share:
+        c = 'C';
+        break;
+      case TraceEvent::Solution:
+        c = '*';
+        break;
+      default:
+        break;
+    }
+    if (c != 0) lanes[r.agent][bucket_of(r.time)] = c;
+  }
+
+  std::string out = strf("virtual time 0..%llu, %u columns\n",
+                         (unsigned long long)makespan, width);
+  for (unsigned a = 0; a < num_agents; ++a) {
+    out += strf("agent %2u |%s|\n", a, lanes[a].c_str());
+  }
+  out += "legend: '#' running a subgoal, '.' idle, 'S' steal, "
+         "'B' outside backtracking, 'C' stack copy, '*' solution\n";
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,73 @@
+// Execution tracing for the virtual-time simulator.
+//
+// When a Tracer is attached to a machine, every scheduling-relevant event
+// (slot execution spans, parcall creation/flattening, steals, outside
+// backtracking, sharing sessions) is recorded with its agent and virtual
+// timestamp. The recording can be rendered as an ASCII timeline (one lane
+// per agent) or dumped as CSV for external plotting.
+//
+// Tracing is entirely optional: a null tracer pointer costs one branch per
+// event site.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+enum class TraceEvent : std::uint8_t {
+  SlotStart,     // a = pf, b = slot
+  SlotComplete,  // a = pf, b = slot
+  SlotFail,      // a = pf, b = slot
+  ParcallCreate, // a = pf, b = #slots
+  LpcoMerge,     // a = pf, b = #new slots
+  Steal,         // a = victim agent, b = pf
+  OutsideBt,     // a = pf
+  Share,         // a = victim agent, b = node id
+  Solution,      // -
+};
+
+struct TraceRecord {
+  std::uint64_t time;
+  unsigned agent;
+  TraceEvent event;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+class Tracer {
+ public:
+  void record(std::uint64_t time, unsigned agent, TraceEvent ev,
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back({time, agent, ev, a, b});
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  std::vector<TraceRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  // One CSV line per record: time,agent,event,a,b
+  std::string to_csv() const;
+
+  // ASCII timeline: one lane per agent, `width` columns spanning
+  // [0, makespan]. Each column shows the dominant activity in its time
+  // bucket: '#' executing a slot, '.' idle, 'S' steal, 'B' outside
+  // backtracking, 'C' sharing/copying, '*' solution.
+  std::string timeline(unsigned num_agents, unsigned width = 72) const;
+
+  static const char* event_name(TraceEvent ev);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace ace

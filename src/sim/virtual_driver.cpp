@@ -1,0 +1,38 @@
+#include "sim/virtual_driver.hpp"
+
+namespace ace {
+
+StepOutcome VirtualDriver::run_until_event(
+    const std::vector<Worker*>& workers, std::uint64_t stall_limit) {
+  std::uint64_t idle_streak = 0;
+  for (;;) {
+    // Pick the runnable worker with the minimum clock. The paused
+    // top-level worker is not runnable; when it pauses we are done.
+    Worker* top = workers[0];
+    if (top->mode_ == Worker::Mode::SolutionPause) {
+      return StepOutcome::Solution;
+    }
+    if (top->mode_ == Worker::Mode::Done) {
+      return StepOutcome::Exhausted;
+    }
+
+    Worker* next = nullptr;
+    for (Worker* w : workers) {
+      if (w->mode_ == Worker::Mode::Done) continue;
+      if (next == nullptr || w->clock_ < next->clock_) next = w;
+    }
+    ACE_CHECK(next != nullptr);
+
+    StepOutcome out = next->step();
+    if (out == StepOutcome::Idle) {
+      ++idle_streak;
+      if (idle_streak > stall_limit) {
+        throw AceError("virtual driver stall: all agents idle");
+      }
+    } else {
+      idle_streak = 0;
+    }
+  }
+}
+
+}  // namespace ace

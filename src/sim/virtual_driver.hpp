@@ -1,0 +1,32 @@
+// Deterministic virtual-time driver.
+//
+// Steps the worker with the minimum virtual clock (ties broken by agent
+// id). Because every state transition is performed by some worker's step at
+// its own clock, and observers only react to state they see when stepped,
+// the interleaving — and therefore every counter and clock — is a pure
+// function of (program, options, agent count). This is the measurement
+// substrate substituting for the paper's 10-processor Sequent Symmetry
+// (DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "engine/worker.hpp"
+
+namespace ace {
+
+class VirtualDriver {
+ public:
+  // Steps until the top-level worker (workers[0]) reports a Solution or
+  // Exhausted. Throws AceError on stall (every worker idle for
+  // `stall_limit` consecutive rounds).
+  StepOutcome run_until_event(const std::vector<Worker*>& workers,
+                              std::uint64_t stall_limit = 1u << 22);
+
+  // Virtual makespan: the top-level worker's clock.
+  static std::uint64_t makespan(const std::vector<Worker*>& workers) {
+    return workers[0]->clock_;
+  }
+};
+
+}  // namespace ace

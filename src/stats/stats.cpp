@@ -1,0 +1,74 @@
+#include "stats/stats.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+void Counters::add(const Counters& o) {
+  resolutions += o.resolutions;
+  builtin_calls += o.builtin_calls;
+  unify_steps += o.unify_steps;
+  heap_cells += o.heap_cells;
+  goal_nodes += o.goal_nodes;
+  choicepoints += o.choicepoints;
+  trail_entries += o.trail_entries;
+  cp_restores += o.cp_restores;
+  untrail_ops += o.untrail_ops;
+  backtrack_frames += o.backtrack_frames;
+  parcall_frames += o.parcall_frames;
+  parcall_slots += o.parcall_slots;
+  input_markers += o.input_markers;
+  end_markers += o.end_markers;
+  slot_completions += o.slot_completions;
+  slot_failures += o.slot_failures;
+  outside_backtracks += o.outside_backtracks;
+  recomputations += o.recomputations;
+  opt_checks += o.opt_checks;
+  lpco_merges += o.lpco_merges;
+  shallow_skipped_markers += o.shallow_skipped_markers;
+  pdo_merges += o.pdo_merges;
+  lao_reuses += o.lao_reuses;
+  fetches += o.fetches;
+  steals += o.steals;
+  idle_ticks += o.idle_ticks;
+  copied_cells += o.copied_cells;
+  sharing_sessions += o.sharing_sessions;
+  public_node_takes += o.public_node_takes;
+  tree_descents += o.tree_descents;
+  solutions += o.solutions;
+  ctrl_words_hw += o.ctrl_words_hw;  // sum of per-agent high-water marks
+  ctrl_words += o.ctrl_words;
+}
+
+std::string Counters::summary() const {
+  std::string out;
+  out += strf("resolutions=%llu builtins=%llu unify_steps=%llu\n",
+              (unsigned long long)resolutions, (unsigned long long)builtin_calls,
+              (unsigned long long)unify_steps);
+  out += strf("heap_cells=%llu goal_nodes=%llu trail_entries=%llu\n",
+              (unsigned long long)heap_cells, (unsigned long long)goal_nodes,
+              (unsigned long long)trail_entries);
+  out += strf("choicepoints=%llu cp_restores=%llu untrail=%llu bt_frames=%llu\n",
+              (unsigned long long)choicepoints, (unsigned long long)cp_restores,
+              (unsigned long long)untrail_ops,
+              (unsigned long long)backtrack_frames);
+  out += strf(
+      "parcalls=%llu slots=%llu in_markers=%llu end_markers=%llu\n",
+      (unsigned long long)parcall_frames, (unsigned long long)parcall_slots,
+      (unsigned long long)input_markers, (unsigned long long)end_markers);
+  out += strf(
+      "lpco_merges=%llu shallow_skipped=%llu pdo_merges=%llu lao_reuses=%llu\n",
+      (unsigned long long)lpco_merges,
+      (unsigned long long)shallow_skipped_markers,
+      (unsigned long long)pdo_merges, (unsigned long long)lao_reuses);
+  out += strf("fetches=%llu steals=%llu idle=%llu copied_cells=%llu\n",
+              (unsigned long long)fetches, (unsigned long long)steals,
+              (unsigned long long)idle_ticks,
+              (unsigned long long)copied_cells);
+  out += strf("solutions=%llu ctrl_words_hw=%llu\n",
+              (unsigned long long)solutions,
+              (unsigned long long)ctrl_words_hw);
+  return out;
+}
+
+}  // namespace ace

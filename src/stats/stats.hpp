@@ -1,0 +1,77 @@
+// Operation counters.
+//
+// Every overhead-relevant runtime event is counted per agent; the simulator
+// converts counts to virtual time through the CostModel, and the benchmark
+// harness reports the raw counts (markers allocated, choice points created,
+// frames traversed on backtracking, ...) that the paper's optimizations act
+// on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ace {
+
+struct Counters {
+  // Forward execution.
+  std::uint64_t resolutions = 0;      // user predicate calls dispatched
+  std::uint64_t builtin_calls = 0;
+  std::uint64_t unify_steps = 0;      // cell pairs visited by unify
+  std::uint64_t heap_cells = 0;       // cells allocated on the heap
+  std::uint64_t goal_nodes = 0;       // continuation nodes allocated
+  std::uint64_t choicepoints = 0;     // choice points allocated
+  std::uint64_t trail_entries = 0;
+
+  // Backtracking.
+  std::uint64_t cp_restores = 0;      // alternatives retried
+  std::uint64_t untrail_ops = 0;
+  std::uint64_t backtrack_frames = 0; // frames walked/killed during unwind
+
+  // And-parallel machinery.
+  std::uint64_t parcall_frames = 0;
+  std::uint64_t parcall_slots = 0;
+  std::uint64_t input_markers = 0;
+  std::uint64_t end_markers = 0;
+  std::uint64_t slot_completions = 0;
+  std::uint64_t slot_failures = 0;
+  std::uint64_t outside_backtracks = 0;  // re-entries into completed parcalls
+  std::uint64_t recomputations = 0;      // slots re-executed after re-entry
+
+  // Optimizations.
+  std::uint64_t opt_checks = 0;             // runtime applicability tests
+  std::uint64_t lpco_merges = 0;            // parcall frames flattened away
+  std::uint64_t shallow_skipped_markers = 0;
+  std::uint64_t pdo_merges = 0;
+  std::uint64_t lao_reuses = 0;             // choice points reused in place
+
+  // Scheduling.
+  std::uint64_t fetches = 0;      // local work-pool fetches
+  std::uint64_t steals = 0;       // remote fetches
+  std::uint64_t idle_ticks = 0;
+
+  // Or-parallel machinery.
+  std::uint64_t copied_cells = 0;       // MUSE stack-copy traffic (words)
+  std::uint64_t sharing_sessions = 0;
+  std::uint64_t public_node_takes = 0;  // alternatives taken from shared CPs
+  std::uint64_t tree_descents = 0;      // public-node scan steps while idle
+
+  // Results.
+  std::uint64_t solutions = 0;
+
+  // Memory high-water marks, in nominal words (see nominal sizes below).
+  std::uint64_t ctrl_words_hw = 0;
+  std::uint64_t ctrl_words = 0;
+
+  void add(const Counters& o);
+  std::string summary() const;
+};
+
+// Nominal data-structure sizes in words, for the paper's memory-consumption
+// claims (actual C++ struct sizes are an implementation artifact).
+constexpr std::uint64_t kWordsChoicePoint = 10;
+constexpr std::uint64_t kWordsParcallFrame = 8;
+constexpr std::uint64_t kWordsParcallSlot = 4;
+constexpr std::uint64_t kWordsInputMarker = 6;
+constexpr std::uint64_t kWordsEndMarker = 6;
+
+}  // namespace ace

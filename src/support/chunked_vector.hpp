@@ -1,0 +1,94 @@
+// A grow-only chunked vector with stable element addresses.
+//
+// Used for per-agent heap/trail segments in the parallel engines. Unlike
+// std::vector, growth never relocates existing elements, so one agent may
+// append to its own segment while other agents concurrently read elements
+// that were published to them earlier (publication happens-before is
+// established externally, e.g. through parcall-frame state transitions).
+//
+// The chunk pointer table is a fixed-size array of atomic pointers so a
+// reader racing with chunk allocation sees either null (address not yet
+// published — a logic error upstream) or a fully constructed chunk.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "support/diag.hpp"
+
+namespace ace {
+
+template <typename T, std::size_t ChunkBits = 14, std::size_t MaxChunks = 1u << 16>
+class ChunkedVector {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << ChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  ChunkedVector() = default;
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  ~ChunkedVector() {
+    for (std::size_t i = 0; i < MaxChunks; ++i) {
+      T* c = chunks_[i].load(std::memory_order_relaxed);
+      if (c == nullptr) break;
+      delete[] c;
+    }
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Appends a value; only the owning agent may call this.
+  std::size_t push_back(const T& v) {
+    std::size_t idx = size_.load(std::memory_order_relaxed);
+    T* chunk = chunk_for(idx);
+    chunk[idx & kChunkMask] = v;
+    size_.store(idx + 1, std::memory_order_release);
+    return idx;
+  }
+
+  T& operator[](std::size_t idx) {
+    T* chunk = chunks_[idx >> ChunkBits].load(std::memory_order_acquire);
+    ACE_DCHECK(chunk != nullptr);
+    return chunk[idx & kChunkMask];
+  }
+  const T& operator[](std::size_t idx) const {
+    T* chunk = chunks_[idx >> ChunkBits].load(std::memory_order_acquire);
+    ACE_DCHECK(chunk != nullptr);
+    return chunk[idx & kChunkMask];
+  }
+
+  // Truncation on backtracking; only the owning agent may call this.
+  void truncate(std::size_t new_size) {
+    ACE_DCHECK(new_size <= size());
+    size_.store(new_size, std::memory_order_release);
+  }
+
+  // Copies the first n elements of `other` into this container, replacing
+  // current contents. Used by the or-parallel engine's stack copying.
+  void copy_prefix_from(const ChunkedVector& other, std::size_t n) {
+    ACE_CHECK(n <= other.size());
+    size_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) push_back(other[i]);
+  }
+
+ private:
+  T* chunk_for(std::size_t idx) {
+    std::size_t ci = idx >> ChunkBits;
+    ACE_CHECK_MSG(ci < MaxChunks, "chunked vector capacity exhausted");
+    T* chunk = chunks_[ci].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new T[kChunkSize]();
+      chunks_[ci].store(chunk, std::memory_order_release);
+    }
+    return chunk;
+  }
+
+  std::atomic<std::size_t> size_{0};
+  // Value-initialized array of atomic pointers (all null).
+  std::unique_ptr<std::atomic<T*>[]> chunks_ =
+      std::make_unique<std::atomic<T*>[]>(MaxChunks);
+};
+
+}  // namespace ace

@@ -1,0 +1,12 @@
+#include "support/diag.hpp"
+
+namespace ace {
+
+void panic(const char* file, int line, const char* cond, const char* msg) {
+  std::fprintf(stderr, "ace: internal check failed at %s:%d: %s %s\n", file,
+               line, cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ace

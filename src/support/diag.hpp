@@ -1,0 +1,41 @@
+// Diagnostic support: checked assertions and fatal errors.
+//
+// ACE_CHECK is active in all build types (the engine relies on it to catch
+// internal invariant violations during fuzz/property tests); ACE_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ace {
+
+// Thrown for user-level errors (bad source programs, type errors in
+// arithmetic, ...) that a host application is expected to catch.
+class AceError : public std::runtime_error {
+ public:
+  explicit AceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void panic(const char* file, int line, const char* cond,
+                        const char* msg);
+
+}  // namespace ace
+
+#define ACE_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::ace::panic(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define ACE_CHECK_MSG(cond, msg)                                 \
+  do {                                                           \
+    if (!(cond)) ::ace::panic(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACE_DCHECK(cond) ((void)0)
+#else
+#define ACE_DCHECK(cond) ACE_CHECK(cond)
+#endif

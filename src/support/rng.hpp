@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation (SplitMix64).
+//
+// Property tests and synthetic workload generators must be reproducible
+// across runs and platforms, so we avoid std::mt19937's distribution
+// variance and use a tiny self-contained generator.
+#pragma once
+
+#include <cstdint>
+
+namespace ace {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ace

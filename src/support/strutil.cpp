@@ -1,0 +1,56 @@
+#include "support/strutil.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cctype>
+
+namespace ace {
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool is_plain_atom_name(const std::string& name) {
+  if (name.empty()) return false;
+  // Solo and symbolic atoms commonly printed unquoted.
+  if (name == "[]" || name == "!" || name == ";" || name == "{}") return true;
+  unsigned char c0 = static_cast<unsigned char>(name[0]);
+  if (std::islower(c0)) {
+    for (char c : name) {
+      unsigned char uc = static_cast<unsigned char>(c);
+      if (!std::isalnum(uc) && c != '_') return false;
+    }
+    return true;
+  }
+  static const std::string kSymbolChars = "+-*/\\^<>=~:.?@#&$";
+  for (char c : name) {
+    if (kSymbolChars.find(c) == std::string::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace ace

@@ -1,0 +1,22 @@
+// Small string helpers shared by the printer, parser diagnostics and the
+// benchmark table formatter. (std::format is not yet available in the
+// toolchain's libstdc++, so we provide a printf-based formatter.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ace {
+
+// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+
+// True if `name` can be printed as an unquoted Prolog atom.
+bool is_plain_atom_name(const std::string& name);
+
+}  // namespace ace

@@ -1,0 +1,56 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  ACE_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::size_t pad = width[i] - row[i].size();
+      if (i == 0) {
+        line += row[i] + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + row[i];
+      }
+      line += (i + 1 == row.size()) ? "" : "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& r : rows_) out += emit_row(r);
+  return out;
+}
+
+std::string paper_cell(double unopt, double opt) {
+  double pct = unopt > 0 ? (unopt - opt) / unopt * 100.0 : 0.0;
+  return strf("%.0f/%.0f (%+.0f%%)", unopt, opt, pct);
+}
+
+}  // namespace ace

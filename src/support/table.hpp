@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harness. Produces the
+// aligned `unoptimized/optimized (improvement%)` layout used by the paper's
+// Tables 1-5 so bench output can be compared side by side with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats the paper's cell style: "unopt/opt (pct%)". `pct` is the
+// improvement of opt over unopt in percent (negative = slowdown).
+std::string paper_cell(double unopt, double opt);
+
+}  // namespace ace

@@ -1,0 +1,179 @@
+#include "term/build.hpp"
+
+#include <unordered_map>
+
+namespace ace {
+
+Addr instantiate(Store& store, unsigned seg, const TermTemplate& tmpl,
+                 std::vector<Addr>* out_vars) {
+  const std::uint64_t varbase = store.seg_size(seg);
+  for (std::uint32_t i = 0; i < tmpl.nvars; ++i) store.new_var(seg);
+  const std::uint64_t cellbase = store.seg_size(seg);
+
+  auto adjust = [&](Cell c) -> Cell {
+    switch (c.tag()) {
+      case Tag::VarSlot:
+        return ref_cell(make_addr(seg, varbase + c.var_slot()));
+      case Tag::Ref:
+      case Tag::Str:
+      case Tag::Lst:
+        return make_cell(c.tag(), make_addr(seg, cellbase + c.payload()));
+      default:
+        return c;
+    }
+  };
+
+  for (const Cell& c : tmpl.cells) store.push(seg, adjust(c));
+  Addr root = store.push(seg, adjust(tmpl.root));
+
+  if (out_vars != nullptr) {
+    out_vars->clear();
+    out_vars->reserve(tmpl.nvars);
+    for (std::uint32_t i = 0; i < tmpl.nvars; ++i) {
+      out_vars->push_back(make_addr(seg, varbase + i));
+    }
+  }
+  return root;
+}
+
+Cell TemplateBuilder::atom(const std::string& name) {
+  return atm_cell(syms_->intern(name));
+}
+
+Cell TemplateBuilder::var(const std::string& name) {
+  if (name != "_") {
+    for (std::uint32_t i = 0; i < tmpl_.nvars; ++i) {
+      if (tmpl_.var_names[i] == name) return varslot_cell(i);
+    }
+  }
+  std::uint32_t slot = tmpl_.nvars++;
+  tmpl_.var_names.push_back(name);
+  return varslot_cell(slot);
+}
+
+Cell TemplateBuilder::structure(const std::string& name,
+                                const std::vector<Cell>& args) {
+  return structure(syms_->intern(name), args);
+}
+
+Cell TemplateBuilder::structure(std::uint32_t sym,
+                                const std::vector<Cell>& args) {
+  ACE_CHECK(!args.empty() && args.size() <= kMaxArity);
+  std::uint32_t p = static_cast<std::uint32_t>(tmpl_.cells.size());
+  tmpl_.cells.push_back(fun_cell(sym, static_cast<unsigned>(args.size())));
+  for (Cell a : args) tmpl_.cells.push_back(a);
+  return str_cell(p);
+}
+
+Cell TemplateBuilder::list(const std::vector<Cell>& items) {
+  return list(items, atom(syms_->known().nil));
+}
+
+Cell TemplateBuilder::list(const std::vector<Cell>& items, Cell tail) {
+  Cell acc = tail;
+  for (std::size_t i = items.size(); i > 0; --i) {
+    std::uint32_t q = static_cast<std::uint32_t>(tmpl_.cells.size());
+    tmpl_.cells.push_back(items[i - 1]);
+    tmpl_.cells.push_back(acc);
+    acc = lst_cell(q);
+  }
+  return acc;
+}
+
+TermTemplate TemplateBuilder::finish(Cell root) {
+  TermTemplate out = std::move(tmpl_);
+  out.root = root;
+  tmpl_ = TermTemplate{};
+  return out;
+}
+
+namespace {
+
+Cell encode_template(const Store& store, Addr a, TermTemplate& tmpl,
+                     std::unordered_map<Addr, std::uint32_t>& var_slots) {
+  a = deref(store, a);
+  Cell c = store.get(a);
+  switch (c.tag()) {
+    case Tag::Ref: {
+      auto [it, inserted] = var_slots.emplace(a, tmpl.nvars);
+      if (inserted) {
+        ++tmpl.nvars;
+        tmpl.var_names.push_back("_");
+      }
+      return varslot_cell(it->second);
+    }
+    case Tag::Atm:
+    case Tag::Int:
+      return c;
+    case Tag::Lst: {
+      Cell head = encode_template(store, c.ref(), tmpl, var_slots);
+      Cell tail = encode_template(store, c.ref() + 1, tmpl, var_slots);
+      std::uint32_t q = static_cast<std::uint32_t>(tmpl.cells.size());
+      tmpl.cells.push_back(head);
+      tmpl.cells.push_back(tail);
+      return lst_cell(q);
+    }
+    case Tag::Str: {
+      Cell f = store.get(c.ref());
+      std::vector<Cell> args;
+      args.reserve(f.fun_arity());
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        args.push_back(encode_template(store, c.ref() + i, tmpl, var_slots));
+      }
+      std::uint32_t p = static_cast<std::uint32_t>(tmpl.cells.size());
+      tmpl.cells.push_back(f);
+      for (Cell arg : args) tmpl.cells.push_back(arg);
+      return str_cell(p);
+    }
+    default:
+      ACE_CHECK_MSG(false, "term_to_template: unexpected tag");
+      return c;
+  }
+}
+
+}  // namespace
+
+TermTemplate term_to_template(const Store& store, Addr root) {
+  TermTemplate tmpl;
+  std::unordered_map<Addr, std::uint32_t> var_slots;
+  tmpl.root = encode_template(store, root, tmpl, var_slots);
+  return tmpl;
+}
+
+Addr heap_atom(Store& store, unsigned seg, std::uint32_t sym) {
+  return store.push(seg, atm_cell(sym));
+}
+
+Addr heap_int(Store& store, unsigned seg, std::int64_t v) {
+  return store.push(seg, int_cell(v));
+}
+
+Addr heap_struct(Store& store, unsigned seg, std::uint32_t sym,
+                 const std::vector<Addr>& args) {
+  ACE_CHECK(!args.empty() && args.size() <= kMaxArity);
+  Addr fun = store.push(seg, fun_cell(sym, static_cast<unsigned>(args.size())));
+  for (Addr a : args) store.push(seg, ref_cell(a));
+  return store.push(seg, str_cell(fun));
+}
+
+Addr heap_cons(Store& store, unsigned seg, Addr head, Addr tail) {
+  Addr pair = store.push(seg, ref_cell(head));
+  store.push(seg, ref_cell(tail));
+  return store.push(seg, lst_cell(pair));
+}
+
+Addr heap_list(Store& store, unsigned seg, const std::vector<Addr>& items,
+               std::uint32_t nil_sym) {
+  return heap_list_tail(store, seg, items, heap_atom(store, seg, nil_sym));
+}
+
+Addr heap_list_tail(Store& store, unsigned seg, const std::vector<Addr>& items,
+                    Addr tail) {
+  Addr acc = tail;
+  for (std::size_t i = items.size(); i > 0; --i) {
+    acc = heap_cons(store, seg, items[i - 1], acc);
+  }
+  return acc;
+}
+
+}  // namespace ace

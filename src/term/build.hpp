@@ -1,0 +1,83 @@
+// Term construction: programmatic heap building, clause templates and
+// template instantiation (structure-copying clause renaming).
+//
+// A TermTemplate is the stored form of a clause or query: a flat pool of
+// cells whose internal Str/Lst/Ref payloads are *indices into the pool*,
+// plus VarSlot cells marking variable positions. Instantiating a template
+// allocates fresh heap variables for each slot and copies the pool with
+// addresses rebased — this is the "rename apart" step of resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "term/cell.hpp"
+#include "term/store.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+struct TermTemplate {
+  std::vector<Cell> cells;
+  Cell root;
+  std::uint32_t nvars = 0;
+  // Names for slots 0..nvars-1; "_" entries are anonymous.
+  std::vector<std::string> var_names;
+
+  std::size_t instantiation_cost() const { return cells.size() + nvars + 1; }
+};
+
+// Instantiates `tmpl` into segment `seg` of `store`. Returns the address of
+// the root cell. If `out_vars` is non-null it receives the heap address of
+// each variable slot (used to report query solutions).
+Addr instantiate(Store& store, unsigned seg, const TermTemplate& tmpl,
+                 std::vector<Addr>* out_vars = nullptr);
+
+// Builder for constructing templates programmatically (tests, examples and
+// the parser). Methods return the Cell value representing the built term;
+// pass those values as arguments to enclosing constructors and finally to
+// finish().
+class TemplateBuilder {
+ public:
+  explicit TemplateBuilder(SymbolTable& syms) : syms_(&syms) {}
+
+  Cell atom(const std::string& name);
+  Cell atom(std::uint32_t sym) { return atm_cell(sym); }
+  Cell integer(std::int64_t v) { return int_cell(v); }
+  // Returns the cell for a named variable, creating the slot on first use.
+  // The name "_" always creates a fresh anonymous slot.
+  Cell var(const std::string& name);
+  Cell structure(const std::string& name, const std::vector<Cell>& args);
+  Cell structure(std::uint32_t sym, const std::vector<Cell>& args);
+  // Builds a list of `items` terminated by `tail` (defaults to []).
+  Cell list(const std::vector<Cell>& items);
+  Cell list(const std::vector<Cell>& items, Cell tail);
+
+  TermTemplate finish(Cell root);
+
+  SymbolTable& syms() { return *syms_; }
+
+ private:
+  SymbolTable* syms_;
+  TermTemplate tmpl_;
+  std::vector<std::string> pending_names_;
+};
+
+// Converts a heap term back into a template (assert/1 of a constructed
+// clause). Unbound variables become fresh template slots.
+TermTemplate term_to_template(const Store& store, Addr root);
+
+// Direct heap construction helpers (used by builtins and tests).
+Addr heap_atom(Store& store, unsigned seg, std::uint32_t sym);
+Addr heap_int(Store& store, unsigned seg, std::int64_t v);
+Addr heap_struct(Store& store, unsigned seg, std::uint32_t sym,
+                 const std::vector<Addr>& args);
+Addr heap_list(Store& store, unsigned seg, const std::vector<Addr>& items,
+               std::uint32_t nil_sym);
+Addr heap_list_tail(Store& store, unsigned seg, const std::vector<Addr>& items,
+                    Addr tail);
+// Cons cell (head, tail) as a heap list node.
+Addr heap_cons(Store& store, unsigned seg, Addr head, Addr tail);
+
+}  // namespace ace

@@ -1,0 +1,107 @@
+// Tagged term cells.
+//
+// Every Prolog term is represented as cells in a Store (see store.hpp).
+// A cell is a 64-bit word: low 3 bits tag, upper 61 bits payload.
+//
+//   Ref     payload = Addr of the referenced cell. An *unbound variable*
+//           is a Ref whose payload is its own address.
+//   Str     payload = Addr of a Fun cell; the structure's arguments are
+//           the `arity` cells immediately following the Fun cell.
+//   Lst     payload = Addr of two consecutive cells (head, tail).
+//   Atm     payload = symbol id.
+//   Int     payload = signed 61-bit integer.
+//   Fun     payload = (symbol id << 12) | arity. Appears only as the first
+//           cell of a structure, never as a term root.
+//   VarSlot payload = variable slot number. Appears only inside clause
+//           templates (see db/clause.hpp), never on the heap.
+#pragma once
+
+#include <cstdint>
+
+#include "support/diag.hpp"
+
+namespace ace {
+
+enum class Tag : std::uint8_t {
+  Ref = 0,
+  Str = 1,
+  Lst = 2,
+  Atm = 3,
+  Int = 4,
+  Fun = 5,
+  VarSlot = 6,
+};
+
+// Global cell address: (segment << 32) | offset. Segment 0 is used by the
+// sequential and or-parallel engines; the and-parallel engine gives each
+// agent its own segment of one shared store.
+using Addr = std::uint64_t;
+
+constexpr unsigned kSegShift = 32;
+constexpr Addr kOffMask = (Addr{1} << kSegShift) - 1;
+
+constexpr Addr make_addr(unsigned seg, std::uint64_t off) {
+  return (Addr{seg} << kSegShift) | off;
+}
+constexpr unsigned addr_seg(Addr a) {
+  return static_cast<unsigned>(a >> kSegShift);
+}
+constexpr std::uint64_t addr_off(Addr a) { return a & kOffMask; }
+
+constexpr unsigned kMaxArity = (1u << 12) - 1;
+
+struct Cell {
+  std::uint64_t raw = 0;
+
+  Tag tag() const { return static_cast<Tag>(raw & 7u); }
+  std::uint64_t payload() const { return raw >> 3; }
+
+  Addr ref() const {
+    ACE_DCHECK(tag() == Tag::Ref || tag() == Tag::Str || tag() == Tag::Lst);
+    return payload();
+  }
+  std::uint32_t symbol() const {
+    ACE_DCHECK(tag() == Tag::Atm);
+    return static_cast<std::uint32_t>(payload());
+  }
+  std::int64_t integer() const {
+    ACE_DCHECK(tag() == Tag::Int);
+    // Arithmetic shift restores the sign of the 61-bit payload.
+    return static_cast<std::int64_t>(raw) >> 3;
+  }
+  std::uint32_t fun_symbol() const {
+    ACE_DCHECK(tag() == Tag::Fun);
+    return static_cast<std::uint32_t>(payload() >> 12);
+  }
+  unsigned fun_arity() const {
+    ACE_DCHECK(tag() == Tag::Fun);
+    return static_cast<unsigned>(payload() & kMaxArity);
+  }
+  std::uint32_t var_slot() const {
+    ACE_DCHECK(tag() == Tag::VarSlot);
+    return static_cast<std::uint32_t>(payload());
+  }
+
+  bool operator==(const Cell&) const = default;
+};
+
+inline Cell make_cell(Tag t, std::uint64_t payload) {
+  return Cell{(payload << 3) | static_cast<std::uint64_t>(t)};
+}
+inline Cell ref_cell(Addr a) { return make_cell(Tag::Ref, a); }
+inline Cell str_cell(Addr fun_addr) { return make_cell(Tag::Str, fun_addr); }
+inline Cell lst_cell(Addr pair_addr) { return make_cell(Tag::Lst, pair_addr); }
+inline Cell atm_cell(std::uint32_t sym) { return make_cell(Tag::Atm, sym); }
+inline Cell int_cell(std::int64_t v) {
+  return Cell{(static_cast<std::uint64_t>(v) << 3) |
+              static_cast<std::uint64_t>(Tag::Int)};
+}
+inline Cell fun_cell(std::uint32_t sym, unsigned arity) {
+  ACE_DCHECK(arity <= kMaxArity);
+  return make_cell(Tag::Fun, (std::uint64_t{sym} << 12) | arity);
+}
+inline Cell varslot_cell(std::uint32_t slot) {
+  return make_cell(Tag::VarSlot, slot);
+}
+
+}  // namespace ace

@@ -1,0 +1,81 @@
+#include "term/compare.hpp"
+
+namespace ace {
+namespace {
+
+enum Rank { kVar = 0, kInt = 1, kAtm = 2, kCompound = 3 };
+
+int rank_of(Tag t) {
+  switch (t) {
+    case Tag::Ref:
+      return kVar;
+    case Tag::Int:
+      return kInt;
+    case Tag::Atm:
+      return kAtm;
+    case Tag::Lst:
+    case Tag::Str:
+      return kCompound;
+    default:
+      ACE_CHECK_MSG(false, "compare: unexpected tag");
+      return kVar;
+  }
+}
+
+template <typename T>
+int cmp3(T a, T b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int compare_terms(const Store& store, const SymbolTable& syms, Addr a,
+                  Addr b) {
+  a = deref(store, a);
+  b = deref(store, b);
+  if (a == b) return 0;
+  Cell ca = store.get(a);
+  Cell cb = store.get(b);
+  int ra = rank_of(ca.tag());
+  int rb = rank_of(cb.tag());
+  if (ra != rb) return cmp3(ra, rb);
+
+  switch (ra) {
+    case kVar:
+      return cmp3(a, b);
+    case kInt:
+      return cmp3(ca.integer(), cb.integer());
+    case kAtm:
+      return syms.name(ca.symbol()).compare(syms.name(cb.symbol()));
+    default:
+      break;
+  }
+
+  // Compound: normalize (functor name, arity, arg base) for Lst and Str.
+  auto shape = [&](Cell c) {
+    struct S {
+      unsigned arity;
+      std::uint32_t sym;
+      Addr args;
+    };
+    if (c.tag() == Tag::Lst) {
+      return S{2, syms.known().dot, c.ref()};
+    }
+    Cell f = store.get(c.ref());
+    return S{f.fun_arity(), f.fun_symbol(), c.ref() + 1};
+  };
+  auto sa = shape(ca);
+  auto sb = shape(cb);
+  if (int c = cmp3(sa.arity, sb.arity)) return c;
+  if (int c = syms.name(sa.sym).compare(syms.name(sb.sym))) return c;
+  for (unsigned i = 0; i < sa.arity; ++i) {
+    if (int c = compare_terms(store, syms, sa.args + i, sb.args + i)) {
+      return c;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ace

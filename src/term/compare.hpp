@@ -1,0 +1,15 @@
+// Standard order of terms: Var < Int < Atom < Compound; compounds compare
+// by arity, then functor name, then arguments left to right. Lists are
+// compared as './2' compounds (arity 2, name ".").
+#pragma once
+
+#include "term/store.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+// Returns <0, 0, >0 like strcmp.
+int compare_terms(const Store& store, const SymbolTable& syms, Addr a,
+                  Addr b);
+
+}  // namespace ace

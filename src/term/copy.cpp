@@ -1,0 +1,46 @@
+#include "term/copy.hpp"
+
+namespace ace {
+
+Addr copy_term(Store& store, unsigned dest_seg, Addr a,
+               std::unordered_map<Addr, Addr>& var_map, std::uint64_t* cells) {
+  a = deref(store, a);
+  Cell c = store.get(a);
+  if (cells != nullptr) ++*cells;
+  switch (c.tag()) {
+    case Tag::Ref: {
+      auto it = var_map.find(a);
+      if (it != var_map.end()) return it->second;
+      Addr fresh = store.new_var(dest_seg);
+      var_map.emplace(a, fresh);
+      return fresh;
+    }
+    case Tag::Atm:
+    case Tag::Int:
+      return store.push(dest_seg, c);
+    case Tag::Lst: {
+      Addr head = copy_term(store, dest_seg, c.ref(), var_map, cells);
+      Addr tail = copy_term(store, dest_seg, c.ref() + 1, var_map, cells);
+      Addr pair = store.push(dest_seg, ref_cell(head));
+      store.push(dest_seg, ref_cell(tail));
+      return store.push(dest_seg, lst_cell(pair));
+    }
+    case Tag::Str: {
+      Cell f = store.get(c.ref());
+      unsigned arity = f.fun_arity();
+      std::vector<Addr> args;
+      args.reserve(arity);
+      for (unsigned i = 1; i <= arity; ++i) {
+        args.push_back(copy_term(store, dest_seg, c.ref() + i, var_map, cells));
+      }
+      Addr fun = store.push(dest_seg, f);
+      for (Addr arg : args) store.push(dest_seg, ref_cell(arg));
+      return store.push(dest_seg, str_cell(fun));
+    }
+    default:
+      ACE_CHECK_MSG(false, "copy_term: unexpected tag");
+      return a;
+  }
+}
+
+}  // namespace ace

@@ -1,0 +1,21 @@
+// Term copying with fresh variables (copy_term/2, findall solution capture,
+// solution snapshots).
+#pragma once
+
+#include <unordered_map>
+
+#include "term/store.hpp"
+
+namespace ace {
+
+// Copies the term at `a` into segment `dest_seg`, replacing each distinct
+// unbound variable with a fresh variable in `dest_seg`. `var_map` maps
+// source variable addresses to their copies; pass a fresh map per logical
+// copy operation (reusing one map across calls shares variables between the
+// copies, which findall uses to copy template+tail pairs coherently).
+// If `cells` is non-null it is incremented by the number of cells written.
+Addr copy_term(Store& store, unsigned dest_seg, Addr a,
+               std::unordered_map<Addr, Addr>& var_map,
+               std::uint64_t* cells = nullptr);
+
+}  // namespace ace

@@ -1,0 +1,170 @@
+#include "term/print.hpp"
+
+#include "parse/ops.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+class Printer {
+ public:
+  Printer(const Store& store, const SymbolTable& syms, const PrintOpts& opts)
+      : store_(store), syms_(syms), opts_(opts) {}
+
+  void print(Addr a, unsigned depth) {
+    if (opts_.max_depth != 0 && depth > opts_.max_depth) {
+      out_ += "...";
+      return;
+    }
+    a = deref(store_, a);
+    Cell c = store_.get(a);
+    switch (c.tag()) {
+      case Tag::Ref:
+        print_var(a);
+        break;
+      case Tag::Int:
+        out_ += strf("%lld", static_cast<long long>(c.integer()));
+        break;
+      case Tag::Atm:
+        print_atom(c.symbol());
+        break;
+      case Tag::Lst:
+        print_list(a, depth);
+        break;
+      case Tag::Str:
+        print_struct(c.ref(), depth);
+        break;
+      default:
+        out_ += "<bad-cell>";
+        break;
+    }
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  void print_var(Addr a) {
+    if (opts_.var_names != nullptr) {
+      auto it = opts_.var_names->find(a);
+      if (it != opts_.var_names->end() && it->second != "_") {
+        out_ += it->second;
+        return;
+      }
+    }
+    out_ += strf("_G%u_%llu", addr_seg(a),
+                 static_cast<unsigned long long>(addr_off(a)));
+  }
+
+  void print_atom(std::uint32_t sym, bool operand_pos = true) {
+    const std::string& name = syms_.name(sym);
+    // An atom that is also an operator must be parenthesized in operand
+    // position or it would re-parse as an operator application.
+    if (operand_pos && opts_.quoted && (infix_op(name) || prefix_op(name))) {
+      out_ += "(" + name + ")";
+      return;
+    }
+    if (!opts_.quoted || is_plain_atom_name(name)) {
+      out_ += name;
+      return;
+    }
+    out_ += '\'';
+    for (char ch : name) {
+      if (ch == '\'' || ch == '\\') out_ += '\\';
+      out_ += ch;
+    }
+    out_ += '\'';
+  }
+
+  void print_list(Addr a, unsigned depth) {
+    out_ += '[';
+    bool first = true;
+    for (;;) {
+      a = deref(store_, a);
+      Cell c = store_.get(a);
+      if (c.tag() == Tag::Lst) {
+        if (!first) out_ += ',';
+        first = false;
+        print(c.ref(), depth + 1);
+        a = c.ref() + 1;
+        continue;
+      }
+      if (c.tag() == Tag::Atm && c.symbol() == syms_.known().nil) break;
+      out_ += '|';
+      print(a, depth + 1);
+      break;
+    }
+    out_ += ']';
+  }
+
+  bool is_infix(std::uint32_t sym) const {
+    const auto& k = syms_.known();
+    if (sym == k.comma || sym == k.amp || sym == k.semicolon ||
+        sym == k.arrow || sym == k.neck) {
+      return true;
+    }
+    const std::string& n = syms_.name(sym);
+    static const char* kOps[] = {"+",  "-",  "*",   "/",   "//", "mod",
+                                 "=",  "\\=", "==",  "\\==", "<",  ">",
+                                 "=<", ">=", "=:=", "=\\=", "is", "@<",
+                                 "@>", "@=<", "@>="};
+    for (const char* op : kOps) {
+      if (n == op) return true;
+    }
+    return false;
+  }
+
+  void print_struct(Addr fun_addr, unsigned depth) {
+    Cell f = store_.get(fun_addr);
+    unsigned arity = f.fun_arity();
+    std::uint32_t sym = f.fun_symbol();
+    if (arity == 2 && is_infix(sym)) {
+      out_ += '(';
+      print(fun_addr + 1, depth + 1);
+      const std::string& n = syms_.name(sym);
+      if (n == ",") {
+        out_ += ",";
+      } else {
+        out_ += ' ';
+        out_ += n;
+        out_ += ' ';
+      }
+      print(fun_addr + 2, depth + 1);
+      out_ += ')';
+      return;
+    }
+    if (arity == 1 && syms_.name(sym) == "-") {
+      out_ += "-";
+      print(fun_addr + 1, depth + 1);
+      return;
+    }
+    if (arity == 1 && syms_.name(sym) == "{}") {
+      out_ += '{';
+      print(fun_addr + 1, depth + 1);
+      out_ += '}';
+      return;
+    }
+    print_atom(sym, /*operand_pos=*/false);
+    out_ += '(';
+    for (unsigned i = 1; i <= arity; ++i) {
+      if (i != 1) out_ += ',';
+      print(fun_addr + i, depth + 1);
+    }
+    out_ += ')';
+  }
+
+  const Store& store_;
+  const SymbolTable& syms_;
+  const PrintOpts& opts_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string term_to_string(const Store& store, const SymbolTable& syms,
+                           Addr a, const PrintOpts& opts) {
+  Printer p(store, syms, opts);
+  p.print(a, 1);
+  return p.take();
+}
+
+}  // namespace ace

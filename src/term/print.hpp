@@ -1,0 +1,24 @@
+// Term printing (writeq-style).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "term/store.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+struct PrintOpts {
+  bool quoted = true;
+  // Names for specific variable addresses (query variables); unnamed
+  // variables print as _G<seg>_<offset>.
+  const std::unordered_map<Addr, std::string>* var_names = nullptr;
+  // Cap on recursion depth; 0 means unlimited. Deeper subterms print "...".
+  unsigned max_depth = 0;
+};
+
+std::string term_to_string(const Store& store, const SymbolTable& syms,
+                           Addr a, const PrintOpts& opts = {});
+
+}  // namespace ace

@@ -1,0 +1,60 @@
+#include "term/store.hpp"
+
+namespace ace {
+
+Store::Store(unsigned num_segments) {
+  ACE_CHECK(num_segments >= 1);
+  segs_.reserve(num_segments);
+  for (unsigned i = 0; i < num_segments; ++i) {
+    segs_.push_back(std::make_unique<Segment>());
+  }
+}
+
+Addr Store::alloc(unsigned seg, std::size_t n) {
+  ACE_DCHECK(n > 0);
+  Addr first = push(seg, Cell{});
+  for (std::size_t i = 1; i < n; ++i) push(seg, Cell{});
+  return first;
+}
+
+std::size_t Store::total_cells() const {
+  std::size_t total = 0;
+  for (const auto& s : segs_) total += s->size();
+  return total;
+}
+
+void Store::copy_seg0_prefix_from(const Store& other, std::size_t n) {
+  ACE_CHECK(num_segments() == 1 && other.num_segments() == 1);
+  segs_[0]->copy_prefix_from(*other.segs_[0], n);
+}
+
+Addr deref(const Store& store, Addr a) {
+  for (;;) {
+    Cell c = store.get(a);
+    if (c.tag() != Tag::Ref) return a;
+    Addr target = c.ref();
+    if (target == a) return a;  // unbound
+    a = target;
+  }
+}
+
+void untrail(Store& store, Trail& trail, std::size_t mark) {
+  std::size_t top = trail.size();
+  ACE_DCHECK(mark <= top);
+  for (std::size_t i = top; i > mark; --i) {
+    Addr var = trail[i - 1];
+    store.set(var, ref_cell(var));
+  }
+  trail.truncate(mark);
+}
+
+void untrail_range(Store& store, const Trail& trail, std::size_t lo,
+                   std::size_t hi) {
+  ACE_DCHECK(lo <= hi && hi <= trail.size());
+  for (std::size_t i = hi; i > lo; --i) {
+    Addr var = trail[i - 1];
+    store.set(var, ref_cell(var));
+  }
+}
+
+}  // namespace ace

@@ -1,0 +1,98 @@
+// Heap store and trail.
+//
+// A Store owns one heap segment per agent. All references between cells are
+// global Addrs, so terms may span segments (an and-parallel subgoal executed
+// by a stolen agent builds its result cells in the thief's segment while
+// binding variables in the parent's segment).
+//
+// Segments use ChunkedVector so growth never invalidates addresses: in the
+// real-thread runtime one agent may read cells another agent published
+// earlier while the owner keeps appending.
+//
+// The Trail records every binding (unconditional trailing — see DESIGN.md;
+// the parallel engines cannot cheaply compute conditional-trailing
+// watermarks across segments, and the paper's cost accounting charges trail
+// entries explicitly anyway).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/chunked_vector.hpp"
+#include "term/cell.hpp"
+
+namespace ace {
+
+class Store {
+ public:
+  explicit Store(unsigned num_segments = 1);
+
+  unsigned num_segments() const {
+    return static_cast<unsigned>(segs_.size());
+  }
+
+  Cell get(Addr a) const { return (*segs_[addr_seg(a)])[addr_off(a)]; }
+  void set(Addr a, Cell c) { (*segs_[addr_seg(a)])[addr_off(a)] = c; }
+
+  Addr push(unsigned seg, Cell c) {
+    return make_addr(seg, segs_[seg]->push_back(c));
+  }
+
+  // Allocates `n` consecutive cells in `seg` and returns the first address.
+  Addr alloc(unsigned seg, std::size_t n);
+
+  // Allocates a fresh unbound variable (self-referencing Ref cell).
+  Addr new_var(unsigned seg) {
+    std::uint64_t off = segs_[seg]->size();
+    Addr a = make_addr(seg, off);
+    segs_[seg]->push_back(ref_cell(a));
+    return a;
+  }
+
+  std::size_t seg_size(unsigned seg) const { return segs_[seg]->size(); }
+  void truncate(unsigned seg, std::size_t mark) { segs_[seg]->truncate(mark); }
+
+  // Total live cells across all segments (memory accounting).
+  std::size_t total_cells() const;
+
+  // Replaces this store's segment 0 with a copy of the first n cells of
+  // `other`'s segment 0. Or-parallel MUSE copying; both stores must be
+  // single-segment.
+  void copy_seg0_prefix_from(const Store& other, std::size_t n);
+
+ private:
+  using Segment = ChunkedVector<Cell>;
+  std::vector<std::unique_ptr<Segment>> segs_;
+};
+
+// Follows Ref chains until reaching an unbound variable or a non-Ref cell.
+// Returns the address of that final cell.
+Addr deref(const Store& store, Addr a);
+
+// True if the cell at (dereferenced) address `a` is an unbound variable.
+inline bool is_unbound(const Store& store, Addr a) {
+  Cell c = store.get(a);
+  return c.tag() == Tag::Ref && c.ref() == a;
+}
+
+using Trail = ChunkedVector<Addr>;
+
+// Binds the unbound variable at `var` to `value`, recording it on `trail`.
+inline void bind(Store& store, Trail& trail, Addr var, Cell value) {
+  ACE_DCHECK(is_unbound(store, var));
+  store.set(var, value);
+  trail.push_back(var);
+}
+
+// Undoes all bindings recorded in `trail` positions [mark, size), resetting
+// each trailed variable to unbound, then truncates the trail to `mark`.
+void untrail(Store& store, Trail& trail, std::size_t mark);
+
+// Undoes bindings in trail positions [lo, hi) without truncating — used
+// when unwinding a stack *section* in the middle of another agent's trail
+// (the and-parallel engine's outside backtracking over remote sections).
+void untrail_range(Store& store, const Trail& trail, std::size_t lo,
+                   std::size_t hi);
+
+}  // namespace ace

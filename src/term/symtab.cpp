@@ -1,0 +1,46 @@
+#include "term/symtab.hpp"
+
+#include "support/diag.hpp"
+
+namespace ace {
+
+SymbolTable::SymbolTable() {
+  known_.nil = intern("[]");
+  known_.dot = intern(".");
+  known_.comma = intern(",");
+  known_.amp = intern("&");
+  known_.semicolon = intern(";");
+  known_.arrow = intern("->");
+  known_.neck = intern(":-");
+  known_.cut = intern("!");
+  known_.truesym = intern("true");
+  known_.fail = intern("fail");
+  known_.curly = intern("{}");
+  known_.minus = intern("-");
+  known_.plus = intern("+");
+  known_.call = intern("call");
+  known_.naf = intern("\\+");
+}
+
+std::uint32_t SymbolTable::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& SymbolTable::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ACE_CHECK(id < names_.size());
+  return names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace ace

@@ -1,0 +1,52 @@
+// Interned symbol (atom/functor name) table.
+//
+// A single SymbolTable is shared by a whole Machine (all agents); interning
+// mostly happens at parse time but runtime builtins (atom construction) may
+// intern too, so lookups and inserts are guarded by a mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ace {
+
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  std::uint32_t intern(const std::string& name);
+  const std::string& name(std::uint32_t id) const;
+  std::size_t size() const;
+
+  // Well-known symbols, interned at construction in a fixed order so their
+  // ids are stable constants across all tables.
+  struct Known {
+    std::uint32_t nil;         // []
+    std::uint32_t dot;         // '.' (unused list functor, kept for =..)
+    std::uint32_t comma;       // ,
+    std::uint32_t amp;         // &
+    std::uint32_t semicolon;   // ;
+    std::uint32_t arrow;       // ->
+    std::uint32_t neck;        // :-
+    std::uint32_t cut;         // !
+    std::uint32_t truesym;     // true
+    std::uint32_t fail;        // fail
+    std::uint32_t curly;       // {}
+    std::uint32_t minus;       // -
+    std::uint32_t plus;        // +
+    std::uint32_t call;        // call
+    std::uint32_t naf;         // \+
+  };
+  const Known& known() const { return known_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  Known known_;
+};
+
+}  // namespace ace

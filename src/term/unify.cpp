@@ -1,0 +1,143 @@
+#include "term/unify.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ace {
+namespace {
+
+// Binds var -> value-at-addr. Var-to-var bindings point the younger cell at
+// the older one within a segment (shortens chains); across segments the
+// direction is arbitrary but consistent.
+void bind_var(Store& store, Trail& trail, Addr var, Addr other) {
+  Cell other_cell = store.get(other);
+  if (other_cell.tag() == Tag::Ref && other_cell.ref() == other) {
+    // var-var: order by address.
+    if (other > var) {
+      bind(store, trail, other, ref_cell(var));
+    } else {
+      bind(store, trail, var, ref_cell(other));
+    }
+    return;
+  }
+  // Bind to a reference so large terms are shared, not copied.
+  Cell value = other_cell;
+  if (other_cell.tag() == Tag::Fun) {
+    // Should not happen: term roots never point at bare Fun cells.
+    ACE_CHECK_MSG(false, "unify: dangling functor cell");
+  }
+  if (other_cell.tag() == Tag::Ref) value = ref_cell(other);
+  bind(store, trail, var, value);
+}
+
+}  // namespace
+
+bool occurs_in(const Store& store, Addr var, Addr a) {
+  std::vector<Addr> work{a};
+  while (!work.empty()) {
+    Addr t = deref(store, work.back());
+    work.pop_back();
+    Cell c = store.get(t);
+    switch (c.tag()) {
+      case Tag::Ref:
+        if (t == var) return true;
+        break;
+      case Tag::Str: {
+        Cell f = store.get(c.ref());
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          work.push_back(c.ref() + i);
+        }
+        break;
+      }
+      case Tag::Lst:
+        work.push_back(c.ref());
+        work.push_back(c.ref() + 1);
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+bool is_ground(const Store& store, Addr a) {
+  std::vector<Addr> work{a};
+  while (!work.empty()) {
+    Addr t = deref(store, work.back());
+    work.pop_back();
+    Cell c = store.get(t);
+    switch (c.tag()) {
+      case Tag::Ref:
+        return false;
+      case Tag::Str: {
+        Cell f = store.get(c.ref());
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          work.push_back(c.ref() + i);
+        }
+        break;
+      }
+      case Tag::Lst:
+        work.push_back(c.ref());
+        work.push_back(c.ref() + 1);
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool unify(Store& store, Trail& trail, Addr a, Addr b, std::uint64_t* steps,
+           bool occurs_check) {
+  std::vector<std::pair<Addr, Addr>> work{{a, b}};
+  while (!work.empty()) {
+    auto [x, y] = work.back();
+    work.pop_back();
+    x = deref(store, x);
+    y = deref(store, y);
+    if (steps != nullptr) ++*steps;
+    if (x == y) continue;
+
+    Cell cx = store.get(x);
+    Cell cy = store.get(y);
+    bool x_var = cx.tag() == Tag::Ref;
+    bool y_var = cy.tag() == Tag::Ref;
+    if (x_var) {
+      if (occurs_check && !y_var && occurs_in(store, x, y)) return false;
+      bind_var(store, trail, x, y);
+      continue;
+    }
+    if (y_var) {
+      if (occurs_check && occurs_in(store, y, x)) return false;
+      bind_var(store, trail, y, x);
+      continue;
+    }
+    if (cx.tag() != cy.tag()) return false;
+    switch (cx.tag()) {
+      case Tag::Atm:
+        if (cx.symbol() != cy.symbol()) return false;
+        break;
+      case Tag::Int:
+        if (cx.integer() != cy.integer()) return false;
+        break;
+      case Tag::Lst:
+        work.emplace_back(cx.ref(), cy.ref());
+        work.emplace_back(cx.ref() + 1, cy.ref() + 1);
+        break;
+      case Tag::Str: {
+        Cell fx = store.get(cx.ref());
+        Cell fy = store.get(cy.ref());
+        if (fx.raw != fy.raw) return false;
+        for (unsigned i = 1; i <= fx.fun_arity(); ++i) {
+          work.emplace_back(cx.ref() + i, cy.ref() + i);
+        }
+        break;
+      }
+      default:
+        ACE_CHECK_MSG(false, "unify: unexpected cell tag");
+    }
+  }
+  return true;
+}
+
+}  // namespace ace

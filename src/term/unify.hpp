@@ -1,0 +1,29 @@
+// Unification with unconditional trailing.
+#pragma once
+
+#include <cstdint>
+
+#include "term/store.hpp"
+
+namespace ace {
+
+// Unifies the terms at `a` and `b`. Bindings are trailed on `trail`; on
+// failure the caller is responsible for untrailing to its own mark (the
+// engine does this as part of backtracking — partial bindings from a failed
+// head unification are undone by the choice point's trail mark, or by the
+// caller's local mark for deterministic calls).
+//
+// If `steps` is non-null, it is incremented by the number of cell pairs
+// visited (the simulator charges unification cost proportionally).
+//
+// `occurs_check` enables sound unification (used by property tests).
+bool unify(Store& store, Trail& trail, Addr a, Addr b,
+           std::uint64_t* steps = nullptr, bool occurs_check = false);
+
+// True if the term at `a` contains the unbound variable `var`.
+bool occurs_in(const Store& store, Addr var, Addr a);
+
+// True if the term is ground (contains no unbound variables).
+bool is_ground(const Store& store, Addr a);
+
+}  // namespace ace

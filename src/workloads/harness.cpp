@@ -1,0 +1,64 @@
+#include "workloads/harness.hpp"
+
+#include "builtins/lib.hpp"
+
+namespace ace {
+
+RunOutcome run_workload(const Workload& w, const RunConfig& cfg,
+                        const std::string& query) {
+  Database db;
+  load_library(db);
+  db.consult(w.source);
+  const std::string& q = query.empty() ? w.query : query;
+  const CostModel costs =
+      cfg.costs != nullptr ? *cfg.costs : CostModel::standard();
+
+  std::size_t max_solutions = cfg.max_solutions;
+  if (max_solutions == SIZE_MAX && !w.all_solutions) max_solutions = 1;
+
+  SolveResult r;
+  switch (cfg.engine) {
+    case EngineKind::Seq: {
+      WorkerOptions wopts;
+      wopts.resolution_limit = cfg.resolution_limit;
+      SeqEngine eng(db, wopts, costs);
+      r = eng.solve(q, max_solutions);
+      break;
+    }
+    case EngineKind::Andp: {
+      AndpOptions opts;
+      opts.agents = cfg.agents;
+      opts.lpco = cfg.lpco;
+      opts.shallow = cfg.shallow;
+      opts.pdo = cfg.pdo;
+      opts.use_threads = cfg.use_threads;
+      opts.resolution_limit = cfg.resolution_limit;
+      AndpMachine m(db, opts, costs);
+      r = m.solve(q, max_solutions);
+      break;
+    }
+    case EngineKind::Orp: {
+      OrpOptions opts;
+      opts.agents = cfg.agents;
+      opts.lao = cfg.lao;
+      opts.resolution_limit = cfg.resolution_limit;
+      OrpMachine m(db, opts, costs);
+      r = m.solve(q, max_solutions);
+      break;
+    }
+  }
+
+  RunOutcome out;
+  out.virtual_time = r.virtual_time;
+  out.num_solutions = r.solutions.size();
+  out.solutions = std::move(r.solutions);
+  out.stats = r.stats;
+  return out;
+}
+
+RunOutcome run_small(const std::string& workload_name, const RunConfig& cfg) {
+  const Workload& w = workload(workload_name);
+  return run_workload(w, cfg, w.small_query);
+}
+
+}  // namespace ace

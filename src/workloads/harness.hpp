@@ -1,0 +1,44 @@
+// Workload runner: builds a database for a workload and runs it on one of
+// the three engines with a given configuration, returning the paper-style
+// measurements. Also provides the speedup/table helpers the bench binaries
+// share.
+#pragma once
+
+#include "andp/machine.hpp"
+#include "orp/machine.hpp"
+#include "workloads/programs.hpp"
+
+namespace ace {
+
+enum class EngineKind { Seq, Andp, Orp };
+
+struct RunConfig {
+  EngineKind engine = EngineKind::Seq;
+  unsigned agents = 1;
+  bool lpco = false;
+  bool shallow = false;
+  bool pdo = false;
+  bool lao = false;
+  std::size_t max_solutions = SIZE_MAX;
+  bool use_threads = false;  // AndpMachine only
+  std::uint64_t resolution_limit = 0;
+  const CostModel* costs = nullptr;  // defaults to CostModel::standard()
+};
+
+struct RunOutcome {
+  std::uint64_t virtual_time = 0;
+  std::size_t num_solutions = 0;
+  std::vector<std::string> solutions;
+  Counters stats;
+};
+
+// Runs `query` against the workload's program. Uses the workload's default
+// query if `query` is empty.
+RunOutcome run_workload(const Workload& w, const RunConfig& cfg,
+                        const std::string& query = "");
+
+// Convenience used by tests: the solution list for a named workload's small
+// query under `cfg`.
+RunOutcome run_small(const std::string& workload_name, const RunConfig& cfg);
+
+}  // namespace ace

@@ -1,0 +1,514 @@
+#include "workloads/programs.hpp"
+
+#include "support/diag.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> w;
+
+  // ---- Shared helper predicates (included where needed) -----------------
+  const std::string kCommon = R"PL(
+mkmat(0, _, []) :- !.
+mkmat(N, M, [R|Rs]) :- mkrow(M, N, R), N1 is N - 1, mkmat(N1, M, Rs).
+mkrow(0, _, []) :- !.
+mkrow(M, N, [E|Es]) :- E is (M * 17 + N * 31) mod 10, M1 is M - 1,
+    mkrow(M1, N, Es).
+checksum([], 0).
+checksum([R|Rs], S) :- sum_list(R, S1), checksum(Rs, S2), S is S1 + S2.
+)PL";
+
+  // ======================================================================
+  // map1 — failure-driven parallel map: a nondeterministic seed generator
+  // followed by an expensive parallel map; the test only accepts the last
+  // seed, so every retry re-executes the whole parallel call. Heavy
+  // backward execution over (flattened) parcalls: Table 2 and Figure 5
+  // ("map"), the paper's LPCO showcase.
+  w.push_back({
+      "map1",
+      "failure-driven parallel map (Table 2, Fig 5)",
+      R"PL(
+mix(0, A, _, A) :- !.
+mix(K, A, S, V) :- A1 is (A * 31 + S) mod 1000003, K1 is K - 1,
+    mix(K1, A1, S, V).
+mapel(I, Seed, V) :- mix(12, I, Seed, V).
+mapseed([], _, []).
+mapseed([I|Is], Seed, [V|Vs]) :- mapel(I, Seed, V) & mapseed(Is, Seed, Vs).
+map1(N, S, Out) :- numlist(1, N, L),
+    between(1, S, Seed), mapseed(L, Seed, Out), Seed =:= S.
+)PL",
+      "map1(16, 50, Out).",
+      "map1(5, 4, Out).",
+      /*and_parallel=*/true,
+      /*all_solutions=*/false,
+  });
+
+  // map2 — deterministic parallel map (forward execution only): Table 1.
+  w.push_back({
+      "map2",
+      "deterministic parallel map, forward only (Table 1)",
+      R"PL(
+tr2(X, Y) :- tr2_work(12, X, Y).
+tr2_work(0, A, A) :- !.
+tr2_work(N, A, Y) :- A1 is (A * 3 + 1) mod 1000003, N1 is N - 1,
+    tr2_work(N1, A1, Y).
+map2l([], []).
+map2l([H|T], [H2|T2]) :- tr2(H, H2) & map2l(T, T2).
+map2(N, Out) :- numlist(1, N, L), map2l(L, Out).
+)PL",
+      "map2(300, Out).",
+      "map2(12, Out).",
+      true,
+      false,
+  });
+
+  // occur — count occurrences of each symbol in a long list, one counter
+  // per symbol in and-parallel: Tables 1, 4, 5; Figure 8 ("poccur").
+  w.push_back({
+      "occur",
+      "parallel symbol-occurrence counting (Tables 1/4/5, Fig 8)",
+      R"PL(
+sym(0, a). sym(1, b). sym(2, c). sym(3, d). sym(4, e).
+symlist(0, []) :- !.
+symlist(N, [S|T]) :- M is N mod 5, sym(M, S), N1 is N - 1, symlist(N1, T).
+count_occ([], _, 0).
+count_occ([H|T], S, C) :- count_occ(T, S, C1),
+    ( H == S -> C is C1 + 1 ; C = C1 ).
+% The list is counted in chunks of 3, one parallel subgoal per chunk
+% (data and-parallel style, recursion shaped for LPCO flattening; fine
+% granularity makes the per-subgoal bookkeeping overhead visible).
+taken(0, L, [], L) :- !.
+taken(_, [], [], []) :- !.
+taken(N, [H|T], [H|C], R) :- N1 is N - 1, taken(N1, T, C, R).
+split8([], []) :- !.
+split8(L, [C|Cs]) :- taken(3, L, C, R), split8(R, Cs).
+chunk_counts([], _, []).
+chunk_counts([Ch|Cs], S, [N|Ns]) :-
+    count_occ(Ch, S, N) & chunk_counts(Cs, S, Ns).
+percounts([], _, []).
+percounts([S|Ss], Ch, [Ns|Rest]) :-
+    chunk_counts(Ch, S, Ns) & percounts(Ss, Ch, Rest).
+sums([], [], []).
+sums([S|Ss], [Ns|Rest], [S - C|Cs]) :- sum_list(Ns, C), sums(Ss, Rest, Cs).
+occur(N, Out) :- symlist(N, L), split8(L, Chunks),
+    percounts([a, b, c, d, e], Chunks, Nss),
+    sums([a, b, c, d, e], Nss, Out).
+)PL",
+      "occur(200, Cs).",
+      "occur(25, Cs).",
+      true,
+      false,
+  });
+
+  // matrix — parallel matrix multiplication (rows in and-parallel):
+  // forward instance for Tables 4/5, backward instance below for Table 2.
+  w.push_back({
+      "matrix",
+      "parallel matrix multiplication, forward (Tables 4/5)",
+      kCommon + R"PL(
+dot([], [], 0).
+dot([A|As], [B|Bs], S) :- dot(As, Bs, S1), S is S1 + A * B.
+% And-parallel at both levels: rows in parallel, and the dot products of a
+% row in parallel (fine granularity — the marker overhead the shallow
+% optimization removes is a visible fraction of each subgoal).
+mrow([], _, []).
+mrow([C|Cs], R, [E|Es]) :- dot(R, C, E) & mrow(Cs, R, Es).
+mmult([], _, []).
+mmult([R|Rs], Cols, [O|Os]) :- mrow(Cols, R, O) & mmult(Rs, Cols, Os).
+matrix(N, S) :- mkmat(N, N, M), mmult(M, M, Out), checksum(Out, S).
+)PL",
+      "matrix(12, S).",
+      "matrix(4, S).",
+      true,
+      false,
+  });
+
+  // matrix_bt — matrix multiplication with a nondeterministic element
+  // adjustment and a global test: backward execution, Table 2 / Figure 5.
+  w.push_back({
+      "matrix_bt",
+      "failure-driven seeded matrix multiplication (Table 2, Fig 5)",
+      kCommon + R"PL(
+dot([], [], 0).
+dot([A|As], [B|Bs], S) :- dot(As, Bs, S1), S is S1 + A * B.
+mrow_s([], _, _, []).
+mrow_s([C|Cs], R, S, [E|Es]) :- dot(R, C, D), E is (D * S + 1) mod 9973,
+    mrow_s(Cs, R, S, Es).
+mmult_s([], _, _, []).
+mmult_s([R|Rs], Cols, S, [O|Os]) :-
+    mrow_s(Cols, R, S, O) & mmult_s(Rs, Cols, S, Os).
+% Failure-driven loop: every rejected seed redoes the full parallel
+% multiply through backward execution over the parcall.
+matrix_bt(N, S, Sum) :- mkmat(N, N, M),
+    between(1, S, Seed), mmult_s(M, M, Seed, Out), Seed =:= S,
+    checksum(Out, Sum).
+)PL",
+      "matrix_bt(8, 40, Sum).",
+      "matrix_bt(3, 3, Sum).",
+      true,
+      false,
+  });
+
+  // pderiv — parallel symbolic differentiation: Table 2 / Figure 5
+  // (backward variant pderiv_bt) and general and-parallel load.
+  const std::string kDeriv = R"PL(
+d(x, x, 1).
+d(N, _, 0) :- integer(N).
+d(A + B, X, DA + DB) :- d(A, X, DA) & d(B, X, DB).
+d(A - B, X, DA - DB) :- d(A, X, DA) & d(B, X, DB).
+d(A * B, X, A * DB + DA * B) :- d(A, X, DA) & d(B, X, DB).
+mkexp(0, x) :- !.
+mkexp(N, x * E + N) :- N1 is N - 1, mkexp(N1, E).
+mkexps(0, _, []) :- !.
+mkexps(K, N, [E|Es]) :- mkexp(N, E), K1 is K - 1, mkexps(K1, N, Es).
+tsize(X, 1) :- atomic(X), !.
+tsize(T, S) :- T =.. [_|As], tsizes(As, S1), S is S1 + 1.
+tsizes([], 0).
+tsizes([A|As], S) :- tsize(A, S1), tsizes(As, S2), S is S1 + S2.
+)PL";
+  w.push_back({
+      "pderiv",
+      "parallel symbolic differentiation, forward",
+      kDeriv + R"PL(
+deriv_all([], _, []).
+deriv_all([E|Es], X, [D|Ds]) :- d(E, X, D) & deriv_all(Es, X, Ds).
+pderiv(K, N, S) :- mkexps(K, N, Es), deriv_all(Es, x, Ds), tsizes(Ds, S).
+)PL",
+      "pderiv(20, 14, S).",
+      "pderiv(4, 4, S).",
+      true,
+      false,
+  });
+  w.push_back({
+      "pderiv_bt",
+      "failure-driven seeded differentiation (Table 2, Fig 5)",
+      kDeriv + R"PL(
+% One parallel subgoal per expression: build a seed-dependent expression,
+% differentiate it, measure the result. A rejected seed redoes all of it.
+pder_el(I, Seed, N, Sz) :- D is 1 + (I * Seed) mod N, mkexp(D, E),
+    d(E, x, DD), tsize(DD, Sz).
+pder_all([], _, _, []).
+pder_all([I|Is], Seed, N, [Sz|Szs]) :-
+    pder_el(I, Seed, N, Sz) & pder_all(Is, Seed, N, Szs).
+pderiv_bt(K, N, S, W) :- numlist(1, K, Idx),
+    between(1, S, Seed), pder_all(Idx, Seed, N, Szs), Seed =:= S,
+    sum_list(Szs, W).
+)PL",
+      "pderiv_bt(12, 8, 40, W).",
+      "pderiv_bt(4, 3, 3, W).",
+      true,
+      false,
+  });
+
+  // annotator — a miniature independence annotator (the &ACE benchmark is
+  // a program analyzer): Tables 2, 4, 5; Figure 8.
+  const std::string kAnnotate = R"PL(
+mkgoal(I, g(I, [V1, V2])) :- V1 is I mod 7, V2 is (I * 3 + 1) mod 7.
+mkbody(0, _, []) :- !.
+mkbody(N, I, [G|Gs]) :- J is I * 13 + N, mkgoal(J, G), N1 is N - 1,
+    mkbody(N1, I, Gs).
+mkbodies(0, []) :- !.
+mkbodies(K, [B|Bs]) :- mkbody(6, K, B), K1 is K - 1, mkbodies(K1, Bs).
+indep(g(_, V1), g(_, V2)) :- disjoint(V1, V2).
+disjoint([], _).
+disjoint([X|Xs], Ys) :- \+ member(X, Ys), disjoint(Xs, Ys).
+annotate_body([], []).
+annotate_body([G], [one(G)]) :- !.
+annotate_body([G1, G2|Gs], [A|Rest]) :-
+    ( indep(G1, G2) -> A = par(G1, G2) ; A = seq(G1, G2) ),
+    annotate_body(Gs, Rest).
+)PL";
+  w.push_back({
+      "annotator",
+      "mini independence annotator, forward (Tables 4/5, Fig 8)",
+      kAnnotate + R"PL(
+% Each goal pair is annotated by its own parallel subgoal.
+ann_pair(G1, G2, A) :-
+    ( indep(G1, G2) -> A = par(G1, G2) ; A = seq(G1, G2) ).
+annotate_pairs([], []).
+annotate_pairs([G], [one(G)]) :- !.
+annotate_pairs([G1, G2|Gs], [A|Rest]) :-
+    ann_pair(G1, G2, A) & annotate_pairs(Gs, Rest).
+annotate_all([], []).
+annotate_all([B|Bs], [A|As]) :-
+    annotate_pairs(B, A) & annotate_all(Bs, As).
+annotator(K, Out) :- mkbodies(K, Bs), annotate_all(Bs, Out).
+)PL",
+      "annotator(60, Out).",
+      "annotator(8, Out).",
+      true,
+      false,
+  });
+  w.push_back({
+      "annotator_bt",
+      "failure-driven seeded annotator (Table 2)",
+      kAnnotate + R"PL(
+% One parallel subgoal per clause body: build a seed-dependent body and
+% annotate it. A rejected seed redoes the whole annotation in parallel.
+ann_el(I, Seed, A) :- J is I * 17 + Seed, mkbody(6, J, B),
+    annotate_body(B, A).
+annseed([], _, []).
+annseed([I|Is], Seed, [A|As]) :- ann_el(I, Seed, A) & annseed(Is, Seed, As).
+annotator_bt(K, S, Out) :- numlist(1, K, Idx),
+    between(1, S, Seed), annseed(Idx, Seed, Out), Seed =:= S.
+)PL",
+      "annotator_bt(10, 40, Out).",
+      "annotator_bt(3, 3, Out).",
+      true,
+      false,
+  });
+
+  // takeuchi — parallel tak: Tables 4 and 5.
+  w.push_back({
+      "takeuchi",
+      "parallel Takeuchi function (Tables 4/5)",
+      R"PL(
+tak(X, Y, Z, A) :- X =< Y, !, A = Z.
+tak(X, Y, Z, A) :- X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+    tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
+takeuchi(X, Y, Z, A) :- tak(X, Y, Z, A).
+)PL",
+      "takeuchi(14, 10, 3, A).",
+      "takeuchi(5, 3, 0, A).",
+      true,
+      false,
+  });
+
+  // hanoi — parallel towers of Hanoi: Table 4 / Figure 8.
+  w.push_back({
+      "hanoi",
+      "parallel towers of Hanoi (Table 4, Fig 8)",
+      R"PL(
+hanoi(0, _, _, _, []) :- !.
+hanoi(N, A, B, C, M) :- N1 is N - 1,
+    hanoi(N1, A, C, B, M1) & hanoi(N1, C, B, A, M2),
+    append(M1, [mv(A, B)|M2], M).
+htop(N, Len) :- hanoi(N, l, m, r, M), length(M, Len).
+)PL",
+      "htop(10, Len).",
+      "htop(4, Len).",
+      true,
+      false,
+  });
+
+  // bt_cluster — parallel nearest-centre classification: Tables 4 and 5.
+  w.push_back({
+      "bt_cluster",
+      "parallel point clustering (Tables 4/5)",
+      R"PL(
+pt(I, p(X, Y)) :- X is (I * 37) mod 100, Y is (I * 73) mod 100.
+mkpts(0, []) :- !.
+mkpts(N, [P|Ps]) :- pt(N, P), N1 is N - 1, mkpts(N1, Ps).
+dist2(p(X1, Y1), p(X2, Y2), D) :- DX is X1 - X2, DY is Y1 - Y2,
+    D is DX * DX + DY * DY.
+nearest(P, [C], C, D) :- !, dist2(P, C, D).
+nearest(P, [C|Cs], Best, BD) :- dist2(P, C, D1), nearest(P, Cs, B2, D2),
+    ( D1 =< D2 -> Best = C, BD = D1 ; Best = B2, BD = D2 ).
+classify([], _, []).
+classify([P|Ps], Cs, [B|Bs]) :- nearest(P, Cs, B, _) & classify(Ps, Cs, Bs).
+bt_cluster(N, Out) :- mkpts(N, Ps),
+    classify(Ps, [p(10, 10), p(50, 50), p(90, 20), p(20, 80)], Out).
+)PL",
+      "bt_cluster(150, Out).",
+      "bt_cluster(10, Out).",
+      true,
+      false,
+  });
+
+  // quick_sort — parallel quicksort: Table 5.
+  w.push_back({
+      "quick_sort",
+      "parallel quicksort (Table 5)",
+      R"PL(
+qpartition([], _, [], []).
+qpartition([H|T], P, [H|L], G) :- H =< P, !, qpartition(T, P, L, G).
+qpartition([H|T], P, L, [H|G]) :- qpartition(T, P, L, G).
+qsort([], []).
+qsort([P|T], S) :- qpartition(T, P, L, G), qsort(L, SL) & qsort(G, SG),
+    append(SL, [P|SG], S).
+rnd_list(0, _, []) :- !.
+rnd_list(N, Seed, [X|Xs]) :- X is (Seed * 1103515245 + 12345) mod 1000,
+    N1 is N - 1, rnd_list(N1, X, Xs).
+quick_sort(N, S) :- rnd_list(N, 42, L), qsort(L, S).
+)PL",
+      "quick_sort(120, S).",
+      "quick_sort(12, S).",
+      true,
+      false,
+  });
+
+  // nrev — naive reverse, the classic LIPS benchmark. Note: nrev's two
+  // body goals share RT, so they are NOT independent — the classic program
+  // stays sequential (a useful negative example for the annotator, which
+  // correctly refuses to fuse them).
+  w.push_back({
+      "nrev",
+      "naive reverse (classic sequential Prolog benchmark)",
+      R"PL(
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+nrev_top(N, Last) :- numlist(1, N, L), nrev(L, R), R = [Last|_].
+)PL",
+      "nrev_top(60, Last).",
+      "nrev_top(12, Last).",
+      true,
+      false,
+  });
+
+  // fib — doubly recursive parallel Fibonacci (scheduling stress).
+  w.push_back({
+      "fib",
+      "parallel Fibonacci (scheduling stress)",
+      R"PL(
+fibp(N, F) :- N < 2, !, F = N.
+fibp(N, F) :- N1 is N - 1, N2 is N - 2,
+    fibp(N1, F1) & fibp(N2, F2), F is F1 + F2.
+)PL",
+      "fibp(17, F).",
+      "fibp(9, F).",
+      true,
+      false,
+  });
+
+  // ======================================================================
+  // Or-parallel benchmarks (Table 3).
+
+  w.push_back({
+      "queens1",
+      "n-queens, permutation coding (Table 3)",
+      R"PL(
+queens1(N, Qs) :- numlist(1, N, Ns), qperm(Ns, [], Qs).
+qperm([], Acc, Acc).
+qperm(L, Acc, Qs) :- select(Q, L, R), qsafe(Q, Acc, 1), qperm(R, [Q|Acc], Qs).
+qsafe(_, [], _).
+qsafe(Q, [P|Ps], D) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, qsafe(Q, Ps, D1).
+)PL",
+      "queens1(7, Qs).",
+      "queens1(5, Qs).",
+      false,
+      true,
+  });
+
+  w.push_back({
+      "queens2",
+      "n-queens, incremental generator coding (Table 3)",
+      R"PL(
+queens2(N, Qs) :- q2(N, N, [], Qs).
+q2(0, _, Acc, Acc) :- !.
+q2(K, N, Acc, Qs) :- between(1, N, Q), qsafe(Q, Acc, 1), K1 is K - 1,
+    q2(K1, N, [Q|Acc], Qs).
+% Unlike the permutation coding, the generator may repeat values, so the
+% safety check also excludes same-column clashes.
+qsafe(_, [], _).
+qsafe(Q, [P|Ps], D) :- Q =\= P, Q =\= P + D, Q =\= P - D, D1 is D + 1,
+    qsafe(Q, Ps, D1).
+)PL",
+      "queens2(7, Qs).",
+      "queens2(5, Qs).",
+      false,
+      true,
+  });
+
+  // puzzle — 3x3 magic square via pruned selection: Table 3.
+  w.push_back({
+      "puzzle",
+      "3x3 magic square search (Table 3)",
+      R"PL(
+puzzle([A, B, C, D, E, F, G, H, I]) :-
+    L0 = [1, 2, 3, 4, 5, 6, 7, 8, 9],
+    select(A, L0, L1), select(B, L1, L2), select(C, L2, L3),
+    15 =:= A + B + C,
+    select(D, L3, L4), select(E, L4, L5), select(F, L5, L6),
+    15 =:= D + E + F,
+    select(G, L6, L7), select(H, L7, L8), select(I, L8, []),
+    15 =:= G + H + I,
+    15 =:= A + D + G, 15 =:= B + E + H, 15 =:= C + F + I,
+    15 =:= A + E + I, 15 =:= C + E + G.
+)PL",
+      "puzzle(S).",
+      "puzzle(S).",
+      false,
+      true,
+  });
+
+  // ancestors — descendant enumeration over an implicit binary tree.
+  w.push_back({
+      "ancestors",
+      "descendant enumeration, binary family tree (Table 3)",
+      R"PL(
+parent(X, Y) :- X =< 127, Y is X * 2.
+parent(X, Y) :- X =< 127, Y is X * 2 + 1.
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+)PL",
+      "anc(1, X).",
+      "anc(16, X).",
+      false,
+      true,
+  });
+
+  // members — the paper's member/compute pattern (Figures 6 and 7), the
+  // LAO showcase.
+  w.push_back({
+      "members",
+      "member(V, L), compute(V, R) — the LAO pattern (Table 3, Figs 6/7)",
+      R"PL(
+mkvlist(0, []) :- !.
+mkvlist(N, [M|T]) :- M is 40 + N mod 23, N1 is N - 1, mkvlist(N1, T).
+fib_iter(0, A, _, A) :- !.
+fib_iter(N, A, B, F) :- N1 is N - 1, C is A + B, fib_iter(N1, B, C, F).
+compute(V, R) :- W is V * 6, fib_iter(W, 0, 1, R).
+members(N, V, R) :- mkvlist(N, L), member(V, L), compute(V, R0),
+    R is R0 mod 1000000007.
+)PL",
+      "members(120, V, R).",
+      "members(8, V, R).",
+      false,
+      true,
+  });
+
+  // maps — map colouring: Table 3.
+  w.push_back({
+      "maps",
+      "map colouring of a 10-region map (Table 3)",
+      R"PL(
+color(red). color(green). color(blue). color(yellow).
+maps([A, B, C, D, E, F, G, H, I, J]) :-
+    color(A), color(B), B \== A,
+    color(C), C \== A, C \== B,
+    color(D), D \== A, D \== C,
+    color(E), E \== B, E \== C, E \== D,
+    color(F), F \== A, F \== D,
+    color(G), G \== D, G \== E, G \== F,
+    color(H), H \== B, H \== E, H \== G,
+    color(I), I \== F, I \== G, I \== H,
+    color(J), J \== G, J \== H, J \== I.
+)PL",
+      "maps(Cs).",
+      "maps(Cs).",
+      false,
+      true,
+  });
+
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> w = make_workloads();
+  return w;
+}
+
+const Workload& workload(const std::string& name) {
+  for (const Workload& w : workloads()) {
+    if (w.name == name) return w;
+  }
+  throw AceError("unknown workload: " + name);
+}
+
+}  // namespace ace

@@ -1,0 +1,27 @@
+// The benchmark corpus: re-creations of the programs the paper evaluates
+// (Tables 1-5, Figures 5 and 8), written in this system's Prolog dialect
+// with '&' annotations for independent and-parallelism.
+//
+// Queries are parameterized by size so tests can run small instances and
+// benches the paper-scale ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ace {
+
+struct Workload {
+  std::string name;         // e.g. "matrix"
+  std::string description;  // one line, citing the table/figure it serves
+  std::string source;       // Prolog program text
+  std::string query;        // default query (bench scale)
+  std::string small_query;  // reduced instance for tests
+  bool and_parallel;        // uses '&' (AndpMachine benchmarks)
+  bool all_solutions;       // enumerate every solution (or-parallel style)
+};
+
+const std::vector<Workload>& workloads();
+const Workload& workload(const std::string& name);
+
+}  // namespace ace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "analysis/annotate.hpp"
+#include "builtins/lib.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+TEST(Annotate, IndependentGoalsFused) {
+  SymbolTable syms;
+  auto cas = analyze_program(syms, "p(X, Y) :- q(X), r(Y).");
+  ASSERT_EQ(cas.size(), 1u);
+  ASSERT_EQ(cas[0].groups.size(), 1u);
+  EXPECT_EQ(cas[0].groups[0].size(), 2u);  // q and r fused
+}
+
+TEST(Annotate, SharedVariableBlocksFusion) {
+  SymbolTable syms;
+  auto cas = analyze_program(syms, "p(X, Y) :- q(X, Z), r(Z, Y).");
+  ASSERT_EQ(cas.size(), 1u);
+  EXPECT_EQ(cas[0].groups.size(), 2u);  // Z flows q -> r: sequential
+}
+
+TEST(Annotate, GroundedByIsAllowsFusion) {
+  SymbolTable syms;
+  auto cas =
+      analyze_program(syms, "p(N, A, B) :- M is N + 1, q(M, A), r(M, B).");
+  ASSERT_EQ(cas.size(), 1u);
+  // After `M is N+1`, M is ground: q and r only share the ground M.
+  ASSERT_EQ(cas[0].groups.size(), 2u);  // [is], [q & r]
+  EXPECT_EQ(cas[0].groups[1].size(), 2u);
+}
+
+TEST(Annotate, BuiltinsStaySequential) {
+  SymbolTable syms;
+  auto cas = analyze_program(syms, "p(X, Y) :- X = 1, Y = 2.");
+  ASSERT_EQ(cas.size(), 1u);
+  EXPECT_EQ(cas[0].groups.size(), 2u);
+}
+
+TEST(Annotate, FactsPassThrough) {
+  SymbolTable syms;
+  std::string out = annotate_program(syms, "f(a, 1).\nf(b, 2).");
+  EXPECT_NE(out.find("f(a, 1)."), std::string::npos);
+  EXPECT_NE(out.find("f(b, 2)."), std::string::npos);
+  EXPECT_EQ(out.find("&"), std::string::npos);
+}
+
+TEST(Annotate, OutputIsAmpAnnotated) {
+  SymbolTable syms;
+  std::string out =
+      annotate_program(syms, "both(X, Y) :- left(X), right(Y).");
+  EXPECT_NE(out.find("left(X) & right(Y)"), std::string::npos);
+}
+
+TEST(Annotate, AnnotatedProgramRunsAndMatchesOriginal) {
+  // End-to-end: annotate a plain program, run both under the and-parallel
+  // engine, compare solutions and check the annotated version actually
+  // forked parallel work.
+  const std::string plain = R"PL(
+fib(N, F) :- N < 2, !, F = N.
+fib(N, F) :- N1 is N - 1, N2 is N - 2, fib(N1, F1), fib(N2, F2),
+    F is F1 + F2.
+)PL";
+  SymbolTable scratch;
+  std::string annotated = annotate_program(scratch, plain);
+  EXPECT_NE(annotated.find("fib(N1, F1) & fib(N2, F2)"), std::string::npos);
+
+  Database db_plain;
+  load_library(db_plain);
+  db_plain.consult(plain);
+  SeqEngine seq(db_plain);
+  std::vector<std::string> expect = seq.solve("fib(12, F).", 1).solutions;
+  EXPECT_EQ(expect, (std::vector<std::string>{"F = 144"}));
+
+  Database db_ann;
+  load_library(db_ann);
+  db_ann.consult(annotated);
+  AndpOptions o;
+  o.agents = 4;
+  o.lpco = o.shallow = o.pdo = true;
+  AndpMachine m(db_ann, o);
+  SolveResult r = m.solve("fib(12, F).", 1);
+  EXPECT_EQ(r.solutions, expect);
+  EXPECT_GT(r.stats.parcall_frames + r.stats.lpco_merges, 0u);
+}
+
+TEST(Annotate, RoundtripParsesForWholeCorpus) {
+  // The renderer must emit valid source for every workload program.
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    std::string annotated;
+    ASSERT_NO_THROW(annotated = annotate_program(syms, w.source)) << w.name;
+    Database db;
+    EXPECT_NO_THROW(db.consult(annotated)) << w.name << "\n" << annotated;
+  }
+}
+
+TEST(Determinacy, IndexedPredicatesProvenDet) {
+  Database db;
+  db.consult(R"PL(
+kind(1, one). kind(2, two). kind(3, three).
+walk([], done).
+walk([_|T], R) :- walk(T, R).
+)PL");
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("kind"), 2),
+            Determinacy::Det);
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("walk"), 2),
+            Determinacy::Det);
+}
+
+TEST(Determinacy, OverlappingKeysUnknown) {
+  Database db;
+  db.consult("t(a, 1). t(a, 2). u(X) :- v(X). u(2).");
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("t"), 2),
+            Determinacy::Unknown);
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("u"), 1),
+            Determinacy::Unknown);  // var-key clause
+}
+
+TEST(Determinacy, DynamicAlwaysUnknown) {
+  Database db;
+  db.consult(":- dynamic d/1.\nd(1).");
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("d"), 1),
+            Determinacy::Unknown);
+}
+
+TEST(Determinacy, RuntimeSeesWhatStaticCannot) {
+  // The paper's argument for runtime optimizations (§1): tr/2 is
+  // statically Unknown (two var-key clauses), but at runtime SHALLOW's
+  // check fires per call. Static analysis would annotate no savings here;
+  // the runtime counters show the markers that were really needed.
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+tr(X, Y) :- Y is X * 2.
+tr(X, Y) :- Y is X * 2 + 1.
+go(A, B) :- tr(1, A) & tr(2, B).
+)PL");
+  EXPECT_EQ(analyze_determinacy(db, db.syms().intern("tr"), 2),
+            Determinacy::Unknown);
+  AndpOptions o;
+  o.agents = 2;
+  o.shallow = true;
+  AndpMachine m(db, o);
+  SolveResult r = m.solve("go(A, B).", 1);
+  // tr creates choice points, so markers materialize despite SHALLOW.
+  EXPECT_GT(r.stats.input_markers, 0u);
+}
+
+}  // namespace
+}  // namespace ace

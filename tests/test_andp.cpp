@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "andp/machine.hpp"
+#include "builtins/lib.hpp"
+
+namespace ace {
+namespace {
+
+class AndpTest : public ::testing::Test {
+ protected:
+  AndpTest() { load_library(db); }
+
+  SolveResult run(const std::string& q, AndpOptions opts,
+                  std::size_t max = SIZE_MAX) {
+    AndpMachine m(db, opts);
+    return m.solve(q, max);
+  }
+  std::vector<std::string> seq(const std::string& q,
+                               std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+
+  AndpOptions agents(unsigned n) {
+    AndpOptions o;
+    o.agents = n;
+    return o;
+  }
+
+  Database db;
+};
+
+TEST_F(AndpTest, SimpleParcallForward) {
+  db.consult("p(1). q(2). both(X, Y) :- p(X) & q(Y).");
+  for (unsigned n : {1u, 2u, 4u}) {
+    EXPECT_EQ(run("both(X, Y).", agents(n)).solutions,
+              (std::vector<std::string>{"X = 1, Y = 2"}))
+        << n << " agents";
+  }
+}
+
+TEST_F(AndpTest, ParcallThreeGoals) {
+  db.consult("w(X, Y, Z) :- X = a & Y = b & Z = c.");
+  EXPECT_EQ(run("w(X, Y, Z).", agents(3)).solutions,
+            (std::vector<std::string>{"X = a, Y = b, Z = c"}));
+}
+
+TEST_F(AndpTest, SlotFailureFailsParcall) {
+  db.consult("bad(X) :- X = 1 & fail.");
+  EXPECT_TRUE(run("bad(X).", agents(2)).solutions.empty());
+  EXPECT_TRUE(run("bad(X).", agents(1)).solutions.empty());
+}
+
+TEST_F(AndpTest, FailurePropagatesPastParcall) {
+  db.consult("t(1). t(2). g(X) :- t(X), (true & true), X > 1.");
+  EXPECT_EQ(run("g(X).", agents(2)).solutions,
+            (std::vector<std::string>{"X = 2"}));
+}
+
+TEST_F(AndpTest, OutsideBacktrackingEnumeratesInOrder) {
+  db.consult(R"PL(
+a(1). a(2).
+b(x). b(y).
+pair(A, B) :- a(A) & b(B).
+)PL");
+  std::vector<std::string> expect = seq("pair(A, B).");
+  ASSERT_EQ(expect.size(), 4u);
+  for (unsigned n : {1u, 2u, 3u}) {
+    EXPECT_EQ(run("pair(A, B).", agents(n)).solutions, expect)
+        << n << " agents";
+  }
+}
+
+TEST_F(AndpTest, NestedParcalls) {
+  db.consult(R"PL(
+leaf(1). leaf(2).
+inner(X, Y) :- leaf(X) & leaf(Y).
+outer(A, B, C, D) :- inner(A, B) & inner(C, D).
+)PL");
+  std::vector<std::string> expect = seq("outer(A, B, C, D).");
+  ASSERT_EQ(expect.size(), 16u);
+  for (unsigned n : {1u, 2u, 4u}) {
+    EXPECT_EQ(run("outer(A, B, C, D).", agents(n)).solutions, expect)
+        << n << " agents";
+  }
+}
+
+TEST_F(AndpTest, RecursiveParallelMap) {
+  db.consult(R"PL(
+dbl([], []).
+dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
+)PL");
+  std::vector<std::string> expect = seq("dbl([1, 2, 3, 4, 5], Out).");
+  for (unsigned n : {1u, 2u, 4u}) {
+    AndpOptions o = agents(n);
+    EXPECT_EQ(run("dbl([1, 2, 3, 4, 5], Out).", o).solutions, expect);
+    o.lpco = o.shallow = o.pdo = true;
+    EXPECT_EQ(run("dbl([1, 2, 3, 4, 5], Out).", o).solutions, expect);
+  }
+}
+
+TEST_F(AndpTest, BacktrackingThroughRecursiveParcalls) {
+  db.consult(R"PL(
+tr(X, Y) :- Y is X * 2.
+tr(X, Y) :- Y is X * 2 + 1.
+mapl([], []).
+mapl([H|T], [H2|T2]) :- tr(H, H2) & mapl(T, T2).
+)PL");
+  std::vector<std::string> expect = seq("mapl([1, 2, 3], Out).");
+  ASSERT_EQ(expect.size(), 8u);
+  for (unsigned n : {1u, 2u, 4u}) {
+    for (bool opt : {false, true}) {
+      AndpOptions o = agents(n);
+      o.lpco = o.shallow = o.pdo = opt;
+      EXPECT_EQ(run("mapl([1, 2, 3], Out).", o).solutions, expect)
+          << n << " agents, opts=" << opt;
+    }
+  }
+}
+
+TEST_F(AndpTest, GenerateAndTestAcrossParcall) {
+  db.consult(R"PL(
+tr(X, Y) :- Y is X * 2.
+tr(X, Y) :- Y is X * 2 + 1.
+mapl([], []).
+mapl([H|T], [H2|T2]) :- tr(H, H2) & mapl(T, T2).
+pick(L, Out) :- mapl(L, Out), sum_list(Out, S), 0 =:= S mod 7.
+)PL");
+  std::vector<std::string> expect = seq("pick([1, 2, 3, 4], Out).");
+  for (unsigned n : {1u, 3u}) {
+    for (bool opt : {false, true}) {
+      AndpOptions o = agents(n);
+      o.lpco = o.shallow = o.pdo = opt;
+      EXPECT_EQ(run("pick([1, 2, 3, 4], Out).", o).solutions, expect);
+    }
+  }
+}
+
+TEST_F(AndpTest, CutInsideParallelGoalIsLocal) {
+  db.consult(R"PL(
+c(1). c(2).
+firstc(X) :- c(X), !.
+both(X, Y) :- firstc(X) & c(Y).
+)PL");
+  std::vector<std::string> expect = seq("both(X, Y).");
+  ASSERT_EQ(expect.size(), 2u);
+  EXPECT_EQ(run("both(X, Y).", agents(2)).solutions, expect);
+}
+
+TEST_F(AndpTest, DeterministicVirtualTime) {
+  db.consult(R"PL(
+fibp(N, F) :- N < 2, !, F = N.
+fibp(N, F) :- N1 is N - 1, N2 is N - 2,
+    fibp(N1, F1) & fibp(N2, F2), F is F1 + F2.
+)PL");
+  AndpOptions o = agents(4);
+  SolveResult a = run("fibp(10, F).", o, 1);
+  SolveResult b = run("fibp(10, F).", o, 1);
+  EXPECT_EQ(a.solutions, (std::vector<std::string>{"F = 55"}));
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.stats.resolutions, b.stats.resolutions);
+  EXPECT_EQ(a.stats.steals, b.stats.steals);
+}
+
+TEST_F(AndpTest, ParallelSpeedsUpSimulatedTime) {
+  db.consult(R"PL(
+work(0) :- !.
+work(N) :- N1 is N - 1, work(N1).
+four :- work(300) & work(300) & work(300) & work(300).
+)PL");
+  std::uint64_t t1 = run("four.", agents(1), 1).virtual_time;
+  std::uint64_t t4 = run("four.", agents(4), 1).virtual_time;
+  EXPECT_LT(t4 * 2, t1);  // at least 2x speedup on 4 agents
+}
+
+TEST_F(AndpTest, OneAgentOverheadOverSequential) {
+  db.consult(R"PL(
+work(0) :- !.
+work(N) :- N1 is N - 1, work(N1).
+two :- work(200) & work(200).
+)PL");
+  SeqEngine eng(db);
+  std::uint64_t tseq = eng.solve("two.", 1).virtual_time;
+  std::uint64_t tpar = run("two.", agents(1), 1).virtual_time;
+  EXPECT_GT(tpar, tseq);  // parallel machinery costs something
+  EXPECT_LT(tpar, tseq * 2);  // but not absurdly much
+}
+
+TEST_F(AndpTest, MarkersAllocatedWithoutShallow) {
+  db.consult("m2 :- (1 =:= 1) & (2 =:= 2).");
+  AndpOptions o = agents(2);
+  SolveResult r = run("m2.", o, 1);
+  EXPECT_GT(r.stats.input_markers, 0u);
+}
+
+TEST_F(AndpTest, ShallowSkipsMarkersForDeterministicSlots) {
+  db.consult("m2 :- (1 =:= 1) & (2 =:= 2).");
+  AndpOptions o = agents(2);
+  o.shallow = true;
+  SolveResult r = run("m2.", o, 1);
+  EXPECT_EQ(r.stats.input_markers, 0u);
+  EXPECT_EQ(r.stats.end_markers, 0u);
+  EXPECT_GE(r.stats.shallow_skipped_markers, 4u);
+}
+
+TEST_F(AndpTest, ShallowMaterializesMarkerOnChoicePoint) {
+  db.consult(R"PL(
+nd(1). nd(2).
+m2(X) :- nd(X) & (2 =:= 2).
+)PL");
+  AndpOptions o = agents(1);
+  o.shallow = true;
+  SolveResult r = run("m2(X).", o);
+  // The nondeterministic slot needs its input marker after all.
+  EXPECT_GE(r.stats.input_markers, 1u);
+  EXPECT_EQ(r.solutions, seq("m2(X)."));
+}
+
+TEST_F(AndpTest, LpcoMergesRecursiveParcalls) {
+  db.consult(R"PL(
+dbl([], []).
+dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
+)PL");
+  AndpOptions o = agents(2);
+  o.lpco = true;
+  SolveResult r = run("dbl([1, 2, 3, 4, 5, 6], Out).", o, 1);
+  EXPECT_GE(r.stats.lpco_merges, 4u);
+  // Flattening: far fewer parcall frames than without.
+  AndpOptions off = agents(2);
+  SolveResult r0 = run("dbl([1, 2, 3, 4, 5, 6], Out).", off, 1);
+  EXPECT_LT(r.stats.parcall_frames, r0.stats.parcall_frames);
+}
+
+TEST_F(AndpTest, PdoMergesAdjacentSlotsOnOneAgent) {
+  db.consult("m3 :- (1 =:= 1) & (2 =:= 2) & (3 =:= 3).");
+  AndpOptions o = agents(1);
+  o.pdo = true;
+  SolveResult r = run("m3.", o, 1);
+  // On one agent every next slot is sequentially adjacent.
+  EXPECT_GE(r.stats.pdo_merges, 2u);
+  EXPECT_EQ(r.stats.input_markers, 1u);  // only the first slot needs one
+}
+
+TEST_F(AndpTest, OptimizationsReduceVirtualTime) {
+  db.consult(R"PL(
+dbl([], []).
+dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
+)PL");
+  std::string q = "dbl([1,2,3,4,5,6,7,8,9,10,11,12], Out).";
+  AndpOptions off = agents(1);
+  AndpOptions on = agents(1);
+  on.lpco = on.shallow = on.pdo = true;
+  EXPECT_LT(run(q, on, 1).virtual_time, run(q, off, 1).virtual_time);
+}
+
+TEST_F(AndpTest, FindallInsideParallelGoal) {
+  db.consult(R"PL(
+n(1). n(2). n(3).
+fa(L1, L2) :- findall(X, n(X), L1) & findall(Y, n(Y), L2).
+)PL");
+  EXPECT_EQ(run("fa(L1, L2).", agents(2)).solutions,
+            (std::vector<std::string>{"L1 = [1,2,3], L2 = [1,2,3]"}));
+}
+
+TEST_F(AndpTest, ManyAgentsNoWorkStillWorks) {
+  db.consult("triv(ok).");
+  EXPECT_EQ(run("triv(X).", agents(8)).solutions,
+            (std::vector<std::string>{"X = ok"}));
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+
+namespace ace {
+namespace {
+
+// Builtin behaviour is exercised through the sequential engine: each test
+// runs a query and checks the solutions.
+class BuiltinTest : public ::testing::Test {
+ protected:
+  BuiltinTest() { load_library(db); }
+
+  std::vector<std::string> solve(const std::string& q,
+                                 std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+  bool succeeds(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.succeeds(q);
+  }
+  std::string output_of(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.solve(q, 1).output;
+  }
+
+  Database db;
+};
+
+TEST_F(BuiltinTest, TrueFail) {
+  EXPECT_TRUE(succeeds("true."));
+  EXPECT_FALSE(succeeds("fail."));
+  EXPECT_FALSE(succeeds("false."));
+}
+
+TEST_F(BuiltinTest, Unify) {
+  EXPECT_EQ(solve("X = 42."), (std::vector<std::string>{"X = 42"}));
+  EXPECT_EQ(solve("f(X, b) = f(a, Y)."),
+            (std::vector<std::string>{"X = a, Y = b"}));
+  EXPECT_FALSE(succeeds("a = b."));
+}
+
+TEST_F(BuiltinTest, NotUnify) {
+  EXPECT_TRUE(succeeds("a \\= b."));
+  EXPECT_FALSE(succeeds("X \\= a."));  // X unifies with a
+  // \= must not leave bindings behind.
+  EXPECT_EQ(solve("( X \\= a ; X = ok )."),
+            (std::vector<std::string>{"X = ok"}));
+}
+
+TEST_F(BuiltinTest, TermComparison) {
+  EXPECT_TRUE(succeeds("f(a) == f(a)."));
+  EXPECT_FALSE(succeeds("f(a) == f(b)."));
+  EXPECT_TRUE(succeeds("f(a) \\== f(b)."));
+  EXPECT_TRUE(succeeds("1 @< a."));
+  EXPECT_TRUE(succeeds("a @< f(a)."));
+  EXPECT_TRUE(succeeds("f(a) @=< f(a)."));
+  EXPECT_TRUE(succeeds("b @> a."));
+  EXPECT_TRUE(succeeds("X == X."));
+  EXPECT_FALSE(succeeds("X == Y."));
+}
+
+TEST_F(BuiltinTest, TypeTests) {
+  EXPECT_TRUE(succeeds("var(X)."));
+  EXPECT_FALSE(succeeds("X = 1, var(X)."));
+  EXPECT_TRUE(succeeds("nonvar(foo)."));
+  EXPECT_TRUE(succeeds("atom(foo)."));
+  EXPECT_FALSE(succeeds("atom(f(x))."));
+  EXPECT_FALSE(succeeds("atom(1)."));
+  EXPECT_TRUE(succeeds("atom([])."));
+  EXPECT_TRUE(succeeds("integer(42)."));
+  EXPECT_TRUE(succeeds("atomic(foo), atomic(42)."));
+  EXPECT_FALSE(succeeds("atomic(f(x))."));
+  EXPECT_TRUE(succeeds("compound(f(x)), compound([a])."));
+  EXPECT_FALSE(succeeds("compound(foo)."));
+  EXPECT_TRUE(succeeds("ground(f(a, [1, 2]))."));
+  EXPECT_FALSE(succeeds("ground(f(a, X))."));
+}
+
+TEST_F(BuiltinTest, Arithmetic) {
+  EXPECT_EQ(solve("X is 2 + 3 * 4."), (std::vector<std::string>{"X = 14"}));
+  EXPECT_EQ(solve("X is (2 + 3) * 4."), (std::vector<std::string>{"X = 20"}));
+  EXPECT_EQ(solve("X is 7 // 2."), (std::vector<std::string>{"X = 3"}));
+  EXPECT_EQ(solve("X is 7 mod 3."), (std::vector<std::string>{"X = 1"}));
+  EXPECT_EQ(solve("X is -7 mod 3."), (std::vector<std::string>{"X = 2"}));
+  EXPECT_EQ(solve("X is -(3)."), (std::vector<std::string>{"X = -3"}));
+  EXPECT_EQ(solve("X is abs(-9)."), (std::vector<std::string>{"X = 9"}));
+  EXPECT_EQ(solve("X is min(3, 5) + max(3, 5)."),
+            (std::vector<std::string>{"X = 8"}));
+  EXPECT_EQ(solve("X is 2 ** 10."), (std::vector<std::string>{"X = 1024"}));
+  EXPECT_EQ(solve("X is 5 /\\ 3, Y is 5 \\/ 3, Z is 5 xor 3."),
+            (std::vector<std::string>{"X = 1, Y = 7, Z = 6"}));
+  EXPECT_EQ(solve("X is 1 << 4, Y is 32 >> 2."),
+            (std::vector<std::string>{"X = 16, Y = 8"}));
+  EXPECT_EQ(solve("X is sign(-3) + sign(0) + sign(9)."),
+            (std::vector<std::string>{"X = 0"}));
+}
+
+TEST_F(BuiltinTest, ArithmeticErrors) {
+  EXPECT_THROW(succeeds("X is 1 / 0."), AceError);
+  EXPECT_THROW(succeeds("X is Y + 1."), AceError);
+  EXPECT_THROW(succeeds("X is foo."), AceError);
+  EXPECT_THROW(succeeds("X is 2 ** -1."), AceError);
+}
+
+TEST_F(BuiltinTest, ArithmeticComparisons) {
+  EXPECT_TRUE(succeeds("1 + 1 =:= 2."));
+  EXPECT_TRUE(succeeds("3 =\\= 4."));
+  EXPECT_TRUE(succeeds("2 < 3, 3 > 2, 2 =< 2, 3 >= 3."));
+  EXPECT_FALSE(succeeds("3 < 2."));
+}
+
+TEST_F(BuiltinTest, Functor) {
+  EXPECT_EQ(solve("functor(f(a, b), N, A)."),
+            (std::vector<std::string>{"N = f, A = 2"}));
+  EXPECT_EQ(solve("functor(foo, N, A)."),
+            (std::vector<std::string>{"N = foo, A = 0"}));
+  EXPECT_EQ(solve("functor(42, N, A)."),
+            (std::vector<std::string>{"N = 42, A = 0"}));
+  EXPECT_EQ(solve("functor([a], N, A)."),
+            (std::vector<std::string>{"N = ., A = 2"}));
+  EXPECT_EQ(solve("functor(T, f, 2).").size(), 1u);
+  EXPECT_TRUE(succeeds("functor(T, f, 2), T = f(_, _)."));
+  EXPECT_TRUE(succeeds("functor(T, foo, 0), T == foo."));
+}
+
+TEST_F(BuiltinTest, Arg) {
+  EXPECT_EQ(solve("arg(2, f(a, b, c), X)."),
+            (std::vector<std::string>{"X = b"}));
+  EXPECT_FALSE(succeeds("arg(4, f(a, b, c), X)."));
+  EXPECT_FALSE(succeeds("arg(0, f(a), X)."));
+  EXPECT_EQ(solve("arg(1, [h|t], X)."), (std::vector<std::string>{"X = h"}));
+}
+
+TEST_F(BuiltinTest, Univ) {
+  EXPECT_EQ(solve("f(a, b) =.. L."),
+            (std::vector<std::string>{"L = [f,a,b]"}));
+  EXPECT_EQ(solve("foo =.. L."), (std::vector<std::string>{"L = [foo]"}));
+  EXPECT_EQ(solve("T =.. [g, 1, 2]."),
+            (std::vector<std::string>{"T = g(1,2)"}));
+  EXPECT_EQ(solve("T =.. [foo]."), (std::vector<std::string>{"T = foo"}));
+  EXPECT_TRUE(succeeds("[a] =.. ['.', a, []]."));
+}
+
+TEST_F(BuiltinTest, CopyTerm) {
+  EXPECT_TRUE(succeeds("copy_term(f(X, X, Y), f(A, B, C)), A == B, A \\== C."));
+  EXPECT_EQ(solve("copy_term(f(1, a), T)."),
+            (std::vector<std::string>{"T = f(1,a)"}));
+}
+
+TEST_F(BuiltinTest, Findall) {
+  db.consult("n(1). n(2). n(3).");
+  EXPECT_EQ(solve("findall(X, n(X), L)."),
+            (std::vector<std::string>{"L = [1,2,3]"}));
+  EXPECT_EQ(solve("findall(X - Y, (n(X), n(Y), X < Y), L)."),
+            (std::vector<std::string>{"L = [(1 - 2),(1 - 3),(2 - 3)]"}));
+  EXPECT_EQ(solve("findall(X, fail, L)."),
+            (std::vector<std::string>{"L = []"}));
+  // Nested findall.
+  EXPECT_EQ(solve("findall(L1, (n(X), findall(Y, n(Y), L1)), L)."),
+            (std::vector<std::string>{"L = [[1,2,3],[1,2,3],[1,2,3]]"}));
+  // Rollback: bindings made inside do not escape.
+  EXPECT_EQ(solve("findall(X, n(X), L), var(X), X = ok."),
+            (std::vector<std::string>{"X = ok, L = [1,2,3]"}));
+}
+
+TEST_F(BuiltinTest, AssertRetract) {
+  db.consult(":- dynamic fact/1.\nseed(10).");
+  EXPECT_EQ(solve("assert(fact(1)), assert(fact(2)), findall(X, fact(X), L)."),
+            (std::vector<std::string>{"L = [1,2]"}));
+}
+
+TEST_F(BuiltinTest, AssertA) {
+  db.consult(":- dynamic fct/1.");
+  EXPECT_EQ(
+      solve("assert(fct(1)), asserta(fct(0)), findall(X, fct(X), L)."),
+      (std::vector<std::string>{"L = [0,1]"}));
+}
+
+TEST_F(BuiltinTest, AssertRule) {
+  db.consult(":- dynamic dbl/2.");
+  EXPECT_EQ(solve("assert((dbl(X, Y) :- Y is X * 2)), dbl(21, R)."),
+            (std::vector<std::string>{"R = 42"}));
+}
+
+TEST_F(BuiltinTest, Retract) {
+  db.consult(":- dynamic r/1.");
+  EXPECT_EQ(solve("assert(r(1)), assert(r(2)), retract(r(1)), "
+                  "findall(X, r(X), L)."),
+            (std::vector<std::string>{"L = [2]"}));
+  EXPECT_FALSE(succeeds("retract(r(99))."));
+}
+
+TEST_F(BuiltinTest, WriteAndNl) {
+  std::string out = output_of("write(hello), nl, write(f(1, X)).");
+  EXPECT_EQ(out.find("hello\nf(1,_G0_"), 0u);
+}
+
+TEST_F(BuiltinTest, LibraryLists) {
+  EXPECT_EQ(solve("append([1, 2], [3], L)."),
+            (std::vector<std::string>{"L = [1,2,3]"}));
+  EXPECT_EQ(solve("append(X, [3], [1, 2, 3])."),
+            (std::vector<std::string>{"X = [1,2]"}));
+  EXPECT_EQ(solve("member(X, [a, b, c]).").size(), 3u);
+  EXPECT_EQ(solve("select(X, [1, 2, 3], R).").size(), 3u);
+  EXPECT_EQ(solve("reverse([1, 2, 3], R)."),
+            (std::vector<std::string>{"R = [3,2,1]"}));
+  EXPECT_EQ(solve("length([a, b, c], N)."),
+            (std::vector<std::string>{"N = 3"}));
+  EXPECT_EQ(solve("nth0(1, [a, b, c], X)."),
+            (std::vector<std::string>{"X = b"}));
+  EXPECT_EQ(solve("nth1(1, [a, b, c], X)."),
+            (std::vector<std::string>{"X = a"}));
+  EXPECT_EQ(solve("last([1, 2, 3], X)."), (std::vector<std::string>{"X = 3"}));
+  EXPECT_EQ(solve("sum_list([1, 2, 3, 4], S)."),
+            (std::vector<std::string>{"S = 10"}));
+  EXPECT_EQ(solve("max_list([3, 1, 4, 1, 5], M)."),
+            (std::vector<std::string>{"M = 5"}));
+  EXPECT_EQ(solve("min_list([3, 1, 4], M)."),
+            (std::vector<std::string>{"M = 1"}));
+  EXPECT_EQ(solve("numlist(1, 5, L)."),
+            (std::vector<std::string>{"L = [1,2,3,4,5]"}));
+  EXPECT_EQ(solve("between(1, 4, X).").size(), 4u);
+  EXPECT_TRUE(succeeds("memberchk(b, [a, b, b])."));
+}
+
+TEST_F(BuiltinTest, LibraryControl) {
+  EXPECT_TRUE(succeeds("not(fail)."));
+  EXPECT_FALSE(succeeds("not(true)."));
+  EXPECT_TRUE(succeeds("ignore(fail)."));
+  EXPECT_TRUE(succeeds("forall(member(X, [1, 2, 3]), X > 0)."));
+  EXPECT_FALSE(succeeds("forall(member(X, [1, -2, 3]), X > 0)."));
+}
+
+TEST_F(BuiltinTest, OutputWriteUnquoted) {
+  EXPECT_EQ(output_of("write('hello world')."), "hello world");
+}
+
+TEST_F(BuiltinTest, Tab) {
+  EXPECT_EQ(output_of("write(a), tab(3), write(b)."), "a   b");
+}
+
+TEST_F(BuiltinTest, Succ) {
+  EXPECT_EQ(solve("succ(3, X)."), (std::vector<std::string>{"X = 4"}));
+  EXPECT_EQ(solve("succ(X, 4)."), (std::vector<std::string>{"X = 3"}));
+  EXPECT_FALSE(succeeds("succ(X, 0)."));
+  EXPECT_FALSE(succeeds("succ(2, 4)."));
+  EXPECT_THROW(succeeds("succ(X, Y)."), AceError);
+  EXPECT_THROW(succeeds("succ(-1, X)."), AceError);
+}
+
+TEST_F(BuiltinTest, MSortKeepsDuplicates) {
+  EXPECT_EQ(solve("msort([3, 1, 2, 1], L)."),
+            (std::vector<std::string>{"L = [1,1,2,3]"}));
+  EXPECT_EQ(solve("msort([], L)."), (std::vector<std::string>{"L = []"}));
+  EXPECT_EQ(solve("msort([b, a, f(1), 2, a], L)."),
+            (std::vector<std::string>{"L = [2,a,a,b,f(1)]"}));
+}
+
+TEST_F(BuiltinTest, SortRemovesDuplicates) {
+  EXPECT_EQ(solve("sort([3, 1, 2, 1, 3], L)."),
+            (std::vector<std::string>{"L = [1,2,3]"}));
+  EXPECT_EQ(solve("sort([a, a, a], L)."),
+            (std::vector<std::string>{"L = [a]"}));
+}
+
+TEST_F(BuiltinTest, SortRejectsPartialLists) {
+  EXPECT_THROW(succeeds("sort([1|_], L)."), AceError);
+}
+
+TEST_F(BuiltinTest, AtomCodes) {
+  EXPECT_EQ(solve("atom_codes(abc, L)."),
+            (std::vector<std::string>{"L = [97,98,99]"}));
+  EXPECT_EQ(solve("atom_codes(A, [104, 105])."),
+            (std::vector<std::string>{"A = hi"}));
+  EXPECT_EQ(solve("atom_codes(42, L), atom_codes(A, L)."),
+            (std::vector<std::string>{"L = [52,50], A = '42'"}));
+}
+
+TEST_F(BuiltinTest, NumberCodes) {
+  EXPECT_EQ(solve("number_codes(123, L)."),
+            (std::vector<std::string>{"L = [49,50,51]"}));
+  EXPECT_EQ(solve("number_codes(N, [45, 55])."),
+            (std::vector<std::string>{"N = -7"}));
+  EXPECT_THROW(succeeds("number_codes(N, [104, 105])."), AceError);
+}
+
+TEST_F(BuiltinTest, AtomLengthAndConcat) {
+  EXPECT_EQ(solve("atom_length(hello, N)."),
+            (std::vector<std::string>{"N = 5"}));
+  EXPECT_EQ(solve("atom_concat(foo, bar, A)."),
+            (std::vector<std::string>{"A = foobar"}));
+  EXPECT_TRUE(succeeds("atom_concat(a, b, ab)."));
+  EXPECT_THROW(succeeds("atom_concat(X, b, ab)."), AceError);
+}
+
+TEST_F(BuiltinTest, CharCode) {
+  EXPECT_EQ(solve("char_code(a, X)."), (std::vector<std::string>{"X = 97"}));
+  EXPECT_EQ(solve("char_code(C, 98)."), (std::vector<std::string>{"C = b"}));
+  EXPECT_THROW(succeeds("char_code(abc, X)."), AceError);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+
+namespace ace {
+namespace {
+
+class DbTest : public ::testing::Test {
+ protected:
+  Database db;
+
+  const Predicate* pred(const std::string& name, unsigned arity) {
+    return db.find(db.syms().intern(name), arity);
+  }
+};
+
+TEST_F(DbTest, ConsultAndFind) {
+  db.consult("p(1). p(2). q(a) :- p(1).");
+  ASSERT_NE(pred("p", 1), nullptr);
+  ASSERT_NE(pred("q", 1), nullptr);
+  EXPECT_EQ(pred("p", 1)->num_clauses(), 2u);
+  EXPECT_EQ(pred("r", 0), nullptr);
+  EXPECT_EQ(pred("p", 2), nullptr);  // arity matters
+}
+
+TEST_F(DbTest, FactsNormalizedToRules) {
+  db.consult("f(x).");
+  const Clause& c = pred("f", 1)->clause(0);
+  EXPECT_TRUE(c.body_is_true);
+  EXPECT_EQ(c.head_sym, db.syms().intern("f"));
+  EXPECT_EQ(c.head_arity, 1u);
+}
+
+TEST_F(DbTest, FirstArgIndexingByAtom) {
+  db.consult("t(a, 1). t(b, 2). t(a, 3). t(X, 0).");
+  const Predicate* p = pred("t", 2);
+  IndexKey ka{IndexKey::Kind::Atom, db.syms().intern("a")};
+  IndexKey kb{IndexKey::Kind::Atom, db.syms().intern("b")};
+  IndexKey kc{IndexKey::Kind::Atom, db.syms().intern("c")};
+  // 'a' matches clauses 0, 2 and the var clause 3, in source order.
+  EXPECT_EQ(p->candidates(ka), (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_EQ(p->candidates(kb), (std::vector<std::uint32_t>{1, 3}));
+  // Unknown key: only var-key clauses.
+  EXPECT_EQ(p->candidates(kc), (std::vector<std::uint32_t>{3}));
+  // Unbound call: everything.
+  IndexKey any{IndexKey::Kind::AnyCall, 0};
+  EXPECT_EQ(p->candidates(any), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST_F(DbTest, IndexingDistinguishesListsAndStructs) {
+  db.consult("s([], nil). s([H|T], cons). s(f(X), fun). s(42, int).");
+  const Predicate* p = pred("s", 2);
+  IndexKey nil_key{IndexKey::Kind::Atom, db.syms().intern("[]")};
+  IndexKey lst{IndexKey::Kind::List, 0};
+  IndexKey intk{IndexKey::Kind::Int, 42};
+  EXPECT_EQ(p->candidates(nil_key).size(), 1u);
+  EXPECT_EQ(p->candidates(lst).size(), 1u);
+  EXPECT_EQ(p->candidates(intk).size(), 1u);
+}
+
+TEST_F(DbTest, StructKeyIncludesArity) {
+  db.consult("g(f(_), one). g(f(_, _), two).");
+  const Predicate* p = pred("g", 2);
+  std::uint32_t f = db.syms().intern("f");
+  IndexKey f1{IndexKey::Kind::Struct, (std::uint64_t{f} << 12) | 1};
+  IndexKey f2{IndexKey::Kind::Struct, (std::uint64_t{f} << 12) | 2};
+  EXPECT_EQ(p->candidates(f1), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(p->candidates(f2), (std::vector<std::uint32_t>{1}));
+}
+
+TEST_F(DbTest, RetractTombstonesAndGeneration) {
+  db.consult("d(1). d(2). d(3).");
+  Predicate* p = db.find_mutable(db.syms().intern("d"), 1);
+  std::uint64_t gen = p->generation();
+  p->retract_clause(1);
+  EXPECT_GT(p->generation(), gen);
+  IndexKey any{IndexKey::Kind::AnyCall, 0};
+  EXPECT_EQ(p->candidates(any), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_TRUE(p->clause(1).retracted);
+}
+
+TEST_F(DbTest, NextMatchingFromFallback) {
+  db.consult("e(a). e(b). e(a).");
+  const Predicate* p = pred("e", 1);
+  IndexKey ka{IndexKey::Kind::Atom, db.syms().intern("a")};
+  EXPECT_EQ(p->next_matching_from(ka, -1), 0);
+  EXPECT_EQ(p->next_matching_from(ka, 0), 2);
+  EXPECT_EQ(p->next_matching_from(ka, 2), -1);
+}
+
+TEST_F(DbTest, AddClauseFront) {
+  db.consult("h(1).");
+  TermTemplate t = parse_term_text(db.syms(), "h(0).");
+  db.add_clause(std::move(t), /*front=*/true);
+  const Predicate* p = pred("h", 1);
+  IndexKey any{IndexKey::Kind::AnyCall, 0};
+  ASSERT_EQ(p->num_clauses(), 2u);
+  EXPECT_EQ(p->candidates(any), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(p->clause(0).key.value, 0u);  // h(0): int key value 0
+}
+
+TEST_F(DbTest, DynamicDirective) {
+  db.consult(":- dynamic counter/1, log/2.\ncounter(0).");
+  EXPECT_TRUE(pred("counter", 1)->is_dynamic());
+  EXPECT_TRUE(pred("log", 2)->is_dynamic());
+}
+
+TEST_F(DbTest, UnknownDirectiveIgnored) {
+  db.consult(":- module(foo, []).\np(1).");
+  EXPECT_NE(pred("p", 1), nullptr);
+}
+
+TEST_F(DbTest, MalformedDynamicThrows) {
+  EXPECT_THROW(db.consult(":- dynamic foo."), AceError);
+}
+
+TEST_F(DbTest, ZeroArityPredicates) {
+  db.consult("flag. flag :- fail.");
+  const Predicate* p = pred("flag", 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->num_clauses(), 2u);
+  IndexKey any{IndexKey::Kind::AnyCall, 0};
+  EXPECT_EQ(p->candidates(any).size(), 2u);
+}
+
+TEST_F(DbTest, BadClauseHeadThrows) {
+  EXPECT_THROW(db.consult("42 :- true."), AceError);
+  EXPECT_THROW(db.consult("[a] :- true."), AceError);
+}
+
+}  // namespace
+}  // namespace ace

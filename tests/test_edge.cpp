@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() { load_library(db); }
+
+  std::vector<std::string> solve(const std::string& q,
+                                 std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+  bool succeeds(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.succeeds(q);
+  }
+
+  Database db;
+};
+
+TEST_F(EdgeTest, DeepRecursion) {
+  db.consult("down(0) :- !.\ndown(N) :- N1 is N - 1, down(N1).");
+  EXPECT_TRUE(succeeds("down(200000)."));
+}
+
+TEST_F(EdgeTest, LongListConstruction) {
+  EXPECT_EQ(solve("numlist(1, 20000, _L), length(_L, N), last(_L, X)."),
+            (std::vector<std::string>{"N = 20000, X = 20000"}));
+}
+
+TEST_F(EdgeTest, LargeIntegers) {
+  // 61-bit payload arithmetic.
+  EXPECT_EQ(solve("X is 1152921504606846975."),  // 2^60 - 1
+            (std::vector<std::string>{"X = 1152921504606846975"}));
+  EXPECT_EQ(solve("X is -1152921504606846975."),
+            (std::vector<std::string>{"X = -1152921504606846975"}));
+  EXPECT_EQ(solve("X is 2 ** 59."),
+            (std::vector<std::string>{"X = 576460752303423488"}));
+}
+
+TEST_F(EdgeTest, DeeplyNestedTerms) {
+  // Build, unify and print a 2000-deep term without stack overflow on the
+  // engine side (printing is recursive but shallow per level).
+  db.consult(R"PL(
+wrap(0, leaf) :- !.
+wrap(N, s(T)) :- N1 is N - 1, wrap(N1, T).
+)PL");
+  EXPECT_TRUE(succeeds("wrap(2000, T), wrap(2000, T2), T == T2."));
+}
+
+TEST_F(EdgeTest, ManySolutionsEnumerated) {
+  db.consult("d(0). d(1). d(2). d(3).");
+  EXPECT_EQ(solve("d(A), d(B), d(C), d(D), d(E).").size(), 1024u);
+}
+
+TEST_F(EdgeTest, WideStructures) {
+  // 200-argument structure through functor/arg/=..
+  EXPECT_TRUE(
+      succeeds("functor(T, big, 200), arg(200, T, A), A = x, "
+               "T =.. [big|Args], length(Args, 200)."));
+}
+
+TEST_F(EdgeTest, EmptyProgramQueries) {
+  EXPECT_TRUE(succeeds("true."));
+  EXPECT_TRUE(succeeds("X = X."));
+}
+
+TEST_F(EdgeTest, RepeatedSolveOnSameDatabase) {
+  db.consult("counter(0).");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(solve("counter(X)."), (std::vector<std::string>{"X = 0"}));
+  }
+}
+
+TEST_F(EdgeTest, AssertAcrossSolves) {
+  db.consult(":- dynamic seen/1.");
+  SeqEngine eng(db);
+  EXPECT_EQ(eng.solve("assert(seen(1)).", 1).solutions.size(), 1u);
+  EXPECT_EQ(eng.solve("findall(X, seen(X), L).", 1).solutions,
+            (std::vector<std::string>{"L = [1]"}));
+}
+
+// ---------------------------------------------------------------------------
+// Parser fuzz: random token soup must either parse or raise AceError —
+// never crash or hang.
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomTokenSoupIsSafe) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  static const char* kTokens[] = {
+      "foo", "Bar",  "_",   "42",  "-",    "+",   "(",  ")",  "[", "]",
+      "|",   ",",    ".",   ":-",  "&",    ";",   "->", "!",  "{", "}",
+      "is",  "'q a'", "=..", "\\+", "==",  "mod", "*",  "0'x"};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string src;
+    int len = 1 + static_cast<int>(rng.below(15));
+    for (int i = 0; i < len; ++i) {
+      src += kTokens[rng.below(std::size(kTokens))];
+      src += ' ';
+    }
+    src += ".";
+    SymbolTable syms;
+    try {
+      parse_term_text(syms, src);
+    } catch (const AceError&) {
+      // expected for most soups
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Per-agent reporting.
+
+TEST(PerAgentReport, CoversAllAgents) {
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 4;
+  const Workload& w = workload("occur");
+  Database db;
+  load_library(db);
+  db.consult(w.source);
+  AndpOptions o;
+  o.agents = 4;
+  AndpMachine m(db, o);
+  SolveResult r = m.solve(w.small_query, 1);
+  ASSERT_EQ(r.per_agent.size(), 4u);
+  ASSERT_EQ(r.agent_clocks.size(), 4u);
+  // The aggregate equals the sum of the parts for a few key counters.
+  std::uint64_t sum_res = 0;
+  std::uint64_t sum_markers = 0;
+  for (const Counters& c : r.per_agent) {
+    sum_res += c.resolutions;
+    sum_markers += c.input_markers + c.end_markers;
+  }
+  EXPECT_EQ(sum_res, r.stats.resolutions);
+  EXPECT_EQ(sum_markers, r.stats.input_markers + r.stats.end_markers);
+  std::string report = per_agent_report(r);
+  EXPECT_NE(report.find("agent"), std::string::npos);
+  EXPECT_NE(report.find("steals"), std::string::npos);
+  // Header + separator + one row per agent.
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 6);
+}
+
+TEST(PerAgentReport, WorkIsActuallyDistributed) {
+  Database db;
+  load_library(db);
+  db.consult(workload("takeuchi").source);
+  AndpOptions o;
+  o.agents = 4;
+  AndpMachine m(db, o);
+  SolveResult r = m.solve("takeuchi(8, 4, 0, A).", 1);
+  int busy = 0;
+  for (const Counters& c : r.per_agent) {
+    if (c.resolutions > r.stats.resolutions / 20) ++busy;
+  }
+  EXPECT_GE(busy, 3);  // at least 3 of 4 agents did real work
+}
+
+}  // namespace
+}  // namespace ace

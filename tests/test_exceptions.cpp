@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+
+namespace ace {
+namespace {
+
+class ExceptionTest : public ::testing::Test {
+ protected:
+  ExceptionTest() { load_library(db); }
+
+  std::vector<std::string> solve(const std::string& q,
+                                 std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+  bool succeeds(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.succeeds(q);
+  }
+
+  Database db;
+};
+
+TEST_F(ExceptionTest, CatchMatchingBall) {
+  EXPECT_EQ(solve("catch(throw(oops), oops, X = caught)."),
+            (std::vector<std::string>{"X = caught"}));
+}
+
+TEST_F(ExceptionTest, CatchBindsBall) {
+  EXPECT_EQ(solve("catch(throw(err(42)), err(E), true)."),
+            (std::vector<std::string>{"E = 42"}));
+}
+
+TEST_F(ExceptionTest, NonMatchingBallPropagates) {
+  EXPECT_THROW(solve("catch(throw(alpha), beta, true)."), AceError);
+}
+
+TEST_F(ExceptionTest, NestedCatchInnerFirst) {
+  EXPECT_EQ(
+      solve("catch(catch(throw(x), y, R = inner), x, R = outer)."),
+      (std::vector<std::string>{"R = outer"}));
+  EXPECT_EQ(
+      solve("catch(catch(throw(y), y, R = inner), x, R = outer)."),
+      (std::vector<std::string>{"R = inner"}));
+}
+
+TEST_F(ExceptionTest, UncaughtThrowSurfaces) {
+  try {
+    solve("throw(kaboom(1)).");
+    FAIL() << "expected AceError";
+  } catch (const AceError& e) {
+    EXPECT_NE(std::string(e.what()).find("kaboom"), std::string::npos);
+  }
+}
+
+TEST_F(ExceptionTest, CatchTransparentToSuccess) {
+  db.consult("p(1). p(2).");
+  EXPECT_EQ(solve("catch(p(X), _, fail)."),
+            (std::vector<std::string>{"X = 1", "X = 2"}));
+}
+
+TEST_F(ExceptionTest, CatchTransparentToFailure) {
+  EXPECT_FALSE(succeeds("catch(fail, _, true), fail."));
+  EXPECT_EQ(solve("( catch(fail, _, woops = X) ; X = after )."),
+            (std::vector<std::string>{"X = after"}));
+}
+
+TEST_F(ExceptionTest, ThrowUndoesBindings) {
+  EXPECT_EQ(solve("catch((X = 1, throw(t)), t, true), (var(X) -> R = unbound"
+                  " ; R = bound)."),
+            (std::vector<std::string>{"R = unbound"}));
+}
+
+TEST_F(ExceptionTest, BallIsCopiedOut) {
+  // The thrown term survives the unwinding even when it referenced heap
+  // structures built inside the guarded goal.
+  EXPECT_EQ(solve("catch((Y = f(7), throw(err(Y))), err(Z), true)."),
+            (std::vector<std::string>{"Z = f(7)"}));
+}
+
+TEST_F(ExceptionTest, ThrowThroughFindall) {
+  db.consult("gen(1). gen(2).");
+  EXPECT_EQ(solve("catch(findall(X, (gen(X), throw(stop)), _L), stop, "
+                  "R = escaped)."),
+            (std::vector<std::string>{"R = escaped"}));
+}
+
+TEST_F(ExceptionTest, ThrowPastCutBarrier) {
+  db.consult("guarded(X) :- once((X = 1, throw(inner))).");
+  EXPECT_EQ(solve("catch(guarded(_), inner, R = ok)."),
+            (std::vector<std::string>{"R = ok"}));
+}
+
+TEST_F(ExceptionTest, RecoveryGoalCanFail) {
+  EXPECT_FALSE(succeeds("catch(throw(t), t, fail)."));
+}
+
+TEST_F(ExceptionTest, RecoveryGoalCanThrow) {
+  EXPECT_EQ(solve("catch(catch(throw(a), a, throw(b)), b, R = rethrown)."),
+            (std::vector<std::string>{"R = rethrown"}));
+}
+
+TEST_F(ExceptionTest, OnceCommits) {
+  db.consult("q(1). q(2). q(3).");
+  EXPECT_EQ(solve("once(q(X))."), (std::vector<std::string>{"X = 1"}));
+  EXPECT_FALSE(succeeds("once(fail)."));
+}
+
+TEST_F(ExceptionTest, ErrorInsideCatchIsPrologBall) {
+  // Engine-level AceErrors (type errors etc.) are NOT Prolog balls in this
+  // implementation; they surface as C++ exceptions.
+  EXPECT_THROW(solve("catch(X is foo, _, true)."), AceError);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+class HigherOrderTest : public ::testing::Test {
+ protected:
+  HigherOrderTest() { load_library(db); }
+
+  std::vector<std::string> solve(const std::string& q,
+                                 std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+  bool succeeds(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.succeeds(q);
+  }
+
+  Database db;
+};
+
+TEST_F(HigherOrderTest, CallWithExtraArgs) {
+  db.consult("add(X, Y, Z) :- Z is X + Y.");
+  EXPECT_EQ(solve("call(add, 1, 2, R)."), (std::vector<std::string>{"R = 3"}));
+  EXPECT_EQ(solve("G = add(10), call(G, 5, R)."),
+            (std::vector<std::string>{"G = add(10), R = 15"}));
+  EXPECT_EQ(solve("call(add(1, 2), R)."), (std::vector<std::string>{"R = 3"}));
+}
+
+TEST_F(HigherOrderTest, CallClosureEnumerates) {
+  db.consult("p(1, a). p(2, b).");
+  EXPECT_EQ(solve("call(p, X, Y).").size(), 2u);
+}
+
+TEST_F(HigherOrderTest, CallErrors) {
+  EXPECT_THROW(succeeds("call(42, x)."), AceError);
+  EXPECT_THROW(succeeds("call(X, 1)."), AceError);
+}
+
+TEST_F(HigherOrderTest, MaplistCheck) {
+  db.consult("pos(X) :- X > 0.");
+  EXPECT_TRUE(succeeds("maplist(pos, [1, 2, 3])."));
+  EXPECT_FALSE(succeeds("maplist(pos, [1, -2, 3])."));
+  EXPECT_TRUE(succeeds("maplist(pos, [])."));
+}
+
+TEST_F(HigherOrderTest, MaplistTransform) {
+  db.consult("dbl(X, Y) :- Y is X * 2.");
+  EXPECT_EQ(solve("maplist(dbl, [1, 2, 3], L)."),
+            (std::vector<std::string>{"L = [2,4,6]"}));
+}
+
+TEST_F(HigherOrderTest, MaplistThree) {
+  db.consult("addp(X, Y, Z) :- Z is X + Y.");
+  EXPECT_EQ(solve("maplist(addp, [1, 2], [10, 20], L)."),
+            (std::vector<std::string>{"L = [11,22]"}));
+  EXPECT_FALSE(succeeds("maplist(addp, [1], [1, 2], _)."));
+}
+
+TEST_F(HigherOrderTest, Foldl) {
+  db.consult("acc(X, A0, A) :- A is A0 + X.");
+  EXPECT_EQ(solve("foldl(acc, [1, 2, 3, 4], 0, S)."),
+            (std::vector<std::string>{"S = 10"}));
+  EXPECT_EQ(solve("foldl(acc, [], 7, S)."),
+            (std::vector<std::string>{"S = 7"}));
+}
+
+TEST_F(HigherOrderTest, IncludeExclude) {
+  db.consult("even(X) :- 0 =:= X mod 2.");
+  EXPECT_EQ(solve("include(even, [1, 2, 3, 4, 5, 6], L)."),
+            (std::vector<std::string>{"L = [2,4,6]"}));
+  EXPECT_EQ(solve("exclude(even, [1, 2, 3, 4, 5, 6], L)."),
+            (std::vector<std::string>{"L = [1,3,5]"}));
+}
+
+TEST_F(HigherOrderTest, PartialApplicationWithCapturedArgs) {
+  db.consult("between_chk(L, H, X) :- X >= L, X =< H.");
+  EXPECT_TRUE(succeeds("maplist(between_chk(1, 10), [2, 5, 9])."));
+  EXPECT_FALSE(succeeds("maplist(between_chk(1, 10), [2, 50])."));
+}
+
+TEST_F(HigherOrderTest, HigherOrderInsideParallelGoals) {
+  Database pdb;
+  load_library(pdb);
+  pdb.consult(R"PL(
+dbl(X, Y) :- Y is X * 2.
+trip(X, Y) :- Y is X * 3.
+both(L, A, B) :- maplist(dbl, L, A) & maplist(trip, L, B).
+)PL");
+  AndpOptions o;
+  o.agents = 3;
+  o.lpco = o.shallow = o.pdo = true;
+  AndpMachine m(pdb, o);
+  EXPECT_EQ(m.solve("both([1, 2], A, B).").solutions,
+            (std::vector<std::string>{"A = [2,4], B = [3,6]"}));
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "builtins/lib.hpp"
+#include "orp/machine.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class OrpTest : public ::testing::Test {
+ protected:
+  OrpTest() { load_library(db); }
+
+  SolveResult run(const std::string& q, unsigned agents, bool lao = false,
+                  std::size_t max = SIZE_MAX) {
+    OrpOptions o;
+    o.agents = agents;
+    o.lao = lao;
+    OrpMachine m(db, o);
+    return m.solve(q, max);
+  }
+  std::vector<std::string> seq(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.solve(q).solutions;
+  }
+
+  Database db;
+};
+
+TEST_F(OrpTest, OneAgentMatchesSequential) {
+  db.consult("p(1). p(2). p(3).");
+  EXPECT_EQ(run("p(X).", 1).solutions, seq("p(X)."));
+}
+
+TEST_F(OrpTest, OneAgentWithLaoMatchesSequential) {
+  db.consult("p(1). p(2). p(3).");
+  EXPECT_EQ(run("p(X).", 1, /*lao=*/true).solutions, seq("p(X)."));
+}
+
+TEST_F(OrpTest, MultiAgentFindsAllSolutions) {
+  db.consult(R"PL(
+d(1). d(2). d(3). d(4).
+pair(X, Y) :- d(X), d(Y).
+)PL");
+  std::vector<std::string> expect = sorted(seq("pair(X, Y)."));
+  ASSERT_EQ(expect.size(), 16u);
+  for (unsigned n : {2u, 4u, 8u}) {
+    for (bool lao : {false, true}) {
+      EXPECT_EQ(sorted(run("pair(X, Y).", n, lao).solutions), expect)
+          << n << " agents, lao=" << lao;
+    }
+  }
+}
+
+TEST_F(OrpTest, NoDuplicateSolutions) {
+  db.consult("c(1). c(2). c(3). c(4). c(5). c(6). c(7). c(8).");
+  for (unsigned n : {2u, 5u}) {
+    std::vector<std::string> sols = run("c(X).", n).solutions;
+    std::vector<std::string> uniq = sorted(sols);
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    EXPECT_EQ(sols.size(), uniq.size()) << n << " agents";
+    EXPECT_EQ(sols.size(), 8u);
+  }
+}
+
+TEST_F(OrpTest, DeepRecursionMemberPattern) {
+  db.consult(R"PL(
+fib_iter(0, A, _, A) :- !.
+fib_iter(N, A, B, F) :- N1 is N - 1, C is A + B, fib_iter(N1, B, C, F).
+go(V, R) :- member(V, [5, 6, 7, 8, 9, 10]), fib_iter(V, 0, 1, R).
+)PL");
+  std::vector<std::string> expect = sorted(seq("go(V, R)."));
+  ASSERT_EQ(expect.size(), 6u);
+  for (unsigned n : {1u, 3u, 6u}) {
+    for (bool lao : {false, true}) {
+      EXPECT_EQ(sorted(run("go(V, R).", n, lao).solutions), expect)
+          << n << " agents, lao=" << lao;
+    }
+  }
+}
+
+TEST_F(OrpTest, DisjunctionBranchesShared) {
+  db.consult("alt(X) :- ( X = 1 ; X = 2 ; X = 3 ).");
+  for (unsigned n : {1u, 2u, 4u}) {
+    EXPECT_EQ(sorted(run("alt(X).", n).solutions),
+              (std::vector<std::string>{"X = 1", "X = 2", "X = 3"}));
+  }
+}
+
+TEST_F(OrpTest, CutCancelsPublicNodes) {
+  db.consult(R"PL(
+k(1). k(2). k(3).
+onek(X) :- k(X), !.
+mix(X, Y) :- k(X), onek(Y).
+)PL");
+  std::vector<std::string> expect = sorted(seq("mix(X, Y)."));
+  for (unsigned n : {1u, 3u}) {
+    EXPECT_EQ(sorted(run("mix(X, Y).", n).solutions), expect);
+  }
+}
+
+TEST_F(OrpTest, QueensAllSolutionsAcrossAgents) {
+  db.consult(R"PL(
+queens(N, Qs) :- numlist(1, N, Ns), qperm(Ns, [], Qs).
+qperm([], Acc, Acc).
+qperm(L, Acc, Qs) :- select(Q, L, R), qsafe(Q, Acc, 1), qperm(R, [Q|Acc], Qs).
+qsafe(_, [], _).
+qsafe(Q, [P|Ps], D) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, qsafe(Q, Ps, D1).
+)PL");
+  std::vector<std::string> expect = sorted(seq("queens(6, Qs)."));
+  ASSERT_EQ(expect.size(), 4u);
+  for (unsigned n : {1u, 2u, 4u, 10u}) {
+    for (bool lao : {false, true}) {
+      EXPECT_EQ(sorted(run("queens(6, Qs).", n, lao).solutions), expect)
+          << n << " agents, lao=" << lao;
+    }
+  }
+}
+
+TEST_F(OrpTest, LaoReusesChoicePoints) {
+  db.consult(R"PL(
+go(V) :- member(V, [1, 2, 3, 4, 5, 6, 7, 8]).
+)PL");
+  SolveResult off = run("go(V).", 1, false);
+  SolveResult on = run("go(V).", 1, true);
+  EXPECT_EQ(off.solutions.size(), 8u);
+  EXPECT_EQ(on.solutions.size(), 8u);
+  EXPECT_GT(on.stats.lao_reuses, 0u);
+  EXPECT_LT(on.stats.choicepoints, off.stats.choicepoints);
+}
+
+TEST_F(OrpTest, LaoCostsOnOneAgent) {
+  // The paper's Table 3 shows a small 1-agent slowdown: the runtime checks
+  // and kept-frame revisits cost something.
+  db.consult(R"PL(
+gen(X) :- member(X, [1,2,3,4,5,6,7,8,9,10]), X > 5.
+)PL");
+  SolveResult off = run("gen(X).", 1, false);
+  SolveResult on = run("gen(X).", 1, true);
+  EXPECT_EQ(off.solutions.size(), on.solutions.size());
+  EXPECT_GT(on.stats.opt_checks, 0u);
+}
+
+TEST_F(OrpTest, SharingSessionsOccur) {
+  db.consult(R"PL(
+slow(0) :- !.
+slow(N) :- N1 is N - 1, slow(N1).
+job(X) :- member(X, [1, 2, 3, 4, 5, 6]), slow(200).
+)PL");
+  SolveResult r = run("job(X).", 4);
+  EXPECT_EQ(r.solutions.size(), 6u);
+  EXPECT_GT(r.stats.sharing_sessions, 0u);
+  EXPECT_GT(r.stats.copied_cells, 0u);
+}
+
+TEST_F(OrpTest, SpeedupWithAgents) {
+  db.consult(R"PL(
+slow(0) :- !.
+slow(N) :- N1 is N - 1, slow(N1).
+job(X) :- member(X, [1, 2, 3, 4, 5, 6, 7, 8]), slow(400).
+)PL");
+  std::uint64_t t1 = run("job(X).", 1).virtual_time;
+  std::uint64_t t4 = run("job(X).", 4).virtual_time;
+  EXPECT_LT(t4 * 2, t1);
+}
+
+TEST_F(OrpTest, DeterministicAcrossRuns) {
+  db.consult("e(1). e(2). e(3). e(4). e(5).");
+  SolveResult a = run("e(X), e(Y).", 3);
+  SolveResult b = run("e(X), e(Y).", 3);
+  EXPECT_EQ(a.solutions, b.solutions);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.stats.sharing_sessions, b.stats.sharing_sessions);
+}
+
+TEST_F(OrpTest, FailingQueryExhaustsCleanly) {
+  db.consult("f(1). f(2).");
+  for (unsigned n : {1u, 3u}) {
+    EXPECT_TRUE(run("f(X), X > 10.", n).solutions.empty());
+  }
+}
+
+TEST_F(OrpTest, FindallInsideOrParallel) {
+  db.consult("g(1). g(2). pick(X, L) :- g(X), findall(Y, g(Y), L).");
+  std::vector<std::string> expect = sorted(seq("pick(X, L)."));
+  EXPECT_EQ(sorted(run("pick(X, L).", 2).solutions), expect);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "engine/parcall.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<std::uint32_t> order_of(const Parcall& pf) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t it = pf.order_head; it != kNoSlot;
+       it = pf.slots[it].order_next) {
+    out.push_back(it);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> reverse_order_of(const Parcall& pf) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t it = pf.order_tail; it != kNoSlot;
+       it = pf.slots[it].order_prev) {
+    out.push_back(it);
+  }
+  return out;
+}
+
+TEST(ParcallOrder, AppendBuildsSequentialOrder) {
+  Parcall pf;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pf.append_slot(Slot{}), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(order_of(pf), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(reverse_order_of(pf), (std::vector<std::uint32_t>{3, 2, 1, 0}));
+  EXPECT_EQ(pf.order_head, 0u);
+  EXPECT_EQ(pf.order_tail, 3u);
+}
+
+TEST(ParcallOrder, InsertAfterSplicesInPlace) {
+  // The LPCO merge pattern: slot 1 expands into two new slots.
+  Parcall pf;
+  pf.append_slot(Slot{});  // 0
+  pf.append_slot(Slot{});  // 1
+  pf.append_slot(Slot{});  // 2
+  std::uint32_t a = pf.insert_slot_after(Slot{}, 1);  // 3 after 1
+  std::uint32_t b = pf.insert_slot_after(Slot{}, a);  // 4 after 3
+  EXPECT_EQ(order_of(pf), (std::vector<std::uint32_t>{0, 1, 3, 4, 2}));
+  EXPECT_EQ(reverse_order_of(pf), (std::vector<std::uint32_t>{2, 4, 3, 1, 0}));
+  (void)b;
+}
+
+TEST(ParcallOrder, InsertAfterTailUpdatesTail) {
+  Parcall pf;
+  pf.append_slot(Slot{});  // 0
+  std::uint32_t n = pf.insert_slot_after(Slot{}, 0);
+  EXPECT_EQ(pf.order_tail, n);
+  EXPECT_EQ(order_of(pf), (std::vector<std::uint32_t>{0, n}));
+}
+
+TEST(ParcallOrder, RecursiveExpansionStaysFlat) {
+  // Repeated tail expansion, as in the paper's Figure 4 process_list:
+  // each level replaces the last slot with (work, recursion).
+  Parcall pf;
+  std::uint32_t tail = pf.append_slot(Slot{});
+  for (int level = 0; level < 20; ++level) {
+    std::uint32_t work = pf.insert_slot_after(Slot{}, tail);
+    tail = pf.insert_slot_after(Slot{}, work);
+  }
+  std::vector<std::uint32_t> order = order_of(pf);
+  EXPECT_EQ(order.size(), 41u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), pf.order_tail);
+  // Reverse traversal is consistent.
+  std::vector<std::uint32_t> rev = reverse_order_of(pf);
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(rev, order);
+}
+
+TEST(SlotDefaults, FreshSlotIsClean) {
+  Slot s;
+  EXPECT_EQ(s.state, SlotState::Pending);
+  EXPECT_EQ(s.newest_bt, kNoRef);
+  EXPECT_TRUE(s.parts.empty());
+  EXPECT_FALSE(s.resumed);
+  EXPECT_FALSE(s.marker_pending);
+  EXPECT_EQ(s.lpco_parent, kNoSlot);
+  EXPECT_EQ(s.in_marker, kNoRef);
+  EXPECT_EQ(s.end_marker, kNoRef);
+}
+
+TEST(RefEncoding, RoundTrips) {
+  Ref r = make_ref(7, 123456);
+  EXPECT_EQ(ref_agent(r), 7u);
+  EXPECT_EQ(ref_index(r), 123456u);
+  EXPECT_NE(r, kNoRef);
+}
+
+}  // namespace
+}  // namespace ace

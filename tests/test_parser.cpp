@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "parse/lexer.hpp"
+#include "parse/parser.hpp"
+#include "term/print.hpp"
+
+namespace ace {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+  Store store{1};
+
+  // Parses a term and prints it back canonically (with source var names).
+  std::string roundtrip(const std::string& text) {
+    TermTemplate t = parse_term_text(syms, text);
+    std::vector<Addr> vars;
+    Addr a = instantiate(store, 0, t, &vars);
+    std::unordered_map<Addr, std::string> names;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      names.emplace(vars[i], t.var_names[i]);
+    }
+    PrintOpts opts;
+    opts.var_names = &names;
+    return term_to_string(store, syms, a, opts);
+  }
+};
+
+TEST_F(ParserTest, Atoms) {
+  EXPECT_EQ(roundtrip("foo."), "foo");
+  EXPECT_EQ(roundtrip("'quoted atom'."), "'quoted atom'");
+  EXPECT_EQ(roundtrip("[]."), "[]");
+  EXPECT_EQ(roundtrip("{}."), "{}");
+}
+
+TEST_F(ParserTest, Integers) {
+  EXPECT_EQ(roundtrip("42."), "42");
+  EXPECT_EQ(roundtrip("- 1."), "-1");
+  EXPECT_EQ(roundtrip("0'a."), "97");
+}
+
+TEST_F(ParserTest, Variables) {
+  TermTemplate t = parse_term_text(syms, "f(X, Y, X).");
+  EXPECT_EQ(t.nvars, 2u);
+  EXPECT_EQ(t.var_names[0], "X");
+  EXPECT_EQ(t.var_names[1], "Y");
+}
+
+TEST_F(ParserTest, AnonymousVariablesAreDistinct) {
+  TermTemplate t = parse_term_text(syms, "f(_, _).");
+  EXPECT_EQ(t.nvars, 2u);
+}
+
+TEST_F(ParserTest, Structures) {
+  EXPECT_EQ(roundtrip("f(a, 1, g(b))."), "f(a,1,g(b))");
+}
+
+TEST_F(ParserTest, Lists) {
+  EXPECT_EQ(roundtrip("[1, 2, 3]."), "[1,2,3]");
+  EXPECT_EQ(roundtrip("[a|T].").substr(0, 3), "[a|");
+  EXPECT_EQ(roundtrip("[[1], []]."), "[[1],[]]");
+}
+
+TEST_F(ParserTest, OperatorPrecedence) {
+  // * binds tighter than +.
+  EXPECT_EQ(roundtrip("1 + 2 * 3."), "(1 + (2 * 3))");
+  EXPECT_EQ(roundtrip("(1 + 2) * 3."), "((1 + 2) * 3)");
+  // Left associativity of -.
+  EXPECT_EQ(roundtrip("7 - 2 - 1."), "((7 - 2) - 1)");
+  // Comparison below arithmetic.
+  EXPECT_EQ(roundtrip("X is 1 + 2."), "(X is (1 + 2))");
+}
+
+TEST_F(ParserTest, CommaAndAmpPrecedence) {
+  // '&' (975) binds tighter than ',' (1000).
+  EXPECT_EQ(roundtrip("a, b & c, d."), "(a,((b & c),d))");
+  // xfy associativity.
+  EXPECT_EQ(roundtrip("a & b & c."), "(a & (b & c))");
+  EXPECT_EQ(roundtrip("a, b, c."), "(a,(b,c))");
+}
+
+TEST_F(ParserTest, ClauseStructure) {
+  EXPECT_EQ(roundtrip("h(X) :- b1(X), b2."), "(h(X) :- (b1(X),b2))");
+}
+
+TEST_F(ParserTest, IfThenElse) {
+  EXPECT_EQ(roundtrip("( a -> b ; c )."), "((a -> b) ; c)");
+}
+
+TEST_F(ParserTest, NegationPrefix) {
+  EXPECT_EQ(roundtrip("\\+ foo(X)."), "\\+(foo(X))");
+}
+
+TEST_F(ParserTest, PrefixMinusOnExpression) {
+  EXPECT_EQ(roundtrip("X is - Y."), "(X is -Y)");
+  EXPECT_EQ(roundtrip("X is 3 - -2."), "(X is (3 - -2))");
+}
+
+TEST_F(ParserTest, CurlyBraces) {
+  EXPECT_EQ(roundtrip("{a, b}."), "{(a,b)}");
+}
+
+TEST_F(ParserTest, CommentsSkipped) {
+  EXPECT_EQ(roundtrip("% line comment\nfoo. % trailing"), "foo");
+  EXPECT_EQ(roundtrip("/* block\ncomment */ bar."), "bar");
+}
+
+TEST_F(ParserTest, ProgramParsing) {
+  auto clauses = parse_program(syms, R"PL(
+p(1).
+p(2) :- q.
+q.
+)PL");
+  EXPECT_EQ(clauses.size(), 3u);
+}
+
+TEST_F(ParserTest, QuotedAtomEscapes) {
+  EXPECT_EQ(roundtrip("'it''s'."), "'it\\'s'");
+  EXPECT_EQ(roundtrip("'a\\nb'.").size(), 5u);  // 'a<newline>b' quoted
+}
+
+TEST_F(ParserTest, FunctorParenMustBeAdjacent) {
+  // "f (a)" is NOT a functor application; f is an atom followed by (a),
+  // which is a syntax error in term position... our parser treats the
+  // parenthesized term as a standalone primary, so expect an error.
+  EXPECT_THROW(parse_term_text(syms, "f (a)."), AceError);
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_THROW(parse_term_text(syms, "f(a."), AceError);
+  EXPECT_THROW(parse_term_text(syms, "f(a))."), AceError);
+  EXPECT_THROW(parse_term_text(syms, "[1, 2."), AceError);
+  EXPECT_THROW(parse_term_text(syms, ""), AceError);
+  EXPECT_THROW(parse_term_text(syms, "foo"), AceError);  // missing '.'
+  EXPECT_THROW(parse_term_text(syms, "'unterminated."), AceError);
+}
+
+TEST_F(ParserTest, ErrorsCarryPosition) {
+  try {
+    parse_term_text(syms, "f(a,\n  ).");
+    FAIL() << "expected parse error";
+  } catch (const AceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(ParserTest, SemicolonAndBar) {
+  EXPECT_EQ(roundtrip("a ; b."), "(a ; b)");
+}
+
+TEST_F(ParserTest, NestedOperatorsInArgs) {
+  // Inside argument lists, ',' terminates at priority 999.
+  EXPECT_EQ(roundtrip("f(1 + 2, X)."), "f((1 + 2),X)");
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,195 @@
+// Property-based tests: randomized programs and invariants that must hold
+// across engines and optimization flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "builtins/lib.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Random generate-and-test programs: a list of nondeterministic digits and
+// an arithmetic filter — heavy backtracking through parallel conjunctions.
+
+class RandomSearchProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSearchProgram, AllEnginesAgree) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  int len = 3 + static_cast<int>(rng.below(3));          // 3..5 digits
+  int fanout = 2 + static_cast<int>(rng.below(2));       // 2..3 choices
+  int mod = 3 + static_cast<int>(rng.below(7));          // filter modulus
+
+  std::string src = "digit(X, Y) :- Y is X * 2.\n";
+  if (fanout >= 2) src += "digit(X, Y) :- Y is X * 3 + 1.\n";
+  if (fanout >= 3) src += "digit(X, Y) :- Y is X + 7.\n";
+  src += R"PL(
+walk([], []).
+walk([H|T], [H2|T2]) :- digit(H, H2) & walk(T, T2).
+)PL";
+  src += strf(
+      "go(Out) :- numlist(1, %d, L), walk(L, Out), sum_list(Out, S), "
+      "0 =:= S mod %d.\n",
+      len, mod);
+
+  Database db;
+  load_library(db);
+  db.consult(src);
+
+  SeqEngine seq(db);
+  std::vector<std::string> expect = seq.solve("go(Out).").solutions;
+
+  for (unsigned agents : {1u, 3u}) {
+    for (bool opts : {false, true}) {
+      AndpOptions o;
+      o.agents = agents;
+      o.lpco = o.shallow = o.pdo = opts;
+      AndpMachine m(db, o);
+      EXPECT_EQ(m.solve("go(Out).").solutions, expect)
+          << "agents=" << agents << " opts=" << opts << "\n"
+          << src;
+    }
+  }
+  for (bool lao : {false, true}) {
+    OrpOptions o;
+    o.agents = 3;
+    o.lao = lao;
+    OrpMachine m(db, o);
+    EXPECT_EQ(sorted(m.solve("go(Out).").solutions), sorted(expect))
+        << "lao=" << lao << "\n"
+        << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSearchProgram, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Random sorting inputs through the Prolog engine: output is a sorted
+// permutation of the input (checked by Prolog itself).
+
+class SortLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortLaws, QsortSortsRandomLists) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  std::vector<std::string> items;
+  int n = 1 + static_cast<int>(rng.below(25));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(strf("%lld", (long long)rng.range(-50, 50)));
+  }
+  std::string list = "[" + join(items, ",") + "]";
+
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+qpartition([], _, [], []).
+qpartition([H|T], P, [H|L], G) :- H =< P, !, qpartition(T, P, L, G).
+qpartition([H|T], P, L, [H|G]) :- qpartition(T, P, L, G).
+qsort([], []).
+qsort([P|T], S) :- qpartition(T, P, L, G), qsort(L, SL) & qsort(G, SG),
+    append(SL, [P|SG], S).
+sorted_ok([]).
+sorted_ok([_]).
+sorted_ok([A, B|T]) :- A =< B, sorted_ok([B|T]).
+count_of(_, [], 0).
+count_of(X, [X|T], C) :- !, count_of(X, T, C1), C is C1 + 1.
+count_of(X, [_|T], C) :- count_of(X, T, C).
+perm_ok(L, S) :- length(L, N), length(S, N),
+    forall(member(X, L), (count_of(X, L, C), count_of(X, S, C))).
+)PL");
+
+  std::string q = strf("qsort(%s, S), sorted_ok(S), perm_ok(%s, S).",
+                       list.c_str(), list.c_str());
+  AndpOptions o;
+  o.agents = 4;
+  o.lpco = o.shallow = o.pdo = true;
+  AndpMachine m(db, o);
+  EXPECT_EQ(m.solve(q, 1).solutions.size(), 1u) << list;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortLaws, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Stats invariants that must hold for any program on any engine config.
+
+class StatsInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatsInvariants, CountersAreConsistent) {
+  const char* name = GetParam();
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 3;
+  cfg.shallow = true;
+  RunOutcome r = run_small(name, cfg);
+
+  // Bindings happen before they can be undone (range unwinds may untrail
+  // the same entry more than once — by design, unbinding is idempotent —
+  // but only after at least one binding existed).
+  if (r.stats.untrail_ops > 0) EXPECT_GT(r.stats.trail_entries, 0u);
+  // Every slot completion stems from a fetch, a steal, the creator's own
+  // first slot, an LPCO merge, a recomputation, or an outside-backtracking
+  // resume of the target slot.
+  EXPECT_LE(r.stats.slot_completions,
+            r.stats.fetches + r.stats.steals + r.stats.parcall_frames +
+                r.stats.lpco_merges + r.stats.recomputations +
+                r.stats.outside_backtracks);
+  // Shallow never produces more markers than slots.
+  EXPECT_LE(r.stats.input_markers,
+            r.stats.parcall_slots + r.stats.recomputations);
+  // Virtual time is positive and at least the resolution charge.
+  EXPECT_GE(r.virtual_time, r.stats.resolutions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, StatsInvariants,
+                         ::testing::Values("map1", "matrix", "occur",
+                                           "takeuchi", "quick_sort",
+                                           "bt_cluster"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Failure injection: resolution limits abort cleanly on every engine.
+
+TEST(FailureInjection, ResolutionLimitAndp) {
+  Database db;
+  load_library(db);
+  db.consult("spin :- spin & spin.");
+  AndpOptions o;
+  o.agents = 2;
+  o.resolution_limit = 5000;
+  AndpMachine m(db, o);
+  EXPECT_THROW(m.solve("spin.", 1), AceError);
+}
+
+TEST(FailureInjection, ResolutionLimitOrp) {
+  Database db;
+  load_library(db);
+  db.consult("spin :- spin.\nspin :- spin.");
+  OrpOptions o;
+  o.agents = 2;
+  o.resolution_limit = 5000;
+  OrpMachine m(db, o);
+  EXPECT_THROW(m.solve("spin.", 1), AceError);
+}
+
+TEST(FailureInjection, TypeErrorSurfacesFromParallelGoal) {
+  Database db;
+  load_library(db);
+  db.consult("bad :- (X is foo) & true.");
+  AndpOptions o;
+  o.agents = 2;
+  AndpMachine m(db, o);
+  EXPECT_THROW(m.solve("bad.", 1), AceError);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "parse/parser.hpp"
+#include "support/rng.hpp"
+#include "term/compare.hpp"
+#include "term/print.hpp"
+
+namespace ace {
+namespace {
+
+// Property: printing a term and re-parsing it yields a structurally equal
+// term (for ground terms; variables rename but keep sharing structure).
+class PrintParseRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrintParseRoundtrip, GroundTermsAreFixpoints) {
+  SymbolTable syms;
+  Store store(1);
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull);
+
+  std::vector<std::uint32_t> atoms = {
+      syms.intern("a"), syms.intern("foo"), syms.intern("[]"),
+      syms.intern("hello world"),  // needs quoting
+      syms.intern("+"), syms.intern("it's")};
+  std::vector<std::uint32_t> funs = {syms.intern("f"), syms.intern("g"),
+                                     syms.intern("'odd name'")};
+
+  auto gen = [&](auto&& self, int depth) -> Addr {
+    switch (rng.below(depth <= 0 ? 2 : 5)) {
+      case 0:
+        return heap_int(store, 0, rng.range(-1000, 1000));
+      case 1:
+        return heap_atom(store, 0, atoms[rng.below(atoms.size())]);
+      case 2: {
+        std::vector<Addr> args;
+        std::uint64_t n = 1 + rng.below(3);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          args.push_back(self(self, depth - 1));
+        }
+        return heap_struct(store, 0, funs[rng.below(funs.size())], args);
+      }
+      case 3: {
+        std::vector<Addr> items;
+        std::uint64_t n = rng.below(4);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          items.push_back(self(self, depth - 1));
+        }
+        return heap_list(store, 0, items, syms.known().nil);
+      }
+      default: {
+        // Infix-printed structure.
+        std::uint32_t op = syms.intern(rng.below(2) == 0 ? "+" : "-");
+        return heap_struct(store, 0, op,
+                           {self(self, depth - 1), self(self, depth - 1)});
+      }
+    }
+  };
+
+  for (int iter = 0; iter < 150; ++iter) {
+    Addr t = gen(gen, 4);
+    std::string text = term_to_string(store, syms, t);
+    TermTemplate parsed;
+    ASSERT_NO_THROW(parsed = parse_term_text(syms, text + " ."))
+        << "text: " << text;
+    Addr t2 = instantiate(store, 0, parsed);
+    EXPECT_EQ(compare_terms(store, syms, t, t2), 0)
+        << "original: " << text
+        << "\nreparsed: " << term_to_string(store, syms, t2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundtrip, ::testing::Range(1, 9));
+
+TEST(PrintParse, QuotingRoundTrips) {
+  SymbolTable syms;
+  Store store(1);
+  for (const char* name :
+       {"hello world", "It", "123abc", "", "a'b", "a\\b", "[]", "{}", "+"}) {
+    if (std::string(name) == "It") continue;  // would parse as a variable
+    Addr a = heap_atom(store, 0, syms.intern(name));
+    std::string text = term_to_string(store, syms, a);
+    Addr b = instantiate(store, 0, parse_term_text(syms, text + " ."));
+    EXPECT_EQ(compare_terms(store, syms, a, b), 0) << "atom: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "engine/seq_engine.hpp"
+
+namespace ace {
+namespace {
+
+class SeqEngineTest : public ::testing::Test {
+ protected:
+  SeqEngineTest() { load_library(db); }
+
+  std::vector<std::string> solve(const std::string& q,
+                                 std::size_t max = SIZE_MAX) {
+    SeqEngine eng(db);
+    return eng.solve(q, max).solutions;
+  }
+  bool succeeds(const std::string& q) {
+    SeqEngine eng(db);
+    return eng.succeeds(q);
+  }
+
+  Database db;
+};
+
+TEST_F(SeqEngineTest, FactsAndEnumeration) {
+  db.consult("p(1). p(2). p(3).");
+  EXPECT_EQ(solve("p(X)."),
+            (std::vector<std::string>{"X = 1", "X = 2", "X = 3"}));
+  EXPECT_EQ(solve("p(X).", 2).size(), 2u);
+  EXPECT_EQ(solve("p(2)."), (std::vector<std::string>{"true"}));
+  EXPECT_FALSE(succeeds("p(9)."));
+}
+
+TEST_F(SeqEngineTest, Conjunction) {
+  db.consult("p(1). p(2). q(2). q(3).");
+  EXPECT_EQ(solve("p(X), q(X)."), (std::vector<std::string>{"X = 2"}));
+}
+
+TEST_F(SeqEngineTest, RulesAndRecursion) {
+  db.consult(R"PL(
+nat(z).
+nat(s(X)) :- nat(X).
+plus(z, Y, Y).
+plus(s(X), Y, s(Z)) :- plus(X, Y, Z).
+)PL");
+  EXPECT_EQ(solve("plus(s(s(z)), s(z), R)."),
+            (std::vector<std::string>{"R = s(s(s(z)))"}));
+  // Generative: enumerate the first three naturals.
+  EXPECT_EQ(solve("nat(N).", 3),
+            (std::vector<std::string>{"N = z", "N = s(z)", "N = s(s(z))"}));
+  // Subtraction mode of plus.
+  EXPECT_EQ(solve("plus(X, Y, s(s(z))).").size(), 3u);
+}
+
+TEST_F(SeqEngineTest, Disjunction) {
+  EXPECT_EQ(solve("( X = 1 ; X = 2 ; X = 3 )."),
+            (std::vector<std::string>{"X = 1", "X = 2", "X = 3"}));
+}
+
+TEST_F(SeqEngineTest, IfThenElse) {
+  EXPECT_EQ(solve("( 1 < 2 -> X = yes ; X = no )."),
+            (std::vector<std::string>{"X = yes"}));
+  EXPECT_EQ(solve("( 2 < 1 -> X = yes ; X = no )."),
+            (std::vector<std::string>{"X = no"}));
+  // The condition is committed: only its first solution counts.
+  db.consult("c(1). c(2).");
+  EXPECT_EQ(solve("( c(X) -> Y = got ; Y = none )."),
+            (std::vector<std::string>{"X = 1, Y = got"}));
+  // Bare if-then fails when the condition fails.
+  EXPECT_FALSE(succeeds("( fail -> true )."));
+  EXPECT_TRUE(succeeds("( true -> true )."));
+}
+
+TEST_F(SeqEngineTest, Negation) {
+  db.consult("p(1).");
+  EXPECT_TRUE(succeeds("\\+ p(2)."));
+  EXPECT_FALSE(succeeds("\\+ p(1)."));
+  // Negation leaves no bindings.
+  EXPECT_EQ(solve("\\+ fail, X = done."),
+            (std::vector<std::string>{"X = done"}));
+}
+
+TEST_F(SeqEngineTest, Cut) {
+  db.consult(R"PL(
+first([X|_], X) :- !.
+first(_, none).
+maxi(X, Y, X) :- X >= Y, !.
+maxi(_, Y, Y).
+)PL");
+  EXPECT_EQ(solve("first([a, b], X)."), (std::vector<std::string>{"X = a"}));
+  EXPECT_EQ(solve("maxi(3, 5, M)."), (std::vector<std::string>{"M = 5"}));
+  EXPECT_EQ(solve("maxi(5, 3, M)."), (std::vector<std::string>{"M = 5"}));
+}
+
+TEST_F(SeqEngineTest, CutPrunesAlternativesOfCaller) {
+  db.consult(R"PL(
+t(1). t(2). t(3).
+once_t(X) :- t(X), !.
+)PL");
+  EXPECT_EQ(solve("once_t(X)."), (std::vector<std::string>{"X = 1"}));
+  // Cut is local to the clause: alternatives of the caller survive.
+  EXPECT_EQ(solve("( once_t(X) ; X = extra )."),
+            (std::vector<std::string>{"X = 1", "X = extra"}));
+}
+
+TEST_F(SeqEngineTest, CutInsideDisjunctionIsClauseLevel) {
+  db.consult("d(X) :- ( X = 1, ! ; X = 2 ).\nd(3).");
+  EXPECT_EQ(solve("d(X)."), (std::vector<std::string>{"X = 1"}));
+}
+
+TEST_F(SeqEngineTest, CallMetaPredicate) {
+  db.consult("p(7).");
+  EXPECT_EQ(solve("G = p(X), call(G)."),
+            (std::vector<std::string>{"G = p(7), X = 7"}));
+  EXPECT_THROW(succeeds("call(X)."), AceError);
+  EXPECT_THROW(succeeds("call(42)."), AceError);
+}
+
+TEST_F(SeqEngineTest, DeepBacktracking) {
+  // Classic generate and test over two levels.
+  EXPECT_EQ(
+      solve("member(X, [1, 2, 3, 4]), member(Y, [1, 2, 3, 4]), "
+            "X + Y =:= 5, X < Y."),
+      (std::vector<std::string>{"X = 1, Y = 4", "X = 2, Y = 3"}));
+}
+
+TEST_F(SeqEngineTest, NaiveReverse) {
+  db.consult(R"PL(
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+)PL");
+  EXPECT_EQ(solve("nrev([1, 2, 3, 4, 5], R)."),
+            (std::vector<std::string>{"R = [5,4,3,2,1]"}));
+}
+
+TEST_F(SeqEngineTest, AmpersandRunsSequentially) {
+  // In the sequential engine '&' is ordinary conjunction.
+  db.consult("both(X, Y) :- ( X = 1 ; X = 2 ) & ( Y = a ; Y = b ).");
+  EXPECT_EQ(solve("both(X, Y).").size(), 4u);
+}
+
+TEST_F(SeqEngineTest, UndefinedPredicateThrows) {
+  EXPECT_THROW(succeeds("no_such_thing(1)."), AceError);
+}
+
+TEST_F(SeqEngineTest, ResolutionLimitStopsRunaway) {
+  db.consult("loop :- loop.");
+  WorkerOptions opts;
+  opts.resolution_limit = 10000;
+  SeqEngine eng(db, opts);
+  EXPECT_THROW(eng.solve("loop.", 1), AceError);
+}
+
+TEST_F(SeqEngineTest, QueensFiveSolutions) {
+  db.consult(R"PL(
+queens(N, Qs) :- numlist(1, N, Ns), qperm(Ns, [], Qs).
+qperm([], Acc, Acc).
+qperm(L, Acc, Qs) :- select(Q, L, R), qsafe(Q, Acc, 1), qperm(R, [Q|Acc], Qs).
+qsafe(_, [], _).
+qsafe(Q, [P|Ps], D) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, qsafe(Q, Ps, D1).
+)PL");
+  EXPECT_EQ(solve("queens(5, Qs).").size(), 10u);
+  EXPECT_EQ(solve("queens(6, Qs).").size(), 4u);
+}
+
+TEST_F(SeqEngineTest, SolutionOrderIsSourceOrder) {
+  db.consult("color(red). color(green). color(blue).");
+  EXPECT_EQ(solve("color(C)."),
+            (std::vector<std::string>{"C = red", "C = green", "C = blue"}));
+}
+
+TEST_F(SeqEngineTest, IndexingAvoidsChoicePoints) {
+  db.consult(R"PL(
+kind(1, one). kind(2, two). kind(3, three).
+)PL");
+  SeqEngine eng(db);
+  SolveResult r = eng.solve("kind(2, K).", SIZE_MAX);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  // First-argument indexing selects a single clause: no choice point.
+  EXPECT_EQ(r.stats.choicepoints, 0u);
+}
+
+TEST_F(SeqEngineTest, VirtualTimeGrowsWithWork) {
+  db.consult("idle. busy :- numlist(1, 200, L), sum_list(L, _).");
+  SeqEngine eng(db);
+  std::uint64_t t_idle = eng.solve("idle.", 1).virtual_time;
+  std::uint64_t t_busy = eng.solve("busy.", 1).virtual_time;
+  EXPECT_GT(t_busy, t_idle * 10);
+}
+
+TEST_F(SeqEngineTest, StatsCountResolutions) {
+  db.consult("cnt([]).\ncnt([_|T]) :- cnt(T).");
+  SeqEngine eng(db);
+  SolveResult r = eng.solve("numlist(1, 50, L), cnt(L).", 1);
+  EXPECT_GE(r.stats.resolutions, 51u);
+  EXPECT_GT(r.stats.heap_cells, 0u);
+}
+
+TEST_F(SeqEngineTest, HeapReclaimedOnBacktracking) {
+  db.consult(R"PL(
+blob(X) :- numlist(1, 100, X).
+pick(1). pick(2). pick(3).
+)PL");
+  // Each retry of pick discards the previous blob's heap.
+  EXPECT_EQ(solve("pick(P), blob(_B), P =:= 3, _B = [H|_]."),
+            (std::vector<std::string>{"P = 3, H = 1"}));
+}
+
+TEST_F(SeqEngineTest, VarNamedQueryOrdering) {
+  EXPECT_EQ(solve("Y = 2, X = 1."), (std::vector<std::string>{"Y = 2, X = 1"}));
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Virtual-time determinism: identical configurations give bit-identical
+// clocks and counters, across engines and agent counts.
+
+struct DetCase {
+  const char* workload;
+  EngineKind engine;
+  unsigned agents;
+  bool opts;
+};
+
+class Determinism : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(Determinism, RepeatedRunsIdentical) {
+  const DetCase& c = GetParam();
+  RunConfig cfg;
+  cfg.engine = c.engine;
+  cfg.agents = c.agents;
+  cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = c.opts;
+  RunOutcome a = run_small(c.workload, cfg);
+  RunOutcome b = run_small(c.workload, cfg);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.solutions, b.solutions);
+  EXPECT_EQ(a.stats.resolutions, b.stats.resolutions);
+  EXPECT_EQ(a.stats.choicepoints, b.stats.choicepoints);
+  EXPECT_EQ(a.stats.steals, b.stats.steals);
+  EXPECT_EQ(a.stats.input_markers, b.stats.input_markers);
+  EXPECT_EQ(a.stats.copied_cells, b.stats.copied_cells);
+  EXPECT_EQ(a.stats.sharing_sessions, b.stats.sharing_sessions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Determinism,
+    ::testing::Values(DetCase{"matrix", EngineKind::Andp, 5, false},
+                      DetCase{"matrix", EngineKind::Andp, 5, true},
+                      DetCase{"map1", EngineKind::Andp, 3, true},
+                      DetCase{"takeuchi", EngineKind::Andp, 10, true},
+                      DetCase{"queens1", EngineKind::Orp, 4, false},
+                      DetCase{"queens1", EngineKind::Orp, 4, true},
+                      DetCase{"members", EngineKind::Orp, 8, true}),
+    [](const ::testing::TestParamInfo<DetCase>& info) {
+      const DetCase& c = info.param;
+      std::string s = c.workload;
+      s += c.engine == EngineKind::Andp ? "_andp" : "_orp";
+      s += "_a" + std::to_string(c.agents);
+      if (c.opts) s += "_opt";
+      return s;
+    });
+
+// ---------------------------------------------------------------------------
+// Cost-model structure.
+
+TEST(CostModel, UnitModelChargesLess) {
+  RunConfig std_cfg;
+  std_cfg.engine = EngineKind::Andp;
+  std_cfg.agents = 2;
+  CostModel unit = CostModel::unit();
+  RunConfig unit_cfg = std_cfg;
+  unit_cfg.costs = &unit;
+  RunOutcome a = run_small("matrix", std_cfg);
+  RunOutcome b = run_small("matrix", unit_cfg);
+  EXPECT_GT(a.virtual_time, b.virtual_time);
+  // Same work happened.
+  EXPECT_EQ(a.stats.resolutions, b.stats.resolutions);
+}
+
+TEST(CostModel, MarkerCostDrivesShallowGains) {
+  // Doubling the marker costs should widen the shallow optimization's win.
+  RunConfig base;
+  base.engine = EngineKind::Andp;
+  base.agents = 1;
+  RunConfig opt = base;
+  opt.shallow = true;
+
+  CostModel cheap = CostModel::standard();
+  CostModel dear = CostModel::standard();
+  dear.input_marker *= 4;
+  dear.end_marker *= 4;
+
+  RunConfig base_cheap = base, opt_cheap = opt;
+  base_cheap.costs = opt_cheap.costs = &cheap;
+  RunConfig base_dear = base, opt_dear = opt;
+  base_dear.costs = opt_dear.costs = &dear;
+
+  double gain_cheap =
+      double(run_small("hanoi", base_cheap).virtual_time) -
+      double(run_small("hanoi", opt_cheap).virtual_time);
+  double gain_dear =
+      double(run_small("hanoi", base_dear).virtual_time) -
+      double(run_small("hanoi", opt_dear).virtual_time);
+  EXPECT_GT(gain_dear, gain_cheap);
+}
+
+// ---------------------------------------------------------------------------
+// Speedup sanity on the simulator.
+
+TEST(Speedup, AndpScalesOnBalancedWork) {
+  RunConfig c1;
+  c1.engine = EngineKind::Andp;
+  c1.agents = 1;
+  RunConfig c8 = c1;
+  c8.agents = 8;
+  const Workload& w = workload("occur");
+  std::uint64_t t1 = run_workload(w, c1, "occur(60, Cs).").virtual_time;
+  std::uint64_t t8 = run_workload(w, c8, "occur(60, Cs).").virtual_time;
+  EXPECT_LT(t8 * 2, t1);  // >= 2x on 8 agents
+}
+
+TEST(Speedup, MoreAgentsNeverMuchWorse) {
+  RunConfig c2;
+  c2.engine = EngineKind::Andp;
+  c2.agents = 2;
+  RunConfig c6 = c2;
+  c6.agents = 6;
+  std::uint64_t t2 = run_small("takeuchi", c2).virtual_time;
+  std::uint64_t t6 = run_small("takeuchi", c6).virtual_time;
+  EXPECT_LT(t6, t2 * 3 / 2);
+}
+
+TEST(Speedup, OrpScalesOnSearch) {
+  RunConfig c1;
+  c1.engine = EngineKind::Orp;
+  c1.agents = 1;
+  RunConfig c6 = c1;
+  c6.agents = 6;
+  const Workload& w = workload("members");
+  std::uint64_t t1 = run_workload(w, c1, "members(40, V, R).").virtual_time;
+  std::uint64_t t6 = run_workload(w, c6, "members(40, V, R).").virtual_time;
+  EXPECT_LT(t6 * 3, t1 * 2);  // at least 1.5x on 6 agents
+}
+
+// ---------------------------------------------------------------------------
+// Paper-shape checks on the simulator (small instances; the benches run the
+// full-scale versions).
+
+TEST(PaperShape, UnoptimizedOneAgentOverheadBand) {
+  // Paper §2.3: unoptimized &ACE pays 10-25% over sequential. Loosely
+  // check the band (5%-60%) on a representative mix.
+  RunConfig seq;
+  seq.engine = EngineKind::Seq;
+  RunConfig par;
+  par.engine = EngineKind::Andp;
+  par.agents = 1;
+  double total_seq = 0;
+  double total_par = 0;
+  for (const char* n : {"matrix", "occur", "hanoi", "quick_sort"}) {
+    total_seq += double(run_small(n, seq).virtual_time);
+    total_par += double(run_small(n, par).virtual_time);
+  }
+  double overhead = (total_par - total_seq) / total_seq;
+  EXPECT_GT(overhead, 0.03);
+  EXPECT_LT(overhead, 0.60);
+}
+
+TEST(PaperShape, AllOptimizationsShrinkOverhead) {
+  // Paper §5: optimizations cut the parallel overhead to a few percent.
+  RunConfig seq;
+  seq.engine = EngineKind::Seq;
+  RunConfig unopt;
+  unopt.engine = EngineKind::Andp;
+  unopt.agents = 1;
+  RunConfig opt = unopt;
+  opt.lpco = opt.shallow = opt.pdo = true;
+  for (const char* n : {"matrix", "occur", "hanoi"}) {
+    double ts = double(run_small(n, seq).virtual_time);
+    double tu = double(run_small(n, unopt).virtual_time);
+    double to = double(run_small(n, opt).virtual_time);
+    EXPECT_LT(to, tu) << n;
+    double opt_overhead = (to - ts) / ts;
+    EXPECT_LT(opt_overhead, 0.25) << n;
+  }
+}
+
+TEST(PaperShape, LaoHelpsMembersOnManyAgents) {
+  const Workload& w = workload("members");
+  RunConfig off;
+  off.engine = EngineKind::Orp;
+  off.agents = 8;
+  RunConfig on = off;
+  on.lao = true;
+  std::uint64_t t_off =
+      run_workload(w, off, "members(40, V, R).").virtual_time;
+  std::uint64_t t_on = run_workload(w, on, "members(40, V, R).").virtual_time;
+  EXPECT_LT(t_on, t_off);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/chunked_vector.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+
+namespace ace {
+namespace {
+
+TEST(ChunkedVector, PushAndIndex) {
+  ChunkedVector<int> v;
+  EXPECT_EQ(v.size(), 0u);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(v.push_back(i * 3), static_cast<std::size_t>(i));
+  }
+  EXPECT_EQ(v.size(), 100000u);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(ChunkedVector, StableAddressesAcrossGrowth) {
+  ChunkedVector<int> v;
+  v.push_back(42);
+  int* p = &v[0];
+  for (int i = 0; i < 1 << 18; ++i) v.push_back(i);
+  EXPECT_EQ(p, &v[0]);
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(ChunkedVector, Truncate) {
+  ChunkedVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  v.truncate(10);
+  EXPECT_EQ(v.size(), 10u);
+  v.push_back(99);
+  EXPECT_EQ(v[10], 99);
+}
+
+TEST(ChunkedVector, CopyPrefixFrom) {
+  ChunkedVector<int> a;
+  ChunkedVector<int> b;
+  for (int i = 0; i < 5000; ++i) a.push_back(i * 7);
+  b.push_back(-1);
+  b.copy_prefix_from(a, 3000);
+  ASSERT_EQ(b.size(), 3000u);
+  for (int i = 0; i < 3000; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)], i * 7);
+}
+
+TEST(ChunkedVector, ConcurrentReaderSeesPublishedElements) {
+  // One writer appends; a reader concurrently reads the published prefix.
+  ChunkedVector<std::size_t> v;
+  constexpr std::size_t kN = 200000;
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < kN; ++i) v.push_back(i);
+  });
+  std::size_t checked = 0;
+  while (checked < kN) {
+    std::size_t n = v.size();
+    for (std::size_t i = checked; i < n; ++i) {
+      ASSERT_EQ(v[i], i);
+    }
+    checked = n;
+  }
+  writer.join();
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%05d", 7), "00007");
+  EXPECT_EQ(strf("no args"), "no args");
+}
+
+TEST(Strutil, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strutil, PlainAtomNames) {
+  EXPECT_TRUE(is_plain_atom_name("foo"));
+  EXPECT_TRUE(is_plain_atom_name("fooBar_9"));
+  EXPECT_TRUE(is_plain_atom_name("[]"));
+  EXPECT_TRUE(is_plain_atom_name("+"));
+  EXPECT_TRUE(is_plain_atom_name("=.."));
+  EXPECT_FALSE(is_plain_atom_name("Foo"));
+  EXPECT_FALSE(is_plain_atom_name("hello world"));
+  EXPECT_FALSE(is_plain_atom_name(""));
+  EXPECT_FALSE(is_plain_atom_name("9lives"));
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "v1", "v2"});
+  t.add_row({"alpha", "1", "22"});
+  t.add_row({"b", "333", "4"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // Header then separator then two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(PaperCell, FormatsImprovement) {
+  EXPECT_EQ(paper_cell(100, 80), "100/80 (+20%)");
+  EXPECT_EQ(paper_cell(100, 110), "100/110 (-10%)");
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "term/build.hpp"
+#include "term/compare.hpp"
+#include "term/copy.hpp"
+#include "term/print.hpp"
+#include "term/store.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+  Store store{2};
+
+  std::string str(Addr a) { return term_to_string(store, syms, a); }
+};
+
+TEST_F(TermTest, CellEncoding) {
+  Cell c = int_cell(-12345);
+  EXPECT_EQ(c.tag(), Tag::Int);
+  EXPECT_EQ(c.integer(), -12345);
+
+  Cell big = int_cell((std::int64_t{1} << 60) - 1);
+  EXPECT_EQ(big.integer(), (std::int64_t{1} << 60) - 1);
+
+  Cell f = fun_cell(77, 3);
+  EXPECT_EQ(f.tag(), Tag::Fun);
+  EXPECT_EQ(f.fun_symbol(), 77u);
+  EXPECT_EQ(f.fun_arity(), 3u);
+
+  Cell a = atm_cell(5);
+  EXPECT_EQ(a.tag(), Tag::Atm);
+  EXPECT_EQ(a.symbol(), 5u);
+}
+
+TEST_F(TermTest, AddrEncoding) {
+  Addr a = make_addr(3, 0x12345678u);
+  EXPECT_EQ(addr_seg(a), 3u);
+  EXPECT_EQ(addr_off(a), 0x12345678u);
+}
+
+TEST_F(TermTest, SymbolInterning) {
+  std::uint32_t foo1 = syms.intern("foo");
+  std::uint32_t bar = syms.intern("bar");
+  std::uint32_t foo2 = syms.intern("foo");
+  EXPECT_EQ(foo1, foo2);
+  EXPECT_NE(foo1, bar);
+  EXPECT_EQ(syms.name(foo1), "foo");
+  EXPECT_EQ(syms.name(syms.known().nil), "[]");
+}
+
+TEST_F(TermTest, NewVarIsUnbound) {
+  Addr v = store.new_var(0);
+  EXPECT_TRUE(is_unbound(store, v));
+  EXPECT_EQ(deref(store, v), v);
+}
+
+TEST_F(TermTest, DerefFollowsChains) {
+  Addr v1 = store.new_var(0);
+  Addr v2 = store.new_var(0);
+  Addr target = heap_int(store, 0, 9);
+  store.set(v1, ref_cell(v2));
+  store.set(v2, ref_cell(target));
+  EXPECT_EQ(deref(store, v1), target);
+}
+
+TEST_F(TermTest, HeapBuilders) {
+  Addr i = heap_int(store, 0, 42);
+  Addr at = heap_atom(store, 0, syms.intern("hello"));
+  Addr s = heap_struct(store, 0, syms.intern("f"), {i, at});
+  EXPECT_EQ(str(s), "f(42,hello)");
+
+  Addr l = heap_list(store, 0, {i, at, s}, syms.known().nil);
+  EXPECT_EQ(str(l), "[42,hello,f(42,hello)]");
+}
+
+TEST_F(TermTest, PartialListPrinting) {
+  Addr v = store.new_var(0);
+  Addr l = heap_list_tail(store, 0, {heap_int(store, 0, 1)}, v);
+  std::string s = str(l);
+  EXPECT_EQ(s.find("[1|_G"), 0u);
+}
+
+TEST_F(TermTest, QuotedAtomPrinting) {
+  Addr a = heap_atom(store, 0, syms.intern("hello world"));
+  EXPECT_EQ(str(a), "'hello world'");
+  PrintOpts unquoted;
+  unquoted.quoted = false;
+  EXPECT_EQ(term_to_string(store, syms, a, unquoted), "hello world");
+}
+
+TEST_F(TermTest, InfixOperatorPrinting) {
+  TemplateBuilder b(syms);
+  Cell plus = b.structure("+", {b.integer(1), b.integer(2)});
+  TermTemplate t = b.finish(plus);
+  Addr a = instantiate(store, 0, t);
+  EXPECT_EQ(str(a), "(1 + 2)");
+}
+
+TEST_F(TermTest, TemplateInstantiationFreshVars) {
+  TemplateBuilder b(syms);
+  Cell x = b.var("X");
+  Cell t = b.structure("f", {x, x, b.var("Y")});
+  TermTemplate tmpl = b.finish(t);
+  EXPECT_EQ(tmpl.nvars, 2u);
+
+  std::vector<Addr> vars1;
+  std::vector<Addr> vars2;
+  Addr a1 = instantiate(store, 0, tmpl, &vars1);
+  Addr a2 = instantiate(store, 0, tmpl, &vars2);
+  // Distinct instantiations share no variables.
+  EXPECT_NE(vars1[0], vars2[0]);
+  // Same variable slot shares within one instantiation.
+  Cell c1 = store.get(deref(store, a1));
+  ASSERT_EQ(c1.tag(), Tag::Str);
+  EXPECT_EQ(deref(store, c1.ref() + 1), deref(store, c1.ref() + 2));
+  (void)a2;
+}
+
+TEST_F(TermTest, TemplateListBuilding) {
+  TemplateBuilder b(syms);
+  Cell l = b.list({b.integer(1), b.integer(2)}, b.var("T"));
+  TermTemplate tmpl = b.finish(l);
+  Addr a = instantiate(store, 0, tmpl);
+  EXPECT_EQ(str(a).substr(0, 5), "[1,2|");
+}
+
+TEST_F(TermTest, TermToTemplateRoundTrip) {
+  // Build f(X, g(X, 3), [a|Y]) on the heap, encode, re-instantiate, print.
+  Addr x = store.new_var(0);
+  Addr y = store.new_var(0);
+  Addr g = heap_struct(store, 0, syms.intern("g"), {x, heap_int(store, 0, 3)});
+  Addr lst = heap_list_tail(store, 0, {heap_atom(store, 0, syms.intern("a"))},
+                            y);
+  Addr f = heap_struct(store, 0, syms.intern("f"), {x, g, lst});
+
+  TermTemplate tmpl = term_to_template(store, f);
+  EXPECT_EQ(tmpl.nvars, 2u);
+  Addr f2 = instantiate(store, 0, tmpl);
+  // Variables renamed but shape identical.
+  Cell c = store.get(deref(store, f2));
+  ASSERT_EQ(c.tag(), Tag::Str);
+  // Shared variable: arg1 of f == arg1 of g.
+  Addr arg1 = deref(store, c.ref() + 1);
+  Cell garg = store.get(deref(store, c.ref() + 2));
+  ASSERT_EQ(garg.tag(), Tag::Str);
+  EXPECT_EQ(deref(store, garg.ref() + 1), arg1);
+}
+
+TEST_F(TermTest, CopyTermFreshensVariables) {
+  Addr x = store.new_var(0);
+  Addr f = heap_struct(store, 0, syms.intern("f"), {x, x});
+  std::unordered_map<Addr, Addr> map;
+  Addr c = copy_term(store, 1, f, map);
+  EXPECT_EQ(addr_seg(deref(store, c)), 1u);
+  Cell cc = store.get(deref(store, c));
+  ASSERT_EQ(cc.tag(), Tag::Str);
+  Addr a1 = deref(store, cc.ref() + 1);
+  Addr a2 = deref(store, cc.ref() + 2);
+  EXPECT_EQ(a1, a2);   // sharing preserved
+  EXPECT_NE(a1, x);    // but fresh
+}
+
+TEST_F(TermTest, CompareStandardOrder) {
+  Addr v = store.new_var(0);
+  Addr i = heap_int(store, 0, 5);
+  Addr a = heap_atom(store, 0, syms.intern("zebra"));
+  Addr b = heap_atom(store, 0, syms.intern("apple"));
+  Addr s = heap_struct(store, 0, syms.intern("f"), {i});
+  Addr s2 = heap_struct(store, 0, syms.intern("f"), {a});
+
+  EXPECT_LT(compare_terms(store, syms, v, i), 0);   // Var < Int
+  EXPECT_LT(compare_terms(store, syms, i, a), 0);   // Int < Atom
+  EXPECT_LT(compare_terms(store, syms, a, s), 0);   // Atom < Compound
+  EXPECT_LT(compare_terms(store, syms, b, a), 0);   // alphabetic
+  EXPECT_LT(compare_terms(store, syms, s, s2), 0);  // 5 < zebra in args
+  EXPECT_EQ(compare_terms(store, syms, s, s), 0);
+}
+
+TEST_F(TermTest, CompareArityBeforeName) {
+  Addr i = heap_int(store, 0, 1);
+  Addr za = heap_struct(store, 0, syms.intern("z"), {i});
+  Addr ab = heap_struct(store, 0, syms.intern("a"), {i, i});
+  EXPECT_LT(compare_terms(store, syms, za, ab), 0);  // arity 1 < arity 2
+}
+
+TEST_F(TermTest, ListsCompareAsDotStructs) {
+  Addr l1 = heap_list(store, 0, {heap_int(store, 0, 1)}, syms.known().nil);
+  Addr l2 = heap_list(store, 0, {heap_int(store, 0, 2)}, syms.known().nil);
+  EXPECT_LT(compare_terms(store, syms, l1, l2), 0);
+}
+
+TEST_F(TermTest, StoreTruncateReclaims) {
+  std::size_t base = store.seg_size(0);
+  heap_int(store, 0, 1);
+  heap_int(store, 0, 2);
+  EXPECT_EQ(store.seg_size(0), base + 2);
+  store.truncate(0, base);
+  EXPECT_EQ(store.seg_size(0), base);
+}
+
+TEST_F(TermTest, MaxDepthPrinting) {
+  // Deep nesting prints "..." beyond the cap instead of recursing forever.
+  Addr t = heap_int(store, 0, 0);
+  for (int i = 0; i < 50; ++i) {
+    t = heap_struct(store, 0, syms.intern("s"), {t});
+  }
+  PrintOpts opts;
+  opts.max_depth = 5;
+  std::string s = term_to_string(store, syms, t, opts);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ace

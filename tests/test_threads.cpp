@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "builtins/lib.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+// The real-thread runtime must produce exactly the sequential solutions.
+// (Timing comes from the virtual driver; these tests demonstrate the
+// engine's thread-safety on a genuinely concurrent run.)
+
+std::vector<std::string> seq_solutions(const std::string& name) {
+  RunConfig cfg;
+  cfg.engine = EngineKind::Seq;
+  return run_small(name, cfg).solutions;
+}
+
+class ThreadedAndp : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThreadedAndp, MatchesSequential) {
+  const char* name = GetParam();
+  std::vector<std::string> expect = seq_solutions(name);
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 4;
+  cfg.use_threads = true;
+  cfg.lpco = cfg.shallow = cfg.pdo = true;
+  for (int round = 0; round < 3; ++round) {
+    RunOutcome got = run_small(name, cfg);
+    EXPECT_EQ(got.solutions, expect) << name << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, ThreadedAndp,
+                         ::testing::Values("map2", "occur", "matrix",
+                                           "takeuchi", "hanoi", "quick_sort",
+                                           "bt_cluster", "pderiv"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(ThreadedAndpBacktracking, Map1MatchesSequential) {
+  std::vector<std::string> expect = seq_solutions("map1");
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 3;
+  cfg.use_threads = true;
+  RunOutcome got = run_small("map1", cfg);
+  EXPECT_EQ(got.solutions, expect);
+}
+
+TEST(ThreadedAndpFailure, FailingQueryTerminates) {
+  Database db;
+  load_library(db);
+  db.consult("bad :- (1 =:= 1) & (1 =:= 2).");
+  AndpOptions o;
+  o.agents = 4;
+  o.use_threads = true;
+  AndpMachine m(db, o);
+  EXPECT_TRUE(m.solve("bad.").solutions.empty());
+}
+
+TEST(ThreadedAndpStress, RepeatedRunsStable) {
+  Database db;
+  load_library(db);
+  db.consult(R"PL(
+fibp(N, F) :- N < 2, !, F = N.
+fibp(N, F) :- N1 is N - 1, N2 is N - 2,
+    fibp(N1, F1) & fibp(N2, F2), F is F1 + F2.
+)PL");
+  AndpOptions o;
+  o.agents = 4;
+  o.use_threads = true;
+  o.lpco = o.shallow = o.pdo = true;
+  for (int i = 0; i < 5; ++i) {
+    AndpMachine m(db, o);
+    EXPECT_EQ(m.solve("fibp(11, F).").solutions,
+              (std::vector<std::string>{"F = 89"}));
+  }
+}
+
+}  // namespace
+}  // namespace ace

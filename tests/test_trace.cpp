@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "builtins/lib.hpp"
+#include "orp/machine.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+TEST(Trace, RecordsAndpEvents) {
+  Database db;
+  load_library(db);
+  db.consult(workload("occur").source);
+  Tracer tracer;
+  AndpOptions o;
+  o.agents = 3;
+  o.lpco = true;
+  o.tracer = &tracer;
+  AndpMachine m(db, o);
+  SolveResult r = m.solve("occur(25, Cs).", 1);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  ASSERT_GT(tracer.size(), 0u);
+
+  bool saw_start = false, saw_complete = false, saw_create = false,
+       saw_merge = false, saw_solution = false;
+  for (const TraceRecord& rec : tracer.snapshot()) {
+    switch (rec.event) {
+      case TraceEvent::SlotStart: saw_start = true; break;
+      case TraceEvent::SlotComplete: saw_complete = true; break;
+      case TraceEvent::ParcallCreate: saw_create = true; break;
+      case TraceEvent::LpcoMerge: saw_merge = true; break;
+      case TraceEvent::Solution: saw_solution = true; break;
+      default: break;
+    }
+    EXPECT_LT(rec.agent, 3u);
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_create);
+  EXPECT_TRUE(saw_merge);
+  EXPECT_TRUE(saw_solution);
+
+  // Start/complete counts reconcile with the run's counters.
+  std::size_t starts = 0;
+  for (const TraceRecord& rec : tracer.snapshot()) {
+    if (rec.event == TraceEvent::SlotStart) ++starts;
+  }
+  EXPECT_EQ(starts, r.stats.fetches + r.stats.steals);
+}
+
+TEST(Trace, RecordsOrpSharing) {
+  Database db;
+  load_library(db);
+  db.consult(workload("members").source);
+  Tracer tracer;
+  OrpOptions o;
+  o.agents = 4;
+  o.tracer = &tracer;
+  OrpMachine m(db, o);
+  SolveResult r = m.solve("members(12, V, R).");
+  EXPECT_EQ(r.solutions.size(), 12u);
+  bool saw_share = false;
+  for (const TraceRecord& rec : tracer.snapshot()) {
+    if (rec.event == TraceEvent::Share) saw_share = true;
+  }
+  EXPECT_TRUE(saw_share);
+  // A Share event fires per stack copy; sessions only when a private
+  // chain had to be publicized first.
+  std::size_t shares = 0;
+  for (const TraceRecord& rec : tracer.snapshot()) {
+    if (rec.event == TraceEvent::Share) ++shares;
+  }
+  EXPECT_GE(shares, r.stats.sharing_sessions);
+}
+
+TEST(Trace, CsvAndTimelineRender) {
+  Database db;
+  load_library(db);
+  db.consult(workload("takeuchi").source);
+  Tracer tracer;
+  AndpOptions o;
+  o.agents = 4;
+  o.tracer = &tracer;
+  AndpMachine m(db, o);
+  m.solve("takeuchi(6, 4, 0, A).", 1);
+
+  std::string csv = tracer.to_csv();
+  EXPECT_EQ(csv.find("time,agent,event,a,b\n"), 0u);
+  EXPECT_NE(csv.find("slot_start"), std::string::npos);
+
+  std::string tl = tracer.timeline(4, 60);
+  // Four lanes plus header and legend.
+  EXPECT_EQ(std::count(tl.begin(), tl.end(), '\n'), 6);
+  EXPECT_NE(tl.find("agent  0 |"), std::string::npos);
+  EXPECT_NE(tl.find('#'), std::string::npos);
+}
+
+TEST(Trace, NullTracerCostsNothingAndChangesNothing) {
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 3;
+  RunOutcome a = run_small("matrix", cfg);
+
+  Database db;
+  load_library(db);
+  db.consult(workload("matrix").source);
+  Tracer tracer;
+  AndpOptions o;
+  o.agents = 3;
+  o.tracer = &tracer;
+  AndpMachine m(db, o);
+  SolveResult b = m.solve(workload("matrix").small_query, 1);
+  // Tracing must not perturb virtual time or results.
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.solutions, b.solutions);
+}
+
+}  // namespace
+}  // namespace ace

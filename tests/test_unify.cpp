@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "parse/parser.hpp"
+#include "support/rng.hpp"
+#include "term/copy.hpp"
+#include "term/build.hpp"
+#include "term/compare.hpp"
+#include "term/print.hpp"
+#include "term/unify.hpp"
+
+namespace ace {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+  Store store{1};
+  Trail trail;
+
+  Addr term(const std::string& text) {
+    TermTemplate t = parse_term_text(syms, text + " .");
+    return instantiate(store, 0, t);
+  }
+  bool u(Addr a, Addr b) { return unify(store, trail, a, b); }
+  std::string str(Addr a) { return term_to_string(store, syms, a); }
+};
+
+TEST_F(UnifyTest, Atoms) {
+  EXPECT_TRUE(u(term("foo"), term("foo")));
+  EXPECT_FALSE(u(term("foo"), term("bar")));
+}
+
+TEST_F(UnifyTest, Integers) {
+  EXPECT_TRUE(u(term("42"), term("42")));
+  EXPECT_FALSE(u(term("42"), term("43")));
+  EXPECT_FALSE(u(term("42"), term("foo")));
+}
+
+TEST_F(UnifyTest, VarBinding) {
+  Addr x = store.new_var(0);
+  EXPECT_TRUE(u(x, term("f(1)")));
+  EXPECT_EQ(str(x), "f(1)");
+}
+
+TEST_F(UnifyTest, VarVarAliasing) {
+  Addr x = store.new_var(0);
+  Addr y = store.new_var(0);
+  EXPECT_TRUE(u(x, y));
+  EXPECT_TRUE(u(y, term("99")));
+  EXPECT_EQ(str(x), "99");
+}
+
+TEST_F(UnifyTest, Structures) {
+  EXPECT_TRUE(u(term("f(X, g(X))"), term("f(1, Y)")));
+  EXPECT_FALSE(u(term("f(1, 2)"), term("f(1, 3)")));
+  EXPECT_FALSE(u(term("f(1)"), term("g(1)")));
+  EXPECT_FALSE(u(term("f(1)"), term("f(1, 2)")));
+}
+
+TEST_F(UnifyTest, SharedVariablePropagation) {
+  Addr a = term("f(X, X)");
+  EXPECT_TRUE(u(a, term("f(1, Y)")));
+  // Y must have become 1 through X.
+  Cell c = store.get(deref(store, a));
+  EXPECT_EQ(str(c.ref() + 2), "1");
+}
+
+TEST_F(UnifyTest, Lists) {
+  EXPECT_TRUE(u(term("[1, 2, 3]"), term("[H|T]")));
+  EXPECT_FALSE(u(term("[]"), term("[H|T]")));
+  EXPECT_TRUE(u(term("[]"), term("[]")));
+  Addr l = term("[A, B]");
+  EXPECT_TRUE(u(l, term("[1, 2]")));
+  EXPECT_EQ(str(l), "[1,2]");
+}
+
+TEST_F(UnifyTest, TrailRecordsBindings) {
+  std::size_t mark = trail.size();
+  Addr x = store.new_var(0);
+  EXPECT_TRUE(u(x, term("7")));
+  EXPECT_EQ(trail.size(), mark + 1);
+  untrail(store, trail, mark);
+  EXPECT_TRUE(is_unbound(store, x));
+  EXPECT_EQ(trail.size(), mark);
+}
+
+TEST_F(UnifyTest, UntrailRangeResetsWithoutTruncating) {
+  Addr x = store.new_var(0);
+  Addr y = store.new_var(0);
+  ASSERT_TRUE(u(x, term("1")));
+  std::size_t lo = trail.size();
+  ASSERT_TRUE(u(y, term("2")));
+  std::size_t hi = trail.size();
+  untrail_range(store, trail, lo, hi);
+  EXPECT_TRUE(is_unbound(store, y));
+  EXPECT_FALSE(is_unbound(store, x));
+  EXPECT_EQ(trail.size(), hi);  // not truncated
+}
+
+TEST_F(UnifyTest, FailureUndoneByCaller) {
+  // unify leaves partial bindings; untrail to the caller's mark restores.
+  Addr a = term("f(X, 2)");
+  std::size_t mark = trail.size();
+  EXPECT_FALSE(u(a, term("f(1, 3)")));
+  untrail(store, trail, mark);
+  Cell c = store.get(deref(store, a));
+  EXPECT_TRUE(is_unbound(store, deref(store, c.ref() + 1)));
+}
+
+TEST_F(UnifyTest, OccursCheck) {
+  Addr x = store.new_var(0);
+  Addr f = heap_struct(store, 0, syms.intern("f"), {x});
+  EXPECT_FALSE(unify(store, trail, x, f, nullptr, /*occurs_check=*/true));
+  // Without occurs check the cyclic binding is permitted (standard Prolog).
+  EXPECT_TRUE(unify(store, trail, x, f, nullptr, false));
+}
+
+TEST_F(UnifyTest, OccursIn) {
+  Addr x = store.new_var(0);
+  Addr f = heap_struct(store, 0, syms.intern("f"),
+                       {heap_struct(store, 0, syms.intern("g"), {x}),
+                        heap_int(store, 0, 1)});
+  EXPECT_TRUE(occurs_in(store, x, f));
+  Addr y = store.new_var(0);
+  EXPECT_FALSE(occurs_in(store, y, f));
+  EXPECT_FALSE(occurs_in(store, x, term("h(1, [a])")));
+}
+
+TEST_F(UnifyTest, IsGround) {
+  EXPECT_TRUE(is_ground(store, term("f(1, [a, b], g(c))")));
+  EXPECT_FALSE(is_ground(store, term("f(1, [a|T])")));
+}
+
+TEST_F(UnifyTest, StepCounting) {
+  std::uint64_t steps = 0;
+  unify(store, trail, term("f(1, 2, 3)"), term("f(1, 2, 3)"), &steps);
+  EXPECT_GE(steps, 4u);  // root + three args
+}
+
+// Property: for random ground terms, unify(a, copy(a)) succeeds and
+// unify(a, b) implies compare(a, b) == 0 afterward for ground a, b.
+class UnifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnifyProperty, RandomGroundTermsUnifyIffEqual) {
+  SymbolTable syms;
+  Store store(1);
+  Trail trail;
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+
+  // Random ground term generator.
+  std::vector<std::uint32_t> atoms = {syms.intern("a"), syms.intern("b"),
+                                      syms.intern("c")};
+  std::vector<std::uint32_t> funs = {syms.intern("f"), syms.intern("g")};
+  auto gen = [&](auto&& self, int depth) -> Addr {
+    std::uint64_t pick = rng.below(depth <= 0 ? 2 : 4);
+    switch (pick) {
+      case 0:
+        return heap_int(store, 0, rng.range(-5, 5));
+      case 1:
+        return heap_atom(store, 0, atoms[rng.below(atoms.size())]);
+      case 2: {
+        std::vector<Addr> args;
+        std::uint64_t n = 1 + rng.below(3);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          args.push_back(self(self, depth - 1));
+        }
+        return heap_struct(store, 0, funs[rng.below(funs.size())], args);
+      }
+      default: {
+        std::vector<Addr> items;
+        std::uint64_t n = rng.below(3);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          items.push_back(self(self, depth - 1));
+        }
+        return heap_list(store, 0, items, syms.known().nil);
+      }
+    }
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    Addr a = gen(gen, 4);
+    Addr b = gen(gen, 4);
+    bool equal = compare_terms(store, syms, a, b) == 0;
+    std::size_t mark = trail.size();
+    bool unified = unify(store, trail, a, b);
+    EXPECT_EQ(unified, equal) << term_to_string(store, syms, a) << " vs "
+                              << term_to_string(store, syms, b);
+    untrail(store, trail, mark);
+
+    // a always unifies with a fresh copy of itself.
+    std::unordered_map<Addr, Addr> map;
+    Addr c = copy_term(store, 0, a, map);
+    EXPECT_TRUE(unify(store, trail, a, c));
+    untrail(store, trail, mark);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifyProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,175 @@
+// ace_run: command-line workload runner.
+//
+//   ace_run [options] <file.pl...> '<query.>'
+//   ace_run [options] --workload <name> [--query '<query.>']
+//
+// Options:
+//   --engine seq|andp|orp      (default seq)
+//   --agents N                 (default 1)
+//   --lpco --shallow --pdo --lao --all-opts
+//   --threads                  (andp only: real std::thread driver)
+//   --max-solutions N          (default: all for or-parallel corpus
+//                               queries, 1 otherwise)
+//   --stats                    print the full counter block
+//   --limit N                  resolution limit (abort runaway programs)
+//
+// Prints each solution, then the virtual time; with --stats the counters
+// the paper's optimizations act on.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "builtins/lib.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ace::AceError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: ace_run [--engine seq|andp|orp] [--agents N]\n"
+               "               [--lpco] [--shallow] [--pdo] [--lao]"
+               " [--all-opts]\n"
+               "               [--threads] [--max-solutions N] [--stats]"
+               " [--limit N]\n"
+               "               (<file.pl>... '<query.>' | --workload <name>"
+               " [--query '<q.>'])\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  RunConfig cfg;
+  cfg.engine = EngineKind::Seq;
+  std::vector<std::string> files;
+  std::string query;
+  std::string workload_name;
+  bool want_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      std::string e = next();
+      if (e == "seq") {
+        cfg.engine = EngineKind::Seq;
+      } else if (e == "andp") {
+        cfg.engine = EngineKind::Andp;
+      } else if (e == "orp") {
+        cfg.engine = EngineKind::Orp;
+      } else {
+        usage();
+      }
+    } else if (arg == "--agents") {
+      cfg.agents = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--lpco") {
+      cfg.lpco = true;
+    } else if (arg == "--shallow") {
+      cfg.shallow = true;
+    } else if (arg == "--pdo") {
+      cfg.pdo = true;
+    } else if (arg == "--lao") {
+      cfg.lao = true;
+    } else if (arg == "--all-opts") {
+      cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+    } else if (arg == "--threads") {
+      cfg.use_threads = true;
+    } else if (arg == "--max-solutions") {
+      cfg.max_solutions = std::stoul(next());
+    } else if (arg == "--limit") {
+      cfg.resolution_limit = std::stoull(next());
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--query") {
+      query = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    RunOutcome out;
+    if (!workload_name.empty()) {
+      out = run_workload(workload(workload_name), cfg, query);
+    } else {
+      if (files.empty()) usage();
+      // Last non-flag argument is the query if it is not a readable file.
+      if (query.empty()) {
+        query = files.back();
+        files.pop_back();
+        if (files.empty() && query.find(".pl") != std::string::npos) usage();
+      }
+      Database db;
+      load_library(db);
+      for (const std::string& f : files) db.consult(read_file(f));
+      Workload w;
+      w.name = "cli";
+      w.all_solutions = cfg.max_solutions != 1;
+      // Run directly through the harness types.
+      if (cfg.engine == EngineKind::Seq) {
+        WorkerOptions wopts;
+        wopts.resolution_limit = cfg.resolution_limit;
+        SeqEngine eng(db, wopts);
+        SolveResult r = eng.solve(query, cfg.max_solutions);
+        out.virtual_time = r.virtual_time;
+        out.solutions = r.solutions;
+        out.num_solutions = r.solutions.size();
+        out.stats = r.stats;
+      } else if (cfg.engine == EngineKind::Andp) {
+        AndpOptions o;
+        o.agents = cfg.agents;
+        o.lpco = cfg.lpco;
+        o.shallow = cfg.shallow;
+        o.pdo = cfg.pdo;
+        o.use_threads = cfg.use_threads;
+        o.resolution_limit = cfg.resolution_limit;
+        AndpMachine m(db, o);
+        SolveResult r = m.solve(query, cfg.max_solutions);
+        out.virtual_time = r.virtual_time;
+        out.solutions = r.solutions;
+        out.num_solutions = r.solutions.size();
+        out.stats = r.stats;
+      } else {
+        OrpOptions o;
+        o.agents = cfg.agents;
+        o.lao = cfg.lao;
+        o.resolution_limit = cfg.resolution_limit;
+        OrpMachine m(db, o);
+        SolveResult r = m.solve(query, cfg.max_solutions);
+        out.virtual_time = r.virtual_time;
+        out.solutions = r.solutions;
+        out.num_solutions = r.solutions.size();
+        out.stats = r.stats;
+      }
+    }
+
+    for (const std::string& s : out.solutions) {
+      std::printf("%s\n", s.c_str());
+    }
+    std::printf("%% %zu solution(s), virtual time %llu\n", out.num_solutions,
+                (unsigned long long)out.virtual_time);
+    if (want_stats) std::printf("%s", out.stats.summary().c_str());
+    return out.num_solutions > 0 ? 0 : 1;
+  } catch (const AceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
