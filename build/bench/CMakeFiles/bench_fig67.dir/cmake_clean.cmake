@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig67.dir/bench_fig67.cpp.o"
+  "CMakeFiles/bench_fig67.dir/bench_fig67.cpp.o.d"
+  "bench_fig67"
+  "bench_fig67.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig67.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deriv_pipeline.dir/deriv_pipeline.cpp.o"
+  "CMakeFiles/deriv_pipeline.dir/deriv_pipeline.cpp.o.d"
+  "deriv_pipeline"
+  "deriv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deriv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_map.dir/parallel_map.cpp.o"
+  "CMakeFiles/parallel_map.dir/parallel_map.cpp.o.d"
+  "parallel_map"
+  "parallel_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/annotate.cpp" "src/CMakeFiles/ace.dir/analysis/annotate.cpp.o" "gcc" "src/CMakeFiles/ace.dir/analysis/annotate.cpp.o.d"
+  "/root/repo/src/andp/failure.cpp" "src/CMakeFiles/ace.dir/andp/failure.cpp.o" "gcc" "src/CMakeFiles/ace.dir/andp/failure.cpp.o.d"
+  "/root/repo/src/andp/machine.cpp" "src/CMakeFiles/ace.dir/andp/machine.cpp.o" "gcc" "src/CMakeFiles/ace.dir/andp/machine.cpp.o.d"
+  "/root/repo/src/andp/parcall.cpp" "src/CMakeFiles/ace.dir/andp/parcall.cpp.o" "gcc" "src/CMakeFiles/ace.dir/andp/parcall.cpp.o.d"
+  "/root/repo/src/builtins/arith.cpp" "src/CMakeFiles/ace.dir/builtins/arith.cpp.o" "gcc" "src/CMakeFiles/ace.dir/builtins/arith.cpp.o.d"
+  "/root/repo/src/builtins/builtins.cpp" "src/CMakeFiles/ace.dir/builtins/builtins.cpp.o" "gcc" "src/CMakeFiles/ace.dir/builtins/builtins.cpp.o.d"
+  "/root/repo/src/builtins/lib.cpp" "src/CMakeFiles/ace.dir/builtins/lib.cpp.o" "gcc" "src/CMakeFiles/ace.dir/builtins/lib.cpp.o.d"
+  "/root/repo/src/db/clause.cpp" "src/CMakeFiles/ace.dir/db/clause.cpp.o" "gcc" "src/CMakeFiles/ace.dir/db/clause.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/CMakeFiles/ace.dir/db/database.cpp.o" "gcc" "src/CMakeFiles/ace.dir/db/database.cpp.o.d"
+  "/root/repo/src/db/predicate.cpp" "src/CMakeFiles/ace.dir/db/predicate.cpp.o" "gcc" "src/CMakeFiles/ace.dir/db/predicate.cpp.o.d"
+  "/root/repo/src/engine/backtrack.cpp" "src/CMakeFiles/ace.dir/engine/backtrack.cpp.o" "gcc" "src/CMakeFiles/ace.dir/engine/backtrack.cpp.o.d"
+  "/root/repo/src/engine/machine.cpp" "src/CMakeFiles/ace.dir/engine/machine.cpp.o" "gcc" "src/CMakeFiles/ace.dir/engine/machine.cpp.o.d"
+  "/root/repo/src/engine/solve.cpp" "src/CMakeFiles/ace.dir/engine/solve.cpp.o" "gcc" "src/CMakeFiles/ace.dir/engine/solve.cpp.o.d"
+  "/root/repo/src/engine/step.cpp" "src/CMakeFiles/ace.dir/engine/step.cpp.o" "gcc" "src/CMakeFiles/ace.dir/engine/step.cpp.o.d"
+  "/root/repo/src/orp/machine.cpp" "src/CMakeFiles/ace.dir/orp/machine.cpp.o" "gcc" "src/CMakeFiles/ace.dir/orp/machine.cpp.o.d"
+  "/root/repo/src/orp/shared_tree.cpp" "src/CMakeFiles/ace.dir/orp/shared_tree.cpp.o" "gcc" "src/CMakeFiles/ace.dir/orp/shared_tree.cpp.o.d"
+  "/root/repo/src/parse/lexer.cpp" "src/CMakeFiles/ace.dir/parse/lexer.cpp.o" "gcc" "src/CMakeFiles/ace.dir/parse/lexer.cpp.o.d"
+  "/root/repo/src/parse/ops.cpp" "src/CMakeFiles/ace.dir/parse/ops.cpp.o" "gcc" "src/CMakeFiles/ace.dir/parse/ops.cpp.o.d"
+  "/root/repo/src/parse/parser.cpp" "src/CMakeFiles/ace.dir/parse/parser.cpp.o" "gcc" "src/CMakeFiles/ace.dir/parse/parser.cpp.o.d"
+  "/root/repo/src/runtime/thread_driver.cpp" "src/CMakeFiles/ace.dir/runtime/thread_driver.cpp.o" "gcc" "src/CMakeFiles/ace.dir/runtime/thread_driver.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/ace.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/ace.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ace.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ace.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/virtual_driver.cpp" "src/CMakeFiles/ace.dir/sim/virtual_driver.cpp.o" "gcc" "src/CMakeFiles/ace.dir/sim/virtual_driver.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/ace.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/ace.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/CMakeFiles/ace.dir/support/diag.cpp.o" "gcc" "src/CMakeFiles/ace.dir/support/diag.cpp.o.d"
+  "/root/repo/src/support/strutil.cpp" "src/CMakeFiles/ace.dir/support/strutil.cpp.o" "gcc" "src/CMakeFiles/ace.dir/support/strutil.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ace.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ace.dir/support/table.cpp.o.d"
+  "/root/repo/src/term/build.cpp" "src/CMakeFiles/ace.dir/term/build.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/build.cpp.o.d"
+  "/root/repo/src/term/compare.cpp" "src/CMakeFiles/ace.dir/term/compare.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/compare.cpp.o.d"
+  "/root/repo/src/term/copy.cpp" "src/CMakeFiles/ace.dir/term/copy.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/copy.cpp.o.d"
+  "/root/repo/src/term/print.cpp" "src/CMakeFiles/ace.dir/term/print.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/print.cpp.o.d"
+  "/root/repo/src/term/store.cpp" "src/CMakeFiles/ace.dir/term/store.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/store.cpp.o.d"
+  "/root/repo/src/term/symtab.cpp" "src/CMakeFiles/ace.dir/term/symtab.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/symtab.cpp.o.d"
+  "/root/repo/src/term/unify.cpp" "src/CMakeFiles/ace.dir/term/unify.cpp.o" "gcc" "src/CMakeFiles/ace.dir/term/unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_workloads.dir/workloads/harness.cpp.o"
+  "CMakeFiles/ace_workloads.dir/workloads/harness.cpp.o.d"
+  "CMakeFiles/ace_workloads.dir/workloads/programs.cpp.o"
+  "CMakeFiles/ace_workloads.dir/workloads/programs.cpp.o.d"
+  "libace_workloads.a"
+  "libace_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

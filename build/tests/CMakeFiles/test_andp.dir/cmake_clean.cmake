@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_andp.dir/test_andp.cpp.o"
+  "CMakeFiles/test_andp.dir/test_andp.cpp.o.d"
+  "test_andp"
+  "test_andp.pdb"
+  "test_andp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_andp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

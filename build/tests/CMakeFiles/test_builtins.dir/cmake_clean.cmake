@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builtins.dir/test_builtins.cpp.o"
+  "CMakeFiles/test_builtins.dir/test_builtins.cpp.o.d"
+  "test_builtins"
+  "test_builtins.pdb"
+  "test_builtins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builtins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

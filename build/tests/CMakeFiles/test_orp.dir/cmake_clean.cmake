@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orp.dir/test_orp.cpp.o"
+  "CMakeFiles/test_orp.dir/test_orp.cpp.o.d"
+  "test_orp"
+  "test_orp.pdb"
+  "test_orp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

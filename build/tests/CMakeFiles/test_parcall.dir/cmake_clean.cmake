@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcall.dir/test_parcall.cpp.o"
+  "CMakeFiles/test_parcall.dir/test_parcall.cpp.o.d"
+  "test_parcall"
+  "test_parcall.pdb"
+  "test_parcall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_engine.dir/test_seq_engine.cpp.o"
+  "CMakeFiles/test_seq_engine.dir/test_seq_engine.cpp.o.d"
+  "test_seq_engine"
+  "test_seq_engine.pdb"
+  "test_seq_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

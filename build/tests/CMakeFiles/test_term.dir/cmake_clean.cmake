@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_term.dir/test_term.cpp.o"
+  "CMakeFiles/test_term.dir/test_term.cpp.o.d"
+  "test_term"
+  "test_term.pdb"
+  "test_term[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

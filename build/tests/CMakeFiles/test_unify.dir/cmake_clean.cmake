@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unify.dir/test_unify.cpp.o"
+  "CMakeFiles/test_unify.dir/test_unify.cpp.o.d"
+  "test_unify"
+  "test_unify.pdb"
+  "test_unify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

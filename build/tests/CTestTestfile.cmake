@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_term[1]_include.cmake")
+include("/root/repo/build/tests/test_unify[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_builtins[1]_include.cmake")
+include("/root/repo/build/tests/test_seq_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_andp[1]_include.cmake")
+include("/root/repo/build/tests/test_orp[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_threads[1]_include.cmake")
+include("/root/repo/build/tests/test_props[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_exceptions[1]_include.cmake")
+include("/root/repo/build/tests/test_higher_order[1]_include.cmake")
+include("/root/repo/build/tests/test_parcall[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")
+add_test(tool_ace_run_workload "/root/repo/build/tools/ace_run" "--engine" "andp" "--agents" "4" "--all-opts" "--stats" "--workload" "occur" "--query" "occur(25, Cs).")
+set_tests_properties(tool_ace_run_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_ace_run_orp "/root/repo/build/tools/ace_run" "--engine" "orp" "--agents" "4" "--lao" "--workload" "members" "--query" "members(8, V, R).")
+set_tests_properties(tool_ace_run_orp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_ace_annotate "sh" "-c" "echo 'p(X, Y) :- q(X), r(Y).' > annotate_smoke.pl &&           /root/repo/build/tools/ace_annotate annotate_smoke.pl | grep -q 'q(X) & r(Y)'")
+set_tests_properties(tool_ace_annotate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,1 @@
+p(X, Y) :- q(X), r(Y).

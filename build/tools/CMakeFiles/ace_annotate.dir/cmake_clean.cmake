@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_annotate.dir/ace_annotate.cpp.o"
+  "CMakeFiles/ace_annotate.dir/ace_annotate.cpp.o.d"
+  "ace_annotate"
+  "ace_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
