@@ -1,0 +1,189 @@
+// bench_serve: closed-loop load generator for the serving layer.
+//
+// Measures what the engine pool buys: the same query mix is driven through
+// a QueryService twice — once with a warm pool (sessions reused across
+// queries) and once with the pool disabled (every query pays Store/Worker
+// construction and chunk-table zeroing). Reports throughput and latency
+// percentiles as JSON, one object per configuration:
+//
+//   {"mode":"reuse","workload":"queens1","queries":256,"threads":4,
+//    "clients":8,"throughput_qps":...,"p50_us":...,"p99_us":...,
+//    "mean_us":...,"pool_hit_rate":0.97}
+//
+// The closed loop keeps `clients` requests in flight per thread-pool pass:
+// each completed response immediately funds the next submission, so the
+// admission queue never overflows and the measured latency is service
+// latency, not self-inflicted queueing.
+//
+//   bench_serve [--queries N] [--threads N] [--clients N]
+//               [--workload name] [--engines seq,andp,orp]
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "builtins/lib.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace ace;
+using SteadyClock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  std::size_t queries = 256;
+  unsigned threads = 4;
+  std::size_t clients = 8;  // max in-flight submissions
+  std::string workload_name = "queens1";
+  std::string query;  // default: workload small query
+  bool use_seq = true;
+  bool use_andp = true;
+  bool use_orp = true;
+};
+
+EngineConfig engine_for(const BenchConfig& bc, std::size_t i) {
+  std::vector<EngineConfig> mix;
+  if (bc.use_seq) mix.push_back(EngineConfig{});
+  if (bc.use_andp) {
+    EngineConfig c;
+    c.mode = EngineMode::Andp;
+    c.agents = 4;
+    c.lpco = c.shallow = c.pdo = true;
+    mix.push_back(c);
+  }
+  if (bc.use_orp) {
+    EngineConfig c;
+    c.mode = EngineMode::Orp;
+    c.agents = 4;
+    c.lao = true;
+    mix.push_back(c);
+  }
+  return mix[i % mix.size()];
+}
+
+struct Measurement {
+  double seconds = 0;
+  ServeMetricsSnapshot metrics;
+};
+
+Measurement drive(Database& db, const BenchConfig& bc,
+                  std::size_t pool_capacity) {
+  ServiceOptions opts;
+  opts.dispatch_threads = bc.threads;
+  opts.queue_capacity = bc.clients + bc.threads + 8;
+  opts.pool_capacity = pool_capacity;
+  QueryService service(db, opts);
+
+  SteadyClock::time_point t0 = SteadyClock::now();
+  std::deque<QueryService::Ticket> inflight;
+  for (std::size_t i = 0; i < bc.queries; ++i) {
+    if (inflight.size() >= bc.clients) {
+      QueryResponse resp = inflight.front().result.get();
+      inflight.pop_front();
+      if (resp.status != QueryStatus::Ok) {
+        throw AceError(std::string("bench query failed: ") +
+                       query_status_name(resp.status) + " " + resp.error);
+      }
+    }
+    QueryRequest req;
+    req.query = bc.query;
+    req.engine = engine_for(bc, i);
+    inflight.push_back(service.submit(std::move(req)));
+  }
+  while (!inflight.empty()) {
+    QueryResponse resp = inflight.front().result.get();
+    inflight.pop_front();
+    if (resp.status != QueryStatus::Ok) {
+      throw AceError(std::string("bench query failed: ") +
+                     query_status_name(resp.status) + " " + resp.error);
+    }
+  }
+  Measurement m;
+  m.seconds = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  m.metrics = service.metrics_snapshot();
+  service.shutdown();
+  return m;
+}
+
+void report(const char* mode, const BenchConfig& bc, const Measurement& m) {
+  const LatencyHistogram::Snapshot& lat = m.metrics.latency;
+  std::printf(
+      "{\"mode\":\"%s\",\"workload\":\"%s\",\"queries\":%zu,\"threads\":%u,"
+      "\"clients\":%zu,\"throughput_qps\":%.1f,\"mean_us\":%.1f,"
+      "\"p50_us\":%llu,\"p99_us\":%llu,\"max_us\":%llu,"
+      "\"pool_hit_rate\":%.3f}\n",
+      mode, bc.workload_name.c_str(), bc.queries, bc.threads, bc.clients,
+      double(bc.queries) / m.seconds, lat.mean_us(),
+      (unsigned long long)lat.percentile_us(0.50),
+      (unsigned long long)lat.percentile_us(0.99),
+      (unsigned long long)lat.max_us, m.metrics.pool_hit_rate());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig bc;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--queries") {
+      bc.queries = std::stoul(next());
+    } else if (arg == "--threads") {
+      bc.threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--clients") {
+      bc.clients = std::stoul(next());
+    } else if (arg == "--workload") {
+      bc.workload_name = next();
+    } else if (arg == "--query") {
+      bc.query = next();
+    } else if (arg == "--engines") {
+      std::string mix = next();
+      bc.use_seq = mix.find("seq") != std::string::npos;
+      bc.use_andp = mix.find("andp") != std::string::npos;
+      bc.use_orp = mix.find("orp") != std::string::npos;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const Workload& w = workload(bc.workload_name);
+    if (bc.query.empty()) {
+      bc.query = w.small_query.empty() ? w.query : w.small_query;
+    }
+    Database db;
+    load_library(db);
+    db.consult(w.source);
+
+    // Warmup outside measurement (symbol interning, first-build indexes).
+    {
+      BenchConfig warm = bc;
+      warm.queries = std::min<std::size_t>(bc.queries, 16);
+      drive(db, warm, /*pool_capacity=*/16);
+    }
+
+    // cold: pool disabled — every query constructs a fresh engine.
+    Measurement cold = drive(db, bc, /*pool_capacity=*/0);
+    report("cold", bc, cold);
+
+    // reuse: warm pool — queries run on recycled sessions.
+    Measurement reuse = drive(db, bc, /*pool_capacity=*/16);
+    report("reuse", bc, reuse);
+
+    std::printf("{\"speedup_reuse_over_cold\":%.3f}\n",
+                cold.seconds / reuse.seconds);
+    return 0;
+  } catch (const ace::AceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -22,6 +22,19 @@ class ParContext {
  public:
   explicit ParContext(unsigned n_agents) : pools_(n_agents) {}
 
+  // Clears all per-query state (parcall arena, work pools) so a pooled
+  // session can reuse this context for its next query. Must only be called
+  // between queries (no agent running).
+  void reset() {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    parcalls_.clear();
+    for (Pool& p : pools_) {
+      std::lock_guard<std::mutex> plock(p.mu);
+      p.q.clear();
+    }
+    failing_count.store(0, std::memory_order_relaxed);
+  }
+
   // ---- Parcall arena (stable addresses; deque never shrinks) ----
   Parcall& alloc_parcall() {
     std::lock_guard<std::mutex> lock(alloc_mu_);

@@ -1,10 +1,6 @@
 #include "andp/machine.hpp"
 
-#include <memory>
-
-#include "andp/context.hpp"
-#include "runtime/thread_driver.hpp"
-#include "sim/virtual_driver.hpp"
+#include "serve/session.hpp"
 
 namespace ace {
 
@@ -16,62 +12,23 @@ AndpMachine::AndpMachine(Database& db, AndpOptions opts,
 
 SolveResult AndpMachine::solve(const std::string& query_text,
                                std::size_t max_solutions) {
-  TermTemplate query = parse_term_text(db_.syms(), query_text);
-
-  Store store(opts_.agents);
-  IoSink io;
-  ParContext par(opts_.agents);
-
-  WorkerOptions wopts;
-  wopts.parallel_and = true;
-  wopts.lpco = opts_.lpco;
-  wopts.shallow = opts_.shallow;
-  wopts.pdo = opts_.pdo;
-  wopts.occurs_check = opts_.occurs_check;
-  wopts.resolution_limit = opts_.resolution_limit;
-
-  std::vector<std::unique_ptr<Worker>> owned;
-  std::vector<Worker*> workers;
-  owned.reserve(opts_.agents);
-  for (unsigned a = 0; a < opts_.agents; ++a) {
-    owned.push_back(std::make_unique<Worker>(a, store, db_, builtins_, costs_,
-                                             wopts, io));
-    workers.push_back(owned.back().get());
-  }
-  for (Worker* w : workers) {
-    w->par_ = &par;
-    w->group_ = &workers;
-    w->tracer_ = opts_.tracer;
-    w->mode_ = Worker::Mode::Idle;
-  }
-  workers[0]->load_query(query);
-
-  SolveResult result;
-  if (opts_.use_threads) {
-    ThreadDriver driver;
-    driver.run(workers, max_solutions, result.solutions);
-  } else {
-    VirtualDriver driver;
-    while (result.solutions.size() < max_solutions) {
-      StepOutcome out = driver.run_until_event(workers);
-      if (out == StepOutcome::Solution) {
-        result.solutions.push_back(workers[0]->solution_string());
-        if (result.solutions.size() >= max_solutions) break;
-        workers[0]->request_next_solution();
-      } else {
-        break;
-      }
-    }
-  }
-
-  result.virtual_time = VirtualDriver::makespan(workers);
-  for (Worker* w : workers) {
-    result.stats.add(w->stats_);
-    result.per_agent.push_back(w->stats_);
-    result.agent_clocks.push_back(w->clock_);
-  }
-  result.output = io.text;
-  return result;
+  // One-shot facade over the reusable serving-layer session (the serving
+  // pool keeps sessions alive across queries; here one is built per call).
+  // The drive loops live in EngineSession::run_andp.
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Andp;
+  cfg.agents = opts_.agents;
+  cfg.lpco = opts_.lpco;
+  cfg.shallow = opts_.shallow;
+  cfg.pdo = opts_.pdo;
+  cfg.occurs_check = opts_.occurs_check;
+  cfg.use_threads = opts_.use_threads;
+  cfg.resolution_limit = opts_.resolution_limit;
+  EngineSession session(db_, builtins_, cfg, costs_);
+  session.set_tracer(opts_.tracer);
+  QueryBudget budget;
+  budget.max_solutions = max_solutions;
+  return session.run(query_text, budget);
 }
 
 }  // namespace ace

@@ -19,15 +19,34 @@ std::int64_t checked_mod(std::int64_t a, std::int64_t b) {
   return r;
 }
 
+// Overflow wraps (two's complement), matching fixed-width Prolog integer
+// dialects. The intermediates go through uint64 so the wrap is defined
+// behavior rather than signed-overflow UB (the sanitizer CI job traps UB).
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
 std::int64_t ipow(std::int64_t base, std::int64_t exp) {
   if (exp < 0) throw AceError("arithmetic: negative exponent");
-  std::int64_t r = 1;
+  std::uint64_t b = static_cast<std::uint64_t>(base);
+  std::uint64_t r = 1;
   while (exp > 0) {
-    if (exp & 1) r *= base;
-    base *= base;
+    if (exp & 1) r *= b;
+    b *= b;
     exp >>= 1;
   }
-  return r;
+  return static_cast<std::int64_t>(r);
 }
 
 }  // namespace
@@ -67,9 +86,9 @@ std::int64_t arith_eval(Worker& w, Addr a) {
   if (arity == 2) {
     std::int64_t x = arith_eval(w, fun + 1);
     std::int64_t y = arith_eval(w, fun + 2);
-    if (sym == ops.plus) return x + y;
-    if (sym == ops.minus) return x - y;
-    if (sym == ops.times) return x * y;
+    if (sym == ops.plus) return wrap_add(x, y);
+    if (sym == ops.minus) return wrap_sub(x, y);
+    if (sym == ops.times) return wrap_mul(x, y);
     // Both '/' and '//' are integer division (this dialect has no floats).
     if (sym == ops.fdiv || sym == ops.idiv2) return checked_div(x, y);
     if (sym == ops.mod) return checked_mod(x, y);

@@ -298,7 +298,11 @@ BuiltinResult do_retract(Worker& w, Addr goal) {
   } else {
     throw AceError("retract/1: head not callable");
   }
-  Predicate* pred = w.db_.find_mutable(sym, arity);
+  // Hold the write lock for the whole scan-unify-retract sequence: the
+  // clause we matched must still be clause i when we retract it, even with
+  // other served queries asserting/retracting concurrently.
+  auto lock = w.db_.write_guard();
+  Predicate* pred = w.db_.find_mutable_nolock(sym, arity);
   if (pred == nullptr) return BuiltinResult::Failed;
   for (std::uint32_t i = 0; i < pred->num_clauses(); ++i) {
     const Clause& cl = pred->clause(i);

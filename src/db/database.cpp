@@ -43,12 +43,20 @@ Predicate& Database::get_or_create(std::uint32_t sym, unsigned arity) {
 }
 
 void Database::add_clause(TermTemplate tmpl, bool front) {
+  auto lock = write_guard();
+  add_clause_nolock(std::move(tmpl), front);
+}
+
+void Database::add_clause_nolock(TermTemplate tmpl, bool front) {
   Clause clause = make_clause(std::move(tmpl), syms_);
   std::uint32_t sym = clause.head_sym;
   unsigned arity = clause.head_arity;
-  Predicate& pred = get_or_create(sym, arity);
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  pred.add_clause(std::move(clause), front);
+  auto [it, inserted] = pred_ids_.emplace(
+      pred_key(sym, arity), static_cast<std::uint32_t>(preds_.size()));
+  if (inserted) {
+    preds_.push_back(std::make_unique<Predicate>(sym, arity));
+  }
+  preds_[it->second]->add_clause(std::move(clause), front);
 }
 
 void Database::set_dynamic(std::uint32_t sym, unsigned arity) {

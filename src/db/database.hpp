@@ -55,6 +55,28 @@ class Database {
 
   std::size_t num_predicates() const;
 
+  // ---- Engine hot-path locking surface -----------------------------------
+  // The engines read candidate buckets and clause templates on every call;
+  // under the serving layer those reads race with assert/retract from
+  // concurrently served queries. Hot paths therefore take read_guard() and
+  // use the *_nolock accessors inside it (shared_mutex is not recursive:
+  // never call find()/find_mutable() while holding a guard). Mutating
+  // builtins take write_guard() for the scan-and-mutate sequence.
+  std::shared_lock<std::shared_mutex> read_guard() const {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
+  std::unique_lock<std::shared_mutex> write_guard() const {
+    return std::unique_lock<std::shared_mutex>(mu_);
+  }
+  const Predicate* find_nolock(std::uint32_t sym, unsigned arity) const {
+    return find_locked(sym, arity);
+  }
+  Predicate* find_mutable_nolock(std::uint32_t sym, unsigned arity) {
+    return const_cast<Predicate*>(find_locked(sym, arity));
+  }
+  // Adds one clause while the caller already holds write_guard().
+  void add_clause_nolock(TermTemplate tmpl, bool front = false);
+
  private:
   const Predicate* find_locked(std::uint32_t sym, unsigned arity) const;
   void handle_directive(const TermTemplate& tmpl);

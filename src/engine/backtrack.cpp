@@ -59,6 +59,13 @@ void Worker::backtrack_step() {
 void Worker::retry_choice_alternative(Ref cref) {
   ++stats_.cp_restores;
   charge(costs_.cp_restore);
+  // Candidate buckets, predicate generations and clause templates are read
+  // below; hold the database shared lock so concurrently served
+  // assert/retract (which rebuild buckets under the write lock) cannot race
+  // the iteration. shared_take takes node mutexes *inside* this guard; node
+  // mutexes are session-local, so the db→node ordering cannot cycle with
+  // another session.
+  auto guard = db_.read_guard();
   restore_choice(cref);
 
   // Copy the immutable fields; the frame may be popped below.

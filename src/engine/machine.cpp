@@ -72,6 +72,12 @@ void Worker::note_ctrl_free(std::uint64_t words) {
 }
 
 StepOutcome Worker::step() {
+  // Cooperative stop: the shared token is the one protocol by which the
+  // serving layer halts a query — and-parallel teammates, or-parallel
+  // agents, and the sequential engine all observe it here and unwind by
+  // exception; the owning session then resets every arena wholesale, which
+  // releases all stack sections at once.
+  if (mode_ != Mode::Done) poll_cancellation();
   switch (mode_) {
     case Mode::Run:
       if (par_ != nullptr && check_cancellation()) break;
@@ -136,6 +142,41 @@ std::string Worker::solution_string() const {
   }
   if (parts.empty()) return "true";
   return join(parts, ", ");
+}
+
+void Worker::reset_for_reuse() {
+  // Truncate (never deallocate) every arena: ChunkedVector keeps its chunk
+  // tables and allocated chunks across truncate(0), so a pooled engine's
+  // next query runs entirely in warm memory.
+  trail_.truncate(0);
+  ctrl_.truncate(0);
+  garena_.truncate(0);
+  store_.truncate(seg_, 0);
+  glist_ = kNoRef;
+  bt_ = kNoRef;
+  cur_pf_ = kNoPf;
+  cur_slot_ = 0;
+  pending_end_pf_ = kNoPf;
+  pending_end_slot_ = 0;
+  failing_pf_ = kNoPf;
+  reentry_pf_ = kNoPf;
+  last_done_pf_ = kNoPf;
+  last_done_slot_ = 0;
+  last_done_adjacent_ = false;
+  waiting_pfs_.clear();
+  nested_.clear();
+  clock_ = 0;
+  stats_ = Counters{};
+  query_ = nullptr;
+  query_vars_.clear();
+  private_cps_ = 0;
+  last_copy_victim_ = ~0u;
+  last_copy_ctrl_ = 0;
+  last_copy_garena_ = 0;
+  last_copy_trail_ = 0;
+  last_copy_heap_ = 0;
+  cancel_poll_stride_ = 0;
+  mode_ = Mode::Idle;
 }
 
 Slot& Worker::cur_slot_ref() {

@@ -25,6 +25,9 @@ struct SolveResult {
   std::vector<Counters> per_agent;  // one entry per agent (parallel engines)
   std::vector<std::uint64_t> agent_clocks;
   std::string output;  // text written by write/1
+  // Why the run ended early (None = ran to completion / solution cap).
+  // Cancelled and Deadline stops still return the solutions found so far.
+  StopCause stop = StopCause::None;
 };
 
 // Renders a per-agent breakdown table (work distribution, steals, idle

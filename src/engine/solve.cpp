@@ -2,6 +2,7 @@
 // facade.
 #include "engine/seq_engine.hpp"
 #include "engine/worker.hpp"
+#include "serve/session.hpp"
 #include "support/strutil.hpp"
 #include "support/table.hpp"
 
@@ -87,29 +88,16 @@ SeqEngine::SeqEngine(Database& db, WorkerOptions opts, const CostModel& costs)
 
 SolveResult SeqEngine::solve(const std::string& query_text,
                              std::size_t max_solutions) {
-  TermTemplate query = parse_term_text(db_.syms(), query_text);
-  Store store(1);
-  IoSink io;
-  Worker worker(0, store, db_, builtins_, costs_, opts_, io);
-  worker.load_query(query);
-
-  SolveResult result;
-  while (result.solutions.size() < max_solutions) {
-    StepOutcome out = worker.step();
-    if (out == StepOutcome::Solution) {
-      result.solutions.push_back(worker.solution_string());
-      if (result.solutions.size() >= max_solutions) break;
-      worker.request_next_solution();
-    } else if (out == StepOutcome::Exhausted) {
-      break;
-    }
-  }
-  result.virtual_time = worker.clock_;
-  result.stats = worker.stats_;
-  result.per_agent.push_back(worker.stats_);
-  result.agent_clocks.push_back(worker.clock_);
-  result.output = io.text;
-  return result;
+  // One-shot facade over the reusable serving-layer session (the serving
+  // pool keeps sessions alive across queries; here one is built per call).
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Seq;
+  cfg.occurs_check = opts_.occurs_check;
+  cfg.resolution_limit = opts_.resolution_limit;
+  EngineSession session(db_, builtins_, cfg, costs_);
+  QueryBudget budget;
+  budget.max_solutions = max_solutions;
+  return session.run(query_text, budget);
 }
 
 std::string per_agent_report(const SolveResult& result) {

@@ -197,12 +197,20 @@ void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
   charge(costs_.call_dispatch);
   if (opts_.resolution_limit != 0 &&
       stats_.resolutions > opts_.resolution_limit) {
-    throw AceError(strf("resolution limit exceeded (%llu)",
-                        static_cast<unsigned long long>(
-                            opts_.resolution_limit)));
+    // Generalized stop protocol: the resolution budget funnels through the
+    // same sticky token as external cancels/deadlines, so parallel
+    // teammates of the over-budget agent stop promptly too.
+    if (cancel_ != nullptr) cancel_->set_cause(StopCause::ResolutionLimit);
+    throw QueryStopped(StopCause::ResolutionLimit);
   }
 
-  const Predicate* pred = db_.find(sym, arity);
+  // Hold the database shared lock across the bucket read and head
+  // unification: under the serving layer, assert/retract from concurrently
+  // served queries can rebuild index buckets while we iterate. The guard
+  // also covers push_choice_clauses (LAO reuse reads pred->candidates) —
+  // none of the callees re-acquire the (non-recursive) lock.
+  auto guard = db_.read_guard();
+  const Predicate* pred = db_.find_nolock(sym, arity);
   if (pred == nullptr) {
     throw AceError(strf("undefined predicate %s/%u",
                         syms_.name(sym).c_str(), arity));

@@ -39,6 +39,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
 #include "stats/stats.hpp"
+#include "support/cancel.hpp"
 #include "term/print.hpp"
 #include "term/unify.hpp"
 
@@ -74,6 +75,14 @@ struct IoSink {
     std::lock_guard<std::mutex> lock(mu);
     text += s;
   }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    text.clear();
+  }
+  std::string snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return text;
+  }
 };
 
 // Nested-execution context (findall/3): runs a goal to exhaustion on top of
@@ -108,6 +117,12 @@ class Worker {
   // Renders the current solution as "X = t, Y = u" over named query vars
   // ("true" if the query has no named variables).
   std::string solution_string() const;
+  // Restores the worker to its pristine between-queries state while keeping
+  // every arena's allocated chunks (the engine-pool reuse hot-path win:
+  // trail/ctrl/garena/heap chunk tables survive across queries). The heap
+  // segment this worker owns is truncated; callers owning multi-segment
+  // stores truncate sibling segments via their own workers.
+  void reset_for_reuse();
 
   // ---- Identity and environment -----------------------------------------
   unsigned agent_;
@@ -126,6 +141,11 @@ class Worker {
   OrpContext* orp_ = nullptr;              // set by OrpMachine
   Tracer* tracer_ = nullptr;               // optional event recording
   std::vector<Worker*>* group_ = nullptr;  // all agents, self included
+  // Per-query stop signal shared by all agents (set by the serving layer /
+  // engine facades). Polled at the top of step(); a stop unwinds via
+  // QueryStopped.
+  CancelToken* cancel_ = nullptr;
+  unsigned cancel_poll_stride_ = 0;  // deadline clock-check decimation
 
   Worker& peer(unsigned agent) {
     return group_ != nullptr ? *(*group_)[agent] : *this;
@@ -202,6 +222,13 @@ class Worker {
   }
   unsigned seg() const { return seg_; }
   bool is_idle() const { return mode_ == Mode::Idle; }
+
+  // Cooperative stop poll: cheap flag check every step, deadline clock
+  // check every 64th. Throws QueryStopped when a stop is observed.
+  void poll_cancellation() {
+    if (cancel_ == nullptr) return;
+    cancel_->raise_if_stopped((++cancel_poll_stride_ & 63u) == 0);
+  }
 
   Ref push_goal(Addr goal, Ref next, Ref cut_parent);
   GoalNode goal_node(Ref r) {

@@ -1,9 +1,6 @@
 #include "orp/machine.hpp"
 
-#include <algorithm>
-#include <memory>
-
-#include "orp/shared_tree.hpp"
+#include "serve/session.hpp"
 
 namespace ace {
 
@@ -14,82 +11,20 @@ OrpMachine::OrpMachine(Database& db, OrpOptions opts, const CostModel& costs)
 
 SolveResult OrpMachine::solve(const std::string& query_text,
                               std::size_t max_solutions) {
-  TermTemplate query = parse_term_text(db_.syms(), query_text);
-
-  IoSink io;
-  OrpContext orp;
-
-  WorkerOptions wopts;
-  wopts.parallel_and = false;  // '&' runs sequentially in the or-engine
-  wopts.lao = opts_.lao;
-  wopts.occurs_check = opts_.occurs_check;
-  wopts.resolution_limit = opts_.resolution_limit;
-
-  std::vector<std::unique_ptr<Store>> stores;
-  std::vector<std::unique_ptr<Worker>> owned;
-  std::vector<Worker*> workers;
-  for (unsigned a = 0; a < opts_.agents; ++a) {
-    stores.push_back(std::make_unique<Store>(1));
-    owned.push_back(std::make_unique<Worker>(a, *stores.back(), db_,
-                                             builtins_, costs_, wopts, io));
-    workers.push_back(owned.back().get());
-  }
-  for (Worker* w : workers) {
-    w->orp_ = &orp;
-    w->group_ = &workers;
-    w->seg_ = 0;  // each worker owns segment 0 of its private store
-    w->tracer_ = opts_.tracer;
-    w->mode_ = Worker::Mode::Idle;
-  }
-  workers[0]->load_query(query);
-  // Every worker can land on a solution; give them all the query-variable
-  // bookkeeping (stack copying preserves offsets, so the addresses match).
-  for (Worker* w : workers) {
-    w->query_ = workers[0]->query_;
-    w->query_vars_ = workers[0]->query_vars_;
-  }
-
-  SolveResult result;
-  std::uint64_t idle_streak = 0;
-  const std::uint64_t stall_limit = 1u << 22;
-  while (result.solutions.size() < max_solutions) {
-    // Exhausted when every worker is idle and no public alternatives
-    // remain.
-    bool all_idle = std::all_of(workers.begin(), workers.end(), [](Worker* w) {
-      return w->mode_ == Worker::Mode::Idle;
-    });
-    if (all_idle && !orp.has_public_work()) break;
-
-    Worker* next = nullptr;
-    for (Worker* w : workers) {
-      if (next == nullptr || w->clock_ < next->clock_) next = w;
-    }
-    StepOutcome out = next->step();
-    if (out == StepOutcome::Solution) {
-      result.solutions.push_back(next->solution_string());
-      if (result.solutions.size() >= max_solutions) break;
-      next->request_next_solution();
-      idle_streak = 0;
-    } else if (out == StepOutcome::Idle) {
-      if (++idle_streak > stall_limit) {
-        throw AceError("or-parallel driver stall");
-      }
-    } else {
-      idle_streak = 0;
-    }
-  }
-
-  // Makespan: the last clock that did useful work; use the max clock.
-  std::uint64_t makespan = 0;
-  for (Worker* w : workers) {
-    makespan = std::max(makespan, w->clock_);
-    result.stats.add(w->stats_);
-    result.per_agent.push_back(w->stats_);
-    result.agent_clocks.push_back(w->clock_);
-  }
-  result.virtual_time = makespan;
-  result.output = io.text;
-  return result;
+  // One-shot facade over the reusable serving-layer session (the serving
+  // pool keeps sessions alive across queries; here one is built per call).
+  // The MUSE drive loop lives in EngineSession::run_orp.
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Orp;
+  cfg.agents = opts_.agents;
+  cfg.lao = opts_.lao;
+  cfg.occurs_check = opts_.occurs_check;
+  cfg.resolution_limit = opts_.resolution_limit;
+  EngineSession session(db_, builtins_, cfg, costs_);
+  session.set_tracer(opts_.tracer);
+  QueryBudget budget;
+  budget.max_solutions = max_solutions;
+  return session.run(query_text, budget);
 }
 
 }  // namespace ace

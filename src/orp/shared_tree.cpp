@@ -144,6 +144,13 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
 // Idle or-parallel worker: find public work, else run a sharing session.
 
 void Worker::orp_idle_step() {
+  // oldest_with_work()/node_has_work() read candidate buckets and predicate
+  // generations, and the sharing session publishes pred pointers into
+  // shared nodes; hold the db shared lock for the whole idle step so those
+  // reads cannot race assert/retract from other served queries. Node and
+  // context mutexes nest inside (db → ctx → node); they are session-local,
+  // so no cross-session cycle is possible.
+  auto guard = db_.read_guard();
   std::size_t scanned = 0;
   std::uint32_t target = orp_->oldest_with_work(&scanned);
   charge(costs_.tree_descent * (scanned == 0 ? 1 : scanned));

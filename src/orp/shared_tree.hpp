@@ -47,6 +47,14 @@ class OrpContext {
     return id;
   }
 
+  // Clears all public nodes so a pooled session can reuse this context for
+  // its next query. Must only be called between queries (no agent running).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.clear();
+    active_.clear();
+  }
+
   // True if some public node still has an untaken alternative.
   bool has_public_work() { return oldest_with_work(nullptr) != kNoShare; }
 

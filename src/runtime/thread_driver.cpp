@@ -8,7 +8,8 @@ namespace ace {
 
 void ThreadDriver::run(const std::vector<Worker*>& workers,
                        std::size_t max_solutions,
-                       std::vector<std::string>& solutions) {
+                       std::vector<std::string>& solutions,
+                       CancelToken* cancel) {
   std::atomic<bool> done{false};
   std::exception_ptr helper_error;
   std::mutex error_mu;
@@ -36,6 +37,9 @@ void ThreadDriver::run(const std::vector<Worker*>& workers,
   Worker* top = workers[0];
   try {
     while (!done.load(std::memory_order_acquire)) {
+      // Coordinator-side stop poll (helpers poll inside step()): ensures a
+      // stop lands even if the top worker would otherwise spin idle.
+      if (cancel != nullptr) cancel->raise_if_stopped();
       StepOutcome out = top->step();
       if (out == StepOutcome::Solution) {
         solutions.push_back(top->solution_string());

@@ -16,9 +16,15 @@ namespace ace {
 class ThreadDriver {
  public:
   // Runs all workers until the top-level worker exhausts the query or
-  // `max_solutions` solutions are collected into `solutions`.
+  // `max_solutions` solutions are collected into `solutions`. If `cancel`
+  // is non-null it is polled by the coordinator loop (helpers observe it
+  // inside Worker::step), giving the sim and thread runtimes one shared
+  // stop protocol: an external cancel or deadline expiry throws
+  // QueryStopped out of run() after all helper threads are joined, with
+  // any solutions found so far already in `solutions`.
   void run(const std::vector<Worker*>& workers, std::size_t max_solutions,
-           std::vector<std::string>& solutions);
+           std::vector<std::string>& solutions,
+           CancelToken* cancel = nullptr);
 };
 
 }  // namespace ace

@@ -1,0 +1,262 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+namespace ace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+std::chrono::microseconds since(SteadyClock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      SteadyClock::now() - t0);
+}
+
+}  // namespace
+
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::Ok:
+      return "ok";
+    case QueryStatus::Rejected:
+      return "rejected";
+    case QueryStatus::Cancelled:
+      return "cancelled";
+    case QueryStatus::DeadlineExpired:
+      return "deadline_expired";
+    case QueryStatus::Error:
+      return "error";
+  }
+  return "?";
+}
+
+QueryService::QueryService(Database& db, ServiceOptions opts,
+                           const CostModel& costs)
+    : db_(db), opts_(opts), costs_(costs), builtins_(db.syms()) {
+  ACE_CHECK(opts_.dispatch_threads >= 1);
+  threads_.reserve(opts_.dispatch_threads);
+  for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
+    threads_.emplace_back([this] { dispatch_loop(); });
+  }
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+void QueryService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+std::size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+QueryService::Ticket QueryService::submit(QueryRequest req) {
+  metrics_.on_submitted();
+  Pending p;
+  p.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  p.req = std::move(req);
+  p.token = std::make_shared<CancelToken>();
+  p.admitted_at = SteadyClock::now();
+  std::chrono::nanoseconds dl = p.req.deadline.count() != 0
+                                    ? p.req.deadline
+                                    : opts_.default_deadline;
+  p.has_deadline = dl.count() > 0;
+  p.deadline_at =
+      p.has_deadline ? p.admitted_at + dl : SteadyClock::time_point::max();
+  if (p.req.resolution_limit == 0) {
+    p.req.resolution_limit = opts_.default_resolution_limit;
+  }
+
+  Ticket ticket;
+  ticket.id = p.id;
+  ticket.result = p.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+      // Reject-with-overload: resolve the future immediately; the caller
+      // sees backpressure without blocking.
+      metrics_.on_rejected();
+      QueryResponse resp;
+      resp.id = p.id;
+      resp.status = QueryStatus::Rejected;
+      resp.error = stopping_ ? "service stopping" : "admission queue full";
+      resp.latency = since(p.admitted_at);
+      p.promise.set_value(std::move(resp));
+      return ticket;
+    }
+    metrics_.on_admitted();
+    {
+      std::lock_guard<std::mutex> rlock(reg_mu_);
+      inflight_.emplace(p.id, p.token);
+    }
+    queue_.push_back(std::move(p));
+    metrics_.set_queue_depth(queue_.size());
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+QueryResponse QueryService::run(QueryRequest req) {
+  Ticket t = submit(std::move(req));
+  return t.result.get();
+}
+
+bool QueryService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return false;
+  it->second->request_cancel();
+  return true;
+}
+
+void QueryService::dispatch_loop() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ && drained: exit after the queue is fully served.
+        return;
+      }
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.set_queue_depth(queue_.size());
+    }
+    serve_one(std::move(p));
+  }
+}
+
+void QueryService::respond(Pending& p, QueryResponse&& resp) {
+  resp.id = p.id;
+  resp.latency = since(p.admitted_at);
+  metrics_.record_latency(resp.latency);
+  switch (resp.status) {
+    case QueryStatus::Ok:
+      metrics_.on_completed();
+      break;
+    case QueryStatus::Cancelled:
+      metrics_.on_cancelled();
+      break;
+    case QueryStatus::DeadlineExpired:
+      metrics_.on_deadline_expired();
+      break;
+    case QueryStatus::Error:
+      metrics_.on_error();
+      break;
+    case QueryStatus::Rejected:
+      metrics_.on_rejected();
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    inflight_.erase(p.id);
+  }
+  p.promise.set_value(std::move(resp));
+}
+
+void QueryService::serve_one(Pending&& p) {
+  QueryResponse resp;
+  resp.queue_wait = since(p.admitted_at);
+  metrics_.record_queue_wait(resp.queue_wait);
+
+  // Deadline-aware dispatch: answer queue-expired requests without
+  // spending an engine on them.
+  SteadyClock::time_point now = SteadyClock::now();
+  if (p.has_deadline && now >= p.deadline_at) {
+    resp.status = QueryStatus::DeadlineExpired;
+    respond(p, std::move(resp));
+    return;
+  }
+  // Cancelled while queued.
+  if (p.token->stop_requested()) {
+    resp.status = QueryStatus::Cancelled;
+    respond(p, std::move(resp));
+    return;
+  }
+
+  bool reused = false;
+  std::unique_ptr<EngineSession> session = checkout(p.req.engine, &reused);
+  resp.engine_reused = reused;
+
+  QueryBudget budget;
+  budget.max_solutions = p.req.max_solutions;
+  budget.resolution_limit = p.req.resolution_limit;
+  if (p.has_deadline) {
+    budget.deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        p.deadline_at - now);
+  }
+
+  try {
+    SolveResult r = session->run(p.req.query, budget, p.token.get());
+    resp.solutions = std::move(r.solutions);
+    resp.output = std::move(r.output);
+    resp.stats = r.stats;
+    switch (r.stop) {
+      case StopCause::None:
+        resp.status = QueryStatus::Ok;
+        break;
+      case StopCause::Cancelled:
+        resp.status = QueryStatus::Cancelled;
+        break;
+      case StopCause::Deadline:
+        resp.status = QueryStatus::DeadlineExpired;
+        break;
+      case StopCause::ResolutionLimit:
+        // Defensive: run() rethrows this cause; treat as error if seen.
+        resp.status = QueryStatus::Error;
+        resp.error = "resolution limit";
+        break;
+    }
+  } catch (const AceError& e) {
+    // Parse errors, undefined predicates, resolution-budget exhaustion,
+    // uncaught throw/1 balls. The session's next run() resets all engine
+    // state, so the pooled engine stays healthy regardless.
+    resp.status = QueryStatus::Error;
+    resp.error = e.what();
+  }
+
+  // Always return the session: the reset-on-run invariant means even a
+  // stopped or errored session is safe to reuse.
+  checkin(std::move(session));
+  respond(p, std::move(resp));
+}
+
+std::unique_ptr<EngineSession> QueryService::checkout(
+    const EngineConfig& cfg, bool* reused_out) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (auto it = idle_sessions_.begin(); it != idle_sessions_.end(); ++it) {
+      if ((*it)->config() == cfg) {
+        std::unique_ptr<EngineSession> s = std::move(*it);
+        idle_sessions_.erase(it);
+        metrics_.on_pool_hit();
+        *reused_out = true;
+        return s;
+      }
+    }
+  }
+  metrics_.on_pool_miss();
+  *reused_out = false;
+  return std::make_unique<EngineSession>(db_, builtins_, cfg, costs_);
+}
+
+void QueryService::checkin(std::unique_ptr<EngineSession> session) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (idle_sessions_.size() < opts_.pool_capacity) {
+    idle_sessions_.push_back(std::move(session));
+  }
+  // else: drop — the pool is bounded.
+}
+
+}  // namespace ace

@@ -1,0 +1,155 @@
+// QueryService: the concurrent multi-tenant query front-end.
+//
+//             submit() ──► bounded admission queue ──► dispatch threads
+//                 │   (reject-with-overload when full)      │
+//                 ▼                                         ▼
+//           Ticket{id, future}                    engine-pool checkout
+//                                                (warm EngineSession reuse)
+//
+// One QueryService owns: the shared Database (callers consult programs
+// before/while serving; assert/retract from served queries is safe under
+// the Database's shared lock), a pool of pre-warmed EngineSessions keyed by
+// EngineConfig, a bounded FIFO admission queue with backpressure, and the
+// serving metrics surface (src/stats/serve_metrics.hpp).
+//
+// Per-query budgets: wall-clock deadline (measured from admission, so time
+// spent queued counts — a request that expires in the queue is answered
+// DeadlineExpired without ever running), solution cap, and resolution
+// limit. Cancellation: submit() returns a ticket id; cancel(id) stops the
+// query whether it is still queued or already running (the per-request
+// CancelToken is shared with the running session's workers).
+//
+// Dispatch is FIFO and deadline-aware: expired requests are answered
+// immediately on pop instead of wasting an engine. Responses carry partial
+// solutions for Cancelled/DeadlineExpired queries — everything found
+// before the stop landed.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "stats/serve_metrics.hpp"
+
+namespace ace {
+
+struct ServiceOptions {
+  unsigned dispatch_threads = 4;   // concurrent engine instances
+  std::size_t queue_capacity = 128;  // admission bound (backpressure)
+  std::size_t pool_capacity = 16;    // max idle warm sessions kept
+  // Defaults applied when a request leaves the field zero.
+  std::chrono::nanoseconds default_deadline{0};  // 0 = no deadline
+  std::uint64_t default_resolution_limit = 0;
+};
+
+enum class QueryStatus : std::uint8_t {
+  Ok,               // ran to completion / solution cap
+  Rejected,         // bounced at admission (queue full or stopping)
+  Cancelled,        // stopped by cancel(id); partial solutions included
+  DeadlineExpired,  // deadline hit (queued or running); partials included
+  Error,            // parse/engine error; message in `error`
+};
+
+const char* query_status_name(QueryStatus s);
+
+struct QueryRequest {
+  std::string query;            // '.'-terminated goal text
+  EngineConfig engine;          // which engine/flags to run it on
+  std::chrono::nanoseconds deadline{0};  // 0 = service default
+  std::size_t max_solutions = SIZE_MAX;
+  std::uint64_t resolution_limit = 0;    // 0 = service default
+};
+
+struct QueryResponse {
+  std::uint64_t id = 0;
+  QueryStatus status = QueryStatus::Ok;
+  std::vector<std::string> solutions;
+  std::string output;  // write/1 text
+  std::string error;   // set when status == Error
+  bool engine_reused = false;  // served by a warm pooled session
+  std::chrono::microseconds queue_wait{0};
+  std::chrono::microseconds latency{0};  // admission -> response
+  Counters stats;  // engine counters (zero for Rejected/queue-expired)
+};
+
+class QueryService {
+ public:
+  QueryService(Database& db, ServiceOptions opts = {},
+               const CostModel& costs = CostModel::standard());
+  ~QueryService();  // shutdown(): drains the queue, joins threads
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::future<QueryResponse> result;
+  };
+
+  // Admission control: O(1). If the queue is at capacity the ticket's
+  // future is already resolved with QueryStatus::Rejected (backpressure —
+  // callers should retry later or shed load).
+  Ticket submit(QueryRequest req);
+
+  // Convenience: submit and wait.
+  QueryResponse run(QueryRequest req);
+
+  // Requests cancellation of a queued or running query. Returns false if
+  // the id is unknown or already finished.
+  bool cancel(std::uint64_t id);
+
+  // Stops accepting new work, drains everything already admitted, joins
+  // the dispatch threads. Idempotent.
+  void shutdown();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  ServeMetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  std::size_t queue_depth() const;
+  Database& db() { return db_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    QueryRequest req;
+    std::promise<QueryResponse> promise;
+    std::shared_ptr<CancelToken> token;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::chrono::steady_clock::time_point deadline_at;  // max() = none
+    bool has_deadline = false;
+  };
+
+  void dispatch_loop();
+  void serve_one(Pending&& p);
+  void respond(Pending& p, QueryResponse&& resp);
+  std::unique_ptr<EngineSession> checkout(const EngineConfig& cfg,
+                                          bool* reused_out);
+  void checkin(std::unique_ptr<EngineSession> session);
+
+  Database& db_;
+  ServiceOptions opts_;
+  CostModel costs_;
+  Builtins builtins_;  // shared by all sessions (const after construction)
+  ServeMetrics metrics_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<EngineSession>> idle_sessions_;
+
+  std::mutex reg_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CancelToken>> inflight_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ace

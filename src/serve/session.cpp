@@ -1,0 +1,257 @@
+// EngineSession implementation: pre-warmed engine construction, the
+// between-queries reset, and the three per-mode drive loops (these moved
+// here from the SeqEngine/AndpMachine/OrpMachine facades, which now
+// delegate to a throwaway session — one implementation of each loop).
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "andp/context.hpp"
+#include "orp/shared_tree.hpp"
+#include "runtime/thread_driver.hpp"
+#include "sim/virtual_driver.hpp"
+
+namespace ace {
+
+const char* engine_mode_name(EngineMode m) {
+  switch (m) {
+    case EngineMode::Seq:
+      return "seq";
+    case EngineMode::Andp:
+      return "andp";
+    case EngineMode::Orp:
+      return "orp";
+  }
+  return "?";
+}
+
+EngineSession::EngineSession(Database& db, const Builtins& builtins,
+                             EngineConfig cfg, const CostModel& costs)
+    : db_(db), builtins_(builtins), cfg_(cfg), costs_(costs) {
+  if (cfg_.mode == EngineMode::Seq) cfg_.agents = 1;
+  ACE_CHECK(cfg_.agents >= 1);
+
+  WorkerOptions wopts;
+  wopts.parallel_and = cfg_.mode == EngineMode::Andp;
+  wopts.lpco = cfg_.lpco;
+  wopts.shallow = cfg_.shallow;
+  wopts.pdo = cfg_.pdo;
+  wopts.lao = cfg_.lao;
+  wopts.occurs_check = cfg_.occurs_check;
+  wopts.resolution_limit = cfg_.resolution_limit;
+
+  if (cfg_.mode == EngineMode::Orp) {
+    // MUSE: one private single-segment store per agent.
+    orp_ = std::make_unique<OrpContext>();
+    for (unsigned a = 0; a < cfg_.agents; ++a) {
+      stores_.push_back(std::make_unique<Store>(1));
+      owned_.push_back(std::make_unique<Worker>(a, *stores_.back(), db_,
+                                                builtins_, costs_, wopts,
+                                                io_));
+      workers_.push_back(owned_.back().get());
+    }
+    for (Worker* w : workers_) {
+      w->orp_ = orp_.get();
+      w->group_ = &workers_;
+      w->seg_ = 0;  // each worker owns segment 0 of its private store
+      w->cancel_ = &token_;
+    }
+  } else {
+    // Seq/Andp: one shared store, one heap segment per agent.
+    stores_.push_back(std::make_unique<Store>(cfg_.agents));
+    if (cfg_.mode == EngineMode::Andp) {
+      par_ = std::make_unique<ParContext>(cfg_.agents);
+    }
+    for (unsigned a = 0; a < cfg_.agents; ++a) {
+      owned_.push_back(std::make_unique<Worker>(a, *stores_[0], db_,
+                                                builtins_, costs_, wopts,
+                                                io_));
+      workers_.push_back(owned_.back().get());
+    }
+    for (Worker* w : workers_) {
+      if (par_ != nullptr) w->par_ = par_.get();
+      w->group_ = &workers_;
+      w->cancel_ = &token_;
+    }
+  }
+}
+
+EngineSession::~EngineSession() = default;
+
+void EngineSession::set_tracer(Tracer* tracer) {
+  for (Worker* w : workers_) w->tracer_ = tracer;
+}
+
+void EngineSession::reset() {
+  for (Worker* w : workers_) w->reset_for_reuse();
+  if (par_ != nullptr) par_->reset();
+  if (orp_ != nullptr) orp_->reset();
+  io_.clear();
+}
+
+void EngineSession::absorb_stop(const QueryStopped& stopped,
+                                SolveResult& result) {
+  // The resolution budget keeps its historical contract: solve() throws.
+  if (stopped.cause() == StopCause::ResolutionLimit) throw stopped;
+  result.stop = stopped.cause();
+}
+
+void EngineSession::finalize(SolveResult& result) {
+  if (cfg_.mode == EngineMode::Orp) {
+    // Makespan: the last clock that did useful work; use the max clock.
+    std::uint64_t makespan = 0;
+    for (Worker* w : workers_) makespan = std::max(makespan, w->clock_);
+    result.virtual_time = makespan;
+  } else {
+    result.virtual_time = VirtualDriver::makespan(workers_);
+  }
+  for (Worker* w : workers_) {
+    result.stats.add(w->stats_);
+    result.per_agent.push_back(w->stats_);
+    result.agent_clocks.push_back(w->clock_);
+  }
+  result.output = io_.snapshot();
+}
+
+SolveResult EngineSession::run(const std::string& query_text,
+                               const QueryBudget& budget,
+                               CancelToken* external) {
+  // Reset first: this is what guarantees a cancelled/failed previous query
+  // can never wedge the reused engine.
+  reset();
+
+  CancelToken* tok = external != nullptr ? external : &token_;
+  if (external == nullptr) token_.reset();
+  if (budget.deadline.count() > 0) tok->arm_deadline(budget.deadline);
+  for (Worker* w : workers_) {
+    w->cancel_ = tok;
+    w->opts_.resolution_limit = budget.resolution_limit != 0
+                                    ? budget.resolution_limit
+                                    : cfg_.resolution_limit;
+  }
+
+  // Parse after arming the token so even parse-heavy queries obey external
+  // cancels (the parse itself is not interruptible, but it is quick).
+  TermTemplate query = parse_term_text(db_.syms(), query_text);
+  workers_[0]->load_query(query);
+
+  SolveResult result;
+  switch (cfg_.mode) {
+    case EngineMode::Seq:
+      result = run_seq(budget, tok);
+      break;
+    case EngineMode::Andp:
+      result = run_andp(budget, tok);
+      break;
+    case EngineMode::Orp:
+      result = run_orp(budget, tok);
+      break;
+  }
+  ++queries_run_;
+  return result;
+}
+
+SolveResult EngineSession::run_seq(const QueryBudget& budget,
+                                   CancelToken* tok) {
+  (void)tok;  // the worker polls the token inside step()
+  Worker* w = workers_[0];
+  SolveResult result;
+  try {
+    while (result.solutions.size() < budget.max_solutions) {
+      StepOutcome out = w->step();
+      if (out == StepOutcome::Solution) {
+        result.solutions.push_back(w->solution_string());
+        if (result.solutions.size() >= budget.max_solutions) break;
+        w->request_next_solution();
+      } else if (out == StepOutcome::Exhausted) {
+        break;
+      }
+    }
+  } catch (const QueryStopped& stopped) {
+    absorb_stop(stopped, result);
+  }
+  finalize(result);
+  return result;
+}
+
+SolveResult EngineSession::run_andp(const QueryBudget& budget,
+                                    CancelToken* tok) {
+  SolveResult result;
+  try {
+    if (cfg_.use_threads) {
+      ThreadDriver driver;
+      driver.run(workers_, budget.max_solutions, result.solutions, tok);
+    } else {
+      VirtualDriver driver;
+      while (result.solutions.size() < budget.max_solutions) {
+        StepOutcome out = driver.run_until_event(workers_, 1u << 22, tok);
+        if (out == StepOutcome::Solution) {
+          result.solutions.push_back(workers_[0]->solution_string());
+          if (result.solutions.size() >= budget.max_solutions) break;
+          workers_[0]->request_next_solution();
+        } else {
+          break;
+        }
+      }
+    }
+  } catch (const QueryStopped& stopped) {
+    absorb_stop(stopped, result);
+  }
+  finalize(result);
+  return result;
+}
+
+SolveResult EngineSession::run_orp(const QueryBudget& budget,
+                                   CancelToken* tok) {
+  // Every worker can land on a solution; give them all the query-variable
+  // bookkeeping (stack copying preserves offsets, so the addresses match).
+  for (Worker* w : workers_) {
+    w->query_ = workers_[0]->query_;
+    w->query_vars_ = workers_[0]->query_vars_;
+  }
+
+  SolveResult result;
+  std::uint64_t idle_streak = 0;
+  std::uint64_t polls = 0;
+  const std::uint64_t stall_limit = 1u << 22;
+  try {
+    while (result.solutions.size() < budget.max_solutions) {
+      if (tok != nullptr) tok->raise_if_stopped((++polls & 63u) == 0);
+      // Exhausted when every worker is idle and no public alternatives
+      // remain.
+      bool all_idle =
+          std::all_of(workers_.begin(), workers_.end(),
+                      [](Worker* w) { return w->is_idle(); });
+      if (all_idle) {
+        // has_public_work() reads candidate buckets; take the db shared
+        // lock so a concurrently served assert/retract cannot race it.
+        auto guard = db_.read_guard();
+        if (!orp_->has_public_work()) break;
+      }
+
+      Worker* next = nullptr;
+      for (Worker* w : workers_) {
+        if (next == nullptr || w->clock_ < next->clock_) next = w;
+      }
+      StepOutcome out = next->step();
+      if (out == StepOutcome::Solution) {
+        result.solutions.push_back(next->solution_string());
+        if (result.solutions.size() >= budget.max_solutions) break;
+        next->request_next_solution();
+        idle_streak = 0;
+      } else if (out == StepOutcome::Idle) {
+        if (++idle_streak > stall_limit) {
+          throw AceError("or-parallel driver stall");
+        }
+      } else {
+        idle_streak = 0;
+      }
+    }
+  } catch (const QueryStopped& stopped) {
+    absorb_stop(stopped, result);
+  }
+  finalize(result);
+  return result;
+}
+
+}  // namespace ace

@@ -1,0 +1,126 @@
+// EngineSession: a pre-warmed, reusable engine instance for the serving
+// layer (and the single-shot facades, which delegate here).
+//
+// A session owns everything one query execution needs except the shared
+// Database: stores, workers, the and-/or-parallel context, the IO sink and
+// a cancellation token. Unlike the historical machines — which allocated a
+// fresh Store and fresh Workers per solve() call — a session keeps its
+// arenas alive across queries and merely *truncates* them between runs.
+// ChunkedVector never frees chunks on truncate, so a pooled session's next
+// query executes entirely in warm memory: no chunk-table zeroing, no chunk
+// allocation, no Store/Worker construction on the per-query hot path. This
+// is the engine-pool reuse win that bench_serve measures.
+//
+// Stop protocol: run() arms the session token (or an externally supplied
+// one) with the query's wall-clock deadline; every agent polls the token in
+// Worker::step() and both drivers poll it between steps. A stop unwinds by
+// QueryStopped; run() catches Cancelled/Deadline stops and returns the
+// solutions found so far with SolveResult::stop set. ResolutionLimit stops
+// are re-thrown (the historical contract of the resolution budget).
+//
+// Reuse invariants (see docs/INTERNALS.md "Serving layer"):
+//   * run() resets all per-query state before loading the query, so a
+//     cancelled, deadline-expired or failed run can never wedge a worker:
+//     the next run starts from truncated arenas regardless of how the
+//     previous one ended.
+//   * a session is single-query-at-a-time; concurrency comes from running
+//     many sessions (the QueryService pool), never from sharing one.
+//   * the Database outlives the session and is the only mutable state
+//     shared between concurrent sessions (guarded by its shared lock).
+#pragma once
+
+#include <chrono>
+#include <climits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/seq_engine.hpp"
+
+namespace ace {
+
+class ParContext;
+class OrpContext;
+
+enum class EngineMode : std::uint8_t { Seq, Andp, Orp };
+
+const char* engine_mode_name(EngineMode m);
+
+// The identity of a pooled engine: two requests may share a session iff
+// their configs compare equal.
+struct EngineConfig {
+  EngineMode mode = EngineMode::Seq;
+  unsigned agents = 1;  // forced to 1 for Seq
+  bool lpco = false;
+  bool shallow = false;
+  bool pdo = false;
+  bool lao = false;
+  bool occurs_check = false;
+  bool use_threads = false;            // Andp only: real std::thread driver
+  std::uint64_t resolution_limit = 0;  // default per-query budget (0 = none)
+
+  bool operator==(const EngineConfig&) const = default;
+};
+
+// Per-query execution budget.
+struct QueryBudget {
+  // Wall-clock budget measured from run() entry; zero means none.
+  std::chrono::nanoseconds deadline{0};
+  std::size_t max_solutions = SIZE_MAX;
+  // Overrides EngineConfig::resolution_limit when nonzero.
+  std::uint64_t resolution_limit = 0;
+};
+
+class EngineSession {
+ public:
+  EngineSession(Database& db, const Builtins& builtins, EngineConfig cfg,
+                const CostModel& costs = CostModel::standard());
+  ~EngineSession();
+
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
+
+  // Runs one query to completion / budget exhaustion. If `external` is
+  // non-null it is used as the stop token for this run (the serving layer
+  // hands out per-request tokens so queued requests can be cancelled);
+  // otherwise the session's own token is reset and used.
+  SolveResult run(const std::string& query_text,
+                  const QueryBudget& budget = {},
+                  CancelToken* external = nullptr);
+
+  // The session-owned token (valid when run() was called without an
+  // external one): cancel from another thread to stop the current query.
+  CancelToken& token() { return token_; }
+
+  const EngineConfig& config() const { return cfg_; }
+  // Number of completed run() calls; >0 means the next run is a reuse.
+  std::uint64_t queries_run() const { return queries_run_; }
+
+  // Optional event tracing, applied to every agent on the next run.
+  void set_tracer(Tracer* tracer);
+
+ private:
+  void reset();
+  SolveResult run_seq(const QueryBudget& budget, CancelToken* tok);
+  SolveResult run_andp(const QueryBudget& budget, CancelToken* tok);
+  SolveResult run_orp(const QueryBudget& budget, CancelToken* tok);
+  void finalize(SolveResult& result);
+  // Absorbs Cancelled/Deadline into result.stop; rethrows other causes.
+  void absorb_stop(const QueryStopped& stopped, SolveResult& result);
+
+  Database& db_;
+  const Builtins& builtins_;
+  EngineConfig cfg_;
+  CostModel costs_;
+  IoSink io_;
+  std::vector<std::unique_ptr<Store>> stores_;  // [0] shared (Seq/Andp);
+                                                // one per agent for Orp
+  std::unique_ptr<ParContext> par_;             // Andp only
+  std::unique_ptr<OrpContext> orp_;             // Orp only
+  std::vector<std::unique_ptr<Worker>> owned_;
+  std::vector<Worker*> workers_;
+  CancelToken token_;
+  std::uint64_t queries_run_ = 0;
+};
+
+}  // namespace ace

@@ -3,9 +3,16 @@
 namespace ace {
 
 StepOutcome VirtualDriver::run_until_event(
-    const std::vector<Worker*>& workers, std::uint64_t stall_limit) {
+    const std::vector<Worker*>& workers, std::uint64_t stall_limit,
+    CancelToken* cancel) {
   std::uint64_t idle_streak = 0;
+  std::uint64_t polls = 0;
   for (;;) {
+    // Shared stop protocol: the workers poll the token inside step(); the
+    // driver polls it here as well so a stop lands even when the next
+    // runnable worker is the paused/done top-level one. The clock read is
+    // decimated; the sticky-flag check runs every iteration.
+    if (cancel != nullptr) cancel->raise_if_stopped((++polls & 63u) == 0);
     // Pick the runnable worker with the minimum clock. The paused
     // top-level worker is not runnable; when it pauses we are done.
     Worker* top = workers[0];

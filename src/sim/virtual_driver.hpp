@@ -19,9 +19,13 @@ class VirtualDriver {
  public:
   // Steps until the top-level worker (workers[0]) reports a Solution or
   // Exhausted. Throws AceError on stall (every worker idle for
-  // `stall_limit` consecutive rounds).
+  // `stall_limit` consecutive rounds). If `cancel` is non-null the token
+  // is also polled between steps (the same stop protocol as the
+  // real-thread driver): a stop throws QueryStopped even while every
+  // agent sits idle.
   StepOutcome run_until_event(const std::vector<Worker*>& workers,
-                              std::uint64_t stall_limit = 1u << 22);
+                              std::uint64_t stall_limit = 1u << 22,
+                              CancelToken* cancel = nullptr);
 
   // Virtual makespan: the top-level worker's clock.
   static std::uint64_t makespan(const std::vector<Worker*>& workers) {

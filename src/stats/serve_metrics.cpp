@@ -1,0 +1,127 @@
+#include "stats/serve_metrics.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+namespace {
+
+std::size_t bucket_index(std::uint64_t us) {
+  std::size_t i = 0;
+  while (us > 1 && i + 1 < LatencyHistogram::kBuckets) {
+    us >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::chrono::microseconds us) {
+  std::uint64_t v =
+      us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count());
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(v, std::memory_order_relaxed);
+  atomic_max(max_us_, v);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  std::size_t last = 0;
+  std::array<std::uint64_t, kBuckets> raw{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    raw[i] = buckets_[i].load(std::memory_order_relaxed);
+    if (raw[i] != 0) last = i + 1;
+  }
+  s.buckets.assign(raw.begin(), raw.begin() + last);
+  return s;
+}
+
+std::uint64_t LatencyHistogram::Snapshot::percentile_us(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  std::uint64_t rank = static_cast<std::uint64_t>(p * double(count));
+  if (rank >= count) rank = count - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return i + 1 >= 64 ? max_us : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return max_us;
+}
+
+void ServeMetrics::set_queue_depth(std::uint64_t depth) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  atomic_max(queue_peak_, depth);
+}
+
+ServeMetricsSnapshot ServeMetrics::snapshot() const {
+  ServeMetricsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  s.latency = latency_.snapshot();
+  s.queue_wait = queue_wait_.snapshot();
+  return s;
+}
+
+namespace {
+
+std::string histogram_json(const LatencyHistogram::Snapshot& h) {
+  std::string buckets = "[";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i != 0) buckets += ",";
+    buckets += strf("%llu", (unsigned long long)h.buckets[i]);
+  }
+  buckets += "]";
+  return strf(
+      "{\"count\":%llu,\"mean_us\":%.1f,\"p50_us\":%llu,\"p90_us\":%llu,"
+      "\"p99_us\":%llu,\"max_us\":%llu,\"log2_buckets\":%s}",
+      (unsigned long long)h.count, h.mean_us(),
+      (unsigned long long)h.percentile_us(0.50),
+      (unsigned long long)h.percentile_us(0.90),
+      (unsigned long long)h.percentile_us(0.99),
+      (unsigned long long)h.max_us, buckets.c_str());
+}
+
+}  // namespace
+
+std::string ServeMetricsSnapshot::to_json() const {
+  return strf(
+      "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"
+      "\"completed\":%llu,\"cancelled\":%llu,\"deadline_expired\":%llu,"
+      "\"errors\":%llu,\"pool_hits\":%llu,\"pool_misses\":%llu,"
+      "\"pool_hit_rate\":%.3f,\"queue_depth\":%llu,\"queue_peak\":%llu,"
+      "\"latency\":%s,\"queue_wait\":%s}",
+      (unsigned long long)submitted, (unsigned long long)admitted,
+      (unsigned long long)rejected, (unsigned long long)completed,
+      (unsigned long long)cancelled, (unsigned long long)deadline_expired,
+      (unsigned long long)errors, (unsigned long long)pool_hits,
+      (unsigned long long)pool_misses, pool_hit_rate(),
+      (unsigned long long)queue_depth, (unsigned long long)queue_peak,
+      histogram_json(latency).c_str(), histogram_json(queue_wait).c_str());
+}
+
+}  // namespace ace

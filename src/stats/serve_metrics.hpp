@@ -1,0 +1,118 @@
+// Serving-layer metrics: admission/outcome counters, queue gauges,
+// engine-pool reuse accounting, and latency histograms.
+//
+// All mutators are lock-free atomics so the QueryService's dispatch threads
+// can record without contending; snapshot() produces a consistent-enough
+// view for reporting (counters are monotone; the gauge is instantaneous).
+// The JSON renderer is the machine-readable surface that ace_serve
+// --metrics and bench_serve emit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+// Lock-free base-2 exponential histogram over microseconds: bucket i counts
+// samples in [2^i, 2^(i+1)) us (bucket 0 also takes 0us). Percentiles are
+// reported as the upper bound of the containing bucket — coarse but stable,
+// which is what a serving dashboard wants.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // 2^39 us ~ 6.4 days
+
+  void record(std::chrono::microseconds us);
+
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  // trimmed at the last nonzero
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t max_us = 0;
+
+    double mean_us() const {
+      return count == 0 ? 0.0 : double(sum_us) / double(count);
+    }
+    // Upper bound of the bucket containing the p-quantile (p in [0,1]).
+    std::uint64_t percentile_us(double p) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+struct ServeMetricsSnapshot {
+  // Admission control.
+  std::uint64_t submitted = 0;   // submit() calls
+  std::uint64_t admitted = 0;    // accepted into the queue
+  std::uint64_t rejected = 0;    // bounced with overload (queue full/stopped)
+  // Outcomes of admitted queries.
+  std::uint64_t completed = 0;         // ran to completion / solution cap
+  std::uint64_t cancelled = 0;         // stopped by external cancel
+  std::uint64_t deadline_expired = 0;  // stopped by deadline (incl. in-queue)
+  std::uint64_t errors = 0;            // engine/parse errors
+  // Engine pool.
+  std::uint64_t pool_hits = 0;    // checkout served by a warm session
+  std::uint64_t pool_misses = 0;  // checkout had to construct a session
+  // Queue gauges.
+  std::uint64_t queue_depth = 0;  // instantaneous
+  std::uint64_t queue_peak = 0;   // high-water mark
+
+  LatencyHistogram::Snapshot latency;     // admission -> response
+  LatencyHistogram::Snapshot queue_wait;  // admission -> dispatch
+
+  double pool_hit_rate() const {
+    std::uint64_t total = pool_hits + pool_misses;
+    return total == 0 ? 0.0 : double(pool_hits) / double(total);
+  }
+  std::string to_json() const;
+};
+
+class ServeMetrics {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void on_deadline_expired() {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_pool_hit() { pool_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_pool_miss() {
+    pool_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void set_queue_depth(std::uint64_t depth);
+
+  void record_latency(std::chrono::microseconds us) { latency_.record(us); }
+  void record_queue_wait(std::chrono::microseconds us) {
+    queue_wait_.record(us);
+  }
+
+  ServeMetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> pool_misses_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
+  LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+};
+
+}  // namespace ace

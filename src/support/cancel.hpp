@@ -1,0 +1,136 @@
+// Cooperative query-stop protocol.
+//
+// A CancelToken is the single stop signal shared by every agent of one
+// query: the serving layer (or any host) arms it with a wall-clock deadline
+// and/or requests cancellation from another thread; each Worker polls it at
+// the top of step() and unwinds by throwing QueryStopped. The same token is
+// also checked between steps by both drivers (the virtual-time simulator
+// and the real-thread runtime), so simulated and threaded runs share one
+// stop protocol. This generalizes the original resolution_limit abort: all
+// stop sources (external cancel, deadline expiry, resolution budget) now
+// funnel through the same structured exception, which the engine facades
+// catch to report partial results.
+//
+// Cost discipline: the cancelled-flag load is a relaxed atomic read (one
+// per step); the deadline comparison needs a clock read, so callers only
+// request it every few dozen polls (Worker uses a 64-step stride).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "support/diag.hpp"
+
+namespace ace {
+
+// Why a query stopped early. None means it ran to completion (all
+// solutions, or the caller's solution cap).
+enum class StopCause : std::uint8_t {
+  None = 0,
+  Cancelled,        // external request_cancel()
+  Deadline,         // wall-clock deadline expired
+  ResolutionLimit,  // per-query resolution budget exhausted
+};
+
+inline const char* stop_cause_name(StopCause c) {
+  switch (c) {
+    case StopCause::None:
+      return "none";
+    case StopCause::Cancelled:
+      return "cancelled";
+    case StopCause::Deadline:
+      return "deadline";
+    case StopCause::ResolutionLimit:
+      return "resolution_limit";
+  }
+  return "?";
+}
+
+// Thrown by Worker::step()/drivers when a stop is observed. Derives from
+// AceError so host code that already handles engine errors keeps working;
+// the engine facades catch it specifically to return partial solutions.
+class QueryStopped : public AceError {
+ public:
+  explicit QueryStopped(StopCause cause)
+      : AceError(std::string("query stopped: ") + stop_cause_name(cause)),
+        cause_(cause) {}
+  StopCause cause() const { return cause_; }
+
+ private:
+  StopCause cause_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Re-arms the token for a new query (engine-pool reuse).
+  void reset() {
+    cause_.store(0, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  // External cancellation; first cause to land wins and is sticky.
+  void request_cancel() { set_cause(StopCause::Cancelled); }
+
+  // Arms a deadline `budget` from now. A zero/negative budget means the
+  // deadline is already expired (useful for queue-expired requests).
+  void arm_deadline(std::chrono::nanoseconds budget) {
+    deadline_ns_.store(now_ns() + budget.count(), std::memory_order_relaxed);
+  }
+  void disarm_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // Sticky observed cause (None while running).
+  StopCause cause() const {
+    return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
+  }
+  bool stop_requested() const { return cause() != StopCause::None; }
+
+  // Poll from an agent/driver loop. Always checks the sticky cause flag;
+  // reads the clock (and latches Deadline) only when `check_clock`.
+  StopCause poll(bool check_clock) {
+    StopCause c = cause();
+    if (c != StopCause::None) return c;
+    if (check_clock) {
+      std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+      if (dl != 0 && now_ns() >= dl) {
+        set_cause(StopCause::Deadline);
+        return cause();
+      }
+    }
+    return StopCause::None;
+  }
+
+  // Throws QueryStopped if a stop is (or becomes) observable.
+  void raise_if_stopped(bool check_clock = true) {
+    StopCause c = poll(check_clock);
+    if (c != StopCause::None) throw QueryStopped(c);
+  }
+
+  // Latches an arbitrary cause (used by the resolution-budget check).
+  void set_cause(StopCause c) {
+    std::uint8_t expected = 0;
+    cause_.compare_exchange_strong(expected, static_cast<std::uint8_t>(c),
+                                   std::memory_order_relaxed);
+  }
+
+ private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<std::uint8_t> cause_{0};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = unarmed
+};
+
+}  // namespace ace

@@ -1,0 +1,524 @@
+// Serving-layer tests: session reuse, cancellation (mid-parcall, LAO,
+// queued), deadlines with partial solutions, admission backpressure, and
+// the assert/retract vs. concurrent-query race the Database shared lock
+// exists to win.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "builtins/lib.hpp"
+#include "serve/service.hpp"
+
+namespace ace {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Long-running generators. spin/0 never terminates; nat/1 enumerates
+// forever; work/1 burns a controllable number of resolutions.
+constexpr const char* kSpinSrc = R"PL(
+spin :- spin.
+nat(z).
+nat(s(X)) :- nat(X).
+work(0) :- !.
+work(N) :- N1 is N - 1, work(N1).
+burn2 :- work(100000000) & work(100000000).
+)PL";
+
+// Backstop so a broken stop protocol fails the test instead of hanging it.
+constexpr auto kBackstop = 10s;
+
+EngineConfig seq_cfg() { return EngineConfig{}; }
+
+EngineConfig andp_cfg(unsigned agents, bool shallow, bool pdo,
+                      bool threads = false) {
+  EngineConfig c;
+  c.mode = EngineMode::Andp;
+  c.agents = agents;
+  c.lpco = true;
+  c.shallow = shallow;
+  c.pdo = pdo;
+  c.use_threads = threads;
+  return c;
+}
+
+EngineConfig orp_cfg(unsigned agents, bool lao) {
+  EngineConfig c;
+  c.mode = EngineMode::Orp;
+  c.agents = agents;
+  c.lao = lao;
+  return c;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : builtins(db.syms()) { load_library(db); }
+
+  Database db;
+  Builtins builtins;
+};
+
+// ---------------------------------------------------------------------------
+// EngineSession: reuse and cancellation.
+
+TEST_F(ServeTest, SessionReuseProducesIdenticalResults) {
+  db.consult("edge(a,b). edge(b,c). edge(a,c)."
+             "path(X,Y) :- edge(X,Y)."
+             "path(X,Y) :- edge(X,Z), path(Z,Y).");
+  EngineSession session(db, builtins, seq_cfg());
+  SolveResult first = session.run("path(a, X).");
+  for (int i = 0; i < 5; ++i) {
+    SolveResult again = session.run("path(a, X).");
+    EXPECT_EQ(again.solutions, first.solutions) << "reuse " << i;
+    EXPECT_EQ(again.stats.resolutions, first.stats.resolutions)
+        << "reuse " << i;
+    EXPECT_EQ(again.virtual_time, first.virtual_time) << "reuse " << i;
+  }
+  EXPECT_EQ(session.queries_run(), 6u);
+}
+
+TEST_F(ServeTest, CancelMidParcallAcrossOptimizationLevels) {
+  db.consult(kSpinSrc);
+  struct Variant {
+    bool shallow;
+    bool pdo;
+    bool threads;
+  };
+  const Variant variants[] = {
+      {false, false, false},
+      {true, false, false},
+      {false, true, false},
+      {true, true, false},
+      {true, true, true},
+  };
+  for (const Variant& v : variants) {
+    SCOPED_TRACE(testing::Message() << "shallow=" << v.shallow
+                                    << " pdo=" << v.pdo
+                                    << " threads=" << v.threads);
+    EngineSession session(db, builtins, andp_cfg(4, v.shallow, v.pdo,
+                                                 v.threads));
+    std::thread canceller([&session] {
+      std::this_thread::sleep_for(20ms);
+      session.token().request_cancel();
+    });
+    QueryBudget budget;
+    budget.deadline = kBackstop;  // safety net only; cancel should win
+    SolveResult r = session.run("burn2.", budget);
+    canceller.join();
+    EXPECT_EQ(r.stop, StopCause::Cancelled);
+    EXPECT_TRUE(r.solutions.empty());
+
+    // The cancelled engine must not be wedged: the very same session must
+    // serve a normal query correctly afterwards.
+    SolveResult after = session.run("work(10).");
+    EXPECT_EQ(after.stop, StopCause::None);
+    ASSERT_EQ(after.solutions.size(), 1u);
+  }
+}
+
+TEST_F(ServeTest, CancelOrpDuringLaoEnumerationThenReuse) {
+  // Unbounded enumeration with multi-clause choice points so LAO reuse and
+  // public-node takes are actually exercised when the cancel lands.
+  db.consult("d(0). d(1). d(2). d(3). d(4). d(5). d(6). d(7)."
+             "tup(A,B,C,D,E,F,G,H) :- d(A), d(B), d(C), d(D), d(E), d(F),"
+             "    d(G), d(H).");
+  for (bool lao : {false, true}) {
+    SCOPED_TRACE(testing::Message() << "lao=" << lao);
+    EngineSession session(db, builtins, orp_cfg(4, lao));
+    std::thread canceller([&session] {
+      std::this_thread::sleep_for(20ms);
+      session.token().request_cancel();
+    });
+    QueryBudget budget;
+    budget.deadline = kBackstop;
+    SolveResult r = session.run("tup(A,B,C,D,E,F,G,H).", budget);
+    canceller.join();
+    EXPECT_EQ(r.stop, StopCause::Cancelled);
+    // 8^8 tuples: the cancel must land long before exhaustion.
+    EXPECT_LT(r.solutions.size(), std::size_t{1} << 24);
+
+    SolveResult after = session.run("d(X).");
+    EXPECT_EQ(after.stop, StopCause::None);
+    EXPECT_EQ(after.solutions.size(), 8u);
+  }
+}
+
+TEST_F(ServeTest, DeadlineReturnsPartialSolutions) {
+  db.consult(kSpinSrc);
+  EngineSession session(db, builtins, seq_cfg());
+  QueryBudget budget;
+  budget.deadline = 30ms;
+  SolveResult r = session.run("nat(X).", budget);
+  EXPECT_EQ(r.stop, StopCause::Deadline);
+  EXPECT_GE(r.solutions.size(), 1u);  // z, s(z), ... found before expiry
+  EXPECT_EQ(r.solutions[0], "X = z");
+
+  // Reusable afterwards.
+  SolveResult after = session.run("nat(X).", QueryBudget{0ns, 3});
+  EXPECT_EQ(after.stop, StopCause::None);
+  EXPECT_EQ(after.solutions.size(), 3u);
+}
+
+TEST_F(ServeTest, PreCancelledExternalTokenStopsImmediately) {
+  db.consult(kSpinSrc);
+  EngineSession session(db, builtins, seq_cfg());
+  CancelToken token;
+  token.request_cancel();
+  SolveResult r = session.run("spin.", QueryBudget{}, &token);
+  EXPECT_EQ(r.stop, StopCause::Cancelled);
+  EXPECT_TRUE(r.solutions.empty());
+
+  SolveResult after = session.run("nat(X).", QueryBudget{0ns, 2});
+  EXPECT_EQ(after.solutions.size(), 2u);
+}
+
+TEST_F(ServeTest, ResolutionBudgetKeepsThrowingContract) {
+  db.consult(kSpinSrc);
+  EngineSession session(db, builtins, seq_cfg());
+  QueryBudget budget;
+  budget.resolution_limit = 1000;
+  EXPECT_THROW(session.run("spin.", budget), AceError);
+  // A thrown run must not wedge the session either.
+  SolveResult after = session.run("work(10).");
+  EXPECT_EQ(after.solutions.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService: pooling, dispatch, budgets, backpressure.
+
+TEST_F(ServeTest, ServiceRunsMixedEnginesConcurrently) {
+  db.consult("d(1). d(2). d(3)."
+             "pair(X,Y) :- d(X), d(Y)."
+             "ppair(X,Y) :- d(X) & d(Y).");
+  const std::vector<std::string> expected = {
+      "X = 1, Y = 1", "X = 1, Y = 2", "X = 1, Y = 3",
+      "X = 2, Y = 1", "X = 2, Y = 2", "X = 2, Y = 3",
+      "X = 3, Y = 1", "X = 3, Y = 2", "X = 3, Y = 3"};
+
+  ServiceOptions opts;
+  opts.dispatch_threads = 4;
+  QueryService service(db, opts);
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 64; ++i) {
+    QueryRequest req;
+    switch (i % 3) {
+      case 0:
+        req.engine = seq_cfg();
+        req.query = "pair(X, Y).";
+        break;
+      case 1:
+        req.engine = andp_cfg(4, true, true);
+        req.query = "ppair(X, Y).";
+        break;
+      default:
+        req.engine = orp_cfg(4, true);
+        req.query = "pair(X, Y).";
+        break;
+    }
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  for (auto& t : tickets) {
+    QueryResponse resp = t.result.get();
+    ASSERT_EQ(resp.status, QueryStatus::Ok) << resp.error;
+    std::vector<std::string> sols = resp.solutions;
+    std::sort(sols.begin(), sols.end());
+    EXPECT_EQ(sols, expected);
+    EXPECT_GT(resp.stats.resolutions, 0u);
+  }
+  service.shutdown();
+
+  ServeMetricsSnapshot m = service.metrics_snapshot();
+  EXPECT_EQ(m.submitted, 64u);
+  EXPECT_EQ(m.admitted, 64u);
+  EXPECT_EQ(m.completed, 64u);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.latency.count, 64u);
+  // Three configs on four dispatch threads: far fewer cold builds than
+  // queries — the pool must get hits.
+  EXPECT_GT(m.pool_hits, 32u);
+  EXPECT_GT(m.pool_hit_rate(), 0.5);
+}
+
+TEST_F(ServeTest, ServicePoolReuseIsObservable) {
+  db.consult("d(1).");
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;  // serialize so reuse is deterministic
+  QueryService service(db, opts);
+  QueryRequest req;
+  req.query = "d(X).";
+  QueryResponse first = service.run(req);
+  ASSERT_EQ(first.status, QueryStatus::Ok);
+  EXPECT_FALSE(first.engine_reused);
+  QueryResponse second = service.run(req);
+  ASSERT_EQ(second.status, QueryStatus::Ok);
+  EXPECT_TRUE(second.engine_reused);
+  EXPECT_EQ(second.solutions, first.solutions);
+  EXPECT_EQ(service.metrics_snapshot().pool_hits, 1u);
+}
+
+TEST_F(ServeTest, ServiceCancelStopsRunningQuery) {
+  db.consult(kSpinSrc);
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;
+  opts.default_deadline = kBackstop;
+  QueryService service(db, opts);
+  QueryRequest req;
+  req.query = "spin.";
+  QueryService::Ticket t = service.submit(std::move(req));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(service.cancel(t.id));
+  QueryResponse resp = t.result.get();
+  EXPECT_EQ(resp.status, QueryStatus::Cancelled);
+
+  // The engine that served the cancelled query is back in the pool and
+  // must serve the next query correctly.
+  QueryRequest again;
+  again.query = "nat(X).";
+  again.max_solutions = 2;
+  QueryResponse ok = service.run(again);
+  EXPECT_EQ(ok.status, QueryStatus::Ok);
+  EXPECT_TRUE(ok.engine_reused);
+  EXPECT_EQ(ok.solutions.size(), 2u);
+  EXPECT_EQ(service.metrics_snapshot().cancelled, 1u);
+}
+
+TEST_F(ServeTest, ServiceCancelQueuedQueryNeverRuns) {
+  db.consult(kSpinSrc);
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;
+  QueryService service(db, opts);
+
+  // Block the only dispatch thread.
+  QueryRequest blocker;
+  blocker.query = "spin.";
+  blocker.deadline = 400ms;
+  QueryService::Ticket bt = service.submit(std::move(blocker));
+
+  QueryRequest queued;
+  queued.query = "nat(X).";
+  queued.deadline = kBackstop;
+  QueryService::Ticket qt = service.submit(std::move(queued));
+  EXPECT_TRUE(service.cancel(qt.id));
+  QueryResponse resp = qt.result.get();
+  EXPECT_EQ(resp.status, QueryStatus::Cancelled);
+  EXPECT_EQ(resp.stats.resolutions, 0u);  // answered without running
+
+  QueryResponse br = bt.result.get();
+  EXPECT_EQ(br.status, QueryStatus::DeadlineExpired);
+  EXPECT_FALSE(service.cancel(qt.id));  // already finished
+}
+
+TEST_F(ServeTest, ServiceDeadlineExpiresInQueue) {
+  db.consult(kSpinSrc);
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;
+  QueryService service(db, opts);
+
+  QueryRequest blocker;
+  blocker.query = "spin.";
+  blocker.deadline = 300ms;
+  QueryService::Ticket bt = service.submit(std::move(blocker));
+
+  // These can only be dispatched after the blocker's 300ms, long past
+  // their own 1ms deadlines: they must be answered without running.
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.query = "nat(X).";
+    req.deadline = 1ms;
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  for (auto& t : tickets) {
+    QueryResponse resp = t.result.get();
+    EXPECT_EQ(resp.status, QueryStatus::DeadlineExpired);
+    EXPECT_EQ(resp.stats.resolutions, 0u);
+  }
+  EXPECT_EQ(bt.result.get().status, QueryStatus::DeadlineExpired);
+  EXPECT_EQ(service.metrics_snapshot().deadline_expired, 5u);
+}
+
+TEST_F(ServeTest, ServiceRunningDeadlineReturnsPartials) {
+  db.consult(kSpinSrc);
+  QueryService service(db);
+  QueryRequest req;
+  req.query = "nat(X).";
+  req.deadline = 30ms;
+  QueryResponse resp = service.run(std::move(req));
+  EXPECT_EQ(resp.status, QueryStatus::DeadlineExpired);
+  EXPECT_GE(resp.solutions.size(), 1u);
+  EXPECT_EQ(resp.solutions[0], "X = z");
+}
+
+TEST_F(ServeTest, ServiceRejectsWhenQueueFull) {
+  db.consult(kSpinSrc);
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;
+  opts.queue_capacity = 2;
+  QueryService service(db, opts);
+
+  QueryRequest blocker;
+  blocker.query = "spin.";
+  blocker.deadline = 300ms;
+  QueryService::Ticket bt = service.submit(std::move(blocker));
+  std::this_thread::sleep_for(30ms);  // ensure the blocker left the queue
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest req;
+    req.query = "nat(X).";
+    req.max_solutions = 1;
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  std::size_t rejected = 0;
+  for (auto& t : tickets) {
+    QueryResponse resp = t.result.get();
+    if (resp.status == QueryStatus::Rejected) {
+      ++rejected;
+      EXPECT_FALSE(resp.error.empty());
+    }
+  }
+  EXPECT_GE(rejected, 4u);  // capacity 2 of 6 submitted while blocked
+  (void)bt.result.get();
+  EXPECT_EQ(service.metrics_snapshot().rejected, rejected);
+}
+
+TEST_F(ServeTest, ServiceReportsErrorsWithoutPoisoningPool) {
+  db.consult("d(1).");
+  ServiceOptions opts;
+  opts.dispatch_threads = 1;
+  QueryService service(db, opts);
+
+  QueryRequest bad;
+  bad.query = "no_such_predicate(X).";
+  QueryResponse err = service.run(std::move(bad));
+  EXPECT_EQ(err.status, QueryStatus::Error);
+  EXPECT_NE(err.error.find("undefined predicate"), std::string::npos);
+
+  QueryRequest parse_bad;
+  parse_bad.query = "d(((.";
+  EXPECT_EQ(service.run(std::move(parse_bad)).status, QueryStatus::Error);
+
+  QueryRequest good;
+  good.query = "d(X).";
+  QueryResponse ok = service.run(std::move(good));
+  EXPECT_EQ(ok.status, QueryStatus::Ok);
+  EXPECT_TRUE(ok.engine_reused);  // the erroring session was still pooled
+  EXPECT_EQ(service.metrics_snapshot().errors, 2u);
+}
+
+TEST_F(ServeTest, ServiceDefaultResolutionLimitApplies) {
+  db.consult(kSpinSrc);
+  ServiceOptions opts;
+  opts.default_resolution_limit = 1000;
+  QueryService service(db, opts);
+  QueryRequest req;
+  req.query = "spin.";
+  QueryResponse resp = service.run(std::move(req));
+  EXPECT_EQ(resp.status, QueryStatus::Error);
+}
+
+// The race the Database shared lock exists to win: queries that backtrack
+// through a predicate while other served queries assert/retract into it.
+// Under TSan/ASan this is the test that catches an unguarded bucket read.
+TEST_F(ServeTest, ConcurrentAssertRetractWithBacktrackingQueries) {
+  db.consult(":- dynamic item/1.\n"
+             "item(seed).\n"
+             "d(1). d(2). d(3). d(4). d(5). d(6). d(7). d(8).\n"
+             "scan(N) :- d(_), d(_), d(_), item(N).\n");
+  ServiceOptions opts;
+  opts.dispatch_threads = 8;
+  opts.queue_capacity = 1024;
+  opts.default_deadline = kBackstop;
+  QueryService service(db, opts);
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int round = 0; round < 60; ++round) {
+    QueryRequest w1;
+    w1.query = "assertz(item(a)).";
+    tickets.push_back(service.submit(std::move(w1)));
+
+    QueryRequest r1;
+    r1.query = "scan(X).";  // 512-way backtrack over d/1 then item/1 reads
+    tickets.push_back(service.submit(std::move(r1)));
+
+    QueryRequest w2;
+    w2.query = "retract(item(a)).";
+    tickets.push_back(service.submit(std::move(w2)));
+
+    QueryRequest r2;
+    r2.engine = orp_cfg(2, true);
+    r2.query = "scan(X).";
+    tickets.push_back(service.submit(std::move(r2)));
+  }
+  std::size_t ok = 0;
+  for (auto& t : tickets) {
+    QueryResponse resp = t.result.get();
+    // assert/retract/scan may succeed or (for retract of an absent fact)
+    // fail with zero solutions; nothing may error, crash or expire.
+    ASSERT_EQ(resp.status, QueryStatus::Ok) << resp.error;
+    ++ok;
+  }
+  EXPECT_EQ(ok, 240u);
+  // item(seed) never retracted: every scan saw at least the seed.
+  service.shutdown();
+}
+
+TEST_F(ServeTest, ShutdownDrainsAdmittedWork) {
+  db.consult("d(1). d(2).");
+  ServiceOptions opts;
+  opts.dispatch_threads = 2;
+  QueryService service(db, opts);
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    QueryRequest req;
+    req.query = "d(X).";
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  service.shutdown();  // must drain, not drop
+  for (auto& t : tickets) {
+    EXPECT_EQ(t.result.get().status, QueryStatus::Ok);
+  }
+  QueryRequest late;
+  late.query = "d(X).";
+  EXPECT_EQ(service.run(std::move(late)).status, QueryStatus::Rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics plumbing.
+
+TEST(ServeMetricsTest, HistogramPercentilesAndJson) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(std::chrono::microseconds(100));
+  for (int i = 0; i < 10; ++i) h.record(std::chrono::microseconds(100000));
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max_us, 100000u);
+  EXPECT_LE(s.percentile_us(0.5), 127u);   // bucket upper bound for 100us
+  EXPECT_GE(s.percentile_us(0.99), 65536u);
+  EXPECT_NEAR(s.mean_us(), (90 * 100 + 10 * 100000) / 100.0, 0.5);
+
+  ServeMetrics m;
+  m.on_submitted();
+  m.on_admitted();
+  m.on_completed();
+  m.record_latency(std::chrono::microseconds(250));
+  m.set_queue_depth(3);
+  m.set_queue_depth(1);
+  ServeMetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.queue_depth, 1u);
+  EXPECT_EQ(snap.queue_peak, 3u);
+  std::string json = snap.to_json();
+  for (const char* key :
+       {"\"submitted\":1", "\"admitted\":1", "\"completed\":1",
+        "\"queue_peak\":3", "\"latency\":", "\"queue_wait\":",
+        "\"pool_hit_rate\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace ace

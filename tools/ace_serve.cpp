@@ -1,0 +1,244 @@
+// ace_serve: concurrent query front-end over a shared program.
+//
+//   ace_serve [options] <file.pl>...        queries on stdin, one per line
+//   ace_serve [options] --workload <name>
+//
+// Each input line is a '.'-terminated query, optionally prefixed by a
+// bracketed option group that picks the engine and budgets for that query:
+//
+//   [engine=andp agents=4 lpco shallow pdo threads] fib(20, F).
+//   [engine=orp agents=8 lao max=50] queens(8, Q).
+//   [deadline=100 limit=500000] loop.
+//
+// Recognized per-line options: engine=seq|andp|orp, agents=N, lpco,
+// shallow, pdo, lao, all-opts, threads, max=N (solution cap),
+// deadline=MILLIS, limit=N (resolution budget).
+//
+// Service options:
+//   --service-threads N   dispatch threads / concurrent engines (default 4)
+//   --queue N             admission queue capacity (default 128)
+//   --pool N              warm-session pool capacity (default 16)
+//   --deadline MILLIS     default per-query deadline (default none)
+//   --limit N             default resolution limit (default none)
+//   --window N            max in-flight submissions (default = queue size;
+//                         closed-loop submission avoids self-inflicted
+//                         rejects when feeding from a file)
+//   --quiet               suppress per-solution output (status lines only)
+//   --metrics             print the serving-metrics JSON on exit
+//
+// Output per query (in submission order):
+//   === id=3 status=ok engine_reused=1 queue_us=12 latency_us=840 sols=2
+//   ...one line per solution unless --quiet...
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "builtins/lib.hpp"
+#include "serve/service.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ace::AceError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: ace_serve [--service-threads N] [--queue N] [--pool N]\n"
+               "                 [--deadline MILLIS] [--limit N] [--window N]\n"
+               "                 [--quiet] [--metrics]\n"
+               "                 (<file.pl>... | --workload <name>)\n"
+               "queries on stdin, one per line:\n"
+               "  [engine=andp agents=4 lpco deadline=100 max=3] goal(X).\n");
+  std::exit(2);
+}
+
+// Parses a leading "[opt opt ...] " group off `line` into `req`.
+// Returns false on a malformed group.
+bool parse_line_options(std::string& line, ace::QueryRequest& req) {
+  std::size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos || line[start] != '[') return true;
+  std::size_t end = line.find(']', start);
+  if (end == std::string::npos) return false;
+  std::istringstream opts(line.substr(start + 1, end - start - 1));
+  line = line.substr(end + 1);
+  std::string tok;
+  while (opts >> tok) {
+    std::string key = tok;
+    std::string val;
+    std::size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      key = tok.substr(0, eq);
+      val = tok.substr(eq + 1);
+    }
+    using ace::EngineMode;
+    if (key == "engine") {
+      if (val == "seq") {
+        req.engine.mode = EngineMode::Seq;
+      } else if (val == "andp") {
+        req.engine.mode = EngineMode::Andp;
+      } else if (val == "orp") {
+        req.engine.mode = EngineMode::Orp;
+      } else {
+        return false;
+      }
+    } else if (key == "agents") {
+      req.engine.agents = static_cast<unsigned>(std::stoul(val));
+    } else if (key == "lpco") {
+      req.engine.lpco = true;
+    } else if (key == "shallow") {
+      req.engine.shallow = true;
+    } else if (key == "pdo") {
+      req.engine.pdo = true;
+    } else if (key == "lao") {
+      req.engine.lao = true;
+    } else if (key == "all-opts") {
+      req.engine.lpco = req.engine.shallow = true;
+      req.engine.pdo = req.engine.lao = true;
+    } else if (key == "threads") {
+      req.engine.use_threads = true;
+    } else if (key == "max") {
+      req.max_solutions = std::stoul(val);
+    } else if (key == "deadline") {
+      req.deadline = std::chrono::milliseconds(std::stoull(val));
+    } else if (key == "limit") {
+      req.resolution_limit = std::stoull(val);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct InFlight {
+  std::string text;
+  ace::QueryService::Ticket ticket;
+};
+
+void print_response(const std::string& text, ace::QueryResponse& resp,
+                    bool quiet) {
+  std::printf("=== id=%llu status=%s engine_reused=%d queue_us=%lld "
+              "latency_us=%lld sols=%zu",
+              (unsigned long long)resp.id, ace::query_status_name(resp.status),
+              resp.engine_reused ? 1 : 0, (long long)resp.queue_wait.count(),
+              (long long)resp.latency.count(), resp.solutions.size());
+  if (!resp.error.empty()) std::printf(" error=\"%s\"", resp.error.c_str());
+  std::printf("  %% %s\n", text.c_str());
+  if (!quiet) {
+    for (const std::string& s : resp.solutions) std::printf("%s\n", s.c_str());
+    if (!resp.output.empty()) std::printf("%s", resp.output.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  ServiceOptions sopts;
+  std::vector<std::string> files;
+  std::string workload_name;
+  std::size_t window = 0;
+  bool quiet = false;
+  bool want_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--service-threads") {
+      sopts.dispatch_threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--queue") {
+      sopts.queue_capacity = std::stoul(next());
+    } else if (arg == "--pool") {
+      sopts.pool_capacity = std::stoul(next());
+    } else if (arg == "--deadline") {
+      sopts.default_deadline = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--limit") {
+      sopts.default_resolution_limit = std::stoull(next());
+    } else if (arg == "--window") {
+      window = std::stoul(next());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg == "--workload") {
+      workload_name = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && workload_name.empty()) usage();
+  if (window == 0) window = sopts.queue_capacity;
+
+  try {
+    Database db;
+    load_library(db);
+    if (!workload_name.empty()) {
+      db.consult(workload(workload_name).source);
+    }
+    for (const std::string& f : files) db.consult(read_file(f));
+
+    QueryService service(db, sopts);
+
+    // Closed-loop feed: keep at most `window` queries in flight so piping a
+    // large file does not bounce off the admission queue that exists to
+    // protect against *other* clients.
+    std::deque<InFlight> inflight;
+    std::size_t errors = 0;
+    auto drain_one = [&]() {
+      InFlight f = std::move(inflight.front());
+      inflight.pop_front();
+      QueryResponse resp = f.ticket.result.get();
+      if (resp.status == QueryStatus::Error ||
+          resp.status == QueryStatus::Rejected) {
+        ++errors;
+      }
+      print_response(f.text, resp, quiet);
+    };
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      QueryRequest req;
+      if (!parse_line_options(line, req)) {
+        std::fprintf(stderr, "error: malformed option group: %s\n",
+                     line.c_str());
+        ++errors;
+        continue;
+      }
+      std::size_t pos = line.find_first_not_of(" \t");
+      if (pos == std::string::npos) continue;    // blank
+      if (line[pos] == '%') continue;            // comment
+      req.query = line.substr(pos);
+      if (inflight.size() >= window) drain_one();
+      InFlight f;
+      f.text = req.query;
+      f.ticket = service.submit(std::move(req));
+      inflight.push_back(std::move(f));
+    }
+    while (!inflight.empty()) drain_one();
+    service.shutdown();
+
+    if (want_metrics) {
+      std::printf("%s\n", service.metrics_snapshot().to_json().c_str());
+    }
+    return errors == 0 ? 0 : 1;
+  } catch (const AceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
