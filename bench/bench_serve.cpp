@@ -17,14 +17,19 @@
 //
 //   bench_serve [--queries N] [--threads N] [--clients N]
 //               [--workload name] [--engines seq,andp,orp]
+//               [--trace FILE]   record the reuse pass with the obs layer
+//                                and write Chrome trace_event JSON
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "builtins/lib.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -69,22 +74,24 @@ struct Measurement {
 };
 
 Measurement drive(Database& db, const BenchConfig& bc,
-                  std::size_t pool_capacity) {
+                  std::size_t pool_capacity,
+                  obs::Recorder* recorder = nullptr) {
   ServiceOptions opts;
   opts.dispatch_threads = bc.threads;
   opts.queue_capacity = bc.clients + bc.threads + 8;
   opts.pool_capacity = pool_capacity;
+  opts.recorder = recorder;
   QueryService service(db, opts);
 
   SteadyClock::time_point t0 = SteadyClock::now();
   std::deque<QueryService::Ticket> inflight;
   for (std::size_t i = 0; i < bc.queries; ++i) {
     if (inflight.size() >= bc.clients) {
-      QueryResponse resp = inflight.front().result.get();
+      QueryResult resp = inflight.front().result.get();
       inflight.pop_front();
-      if (resp.status != QueryStatus::Ok) {
+      if (!resp.completed()) {
         throw AceError(std::string("bench query failed: ") +
-                       query_status_name(resp.status) + " " + resp.error);
+                       query_outcome_name(resp.outcome) + " " + resp.error);
       }
     }
     QueryRequest req;
@@ -93,11 +100,11 @@ Measurement drive(Database& db, const BenchConfig& bc,
     inflight.push_back(service.submit(std::move(req)));
   }
   while (!inflight.empty()) {
-    QueryResponse resp = inflight.front().result.get();
+    QueryResult resp = inflight.front().result.get();
     inflight.pop_front();
-    if (resp.status != QueryStatus::Ok) {
+    if (!resp.completed()) {
       throw AceError(std::string("bench query failed: ") +
-                     query_status_name(resp.status) + " " + resp.error);
+                     query_outcome_name(resp.outcome) + " " + resp.error);
     }
   }
   Measurement m;
@@ -125,6 +132,7 @@ void report(const char* mode, const BenchConfig& bc, const Measurement& m) {
 
 int main(int argc, char** argv) {
   BenchConfig bc;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -144,6 +152,10 @@ int main(int argc, char** argv) {
       bc.workload_name = next();
     } else if (arg == "--query") {
       bc.query = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--engines") {
       std::string mix = next();
       bc.use_seq = mix.find("seq") != std::string::npos;
@@ -175,12 +187,34 @@ int main(int argc, char** argv) {
     Measurement cold = drive(db, bc, /*pool_capacity=*/0);
     report("cold", bc, cold);
 
-    // reuse: warm pool — queries run on recycled sessions.
-    Measurement reuse = drive(db, bc, /*pool_capacity=*/16);
+    // reuse: warm pool — queries run on recycled sessions. The optional
+    // trace records this pass: the interesting one, where checkouts hit.
+    std::unique_ptr<obs::Recorder> recorder;
+    if (!trace_path.empty()) recorder = std::make_unique<obs::Recorder>();
+    Measurement reuse = drive(db, bc, /*pool_capacity=*/16, recorder.get());
     report("reuse", bc, reuse);
 
     std::printf("{\"speedup_reuse_over_cold\":%.3f}\n",
                 cold.seconds / reuse.seconds);
+
+    if (recorder != nullptr) {
+      std::string json = obs::chrome_trace_json(*recorder);
+      std::string err;
+      if (!obs::validate_chrome_trace(json, &err)) {
+        std::fprintf(stderr, "error: trace export failed validation: %s\n",
+                     err.c_str());
+        return 2;
+      }
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      out << json;
+      std::fprintf(stderr, "trace: %llu events -> %s\n",
+                   (unsigned long long)recorder->total_events(),
+                   trace_path.c_str());
+    }
     return 0;
   } catch (const ace::AceError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "engine/worker.hpp"
+#include "support/chunked_vector.hpp"
 
 namespace ace {
 
@@ -22,12 +23,14 @@ class ParContext {
  public:
   explicit ParContext(unsigned n_agents) : pools_(n_agents) {}
 
+  ~ParContext() { delete_parcalls(); }
+
   // Clears all per-query state (parcall arena, work pools) so a pooled
   // session can reuse this context for its next query. Must only be called
   // between queries (no agent running).
   void reset() {
     std::lock_guard<std::mutex> lock(alloc_mu_);
-    parcalls_.clear();
+    delete_parcalls();
     for (Pool& p : pools_) {
       std::lock_guard<std::mutex> plock(p.mu);
       p.q.clear();
@@ -35,14 +38,17 @@ class ParContext {
     failing_count.store(0, std::memory_order_relaxed);
   }
 
-  // ---- Parcall arena (stable addresses; deque never shrinks) ----
+  // ---- Parcall arena ----
+  // Heap-allocated frames indexed through a stable chunked pointer table:
+  // get() is lock-free and safe against a concurrent alloc_parcall() (a
+  // std::deque's bookkeeping would race with readers while it grows).
   Parcall& alloc_parcall() {
+    Parcall* pf = new Parcall();
     std::lock_guard<std::mutex> lock(alloc_mu_);
-    Parcall& pf = parcalls_.emplace_back();
-    pf.id = static_cast<std::uint32_t>(parcalls_.size() - 1);
-    return pf;
+    pf->id = static_cast<std::uint32_t>(parcalls_.push_back(pf));
+    return *pf;
   }
-  Parcall& get(std::uint32_t id) { return parcalls_[id]; }
+  Parcall& get(std::uint32_t id) { return *parcalls_[id]; }
   std::size_t num_parcalls() const { return parcalls_.size(); }
 
   // True if `pf` is `ancestor` or one of its descendants (via creator_pf
@@ -74,8 +80,13 @@ class ParContext {
  private:
   bool claim(const Work& w, Worker& taker);
 
+  void delete_parcalls() {
+    for (std::size_t i = 0; i < parcalls_.size(); ++i) delete parcalls_[i];
+    parcalls_.truncate(0);
+  }
+
   std::mutex alloc_mu_;
-  std::deque<Parcall> parcalls_;
+  StableChunkList<Parcall*, 20, 6> parcalls_;
 
   struct Pool {
     mutable std::mutex mu;

@@ -71,8 +71,9 @@ void Worker::slot_initial_failure() {
 bool Worker::subtree_has_executing(std::uint32_t pf_id) {
   for (std::uint32_t id = 0; id < par_->num_parcalls(); ++id) {
     if (!par_->in_subtree(id, pf_id)) continue;
-    for (const Slot& s : par_->get(id).slots) {
-      if (s.state == SlotState::Executing) return true;
+    const Parcall& pf = par_->get(id);
+    for (std::uint32_t i = 0; i < pf.slots.size(); ++i) {
+      if (pf.slots[i].state == SlotState::Executing) return true;
     }
   }
   return false;

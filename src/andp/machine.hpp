@@ -1,5 +1,9 @@
 // AndpMachine: the &ACE-style independent and-parallel engine facade.
 //
+// DEPRECATED (PR 2): thin wrapper kept for one PR. New code constructs
+// ace::Engine with EngineMode::Andp (engine/engine.hpp), which pre-warms
+// one session instead of rebuilding stores and workers per solve().
+//
 // Usage:
 //   Database db;
 //   load_library(db);

@@ -321,6 +321,7 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
 
   if (pdo_merge) {
     ++stats_.pdo_merges;
+    trace(TraceEvent::PdoMerge, pf_id, slot_idx);
     s.marker_pending = false;
   } else if (opts_.shallow) {
     // Procrastinate the input marker until a choice point appears.
@@ -391,6 +392,7 @@ void Worker::complete_slot() {
     if (bt_ == kNoRef) {
       s.marker_pending = false;
       stats_.shallow_skipped_markers += 2;
+      trace(TraceEvent::ShallowSkip, pf_id, slot_idx);
     } else {
       maybe_materialize_input_marker();
     }
@@ -503,7 +505,8 @@ void Worker::resume_continuation(std::uint32_t pf_id) {
   // a backtrack point — and a SHALLOW-procrastinated input marker of the
   // enclosing slot must materialize, exactly as before a choice point.
   bool has_alternatives = false;
-  for (const Slot& s : pf.slots) {
+  for (std::uint32_t i = 0; i < pf.slots.size(); ++i) {
+    const Slot& s = pf.slots[i];
     if (s.state == SlotState::Succeeded && s.newest_bt != kNoRef) {
       has_alternatives = true;
       break;

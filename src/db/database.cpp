@@ -1,5 +1,8 @@
 #include "db/database.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "support/strutil.hpp"
 
 namespace ace {
@@ -9,7 +12,46 @@ std::uint64_t pred_key(std::uint32_t sym, unsigned arity) {
   return (std::uint64_t{sym} << 12) | arity;
 }
 
+#ifndef NDEBUG
+// One entry per database this thread currently guards. In practice a
+// thread guards at most one database, but tests construct several; the
+// registry is a tiny linear scan either way.
+struct GuardEntry {
+  const Database* db;
+  int depth;
+};
+thread_local std::vector<GuardEntry> t_guards;
+#endif
+
 }  // namespace
+
+#ifndef NDEBUG
+void Database::debug_note_guard(int delta) const {
+  for (auto it = t_guards.begin(); it != t_guards.end(); ++it) {
+    if (it->db == this) {
+      it->depth += delta;
+      if (it->depth <= 0) t_guards.erase(it);
+      return;
+    }
+  }
+  if (delta > 0) t_guards.push_back(GuardEntry{this, delta});
+}
+
+void Database::debug_assert_unguarded(const char* fn) const {
+  for (const GuardEntry& e : t_guards) {
+    if (e.db == this && e.depth > 0) {
+      std::fprintf(
+          stderr,
+          "Database::%s called while this thread holds a read_guard()/"
+          "write_guard() on the same database; shared_mutex is not "
+          "recursive, so this would deadlock in a release build. Use the "
+          "*_nolock accessors inside guard scopes.\n",
+          fn);
+      std::abort();
+    }
+  }
+}
+#endif
 
 Database::Database() = default;
 
@@ -21,11 +63,13 @@ const Predicate* Database::find_locked(std::uint32_t sym,
 }
 
 const Predicate* Database::find(std::uint32_t sym, unsigned arity) const {
+  debug_assert_unguarded("find");
   std::shared_lock<std::shared_mutex> lock(mu_);
   return find_locked(sym, arity);
 }
 
 Predicate* Database::find_mutable(std::uint32_t sym, unsigned arity) {
+  debug_assert_unguarded("find_mutable");
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = pred_ids_.find(pred_key(sym, arity));
   if (it == pred_ids_.end()) return nullptr;
@@ -33,6 +77,7 @@ Predicate* Database::find_mutable(std::uint32_t sym, unsigned arity) {
 }
 
 Predicate& Database::get_or_create(std::uint32_t sym, unsigned arity) {
+  debug_assert_unguarded("get_or_create");
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = pred_ids_.emplace(
       pred_key(sym, arity), static_cast<std::uint32_t>(preds_.size()));
@@ -43,6 +88,7 @@ Predicate& Database::get_or_create(std::uint32_t sym, unsigned arity) {
 }
 
 void Database::add_clause(TermTemplate tmpl, bool front) {
+  debug_assert_unguarded("add_clause");
   auto lock = write_guard();
   add_clause_nolock(std::move(tmpl), front);
 }

@@ -62,12 +62,50 @@ class Database {
   // use the *_nolock accessors inside it (shared_mutex is not recursive:
   // never call find()/find_mutable() while holding a guard). Mutating
   // builtins take write_guard() for the scan-and-mutate sequence.
-  std::shared_lock<std::shared_mutex> read_guard() const {
-    return std::shared_lock<std::shared_mutex>(mu_);
-  }
-  std::unique_lock<std::shared_mutex> write_guard() const {
-    return std::unique_lock<std::shared_mutex>(mu_);
-  }
+  //
+  // Debug builds enforce that contract: the guards register themselves in
+  // a thread-local registry, and the self-locking entry points (find,
+  // find_mutable, add_clause, consult, get_or_create) abort with a
+  // diagnostic when called while the same thread holds a guard on this
+  // database — the release-build behavior would be a silent deadlock.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const Database& db) : db_(&db), lock_(db.mu_) {
+      db.debug_note_guard(+1);
+    }
+    ReadGuard(ReadGuard&& o) noexcept
+        : db_(o.db_), lock_(std::move(o.lock_)) {
+      o.db_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() {
+      if (db_ != nullptr) db_->debug_note_guard(-1);
+    }
+
+   private:
+    const Database* db_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+  class WriteGuard {
+   public:
+    explicit WriteGuard(const Database& db) : db_(&db), lock_(db.mu_) {
+      db.debug_note_guard(+1);
+    }
+    WriteGuard(WriteGuard&& o) noexcept
+        : db_(o.db_), lock_(std::move(o.lock_)) {
+      o.db_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&&) = delete;
+    ~WriteGuard() {
+      if (db_ != nullptr) db_->debug_note_guard(-1);
+    }
+
+   private:
+    const Database* db_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+  ReadGuard read_guard() const { return ReadGuard(*this); }
+  WriteGuard write_guard() const { return WriteGuard(*this); }
   const Predicate* find_nolock(std::uint32_t sym, unsigned arity) const {
     return find_locked(sym, arity);
   }
@@ -80,6 +118,15 @@ class Database {
  private:
   const Predicate* find_locked(std::uint32_t sym, unsigned arity) const;
   void handle_directive(const TermTemplate& tmpl);
+
+  // Debug re-entrancy sentinel (no-ops in release builds).
+#ifndef NDEBUG
+  void debug_note_guard(int delta) const;
+  void debug_assert_unguarded(const char* fn) const;
+#else
+  void debug_note_guard(int) const {}
+  void debug_assert_unguarded(const char*) const {}
+#endif
 
   SymbolTable syms_;
   mutable std::shared_mutex mu_;

@@ -1,0 +1,91 @@
+// ace::Engine facade implementation, plus the EngineConfig identity
+// helpers (engine_mode_name / describe) shared by the serving layer and
+// the CLI tools.
+#include "engine/engine.hpp"
+
+#include <chrono>
+
+#include "db/database.hpp"
+#include "serve/session.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+const char* engine_mode_name(EngineMode m) {
+  switch (m) {
+    case EngineMode::Seq:
+      return "seq";
+    case EngineMode::Andp:
+      return "andp";
+    case EngineMode::Orp:
+      return "orp";
+  }
+  return "?";
+}
+
+std::string EngineConfig::describe() const {
+  std::string out = strf("%s x%u", engine_mode_name(mode), agents);
+  std::string flags;
+  if (lpco) flags += "+lpco";
+  if (shallow) flags += "+shallow";
+  if (pdo) flags += "+pdo";
+  if (lao) flags += "+lao";
+  if (occurs_check) flags += "+occ";
+  if (use_threads) flags += "+threads";
+  if (resolution_limit != 0) {
+    flags += strf("+limit=%llu", (unsigned long long)resolution_limit);
+  }
+  if (!flags.empty()) out += " " + flags;
+  return out;
+}
+
+Engine::Engine(Database& db, EngineConfig cfg, const CostModel& costs)
+    : cfg_(cfg), builtins_(db.syms()) {
+  session_ = std::make_unique<EngineSession>(db, builtins_, cfg_, costs);
+  cfg_ = session_->config();  // session normalizes (e.g. Seq forces 1 agent)
+}
+
+Engine::~Engine() = default;
+
+SolveResult Engine::solve(const std::string& query_text,
+                          std::size_t max_solutions) {
+  QueryBudget budget;
+  budget.max_solutions = max_solutions;
+  return session_->run(query_text, budget, nullptr, next_qid_++);
+}
+
+QueryResult Engine::query(const std::string& query_text,
+                          const QueryBudget& budget) {
+  QueryResult r;
+  r.id = next_qid_++;
+  r.query = query_text;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    r.absorb(session_->run(query_text, budget, nullptr, r.id));
+    r.engine_reused = session_->queries_run() > 1;
+  } catch (const QueryStopped& stopped) {
+    // Only ResolutionLimit escapes run(); surface it as an error result
+    // instead of throwing across the wire-facing API.
+    r.outcome = QueryOutcome::Error;
+    r.error = stopped.what();
+  } catch (const AceError& err) {
+    r.outcome = QueryOutcome::Error;
+    r.error = err.what();
+  }
+  r.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  return r;
+}
+
+std::uint64_t Engine::queries_run() const { return session_->queries_run(); }
+
+CancelToken& Engine::token() { return session_->token(); }
+
+void Engine::set_tracer(Tracer* tracer) { session_->set_tracer(tracer); }
+
+void Engine::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  session_->set_recorder(recorder);
+}
+
+}  // namespace ace

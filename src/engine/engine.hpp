@@ -1,0 +1,126 @@
+// ace::Engine — the one engine facade (PR 2 API redesign).
+//
+// One class constructed from an EngineConfig replaces the three historical
+// facades (SeqEngine / AndpMachine / OrpMachine, kept as thin deprecated
+// wrappers for one PR). An Engine owns a pre-warmed EngineSession, so
+// repeated queries on the same Engine run in warm arenas exactly like
+// pooled serving-layer sessions — the old facades rebuilt stores and
+// workers on every solve().
+//
+//   Database db;
+//   load_library(db);
+//   db.consult("p(X,Y) :- q(X) & r(Y).");
+//   EngineConfig cfg{.mode = EngineMode::Andp, .agents = 4,
+//                    .lpco = true, .shallow = true, .pdo = true};
+//   Engine eng(db, cfg);
+//   SolveResult r = eng.solve("p(A,B).");          // engine-internal form
+//   QueryResult  q = eng.query("p(A,B).");         // wire-facing form (v2)
+//
+// Observability: attach an obs::Recorder (set_recorder) for real-thread
+// tracing with per-query spans, or a sim Tracer (set_tracer) for
+// virtual-time recording; both cost one predicted branch per event site
+// when absent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "builtins/builtins.hpp"
+#include "engine/result.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ace {
+
+namespace obs {
+class Recorder;
+}
+
+class CancelToken;
+class Database;
+class EngineSession;
+class Tracer;
+
+enum class EngineMode : std::uint8_t { Seq, Andp, Orp };
+
+const char* engine_mode_name(EngineMode m);
+
+// The identity of an engine: two requests may share a pooled session iff
+// their configs compare equal.
+struct EngineConfig {
+  EngineMode mode = EngineMode::Seq;
+  unsigned agents = 1;  // forced to 1 for Seq
+  bool lpco = false;
+  bool shallow = false;
+  bool pdo = false;
+  bool lao = false;
+  bool occurs_check = false;
+  bool use_threads = false;            // Andp only: real std::thread driver
+  std::uint64_t resolution_limit = 0;  // default per-query budget (0 = none)
+
+  bool operator==(const EngineConfig&) const = default;
+
+  // Human-readable identity, e.g. "andp x4 +lpco+shallow+pdo".
+  std::string describe() const;
+};
+
+// Per-query execution budget.
+struct QueryBudget {
+  // Wall-clock budget measured from run() entry; zero means none.
+  std::chrono::nanoseconds deadline{0};
+  std::size_t max_solutions = SIZE_MAX;
+  // Overrides EngineConfig::resolution_limit when nonzero.
+  std::uint64_t resolution_limit = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(Database& db, EngineConfig cfg = {},
+                  const CostModel& costs = CostModel::standard());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs `query_text` (a '.'-terminated goal), collecting up to
+  // `max_solutions` solutions. Engine state is reset per call; arenas stay
+  // warm across calls.
+  SolveResult solve(const std::string& query_text,
+                    std::size_t max_solutions = SIZE_MAX);
+
+  // The wire-facing form: outcome enum, per-query Counters delta,
+  // latency, optional trace handle. Engine errors land in
+  // QueryResult::error instead of throwing (resolution-budget exhaustion
+  // included).
+  QueryResult query(const std::string& query_text,
+                    const QueryBudget& budget = {});
+
+  // Convenience: true if the query has at least one solution.
+  bool succeeds(const std::string& query_text) {
+    return !solve(query_text, 1).solutions.empty();
+  }
+
+  const EngineConfig& config() const { return cfg_; }
+  // Completed runs on this engine; > 0 means the next run reuses warm
+  // arenas.
+  std::uint64_t queries_run() const;
+
+  // Cancel the in-flight query from another thread.
+  CancelToken& token();
+
+  // Optional instrumentation (see class comment).
+  void set_tracer(Tracer* tracer);
+  void set_recorder(obs::Recorder* recorder);
+
+  // The underlying session (serving-layer integration and tests).
+  EngineSession& session() { return *session_; }
+
+ private:
+  EngineConfig cfg_;
+  Builtins builtins_;
+  std::unique_ptr<EngineSession> session_;
+  obs::Recorder* recorder_ = nullptr;
+  std::uint64_t next_qid_ = 1;
+};
+
+}  // namespace ace

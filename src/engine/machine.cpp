@@ -1,9 +1,18 @@
 #include <algorithm>
 
 #include "engine/worker.hpp"
+#include "obs/recorder.hpp"
 #include "support/strutil.hpp"
 
 namespace ace {
+
+// Cold path of Worker::trace(): at least one sink is attached. The obs
+// EventKind vocabulary mirrors TraceEvent exactly for the engine-level
+// events (static_asserted in obs/events.hpp), so the conversion is a cast.
+void Worker::trace_slow(TraceEvent ev, std::uint64_t a, std::uint64_t b) {
+  if (tracer_ != nullptr) tracer_->record(clock_, agent_, ev, a, b);
+  if (obs_ != nullptr) obs_->note(static_cast<obs::EventKind>(ev), a, b);
+}
 
 Worker::Worker(unsigned agent, Store& store, Database& db, const Builtins& bi,
                const CostModel& costs, WorkerOptions opts, IoSink& io)

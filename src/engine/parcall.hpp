@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/frames.hpp"
+#include "support/chunked_vector.hpp"
 
 namespace ace {
 
@@ -46,7 +47,12 @@ enum class SlotState : std::uint8_t {
 
 struct Slot {
   Addr goal = 0;
-  SlotState state = SlotState::Pending;
+  // Atomic: the real-thread runtime reads slot states outside pf.mu
+  // (work-pool prefilters, sticky dispatch, continuation resume) and
+  // revalidates under the mutex before acting. The seq_cst store in the
+  // writer / load in the reader also carries the happens-before for the
+  // plain fields and stack sections published alongside a transition.
+  std::atomic<SlotState> state{SlotState::Pending};
   unsigned exec_agent = 0;
   bool resumed = false;       // executing under outside backtracking
   Ref newest_bt = kNoRef;     // newest Choice/Parcall ref inside the slot
@@ -70,6 +76,33 @@ struct Slot {
   std::uint32_t lpco_parent = kNoSlot;
 
   std::uint64_t publish_time = 0;  // virtual time when made fetchable
+
+  // The atomic state member deletes the implicit copy operations; slots
+  // are still copied when appended to a parcall's slot list, so spell the
+  // copies out (a copy observes a quiescent slot — construction before
+  // publication, or the holder of pf.mu).
+  Slot() = default;
+  Slot(const Slot& o) { *this = o; }
+  Slot& operator=(const Slot& o) {
+    if (this == &o) return *this;
+    goal = o.goal;
+    state.store(o.state.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    exec_agent = o.exec_agent;
+    resumed = o.resumed;
+    newest_bt = o.newest_bt;
+    parts = o.parts;
+    child_pfs = o.child_pfs;
+    marker_pending = o.marker_pending;
+    pdo_merged = o.pdo_merged;
+    in_marker = o.in_marker;
+    end_marker = o.end_marker;
+    order_prev = o.order_prev;
+    order_next = o.order_next;
+    lpco_parent = o.lpco_parent;
+    publish_time = o.publish_time;
+    return *this;
+  }
 };
 
 enum class PfState : std::uint8_t {
@@ -88,11 +121,17 @@ struct Parcall {
   std::uint32_t creator_pf = kNoPf;  // enclosing slot context of the owner
   std::uint32_t creator_slot = 0;
 
-  std::vector<Slot> slots;
+  // Stable-address, grow-only: agents read slots of a published parcall
+  // without pf.mu (appends — parcall creation before publication, LPCO
+  // flattening under pf.mu — are serialized; a std::vector's relocation
+  // would race with those readers).
+  StableChunkList<Slot, 12, 1> slots;
   std::uint32_t order_head = kNoSlot;  // leftmost slot in logical order
   std::uint32_t order_tail = kNoSlot;
 
-  PfState state = PfState::Forward;
+  // Atomic for the same reason as Slot::state: prefilter reads happen
+  // outside pf.mu, and the failure coordinator publishes Dead directly.
+  std::atomic<PfState> state{PfState::Forward};
   std::atomic<std::uint32_t> pending{0};  // slots not yet Succeeded
 
   // Continuation-resume marks, taken on the coordinator's stacks each time

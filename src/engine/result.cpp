@@ -1,0 +1,83 @@
+#include "engine/result.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+const char* query_outcome_name(QueryOutcome o) {
+  switch (o) {
+    case QueryOutcome::Success:
+      return "success";
+    case QueryOutcome::Fail:
+      return "fail";
+    case QueryOutcome::Cancelled:
+      return "cancelled";
+    case QueryOutcome::DeadlineExpired:
+      return "deadline_expired";
+    case QueryOutcome::Overload:
+      return "overload";
+    case QueryOutcome::Error:
+      return "error";
+  }
+  return "?";
+}
+
+void QueryResult::absorb(SolveResult&& r) {
+  switch (r.stop) {
+    case StopCause::None:
+      outcome = r.solutions.empty() ? QueryOutcome::Fail
+                                    : QueryOutcome::Success;
+      break;
+    case StopCause::Cancelled:
+      outcome = QueryOutcome::Cancelled;
+      break;
+    case StopCause::Deadline:
+      outcome = QueryOutcome::DeadlineExpired;
+      break;
+    case StopCause::ResolutionLimit:
+      // EngineSession::run rethrows this cause; defensive mapping only.
+      outcome = QueryOutcome::Error;
+      error = "resolution limit exceeded";
+      break;
+  }
+  solutions = std::move(r.solutions);
+  output = std::move(r.output);
+  stats = r.stats;
+  virtual_time = r.virtual_time;
+}
+
+std::string QueryResult::to_json(bool include_stats,
+                                 bool include_solutions) const {
+  std::string out = strf("{\"v\":%d,\"id\":%llu,\"outcome\":\"%s\"",
+                         kVersion, (unsigned long long)id,
+                         query_outcome_name(outcome));
+  if (!query.empty()) {
+    out += strf(",\"query\":\"%s\"", json_escape(query).c_str());
+  }
+  out += strf(",\"sols\":%zu", solutions.size());
+  if (include_solutions) {
+    out += ",\"solutions\":[";
+    for (std::size_t i = 0; i < solutions.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + json_escape(solutions[i]) + "\"";
+    }
+    out += "]";
+  }
+  if (!output.empty()) {
+    out += strf(",\"output\":\"%s\"", json_escape(output).c_str());
+  }
+  if (!error.empty()) {
+    out += strf(",\"error\":\"%s\"", json_escape(error).c_str());
+  }
+  out += strf(",\"reused\":%s", engine_reused ? "true" : "false");
+  out += strf(",\"queue_us\":%lld,\"latency_us\":%lld",
+              (long long)queue_wait.count(), (long long)latency.count());
+  if (trace_id != 0) {
+    out += strf(",\"trace\":%llu", (unsigned long long)trace_id);
+  }
+  if (include_stats) out += ",\"stats\":" + stats.to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,90 @@
+// Result types shared by the engine facades, the CLI tools, and the
+// serving layer.
+//
+// SolveResult is the engine-internal form: raw solutions plus the
+// virtual-time and per-agent counter surfaces the paper's measurements are
+// built from (moved here from engine/seq_engine.hpp in PR 2).
+//
+// QueryResult is the versioned, wire-facing response (v2): one outcome
+// enum covering completion, failure, every stop cause and admission
+// overload; the per-query Counters delta; latency/queue accounting from
+// the serving layer; and an optional trace handle tying the response to
+// its spans in an obs::Recorder. `ace_serve` emits it as JSON-lines (one
+// to_json() object per line); `Engine::query()` returns it directly on
+// the CLI path, so both paths speak the same type.
+#pragma once
+
+#include <chrono>
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "support/cancel.hpp"
+
+namespace ace {
+
+struct SolveResult {
+  std::vector<std::string> solutions;  // "X = 1, Y = f(Z)" per solution
+  std::uint64_t virtual_time = 0;
+  Counters stats;           // aggregated over all agents
+  std::vector<Counters> per_agent;  // one entry per agent (parallel engines)
+  std::vector<std::uint64_t> agent_clocks;
+  std::string output;  // text written by write/1
+  // Why the run ended early (None = ran to completion / solution cap).
+  // Cancelled and Deadline stops still return the solutions found so far.
+  StopCause stop = StopCause::None;
+};
+
+// Renders a per-agent breakdown table (work distribution, steals, idle
+// time, markers) for a parallel run.
+std::string per_agent_report(const SolveResult& result);
+
+// Terminal state of one query, as seen by a client.
+enum class QueryOutcome : std::uint8_t {
+  Success,          // ran to completion / solution cap, >= 1 solution
+  Fail,             // ran to completion, no solution (a Prolog "no")
+  Cancelled,        // stopped by external cancel; partials included
+  DeadlineExpired,  // wall-clock deadline hit; partials included
+  Overload,         // shed at admission (queue full / service stopping)
+  Error,            // parse/engine error or resolution-budget exhaustion
+};
+
+const char* query_outcome_name(QueryOutcome o);
+
+// The single response type for serve and CLI paths. Versioned: kVersion
+// bumps (and is emitted as "v" in JSON) whenever the wire shape changes.
+struct QueryResult {
+  static constexpr int kVersion = 2;
+
+  std::uint64_t id = 0;
+  QueryOutcome outcome = QueryOutcome::Error;
+  std::string query;                   // the '.'-terminated goal text
+  std::vector<std::string> solutions;
+  std::string output;                  // write/1 text
+  std::string error;                   // set when outcome == Error
+  Counters stats;                      // per-query delta (all agents)
+  std::uint64_t virtual_time = 0;
+  bool engine_reused = false;          // served by a warm pooled session
+  std::chrono::microseconds queue_wait{0};
+  std::chrono::microseconds latency{0};
+  // Non-zero when the query ran with an obs::Recorder attached: the qid
+  // its spans/events are stamped with in the exported trace.
+  std::uint64_t trace_id = 0;
+
+  // Ran to completion (with or without solutions).
+  bool completed() const {
+    return outcome == QueryOutcome::Success || outcome == QueryOutcome::Fail;
+  }
+
+  // Fills outcome/solutions/output/stats from an engine SolveResult.
+  void absorb(SolveResult&& r);
+
+  // One JSON object (no trailing newline). `include_stats` controls the
+  // per-query counter block, `include_solutions` the solution strings.
+  std::string to_json(bool include_stats = true,
+                      bool include_solutions = true) const;
+};
+
+}  // namespace ace

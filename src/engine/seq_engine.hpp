@@ -2,6 +2,10 @@
 // purely sequential system" stand-in that parallel overhead is measured
 // against).
 //
+// DEPRECATED (PR 2): thin wrapper kept for one PR. New code constructs
+// ace::Engine with EngineMode::Seq (engine/engine.hpp); SolveResult and
+// per_agent_report live in engine/result.hpp.
+//
 // Usage:
 //   Database db;
 //   load_library(db);
@@ -14,25 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "engine/result.hpp"
 #include "engine/worker.hpp"
 
 namespace ace {
-
-struct SolveResult {
-  std::vector<std::string> solutions;  // "X = 1, Y = f(Z)" per solution
-  std::uint64_t virtual_time = 0;
-  Counters stats;           // aggregated over all agents
-  std::vector<Counters> per_agent;  // one entry per agent (parallel engines)
-  std::vector<std::uint64_t> agent_clocks;
-  std::string output;  // text written by write/1
-  // Why the run ended early (None = ran to completion / solution cap).
-  // Cancelled and Deadline stops still return the solutions found so far.
-  StopCause stop = StopCause::None;
-};
-
-// Renders a per-agent breakdown table (work distribution, steals, idle
-// time, markers) for a parallel run.
-std::string per_agent_report(const SolveResult& result);
 
 class SeqEngine {
  public:

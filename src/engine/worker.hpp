@@ -48,6 +48,10 @@ namespace ace {
 class ParContext;
 class OrpContext;
 
+namespace obs {
+class Track;
+}
+
 struct WorkerOptions {
   bool parallel_and = false;  // execute '&' as a parcall (else as ',')
   bool lpco = false;          // last parallel call optimization
@@ -139,7 +143,8 @@ class Worker {
   IoSink& io_;
   ParContext* par_ = nullptr;              // set by AndpMachine
   OrpContext* orp_ = nullptr;              // set by OrpMachine
-  Tracer* tracer_ = nullptr;               // optional event recording
+  Tracer* tracer_ = nullptr;               // optional sim event recording
+  obs::Track* obs_ = nullptr;              // optional real-thread recording
   std::vector<Worker*>* group_ = nullptr;  // all agents, self included
   // Per-query stop signal shared by all agents (set by the serving layer /
   // engine facades). Polled at the top of step(); a stop unwinds via
@@ -217,9 +222,15 @@ class Worker {
 
   // ---- Small helpers -----------------------------------------------------
   void charge(std::uint64_t c) { clock_ += c; }
+  // One combined predicted-not-taken branch per event site when neither the
+  // sim tracer nor the obs recorder is attached (the ISSUE's <=1-branch
+  // discipline); the cold path lives out of line in machine.cpp.
   void trace(TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0) {
-    if (tracer_ != nullptr) tracer_->record(clock_, agent_, ev, a, b);
+    if (tracer_ != nullptr || obs_ != nullptr) [[unlikely]] {
+      trace_slow(ev, a, b);
+    }
   }
+  void trace_slow(TraceEvent ev, std::uint64_t a, std::uint64_t b);
   unsigned seg() const { return seg_; }
   bool is_idle() const { return mode_ == Mode::Idle; }
 

@@ -1,0 +1,67 @@
+#include "obs/events.hpp"
+
+namespace ace::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::SlotStart:
+      return "slot_start";
+    case EventKind::SlotComplete:
+      return "slot_complete";
+    case EventKind::SlotFail:
+      return "slot_fail";
+    case EventKind::ParcallCreate:
+      return "parcall_create";
+    case EventKind::LpcoMerge:
+      return "lpco_merge";
+    case EventKind::Steal:
+      return "steal";
+    case EventKind::OutsideBt:
+      return "outside_bt";
+    case EventKind::Share:
+      return "share";
+    case EventKind::Solution:
+      return "solution";
+    case EventKind::LaoReuse:
+      return "lao_reuse";
+    case EventKind::ShallowSkip:
+      return "shallow_skip";
+    case EventKind::PdoMerge:
+      return "pdo_merge";
+    case EventKind::CancelLand:
+      return "cancel_land";
+    case EventKind::QueueEnter:
+      return "queue_enter";
+    case EventKind::QueueLeave:
+      return "queue_leave";
+    case EventKind::ServeBegin:
+      return "serve_begin";
+    case EventKind::ServeEnd:
+      return "serve_end";
+    case EventKind::QueryBegin:
+      return "query_begin";
+    case EventKind::QueryEnd:
+      return "query_end";
+    case EventKind::ParseBegin:
+      return "parse_begin";
+    case EventKind::ParseEnd:
+      return "parse_end";
+    case EventKind::RunBegin:
+      return "run_begin";
+    case EventKind::RunEnd:
+      return "run_end";
+    case EventKind::Submit:
+      return "submit";
+    case EventKind::CancelRequest:
+      return "cancel_request";
+    case EventKind::SessionCheckout:
+      return "session_checkout";
+    case EventKind::SessionCheckin:
+      return "session_checkin";
+    case EventKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace ace::obs

@@ -1,0 +1,84 @@
+// Event vocabulary for the real-thread observability layer (src/obs/).
+//
+// The first block of kinds mirrors the virtual-time simulator's TraceEvent
+// one-for-one (same order, same meaning) so the engine's single set of
+// trace sites — Worker::trace() — can feed both recorders with a plain
+// static_cast. The second block covers the serving stack: per-query spans
+// (queue residency, dispatch, parse, drive loop) and service points
+// (submit, cancel landing, engine-pool checkout).
+//
+// Every record is five words: a timestamp in nanoseconds since the owning
+// Recorder's epoch, the event kind, the query id the event belongs to (0
+// when outside any query), and two kind-specific payload words `a`/`b`
+// (documented per kind below).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace ace::obs {
+
+enum class EventKind : std::uint8_t {
+  // ---- Engine events (aligned with ace::TraceEvent) ----------------------
+  SlotStart,      // a = pf, b = slot
+  SlotComplete,   // a = pf, b = slot
+  SlotFail,       // a = pf, b = slot
+  ParcallCreate,  // a = pf, b = #slots
+  LpcoMerge,      // LPCO trigger: a = pf merged into, b = #new slots
+  Steal,          // a = pf, b = slot (and-parallel) / victim, node (sim)
+  OutsideBt,      // a = pf
+  Share,          // MUSE share/copy session: a = victim agent, b = node id
+  Solution,       // -
+  LaoReuse,       // LAO trigger: a = ctrl index of the reused frame
+  ShallowSkip,    // SHALLOW trigger: a = pf, b = slot (markers elided)
+  PdoMerge,       // PDO trigger: a = pf, b = slot
+  CancelLand,     // a stop landed in the engine: a = StopCause
+
+  // ---- Serving / session spans -------------------------------------------
+  QueueEnter,       // admission queue residency begins (service track)
+  QueueLeave,       // popped by a dispatch thread
+  ServeBegin,       // dispatch thread starts serving the query
+  ServeEnd,         // a = outcome (QueryOutcome)
+  QueryBegin,       // session starts executing (session track)
+  QueryEnd,         // a = #solutions, b = StopCause
+  ParseBegin,       // query-text parse
+  ParseEnd,         //
+  RunBegin,         // drive loop (after parse/load)
+  RunEnd,           //
+
+  // ---- Service points ----------------------------------------------------
+  Submit,           // a = 1 if admitted, 0 if rejected (overload)
+  CancelRequest,    // external cancel(id) observed by the service
+  SessionCheckout,  // a = 1 if pool hit (warm reuse), 0 if cold build
+  SessionCheckin,   //
+
+  kCount,
+};
+
+// The engine block must stay aligned with the simulator's vocabulary: the
+// hot path converts with a static_cast.
+static_assert(static_cast<int>(EventKind::SlotStart) ==
+              static_cast<int>(TraceEvent::SlotStart));
+static_assert(static_cast<int>(EventKind::Solution) ==
+              static_cast<int>(TraceEvent::Solution));
+static_assert(static_cast<int>(EventKind::LaoReuse) ==
+              static_cast<int>(TraceEvent::LaoReuse));
+static_assert(static_cast<int>(EventKind::ShallowSkip) ==
+              static_cast<int>(TraceEvent::ShallowSkip));
+static_assert(static_cast<int>(EventKind::PdoMerge) ==
+              static_cast<int>(TraceEvent::PdoMerge));
+static_assert(static_cast<int>(EventKind::CancelLand) ==
+              static_cast<int>(TraceEvent::CancelLand));
+
+const char* event_kind_name(EventKind k);
+
+struct EventRecord {
+  std::uint64_t ts_ns = 0;  // since the Recorder's epoch
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t qid = 0;    // query id (0 = none)
+  EventKind kind = EventKind::kCount;
+};
+
+}  // namespace ace::obs

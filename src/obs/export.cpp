@@ -1,0 +1,597 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "sim/trace.hpp"
+#include "support/strutil.hpp"
+
+namespace ace::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event rendering.
+
+struct OutEvent {
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  bool is_span = false;  // "X" complete event; else "i" instant
+  const char* name = "?";
+  std::uint64_t qid = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// Kinds that open a span, with the display name of the span they open.
+const char* span_name_of_begin(EventKind k) {
+  switch (k) {
+    case EventKind::QueueEnter:
+      return "queued";
+    case EventKind::ServeBegin:
+      return "serve";
+    case EventKind::QueryBegin:
+      return "query";
+    case EventKind::ParseBegin:
+      return "parse";
+    case EventKind::RunBegin:
+      return "run";
+    case EventKind::SlotStart:
+      return "slot";
+    default:
+      return nullptr;
+  }
+}
+
+// For a closing kind, the kind that must have opened the span.
+bool is_end_of(EventKind end, EventKind begin) {
+  switch (end) {
+    case EventKind::QueueLeave:
+      return begin == EventKind::QueueEnter;
+    case EventKind::ServeEnd:
+      return begin == EventKind::ServeBegin;
+    case EventKind::QueryEnd:
+      return begin == EventKind::QueryBegin;
+    case EventKind::ParseEnd:
+      return begin == EventKind::ParseBegin;
+    case EventKind::RunEnd:
+      return begin == EventKind::RunBegin;
+    case EventKind::SlotComplete:
+    case EventKind::SlotFail:
+      return begin == EventKind::SlotStart;
+    default:
+      return false;
+  }
+}
+
+bool is_span_end(EventKind k) {
+  switch (k) {
+    case EventKind::QueueLeave:
+    case EventKind::ServeEnd:
+    case EventKind::QueryEnd:
+    case EventKind::ParseEnd:
+    case EventKind::RunEnd:
+    case EventKind::SlotComplete:
+    case EventKind::SlotFail:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Converts one track's records to output events: well-matched
+// begin/end pairs become "X" complete spans; unmatched begins are closed
+// at the track's last timestamp; everything else is an instant.
+void convert_track(const TrackSnapshot& track, std::vector<OutEvent>* out) {
+  struct Open {
+    EventRecord rec;
+  };
+  std::vector<Open> stack;
+  std::uint64_t last_ts = 0;
+  for (const EventRecord& r : track.records) {
+    last_ts = std::max(last_ts, r.ts_ns);
+  }
+
+  auto emit_instant = [&](const EventRecord& r) {
+    OutEvent e;
+    e.tid = track.id;
+    e.ts_ns = r.ts_ns;
+    e.name = event_kind_name(r.kind);
+    e.qid = r.qid;
+    e.a = r.a;
+    e.b = r.b;
+    out->push_back(e);
+  };
+  auto emit_span = [&](const EventRecord& begin, std::uint64_t end_ts) {
+    OutEvent e;
+    e.tid = track.id;
+    e.ts_ns = begin.ts_ns;
+    e.dur_ns = end_ts >= begin.ts_ns ? end_ts - begin.ts_ns : 0;
+    e.is_span = true;
+    e.name = span_name_of_begin(begin.kind);
+    e.qid = begin.qid;
+    e.a = begin.a;
+    e.b = begin.b;
+    out->push_back(e);
+  };
+
+  for (const EventRecord& r : track.records) {
+    if (span_name_of_begin(r.kind) != nullptr) {
+      stack.push_back(Open{r});
+      continue;
+    }
+    if (is_span_end(r.kind)) {
+      // Find the nearest matching open (slots additionally match on
+      // (pf, slot) so interleaved slot lifetimes pair correctly).
+      bool matched = false;
+      for (std::size_t i = stack.size(); i-- > 0;) {
+        const EventRecord& o = stack[i].rec;
+        if (!is_end_of(r.kind, o.kind)) continue;
+        if (o.kind == EventKind::SlotStart &&
+            (o.a != r.a || o.b != r.b)) {
+          continue;
+        }
+        emit_span(o, r.ts_ns);
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+        matched = true;
+        break;
+      }
+      if (!matched) emit_instant(r);  // end without a recorded begin
+      // SlotFail also marks the failure itself; keep it visible.
+      if (r.kind == EventKind::SlotFail) emit_instant(r);
+      continue;
+    }
+    emit_instant(r);
+  }
+  // Overflow or teardown can eat an End; close leftovers at the last
+  // timestamp seen on the track so the JSON stays well-formed.
+  for (const Open& o : stack) emit_span(o.rec, last_ts);
+}
+
+std::string render(const std::vector<TrackSnapshot>& tracks,
+                   std::vector<OutEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const OutEvent& x, const OutEvent& y) {
+              if (x.tid != y.tid) return x.tid < y.tid;
+              return x.ts_ns < y.ts_ns;
+            });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto push = [&](const std::string& obj) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += obj;
+  };
+
+  push("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"ace\"}}");
+  for (const TrackSnapshot& t : tracks) {
+    push(strf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+              "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+              t.id, json_escape(t.name).c_str()));
+    if (t.dropped > 0) {
+      push(strf("{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%u,\"args\":{\"count\":%llu}}",
+                t.id, (unsigned long long)t.dropped));
+    }
+  }
+
+  for (const OutEvent& e : events) {
+    std::string args = strf("{\"qid\":%llu,\"a\":%llu,\"b\":%llu}",
+                            (unsigned long long)e.qid,
+                            (unsigned long long)e.a,
+                            (unsigned long long)e.b);
+    if (e.is_span) {
+      push(strf("{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                "\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}",
+                e.name, e.tid, double(e.ts_ns) / 1000.0,
+                double(e.dur_ns) / 1000.0, args.c_str()));
+    } else {
+      push(strf("{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+                "\"tid\":%u,\"ts\":%.3f,\"args\":%s}",
+                e.name, e.tid, double(e.ts_ns) / 1000.0, args.c_str()));
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TrackSnapshot>& tracks) {
+  std::vector<OutEvent> events;
+  for (const TrackSnapshot& t : tracks) convert_track(t, &events);
+  return render(tracks, std::move(events));
+}
+
+std::string chrome_trace_json(const Recorder& rec) {
+  return chrome_trace_json(rec.snapshot());
+}
+
+std::string to_csv(const Recorder& rec) {
+  std::string out = "ts_ns,track,track_name,kind,qid,a,b\n";
+  for (const TrackSnapshot& t : rec.snapshot()) {
+    for (const EventRecord& r : t.records) {
+      out += strf("%llu,%u,%s,%s,%llu,%llu,%llu\n",
+                  (unsigned long long)r.ts_ns, t.id, t.name.c_str(),
+                  event_kind_name(r.kind), (unsigned long long)r.qid,
+                  (unsigned long long)r.a, (unsigned long long)r.b);
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json_from_sim(const Tracer& tracer) {
+  // One synthetic track per agent; one virtual time unit maps to 1ns, so
+  // the exported "ts" microseconds are virtual-time/1000 — relative
+  // ordering and span widths are what matter.
+  std::map<unsigned, TrackSnapshot> by_agent;
+  for (const TraceRecord& r : tracer.snapshot()) {
+    TrackSnapshot& t = by_agent[r.agent];
+    EventRecord e;
+    e.ts_ns = r.time;
+    e.a = r.a;
+    e.b = r.b;
+    e.kind = static_cast<EventKind>(r.event);
+    t.records.push_back(e);
+  }
+  std::vector<TrackSnapshot> tracks;
+  for (auto& [agent, t] : by_agent) {
+    t.id = agent;
+    t.name = strf("agent %u (virtual)", agent);
+    std::stable_sort(t.records.begin(), t.records.end(),
+                     [](const EventRecord& x, const EventRecord& y) {
+                       return x.ts_ns < y.ts_ns;
+                     });
+    tracks.push_back(std::move(t));
+  }
+  return chrome_trace_json(tracks);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation: a small strict JSON parser plus trace checks.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    skip_ws();
+    if (!value(out)) {
+      if (error != nullptr) *error = err_;
+      return false;
+    }
+    skip_ws();
+    if (p_ != end_) {
+      if (error != nullptr) *error = "trailing content after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (err_.empty()) {
+      err_ = strf("%s (at offset %zu)", msg.c_str(),
+                  static_cast<std::size_t>(p_ - start_));
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool value(JsonValue* out) {
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out->kind = JsonValue::Kind::Str;
+        return string(&out->str);
+      case 't':
+        return literal("true", out, JsonValue::Kind::Bool, true);
+      case 'f':
+        return literal("false", out, JsonValue::Kind::Bool, false);
+      case 'n':
+        return literal("null", out, JsonValue::Kind::Null, false);
+      default:
+        return number(out);
+    }
+  }
+
+  bool literal(const char* word, JsonValue* out, JsonValue::Kind kind,
+               bool b) {
+    for (const char* w = word; *w != '\0'; ++w, ++p_) {
+      if (p_ == end_ || *p_ != *w) return fail("bad literal");
+    }
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool number(JsonValue* out) {
+    const char* begin = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return fail("invalid number");
+    }
+    if (*p_ == '0') {
+      ++p_;
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        ++p_;
+      }
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("invalid fraction");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        ++p_;
+      }
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("invalid exponent");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        ++p_;
+      }
+    }
+    out->kind = JsonValue::Kind::Num;
+    out->num = std::strtod(std::string(begin, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    ++p_;  // opening quote
+    while (true) {
+      if (p_ == end_) return fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return fail("unterminated escape");
+        switch (*p_) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p_;
+              if (p_ == end_ ||
+                  !std::isxdigit(static_cast<unsigned char>(*p_))) {
+                return fail("invalid \\u escape");
+              }
+              char h = *p_;
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // Keep it simple: re-encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape");
+        }
+        ++p_;
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++p_;
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::Arr;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::Obj;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') return fail("expected object key");
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+      ++p_;
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p_ == end_) return fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+  std::string err_;
+};
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  JsonValue root;
+  {
+    JsonParser parser(json.data(), json.data() + json.size());
+    std::string perr;
+    if (!parser.parse(&root, &perr)) {
+      return set_error(error, "not strict JSON: " + perr);
+    }
+  }
+  if (root.kind != JsonValue::Kind::Obj) {
+    return set_error(error, "top level is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::Arr) {
+    return set_error(error, "missing traceEvents array");
+  }
+
+  std::map<std::pair<double, double>, double> last_ts;  // (pid,tid) -> ts
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const JsonValue& e = events->arr[i];
+    auto where = [&](const char* what) {
+      return strf("event %zu: %s", i, what);
+    };
+    if (e.kind != JsonValue::Kind::Obj) {
+      return set_error(error, where("not an object"));
+    }
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::Str) {
+      return set_error(error, where("missing string name"));
+    }
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::Str) {
+      return set_error(error, where("missing string ph"));
+    }
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (pid == nullptr || pid->kind != JsonValue::Kind::Num ||
+        tid == nullptr || tid->kind != JsonValue::Kind::Num) {
+      return set_error(error, where("missing numeric pid/tid"));
+    }
+    if (ph->str == "M") continue;  // metadata: no timestamp required
+    if (ph->str != "X" && ph->str != "i" && ph->str != "B" &&
+        ph->str != "E") {
+      return set_error(error, where("unknown phase"));
+    }
+    const JsonValue* ts = e.find("ts");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::Num ||
+        ts->num < 0) {
+      return set_error(error, where("missing non-negative ts"));
+    }
+    if (ph->str == "X") {
+      const JsonValue* dur = e.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::Num ||
+          dur->num < 0) {
+        return set_error(error, where("X event without dur >= 0"));
+      }
+    }
+    auto key = std::make_pair(pid->num, tid->num);
+    auto it = last_ts.find(key);
+    if (it != last_ts.end() && ts->num < it->second) {
+      return set_error(error, where("timestamps not monotone per track"));
+    }
+    last_ts[key] = ts->num;
+  }
+  return true;
+}
+
+}  // namespace ace::obs

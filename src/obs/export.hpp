@@ -1,0 +1,48 @@
+// Exporters for the observability layer.
+//
+// chrome_trace_json() renders a Recorder's contents as Chrome
+// `trace_event` JSON (the "JSON Array Format" object form) loadable in
+// about://tracing and Perfetto. Span-shaped event pairs (queue residency,
+// serve, query, parse, run, slots, copy sessions) are emitted as complete
+// "X" events with microsecond timestamps; everything else becomes an
+// instant "i" event. Each track maps to one tid; track names are published
+// with "M" metadata events; the query id and the two payload words ride in
+// "args".
+//
+// to_csv() is the plain flat form: one line per record across all tracks.
+//
+// validate_chrome_trace() is a structural checker used by tests and by
+// `ace_serve --trace` before writing: strict JSON, required keys per
+// event, known phases, non-negative durations, and per-(pid,tid) monotone
+// timestamps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace ace {
+class Tracer;  // sim/trace.hpp
+}
+
+namespace ace::obs {
+
+std::string chrome_trace_json(const Recorder& rec);
+std::string chrome_trace_json(const std::vector<TrackSnapshot>& tracks);
+
+std::string to_csv(const Recorder& rec);
+
+// Renders a *simulator* trace (virtual-time Tracer) in the same Chrome
+// format, one tid per agent, virtual time units exported as microseconds —
+// lets bench_fig5-style runs open in Perfetto too.
+std::string chrome_trace_json_from_sim(const Tracer& tracer);
+
+// Returns true if `json` is a structurally valid Chrome trace: parses as
+// strict JSON, has a traceEvents array, every event has name/ph/pid/tid,
+// phases are M/X/i, X events carry dur >= 0, non-metadata events carry
+// ts >= 0, and ts is non-decreasing per (pid,tid) in array order. On
+// failure, *error (if non-null) describes the first problem.
+bool validate_chrome_trace(const std::string& json, std::string* error);
+
+}  // namespace ace::obs

@@ -1,0 +1,192 @@
+// Recorder: the process-wide (or service-wide) event sink of the
+// observability layer.
+//
+//   Recorder rec;                         // epoch = construction time
+//   Track* t = rec.create_track("agent 0");
+//   t->set_query(qid);                    // stamp subsequent events
+//   t->note(EventKind::SlotStart, pf, slot);
+//   ...
+//   std::string json = chrome_trace_json(rec);   // obs/export.hpp
+//
+// One Track per real thread of interest (each engine agent, each dispatch
+// thread, one shared multi-writer track for the service's submit side).
+// Tracks own a lock-free EventRing each; note() is wait-free: one enabled
+// load, one clock read, one slot claim. When no Recorder is attached the
+// engine pays a single predicted-not-taken branch per event site
+// (Worker::trace's combined null check) — the same discipline as the
+// simulator's Tracer.
+//
+// The recorder is runtime-toggleable: set_enabled(false) makes every
+// note() a cheap early-out without detaching any track, so a serving
+// process can open and close tracing windows while under load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/ring.hpp"
+
+namespace ace::obs {
+
+class Recorder;
+
+class Track {
+ public:
+  const std::string& name() const { return name_; }
+  std::uint32_t id() const { return id_; }
+
+  // Stamps subsequent note() records with `qid`. Single-writer tracks set
+  // this between queries (the owning thread, or a thread that
+  // happens-before the owning thread's next step).
+  void set_query(std::uint64_t qid) { qid_ = qid; }
+  std::uint64_t query() const { return qid_; }
+
+  // Records one event at the recorder's current time. Wait-free.
+  inline void note(EventKind k, std::uint64_t a = 0, std::uint64_t b = 0);
+  // As note(), but with an explicit query id (multi-writer tracks).
+  inline void note_qid(EventKind k, std::uint64_t qid, std::uint64_t a = 0,
+                       std::uint64_t b = 0);
+
+  const EventRing& ring() const { return ring_; }
+
+ private:
+  friend class Recorder;
+  Track(Recorder* rec, std::uint32_t id, std::string name,
+        std::size_t capacity)
+      : rec_(rec), id_(id), name_(std::move(name)), ring_(capacity) {}
+
+  Recorder* rec_;
+  std::uint32_t id_;
+  std::string name_;
+  std::uint64_t qid_ = 0;
+  EventRing ring_;
+};
+
+struct TrackSnapshot {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t dropped = 0;
+  std::vector<EventRecord> records;  // oldest first
+};
+
+struct RecorderOptions {
+  // Per-track ring capacity (records, rounded up to a power of two).
+  // 16384 records × 48 bytes ≈ 0.8 MiB per track.
+  std::size_t ring_capacity = 1 << 14;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderOptions opts = {})
+      : opts_(opts), epoch_(Clock::now()) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Creates a new track. The returned pointer is stable for the
+  // recorder's lifetime. Thread-safe.
+  Track* create_track(std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto t = std::unique_ptr<Track>(
+        new Track(this, static_cast<std::uint32_t>(tracks_.size()),
+                  std::move(name), opts_.ring_capacity));
+    tracks_.push_back(std::move(t));
+    return tracks_.back().get();
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Nanoseconds since the recorder's epoch.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch_)
+            .count());
+  }
+
+  std::size_t num_tracks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracks_.size();
+  }
+
+  std::uint64_t total_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& t : tracks_) n += t->ring().total();
+    return n;
+  }
+
+  std::vector<TrackSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TrackSnapshot> out;
+    out.reserve(tracks_.size());
+    for (const auto& t : tracks_) {
+      TrackSnapshot s;
+      s.id = t->id();
+      s.name = t->name();
+      s.dropped = t->ring().dropped();
+      s.records = t->ring().snapshot();
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  RecorderOptions opts_;
+  Clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+inline void Track::note(EventKind k, std::uint64_t a, std::uint64_t b) {
+  note_qid(k, qid_, a, b);
+}
+
+inline void Track::note_qid(EventKind k, std::uint64_t qid, std::uint64_t a,
+                            std::uint64_t b) {
+  if (!rec_->enabled()) return;
+  EventRecord r;
+  r.ts_ns = rec_->now_ns();
+  r.a = a;
+  r.b = b;
+  r.qid = qid;
+  r.kind = k;
+  ring_.push(r);
+}
+
+// RAII span helper: Begin on construction, End on destruction, both
+// stamped with the same query id.
+class Span {
+ public:
+  Span(Track* track, std::uint64_t qid, EventKind begin, EventKind end,
+       std::uint64_t a = 0, std::uint64_t b = 0)
+      : track_(track), qid_(qid), end_(end) {
+    if (track_ != nullptr) track_->note_qid(begin, qid_, a, b);
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Closes the span early with explicit payload words.
+  void close(std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (track_ != nullptr) track_->note_qid(end_, qid_, a, b);
+    track_ = nullptr;
+  }
+
+ private:
+  Track* track_;
+  std::uint64_t qid_;
+  EventKind end_;
+};
+
+}  // namespace ace::obs

@@ -1,0 +1,107 @@
+// Lock-free bounded event ring.
+//
+// One ring backs one Track of the Recorder. The common case is a single
+// writer (the worker/dispatch thread that owns the track), but the design
+// is safe for multiple concurrent writers (the service-wide track is
+// written from arbitrary client threads): writers claim a slot with one
+// fetch_add and publish it with a release store of the slot's sequence
+// tag. The ring never blocks and never allocates after construction; when
+// full it overwrites the oldest records (the newest window is what a
+// flight recorder wants) and accounts the loss in dropped().
+//
+// Record payloads are stored as relaxed atomic words, so a snapshot taken
+// while writers are still running is race-free (torn slots are detected by
+// re-checking the sequence tag and skipped). Snapshots taken after the
+// writers quiesce are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace ace::obs {
+
+class EventRing {
+ public:
+  // `capacity` is rounded up to a power of two (min 8).
+  explicit EventRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  void push(const EventRecord& r) {
+    std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[seq & mask_];
+    // Invalidate while the payload is in flight so a concurrent snapshot
+    // cannot accept a half-written record.
+    s.tag.store(0, std::memory_order_release);
+    s.w[0].store(r.ts_ns, std::memory_order_relaxed);
+    s.w[1].store(r.a, std::memory_order_relaxed);
+    s.w[2].store(r.b, std::memory_order_relaxed);
+    s.w[3].store(r.qid, std::memory_order_relaxed);
+    s.w[4].store(static_cast<std::uint64_t>(r.kind),
+                 std::memory_order_relaxed);
+    s.tag.store(seq + 1, std::memory_order_release);
+  }
+
+  // Total records ever pushed.
+  std::uint64_t total() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  // Records currently retrievable (≤ capacity).
+  std::uint64_t size() const {
+    std::uint64_t n = total();
+    return n > capacity() ? capacity() : n;
+  }
+  // Records lost to overwrite.
+  std::uint64_t dropped() const {
+    std::uint64_t n = total();
+    return n > capacity() ? n - capacity() : 0;
+  }
+
+  // Copies the retrievable window, oldest first. Slots being concurrently
+  // rewritten are skipped (their replacement will be seen by a later
+  // snapshot); with quiescent writers the snapshot is complete and exact.
+  std::vector<EventRecord> snapshot() const {
+    std::vector<EventRecord> out;
+    std::uint64_t end = total();
+    std::uint64_t begin = end > capacity() ? end - capacity() : 0;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+      const Slot& s = slots_[seq & mask_];
+      if (s.tag.load(std::memory_order_acquire) != seq + 1) continue;
+      EventRecord r;
+      r.ts_ns = s.w[0].load(std::memory_order_relaxed);
+      r.a = s.w[1].load(std::memory_order_relaxed);
+      r.b = s.w[2].load(std::memory_order_relaxed);
+      r.qid = s.w[3].load(std::memory_order_relaxed);
+      r.kind = static_cast<EventKind>(
+          s.w[4].load(std::memory_order_relaxed));
+      // Re-check: a writer may have started overwriting mid-copy.
+      if (s.tag.load(std::memory_order_acquire) != seq + 1) continue;
+      out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> tag{0};  // seq+1 when w[] holds record seq
+    std::atomic<std::uint64_t> w[5]{};
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace ace::obs

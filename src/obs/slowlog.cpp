@@ -1,0 +1,69 @@
+#include "obs/slowlog.hpp"
+
+#include <algorithm>
+
+#include "support/strutil.hpp"
+
+namespace ace::obs {
+
+void SlowQueryLog::admit(const QueryResult& r) {
+  QueryResult entry = r;
+  entry.solutions.clear();  // keep the log light: counts, not payloads
+  entry.output.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < opts_.capacity) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  // Evict the fastest retained entry if the newcomer is slower.
+  auto fastest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const QueryResult& x, const QueryResult& y) {
+        return x.latency < y.latency;
+      });
+  if (fastest != entries_.end() && fastest->latency < entry.latency) {
+    *fastest = std::move(entry);
+  }
+}
+
+std::vector<QueryResult> SlowQueryLog::snapshot() const {
+  std::vector<QueryResult> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryResult& x, const QueryResult& y) {
+              return x.latency > y.latency;
+            });
+  return out;
+}
+
+std::string SlowQueryLog::render() const {
+  std::vector<QueryResult> entries = snapshot();
+  if (entries.empty()) {
+    return strf("slow-query log: empty (threshold %lldus)\n",
+                (long long)opts_.threshold.count());
+  }
+  std::string out = strf("slow-query log: %zu entr%s at/above %lldus\n",
+                         entries.size(), entries.size() == 1 ? "y" : "ies",
+                         (long long)opts_.threshold.count());
+  for (const QueryResult& e : entries) {
+    out += strf("%8lldus (queue %lldus) id=%llu outcome=%s sols=%llu "
+                "resolutions=%llu steals=%llu%s  %% %s\n",
+                (long long)e.latency.count(),
+                (long long)e.queue_wait.count(), (unsigned long long)e.id,
+                query_outcome_name(e.outcome),
+                (unsigned long long)e.stats.solutions,
+                (unsigned long long)e.stats.resolutions,
+                (unsigned long long)e.stats.steals,
+                e.trace_id != 0
+                    ? strf(" trace=%llu", (unsigned long long)e.trace_id)
+                          .c_str()
+                    : "",
+                e.query.c_str());
+  }
+  return out;
+}
+
+}  // namespace ace::obs

@@ -1,0 +1,61 @@
+// Slow-query log: keeps the slowest N queries above a configurable
+// latency threshold, with enough context (query text, engine, outcome,
+// queue wait, per-query counters) to explain *why* each one was slow —
+// the first thing an operator reaches for before opening a full trace.
+//
+// record() is called once per completed query by the QueryService; the
+// threshold test is one comparison before any lock is taken, so a
+// disabled or rarely-hit log costs nothing on the serving hot path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/result.hpp"
+
+namespace ace::obs {
+
+struct SlowLogOptions {
+  // Queries at or above this latency are logged; zero disables the log.
+  std::chrono::microseconds threshold{0};
+  // Retains the `capacity` slowest entries (eviction by lowest latency).
+  std::size_t capacity = 64;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowLogOptions opts = {}) : opts_(opts) {}
+
+  bool enabled() const { return opts_.threshold.count() > 0; }
+  std::chrono::microseconds threshold() const { return opts_.threshold; }
+
+  // Considers one completed query. Cheap early-out below the threshold.
+  void consider(const QueryResult& r) {
+    if (!enabled() || r.latency < opts_.threshold) return;
+    admit(r);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  // Slowest first.
+  std::vector<QueryResult> snapshot() const;
+
+  // Human-readable rendering, slowest first:
+  //   1824ms (queue 3ms) id=42 outcome=ok resolutions=1922412  % slow(X).
+  std::string render() const;
+
+ private:
+  void admit(const QueryResult& r);
+
+  SlowLogOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<QueryResult> entries_;  // unordered; eviction scans for min
+};
+
+}  // namespace ace::obs

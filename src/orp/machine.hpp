@@ -1,5 +1,9 @@
 // OrpMachine: the MUSE-style or-parallel engine facade.
 //
+// DEPRECATED (PR 2): thin wrapper kept for one PR. New code constructs
+// ace::Engine with EngineMode::Orp (engine/engine.hpp), which pre-warms
+// one session instead of rebuilding stores and workers per solve().
+//
 // Each agent is a full sequential engine over a private Store; idle agents
 // obtain work through sharing sessions (stack copying) and public
 // choice-point counters. The LAO optimization is toggled per machine.

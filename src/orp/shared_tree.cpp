@@ -136,6 +136,7 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
     top.pred_gen = n.generation;  // shared frames track node generation
   }
   ++stats_.lao_reuses;
+  trace(TraceEvent::LaoReuse, top_idx);
   charge(costs_.lao_update);
   return true;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
+#include "support/strutil.hpp"
+
 namespace ace {
 
 using SteadyClock = std::chrono::steady_clock;
@@ -15,29 +18,27 @@ std::chrono::microseconds since(SteadyClock::time_point t0) {
 
 }  // namespace
 
-const char* query_status_name(QueryStatus s) {
-  switch (s) {
-    case QueryStatus::Ok:
-      return "ok";
-    case QueryStatus::Rejected:
-      return "rejected";
-    case QueryStatus::Cancelled:
-      return "cancelled";
-    case QueryStatus::DeadlineExpired:
-      return "deadline_expired";
-    case QueryStatus::Error:
-      return "error";
-  }
-  return "?";
-}
-
 QueryService::QueryService(Database& db, ServiceOptions opts,
                            const CostModel& costs)
-    : db_(db), opts_(opts), costs_(costs), builtins_(db.syms()) {
+    : db_(db),
+      opts_(opts),
+      costs_(costs),
+      builtins_(db.syms()),
+      slowlog_(opts.slowlog) {
   ACE_CHECK(opts_.dispatch_threads >= 1);
+  if (opts_.recorder != nullptr) {
+    // Tracks are created before the threads so every dispatch thread sees
+    // its own pointer without synchronization.
+    service_track_ = opts_.recorder->create_track("service");
+    dispatch_tracks_.reserve(opts_.dispatch_threads);
+    for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
+      dispatch_tracks_.push_back(
+          opts_.recorder->create_track(strf("dispatch %u", i)));
+    }
+  }
   threads_.reserve(opts_.dispatch_threads);
   for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
-    threads_.emplace_back([this] { dispatch_loop(); });
+    threads_.emplace_back([this, i] { dispatch_loop(i); });
   }
 }
 
@@ -75,6 +76,9 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
   if (p.req.resolution_limit == 0) {
     p.req.resolution_limit = opts_.default_resolution_limit;
   }
+  if (service_track_ != nullptr) {
+    service_track_->note_qid(obs::EventKind::Submit, p.id);
+  }
 
   Ticket ticket;
   ticket.id = p.id;
@@ -86,15 +90,20 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
       // Reject-with-overload: resolve the future immediately; the caller
       // sees backpressure without blocking.
       metrics_.on_rejected();
-      QueryResponse resp;
+      QueryResult resp;
       resp.id = p.id;
-      resp.status = QueryStatus::Rejected;
+      resp.query = p.req.query;
+      resp.outcome = QueryOutcome::Overload;
       resp.error = stopping_ ? "service stopping" : "admission queue full";
       resp.latency = since(p.admitted_at);
       p.promise.set_value(std::move(resp));
       return ticket;
     }
     metrics_.on_admitted();
+    if (service_track_ != nullptr) {
+      service_track_->note_qid(obs::EventKind::QueueEnter, p.id,
+                               queue_.size());
+    }
     {
       std::lock_guard<std::mutex> rlock(reg_mu_);
       inflight_.emplace(p.id, p.token);
@@ -106,7 +115,7 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
   return ticket;
 }
 
-QueryResponse QueryService::run(QueryRequest req) {
+QueryResult QueryService::run(QueryRequest req) {
   Ticket t = submit(std::move(req));
   return t.result.get();
 }
@@ -115,11 +124,17 @@ bool QueryService::cancel(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(reg_mu_);
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return false;
+  if (service_track_ != nullptr) {
+    service_track_->note_qid(obs::EventKind::CancelRequest, id);
+  }
   it->second->request_cancel();
   return true;
 }
 
-void QueryService::dispatch_loop() {
+void QueryService::dispatch_loop(unsigned thread_index) {
+  obs::Track* track = thread_index < dispatch_tracks_.size()
+                          ? dispatch_tracks_[thread_index]
+                          : nullptr;
   for (;;) {
     Pending p;
     {
@@ -132,32 +147,39 @@ void QueryService::dispatch_loop() {
       p = std::move(queue_.front());
       queue_.pop_front();
       metrics_.set_queue_depth(queue_.size());
+      if (service_track_ != nullptr) {
+        service_track_->note_qid(obs::EventKind::QueueLeave, p.id,
+                                 queue_.size());
+      }
     }
-    serve_one(std::move(p));
+    serve_one(std::move(p), track);
   }
 }
 
-void QueryService::respond(Pending& p, QueryResponse&& resp) {
+void QueryService::respond(Pending& p, QueryResult&& resp) {
   resp.id = p.id;
+  if (resp.query.empty()) resp.query = p.req.query;
   resp.latency = since(p.admitted_at);
   metrics_.record_latency(resp.latency);
-  switch (resp.status) {
-    case QueryStatus::Ok:
+  switch (resp.outcome) {
+    case QueryOutcome::Success:
+    case QueryOutcome::Fail:
       metrics_.on_completed();
       break;
-    case QueryStatus::Cancelled:
+    case QueryOutcome::Cancelled:
       metrics_.on_cancelled();
       break;
-    case QueryStatus::DeadlineExpired:
+    case QueryOutcome::DeadlineExpired:
       metrics_.on_deadline_expired();
       break;
-    case QueryStatus::Error:
+    case QueryOutcome::Error:
       metrics_.on_error();
       break;
-    case QueryStatus::Rejected:
-      metrics_.on_rejected();
+    case QueryOutcome::Overload:
+      metrics_.on_rejected();  // defensive: overloads resolve in submit()
       break;
   }
+  slowlog_.consider(resp);
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     inflight_.erase(p.id);
@@ -165,22 +187,25 @@ void QueryService::respond(Pending& p, QueryResponse&& resp) {
   p.promise.set_value(std::move(resp));
 }
 
-void QueryService::serve_one(Pending&& p) {
-  QueryResponse resp;
+void QueryService::serve_one(Pending&& p, obs::Track* track) {
+  QueryResult resp;
   resp.queue_wait = since(p.admitted_at);
   metrics_.record_queue_wait(resp.queue_wait);
+  if (track != nullptr) track->set_query(p.id);
+  obs::Span serve_span(track, p.id, obs::EventKind::ServeBegin,
+                       obs::EventKind::ServeEnd);
 
   // Deadline-aware dispatch: answer queue-expired requests without
   // spending an engine on them.
   SteadyClock::time_point now = SteadyClock::now();
   if (p.has_deadline && now >= p.deadline_at) {
-    resp.status = QueryStatus::DeadlineExpired;
+    resp.outcome = QueryOutcome::DeadlineExpired;
     respond(p, std::move(resp));
     return;
   }
   // Cancelled while queued.
   if (p.token->stop_requested()) {
-    resp.status = QueryStatus::Cancelled;
+    resp.outcome = QueryOutcome::Cancelled;
     respond(p, std::move(resp));
     return;
   }
@@ -188,6 +213,13 @@ void QueryService::serve_one(Pending&& p) {
   bool reused = false;
   std::unique_ptr<EngineSession> session = checkout(p.req.engine, &reused);
   resp.engine_reused = reused;
+  if (opts_.recorder != nullptr) {
+    session->set_recorder(opts_.recorder);
+    resp.trace_id = p.id;
+    if (track != nullptr) {
+      track->note(obs::EventKind::SessionCheckout, reused ? 1 : 0);
+    }
+  }
 
   QueryBudget budget;
   budget.max_solutions = p.req.max_solutions;
@@ -198,36 +230,20 @@ void QueryService::serve_one(Pending&& p) {
   }
 
   try {
-    SolveResult r = session->run(p.req.query, budget, p.token.get());
-    resp.solutions = std::move(r.solutions);
-    resp.output = std::move(r.output);
-    resp.stats = r.stats;
-    switch (r.stop) {
-      case StopCause::None:
-        resp.status = QueryStatus::Ok;
-        break;
-      case StopCause::Cancelled:
-        resp.status = QueryStatus::Cancelled;
-        break;
-      case StopCause::Deadline:
-        resp.status = QueryStatus::DeadlineExpired;
-        break;
-      case StopCause::ResolutionLimit:
-        // Defensive: run() rethrows this cause; treat as error if seen.
-        resp.status = QueryStatus::Error;
-        resp.error = "resolution limit";
-        break;
-    }
+    resp.absorb(session->run(p.req.query, budget, p.token.get(), p.id));
   } catch (const AceError& e) {
     // Parse errors, undefined predicates, resolution-budget exhaustion,
     // uncaught throw/1 balls. The session's next run() resets all engine
     // state, so the pooled engine stays healthy regardless.
-    resp.status = QueryStatus::Error;
+    resp.outcome = QueryOutcome::Error;
     resp.error = e.what();
   }
 
   // Always return the session: the reset-on-run invariant means even a
   // stopped or errored session is safe to reuse.
+  if (track != nullptr && opts_.recorder != nullptr) {
+    track->note(obs::EventKind::SessionCheckin);
+  }
   checkin(std::move(session));
   respond(p, std::move(resp));
 }

@@ -23,6 +23,16 @@
 // immediately on pop instead of wasting an engine. Responses carry partial
 // solutions for Cancelled/DeadlineExpired queries — everything found
 // before the stop landed.
+//
+// Responses are the versioned wire type ace::QueryResult (PR 2): one
+// outcome enum, per-query Counters delta, queue/latency accounting, and a
+// trace handle when an obs::Recorder is attached via ServiceOptions. With
+// a recorder the service traces the full request path — Submit and
+// QueueEnter/QueueLeave on a shared service track, ServeBegin/ServeEnd
+// plus SessionCheckout/Checkin on per-dispatch-thread tracks, and the
+// session/agent spans below them (same qid = the ticket id throughout).
+// Completed queries at/above SlowLogOptions::threshold land in the
+// slow-query log (slowlog()).
 #pragma once
 
 #include <condition_variable>
@@ -34,10 +44,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/slowlog.hpp"
 #include "serve/session.hpp"
 #include "stats/serve_metrics.hpp"
 
 namespace ace {
+
+namespace obs {
+class Recorder;
+class Track;
+}
 
 struct ServiceOptions {
   unsigned dispatch_threads = 4;   // concurrent engine instances
@@ -46,17 +62,15 @@ struct ServiceOptions {
   // Defaults applied when a request leaves the field zero.
   std::chrono::nanoseconds default_deadline{0};  // 0 = no deadline
   std::uint64_t default_resolution_limit = 0;
+  // Optional observability: a caller-owned recorder (must outlive the
+  // service) and the slow-query log configuration.
+  obs::Recorder* recorder = nullptr;
+  obs::SlowLogOptions slowlog{};
 };
 
-enum class QueryStatus : std::uint8_t {
-  Ok,               // ran to completion / solution cap
-  Rejected,         // bounced at admission (queue full or stopping)
-  Cancelled,        // stopped by cancel(id); partial solutions included
-  DeadlineExpired,  // deadline hit (queued or running); partials included
-  Error,            // parse/engine error; message in `error`
-};
-
-const char* query_status_name(QueryStatus s);
+// PR 1 compatibility alias: the serving response is now the shared
+// versioned wire type (engine/result.hpp). Kept for one PR.
+using QueryResponse = QueryResult;
 
 struct QueryRequest {
   std::string query;            // '.'-terminated goal text
@@ -64,18 +78,6 @@ struct QueryRequest {
   std::chrono::nanoseconds deadline{0};  // 0 = service default
   std::size_t max_solutions = SIZE_MAX;
   std::uint64_t resolution_limit = 0;    // 0 = service default
-};
-
-struct QueryResponse {
-  std::uint64_t id = 0;
-  QueryStatus status = QueryStatus::Ok;
-  std::vector<std::string> solutions;
-  std::string output;  // write/1 text
-  std::string error;   // set when status == Error
-  bool engine_reused = false;  // served by a warm pooled session
-  std::chrono::microseconds queue_wait{0};
-  std::chrono::microseconds latency{0};  // admission -> response
-  Counters stats;  // engine counters (zero for Rejected/queue-expired)
 };
 
 class QueryService {
@@ -89,16 +91,16 @@ class QueryService {
 
   struct Ticket {
     std::uint64_t id = 0;
-    std::future<QueryResponse> result;
+    std::future<QueryResult> result;
   };
 
   // Admission control: O(1). If the queue is at capacity the ticket's
-  // future is already resolved with QueryStatus::Rejected (backpressure —
+  // future is already resolved with QueryOutcome::Overload (backpressure —
   // callers should retry later or shed load).
   Ticket submit(QueryRequest req);
 
   // Convenience: submit and wait.
-  QueryResponse run(QueryRequest req);
+  QueryResult run(QueryRequest req);
 
   // Requests cancellation of a queued or running query. Returns false if
   // the id is unknown or already finished.
@@ -110,6 +112,7 @@ class QueryService {
 
   const ServeMetrics& metrics() const { return metrics_; }
   ServeMetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  const obs::SlowQueryLog& slowlog() const { return slowlog_; }
   std::size_t queue_depth() const;
   Database& db() { return db_; }
 
@@ -117,16 +120,16 @@ class QueryService {
   struct Pending {
     std::uint64_t id = 0;
     QueryRequest req;
-    std::promise<QueryResponse> promise;
+    std::promise<QueryResult> promise;
     std::shared_ptr<CancelToken> token;
     std::chrono::steady_clock::time_point admitted_at;
     std::chrono::steady_clock::time_point deadline_at;  // max() = none
     bool has_deadline = false;
   };
 
-  void dispatch_loop();
-  void serve_one(Pending&& p);
-  void respond(Pending& p, QueryResponse&& resp);
+  void dispatch_loop(unsigned thread_index);
+  void serve_one(Pending&& p, obs::Track* track);
+  void respond(Pending& p, QueryResult&& resp);
   std::unique_ptr<EngineSession> checkout(const EngineConfig& cfg,
                                           bool* reused_out);
   void checkin(std::unique_ptr<EngineSession> session);
@@ -136,6 +139,13 @@ class QueryService {
   CostModel costs_;
   Builtins builtins_;  // shared by all sessions (const after construction)
   ServeMetrics metrics_;
+  obs::SlowQueryLog slowlog_;
+
+  // Multi-writer track for the submit/cancel side (clients call from
+  // arbitrary threads; the ring is lock-free) and one single-writer track
+  // per dispatch thread. Null when no recorder is configured.
+  obs::Track* service_track_ = nullptr;
+  std::vector<obs::Track*> dispatch_tracks_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

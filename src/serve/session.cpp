@@ -7,23 +7,13 @@
 #include <algorithm>
 
 #include "andp/context.hpp"
+#include "obs/recorder.hpp"
 #include "orp/shared_tree.hpp"
 #include "runtime/thread_driver.hpp"
 #include "sim/virtual_driver.hpp"
+#include "support/strutil.hpp"
 
 namespace ace {
-
-const char* engine_mode_name(EngineMode m) {
-  switch (m) {
-    case EngineMode::Seq:
-      return "seq";
-    case EngineMode::Andp:
-      return "andp";
-    case EngineMode::Orp:
-      return "orp";
-  }
-  return "?";
-}
 
 EngineSession::EngineSession(Database& db, const Builtins& builtins,
                              EngineConfig cfg, const CostModel& costs)
@@ -82,6 +72,24 @@ void EngineSession::set_tracer(Tracer* tracer) {
   for (Worker* w : workers_) w->tracer_ = tracer;
 }
 
+void EngineSession::set_recorder(obs::Recorder* recorder) {
+  if (recorder == recorder_) return;  // idempotent re-attach
+  recorder_ = recorder;
+  session_track_ = nullptr;
+  agent_tracks_.clear();
+  if (recorder_ == nullptr) {
+    for (Worker* w : workers_) w->obs_ = nullptr;
+    return;
+  }
+  session_track_ = recorder_->create_track(
+      strf("session [%s]", cfg_.describe().c_str()));
+  agent_tracks_.reserve(workers_.size());
+  for (std::size_t a = 0; a < workers_.size(); ++a) {
+    agent_tracks_.push_back(recorder_->create_track(strf("agent %zu", a)));
+    workers_[a]->obs_ = agent_tracks_.back();
+  }
+}
+
 void EngineSession::reset() {
   for (Worker* w : workers_) w->reset_for_reuse();
   if (par_ != nullptr) par_->reset();
@@ -93,6 +101,10 @@ void EngineSession::absorb_stop(const QueryStopped& stopped,
                                 SolveResult& result) {
   // The resolution budget keeps its historical contract: solve() throws.
   if (stopped.cause() == StopCause::ResolutionLimit) throw stopped;
+  if (session_track_ != nullptr) {
+    session_track_->note(obs::EventKind::CancelLand,
+                         static_cast<std::uint64_t>(stopped.cause()));
+  }
   result.stop = stopped.cause();
 }
 
@@ -115,10 +127,19 @@ void EngineSession::finalize(SolveResult& result) {
 
 SolveResult EngineSession::run(const std::string& query_text,
                                const QueryBudget& budget,
-                               CancelToken* external) {
+                               CancelToken* external, std::uint64_t qid) {
   // Reset first: this is what guarantees a cancelled/failed previous query
   // can never wedge the reused engine.
   reset();
+
+  // Stamp the query id onto every track before any worker runs; the driver
+  // threads are created after this, so the store is ordered-before their
+  // first note(). Span RAII guarantees matched Begin/End even when a parse
+  // error or a rethrown resolution-limit stop unwinds through run().
+  if (session_track_ != nullptr) session_track_->set_query(qid);
+  for (obs::Track* t : agent_tracks_) t->set_query(qid);
+  obs::Span query_span(session_track_, qid, obs::EventKind::QueryBegin,
+                       obs::EventKind::QueryEnd);
 
   CancelToken* tok = external != nullptr ? external : &token_;
   if (external == nullptr) token_.reset();
@@ -132,22 +153,34 @@ SolveResult EngineSession::run(const std::string& query_text,
 
   // Parse after arming the token so even parse-heavy queries obey external
   // cancels (the parse itself is not interruptible, but it is quick).
+  // NOTE: `query` must outlive the drive loops below — workers keep a
+  // pointer to the template (Worker::query_) for solution rendering.
+  obs::Span parse_span(session_track_, qid, obs::EventKind::ParseBegin,
+                       obs::EventKind::ParseEnd);
   TermTemplate query = parse_term_text(db_.syms(), query_text);
   workers_[0]->load_query(query);
+  parse_span.close(query_text.size());
 
   SolveResult result;
-  switch (cfg_.mode) {
-    case EngineMode::Seq:
-      result = run_seq(budget, tok);
-      break;
-    case EngineMode::Andp:
-      result = run_andp(budget, tok);
-      break;
-    case EngineMode::Orp:
-      result = run_orp(budget, tok);
-      break;
+  {
+    obs::Span run_span(session_track_, qid, obs::EventKind::RunBegin,
+                       obs::EventKind::RunEnd);
+    switch (cfg_.mode) {
+      case EngineMode::Seq:
+        result = run_seq(budget, tok);
+        break;
+      case EngineMode::Andp:
+        result = run_andp(budget, tok);
+        break;
+      case EngineMode::Orp:
+        result = run_orp(budget, tok);
+        break;
+    }
+    run_span.close(result.solutions.size(), result.stats.resolutions);
   }
   ++queries_run_;
+  query_span.close(result.solutions.size(),
+                   static_cast<std::uint64_t>(result.stop));
   return result;
 }
 

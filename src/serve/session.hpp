@@ -1,5 +1,5 @@
 // EngineSession: a pre-warmed, reusable engine instance for the serving
-// layer (and the single-shot facades, which delegate here).
+// layer (and the ace::Engine facade, which delegates here).
 //
 // A session owns everything one query execution needs except the shared
 // Database: stores, workers, the and-/or-parallel context, the IO sink and
@@ -18,6 +18,14 @@
 // solutions found so far with SolveResult::stop set. ResolutionLimit stops
 // are re-thrown (the historical contract of the resolution budget).
 //
+// Observability: set_recorder() attaches an obs::Recorder; the session
+// creates one track per agent plus a session track, and every run() is
+// wrapped in a query span (QueryBegin/ParseBegin/ParseEnd/RunBegin/RunEnd/
+// QueryEnd) stamped with the caller-supplied query id, with the engine's
+// per-step events (steals, slots, optimization triggers, MUSE copies)
+// landing on the agent tracks. Without a recorder the engine pays one
+// predicted branch per event site (Worker::trace's combined null check).
+//
 // Reuse invariants (see docs/INTERNALS.md "Serving layer"):
 //   * run() resets all per-query state before loading the query, so a
 //     cancelled, deadline-expired or failed run can never wedge a worker:
@@ -35,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "engine/seq_engine.hpp"
 
 namespace ace {
@@ -42,34 +51,10 @@ namespace ace {
 class ParContext;
 class OrpContext;
 
-enum class EngineMode : std::uint8_t { Seq, Andp, Orp };
-
-const char* engine_mode_name(EngineMode m);
-
-// The identity of a pooled engine: two requests may share a session iff
-// their configs compare equal.
-struct EngineConfig {
-  EngineMode mode = EngineMode::Seq;
-  unsigned agents = 1;  // forced to 1 for Seq
-  bool lpco = false;
-  bool shallow = false;
-  bool pdo = false;
-  bool lao = false;
-  bool occurs_check = false;
-  bool use_threads = false;            // Andp only: real std::thread driver
-  std::uint64_t resolution_limit = 0;  // default per-query budget (0 = none)
-
-  bool operator==(const EngineConfig&) const = default;
-};
-
-// Per-query execution budget.
-struct QueryBudget {
-  // Wall-clock budget measured from run() entry; zero means none.
-  std::chrono::nanoseconds deadline{0};
-  std::size_t max_solutions = SIZE_MAX;
-  // Overrides EngineConfig::resolution_limit when nonzero.
-  std::uint64_t resolution_limit = 0;
-};
+namespace obs {
+class Recorder;
+class Track;
+}
 
 class EngineSession {
  public:
@@ -83,10 +68,11 @@ class EngineSession {
   // Runs one query to completion / budget exhaustion. If `external` is
   // non-null it is used as the stop token for this run (the serving layer
   // hands out per-request tokens so queued requests can be cancelled);
-  // otherwise the session's own token is reset and used.
+  // otherwise the session's own token is reset and used. `qid` stamps the
+  // run's trace events when a recorder is attached (0 = anonymous).
   SolveResult run(const std::string& query_text,
                   const QueryBudget& budget = {},
-                  CancelToken* external = nullptr);
+                  CancelToken* external = nullptr, std::uint64_t qid = 0);
 
   // The session-owned token (valid when run() was called without an
   // external one): cancel from another thread to stop the current query.
@@ -98,6 +84,10 @@ class EngineSession {
 
   // Optional event tracing, applied to every agent on the next run.
   void set_tracer(Tracer* tracer);
+
+  // Attaches the real-thread observability recorder (nullptr detaches).
+  // Creates the session's tracks on first attach; idempotent otherwise.
+  void set_recorder(obs::Recorder* recorder);
 
  private:
   void reset();
@@ -121,6 +111,10 @@ class EngineSession {
   std::vector<Worker*> workers_;
   CancelToken token_;
   std::uint64_t queries_run_ = 0;
+
+  obs::Recorder* recorder_ = nullptr;
+  obs::Track* session_track_ = nullptr;
+  std::vector<obs::Track*> agent_tracks_;  // parallel to workers_
 };
 
 }  // namespace ace

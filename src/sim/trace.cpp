@@ -26,6 +26,14 @@ const char* Tracer::event_name(TraceEvent ev) {
       return "share";
     case TraceEvent::Solution:
       return "solution";
+    case TraceEvent::LaoReuse:
+      return "lao_reuse";
+    case TraceEvent::ShallowSkip:
+      return "shallow_skip";
+    case TraceEvent::PdoMerge:
+      return "pdo_merge";
+    case TraceEvent::CancelLand:
+      return "cancel_land";
   }
   return "?";
 }

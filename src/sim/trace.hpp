@@ -27,6 +27,10 @@ enum class TraceEvent : std::uint8_t {
   OutsideBt,     // a = pf
   Share,         // a = victim agent, b = node id
   Solution,      // -
+  LaoReuse,      // a = ctrl index of the reused choice point
+  ShallowSkip,   // a = pf, b = slot (both boundary markers elided)
+  PdoMerge,      // a = pf, b = slot
+  CancelLand,    // a = StopCause (recorded by the obs layer; unused in sim)
 };
 
 struct TraceRecord {

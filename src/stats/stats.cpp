@@ -71,4 +71,48 @@ std::string Counters::summary() const {
   return out;
 }
 
+std::string Counters::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto put = [&](const char* key, std::uint64_t v) {
+    if (!first) out += ",";
+    first = false;
+    out += strf("\"%s\":%llu", key, (unsigned long long)v);
+  };
+  put("resolutions", resolutions);
+  put("builtin_calls", builtin_calls);
+  put("unify_steps", unify_steps);
+  put("heap_cells", heap_cells);
+  put("goal_nodes", goal_nodes);
+  put("choicepoints", choicepoints);
+  put("trail_entries", trail_entries);
+  put("cp_restores", cp_restores);
+  put("untrail_ops", untrail_ops);
+  put("backtrack_frames", backtrack_frames);
+  put("parcall_frames", parcall_frames);
+  put("parcall_slots", parcall_slots);
+  put("input_markers", input_markers);
+  put("end_markers", end_markers);
+  put("slot_completions", slot_completions);
+  put("slot_failures", slot_failures);
+  put("outside_backtracks", outside_backtracks);
+  put("recomputations", recomputations);
+  put("opt_checks", opt_checks);
+  put("lpco_merges", lpco_merges);
+  put("shallow_skipped_markers", shallow_skipped_markers);
+  put("pdo_merges", pdo_merges);
+  put("lao_reuses", lao_reuses);
+  put("fetches", fetches);
+  put("steals", steals);
+  put("idle_ticks", idle_ticks);
+  put("copied_cells", copied_cells);
+  put("sharing_sessions", sharing_sessions);
+  put("public_node_takes", public_node_takes);
+  put("tree_descents", tree_descents);
+  put("solutions", solutions);
+  put("ctrl_words_hw", ctrl_words_hw);
+  out += "}";
+  return out;
+}
+
 }  // namespace ace

@@ -64,6 +64,9 @@ struct Counters {
 
   void add(const Counters& o);
   std::string summary() const;
+  // Compact JSON object (every counter, field names as keys) — the
+  // per-query stats block of QueryResult::to_json().
+  std::string to_json() const;
 };
 
 // Nominal data-structure sizes in words, for the paper's memory-consumption

@@ -11,6 +11,7 @@
 // published — a logic error upstream) or a fully constructed chunk.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <memory>
@@ -89,6 +90,95 @@ class ChunkedVector {
   // Value-initialized array of atomic pointers (all null).
   std::unique_ptr<std::atomic<T*>[]> chunks_ =
       std::make_unique<std::atomic<T*>[]>(MaxChunks);
+};
+
+// A grow-only list with stable element addresses and geometrically growing
+// chunks, sized for *many small instances* (e.g. the slot list of every
+// parcall frame): the chunk pointer table is a small inline array instead
+// of ChunkedVector's heap-allocated table, so an empty list costs
+// NumChunks words and nothing else.
+//
+// Chunk c holds 2^(FirstBits + c) elements, so NumChunks chunks cover
+// 2^FirstBits * (2^NumChunks - 1) elements total.
+//
+// Concurrency contract (same as ChunkedVector):
+//   - writers (push_back / truncate) must be serialized externally (a
+//     mutex, or single-owner phases),
+//   - readers may access any index they learned through a
+//     happens-before-establishing channel, without locks: the chunk
+//     pointers are atomics, so a racing reader sees either null or a
+//     fully constructed chunk, and element addresses never move.
+template <typename T, std::size_t NumChunks = 16, std::size_t FirstBits = 3>
+class StableChunkList {
+ public:
+  StableChunkList() = default;
+  StableChunkList(const StableChunkList&) = delete;
+  StableChunkList& operator=(const StableChunkList&) = delete;
+
+  ~StableChunkList() {
+    for (std::size_t c = 0; c < NumChunks; ++c) {
+      T* p = chunks_[c].load(std::memory_order_relaxed);
+      if (p == nullptr) break;
+      delete[] p;
+    }
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  // Appends a copy of `v`; writers must be serialized externally.
+  std::size_t push_back(const T& v) {
+    std::size_t idx = size_.load(std::memory_order_relaxed);
+    locate(idx) = v;
+    size_.store(idx + 1, std::memory_order_release);
+    return idx;
+  }
+
+  T& operator[](std::size_t idx) { return locate_const(idx); }
+  const T& operator[](std::size_t idx) const { return locate_const(idx); }
+
+  // Drops elements from the tail (no destruction — elements are reused on
+  // the next push_back). Writers must be serialized externally.
+  void truncate(std::size_t new_size) {
+    ACE_DCHECK(new_size <= size());
+    size_.store(new_size, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kFirst = std::size_t{1} << FirstBits;
+
+  // Chunk index / offset for element `idx`: chunk c spans
+  // [kFirst*(2^c - 1), kFirst*(2^(c+1) - 1)).
+  static std::size_t chunk_of(std::size_t idx) {
+    std::size_t n = (idx >> FirstBits) + 1;
+    std::size_t c = 0;
+    while (n >>= 1) ++c;
+    return c;
+  }
+  static std::size_t start_of(std::size_t c) {
+    return ((std::size_t{1} << c) - 1) << FirstBits;
+  }
+
+  T& locate(std::size_t idx) {
+    std::size_t c = chunk_of(idx);
+    ACE_CHECK_MSG(c < NumChunks, "stable chunk list capacity exhausted");
+    T* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new T[kFirst << c]();
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    return chunk[idx - start_of(c)];
+  }
+
+  T& locate_const(std::size_t idx) const {
+    std::size_t c = chunk_of(idx);
+    T* chunk = chunks_[c].load(std::memory_order_acquire);
+    ACE_DCHECK(chunk != nullptr);
+    return chunk[idx - start_of(c)];
+  }
+
+  std::atomic<std::size_t> size_{0};
+  mutable std::array<std::atomic<T*>, NumChunks> chunks_{};
 };
 
 }  // namespace ace

@@ -19,4 +19,8 @@ bool starts_with(const std::string& s, const std::string& prefix);
 // True if `name` can be printed as an unquoted Prolog atom.
 bool is_plain_atom_name(const std::string& name);
 
+// Escapes `s` for embedding inside a double-quoted JSON string (quotes,
+// backslashes, control characters; no surrounding quotes added).
+std::string json_escape(const std::string& s);
+
 }  // namespace ace

@@ -16,37 +16,11 @@ RunOutcome run_workload(const Workload& w, const RunConfig& cfg,
   std::size_t max_solutions = cfg.max_solutions;
   if (max_solutions == SIZE_MAX && !w.all_solutions) max_solutions = 1;
 
-  SolveResult r;
-  switch (cfg.engine) {
-    case EngineKind::Seq: {
-      WorkerOptions wopts;
-      wopts.resolution_limit = cfg.resolution_limit;
-      SeqEngine eng(db, wopts, costs);
-      r = eng.solve(q, max_solutions);
-      break;
-    }
-    case EngineKind::Andp: {
-      AndpOptions opts;
-      opts.agents = cfg.agents;
-      opts.lpco = cfg.lpco;
-      opts.shallow = cfg.shallow;
-      opts.pdo = cfg.pdo;
-      opts.use_threads = cfg.use_threads;
-      opts.resolution_limit = cfg.resolution_limit;
-      AndpMachine m(db, opts, costs);
-      r = m.solve(q, max_solutions);
-      break;
-    }
-    case EngineKind::Orp: {
-      OrpOptions opts;
-      opts.agents = cfg.agents;
-      opts.lao = cfg.lao;
-      opts.resolution_limit = cfg.resolution_limit;
-      OrpMachine m(db, opts, costs);
-      r = m.solve(q, max_solutions);
-      break;
-    }
-  }
+  // One facade for all three engines (PR 2): the session normalizes the
+  // config (Seq forces one agent) and keeps arenas warm across solves,
+  // though this harness runs one query per database anyway.
+  Engine eng(db, cfg.engine_config(), costs);
+  SolveResult r = eng.solve(q, max_solutions);
 
   RunOutcome out;
   out.virtual_time = r.virtual_time;

@@ -4,13 +4,17 @@
 // share.
 #pragma once
 
-#include "andp/machine.hpp"
+#include "andp/machine.hpp"  // deprecated facades, kept one PR for clients
+#include "engine/engine.hpp"
 #include "orp/machine.hpp"
 #include "workloads/programs.hpp"
 
 namespace ace {
 
-enum class EngineKind { Seq, Andp, Orp };
+// PR 2: the harness now runs everything through the unified ace::Engine;
+// EngineKind survives as an alias of the engine's mode enum (identical
+// enumerators), so existing callers keep compiling for one PR.
+using EngineKind = EngineMode;
 
 struct RunConfig {
   EngineKind engine = EngineKind::Seq;
@@ -23,6 +27,20 @@ struct RunConfig {
   bool use_threads = false;  // AndpMachine only
   std::uint64_t resolution_limit = 0;
   const CostModel* costs = nullptr;  // defaults to CostModel::standard()
+
+  // The EngineConfig this run configuration denotes.
+  EngineConfig engine_config() const {
+    EngineConfig c;
+    c.mode = engine;
+    c.agents = agents;
+    c.lpco = lpco;
+    c.shallow = shallow;
+    c.pdo = pdo;
+    c.lao = lao;
+    c.use_threads = use_threads;
+    c.resolution_limit = resolution_limit;
+    return c;
+  }
 };
 
 struct RunOutcome {

@@ -1,0 +1,569 @@
+// Observability-layer tests: lock-free ring semantics (wraparound,
+// concurrent writers), the disabled-path no-event guarantee, per-query
+// span nesting across service -> session -> worker tracks, Chrome
+// trace_event export validity, the strict-JSON validator itself, CSV
+// export, the slow-query log, and the per-query Counters delta surfaced
+// through Engine::query on all three engine kinds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "builtins/lib.hpp"
+#include "engine/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/ring.hpp"
+#include "obs/slowlog.hpp"
+#include "serve/service.hpp"
+
+namespace ace {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::EventKind;
+using obs::EventRecord;
+using obs::EventRing;
+using obs::Recorder;
+using obs::TrackSnapshot;
+
+constexpr const char* kProgram = R"PL(
+q(1). q(2). q(3).
+r(a). r(b).
+both(X, Y) :- q(X) & r(Y).
+pick(X) :- q(X).
+)PL";
+
+EventRecord rec_of(EventKind k, std::uint64_t ts, std::uint64_t a = 0,
+                   std::uint64_t b = 0, std::uint64_t qid = 0) {
+  EventRecord r;
+  r.ts_ns = ts;
+  r.a = a;
+  r.b = b;
+  r.qid = qid;
+  r.kind = k;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// EventRing.
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(9).capacity(), 16u);
+  EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+}
+
+TEST(EventRing, WraparoundKeepsNewestWindowAndCountsDrops) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.push(rec_of(EventKind::Steal, /*ts=*/i, /*a=*/i));
+  }
+  EXPECT_EQ(ring.total(), 20u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  std::vector<EventRecord> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Oldest-first window of the newest 8 records: a = 12..19.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, 12u + i);
+    EXPECT_EQ(snap[i].ts_ns, 12u + i);
+    EXPECT_EQ(snap[i].kind, EventKind::Steal);
+  }
+}
+
+TEST(EventRing, SnapshotBelowCapacityIsExactAndOrdered) {
+  EventRing ring(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push(rec_of(EventKind::Solution, i * 100, i, i * 2, /*qid=*/7));
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<EventRecord> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, i);
+    EXPECT_EQ(snap[i].b, 2 * i);
+    EXPECT_EQ(snap[i].qid, 7u);
+  }
+}
+
+TEST(EventRing, ConcurrentWritersLoseNothingBelowCapacity) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  EventRing ring(kThreads * kPerThread);  // rounds up to 4096
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.push(rec_of(EventKind::Steal, i, /*a=*/t, /*b=*/i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(ring.total(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<EventRecord> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), kThreads * kPerThread);
+
+  // Every record is intact: per-writer counts match and each writer's
+  // payload sequence arrives in order (slot claim order is ring order).
+  std::vector<std::uint64_t> count(kThreads, 0);
+  std::vector<std::uint64_t> next(kThreads, 0);
+  for (const EventRecord& r : snap) {
+    ASSERT_LT(r.a, kThreads);
+    EXPECT_EQ(r.kind, EventKind::Steal);
+    ++count[static_cast<std::size_t>(r.a)];
+    EXPECT_EQ(r.b, next[static_cast<std::size_t>(r.a)]++);
+  }
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_EQ(count[t], kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: disabled path and track bookkeeping.
+
+TEST(RecorderTest, DisabledRecorderRecordsNothing) {
+  Recorder rec;
+  obs::Track* t = rec.create_track("t");
+  rec.set_enabled(false);
+  t->note(EventKind::Solution);
+  t->note_qid(EventKind::Steal, 42, 1, 2);
+  EXPECT_EQ(rec.total_events(), 0u);
+  rec.set_enabled(true);
+  t->note(EventKind::Solution);
+  EXPECT_EQ(rec.total_events(), 1u);
+}
+
+TEST(RecorderTest, DisabledRecorderOnEngineEmitsNoEvents) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Andp;
+  cfg.agents = 2;
+  Engine eng(db, cfg);
+
+  Recorder rec;
+  eng.set_recorder(&rec);
+  rec.set_enabled(false);
+  SolveResult r = eng.solve("both(X, Y).", SIZE_MAX);
+  EXPECT_EQ(r.solutions.size(), 6u);
+  EXPECT_EQ(rec.total_events(), 0u);  // every note() early-outs
+
+  rec.set_enabled(true);
+  eng.solve("both(X, Y).", SIZE_MAX);
+  EXPECT_GT(rec.total_events(), 0u);
+}
+
+TEST(RecorderTest, TimestampsAreMonotonePerTrack) {
+  Recorder rec;
+  obs::Track* t = rec.create_track("t");
+  for (int i = 0; i < 100; ++i) t->note(EventKind::Solution);
+  std::vector<EventRecord> snap = t->ring().snapshot();
+  ASSERT_EQ(snap.size(), 100u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GE(snap[i].ts_ns, snap[i - 1].ts_ns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query spans through the serving stack.
+
+struct TrackIndex {
+  const TrackSnapshot* service = nullptr;
+  std::vector<const TrackSnapshot*> dispatch;
+  std::vector<const TrackSnapshot*> session;
+  std::vector<const TrackSnapshot*> agent;
+};
+
+TrackIndex index_tracks(const std::vector<TrackSnapshot>& tracks) {
+  TrackIndex ix;
+  for (const TrackSnapshot& t : tracks) {
+    if (t.name == "service") {
+      ix.service = &t;
+    } else if (t.name.rfind("dispatch", 0) == 0) {
+      ix.dispatch.push_back(&t);
+    } else if (t.name.rfind("session", 0) == 0) {
+      ix.session.push_back(&t);
+    } else if (t.name.rfind("agent", 0) == 0) {
+      ix.agent.push_back(&t);
+    }
+  }
+  return ix;
+}
+
+std::uint64_t ts_of(const TrackSnapshot& t, EventKind k, std::uint64_t qid,
+                    bool* found) {
+  for (const EventRecord& r : t.records) {
+    if (r.kind == k && r.qid == qid) {
+      *found = true;
+      return r.ts_ns;
+    }
+  }
+  *found = false;
+  return 0;
+}
+
+TEST(ServeTracing, SpansNestFromServiceThroughSessionToWorkers) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+
+  Recorder rec;
+  ServiceOptions sopts;
+  sopts.dispatch_threads = 2;
+  sopts.recorder = &rec;
+  QueryService service(db, sopts);
+
+  QueryRequest req;
+  req.query = "both(X, Y).";
+  req.engine.mode = EngineMode::Andp;
+  req.engine.agents = 2;
+  QueryResult resp = service.run(std::move(req));
+  ASSERT_TRUE(resp.completed()) << resp.error;
+  EXPECT_EQ(resp.outcome, QueryOutcome::Success);
+  ASSERT_NE(resp.trace_id, 0u);
+  service.shutdown();
+
+  // Keep the snapshot alive: TrackIndex holds pointers into it.
+  std::vector<TrackSnapshot> snap = rec.snapshot();
+  TrackIndex ix = index_tracks(snap);
+  ASSERT_NE(ix.service, nullptr);
+  ASSERT_EQ(ix.dispatch.size(), 2u);
+  ASSERT_GE(ix.session.size(), 1u);
+  ASSERT_GE(ix.agent.size(), 2u);
+
+  const std::uint64_t qid = resp.trace_id;
+  bool found = false;
+
+  // Service track: admission bracketing.
+  std::uint64_t submit = ts_of(*ix.service, EventKind::Submit, qid, &found);
+  ASSERT_TRUE(found);
+  std::uint64_t qenter =
+      ts_of(*ix.service, EventKind::QueueEnter, qid, &found);
+  ASSERT_TRUE(found);
+  std::uint64_t qleave =
+      ts_of(*ix.service, EventKind::QueueLeave, qid, &found);
+  ASSERT_TRUE(found);
+
+  // Dispatch track: exactly one thread served the query.
+  std::uint64_t serve_b = 0, serve_e = 0;
+  int serving_threads = 0;
+  for (const TrackSnapshot* t : ix.dispatch) {
+    bool b = false, e = false;
+    std::uint64_t tb = ts_of(*t, EventKind::ServeBegin, qid, &b);
+    std::uint64_t te = ts_of(*t, EventKind::ServeEnd, qid, &e);
+    if (b || e) {
+      ASSERT_TRUE(b && e);
+      serve_b = tb;
+      serve_e = te;
+      ++serving_threads;
+    }
+  }
+  ASSERT_EQ(serving_threads, 1);
+
+  // Session track: query/parse/run spans, all under the serve span.
+  std::uint64_t query_b = 0, query_e = 0, parse_b = 0, parse_e = 0,
+                run_b = 0, run_e = 0;
+  bool session_found = false;
+  for (const TrackSnapshot* t : ix.session) {
+    bool b = false;
+    std::uint64_t tb = ts_of(*t, EventKind::QueryBegin, qid, &b);
+    if (!b) continue;
+    session_found = true;
+    query_b = tb;
+    query_e = ts_of(*t, EventKind::QueryEnd, qid, &found);
+    ASSERT_TRUE(found);
+    parse_b = ts_of(*t, EventKind::ParseBegin, qid, &found);
+    ASSERT_TRUE(found);
+    parse_e = ts_of(*t, EventKind::ParseEnd, qid, &found);
+    ASSERT_TRUE(found);
+    run_b = ts_of(*t, EventKind::RunBegin, qid, &found);
+    ASSERT_TRUE(found);
+    run_e = ts_of(*t, EventKind::RunEnd, qid, &found);
+    ASSERT_TRUE(found);
+  }
+  ASSERT_TRUE(session_found);
+
+  // Worker tracks: engine events stamped with the same query id.
+  std::size_t agent_events = 0;
+  for (const TrackSnapshot* t : ix.agent) {
+    for (const EventRecord& r : t->records) {
+      if (r.qid == qid) ++agent_events;
+    }
+  }
+  EXPECT_GT(agent_events, 0u);
+
+  // The nesting: submit <= enter <= leave; serve brackets the session
+  // spans; parse and run nest inside the query span in order.
+  EXPECT_LE(submit, qenter);
+  EXPECT_LE(qenter, qleave);
+  EXPECT_LE(serve_b, query_b);
+  EXPECT_LE(query_b, parse_b);
+  EXPECT_LE(parse_b, parse_e);
+  EXPECT_LE(parse_e, run_b);
+  EXPECT_LE(run_b, run_e);
+  EXPECT_LE(run_e, query_e);
+  EXPECT_LE(query_e, serve_e);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export.
+
+TEST(ChromeExport, TracedServeRunProducesValidChromeTrace) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+
+  Recorder rec;
+  ServiceOptions sopts;
+  sopts.dispatch_threads = 2;
+  sopts.recorder = &rec;
+  QueryService service(db, sopts);
+
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.query = i % 2 == 0 ? "both(X, Y)." : "pick(X).";
+    if (i % 2 == 0) {
+      req.engine.mode = EngineMode::Andp;
+      req.engine.agents = 2;
+    }
+    QueryResult resp = service.run(std::move(req));
+    ASSERT_TRUE(resp.completed()) << resp.error;
+  }
+  service.shutdown();
+
+  std::string json = obs::chrome_trace_json(rec);
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+  // Spot checks: the span names and the track metadata made it through.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"X\""), std::string::npos);
+}
+
+TEST(ChromeExport, SimTracerExportsValidChromeTrace) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Andp;
+  cfg.agents = 2;
+  Engine eng(db, cfg);
+  Tracer tracer;
+  eng.set_tracer(&tracer);
+  eng.solve("both(X, Y).", SIZE_MAX);
+  ASSERT_GT(tracer.size(), 0u);
+
+  std::string json = obs::chrome_trace_json_from_sim(tracer);
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+}
+
+TEST(ChromeExport, UnbalancedSpansStillValidate) {
+  // A begin with no end (query cut off mid-run) must still export as
+  // structurally valid Chrome JSON (closed at track end).
+  Recorder rec;
+  obs::Track* t = rec.create_track("t");
+  t->note_qid(EventKind::QueryBegin, 1);
+  t->note_qid(EventKind::ParseBegin, 1);
+  t->note_qid(EventKind::ParseEnd, 1);
+  // RunBegin without RunEnd; QueryEnd missing entirely.
+  t->note_qid(EventKind::RunBegin, 1);
+  t->note_qid(EventKind::Solution, 1);
+  // A stray end with no begin on a second track.
+  obs::Track* u = rec.create_track("u");
+  u->note_qid(EventKind::RunEnd, 2);
+
+  std::string json = obs::chrome_trace_json(rec);
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+}
+
+TEST(ChromeValidator, RejectsStructurallyBrokenJson) {
+  std::string err;
+  EXPECT_FALSE(obs::validate_chrome_trace("", &err));
+  EXPECT_FALSE(obs::validate_chrome_trace("{", &err));
+  EXPECT_FALSE(obs::validate_chrome_trace("[]", &err));  // no traceEvents
+  EXPECT_FALSE(obs::validate_chrome_trace("{\"traceEvents\":{}}", &err));
+  // Trailing comma: strict parser refuses.
+  EXPECT_FALSE(
+      obs::validate_chrome_trace("{\"traceEvents\":[],}", &err));
+  // Event missing required keys.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":[{\"name\":\"x\"}]}", &err));
+  // Unknown phase.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\",\"pid\":1,"
+      "\"tid\":1,\"ts\":0}]}",
+      &err));
+  // Negative duration.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":1,\"ts\":0,\"dur\":-1}]}",
+      &err));
+  // Non-monotone ts on one tid.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":5,"
+      "\"s\":\"t\"},"
+      "{\"name\":\"b\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":1,"
+      "\"s\":\"t\"}]}",
+      &err));
+  // A well-formed minimal trace passes.
+  EXPECT_TRUE(obs::validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"p\",\"ph\":\"M\",\"pid\":1,\"tid\":0},"
+      "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"dur\":10},"
+      "{\"name\":\"b\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":4,"
+      "\"s\":\"t\"}]}",
+      &err))
+      << err;
+}
+
+TEST(CsvExport, OneLinePerRecordPlusHeader) {
+  Recorder rec;
+  obs::Track* t = rec.create_track("alpha");
+  t->note_qid(EventKind::Solution, 3, 1, 2);
+  t->note_qid(EventKind::Steal, 3, 4, 5);
+  std::string csv = obs::to_csv(rec);
+  EXPECT_NE(csv.find("ts_ns,track,track_name,kind,qid,a,b"),
+            std::string::npos);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+  EXPECT_NE(csv.find("solution"), std::string::npos);
+  EXPECT_NE(csv.find("steal"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log.
+
+QueryResult result_with_latency(std::uint64_t id, std::chrono::microseconds us) {
+  QueryResult r;
+  r.id = id;
+  r.outcome = QueryOutcome::Success;
+  r.query = "q" + std::to_string(id) + ".";
+  r.latency = us;
+  return r;
+}
+
+TEST(SlowLog, KeepsSlowestAboveThreshold) {
+  obs::SlowLogOptions opts;
+  opts.threshold = 100us;
+  opts.capacity = 2;
+  obs::SlowQueryLog log(opts);
+  EXPECT_TRUE(log.enabled());
+
+  log.consider(result_with_latency(1, 50us));    // below threshold
+  log.consider(result_with_latency(2, 200us));
+  log.consider(result_with_latency(3, 400us));
+  log.consider(result_with_latency(4, 300us));   // evicts the 200us entry
+  EXPECT_EQ(log.size(), 2u);
+
+  std::vector<QueryResult> snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, 3u);  // slowest first
+  EXPECT_EQ(snap[1].id, 4u);
+
+  std::string rendered = log.render();
+  EXPECT_NE(rendered.find("q3."), std::string::npos);
+  EXPECT_NE(rendered.find("q4."), std::string::npos);
+  EXPECT_EQ(rendered.find("q2."), std::string::npos);
+}
+
+TEST(SlowLog, DisabledByDefaultAndCostsNothing) {
+  obs::SlowQueryLog log;
+  EXPECT_FALSE(log.enabled());
+  log.consider(result_with_latency(1, std::chrono::microseconds(1 << 20)));
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SlowLog, ServiceFeedsTheLog) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+  ServiceOptions sopts;
+  sopts.dispatch_threads = 1;
+  sopts.slowlog.threshold = std::chrono::microseconds(1);  // everything
+  QueryService service(db, sopts);
+  QueryRequest req;
+  req.query = "pick(X).";
+  QueryResult resp = service.run(std::move(req));
+  ASSERT_TRUE(resp.completed());
+  service.shutdown();
+  EXPECT_GE(service.slowlog().size(), 1u);
+  EXPECT_NE(service.slowlog().render().find("pick(X)."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine facade: per-query Counters delta on all three engine kinds.
+
+TEST(EngineFacade, PerQueryCountersDeltaOnAllEngineKinds) {
+  for (EngineMode mode :
+       {EngineMode::Seq, EngineMode::Andp, EngineMode::Orp}) {
+    Database db;
+    load_library(db);
+    db.consult(kProgram);
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.agents = mode == EngineMode::Seq ? 1 : 2;
+    Engine eng(db, cfg);
+
+    QueryResult first = eng.query("pick(X).");
+    ASSERT_EQ(first.outcome, QueryOutcome::Success)
+        << engine_mode_name(mode) << ": " << first.error;
+    EXPECT_EQ(first.solutions.size(), 3u);
+    EXPECT_GT(first.stats.resolutions, 0u);
+    EXPECT_EQ(first.stats.solutions, 3u);
+    EXPECT_FALSE(first.engine_reused);
+
+    // Second run on the warm engine: the counters are a fresh per-query
+    // delta, not a cumulative total.
+    QueryResult second = eng.query("pick(X).");
+    ASSERT_EQ(second.outcome, QueryOutcome::Success);
+    EXPECT_TRUE(second.engine_reused);
+    EXPECT_EQ(second.stats.resolutions, first.stats.resolutions)
+        << engine_mode_name(mode);
+    EXPECT_EQ(second.stats.solutions, first.stats.solutions);
+
+    // A failing query is an outcome, not an error.
+    QueryResult no = eng.query("q(99).");
+    EXPECT_EQ(no.outcome, QueryOutcome::Fail);
+    EXPECT_TRUE(no.completed());
+
+    // A parse error is an Error outcome with a message, not a throw.
+    QueryResult bad = eng.query("p(");
+    EXPECT_EQ(bad.outcome, QueryOutcome::Error);
+    EXPECT_FALSE(bad.error.empty());
+  }
+}
+
+TEST(EngineFacade, DescribeAndJsonShape) {
+  EngineConfig cfg;
+  cfg.mode = EngineMode::Andp;
+  cfg.agents = 4;
+  cfg.lpco = cfg.shallow = cfg.pdo = true;
+  EXPECT_EQ(cfg.describe(), "andp x4 +lpco+shallow+pdo");
+  EXPECT_STREQ(engine_mode_name(EngineMode::Orp), "orp");
+
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+  Engine eng(db);
+  QueryResult r = eng.query("pick(X).");
+  std::string json = r.to_json();
+  EXPECT_NE(json.find("\"v\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"success\""), std::string::npos);
+  EXPECT_NE(json.find("\"sols\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"resolutions\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ace

@@ -223,7 +223,7 @@ TEST_F(ServeTest, ServiceRunsMixedEnginesConcurrently) {
   }
   for (auto& t : tickets) {
     QueryResponse resp = t.result.get();
-    ASSERT_EQ(resp.status, QueryStatus::Ok) << resp.error;
+    ASSERT_TRUE(resp.completed()) << resp.error;
     std::vector<std::string> sols = resp.solutions;
     std::sort(sols.begin(), sols.end());
     EXPECT_EQ(sols, expected);
@@ -251,10 +251,10 @@ TEST_F(ServeTest, ServicePoolReuseIsObservable) {
   QueryRequest req;
   req.query = "d(X).";
   QueryResponse first = service.run(req);
-  ASSERT_EQ(first.status, QueryStatus::Ok);
+  ASSERT_TRUE(first.completed());
   EXPECT_FALSE(first.engine_reused);
   QueryResponse second = service.run(req);
-  ASSERT_EQ(second.status, QueryStatus::Ok);
+  ASSERT_TRUE(second.completed());
   EXPECT_TRUE(second.engine_reused);
   EXPECT_EQ(second.solutions, first.solutions);
   EXPECT_EQ(service.metrics_snapshot().pool_hits, 1u);
@@ -272,7 +272,7 @@ TEST_F(ServeTest, ServiceCancelStopsRunningQuery) {
   std::this_thread::sleep_for(20ms);
   EXPECT_TRUE(service.cancel(t.id));
   QueryResponse resp = t.result.get();
-  EXPECT_EQ(resp.status, QueryStatus::Cancelled);
+  EXPECT_EQ(resp.outcome, QueryOutcome::Cancelled);
 
   // The engine that served the cancelled query is back in the pool and
   // must serve the next query correctly.
@@ -280,7 +280,7 @@ TEST_F(ServeTest, ServiceCancelStopsRunningQuery) {
   again.query = "nat(X).";
   again.max_solutions = 2;
   QueryResponse ok = service.run(again);
-  EXPECT_EQ(ok.status, QueryStatus::Ok);
+  EXPECT_TRUE(ok.completed());
   EXPECT_TRUE(ok.engine_reused);
   EXPECT_EQ(ok.solutions.size(), 2u);
   EXPECT_EQ(service.metrics_snapshot().cancelled, 1u);
@@ -304,11 +304,11 @@ TEST_F(ServeTest, ServiceCancelQueuedQueryNeverRuns) {
   QueryService::Ticket qt = service.submit(std::move(queued));
   EXPECT_TRUE(service.cancel(qt.id));
   QueryResponse resp = qt.result.get();
-  EXPECT_EQ(resp.status, QueryStatus::Cancelled);
+  EXPECT_EQ(resp.outcome, QueryOutcome::Cancelled);
   EXPECT_EQ(resp.stats.resolutions, 0u);  // answered without running
 
   QueryResponse br = bt.result.get();
-  EXPECT_EQ(br.status, QueryStatus::DeadlineExpired);
+  EXPECT_EQ(br.outcome, QueryOutcome::DeadlineExpired);
   EXPECT_FALSE(service.cancel(qt.id));  // already finished
 }
 
@@ -334,10 +334,10 @@ TEST_F(ServeTest, ServiceDeadlineExpiresInQueue) {
   }
   for (auto& t : tickets) {
     QueryResponse resp = t.result.get();
-    EXPECT_EQ(resp.status, QueryStatus::DeadlineExpired);
+    EXPECT_EQ(resp.outcome, QueryOutcome::DeadlineExpired);
     EXPECT_EQ(resp.stats.resolutions, 0u);
   }
-  EXPECT_EQ(bt.result.get().status, QueryStatus::DeadlineExpired);
+  EXPECT_EQ(bt.result.get().outcome, QueryOutcome::DeadlineExpired);
   EXPECT_EQ(service.metrics_snapshot().deadline_expired, 5u);
 }
 
@@ -348,7 +348,7 @@ TEST_F(ServeTest, ServiceRunningDeadlineReturnsPartials) {
   req.query = "nat(X).";
   req.deadline = 30ms;
   QueryResponse resp = service.run(std::move(req));
-  EXPECT_EQ(resp.status, QueryStatus::DeadlineExpired);
+  EXPECT_EQ(resp.outcome, QueryOutcome::DeadlineExpired);
   EXPECT_GE(resp.solutions.size(), 1u);
   EXPECT_EQ(resp.solutions[0], "X = z");
 }
@@ -376,7 +376,7 @@ TEST_F(ServeTest, ServiceRejectsWhenQueueFull) {
   std::size_t rejected = 0;
   for (auto& t : tickets) {
     QueryResponse resp = t.result.get();
-    if (resp.status == QueryStatus::Rejected) {
+    if (resp.outcome == QueryOutcome::Overload) {
       ++rejected;
       EXPECT_FALSE(resp.error.empty());
     }
@@ -395,17 +395,17 @@ TEST_F(ServeTest, ServiceReportsErrorsWithoutPoisoningPool) {
   QueryRequest bad;
   bad.query = "no_such_predicate(X).";
   QueryResponse err = service.run(std::move(bad));
-  EXPECT_EQ(err.status, QueryStatus::Error);
+  EXPECT_EQ(err.outcome, QueryOutcome::Error);
   EXPECT_NE(err.error.find("undefined predicate"), std::string::npos);
 
   QueryRequest parse_bad;
   parse_bad.query = "d(((.";
-  EXPECT_EQ(service.run(std::move(parse_bad)).status, QueryStatus::Error);
+  EXPECT_EQ(service.run(std::move(parse_bad)).outcome, QueryOutcome::Error);
 
   QueryRequest good;
   good.query = "d(X).";
   QueryResponse ok = service.run(std::move(good));
-  EXPECT_EQ(ok.status, QueryStatus::Ok);
+  EXPECT_TRUE(ok.completed());
   EXPECT_TRUE(ok.engine_reused);  // the erroring session was still pooled
   EXPECT_EQ(service.metrics_snapshot().errors, 2u);
 }
@@ -418,7 +418,7 @@ TEST_F(ServeTest, ServiceDefaultResolutionLimitApplies) {
   QueryRequest req;
   req.query = "spin.";
   QueryResponse resp = service.run(std::move(req));
-  EXPECT_EQ(resp.status, QueryStatus::Error);
+  EXPECT_EQ(resp.outcome, QueryOutcome::Error);
 }
 
 // The race the Database shared lock exists to win: queries that backtrack
@@ -459,7 +459,7 @@ TEST_F(ServeTest, ConcurrentAssertRetractWithBacktrackingQueries) {
     QueryResponse resp = t.result.get();
     // assert/retract/scan may succeed or (for retract of an absent fact)
     // fail with zero solutions; nothing may error, crash or expire.
-    ASSERT_EQ(resp.status, QueryStatus::Ok) << resp.error;
+    ASSERT_TRUE(resp.completed()) << resp.error;
     ++ok;
   }
   EXPECT_EQ(ok, 240u);
@@ -480,11 +480,11 @@ TEST_F(ServeTest, ShutdownDrainsAdmittedWork) {
   }
   service.shutdown();  // must drain, not drop
   for (auto& t : tickets) {
-    EXPECT_EQ(t.result.get().status, QueryStatus::Ok);
+    EXPECT_TRUE(t.result.get().completed());
   }
   QueryRequest late;
   late.query = "d(X).";
-  EXPECT_EQ(service.run(std::move(late)).status, QueryStatus::Rejected);
+  EXPECT_EQ(service.run(std::move(late)).outcome, QueryOutcome::Overload);
 }
 
 // ---------------------------------------------------------------------------

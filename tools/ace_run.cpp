@@ -12,9 +12,15 @@
 //                               queries, 1 otherwise)
 //   --stats                    print the full counter block
 //   --limit N                  resolution limit (abort runaway programs)
+//   --json                     print the versioned QueryResult JSON object
+//                              (same wire shape as ace_serve) instead of
+//                              the plain-text solution listing
+//   --trace FILE               record the query with the obs layer and
+//                              write Chrome trace_event JSON (Perfetto)
 //
 // Prints each solution, then the virtual time; with --stats the counters
-// the paper's optimizations act on.
+// the paper's optimizations act on. All three engines run through the
+// unified ace::Engine facade (PR 2).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +28,8 @@
 #include <string>
 
 #include "builtins/lib.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -41,6 +49,7 @@ std::string read_file(const std::string& path) {
                " [--all-opts]\n"
                "               [--threads] [--max-solutions N] [--stats]"
                " [--limit N]\n"
+               "               [--json] [--trace FILE]\n"
                "               (<file.pl>... '<query.>' | --workload <name>"
                " [--query '<q.>'])\n");
   std::exit(2);
@@ -55,7 +64,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string query;
   std::string workload_name;
+  std::string trace_path;
   bool want_stats = false;
+  bool want_json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -94,6 +105,12 @@ int main(int argc, char** argv) {
       cfg.resolution_limit = std::stoull(next());
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--workload") {
       workload_name = next();
     } else if (arg == "--query") {
@@ -106,9 +123,15 @@ int main(int argc, char** argv) {
   }
 
   try {
-    RunOutcome out;
+    Database db;
+    load_library(db);
     if (!workload_name.empty()) {
-      out = run_workload(workload(workload_name), cfg, query);
+      const Workload& w = workload(workload_name);
+      db.consult(w.source);
+      if (query.empty()) query = w.query;
+      if (cfg.max_solutions == SIZE_MAX && !w.all_solutions) {
+        cfg.max_solutions = 1;
+      }
     } else {
       if (files.empty()) usage();
       // Last non-flag argument is the query if it is not a readable file.
@@ -117,57 +140,56 @@ int main(int argc, char** argv) {
         files.pop_back();
         if (files.empty() && query.find(".pl") != std::string::npos) usage();
       }
-      Database db;
-      load_library(db);
       for (const std::string& f : files) db.consult(read_file(f));
-      Workload w;
-      w.name = "cli";
-      w.all_solutions = cfg.max_solutions != 1;
-      // Run directly through the harness types.
-      if (cfg.engine == EngineKind::Seq) {
-        WorkerOptions wopts;
-        wopts.resolution_limit = cfg.resolution_limit;
-        SeqEngine eng(db, wopts);
-        SolveResult r = eng.solve(query, cfg.max_solutions);
-        out.virtual_time = r.virtual_time;
-        out.solutions = r.solutions;
-        out.num_solutions = r.solutions.size();
-        out.stats = r.stats;
-      } else if (cfg.engine == EngineKind::Andp) {
-        AndpOptions o;
-        o.agents = cfg.agents;
-        o.lpco = cfg.lpco;
-        o.shallow = cfg.shallow;
-        o.pdo = cfg.pdo;
-        o.use_threads = cfg.use_threads;
-        o.resolution_limit = cfg.resolution_limit;
-        AndpMachine m(db, o);
-        SolveResult r = m.solve(query, cfg.max_solutions);
-        out.virtual_time = r.virtual_time;
-        out.solutions = r.solutions;
-        out.num_solutions = r.solutions.size();
-        out.stats = r.stats;
-      } else {
-        OrpOptions o;
-        o.agents = cfg.agents;
-        o.lao = cfg.lao;
-        o.resolution_limit = cfg.resolution_limit;
-        OrpMachine m(db, o);
-        SolveResult r = m.solve(query, cfg.max_solutions);
-        out.virtual_time = r.virtual_time;
-        out.solutions = r.solutions;
-        out.num_solutions = r.solutions.size();
-        out.stats = r.stats;
-      }
     }
 
-    for (const std::string& s : out.solutions) {
-      std::printf("%s\n", s.c_str());
+    const CostModel costs =
+        cfg.costs != nullptr ? *cfg.costs : CostModel::standard();
+    Engine eng(db, cfg.engine_config(), costs);
+
+    obs::Recorder recorder;
+    if (!trace_path.empty()) eng.set_recorder(&recorder);
+
+    int rc;
+    if (want_json) {
+      QueryBudget budget;
+      budget.max_solutions = cfg.max_solutions;
+      QueryResult r = eng.query(query, budget);
+      std::printf("%s\n", r.to_json().c_str());
+      if (want_stats) std::printf("%s", r.stats.summary().c_str());
+      rc = r.outcome == QueryOutcome::Success ? 0 : 1;
+    } else {
+      SolveResult r = eng.solve(query, cfg.max_solutions);
+      for (const std::string& s : r.solutions) {
+        std::printf("%s\n", s.c_str());
+      }
+      std::printf("%% %zu solution(s), virtual time %llu\n",
+                  r.solutions.size(), (unsigned long long)r.virtual_time);
+      if (want_stats) std::printf("%s", r.stats.summary().c_str());
+      rc = r.solutions.empty() ? 1 : 0;
     }
-    std::printf("%% %zu solution(s), virtual time %llu\n", out.num_solutions,
-                (unsigned long long)out.virtual_time);
-    if (want_stats) std::printf("%s", out.stats.summary().c_str());
-    return out.num_solutions > 0 ? 0 : 1;
+
+    if (!trace_path.empty()) {
+      std::string json = obs::chrome_trace_json(recorder);
+      std::string err;
+      if (!obs::validate_chrome_trace(json, &err)) {
+        std::fprintf(stderr, "error: trace export failed validation: %s\n",
+                     err.c_str());
+        return 2;
+      }
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      out << json;
+      std::fprintf(stderr,
+                   "trace: %llu events on %zu tracks -> %s "
+                   "(load in ui.perfetto.dev)\n",
+                   (unsigned long long)recorder.total_events(),
+                   recorder.num_tracks(), trace_path.c_str());
+    }
+    return rc;
   } catch (const AceError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -23,12 +23,19 @@
 //   --window N            max in-flight submissions (default = queue size;
 //                         closed-loop submission avoids self-inflicted
 //                         rejects when feeding from a file)
-//   --quiet               suppress per-solution output (status lines only)
+//   --quiet               suppress per-solution output
 //   --metrics             print the serving-metrics JSON on exit
+//   --v1                  PR-1 text output ("=== id=... outcome=...")
+//   --trace FILE          record the full request path (service, dispatch,
+//                         session and agent tracks) and write a Chrome
+//                         trace_event JSON file on exit; open it in
+//                         Perfetto (ui.perfetto.dev) or about://tracing
+//   --slowlog-ms N        keep the slowest queries at/above N ms and print
+//                         the slow-query log to stderr on exit
 //
-// Output per query (in submission order):
-//   === id=3 status=ok engine_reused=1 queue_us=12 latency_us=840 sols=2
-//   ...one line per solution unless --quiet...
+// Output: one versioned QueryResult JSON object per line (v2), in
+// submission order:
+//   {"v":2,"id":3,"outcome":"success","query":"p(X).","sols":2,...}
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -39,6 +46,8 @@
 #include <vector>
 
 #include "builtins/lib.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "serve/service.hpp"
 #include "workloads/harness.hpp"
 
@@ -56,7 +65,8 @@ std::string read_file(const std::string& path) {
   std::fprintf(stderr,
                "usage: ace_serve [--service-threads N] [--queue N] [--pool N]\n"
                "                 [--deadline MILLIS] [--limit N] [--window N]\n"
-               "                 [--quiet] [--metrics]\n"
+               "                 [--quiet] [--metrics] [--v1]\n"
+               "                 [--trace FILE] [--slowlog-ms N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
                "queries on stdin, one per line:\n"
                "  [engine=andp agents=4 lpco deadline=100 max=3] goal(X).\n");
@@ -125,11 +135,13 @@ struct InFlight {
   ace::QueryService::Ticket ticket;
 };
 
-void print_response(const std::string& text, ace::QueryResponse& resp,
-                    bool quiet) {
-  std::printf("=== id=%llu status=%s engine_reused=%d queue_us=%lld "
+// PR-1 text rendering, kept for one PR behind --v1.
+void print_response_v1(const std::string& text, const ace::QueryResult& resp,
+                       bool quiet) {
+  std::printf("=== id=%llu outcome=%s engine_reused=%d queue_us=%lld "
               "latency_us=%lld sols=%zu",
-              (unsigned long long)resp.id, ace::query_status_name(resp.status),
+              (unsigned long long)resp.id,
+              ace::query_outcome_name(resp.outcome),
               resp.engine_reused ? 1 : 0, (long long)resp.queue_wait.count(),
               (long long)resp.latency.count(), resp.solutions.size());
   if (!resp.error.empty()) std::printf(" error=\"%s\"", resp.error.c_str());
@@ -148,9 +160,11 @@ int main(int argc, char** argv) {
   ServiceOptions sopts;
   std::vector<std::string> files;
   std::string workload_name;
+  std::string trace_path;
   std::size_t window = 0;
   bool quiet = false;
   bool want_metrics = false;
+  bool v1 = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -174,6 +188,14 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg == "--v1") {
+      v1 = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--slowlog-ms") {
+      sopts.slowlog.threshold = std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--workload") {
       workload_name = next();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -184,6 +206,12 @@ int main(int argc, char** argv) {
   }
   if (files.empty() && workload_name.empty()) usage();
   if (window == 0) window = sopts.queue_capacity;
+
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::Recorder>();
+    sopts.recorder = recorder.get();
+  }
 
   try {
     Database db;
@@ -203,12 +231,20 @@ int main(int argc, char** argv) {
     auto drain_one = [&]() {
       InFlight f = std::move(inflight.front());
       inflight.pop_front();
-      QueryResponse resp = f.ticket.result.get();
-      if (resp.status == QueryStatus::Error ||
-          resp.status == QueryStatus::Rejected) {
+      QueryResult resp = f.ticket.result.get();
+      if (resp.outcome == QueryOutcome::Error ||
+          resp.outcome == QueryOutcome::Overload) {
         ++errors;
       }
-      print_response(f.text, resp, quiet);
+      if (v1) {
+        print_response_v1(f.text, resp, quiet);
+      } else {
+        std::printf("%s\n",
+                    resp.to_json(/*include_stats=*/true,
+                                 /*include_solutions=*/!quiet)
+                        .c_str());
+        std::fflush(stdout);
+      }
     };
 
     std::string line;
@@ -235,6 +271,29 @@ int main(int argc, char** argv) {
 
     if (want_metrics) {
       std::printf("%s\n", service.metrics_snapshot().to_json().c_str());
+    }
+    if (sopts.slowlog.threshold.count() > 0) {
+      std::fprintf(stderr, "%s", service.slowlog().render().c_str());
+    }
+    if (recorder != nullptr) {
+      std::string json = obs::chrome_trace_json(*recorder);
+      std::string err;
+      if (!obs::validate_chrome_trace(json, &err)) {
+        std::fprintf(stderr, "error: trace export failed validation: %s\n",
+                     err.c_str());
+        return 2;
+      }
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      out << json;
+      std::fprintf(stderr,
+                   "trace: %llu events on %zu tracks -> %s "
+                   "(load in ui.perfetto.dev)\n",
+                   (unsigned long long)recorder->total_events(),
+                   recorder->num_tracks(), trace_path.c_str());
     }
     return errors == 0 ? 0 : 1;
   } catch (const AceError& e) {
