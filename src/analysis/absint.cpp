@@ -1,0 +1,951 @@
+#include "analysis/absint.hpp"
+
+#include <algorithm>
+
+#include "builtins/lib.hpp"
+#include "db/database.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+void collect_vars_rec(const TermTemplate& tmpl, Cell c,
+                      std::vector<std::uint32_t>& out) {
+  switch (c.tag()) {
+    case Tag::VarSlot:
+      out.push_back(c.var_slot());
+      return;
+    case Tag::Lst:
+      collect_vars_rec(tmpl, tmpl.cells[c.payload()], out);
+      collect_vars_rec(tmpl, tmpl.cells[c.payload() + 1], out);
+      return;
+    case Tag::Str: {
+      const Cell f = tmpl.cells[c.payload()];
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        collect_vars_rec(tmpl, tmpl.cells[c.payload() + i], out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::vector<std::uint32_t> nonground_vars(const AbsState& st,
+                                          const TermTemplate& tmpl, Cell t) {
+  std::vector<std::uint32_t> vs = collect_template_vars(tmpl, t);
+  vs.erase(std::remove_if(vs.begin(), vs.end(),
+                          [&](std::uint32_t v) { return st.is_ground(v); }),
+           vs.end());
+  return vs;
+}
+
+bool args_may_share(const AbsState& st, const TermTemplate& tmpl, Cell a,
+                    Cell b) {
+  const std::vector<std::uint32_t> va = nonground_vars(st, tmpl, a);
+  const std::vector<std::uint32_t> vb = nonground_vars(st, tmpl, b);
+  for (std::uint32_t u : va) {
+    for (std::uint32_t v : vb) {
+      if (u == v || st.may_share(u, v)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AbsMode join_mode(AbsMode a, AbsMode b) {
+  if (a == b) return a;
+  return AbsMode::Any;
+}
+
+const char* mode_name(AbsMode m) {
+  switch (m) {
+    case AbsMode::Ground:
+      return "g";
+    case AbsMode::Free:
+      return "f";
+    case AbsMode::Any:
+      return "a";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> collect_template_vars(const TermTemplate& tmpl,
+                                                 Cell c) {
+  std::vector<std::uint32_t> out;
+  collect_vars_rec(tmpl, c, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ArgPattern
+
+ArgPattern ArgPattern::top(unsigned arity) {
+  ArgPattern p;
+  p.modes.assign(arity, AbsMode::Any);
+  for (unsigned i = 0; i < arity; ++i) {
+    for (unsigned j = i + 1; j < arity; ++j) p.share.emplace(i, j);
+  }
+  return p;
+}
+
+ArgPattern ArgPattern::all_ground(unsigned arity) {
+  ArgPattern p;
+  p.modes.assign(arity, AbsMode::Ground);
+  return p;
+}
+
+void ArgPattern::join(const ArgPattern& o) {
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    modes[i] = join_mode(modes[i], o.modes[i]);
+  }
+  share.insert(o.share.begin(), o.share.end());
+}
+
+bool ArgPattern::operator==(const ArgPattern& o) const {
+  return modes == o.modes && share == o.share;
+}
+
+bool ArgPattern::operator<(const ArgPattern& o) const {
+  if (modes != o.modes) return modes < o.modes;
+  return share < o.share;
+}
+
+std::string ArgPattern::describe() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += mode_name(modes[i]);
+  }
+  out += ")";
+  if (!share.empty()) {
+    out += " share={";
+    bool first = true;
+    for (auto [i, j] : share) {
+      if (!first) out += ",";
+      first = false;
+      out += strf("%u-%u", i, j);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AbsState
+
+void AbsState::set_ground(std::uint32_t v) {
+  modes[v] = AbsMode::Ground;
+  for (auto it = share.begin(); it != share.end();) {
+    if (it->first == v || it->second == v) {
+      it = share.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AbsState::demote(std::uint32_t v) {
+  if (modes[v] == AbsMode::Free) modes[v] = AbsMode::Any;
+}
+
+void AbsState::add_share(std::uint32_t a, std::uint32_t b) {
+  if (a == b) return;
+  if (modes[a] == AbsMode::Ground || modes[b] == AbsMode::Ground) return;
+  share.emplace(std::min(a, b), std::max(a, b));
+}
+
+bool AbsState::may_share(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return modes[a] != AbsMode::Ground;
+  return share.count({std::min(a, b), std::max(a, b)}) != 0;
+}
+
+std::vector<std::uint32_t> AbsState::aliases_of(std::uint32_t v) const {
+  std::vector<std::uint32_t> out;
+  for (auto [a, b] : share) {
+    if (a == v) out.push_back(b);
+    if (b == v) out.push_back(a);
+  }
+  return out;
+}
+
+void AbsState::join(const AbsState& o) {
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    modes[i] = join_mode(modes[i], o.modes[i]);
+  }
+  share.insert(o.share.begin(), o.share.end());
+}
+
+// ---------------------------------------------------------------------------
+// AbsProgram
+
+void AbsProgram::add_clause(const SymbolTable& syms, TermTemplate tmpl,
+                            SourceSpan span, bool from_library) {
+  ClauseInfo ci;
+  ci.span = span;
+  ci.from_library = from_library;
+  Cell head = tmpl.root;
+  Cell body = atm_cell(syms.known().truesym);
+  if (tmpl.root.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[tmpl.root.payload()];
+    if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
+      head = tmpl.cells[tmpl.root.payload() + 1];
+      body = tmpl.cells[tmpl.root.payload() + 2];
+    } else if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 1) {
+      return;  // directive
+    }
+  }
+  if (head.tag() == Tag::Atm) {
+    ci.pred_sym = head.symbol();
+    ci.pred_arity = 0;
+  } else if (head.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[head.payload()];
+    ci.pred_sym = f.fun_symbol();
+    ci.pred_arity = f.fun_arity();
+  } else {
+    return;  // not a callable head; the runtime rejects it too
+  }
+  ci.tmpl = std::move(tmpl);
+  ci.head = head;
+  ci.body = body;
+  const std::size_t idx = clauses.size();
+  clauses.push_back(std::move(ci));
+  preds[pred_key(clauses[idx].pred_sym, clauses[idx].pred_arity)].push_back(
+      idx);
+}
+
+AbsProgram AbsProgram::from_source(SymbolTable& syms, const std::string& src,
+                                   bool include_library) {
+  AbsProgram prog;
+  for (SpannedTemplate& st : parse_program_spanned(syms, src)) {
+    prog.add_clause(syms, std::move(st.tmpl), SourceSpan{st.line, st.col},
+                    /*from_library=*/false);
+  }
+  if (include_library) {
+    for (SpannedTemplate& st :
+         parse_program_spanned(syms, prolog_library_source())) {
+      prog.add_clause(syms, std::move(st.tmpl), SourceSpan{st.line, st.col},
+                      /*from_library=*/true);
+    }
+  }
+  return prog;
+}
+
+AbsProgram AbsProgram::from_database(const SymbolTable& syms,
+                                     const Database& db) {
+  AbsProgram prog;
+  db.for_each_predicate([&](const Predicate& p) {
+    for (std::uint32_t i = 0; i < p.num_clauses(); ++i) {
+      const Clause& c = p.clause(i);
+      if (c.retracted) continue;
+      prog.add_clause(syms, c.tmpl, SourceSpan{},
+                      /*from_library=*/false);
+    }
+  });
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// AbstractInterpreter
+
+AbstractInterpreter::AbstractInterpreter(const AbsProgram& prog,
+                                         SymbolTable& syms)
+    : prog_(prog), syms_(syms), builtins_(syms) {}
+
+AbsMode AbstractInterpreter::term_mode(const AbsState& st,
+                                       const TermTemplate& tmpl,
+                                       Cell t) const {
+  if (t.tag() == Tag::VarSlot) return st.mode(t.var_slot());
+  const std::vector<std::uint32_t> vs = collect_template_vars(tmpl, t);
+  for (std::uint32_t v : vs) {
+    if (!st.is_ground(v)) return AbsMode::Any;
+  }
+  return AbsMode::Ground;
+}
+
+void AbstractInterpreter::ground_term(AbsState& st, const TermTemplate& tmpl,
+                                      Cell t) {
+  for (std::uint32_t v : collect_template_vars(tmpl, t)) st.set_ground(v);
+}
+
+void AbstractInterpreter::havoc_term(AbsState& st, const TermTemplate& tmpl,
+                                     Cell t) {
+  std::vector<std::uint32_t> vs = nonground_vars(st, tmpl, t);
+  std::vector<std::uint32_t> closure = vs;
+  for (std::uint32_t v : vs) {
+    for (std::uint32_t w : st.aliases_of(v)) closure.push_back(w);
+  }
+  std::sort(closure.begin(), closure.end());
+  closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+  for (std::uint32_t v : closure) st.demote(v);
+  for (std::size_t i = 0; i < closure.size(); ++i) {
+    for (std::size_t j = i + 1; j < closure.size(); ++j) {
+      st.add_share(closure[i], closure[j]);
+    }
+  }
+}
+
+ArgPattern AbstractInterpreter::call_pattern(const AbsState& st,
+                                             const TermTemplate& tmpl,
+                                             Cell goal,
+                                             unsigned arity) const {
+  ArgPattern pat;
+  pat.modes.resize(arity);
+  if (arity == 0) return pat;
+  const std::uint64_t p = goal.payload();
+  for (unsigned i = 0; i < arity; ++i) {
+    pat.modes[i] = term_mode(st, tmpl, tmpl.cells[p + 1 + i]);
+  }
+  for (unsigned i = 0; i < arity; ++i) {
+    for (unsigned j = i + 1; j < arity; ++j) {
+      if (pat.modes[i] == AbsMode::Ground || pat.modes[j] == AbsMode::Ground) {
+        continue;
+      }
+      if (args_may_share(st, tmpl, tmpl.cells[p + 1 + i],
+                         tmpl.cells[p + 1 + j])) {
+        pat.share.emplace(i, j);
+      }
+    }
+  }
+  return pat;
+}
+
+void AbstractInterpreter::apply_summary(AbsState& st, const TermTemplate& tmpl,
+                                        Cell goal, unsigned arity,
+                                        const SuccessSummary& sum) {
+  if (arity == 0) return;
+  const std::uint64_t p = goal.payload();
+
+  // Call-time modes and the ripple set (variables aliased to any argument
+  // the callee may bind), computed before mutation.
+  std::vector<AbsMode> cm(arity);
+  std::vector<std::uint32_t> ripple;
+  for (unsigned i = 0; i < arity; ++i) {
+    const Cell arg = tmpl.cells[p + 1 + i];
+    cm[i] = term_mode(st, tmpl, arg);
+    if (cm[i] == AbsMode::Ground) continue;
+    for (std::uint32_t v : nonground_vars(st, tmpl, arg)) {
+      for (std::uint32_t w : st.aliases_of(v)) ripple.push_back(w);
+    }
+  }
+
+  // Phase 1: grounding.
+  for (unsigned i = 0; i < arity; ++i) {
+    if (sum.exit.modes[i] == AbsMode::Ground) {
+      ground_term(st, tmpl, tmpl.cells[p + 1 + i]);
+    }
+  }
+  // Phase 2: demotion + intra-argument aliasing for non-ground exits.
+  for (unsigned i = 0; i < arity; ++i) {
+    if (sum.exit.modes[i] == AbsMode::Ground) continue;
+    const Cell arg = tmpl.cells[p + 1 + i];
+    if (arg.tag() == Tag::VarSlot && sum.exit.modes[i] == AbsMode::Free) {
+      continue;  // still definitely unbound
+    }
+    std::vector<std::uint32_t> vs = nonground_vars(st, tmpl, arg);
+    for (std::uint32_t v : vs) st.demote(v);
+    for (std::size_t a = 0; a < vs.size(); ++a) {
+      for (std::size_t b = a + 1; b < vs.size(); ++b) {
+        st.add_share(vs[a], vs[b]);
+      }
+    }
+  }
+  // Phase 3: cross-argument sharing from the exit pattern.
+  for (auto [i, j] : sum.exit.share) {
+    for (std::uint32_t u : nonground_vars(st, tmpl, tmpl.cells[p + 1 + i])) {
+      for (std::uint32_t v :
+           nonground_vars(st, tmpl, tmpl.cells[p + 1 + j])) {
+        st.add_share(u, v);
+      }
+    }
+  }
+  // Phase 4: anything aliased to a possibly-bound argument loses freeness.
+  for (std::uint32_t w : ripple) st.demote(w);
+}
+
+bool AbstractInterpreter::abs_unify(AbsState& st, const TermTemplate& tmpl,
+                                    Cell a, Cell b) {
+  if (a.tag() == Tag::VarSlot && b.tag() == Tag::VarSlot) {
+    const std::uint32_t va = a.var_slot();
+    const std::uint32_t vb = b.var_slot();
+    if (st.is_ground(va)) {
+      st.set_ground(vb);
+      return true;
+    }
+    if (st.is_ground(vb)) {
+      st.set_ground(va);
+      return true;
+    }
+    if (st.mode(va) == AbsMode::Any) st.demote(vb);
+    if (st.mode(vb) == AbsMode::Any) st.demote(va);
+    st.add_share(va, vb);
+    return true;
+  }
+  if (a.tag() == Tag::VarSlot || b.tag() == Tag::VarSlot) {
+    const Cell var = (a.tag() == Tag::VarSlot) ? a : b;
+    const Cell term = (a.tag() == Tag::VarSlot) ? b : a;
+    const std::uint32_t v = var.var_slot();
+    if (st.is_ground(v)) {
+      ground_term(st, tmpl, term);
+      return true;
+    }
+    if (term_mode(st, tmpl, term) == AbsMode::Ground) {
+      st.set_ground(v);
+      return true;
+    }
+    // v is bound to a partially instantiated term: v loses freeness, its
+    // aliases may have been bound through it, and v now shares with the
+    // term's non-ground variables (which keep their own modes).
+    const std::vector<std::uint32_t> aliases = st.aliases_of(v);
+    st.demote(v);
+    for (std::uint32_t w : aliases) st.demote(w);
+    for (std::uint32_t u : nonground_vars(st, tmpl, term)) {
+      st.add_share(v, u);
+      for (std::uint32_t w : aliases) st.add_share(w, u);
+    }
+    return true;
+  }
+  // Both sides non-var: structural.
+  switch (a.tag()) {
+    case Tag::Int:
+      return b.tag() == Tag::Int && a.integer() == b.integer();
+    case Tag::Atm:
+      return b.tag() == Tag::Atm && a.symbol() == b.symbol();
+    case Tag::Lst: {
+      if (b.tag() != Tag::Lst) return false;
+      return abs_unify(st, tmpl, tmpl.cells[a.payload()],
+                       tmpl.cells[b.payload()]) &&
+             abs_unify(st, tmpl, tmpl.cells[a.payload() + 1],
+                       tmpl.cells[b.payload() + 1]);
+    }
+    case Tag::Str: {
+      if (b.tag() != Tag::Str) return false;
+      const Cell fa = tmpl.cells[a.payload()];
+      const Cell fb = tmpl.cells[b.payload()];
+      if (fa.fun_symbol() != fb.fun_symbol() ||
+          fa.fun_arity() != fb.fun_arity()) {
+        return false;
+      }
+      for (unsigned i = 1; i <= fa.fun_arity(); ++i) {
+        if (!abs_unify(st, tmpl, tmpl.cells[a.payload() + i],
+                       tmpl.cells[b.payload() + i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool AbstractInterpreter::exec_builtin(AbsState& st, const TermTemplate& tmpl,
+                                       Cell goal, BuiltinId id,
+                                       const AbsProgram::ClauseInfo& ci,
+                                       std::size_t clause_idx) {
+  const std::uint64_t p = (goal.tag() == Tag::Str) ? goal.payload() : 0;
+  auto arg = [&](unsigned i) { return tmpl.cells[p + i]; };
+  switch (id) {
+    case BuiltinId::True:
+    case BuiltinId::IteCommit:
+    case BuiltinId::Write:
+    case BuiltinId::Nl:
+    case BuiltinId::Tab:
+    case BuiltinId::NotUnify:
+    case BuiltinId::TermEq:
+    case BuiltinId::TermNeq:
+    case BuiltinId::TermLt:
+    case BuiltinId::TermGt:
+    case BuiltinId::TermLeq:
+    case BuiltinId::TermGeq:
+    case BuiltinId::AssertZ:
+    case BuiltinId::AssertA:
+      return true;  // no bindings on success
+    case BuiltinId::Fail:
+    case BuiltinId::Throw:
+      return false;  // never succeeds normally
+    case BuiltinId::Unify:
+      return abs_unify(st, tmpl, arg(1), arg(2));
+    case BuiltinId::Var: {
+      const Cell t = arg(1);
+      if (term_mode(st, tmpl, t) == AbsMode::Ground) return false;
+      if (t.tag() == Tag::Lst || t.tag() == Tag::Str) return false;
+      if (t.tag() == Tag::VarSlot) {
+        st.modes[t.var_slot()] = AbsMode::Free;  // success refines to free
+      }
+      return true;
+    }
+    case BuiltinId::Nonvar:
+      return !(arg(1).tag() == Tag::VarSlot &&
+               st.mode(arg(1).var_slot()) == AbsMode::Free);
+    case BuiltinId::Atom:
+    case BuiltinId::Integer:
+    case BuiltinId::Atomic: {
+      const Cell t = arg(1);
+      if (t.tag() == Tag::Lst || t.tag() == Tag::Str) return false;
+      if (t.tag() == Tag::Int) return id != BuiltinId::Atom;
+      if (t.tag() == Tag::Atm) return id != BuiltinId::Integer;
+      if (st.mode(t.var_slot()) == AbsMode::Free) return false;
+      st.set_ground(t.var_slot());  // atoms and integers are ground
+      return true;
+    }
+    case BuiltinId::Compound: {
+      const Cell t = arg(1);
+      if (t.tag() == Tag::Int || t.tag() == Tag::Atm) return false;
+      if (t.tag() == Tag::VarSlot && st.mode(t.var_slot()) == AbsMode::Free) {
+        return false;
+      }
+      return true;
+    }
+    case BuiltinId::Ground: {
+      if (arg(1).tag() == Tag::VarSlot &&
+          st.mode(arg(1).var_slot()) == AbsMode::Free) {
+        return false;
+      }
+      ground_term(st, tmpl, arg(1));
+      return true;
+    }
+    case BuiltinId::Is:
+      // Success implies the expression evaluated (all its variables bound to
+      // ground arithmetic terms) and the left side unified with a number.
+      ground_term(st, tmpl, arg(2));
+      ground_term(st, tmpl, arg(1));
+      return true;
+    case BuiltinId::ArithEq:
+    case BuiltinId::ArithNeq:
+    case BuiltinId::Lt:
+    case BuiltinId::Gt:
+    case BuiltinId::Leq:
+    case BuiltinId::Geq:
+      ground_term(st, tmpl, arg(1));
+      ground_term(st, tmpl, arg(2));
+      return true;
+    case BuiltinId::Succ:
+      ground_term(st, tmpl, arg(1));
+      ground_term(st, tmpl, arg(2));
+      return true;
+    case BuiltinId::Functor:
+      ground_term(st, tmpl, arg(2));
+      ground_term(st, tmpl, arg(3));
+      havoc_term(st, tmpl, arg(1));
+      return true;
+    case BuiltinId::Arg:
+      ground_term(st, tmpl, arg(1));
+      if (term_mode(st, tmpl, arg(2)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(3));
+      } else {
+        havoc_term(st, tmpl, arg(3));
+        for (std::uint32_t u : nonground_vars(st, tmpl, arg(3))) {
+          for (std::uint32_t v : nonground_vars(st, tmpl, arg(2))) {
+            st.add_share(u, v);
+          }
+        }
+      }
+      return true;
+    case BuiltinId::Univ:
+      if (term_mode(st, tmpl, arg(1)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(2));
+      } else if (term_mode(st, tmpl, arg(2)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(1));
+      } else {
+        havoc_term(st, tmpl, arg(1));
+        havoc_term(st, tmpl, arg(2));
+        for (std::uint32_t u : nonground_vars(st, tmpl, arg(1))) {
+          for (std::uint32_t v : nonground_vars(st, tmpl, arg(2))) {
+            st.add_share(u, v);
+          }
+        }
+      }
+      return true;
+    case BuiltinId::CopyTerm:
+      // The copy has fresh variables: no sharing with the original.
+      if (term_mode(st, tmpl, arg(1)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(2));
+      } else {
+        havoc_term(st, tmpl, arg(2));
+      }
+      return true;
+    case BuiltinId::Findall: {
+      // The goal runs on a backtrack-local copy; its bindings are undone.
+      AbsState scratch = st;
+      const bool ok = exec_goal(ci, clause_idx, scratch, arg(2));
+      if (!ok || term_mode(scratch, tmpl, arg(1)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(3));  // [] or a list of ground copies
+      } else {
+        havoc_term(st, tmpl, arg(3));  // copies: fresh vars, no sharing
+      }
+      return true;
+    }
+    case BuiltinId::Retract:
+      havoc_term(st, tmpl, arg(1));
+      return true;
+    case BuiltinId::Catch: {
+      AbsState normal = st;
+      const bool ok1 = exec_goal(ci, clause_idx, normal, arg(1));
+      AbsState recov = st;
+      havoc_term(recov, tmpl, arg(2));
+      const bool ok2 = exec_goal(ci, clause_idx, recov, arg(3));
+      if (ok1 && ok2) {
+        normal.join(recov);
+        st = normal;
+        return true;
+      }
+      if (ok1) {
+        st = normal;
+        return true;
+      }
+      if (ok2) {
+        st = recov;
+        return true;
+      }
+      return false;
+    }
+    case BuiltinId::Once:
+      return exec_goal(ci, clause_idx, st, arg(1));
+    case BuiltinId::MSort:
+    case BuiltinId::Sort:
+      if (term_mode(st, tmpl, arg(1)) == AbsMode::Ground) {
+        ground_term(st, tmpl, arg(2));
+      } else {
+        havoc_term(st, tmpl, arg(2));
+        for (std::uint32_t u : nonground_vars(st, tmpl, arg(1))) {
+          for (std::uint32_t v : nonground_vars(st, tmpl, arg(2))) {
+            st.add_share(u, v);
+          }
+        }
+      }
+      return true;
+    case BuiltinId::AtomCodes:
+    case BuiltinId::NumberCodes:
+    case BuiltinId::AtomLength:
+    case BuiltinId::AtomConcat:
+    case BuiltinId::CharCode:
+      // All arguments are atomic/code-list data on success.
+      for (unsigned i = 1; i <= (goal.tag() == Tag::Str
+                                     ? tmpl.cells[goal.payload()].fun_arity()
+                                     : 0);
+           ++i) {
+        ground_term(st, tmpl, arg(i));
+      }
+      return true;
+  }
+  return true;
+}
+
+bool AbstractInterpreter::exec_user_call(AbsState& st,
+                                         const TermTemplate& tmpl, Cell goal,
+                                         std::uint32_t sym, unsigned arity) {
+  const ArgPattern pat = call_pattern(st, tmpl, goal, arity);
+  const SuccessSummary sum = summary_of(sym, arity, pat);
+  if (!sum.may_succeed) return false;
+  apply_summary(st, tmpl, goal, arity, sum);
+  return true;
+}
+
+bool AbstractInterpreter::exec_goal(const AbsProgram::ClauseInfo& ci,
+                                    std::size_t clause_idx, AbsState& st,
+                                    Cell goal) {
+  const TermTemplate& tmpl = ci.tmpl;
+  if (observer_ != nullptr) (*observer_)(clause_idx, goal, st);
+
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (goal.tag() == Tag::Atm) {
+    sym = goal.symbol();
+  } else if (goal.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[goal.payload()];
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else if (goal.tag() == Tag::VarSlot) {
+    // Metacall of a variable: may run anything reachable from it.
+    havoc_term(st, tmpl, goal);
+    return true;
+  } else {
+    return false;  // integers/lists are not callable
+  }
+  const SymbolTable::Known& k = syms_.known();
+
+  if (arity == 2 && (sym == k.comma)) {
+    if (!exec_goal(ci, clause_idx, st, tmpl.cells[goal.payload() + 1])) {
+      return false;
+    }
+    return exec_goal(ci, clause_idx, st, tmpl.cells[goal.payload() + 2]);
+  }
+  if (arity == 2 && sym == k.amp) {
+    // Flatten the whole chain: the observer sees only the outermost '&'
+    // (with the pre-state all parallel goals start from); members then run
+    // in order, which over-approximates the parallel execution's bindings.
+    std::vector<Cell> members;
+    Cell cur = goal;
+    for (;;) {
+      if (cur.tag() == Tag::Str) {
+        const Cell f = tmpl.cells[cur.payload()];
+        if (f.fun_symbol() == k.amp && f.fun_arity() == 2) {
+          members.push_back(tmpl.cells[cur.payload() + 1]);
+          cur = tmpl.cells[cur.payload() + 2];
+          continue;
+        }
+      }
+      members.push_back(cur);
+      break;
+    }
+    for (Cell m : members) {
+      if (!exec_goal(ci, clause_idx, st, m)) return false;
+    }
+    return true;
+  }
+  if (arity == 2 && sym == k.semicolon) {
+    const Cell l = tmpl.cells[goal.payload() + 1];
+    const Cell r = tmpl.cells[goal.payload() + 2];
+    Cell cond{};
+    Cell then{};
+    bool is_ite = false;
+    if (l.tag() == Tag::Str) {
+      const Cell f = tmpl.cells[l.payload()];
+      if (f.fun_symbol() == k.arrow && f.fun_arity() == 2) {
+        is_ite = true;
+        cond = tmpl.cells[l.payload() + 1];
+        then = tmpl.cells[l.payload() + 2];
+      }
+    }
+    AbsState left_st = st;
+    bool left_ok;
+    if (is_ite) {
+      if (observer_ != nullptr) (*observer_)(clause_idx, l, st);
+      left_ok = exec_goal(ci, clause_idx, left_st, cond) &&
+                exec_goal(ci, clause_idx, left_st, then);
+    } else {
+      left_ok = exec_goal(ci, clause_idx, left_st, l);
+    }
+    AbsState right_st = st;
+    const bool right_ok = exec_goal(ci, clause_idx, right_st, r);
+    if (left_ok && right_ok) {
+      left_st.join(right_st);
+      st = left_st;
+      return true;
+    }
+    if (left_ok) {
+      st = left_st;
+      return true;
+    }
+    if (right_ok) {
+      st = right_st;
+      return true;
+    }
+    return false;
+  }
+  if (arity == 2 && sym == k.arrow) {
+    if (!exec_goal(ci, clause_idx, st, tmpl.cells[goal.payload() + 1])) {
+      return false;
+    }
+    return exec_goal(ci, clause_idx, st, tmpl.cells[goal.payload() + 2]);
+  }
+  if (arity == 1 && sym == k.naf) {
+    AbsState scratch = st;
+    exec_goal(ci, clause_idx, scratch, tmpl.cells[goal.payload() + 1]);
+    return true;  // succeeds without bindings (if at all)
+  }
+  if (sym == k.call && arity >= 1) {
+    const Cell g = tmpl.cells[goal.payload() + 1];
+    if (arity == 1 && (g.tag() == Tag::Atm || g.tag() == Tag::Str)) {
+      return exec_goal(ci, clause_idx, st, g);
+    }
+    for (unsigned i = 1; i <= arity; ++i) {
+      havoc_term(st, tmpl, tmpl.cells[goal.payload() + i]);
+    }
+    return true;
+  }
+  if (arity == 0) {
+    if (sym == k.cut || sym == k.truesym) return true;
+    if (sym == k.fail) return false;
+  }
+  if (auto id = builtins_.lookup(sym, arity)) {
+    return exec_builtin(st, tmpl, goal, *id, ci, clause_idx);
+  }
+  if (prog_.defines(sym, arity)) {
+    return exec_user_call(st, tmpl, goal, sym, arity);
+  }
+  // Undefined predicate (the linter flags this separately): assume it may
+  // succeed and bind anything it can reach.
+  if (goal.tag() == Tag::Str) {
+    for (unsigned i = 1; i <= arity; ++i) {
+      havoc_term(st, tmpl, tmpl.cells[goal.payload() + i]);
+    }
+  }
+  return true;
+}
+
+SuccessSummary AbstractInterpreter::exec_clause(
+    const AbsProgram::ClauseInfo& ci, std::size_t clause_idx,
+    const ArgPattern& pat) {
+  const TermTemplate& tmpl = ci.tmpl;
+  AbsState st(tmpl.nvars);
+  const unsigned arity = ci.pred_arity;
+  const std::uint64_t hp = (ci.head.tag() == Tag::Str) ? ci.head.payload() : 0;
+  auto head_arg = [&](unsigned i) { return tmpl.cells[hp + 1 + i]; };
+
+  // Head unification. Grounding first (definite information wins), then
+  // demotion for Any arguments, then sharing.
+  for (unsigned i = 0; i < arity; ++i) {
+    if (pat.modes[i] == AbsMode::Ground) ground_term(st, tmpl, head_arg(i));
+  }
+  for (unsigned i = 0; i < arity; ++i) {
+    if (pat.modes[i] != AbsMode::Any) continue;
+    std::vector<std::uint32_t> vs = nonground_vars(st, tmpl, head_arg(i));
+    for (std::uint32_t v : vs) st.demote(v);
+    for (std::size_t a = 0; a < vs.size(); ++a) {
+      for (std::size_t b = a + 1; b < vs.size(); ++b) {
+        st.add_share(vs[a], vs[b]);
+      }
+    }
+  }
+  for (auto [i, j] : pat.share) {
+    for (std::uint32_t u : nonground_vars(st, tmpl, head_arg(i))) {
+      for (std::uint32_t v : nonground_vars(st, tmpl, head_arg(j))) {
+        st.add_share(u, v);
+      }
+    }
+  }
+
+  SuccessSummary out;
+  if (!exec_goal(ci, clause_idx, st, ci.body)) return out;  // no success
+  out.may_succeed = true;
+  out.exit.modes.resize(arity);
+  for (unsigned i = 0; i < arity; ++i) {
+    out.exit.modes[i] = term_mode(st, tmpl, head_arg(i));
+  }
+  for (unsigned i = 0; i < arity; ++i) {
+    for (unsigned j = i + 1; j < arity; ++j) {
+      if (out.exit.modes[i] == AbsMode::Ground ||
+          out.exit.modes[j] == AbsMode::Ground) {
+        continue;
+      }
+      if (args_may_share(st, tmpl, head_arg(i), head_arg(j))) {
+        out.exit.share.emplace(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+SuccessSummary AbstractInterpreter::compute_call(const MemoKey& key,
+                                                 std::uint32_t sym,
+                                                 unsigned arity) {
+  auto it = prog_.preds.find(pred_key(sym, arity));
+  if (it == prog_.preds.end()) {
+    SuccessSummary top;
+    top.may_succeed = true;
+    top.exit = ArgPattern::top(arity);
+    return top;
+  }
+  SuccessSummary out;
+  out.exit.modes.resize(arity, AbsMode::Ground);
+  bool first = true;
+  for (std::size_t idx : it->second) {
+    SuccessSummary s = exec_clause(prog_.clauses[idx], idx, key.second);
+    if (!s.may_succeed) continue;
+    if (first || !out.may_succeed) {
+      out = s;
+      first = false;
+    } else {
+      out.exit.join(s.exit);
+    }
+    out.may_succeed = true;
+  }
+  return out;
+}
+
+SuccessSummary AbstractInterpreter::summary_of(std::uint32_t sym,
+                                               unsigned arity,
+                                               const ArgPattern& pat) {
+  const MemoKey key{pred_key(sym, arity), pat};
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  // Optimistic bottom ("no success yet"): recursive self-references read it
+  // while we compute; stabilize() then iterates to the global fixpoint.
+  memo_[key] = SuccessSummary{};
+  SuccessSummary result = compute_call(key, sym, arity);
+  memo_[key] = result;
+  return result;
+}
+
+void AbstractInterpreter::stabilize() {
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::vector<MemoKey> keys;
+    keys.reserve(memo_.size());
+    for (const auto& [k, v] : memo_) keys.push_back(k);
+    for (const MemoKey& key : keys) {
+      const std::uint32_t sym = static_cast<std::uint32_t>(key.first >> 12);
+      const unsigned arity = static_cast<unsigned>(key.first & 0xFFF);
+      SuccessSummary next = compute_call(key, sym, arity);
+      // Join with the previous value: the chain only ascends, so the loop
+      // terminates (finite lattice).
+      SuccessSummary& cur = memo_[key];
+      if (next.may_succeed && cur.may_succeed) next.exit.join(cur.exit);
+      if (cur.may_succeed && !next.may_succeed) next = cur;
+      if (!(next == cur)) {
+        cur = next;
+        changed = true;
+      }
+    }
+  }
+}
+
+SuccessSummary AbstractInterpreter::analyze_call(std::uint32_t sym,
+                                                 unsigned arity,
+                                                 const ArgPattern& pat) {
+  summary_of(sym, arity, pat);
+  stabilize();
+  return memo_[MemoKey{pred_key(sym, arity), pat}];
+}
+
+SuccessSummary AbstractInterpreter::analyze_entry(const TermTemplate& query,
+                                                  AbsState* out_state) {
+  AbsProgram::ClauseInfo ci;
+  ci.tmpl = query;
+  ci.head = query.root;
+  ci.body = query.root;
+  AbsState st(query.nvars);
+  const bool ok = exec_goal(ci, kEntryClause, st, query.root);
+  stabilize();
+  // Re-run on the stabilized memo so the exit state reflects the fixpoint.
+  AbsState st2(query.nvars);
+  const bool ok2 = exec_goal(ci, kEntryClause, st2, query.root);
+  if (out_state != nullptr) *out_state = st2;
+  SuccessSummary s;
+  s.may_succeed = ok2 || ok;
+  return s;
+}
+
+void AbstractInterpreter::report(const GoalObserver& obs) {
+  observer_ = &obs;
+  std::vector<MemoKey> keys;
+  keys.reserve(memo_.size());
+  for (const auto& [k, v] : memo_) keys.push_back(k);
+  for (const MemoKey& key : keys) {
+    const std::uint32_t sym = static_cast<std::uint32_t>(key.first >> 12);
+    const unsigned arity = static_cast<unsigned>(key.first & 0xFFF);
+    auto it = prog_.preds.find(pred_key(sym, arity));
+    if (it == prog_.preds.end()) continue;
+    for (std::size_t idx : it->second) {
+      (void)exec_clause(prog_.clauses[idx], idx, key.second);
+    }
+  }
+  observer_ = nullptr;
+}
+
+bool AbstractInterpreter::ground_on_success_top(std::uint32_t sym,
+                                                unsigned arity) {
+  const SuccessSummary s = analyze_call(sym, arity, ArgPattern::top(arity));
+  if (!s.may_succeed) return true;  // vacuously: it never succeeds
+  for (AbsMode m : s.exit.modes) {
+    if (m != AbsMode::Ground) return false;
+  }
+  return true;
+}
+
+}  // namespace ace

@@ -1,0 +1,220 @@
+// Goal-dependent abstract interpretation over a groundness + freeness +
+// pair-sharing domain (a compact cousin of the Sharing+Freeness domain used
+// by &-Prolog/&ACE's parallelizing compiler [Muthukumar & Hermenegildo]).
+//
+// Per clause variable the analysis tracks a mode
+//
+//     Ground  definitely bound to a ground term
+//     Free    definitely an unbound variable
+//     Any     anything (bound, partially bound, or aliased)
+//
+// plus a set of may-share pairs (two variables that may reach a common
+// unbound variable). Predicates are summarized per *call pattern*
+// (polyvariant): per-argument modes + may-share pairs between argument
+// positions; success summaries are joined over clauses and memoized, with a
+// chaotic iteration to reach a fixpoint over recursive predicates. Builtins
+// get dedicated transfer functions (`is/2` grounds both sides on success,
+// comparisons ground their operands, `=/2` unifies abstractly, ...).
+//
+// Clients: the '&'-safety linter (pre-states at parallel conjunctions), the
+// arithmetic-groundness lint, and the static-facts pass (ground-on-success
+// under the most general call pattern).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "builtins/builtins.hpp"
+#include "parse/parser.hpp"
+#include "term/build.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+class Database;
+
+enum class AbsMode : unsigned char { Ground = 0, Free = 1, Any = 2 };
+
+AbsMode join_mode(AbsMode a, AbsMode b);
+const char* mode_name(AbsMode m);
+
+// Collects the distinct variable slots of a template subterm (sorted).
+std::vector<std::uint32_t> collect_template_vars(const TermTemplate& tmpl,
+                                                 Cell c);
+
+// Abstract description of a predicate call or success exit: one mode per
+// argument position plus may-share pairs between argument positions.
+struct ArgPattern {
+  std::vector<AbsMode> modes;
+  std::set<std::pair<unsigned, unsigned>> share;  // (i, j) with i < j
+
+  static ArgPattern top(unsigned arity);         // all Any, all pairs share
+  static ArgPattern all_ground(unsigned arity);  // all Ground, no sharing
+
+  void join(const ArgPattern& o);
+  bool operator==(const ArgPattern& o) const;
+  bool operator<(const ArgPattern& o) const;
+  std::string describe() const;  // e.g. "(g,f,a) share={0-2}"
+};
+
+// Success summary of (predicate, call pattern).
+struct SuccessSummary {
+  bool may_succeed = false;
+  ArgPattern exit;  // meaningful only when may_succeed
+
+  bool operator==(const SuccessSummary& o) const {
+    return may_succeed == o.may_succeed &&
+           (!may_succeed || exit == o.exit);
+  }
+};
+
+// Clause-local abstract state: a mode per variable slot + may-share pairs.
+struct AbsState {
+  std::vector<AbsMode> modes;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> share;
+
+  explicit AbsState(std::uint32_t nvars = 0)
+      : modes(nvars, AbsMode::Free) {}
+
+  AbsMode mode(std::uint32_t v) const { return modes[v]; }
+  bool is_ground(std::uint32_t v) const { return modes[v] == AbsMode::Ground; }
+  void set_ground(std::uint32_t v);
+  void demote(std::uint32_t v);  // Free -> Any (Ground stays Ground)
+  void add_share(std::uint32_t a, std::uint32_t b);
+  bool may_share(std::uint32_t a, std::uint32_t b) const;
+  // Variables possibly aliased with v (excluding v itself).
+  std::vector<std::uint32_t> aliases_of(std::uint32_t v) const;
+  void join(const AbsState& o);
+  bool operator==(const AbsState& o) const {
+    return modes == o.modes && share == o.share;
+  }
+};
+
+using PredKey = std::uint64_t;
+inline PredKey pred_key(std::uint32_t sym, unsigned arity) {
+  return (static_cast<std::uint64_t>(sym) << 12) | arity;
+}
+
+// Program view for analysis: all clauses (program + optionally the Prolog
+// library), grouped per predicate in source order.
+struct AbsProgram {
+  struct ClauseInfo {
+    TermTemplate tmpl;
+    Cell head;  // head subterm cell (== root for facts)
+    Cell body;  // body subterm cell (atom `true` for facts)
+    std::uint32_t pred_sym = 0;
+    unsigned pred_arity = 0;
+    SourceSpan span;
+    bool from_library = false;
+  };
+
+  std::vector<ClauseInfo> clauses;
+  std::map<PredKey, std::vector<std::size_t>> preds;  // source order
+
+  bool defines(std::uint32_t sym, unsigned arity) const {
+    return preds.count(pred_key(sym, arity)) != 0;
+  }
+
+  // Parses `src` (throws AceError on syntax errors). When `include_library`
+  // is set, the Prolog-source library (append/member/...) is appended so
+  // calls into it are analyzable. Directives (`:- ...`/1) are skipped.
+  static AbsProgram from_source(SymbolTable& syms, const std::string& src,
+                                bool include_library);
+  // Builds the view from a loaded Database (all live clauses).
+  static AbsProgram from_database(const SymbolTable& syms,
+                                  const Database& db);
+
+  void add_clause(const SymbolTable& syms, TermTemplate tmpl, SourceSpan span,
+                  bool from_library);
+};
+
+class AbstractInterpreter {
+ public:
+  // Fired (during report()) for every goal abstractly executed: the clause
+  // index, the goal cell, and the abstract state *before* the goal. Control
+  // constructs (',', '&', ';', '->', '\+') fire before their subgoals do.
+  using GoalObserver =
+      std::function<void(std::size_t clause_idx, Cell goal,
+                         const AbsState& pre)>;
+
+  // `syms` must outlive the interpreter (non-const: the builtin registry
+  // interns its names on construction).
+  AbstractInterpreter(const AbsProgram& prog, SymbolTable& syms);
+
+  // Analyzes a call to sym/arity under `pat`; memoized, fixpointed.
+  SuccessSummary analyze_call(std::uint32_t sym, unsigned arity,
+                              const ArgPattern& pat);
+
+  // Analyzes a query template: executes its body goal under an initial
+  // state where every query variable is free and independent. When
+  // `out_state` is non-null it receives the abstract exit state of the
+  // query's variables (post-fixpoint).
+  SuccessSummary analyze_entry(const TermTemplate& query,
+                               AbsState* out_state = nullptr);
+
+  // Re-executes every memoized (predicate, pattern) body with `obs`
+  // attached. Call after all entries are analyzed (the memo is stable, so
+  // the replay observes final fixpoint states).
+  void report(const GoalObserver& obs);
+
+  // Ground-on-success under the most general call pattern (sound for any
+  // runtime call); used by the static-facts pass.
+  bool ground_on_success_top(std::uint32_t sym, unsigned arity);
+
+  // Number of (predicate, call-pattern) summaries computed.
+  std::size_t num_summaries() const { return memo_.size(); }
+
+  // Clause index passed to the observer for goals of an entry query (which
+  // belongs to no program clause).
+  static constexpr std::size_t kEntryClause = static_cast<std::size_t>(-1);
+
+ private:
+  using MemoKey = std::pair<PredKey, ArgPattern>;
+
+  // Memoized demand computation (no fixpoint); stabilize() iterates all
+  // memo entries to the global fixpoint afterwards.
+  SuccessSummary summary_of(std::uint32_t sym, unsigned arity,
+                            const ArgPattern& pat);
+  void stabilize();
+  SuccessSummary compute_call(const MemoKey& key, std::uint32_t sym,
+                              unsigned arity);
+  // Executes one clause under `pat`; returns the clause's success summary.
+  SuccessSummary exec_clause(const AbsProgram::ClauseInfo& ci,
+                             std::size_t clause_idx, const ArgPattern& pat);
+  // Abstractly executes `goal` in `st`; returns false when the goal
+  // definitely cannot succeed (state then undefined).
+  bool exec_goal(const AbsProgram::ClauseInfo& ci, std::size_t clause_idx,
+                 AbsState& st, Cell goal);
+  bool exec_user_call(AbsState& st, const TermTemplate& tmpl, Cell goal,
+                      std::uint32_t sym, unsigned arity);
+  bool exec_builtin(AbsState& st, const TermTemplate& tmpl, Cell goal,
+                    BuiltinId id, const AbsProgram::ClauseInfo& ci,
+                    std::size_t clause_idx);
+  bool abs_unify(AbsState& st, const TermTemplate& tmpl, Cell a, Cell b);
+
+  // Abstract value of a goal argument subterm in `st`.
+  AbsMode term_mode(const AbsState& st, const TermTemplate& tmpl,
+                    Cell t) const;
+  ArgPattern call_pattern(const AbsState& st, const TermTemplate& tmpl,
+                          Cell goal, unsigned arity) const;
+  void apply_summary(AbsState& st, const TermTemplate& tmpl, Cell goal,
+                     unsigned arity, const SuccessSummary& sum);
+  void ground_term(AbsState& st, const TermTemplate& tmpl, Cell t);
+  // Conservative: demote every non-ground var of `t`, alias them pairwise,
+  // and demote everything they may share with.
+  void havoc_term(AbsState& st, const TermTemplate& tmpl, Cell t);
+
+  const AbsProgram& prog_;
+  const SymbolTable& syms_;
+  Builtins builtins_;
+  std::map<MemoKey, SuccessSummary> memo_;
+  std::set<MemoKey> in_progress_;
+  const GoalObserver* observer_ = nullptr;  // non-null during report()
+};
+
+}  // namespace ace

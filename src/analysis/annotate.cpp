@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/render.hpp"
 #include "parse/parser.hpp"
 #include "support/strutil.hpp"
 
@@ -29,85 +30,6 @@ void collect_vars(const TermTemplate& tmpl, Cell c,
     }
     default:
       return;
-  }
-}
-
-bool infix_like(const std::string& n) {
-  static const char* kOps[] = {"+",   "-",  "*",  "/",   "//",  "mod", "is",
-                               "=",   "\\=", "==", "\\==", "<",   ">",   "=<",
-                               ">=",  "=:=", "=\\=", "@<",  "@>",  "@=<",
-                               "@>=", "=..", ",",  ";",   "->",  "&"};
-  for (const char* op : kOps) {
-    if (n == op) return true;
-  }
-  return false;
-}
-
-// Renders a template subterm back to source text.
-std::string render(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
-                   bool arg_pos);
-
-std::string render_args(const SymbolTable& syms, const TermTemplate& tmpl,
-                        std::uint64_t fun_pos, unsigned arity) {
-  std::vector<std::string> parts;
-  for (unsigned i = 1; i <= arity; ++i) {
-    parts.push_back(render(syms, tmpl, tmpl.cells[fun_pos + i], true));
-  }
-  return join(parts, ", ");
-}
-
-std::string render(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
-                   bool arg_pos) {
-  switch (c.tag()) {
-    case Tag::VarSlot: {
-      const std::string& name = tmpl.var_names[c.var_slot()];
-      if (name == "_" || name.empty()) {
-        return strf("_V%u", c.var_slot());
-      }
-      return name;
-    }
-    case Tag::Int:
-      return strf("%lld", static_cast<long long>(c.integer()));
-    case Tag::Atm: {
-      const std::string& n = syms.name(c.symbol());
-      return is_plain_atom_name(n) ? n : "'" + n + "'";
-    }
-    case Tag::Lst: {
-      std::string out = "[";
-      Cell cur = c;
-      bool first = true;
-      for (;;) {
-        if (cur.tag() == Tag::Lst) {
-          if (!first) out += ", ";
-          first = false;
-          out += render(syms, tmpl, tmpl.cells[cur.payload()], true);
-          cur = tmpl.cells[cur.payload() + 1];
-          continue;
-        }
-        if (cur.tag() == Tag::Atm &&
-            syms.name(cur.symbol()) == "[]") {
-          break;
-        }
-        out += "|" + render(syms, tmpl, cur, true);
-        break;
-      }
-      return out + "]";
-    }
-    case Tag::Str: {
-      const Cell f = tmpl.cells[c.payload()];
-      const std::string& n = syms.name(f.fun_symbol());
-      if (f.fun_arity() == 2 && infix_like(n)) {
-        std::string s =
-            render(syms, tmpl, tmpl.cells[c.payload() + 1], true) + " " + n +
-            " " + render(syms, tmpl, tmpl.cells[c.payload() + 2], true);
-        return arg_pos ? "(" + s + ")" : s;
-      }
-      std::string name = is_plain_atom_name(n) ? n : "'" + n + "'";
-      return name + "(" + render_args(syms, tmpl, c.payload(), f.fun_arity()) +
-             ")";
-    }
-    default:
-      return "?";
   }
 }
 
@@ -191,7 +113,9 @@ ClauseAnalysis analyze_clause(const SymbolTable& syms,
       body = tmpl.cells[tmpl.root.payload() + 2];
     }
   }
-  out.head = render(syms, tmpl, head, false);
+  // The head sits left of xfx ':-' (priority 1200), so it may carry
+  // priority up to 1199.
+  out.head = render_template(syms, tmpl, head, 1199);
 
   std::vector<Cell> conjuncts;
   flatten_comma(syms, tmpl, body, conjuncts);
@@ -250,9 +174,14 @@ std::string render_annotated(const SymbolTable& syms,
   }
   std::vector<std::string> parts;
   for (const auto& grp : ca.groups) {
+    // Members of a '&' group (xfy 975) may carry priority up to 974; a
+    // lone conjunct of the ',' chain (xfy 1000) up to 999. This is what
+    // keeps ';'/'->' subterms parenthesized on re-print.
+    const int member_prec = grp.size() == 1 ? 999 : 974;
     std::vector<std::string> members;
     for (std::size_t idx : grp) {
-      members.push_back(render(syms, tmpl, conjuncts[idx], false));
+      members.push_back(
+          render_template(syms, tmpl, conjuncts[idx], member_prec));
     }
     parts.push_back(members.size() == 1 ? members[0]
                                         : join(members, " & "));

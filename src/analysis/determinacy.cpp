@@ -1,0 +1,724 @@
+#include "analysis/determinacy.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+
+namespace ace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Guard extraction
+
+enum class CmpOp { Lt, Le, Eq, Ge, Gt, Neq };
+
+// Mirror for swapped operands: k < X  ≡  X > k.
+CmpOp mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt:
+      return CmpOp::Gt;
+    case CmpOp::Le:
+      return CmpOp::Ge;
+    case CmpOp::Gt:
+      return CmpOp::Lt;
+    case CmpOp::Ge:
+      return CmpOp::Le;
+    default:
+      return op;
+  }
+}
+
+// Can `x OP1 y` and `x OP2 y` both hold for some integers x, y?
+bool ops_satisfiable(CmpOp a, CmpOp b) {
+  auto unsat = [](CmpOp p, CmpOp q) {
+    switch (p) {
+      case CmpOp::Lt:
+        return q == CmpOp::Eq || q == CmpOp::Ge || q == CmpOp::Gt;
+      case CmpOp::Le:
+        return q == CmpOp::Gt;
+      case CmpOp::Eq:
+        return q == CmpOp::Neq || q == CmpOp::Lt || q == CmpOp::Gt;
+      case CmpOp::Ge:
+        return q == CmpOp::Lt;
+      case CmpOp::Gt:
+        return q == CmpOp::Lt || q == CmpOp::Le || q == CmpOp::Eq;
+      case CmpOp::Neq:
+        return q == CmpOp::Eq;
+    }
+    return false;
+  };
+  return !unsat(a, b) && !unsat(b, a);
+}
+
+constexpr std::int64_t kNegInf = INT64_MIN;
+constexpr std::int64_t kPosInf = INT64_MAX;
+
+// Per-argument-position numeric knowledge of one clause: the interval the
+// value must lie in, plus excluded points.
+struct NumRange {
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+  std::set<std::int64_t> neq;
+
+  void constrain(CmpOp op, std::int64_t k) {
+    switch (op) {
+      case CmpOp::Lt:
+        hi = std::min(hi, k == kNegInf ? k : k - 1);
+        break;
+      case CmpOp::Le:
+        hi = std::min(hi, k);
+        break;
+      case CmpOp::Eq:
+        lo = std::max(lo, k);
+        hi = std::min(hi, k);
+        break;
+      case CmpOp::Ge:
+        lo = std::max(lo, k);
+        break;
+      case CmpOp::Gt:
+        lo = std::max(lo, k == kPosInf ? k : k + 1);
+        break;
+      case CmpOp::Neq:
+        neq.insert(k);
+        break;
+    }
+  }
+
+  bool disjoint_with(const NumRange& o) const {
+    const std::int64_t lo2 = std::max(lo, o.lo);
+    const std::int64_t hi2 = std::min(hi, o.hi);
+    if (lo2 > hi2) return true;
+    // A point value excluded by the other side.
+    if (lo == hi && o.neq.count(lo)) return true;
+    if (o.lo == o.hi && neq.count(o.lo)) return true;
+    return false;
+  }
+};
+
+// Head-argument skeleton for disjointness: same role as the runtime
+// IndexKey, but over every argument position.
+struct ArgSkel {
+  enum class Kind { Var, Int, Atom, List, Struct } kind = Kind::Var;
+  std::uint64_t value = 0;  // Int payload, atom sym, or (fun sym<<12)|arity
+
+  bool incompatible(const ArgSkel& o) const {
+    if (kind == Kind::Var || o.kind == Kind::Var) return false;
+    if (kind != o.kind) return true;
+    if (kind == Kind::List) return false;  // both lists: may unify
+    return value != o.value;
+  }
+};
+
+struct VarCmp {  // guard between two head positions, e.g. X =< Y
+  unsigned pos_a = 0;
+  unsigned pos_b = 0;  // pos_a < pos_b, op normalized accordingly
+  CmpOp op = CmpOp::Eq;
+};
+
+struct AtomTest {  // X == a / X \== a over a head position
+  unsigned pos = 0;
+  bool eq = true;
+  std::uint32_t sym = 0;
+};
+
+struct GuardInfo {
+  std::vector<ArgSkel> skel;
+  std::map<unsigned, NumRange> num;  // head position -> numeric range
+  // Positions of `num` whose range came (at least partly) from a guard an
+  // *uninstantiated* argument cannot pass: an arithmetic comparison throws
+  // on an unbound operand and `X == k` fails on unbound X. Ranges derived
+  // only from head constants are not listed (a free call unifies with the
+  // constant), and neither are `X \== k` exclusions (`\==` succeeds on an
+  // unbound X).
+  std::set<unsigned> guard_num_pos;
+  std::vector<VarCmp> var_cmps;
+  std::vector<AtomTest> atom_tests;
+  bool has_cut = false;              // a '!' among top-level conjuncts
+  bool most_general_head = false;    // all args distinct variables
+  std::vector<Cell> tail_after_cut;  // conjuncts after the last top-level '!'
+  std::vector<Cell> conjuncts;       // all top-level conjuncts
+};
+
+void flatten_conj(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                  std::vector<Cell>& out) {
+  if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    if ((f.fun_symbol() == syms.known().comma ||
+         f.fun_symbol() == syms.known().amp) &&
+        f.fun_arity() == 2) {
+      flatten_conj(syms, tmpl, tmpl.cells[c.payload() + 1], out);
+      flatten_conj(syms, tmpl, tmpl.cells[c.payload() + 2], out);
+      return;
+    }
+  }
+  out.push_back(c);
+}
+
+std::optional<CmpOp> cmp_op_of(const std::string& n) {
+  if (n == "<") return CmpOp::Lt;
+  if (n == "=<") return CmpOp::Le;
+  if (n == "=:=") return CmpOp::Eq;
+  if (n == ">=") return CmpOp::Ge;
+  if (n == ">") return CmpOp::Gt;
+  if (n == "=\\=") return CmpOp::Neq;
+  return std::nullopt;
+}
+
+bool is_test_goal(const SymbolTable& syms, const TermTemplate& tmpl, Cell c) {
+  if (c.tag() == Tag::Atm) {
+    const std::string& n = syms.name(c.symbol());
+    return n == "true" || n == "!";
+  }
+  if (c.tag() != Tag::Str) return false;
+  const Cell f = tmpl.cells[c.payload()];
+  const std::string& n = syms.name(f.fun_symbol());
+  if (f.fun_arity() == 2) {
+    return cmp_op_of(n).has_value() || n == "==" || n == "\\==";
+  }
+  if (f.fun_arity() == 1) {
+    return n == "var" || n == "nonvar" || n == "atom" || n == "integer" ||
+           n == "atomic" || n == "compound" || n == "ground";
+  }
+  return false;
+}
+
+GuardInfo extract_guards(const SymbolTable& syms,
+                         const AbsProgram::ClauseInfo& ci) {
+  GuardInfo g;
+  const TermTemplate& tmpl = ci.tmpl;
+
+  // Head skeletons + head-position map for guard variables.
+  std::map<std::uint32_t, unsigned> pos_of;  // var slot -> first head position
+  std::set<std::uint32_t> head_vars_seen;
+  bool all_distinct_vars = true;
+  const std::uint64_t hp =
+      (ci.head.tag() == Tag::Str) ? ci.head.payload() : 0;
+  for (unsigned i = 0; i < ci.pred_arity; ++i) {
+    const Cell a = tmpl.cells[hp + 1 + i];
+    ArgSkel s;
+    switch (a.tag()) {
+      case Tag::VarSlot:
+        s.kind = ArgSkel::Kind::Var;
+        if (pos_of.count(a.var_slot()) == 0) pos_of[a.var_slot()] = i;
+        if (!head_vars_seen.insert(a.var_slot()).second) {
+          all_distinct_vars = false;
+        }
+        break;
+      case Tag::Int:
+        s.kind = ArgSkel::Kind::Int;
+        s.value = static_cast<std::uint64_t>(a.integer());
+        g.num[i].constrain(CmpOp::Eq, a.integer());
+        all_distinct_vars = false;
+        break;
+      case Tag::Atm:
+        s.kind = ArgSkel::Kind::Atom;
+        s.value = a.symbol();
+        all_distinct_vars = false;
+        break;
+      case Tag::Lst:
+        s.kind = ArgSkel::Kind::List;
+        all_distinct_vars = false;
+        break;
+      case Tag::Str: {
+        const Cell f = tmpl.cells[a.payload()];
+        s.kind = ArgSkel::Kind::Struct;
+        s.value = (std::uint64_t{f.fun_symbol()} << 12) | f.fun_arity();
+        all_distinct_vars = false;
+        break;
+      }
+      default:
+        all_distinct_vars = false;
+        break;
+    }
+    g.skel.push_back(s);
+  }
+  g.most_general_head = all_distinct_vars;
+
+  flatten_conj(syms, tmpl, ci.body, g.conjuncts);
+
+  // Body scan: tests in the prefix become guard constraints; the tail after
+  // the last top-level cut is what the determinacy fixpoint must prove.
+  std::size_t last_cut = 0;  // index *after* the last '!'
+  for (std::size_t i = 0; i < g.conjuncts.size(); ++i) {
+    const Cell c = g.conjuncts[i];
+    if (c.tag() == Tag::Atm && c.symbol() == syms.known().cut) {
+      g.has_cut = true;
+      last_cut = i + 1;
+    }
+  }
+  for (std::size_t i = last_cut; i < g.conjuncts.size(); ++i) {
+    g.tail_after_cut.push_back(g.conjuncts[i]);
+  }
+
+  for (const Cell c : g.conjuncts) {
+    if (!is_test_goal(syms, tmpl, c)) break;  // guard prefix only
+    if (c.tag() != Tag::Str) continue;        // 'true' / '!'
+    const Cell f = tmpl.cells[c.payload()];
+    if (f.fun_arity() != 2) continue;
+    const std::string& n = syms.name(f.fun_symbol());
+    const Cell l = tmpl.cells[c.payload() + 1];
+    const Cell r = tmpl.cells[c.payload() + 2];
+    auto head_pos = [&](Cell t) -> std::optional<unsigned> {
+      if (t.tag() != Tag::VarSlot) return std::nullopt;
+      auto it = pos_of.find(t.var_slot());
+      if (it == pos_of.end()) return std::nullopt;
+      return it->second;
+    };
+    if (auto op = cmp_op_of(n)) {
+      if (auto pl = head_pos(l); pl && r.tag() == Tag::Int) {
+        g.num[*pl].constrain(*op, r.integer());
+        g.guard_num_pos.insert(*pl);
+      } else if (auto pr = head_pos(r); pr && l.tag() == Tag::Int) {
+        g.num[*pr].constrain(mirror(*op), l.integer());
+        g.guard_num_pos.insert(*pr);
+      } else if (auto pl2 = head_pos(l)) {
+        if (auto pr2 = head_pos(r); pr2 && *pl2 != *pr2) {
+          VarCmp vc;
+          vc.pos_a = std::min(*pl2, *pr2);
+          vc.pos_b = std::max(*pl2, *pr2);
+          vc.op = (*pl2 < *pr2) ? *op : mirror(*op);
+          g.var_cmps.push_back(vc);
+        }
+      }
+    } else if (n == "==" || n == "\\==") {
+      const bool eq = (n == "==");
+      auto note = [&](Cell var, Cell val) {
+        auto pv = head_pos(var);
+        if (!pv) return;
+        if (val.tag() == Tag::Atm) {
+          g.atom_tests.push_back(AtomTest{*pv, eq, val.symbol()});
+        } else if (val.tag() == Tag::Int) {
+          g.num[*pv].constrain(eq ? CmpOp::Eq : CmpOp::Neq, val.integer());
+          // `X == k` fails on unbound X (mode-independent exclusion);
+          // `X \== k` succeeds on unbound X, so it stays head-level.
+          if (eq) g.guard_num_pos.insert(*pv);
+        }
+      };
+      note(l, r);
+      note(r, l);
+    }
+  }
+  return g;
+}
+
+// How strong is a mutual-exclusion proof between two clauses?
+//
+//   kNone         no proof.
+//   kIndexedAny   valid only when the discriminating argument — at some
+//                 position other than the first — is instantiated at call
+//                 time. A free call unifies with both heads, so this is
+//                 *not* evidence of determinacy for arbitrary calls, and
+//                 the runtime's first-argument check cannot validate it.
+//   kIndexedFirst same, but the discriminating position is the first
+//                 argument: exactly what the engines' first-argument
+//                 indexing (and StaticFacts::kDetIndexed) can check.
+//   kAnyMode      valid for every call mode: the excluded side cannot
+//                 succeed even on an unbound argument (arithmetic guards
+//                 throw, `==` tests fail).
+//
+// The ordering is by strength; max() over all positions picks the best
+// evidence for a pair, min() over all pairs the weakest for a predicate.
+enum class Excl : int { kNone = 0, kIndexedAny = 1, kIndexedFirst = 2,
+                        kAnyMode = 3 };
+
+Excl max_excl(Excl a, Excl b) { return a > b ? a : b; }
+Excl min_excl(Excl a, Excl b) { return a < b ? a : b; }
+Excl indexed_at(unsigned pos) {
+  return pos == 0 ? Excl::kIndexedFirst : Excl::kIndexedAny;
+}
+
+Excl guards_exclusive_class(const GuardInfo& a, const GuardInfo& b) {
+  Excl ev = Excl::kNone;
+  // Head skeleton disjointness: needs the argument instantiated (a free
+  // call unifies with both constants), so the evidence is indexed.
+  for (std::size_t i = 0; i < a.skel.size(); ++i) {
+    if (a.skel[i].incompatible(b.skel[i])) {
+      ev = max_excl(ev, indexed_at(static_cast<unsigned>(i)));
+    }
+  }
+  // Numeric range disjointness. If either side's range involves a real
+  // guard (arithmetic comparison / `==`), an uninstantiated call cannot
+  // succeed through that side either, so the exclusion is mode-
+  // independent; head constants alone only discriminate instantiated
+  // calls.
+  for (const auto& [pos, ra] : a.num) {
+    auto it = b.num.find(pos);
+    if (it != b.num.end() && ra.disjoint_with(it->second)) {
+      const bool any_mode = a.guard_num_pos.count(pos) != 0 ||
+                            b.guard_num_pos.count(pos) != 0;
+      ev = max_excl(ev, any_mode ? Excl::kAnyMode : indexed_at(pos));
+    }
+  }
+  // Head atom constant vs. ==/\== test, and contradictory tests.
+  auto atom_clash = [&ev](const GuardInfo& x, const GuardInfo& y) {
+    for (const AtomTest& t : x.atom_tests) {
+      if (t.pos < y.skel.size() &&
+          y.skel[t.pos].kind == ArgSkel::Kind::Atom) {
+        const bool same = y.skel[t.pos].value == t.sym;
+        if (t.eq ? !same : same) {
+          // `X == a` fails on unbound X: any-mode. `X \== a` *succeeds*
+          // on unbound X while the other head binds it: indexed only.
+          ev = max_excl(ev, t.eq ? Excl::kAnyMode : indexed_at(t.pos));
+        }
+      }
+      for (const AtomTest& u : y.atom_tests) {
+        if (t.pos != u.pos) continue;
+        // At least one of a contradictory ==/\== pair is an `==`, which
+        // fails on unbound arguments: mode-independent either way.
+        if ((t.eq && u.eq && t.sym != u.sym) ||
+            (t.eq != u.eq && t.sym == u.sym)) {
+          ev = max_excl(ev, Excl::kAnyMode);
+        }
+      }
+    }
+  };
+  atom_clash(a, b);
+  atom_clash(b, a);
+  // Contradictory variable-variable comparisons (X =< Y vs. X > Y):
+  // arithmetic throws on unbound operands, so neither clause can succeed
+  // on a call that leaves them free — mode-independent.
+  for (const VarCmp& ca : a.var_cmps) {
+    for (const VarCmp& cb : b.var_cmps) {
+      if (ca.pos_a == cb.pos_a && ca.pos_b == cb.pos_b &&
+          !ops_satisfiable(ca.op, cb.op)) {
+        ev = max_excl(ev, Excl::kAnyMode);
+      }
+    }
+  }
+  return ev;
+}
+
+bool guards_exclusive(const GuardInfo& a, const GuardInfo& b) {
+  return guards_exclusive_class(a, b) != Excl::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Determinacy fixpoint
+
+// The analysis runs twice over the same evidence:
+//
+//   strict pass   proves `det`: at most one solution for ANY call. Only
+//                 kAnyMode pairwise evidence (or cut commitment) counts,
+//                 and body tails may rely only on strictly-determinate
+//                 goals.
+//   indexed pass  proves `det_indexed`: at most one solution for calls
+//                 whose FIRST argument is GROUND. kIndexedFirst pairwise
+//                 evidence also counts, and a body tail may rely on an
+//                 indexed-determinate callee when its call-site first
+//                 argument is provably ground on entry: every variable in
+//                 it is either a subterm of this clause's own first head
+//                 argument (ground by the premise — structural recursion
+//                 like walk([_|T]) :- walk(T) goes through by induction)
+//                 or bound by a preceding arithmetic goal (numbers are
+//                 ground). Plain instantiation would NOT suffice: a
+//                 partial list [X|_] selects one clause of a list walker
+//                 yet leaves the recursive call free to multiply
+//                 solutions.
+//
+// Both are greatest fixpoints (assume determinate, demote until stable),
+// so structural recursion survives.
+
+struct DetContext {
+  const AbsProgram& prog;
+  const SymbolTable& syms;
+  const std::map<PredKey, bool>* strict;  // completed strict results, or
+                                          // nullptr during the strict pass
+  std::map<PredKey, bool>& det;  // current assumption (greatest fixpoint)
+  bool indexed_pass = false;
+};
+
+void collect_vars(const TermTemplate& tmpl, Cell c,
+                  std::set<std::uint32_t>& out) {
+  switch (c.tag()) {
+    case Tag::VarSlot:
+      out.insert(c.var_slot());
+      break;
+    case Tag::Lst:
+      collect_vars(tmpl, tmpl.cells[c.payload()], out);
+      collect_vars(tmpl, tmpl.cells[c.payload() + 1], out);
+      break;
+    case Tag::Str: {
+      const Cell f = tmpl.cells[c.payload()];
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        collect_vars(tmpl, tmpl.cells[c.payload() + i], out);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// If conjunct `c` succeeded, which variables must now be bound to numbers
+// (hence ground)? Arithmetic comparisons and is/2 evaluate both operands
+// and throw on an unbound variable, so success implies every variable
+// they mention is instantiated to a number.
+void note_bindings(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                   std::set<std::uint32_t>& ground) {
+  if (c.tag() != Tag::Str) return;
+  const Cell f = tmpl.cells[c.payload()];
+  if (f.fun_arity() != 2) return;
+  const std::string& n = syms.name(f.fun_symbol());
+  if (n == "is" || cmp_op_of(n).has_value()) {
+    collect_vars(tmpl, tmpl.cells[c.payload() + 1], ground);
+    collect_vars(tmpl, tmpl.cells[c.payload() + 2], ground);
+  }
+}
+
+// Is the first argument of call `c` certainly ground, given the variables
+// `ground` so far? True when every variable it mentions is known ground —
+// in particular for variable-free constants and for bare variables from
+// the clause head's first argument. (Arity-0 calls are vacuously
+// "indexed": clause selection cannot depend on arguments they don't
+// have.)
+bool first_arg_ground(const TermTemplate& tmpl, Cell c, unsigned arity,
+                      const std::set<std::uint32_t>& ground) {
+  if (arity == 0) return true;
+  std::set<std::uint32_t> vars;
+  collect_vars(tmpl, tmpl.cells[c.payload() + 1], vars);
+  for (std::uint32_t v : vars) {
+    if (ground.count(v) == 0) return false;
+  }
+  return true;
+}
+
+bool goal_det(const DetContext& cx, const TermTemplate& tmpl, Cell c,
+              const std::set<std::uint32_t>& ground) {
+  const SymbolTable::Known& k = cx.syms.known();
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (c.tag() == Tag::Atm) {
+    sym = c.symbol();
+  } else if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    return false;  // metacall of a variable: anything may happen
+  }
+  if (arity == 2 && (sym == k.comma || sym == k.amp)) {
+    return goal_det(cx, tmpl, tmpl.cells[c.payload() + 1], ground) &&
+           goal_det(cx, tmpl, tmpl.cells[c.payload() + 2], ground);
+  }
+  if (arity == 2 && sym == k.semicolon) {
+    // If-then-else commits to one branch; each branch must be determinate.
+    const Cell l = tmpl.cells[c.payload() + 1];
+    if (l.tag() == Tag::Str) {
+      const Cell f = tmpl.cells[l.payload()];
+      if (f.fun_symbol() == k.arrow && f.fun_arity() == 2) {
+        return goal_det(cx, tmpl, tmpl.cells[l.payload() + 2], ground) &&
+               goal_det(cx, tmpl, tmpl.cells[c.payload() + 2], ground);
+      }
+    }
+    return false;  // plain disjunction: both branches may succeed
+  }
+  if (arity == 2 && sym == k.arrow) {
+    return goal_det(cx, tmpl, tmpl.cells[c.payload() + 2], ground);
+  }
+  if (arity == 1 && (sym == k.naf)) return true;  // at most one success
+  auto it = cx.det.find(pred_key(sym, arity));
+  if (it != cx.det.end()) {
+    // Strict determinacy of the callee holds for every call mode.
+    if (cx.strict != nullptr) {
+      auto st = cx.strict->find(pred_key(sym, arity));
+      if (st != cx.strict->end() && st->second) return true;
+    }
+    if (!it->second) return false;
+    if (!cx.indexed_pass) return true;
+    // Indexed determinacy only covers this call if its first argument is
+    // ground whenever control reaches it.
+    return first_arg_ground(tmpl, c, arity, ground);
+  }
+  // Builtins and undefined predicates: every builtin in the registry is
+  // semi-deterministic except via its goal argument, which findall/\+
+  // confine; treat calls we know nothing about as determinate only when
+  // they are builtin-registered. (Undefined predicates simply fail.)
+  return true;
+}
+
+// Check the clause's post-cut tail, threading the known-ground variable
+// set through the whole body in order (guard-prefix bindings count too).
+// In the indexed pass the clause is being proven determinate *under the
+// premise that its own first argument is ground*, so every variable of
+// the head's first argument starts out ground — subterms of a ground term
+// are ground.
+bool clause_tail_det(const DetContext& cx, const AbsProgram::ClauseInfo& ci,
+                     const GuardInfo& g) {
+  std::set<std::uint32_t> ground;
+  if (cx.indexed_pass && ci.pred_arity > 0 && ci.head.tag() == Tag::Str) {
+    collect_vars(ci.tmpl, ci.tmpl.cells[ci.head.payload() + 1], ground);
+  }
+  const std::size_t tail_start = g.conjuncts.size() - g.tail_after_cut.size();
+  for (std::size_t i = 0; i < g.conjuncts.size(); ++i) {
+    const Cell c = g.conjuncts[i];
+    if (i >= tail_start && !goal_det(cx, ci.tmpl, c, ground)) return false;
+    note_bindings(cx.syms, ci.tmpl, c, ground);
+  }
+  return true;
+}
+
+std::map<PredKey, bool> run_det_pass(const AbsProgram& prog,
+                                     const SymbolTable& syms,
+                                     const std::vector<GuardInfo>& guards,
+                                     const std::map<PredKey, bool>& shape,
+                                     const std::map<PredKey, bool>* strict,
+                                     bool indexed_pass) {
+  std::map<PredKey, bool> det = shape;
+  DetContext cx{prog, syms, strict, det, indexed_pass};
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [pk, idxs] : prog.preds) {
+      if (!det[pk]) continue;
+      bool ok = true;
+      for (std::size_t idx : idxs) {
+        // Goals before the last top-level cut are pruned by it; only the
+        // tail must be determinate.
+        if (!clause_tail_det(cx, prog.clauses[idx], guards[idx])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        det[pk] = false;
+        changed = true;
+      }
+    }
+  }
+  return det;
+}
+
+}  // namespace
+
+bool clauses_mutually_exclusive(const AbsProgram& prog,
+                                const SymbolTable& syms, std::size_t a,
+                                std::size_t b) {
+  const GuardInfo ga = extract_guards(syms, prog.clauses[a]);
+  const GuardInfo gb = extract_guards(syms, prog.clauses[b]);
+  return guards_exclusive(ga, gb);
+}
+
+DeterminacyResult analyze_determinacy_program(const AbsProgram& prog,
+                                              const SymbolTable& syms) {
+  DeterminacyResult out;
+
+  std::vector<GuardInfo> guards;
+  guards.reserve(prog.clauses.size());
+  for (const auto& ci : prog.clauses) {
+    guards.push_back(extract_guards(syms, ci));
+  }
+
+  // Per-predicate structural facts: the weakest pairwise-exclusion
+  // evidence across all clause pairs, and cut commitment (every non-last
+  // clause cuts, which is mode-independent: a clause that succeeds has
+  // passed its cut and pruned the rest).
+  std::map<PredKey, bool> shape_strict;   // clause-selection level only
+  std::map<PredKey, bool> shape_indexed;
+  for (const auto& [pk, idxs] : prog.preds) {
+    Excl weakest = Excl::kAnyMode;
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      for (std::size_t j = i + 1; j < idxs.size(); ++j) {
+        weakest = min_excl(weakest, guards_exclusive_class(guards[idxs[i]],
+                                                           guards[idxs[j]]));
+      }
+    }
+    bool cut_committed = true;
+    for (std::size_t i = 0; i + 1 < idxs.size(); ++i) {
+      if (!guards[idxs[i]].has_cut) {
+        cut_committed = false;
+        break;
+      }
+    }
+    shape_strict[pk] = weakest == Excl::kAnyMode || cut_committed;
+    shape_indexed[pk] = weakest >= Excl::kIndexedFirst || cut_committed;
+  }
+
+  const std::map<PredKey, bool> det_strict = run_det_pass(
+      prog, syms, guards, shape_strict, /*strict=*/nullptr,
+      /*indexed_pass=*/false);
+  const std::map<PredKey, bool> det_indexed = run_det_pass(
+      prog, syms, guards, shape_indexed, &det_strict, /*indexed_pass=*/true);
+
+  for (const auto& [pk, idxs] : prog.preds) {
+    PredStaticAnalysis pa;
+    pa.det = det_strict.at(pk);
+    pa.det_indexed = det_indexed.at(pk) || pa.det;
+    pa.no_choice = idxs.size() <= 1;
+
+    // LAO-chain shape: several clauses, not even index-determinate (so the
+    // or-engine keeps re-visiting the frame), last clause directly
+    // tail-recursive, earlier clauses leaf (no user calls).
+    if (idxs.size() >= 2 && !pa.det_indexed) {
+      const std::size_t last = idxs.back();
+      const auto& tail = guards[last].conjuncts;
+      bool tail_rec = false;
+      if (!tail.empty()) {
+        const Cell g = tail.back();
+        if (g.tag() == Tag::Str) {
+          const Cell f = prog.clauses[last].tmpl.cells[g.payload()];
+          tail_rec = pred_key(f.fun_symbol(), f.fun_arity()) == pk;
+        } else if (g.tag() == Tag::Atm) {
+          tail_rec = pred_key(g.symbol(), 0) == pk;
+        }
+      }
+      bool earlier_leaf = true;
+      for (std::size_t i = 0; i + 1 < idxs.size() && earlier_leaf; ++i) {
+        for (const Cell g : guards[idxs[i]].conjuncts) {
+          const TermTemplate& tmpl = prog.clauses[idxs[i]].tmpl;
+          std::uint32_t sym = 0;
+          unsigned ar = 0;
+          if (g.tag() == Tag::Atm) {
+            sym = g.symbol();
+          } else if (g.tag() == Tag::Str) {
+            const Cell f = tmpl.cells[g.payload()];
+            sym = f.fun_symbol();
+            ar = f.fun_arity();
+          } else {
+            earlier_leaf = false;
+            break;
+          }
+          if (prog.defines(sym, ar)) {
+            earlier_leaf = false;
+            break;
+          }
+        }
+      }
+      pa.lao_chain = tail_rec && earlier_leaf;
+    }
+    out.preds[pk] = pa;
+
+    // Unreachable clauses: an earlier most-general clause that immediately
+    // cuts (or is a fact) always commits first.
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      const GuardInfo& gi = guards[idxs[i]];
+      const bool commits_always =
+          gi.most_general_head &&
+          (gi.conjuncts.empty() ||
+           (prog.clauses[idxs[i]].body.tag() == Tag::Atm &&
+            prog.clauses[idxs[i]].body.symbol() == syms.known().truesym) ||
+           (gi.conjuncts[0].tag() == Tag::Atm &&
+            gi.conjuncts[0].symbol() == syms.known().cut));
+      if (commits_always && gi.has_cut && i + 1 < idxs.size()) {
+        for (std::size_t j = i + 1; j < idxs.size(); ++j) {
+          out.unreachable.push_back(idxs[j]);
+        }
+        break;
+      }
+    }
+
+    // Overlapping pairs (pedantic note material).
+    if (!pa.det_indexed && idxs.size() >= 2) {
+      for (std::size_t i = 0; i < idxs.size(); ++i) {
+        for (std::size_t j = i + 1; j < idxs.size(); ++j) {
+          if (!guards_exclusive(guards[idxs[i]], guards[idxs[j]]) &&
+              !guards[idxs[i]].has_cut) {
+            out.overlapping.push_back(ClauseOverlap{idxs[i], idxs[j]});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ace

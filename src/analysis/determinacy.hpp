@@ -1,0 +1,79 @@
+// Clause-level determinacy and mutual-exclusion analysis.
+//
+// Two clauses of a predicate are *mutually exclusive* when no call can
+// succeed through both: provable from head-skeleton disjointness (distinct
+// constants/functors in the same argument position), contradictory
+// arithmetic guards (`N > 1` vs. a head constant 0, `X =< Y` vs. `X > Y`),
+// or contradictory `==`/`\==` tests. Exclusion evidence comes in two
+// strengths: *mode-independent* proofs hold for any call (arithmetic
+// guards throw and `==` tests fail on unbound arguments, so the excluded
+// side cannot succeed either way), while *indexed* proofs (disjoint head
+// constants/functors) only hold when the discriminating argument is
+// instantiated at call time — a free call unifies with both heads.
+//
+// Correspondingly a predicate is *determinate* (`det`: at most one
+// solution for ANY call) when all clause pairs are mode-independently
+// exclusive (or every non-last clause cuts) and every clause body — after
+// its last top-level cut — only calls determinate goals (a greatest
+// fixpoint over the call graph, so plain structural recursion stays
+// determinate). It is *index-determinate* (`det_indexed`) when the same
+// holds for calls whose first argument is GROUND, accepting
+// first-position indexed evidence and tail calls whose own first argument
+// is provably ground on entry (a subterm of the clause's ground first
+// head argument, or bound by preceding arithmetic). Groundness rather
+// than mere instantiation is required: a partially instantiated argument
+// can select a single clause yet leave recursive calls free to produce
+// many solutions.
+//
+// These proofs feed (a) the linter (unreachable/overlapping clauses) and
+// (b) the runtime static-facts pass that elides the charged optimization
+// checks of the paper's LPCO/SHALLOW/PDO/LAO schemas; the engines honour
+// `det_indexed` only on calls whose first argument is ground right now
+// (db/predicate.hpp StaticFacts::kDetIndexed).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/absint.hpp"
+
+namespace ace {
+
+struct PredStaticAnalysis {
+  bool det = false;          // at most one solution for any call, and no
+                             // sibling-clause alternative can also succeed
+  bool det_indexed = false;  // ... for calls whose first argument is
+                             // ground (first-argument indexing picks at
+                             // most one clause, and structural recursion
+                             // stays ground); implied by `det`
+  bool no_choice = false;    // at most one clause: a call never builds a
+                             // clause-selection choice point worth keeping
+  bool lao_chain = false;    // generator chain: last clause tail-recursive,
+                             // earlier clauses leaf — the shape the
+                             // last-alternative optimization targets
+};
+
+struct ClauseOverlap {
+  std::size_t a = 0;  // clause indices into AbsProgram::clauses
+  std::size_t b = 0;
+};
+
+struct DeterminacyResult {
+  std::map<PredKey, PredStaticAnalysis> preds;
+  // Clause indices provably never reached (an earlier most-general clause
+  // always commits first).
+  std::vector<std::size_t> unreachable;
+  // Non-exclusive clause pairs of predicates not proven determinate.
+  std::vector<ClauseOverlap> overlapping;
+};
+
+DeterminacyResult analyze_determinacy_program(const AbsProgram& prog,
+                                              const SymbolTable& syms);
+
+// True when clauses `a` and `b` (indices into prog.clauses, same predicate)
+// are provably mutually exclusive. Exposed for tests.
+bool clauses_mutually_exclusive(const AbsProgram& prog,
+                                const SymbolTable& syms, std::size_t a,
+                                std::size_t b);
+
+}  // namespace ace

@@ -1,0 +1,80 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticSink::add(const std::string& code, Severity sev,
+                         SourceSpan span, const std::string& predicate,
+                         const std::string& message) {
+  add(Diagnostic{code, sev, span, predicate, message});
+}
+
+std::size_t DiagnosticSink::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::size_t DiagnosticSink::count_code(const std::string& code) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+void DiagnosticSink::sort_by_location() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     if (a.span.col != b.span.col) return a.span.col < b.span.col;
+                     return a.code < b.code;
+                   });
+}
+
+std::string DiagnosticSink::to_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += strf("%d:%d: %s: %s [%s", d.span.line, d.span.col,
+                severity_name(d.severity), d.message.c_str(), d.code.c_str());
+    if (!d.predicate.empty()) out += " " + d.predicate;
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string DiagnosticSink::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out += ",";
+    first = false;
+    out += strf(
+        "{\"code\":\"%s\",\"severity\":\"%s\",\"line\":%d,\"col\":%d,"
+        "\"predicate\":\"%s\",\"message\":\"%s\"}",
+        d.code.c_str(), severity_name(d.severity), d.span.line, d.span.col,
+        json_escape(d.predicate).c_str(), json_escape(d.message).c_str());
+  }
+  return out + "]";
+}
+
+}  // namespace ace

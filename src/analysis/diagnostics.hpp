@@ -1,0 +1,66 @@
+// Diagnostics engine for the static analyzer / linter: severities, stable
+// lint codes, source spans and text/JSON rendering.
+//
+// Lint codes are stable identifiers (APLnnn) so CI configurations and
+// NOLINT-style suppressions survive message-wording changes:
+//
+//   APL001  unsafe '&' conjunction: parallel goals may share an unbound
+//           variable (the and-parallel analogue of a data race)
+//   APL002  singleton variable (named variable used exactly once)
+//   APL003  call to an undefined predicate
+//   APL004  possibly-non-ground arithmetic (is/2 or comparison may see an
+//           unbound variable)
+//   APL005  unreachable clause (a preceding clause always commits first)
+//   APL006  overlapping clauses (two clauses match the same call and the
+//           predicate is not otherwise proven determinate) — pedantic
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+enum class Severity : unsigned char { Note = 0, Warning = 1, Error = 2 };
+
+const char* severity_name(Severity s);
+
+// 1-based source position of the clause (or goal) the diagnostic refers to.
+struct SourceSpan {
+  int line = 0;
+  int col = 0;
+};
+
+struct Diagnostic {
+  std::string code;  // stable lint code, e.g. "APL001"
+  Severity severity = Severity::Warning;
+  SourceSpan span;
+  std::string predicate;  // "name/arity" context ("" when not applicable)
+  std::string message;
+};
+
+// Accumulates diagnostics; knows how to render them for terminals and CI.
+class DiagnosticSink {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void add(const std::string& code, Severity sev, SourceSpan span,
+           const std::string& predicate, const std::string& message);
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t count(Severity s) const;
+  std::size_t count_code(const std::string& code) const;
+
+  // Stable order: by line, then column, then code.
+  void sort_by_location();
+
+  // "line:col: warning: message [APL001 name/2]" per line.
+  std::string to_text() const;
+  // JSON array of {code, severity, line, col, predicate, message}.
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace ace

@@ -1,0 +1,334 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "analysis/render.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+std::string pred_name(const SymbolTable& syms, std::uint32_t sym,
+                      unsigned arity) {
+  return strf("%s/%u", syms.name(sym).c_str(), arity);
+}
+
+std::string clause_pred(const SymbolTable& syms,
+                        const AbsProgram::ClauseInfo& ci) {
+  return pred_name(syms, ci.pred_sym, ci.pred_arity);
+}
+
+// Walks all goal positions of a body (descending through the control
+// constructs the engine knows) and calls `fn(goal)` for each callable goal.
+void walk_goals(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                const std::function<void(Cell)>& fn) {
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (c.tag() == Tag::Atm) {
+    sym = c.symbol();
+  } else if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    return;  // variables / data
+  }
+  const SymbolTable::Known& k = syms.known();
+  const std::string& n = syms.name(sym);
+  if (arity == 2 && (sym == k.comma || sym == k.amp || sym == k.semicolon ||
+                     sym == k.arrow)) {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 2], fn);
+    return;
+  }
+  if (arity == 1 && (sym == k.naf || (sym == k.call) || n == "once")) {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    return;
+  }
+  if (arity == 3 && n == "findall") {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 2], fn);
+    fn(c);
+    return;
+  }
+  if (arity == 3 && n == "catch") {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 3], fn);
+    return;
+  }
+  fn(c);
+}
+
+// Flattens an '&' chain into its parallel members.
+std::vector<Cell> amp_members(const SymbolTable& syms,
+                              const TermTemplate& tmpl, Cell c) {
+  std::vector<Cell> out;
+  Cell cur = c;
+  for (;;) {
+    if (cur.tag() == Tag::Str) {
+      const Cell f = tmpl.cells[cur.payload()];
+      if (f.fun_symbol() == syms.known().amp && f.fun_arity() == 2) {
+        out.push_back(tmpl.cells[cur.payload() + 1]);
+        cur = tmpl.cells[cur.payload() + 2];
+        continue;
+      }
+    }
+    out.push_back(cur);
+    break;
+  }
+  return out;
+}
+
+std::string var_display_name(const TermTemplate& tmpl, std::uint32_t slot) {
+  const std::string& n = tmpl.var_names[slot];
+  return (n.empty() || n == "_") ? "_" : n;
+}
+
+}  // namespace
+
+LintReport lint_program(SymbolTable& syms, const std::string& source,
+                        const LintOptions& opts) {
+  LintReport rep;
+  AbsProgram prog =
+      AbsProgram::from_source(syms, source, /*include_library=*/true);
+  Builtins builtins(syms);
+  const SymbolTable::Known& k = syms.known();
+
+  for (const auto& ci : prog.clauses) {
+    if (!ci.from_library) ++rep.num_clauses;
+  }
+
+  // ---- Syntactic passes ---------------------------------------------------
+
+  // APL002: singleton variables (named, single occurrence in the clause).
+  for (const auto& ci : prog.clauses) {
+    if (ci.from_library) continue;
+    std::map<std::uint32_t, unsigned> occurrences;
+    std::vector<std::uint32_t> occ;
+    // Count occurrences (not distinct slots) from the clause root.
+    std::function<void(Cell)> count = [&](Cell c) {
+      switch (c.tag()) {
+        case Tag::VarSlot:
+          ++occurrences[c.var_slot()];
+          return;
+        case Tag::Lst:
+          count(ci.tmpl.cells[c.payload()]);
+          count(ci.tmpl.cells[c.payload() + 1]);
+          return;
+        case Tag::Str: {
+          const Cell f = ci.tmpl.cells[c.payload()];
+          for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+            count(ci.tmpl.cells[c.payload() + i]);
+          }
+          return;
+        }
+        default:
+          return;
+      }
+    };
+    count(ci.tmpl.root);
+    for (const auto& [slot, n] : occurrences) {
+      if (n != 1) continue;
+      const std::string& name = ci.tmpl.var_names[slot];
+      if (name.empty() || name[0] == '_') continue;
+      rep.sink.add("APL002", Severity::Warning,
+                   SourceSpan{ci.span.line, ci.span.col}, clause_pred(syms, ci),
+                   strf("singleton variable %s (use _%s to silence)",
+                        name.c_str(), name.c_str()));
+    }
+  }
+
+  // APL003: calls to undefined predicates.
+  for (const auto& ci : prog.clauses) {
+    if (ci.from_library) continue;
+    walk_goals(syms, ci.tmpl, ci.body, [&](Cell g) {
+      std::uint32_t sym = 0;
+      unsigned arity = 0;
+      if (g.tag() == Tag::Atm) {
+        sym = g.symbol();
+      } else if (g.tag() == Tag::Str) {
+        const Cell f = ci.tmpl.cells[g.payload()];
+        sym = f.fun_symbol();
+        arity = f.fun_arity();
+      } else {
+        return;
+      }
+      if (arity == 0 &&
+          (sym == k.cut || sym == k.truesym || sym == k.fail)) {
+        return;
+      }
+      if (builtins.lookup(sym, arity).has_value()) return;
+      if (prog.defines(sym, arity)) return;
+      rep.sink.add("APL003", Severity::Warning,
+                   SourceSpan{ci.span.line, ci.span.col}, clause_pred(syms, ci),
+                   strf("call to undefined predicate %s",
+                        pred_name(syms, sym, arity).c_str()));
+    });
+  }
+
+  // ---- Determinacy-based passes ------------------------------------------
+
+  rep.det = analyze_determinacy_program(prog, syms);
+
+  // APL005: unreachable clauses.
+  for (std::size_t idx : rep.det.unreachable) {
+    const auto& ci = prog.clauses[idx];
+    if (ci.from_library) continue;
+    rep.sink.add("APL005", Severity::Warning,
+                 SourceSpan{ci.span.line, ci.span.col}, clause_pred(syms, ci),
+                 "unreachable clause: an earlier clause always commits first");
+  }
+
+  // APL006: overlapping clauses (pedantic).
+  if (opts.pedantic) {
+    for (const ClauseOverlap& ov : rep.det.overlapping) {
+      const auto& ca = prog.clauses[ov.a];
+      if (ca.from_library || prog.clauses[ov.b].from_library) continue;
+      rep.sink.add(
+          "APL006", Severity::Note,
+          SourceSpan{prog.clauses[ov.b].span.line,
+                     prog.clauses[ov.b].span.col},
+          clause_pred(syms, ca),
+          strf("clauses at lines %d and %d may both match the same call",
+               ca.span.line, prog.clauses[ov.b].span.line));
+    }
+  }
+
+  // ---- Flow-sensitive passes (abstract interpretation) --------------------
+
+  AbstractInterpreter interp(prog, syms);
+
+  if (!opts.entries.empty()) {
+    for (const std::string& q : opts.entries) {
+      TermTemplate query = parse_term_text(syms, q);
+      interp.analyze_entry(query);
+    }
+  } else {
+    // Root predicates (never called by another predicate) under all-ground
+    // arguments — the benchmark-driver shape.
+    std::set<PredKey> called;
+    for (const auto& ci : prog.clauses) {
+      if (ci.from_library) continue;
+      walk_goals(syms, ci.tmpl, ci.body, [&](Cell g) {
+        std::uint32_t sym = 0;
+        unsigned arity = 0;
+        if (g.tag() == Tag::Atm) {
+          sym = g.symbol();
+        } else if (g.tag() == Tag::Str) {
+          const Cell f = ci.tmpl.cells[g.payload()];
+          sym = f.fun_symbol();
+          arity = f.fun_arity();
+        } else {
+          return;
+        }
+        if (pred_key(sym, arity) != pred_key(ci.pred_sym, ci.pred_arity)) {
+          called.insert(pred_key(sym, arity));
+        }
+      });
+    }
+    std::set<PredKey> roots;
+    for (const auto& ci : prog.clauses) {
+      if (ci.from_library) continue;
+      const PredKey pk = pred_key(ci.pred_sym, ci.pred_arity);
+      if (called.count(pk) == 0) roots.insert(pk);
+    }
+    if (roots.empty()) {
+      for (const auto& ci : prog.clauses) {
+        if (!ci.from_library) {
+          roots.insert(pred_key(ci.pred_sym, ci.pred_arity));
+        }
+      }
+    }
+    for (PredKey pk : roots) {
+      const auto sym = static_cast<std::uint32_t>(pk >> 12);
+      const auto arity = static_cast<unsigned>(pk & 0xFFF);
+      interp.analyze_call(sym, arity, ArgPattern::all_ground(arity));
+    }
+  }
+
+  // Replay with an observer: APL001 at '&' conjunctions, APL004 at
+  // arithmetic goals. Deduplicate across call patterns.
+  std::set<std::tuple<std::size_t, std::string, std::uint64_t>> seen;
+  auto observer = [&](std::size_t clause_idx, Cell goal,
+                      const AbsState& pre) {
+    if (clause_idx == AbstractInterpreter::kEntryClause) return;
+    const auto& ci = prog.clauses[clause_idx];
+    if (ci.from_library) return;
+    const TermTemplate& tmpl = ci.tmpl;
+    if (goal.tag() != Tag::Str) return;
+    const Cell f = tmpl.cells[goal.payload()];
+    const std::uint32_t sym = f.fun_symbol();
+    const unsigned arity = f.fun_arity();
+    const std::string& n = syms.name(sym);
+
+    if (sym == k.amp && arity == 2) {
+      const std::vector<Cell> members = amp_members(syms, tmpl, goal);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          // A shared possibly-unbound variable between two parallel goals.
+          std::uint32_t witness = 0;
+          bool found = false;
+          for (std::uint32_t u : collect_template_vars(tmpl, members[i])) {
+            if (pre.is_ground(u)) continue;
+            for (std::uint32_t v :
+                 collect_template_vars(tmpl, members[j])) {
+              if (pre.is_ground(v)) continue;
+              if (u == v || pre.may_share(u, v)) {
+                witness = u;
+                found = true;
+                break;
+              }
+            }
+            if (found) break;
+          }
+          if (!found) continue;
+          if (!seen.emplace(clause_idx, "APL001", goal.raw).second) continue;
+          rep.sink.add(
+              "APL001", Severity::Warning,
+              SourceSpan{ci.span.line, ci.span.col}, clause_pred(syms, ci),
+              strf("unsafe '&': parallel goals %zu and %zu may share unbound "
+                   "variable %s (goals: %s | %s)",
+                   i + 1, j + 1,
+                   var_display_name(tmpl, witness).c_str(),
+                   render_template(syms, tmpl, members[i], 974).c_str(),
+                   render_template(syms, tmpl, members[j], 974).c_str()));
+          return;  // one report per conjunction
+        }
+      }
+      return;
+    }
+
+    const bool is_is = (n == "is" && arity == 2);
+    const bool is_cmp =
+        arity == 2 && (n == "<" || n == ">" || n == "=<" || n == ">=" ||
+                       n == "=:=" || n == "=\\=");
+    if (is_is || is_cmp) {
+      // Arithmetic needs ground operands (is/2: the right-hand side).
+      for (unsigned a = is_is ? 2 : 1; a <= 2; ++a) {
+        const Cell operand = tmpl.cells[goal.payload() + a];
+        for (std::uint32_t v : collect_template_vars(tmpl, operand)) {
+          if (pre.is_ground(v)) continue;
+          if (!seen.emplace(clause_idx, "APL004", goal.raw).second) return;
+          rep.sink.add(
+              "APL004", Severity::Warning,
+              SourceSpan{ci.span.line, ci.span.col}, clause_pred(syms, ci),
+              strf("%s may see non-ground operand (variable %s in %s)",
+                   pred_name(syms, sym, arity).c_str(),
+                   var_display_name(tmpl, v).c_str(),
+                   render_template(syms, tmpl, goal, 999).c_str()));
+          return;
+        }
+      }
+    }
+  };
+  interp.report(observer);
+  rep.num_summaries = interp.num_summaries();
+
+  rep.sink.sort_by_location();
+  return rep;
+}
+
+}  // namespace ace

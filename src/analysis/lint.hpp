@@ -1,0 +1,44 @@
+// The and-parallel safety linter: a "race detector" for bad '&' annotations
+// plus general program hygiene, built on the abstract interpreter
+// (absint.hpp) and the determinacy analysis (determinacy.hpp).
+//
+// Lint codes are documented in diagnostics.hpp. APL001 (unsafe '&') and
+// APL004 (possibly-non-ground arithmetic) are flow-sensitive: they come
+// from the goal-dependent analysis driven by the configured entry queries.
+// When no entries are given, every root predicate (defined but never called
+// by another predicate) is analyzed under an all-ground call pattern — the
+// common benchmark shape; pass real queries for full precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "analysis/determinacy.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace ace {
+
+struct LintOptions {
+  // Entry queries ("goal args.") driving the sharing/groundness analysis.
+  std::vector<std::string> entries;
+  // Emit APL006 overlapping-clause notes.
+  bool pedantic = false;
+};
+
+struct LintReport {
+  DiagnosticSink sink;
+  DeterminacyResult det;
+  std::size_t num_clauses = 0;    // program clauses (library excluded)
+  std::size_t num_summaries = 0;  // (predicate, call-pattern) pairs analyzed
+
+  std::size_t warnings() const { return sink.count(Severity::Warning); }
+  std::size_t errors() const { return sink.count(Severity::Error); }
+};
+
+// Parses and lints `source`. Throws AceError on syntax errors (and on
+// unparsable entry queries).
+LintReport lint_program(SymbolTable& syms, const std::string& source,
+                        const LintOptions& opts = {});
+
+}  // namespace ace

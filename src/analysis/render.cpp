@@ -1,0 +1,160 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+
+#include "parse/ops.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+namespace {
+
+// Arguments in functional notation f(A, B), list items and list tails parse
+// at maximum priority 999 (',' at 1000 would otherwise split them).
+constexpr int kArgPrec = 999;
+
+class Renderer {
+ public:
+  Renderer(const SymbolTable& syms, const TermTemplate& tmpl)
+      : syms_(syms), tmpl_(tmpl) {}
+
+  std::string render(Cell c, int max_prec) const {
+    switch (c.tag()) {
+      case Tag::VarSlot:
+        return var_name(c.var_slot());
+      case Tag::Int:
+        return render_int(c.integer(), max_prec);
+      case Tag::Atm:
+        return render_atom(syms_.name(c.symbol()), max_prec);
+      case Tag::Lst:
+        return render_list(c);
+      case Tag::Str:
+        return render_struct(c, max_prec);
+      default:
+        // Ref/Fun never appear as template roots.
+        return "?";
+    }
+  }
+
+ private:
+  std::string var_name(std::uint32_t slot) const {
+    const std::string& name = tmpl_.var_names[slot];
+    if (name == "_" || name.empty()) {
+      // Each anonymous '_' in the source gets its own fresh slot, so giving
+      // every anonymous slot a distinct name preserves term structure.
+      return strf("_V%u", slot);
+    }
+    return name;
+  }
+
+  static std::string render_int(std::int64_t v, int max_prec) {
+    std::string s = strf("%lld", static_cast<long long>(v));
+    // A negative literal is (re-)read via the prefix '-' folding rule, which
+    // carries priority 0 after folding — but in a priority-0 context (left
+    // operand of a tight xfx like '**' never happens for priority < 0) we
+    // would still be fine. Parenthesize defensively only when the context
+    // cannot accept any operator at all (max_prec == 0 and v < 0).
+    if (v < 0 && max_prec <= 0) return "(" + s + ")";
+    return s;
+  }
+
+  static std::string render_atom(const std::string& n, int max_prec) {
+    std::string text = is_plain_atom_name(n) ? n : "'" + n + "'";
+    if (text == n) {
+      // A bare atom that names an operator reads as that operator's priority
+      // when it stands alone as a term; parenthesize when the context is
+      // tighter (e.g. the atom '-' as an argument of priority-0 context).
+      int p = 0;
+      if (auto op = infix_op(n)) p = op->priority;
+      if (auto op = prefix_op(n)) p = std::max(p, op->priority);
+      if (p > max_prec) return "(" + text + ")";
+    }
+    return text;
+  }
+
+  std::string render_list(Cell c) const {
+    std::string out = "[";
+    Cell cur = c;
+    bool first = true;
+    for (;;) {
+      if (cur.tag() == Tag::Lst) {
+        if (!first) out += ", ";
+        first = false;
+        out += render(tmpl_.cells[cur.payload()], kArgPrec);
+        cur = tmpl_.cells[cur.payload() + 1];
+        continue;
+      }
+      if (cur.tag() == Tag::Atm && syms_.name(cur.symbol()) == "[]") break;
+      out += "|" + render(cur, kArgPrec);
+      break;
+    }
+    return out + "]";
+  }
+
+  std::string render_struct(Cell c, int max_prec) const {
+    const Cell f = tmpl_.cells[c.payload()];
+    const std::string& n = syms_.name(f.fun_symbol());
+    const unsigned arity = f.fun_arity();
+
+    if (arity == 1 && n == "{}") {
+      return "{" + render(tmpl_.cells[c.payload() + 1], 1200) + "}";
+    }
+
+    if (arity == 2) {
+      if (auto op = infix_op(n)) {
+        const int p = op->priority;
+        const int lmax = (op->type == OpType::yfx) ? p : p - 1;
+        const int rmax = (op->type == OpType::xfy) ? p : p - 1;
+        std::string left = render(tmpl_.cells[c.payload() + 1], lmax);
+        std::string right = render(tmpl_.cells[c.payload() + 2], rmax);
+        // ',' reads naturally without surrounding spaces on the left.
+        std::string s = (n == ",") ? left + ", " + right
+                                   : left + " " + n + " " + right;
+        return (p > max_prec) ? "(" + s + ")" : s;
+      }
+    }
+
+    if (arity == 1) {
+      if (auto op = prefix_op(n)) {
+        const Cell arg = tmpl_.cells[c.payload() + 1];
+        // '-'/'+' applied to an integer literal must use functional notation:
+        // `- 5` would re-read as the folded literal -5, not the structure.
+        const bool int_fold_hazard =
+            (n == "-" || n == "+") && arg.tag() == Tag::Int;
+        if (!int_fold_hazard) {
+          const int p = op->priority;
+          const int amax = (op->type == OpType::fy) ? p : p - 1;
+          // The space before a parenthesized operand matters: `\+(a, b)`
+          // would re-read as the binary functor \+/2.
+          std::string s = n + " " + render(arg, amax);
+          return (p > max_prec) ? "(" + s + ")" : s;
+        }
+      }
+    }
+
+    // Functional notation. No space before '(' — the lexer marks that paren
+    // as a functor application.
+    std::string name = is_plain_atom_name(n) ? n : "'" + n + "'";
+    std::string out = name + "(";
+    for (unsigned i = 1; i <= arity; ++i) {
+      if (i > 1) out += ", ";
+      out += render(tmpl_.cells[c.payload() + i], kArgPrec);
+    }
+    return out + ")";
+  }
+
+  const SymbolTable& syms_;
+  const TermTemplate& tmpl_;
+};
+
+}  // namespace
+
+std::string render_template(const SymbolTable& syms, const TermTemplate& tmpl,
+                            Cell c, int max_prec) {
+  return Renderer(syms, tmpl).render(c, max_prec);
+}
+
+std::string render_clause(const SymbolTable& syms, const TermTemplate& tmpl) {
+  return render_template(syms, tmpl, tmpl.root, 1200);
+}
+
+}  // namespace ace

@@ -1,0 +1,28 @@
+// Precedence-aware rendering of clause templates back to source text.
+//
+// The fixed operator table (parse/ops.hpp) determines where parentheses are
+// required: a subterm whose principal functor is an operator of priority p
+// needs parentheses whenever it appears in a context that only accepts
+// priority < p. The naive renderer used to drop parentheses around ';'/'->'
+// conjuncts, so `g, (c -> a ; b)` re-parsed with a different shape; this
+// renderer guarantees parse(render(t)) == t structurally (and is tested
+// against every shipped workload program).
+#pragma once
+
+#include <string>
+
+#include "term/build.hpp"
+#include "term/symtab.hpp"
+
+namespace ace {
+
+// Renders `c` (a cell of `tmpl`) as text parseable in a context that accepts
+// operator priority up to `max_prec`. Arguments of functional notation and
+// list items use 999, clause roots 1200.
+std::string render_template(const SymbolTable& syms, const TermTemplate& tmpl,
+                            Cell c, int max_prec);
+
+// Renders a whole clause template (root priority 1200), without the final '.'.
+std::string render_clause(const SymbolTable& syms, const TermTemplate& tmpl);
+
+}  // namespace ace

@@ -1,0 +1,55 @@
+#include "analysis/static_facts.hpp"
+
+#include <map>
+
+#include "analysis/absint.hpp"
+#include "analysis/determinacy.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+std::string StaticFactsReport::to_json() const {
+  return strf(
+      "{\"preds\":%zu,\"det\":%zu,\"det_indexed\":%zu,\"no_choice\":%zu,"
+      "\"lao_chain\":%zu,\"ground_on_success\":%zu}",
+      preds_analyzed, det, det_indexed, no_choice, lao_chain,
+      ground_on_success);
+}
+
+StaticFactsReport compute_static_facts(Database& db) {
+  SymbolTable& syms = db.syms();
+  const AbsProgram prog = AbsProgram::from_database(syms, db);
+  const DeterminacyResult detres = analyze_determinacy_program(prog, syms);
+  AbstractInterpreter interp(prog, syms);
+
+  StaticFactsReport rep;
+  std::map<PredKey, std::uint32_t> bits;
+  for (const auto& [pk, pa] : detres.preds) {
+    const auto sym = static_cast<std::uint32_t>(pk >> 12);
+    const auto arity = static_cast<unsigned>(pk & 0xFFF);
+    if (!prog.defines(sym, arity)) continue;
+    std::uint32_t b = StaticFacts::kValid;
+    if (pa.det) b |= StaticFacts::kDet;
+    if (pa.det_indexed) b |= StaticFacts::kDetIndexed;
+    if (pa.no_choice) b |= StaticFacts::kNoChoice;
+    if (pa.lao_chain) b |= StaticFacts::kLaoChain;
+    if (interp.ground_on_success_top(sym, arity)) {
+      b |= StaticFacts::kGroundOnSuccess;
+    }
+    bits[pk] = b;
+    ++rep.preds_analyzed;
+    if (b & StaticFacts::kDet) ++rep.det;
+    if (b & StaticFacts::kDetIndexed) ++rep.det_indexed;
+    if (b & StaticFacts::kNoChoice) ++rep.no_choice;
+    if (b & StaticFacts::kLaoChain) ++rep.lao_chain;
+    if (b & StaticFacts::kGroundOnSuccess) ++rep.ground_on_success;
+  }
+
+  db.for_each_predicate_mutable([&](Predicate& p) {
+    auto it = bits.find(pred_key(p.sym(), p.arity()));
+    p.set_static_facts(it == bits.end() ? 0u : it->second);
+  });
+  return rep;
+}
+
+}  // namespace ace

@@ -1,0 +1,45 @@
+// The load-time static-facts pass: runs the determinacy analysis
+// (determinacy.hpp) and the groundness interpreter (absint.hpp) over all
+// live clauses of a Database and attaches packed StaticFacts bits (see
+// db/predicate.hpp) to every defined predicate.
+//
+// Engines running with EngineConfig::static_facts consult the bits at the
+// LPCO/SHALLOW/PDO/LAO trigger sites: a proven property elides the charged
+// runtime applicability test (CostModel::opt_check) and counts as a
+// Counters::static_elisions instead. kDetIndexed is honoured only for
+// calls whose first argument is ground — the mode the indexed
+// exclusivity proof assumed (Worker::goal_static_det). Facts never alter
+// control flow, so
+// solutions are identical with and without them; assert/retract clears a
+// predicate's bits (db/predicate.cpp), after which its sites simply charge
+// again until the pass is re-run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "db/database.hpp"
+
+namespace ace {
+
+struct StaticFactsReport {
+  std::size_t preds_analyzed = 0;     // predicates that received kValid
+  std::size_t det = 0;                // ... with a mode-independent
+                                      //     determinacy fact
+  std::size_t det_indexed = 0;        // ... determinate when the first
+                                      //     argument is instantiated
+                                      //     (superset of `det`)
+  std::size_t no_choice = 0;          // ... with a no-choice fact
+  std::size_t lao_chain = 0;          // ... with a LAO generator-shape fact
+  std::size_t ground_on_success = 0;  // ... ground-on-success under top
+
+  // Compact JSON object ({"preds":N,"det":N,...}).
+  std::string to_json() const;
+};
+
+// Idempotent; safe to re-run after mutations. Analysis failures cannot
+// occur (the database holds already-parsed clauses); predicates the
+// analysis cannot prove anything about get kValid with no property bits.
+StaticFactsReport compute_static_facts(Database& db);
+
+}  // namespace ace

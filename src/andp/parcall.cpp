@@ -153,6 +153,54 @@ void flatten_amp(Store& store, const SymbolTable& syms, Addr goal,
 
 }  // namespace
 
+bool Worker::goal_static_det(Addr goal) {
+  if (!opts_.static_facts) return false;
+  Addr a = deref(store_, goal);
+  Cell c = store_.get(a);
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (c.tag() == Tag::Atm) {
+    sym = c.symbol();
+  } else if (c.tag() == Tag::Str) {
+    Cell f = store_.get(c.ref());
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    return false;  // control constructs / variables: no per-predicate fact
+  }
+  const Predicate* p = db_.find(sym, arity);
+  if (p == nullptr) return false;
+  if (p->fact(StaticFacts::kDet)) return true;  // any call mode
+  // The indexed determinacy fact was proven under the premise that the
+  // call's first argument is GROUND (plain instantiation is not enough:
+  // a partial list still leaves a list-walker's recursive calls free).
+  // Groundness is stable — bindings this walk observes cannot be undone
+  // by other agents — so a positive answer stays valid for the slot.
+  if (!p->fact(StaticFacts::kDetIndexed)) return false;
+  if (arity == 0) return true;
+  return term_ground(c.ref() + 1);
+}
+
+// Is the term at `at` (an argument cell) fully ground right now?
+bool Worker::term_ground(Addr at) {
+  Cell c = store_.get(deref(store_, at));
+  switch (c.tag()) {
+    case Tag::Ref:
+      return false;  // unbound variable
+    case Tag::Lst:
+      return term_ground(c.ref()) && term_ground(c.ref() + 1);
+    case Tag::Str: {
+      const Cell f = store_.get(c.ref());
+      for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+        if (!term_ground(c.ref() + i)) return false;
+      }
+      return true;
+    }
+    default:
+      return true;  // atoms / integers
+  }
+}
+
 void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
   (void)cut_parent;  // cuts are local to parallel subgoals
   std::vector<Addr> subgoals;
@@ -160,9 +208,26 @@ void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
   ACE_CHECK(subgoals.size() >= 2);
 
   if (opts_.lpco) {
-    ++stats_.opt_checks;
-    charge(costs_.opt_check);
+    // LPCO's charged test verifies that the slot so far is determinate
+    // (conditions (i)+(ii)); with a static determinacy fact on the slot's
+    // goal that half is proven at load time and the charge is elided. The
+    // remaining pointer comparisons in lpco_try_merge run either way, so
+    // control flow is identical with and without facts.
+    if (cur_pf_ != kNoPf && cur_slot_ref().static_det) {
+      ++stats_.static_elisions;
+    } else {
+      ++stats_.opt_checks;
+      charge(costs_.opt_check);
+    }
     if (lpco_try_merge(subgoals)) return;
+  }
+
+  // Resolve determinacy facts before slot insertion (outside pf.mu).
+  std::vector<char> subgoal_det(subgoals.size(), 0);
+  if (opts_.static_facts) {
+    for (std::size_t i = 0; i < subgoals.size(); ++i) {
+      subgoal_det[i] = goal_static_det(subgoals[i]) ? 1 : 0;
+    }
   }
 
   Parcall& pf = par_->alloc_parcall();
@@ -185,9 +250,10 @@ void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
   charge(costs_.parcall_frame);
   note_ctrl_alloc(kWordsParcallFrame);
 
-  for (Addr g : subgoals) {
+  for (std::size_t i = 0; i < subgoals.size(); ++i) {
     Slot s;
-    s.goal = g;
+    s.goal = subgoals[i];
+    s.static_det = subgoal_det[i] != 0;
     pf.append_slot(std::move(s));
     ++stats_.parcall_slots;
     charge(costs_.parcall_slot);
@@ -228,13 +294,20 @@ bool Worker::lpco_try_merge(const std::vector<Addr>& subgoals) {
 
   ++stats_.lpco_merges;
   trace(TraceEvent::LpcoMerge, cur_pf_, subgoals.size());
+  std::vector<char> subgoal_det(subgoals.size(), 0);
+  if (opts_.static_facts) {
+    for (std::size_t i = 0; i < subgoals.size(); ++i) {
+      subgoal_det[i] = goal_static_det(subgoals[i]) ? 1 : 0;
+    }
+  }
   std::uint32_t first_new = kNoSlot;
   {
     std::lock_guard<std::mutex> lock(pf.mu);
     std::uint32_t after = cur_slot_;
-    for (Addr g : subgoals) {
+    for (std::size_t gi = 0; gi < subgoals.size(); ++gi) {
       Slot s;
-      s.goal = g;
+      s.goal = subgoals[gi];
+      s.static_det = subgoal_det[gi] != 0;
       s.lpco_parent = cur_slot_;
       after = pf.insert_slot_after(std::move(s), after);
       if (first_new == kNoSlot) first_new = after;
@@ -304,8 +377,17 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
   // previous slot and the input marker of this one.
   bool pdo_merge = false;
   if (opts_.pdo) {
-    ++stats_.opt_checks;
-    charge(costs_.opt_check);
+    // PDO's charged test verifies the just-finished slot completed
+    // determinately before its markers may be merged away; a static
+    // determinacy fact on that slot's goal proves it, eliding the charge.
+    // The adjacency comparisons below run either way.
+    if (last_done_adjacent_ && last_done_pf_ == pf_id &&
+        pf.slots[last_done_slot_].static_det) {
+      ++stats_.static_elisions;
+    } else {
+      ++stats_.opt_checks;
+      charge(costs_.opt_check);
+    }
     pdo_merge = last_done_adjacent_ && last_done_pf_ == pf_id &&
                 s.order_prev == last_done_slot_ &&
                 pending_end_pf_ == pf_id &&
@@ -324,9 +406,16 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
     trace(TraceEvent::PdoMerge, pf_id, slot_idx);
     s.marker_pending = false;
   } else if (opts_.shallow) {
-    // Procrastinate the input marker until a choice point appears.
-    ++stats_.opt_checks;
-    charge(costs_.opt_check);
+    // Procrastinate the input marker until a choice point appears. With a
+    // static determinacy fact the slot provably never creates one, so the
+    // charged applicability test is elided (the marker machinery itself is
+    // unchanged: the marker stays pending and is simply never needed).
+    if (s.static_det) {
+      ++stats_.static_elisions;
+    } else {
+      ++stats_.opt_checks;
+      charge(costs_.opt_check);
+    }
     s.marker_pending = true;
   } else {
     s.marker_pending = false;

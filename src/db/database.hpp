@@ -55,6 +55,22 @@ class Database {
 
   std::size_t num_predicates() const;
 
+  // Enumerates every predicate under a shared lock (analysis and
+  // introspection; `fn` must not call self-locking Database entry points).
+  template <typename Fn>
+  void for_each_predicate(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& p : preds_) fn(*p);
+  }
+
+  // Mutable variant (exclusive lock): the static-facts pass uses it to
+  // attach analysis results to predicates.
+  template <typename Fn>
+  void for_each_predicate_mutable(Fn&& fn) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (const auto& p : preds_) fn(*p);
+  }
+
   // ---- Engine hot-path locking surface -----------------------------------
   // The engines read candidate buckets and clause templates on every call;
   // under the serving layer those reads race with assert/retract from

@@ -10,6 +10,7 @@ void Predicate::add_clause(Clause c, bool front) {
     clauses_.push_back(std::move(c));
   }
   ++generation_;
+  static_facts_.store(0, std::memory_order_relaxed);  // facts are stale
   rebuild_index();
 }
 
@@ -17,6 +18,7 @@ void Predicate::retract_clause(std::uint32_t ordinal) {
   ACE_CHECK(ordinal < clauses_.size());
   clauses_[ordinal].retracted = true;
   ++generation_;
+  static_facts_.store(0, std::memory_order_relaxed);  // facts are stale
   rebuild_index();
 }
 

@@ -3,6 +3,7 @@
 // strictly read-only (safe under the Database's shared lock).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,26 @@
 #include "db/clause.hpp"
 
 namespace ace {
+
+// Load-time analysis facts attached to a predicate (see
+// analysis/static_facts.hpp). Engines consult them — when enabled — to skip
+// the charged runtime applicability checks of the LPCO/SHALLOW/PDO/LAO
+// optimization schemas; a fact only ever *elides a check*, never changes
+// control flow, so solutions are identical with and without facts.
+struct StaticFacts {
+  // Bit layout of the packed word (bit set = property proven).
+  static constexpr std::uint32_t kValid = 1u << 0;     // facts were computed
+  static constexpr std::uint32_t kDet = 1u << 1;       // determinate for ANY
+                                                       // call mode
+  static constexpr std::uint32_t kNoChoice = 1u << 2;  // <= 1 clause match
+  static constexpr std::uint32_t kLaoChain = 1u << 3;  // LAO generator shape
+  static constexpr std::uint32_t kGroundOnSuccess = 1u << 4;
+  // Determinate only for calls whose first argument dereferences to a
+  // non-variable (first-argument indexing then selects at most one
+  // clause). Consumers MUST verify that per call before relying on it;
+  // kDet implies kDetIndexed.
+  static constexpr std::uint32_t kDetIndexed = 1u << 5;
+};
 
 class Predicate {
  public:
@@ -29,6 +50,21 @@ class Predicate {
   void add_clause(Clause c, bool front);
   void retract_clause(std::uint32_t ordinal);
 
+  // Packed StaticFacts bits (relaxed atomics: facts are a monotone hint —
+  // readers either see valid analysis results or zero, and any mutation
+  // clears them before the clause list changes becomes visible under the
+  // Database lock).
+  std::uint32_t static_facts() const {
+    return static_facts_.load(std::memory_order_relaxed);
+  }
+  void set_static_facts(std::uint32_t bits) {
+    static_facts_.store(bits, std::memory_order_relaxed);
+  }
+  bool fact(std::uint32_t bit) const {
+    const std::uint32_t f = static_facts();
+    return (f & StaticFacts::kValid) != 0 && (f & bit) != 0;
+  }
+
   // Ordinals of live clauses whose key can match `call`, in source order.
   // Read-only: valid until the next mutation (generation bump); engine
   // choice points detect generation changes and fall back to
@@ -46,6 +82,7 @@ class Predicate {
   unsigned arity_;
   bool dynamic_ = false;
   std::uint64_t generation_ = 0;
+  std::atomic<std::uint32_t> static_facts_{0};
   std::vector<Clause> clauses_;
   // Buckets for every key that appears on some clause (each merged with the
   // var-key clauses, in ordinal order), plus the var-only and all-clause

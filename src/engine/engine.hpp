@@ -55,6 +55,11 @@ struct EngineConfig {
   bool pdo = false;
   bool lao = false;
   bool occurs_check = false;
+  // Consult load-time StaticFacts at the LPCO/SHALLOW/PDO/LAO trigger
+  // sites: statically proven checks skip the charged opt_check and count
+  // as Counters::static_elisions instead. Never changes control flow or
+  // solutions — off by default so runs stay bit-identical.
+  bool static_facts = false;
   bool use_threads = false;            // Andp only: real std::thread driver
   std::uint64_t resolution_limit = 0;  // default per-query budget (0 = none)
 

@@ -75,6 +75,13 @@ struct Slot {
   // re-creates them (fresh clause instance, fresh variables).
   std::uint32_t lpco_parent = kNoSlot;
 
+  // Resolved once at slot creation under --static-facts: the slot goal's
+  // predicate is statically determinate, so the determinacy half of the
+  // LPCO/SHALLOW/PDO applicability checks involving this slot is proven
+  // and the charged runtime test is elided (the tests themselves still
+  // run; only the virtual-time charge is skipped).
+  bool static_det = false;
+
   std::uint64_t publish_time = 0;  // virtual time when made fetchable
 
   // The atomic state member deletes the implicit copy operations; slots
@@ -100,6 +107,7 @@ struct Slot {
     order_prev = o.order_prev;
     order_next = o.order_next;
     lpco_parent = o.lpco_parent;
+    static_det = o.static_det;
     publish_time = o.publish_time;
     return *this;
   }

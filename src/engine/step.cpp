@@ -268,8 +268,15 @@ Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
   if (orp_ != nullptr && opts_.lao) {
     // LAO (paper §3.2): if the exhausted previous choice point is still on
     // top — i.e. its last alternative is creating this one — reuse it.
-    ++stats_.opt_checks;
-    charge(costs_.opt_check);
+    // A static lao-chain fact (last clause tail-recursive, earlier clauses
+    // leaf) proves the generator shape the charged test verifies, so the
+    // charge is elided; lao_try_reuse itself runs either way.
+    if (opts_.static_facts && pred->fact(StaticFacts::kLaoChain)) {
+      ++stats_.static_elisions;
+    } else {
+      ++stats_.opt_checks;
+      charge(costs_.opt_check);
+    }
     if (lao_try_reuse(goal, pred, key, cut_parent, next_bucket_pos,
                       last_ordinal)) {
       return bt_;

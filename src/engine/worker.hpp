@@ -58,6 +58,9 @@ struct WorkerOptions {
   bool shallow = false;       // shallow parallelism optimization
   bool pdo = false;           // processor determinacy optimization
   bool lao = false;           // last alternative optimization (or-parallel)
+  // Elide the charged opt_check at trigger sites whose outcome the
+  // load-time static-facts pass proved (see analysis/static_facts.hpp).
+  bool static_facts = false;
   bool occurs_check = false;
   // Abort the query (throws AceError) once resolutions exceed this
   // (0 = unlimited); failure-injection tests stop runaway programs with it.
@@ -292,6 +295,13 @@ class Worker {
   // ---- And-parallel protocol (andp/*.cpp) --------------------------------
   void begin_parcall(Addr amp_goal, Ref cut_parent);
   bool lpco_try_merge(const std::vector<Addr>& subgoals);
+  // Under --static-facts: the goal is a call to a predicate with a proven
+  // determinacy fact that applies to this call — kDet unconditionally,
+  // kDetIndexed only when the call's first argument is ground (see
+  // Slot::static_det). Always false otherwise.
+  bool goal_static_det(Addr goal);
+  // Groundness walk used by goal_static_det for kDetIndexed.
+  bool term_ground(Addr at);
   void start_slot(std::uint32_t pf_id, std::uint32_t slot_idx, bool stolen);
   // SHALLOW: allocates the procrastinated input marker just before the
   // slot's first choice point.

@@ -247,9 +247,9 @@ void Worker::orp_idle_step() {
   // a prefix already shared with the same victim is not paid for again.
   // (A public node being alive guarantees the victim never backtracked
   // below it, so the shared prefix is unchanged.)
-  auto inc = [&](std::uint64_t target, std::uint64_t have) {
-    if (last_copy_victim_ != victim.agent_) return target;
-    return target > have ? target - have : 0;
+  auto inc = [&](std::uint64_t want, std::uint64_t have) {
+    if (last_copy_victim_ != victim.agent_) return want;
+    return want > have ? want - have : 0;
   };
   std::uint64_t copied = 0;
   copied += inc(n.ctrl_index + 1, last_copy_ctrl_) * kWordsChoicePoint;

@@ -178,6 +178,23 @@ std::vector<TermTemplate> parse_program(SymbolTable& syms,
   return out;
 }
 
+std::vector<SpannedTemplate> parse_program_spanned(SymbolTable& syms,
+                                                   const std::string& src) {
+  Lexer lex(src);
+  std::vector<SpannedTemplate> out;
+  while (lex.peek().kind != TokKind::Eof) {
+    SpannedTemplate st;
+    st.line = lex.peek().line;
+    st.col = lex.peek().col;
+    TemplateBuilder builder(syms);
+    Parser parser(lex, builder);
+    Cell root = parser.parse_clause();
+    st.tmpl = builder.finish(root);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
 TermTemplate parse_term_text(SymbolTable& syms, const std::string& src) {
   Lexer lex(src);
   TemplateBuilder builder(syms);

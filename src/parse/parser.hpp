@@ -14,6 +14,17 @@ namespace ace {
 std::vector<TermTemplate> parse_program(SymbolTable& syms,
                                         const std::string& src);
 
+// A parsed clause plus the source position of its first token (1-based),
+// for analysis/linter diagnostics.
+struct SpannedTemplate {
+  TermTemplate tmpl;
+  int line = 0;
+  int col = 0;
+};
+
+std::vector<SpannedTemplate> parse_program_spanned(SymbolTable& syms,
+                                                   const std::string& src);
+
 // Parses a single term followed by '.' (a query body or a test term).
 TermTemplate parse_term_text(SymbolTable& syms, const std::string& src);
 

@@ -112,6 +112,12 @@ class QueryService {
 
   const ServeMetrics& metrics() const { return metrics_; }
   ServeMetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+  // Attaches the load-time lint result of the served program to the
+  // metrics (ace_serve --analyze); surfaced in metrics_snapshot().to_json().
+  void set_lint_counts(std::uint64_t warnings, std::uint64_t errors) {
+    metrics_.set_lint_counts(warnings, errors);
+  }
   const obs::SlowQueryLog& slowlog() const { return slowlog_; }
   std::size_t queue_depth() const;
   Database& db() { return db_; }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "analysis/static_facts.hpp"
 #include "andp/context.hpp"
 #include "obs/recorder.hpp"
 #include "orp/shared_tree.hpp"
@@ -21,12 +22,18 @@ EngineSession::EngineSession(Database& db, const Builtins& builtins,
   if (cfg_.mode == EngineMode::Seq) cfg_.agents = 1;
   ACE_CHECK(cfg_.agents >= 1);
 
+  // Attach load-time analysis facts before any worker runs. Idempotent, so
+  // pooled sessions sharing one database just refresh the same bits; runs
+  // without the flag never touch (nor read) them.
+  if (cfg_.static_facts) compute_static_facts(db);
+
   WorkerOptions wopts;
   wopts.parallel_and = cfg_.mode == EngineMode::Andp;
   wopts.lpco = cfg_.lpco;
   wopts.shallow = cfg_.shallow;
   wopts.pdo = cfg_.pdo;
   wopts.lao = cfg_.lao;
+  wopts.static_facts = cfg_.static_facts;
   wopts.occurs_check = cfg_.occurs_check;
   wopts.resolution_limit = cfg_.resolution_limit;
 

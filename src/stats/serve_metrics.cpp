@@ -82,6 +82,9 @@ ServeMetricsSnapshot ServeMetrics::snapshot() const {
   s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  s.lint_ran = lint_ran_.load(std::memory_order_relaxed);
+  s.lint_warnings = lint_warnings_.load(std::memory_order_relaxed);
+  s.lint_errors = lint_errors_.load(std::memory_order_relaxed);
   s.latency = latency_.snapshot();
   s.queue_wait = queue_wait_.snapshot();
   return s;
@@ -109,19 +112,26 @@ std::string histogram_json(const LatencyHistogram::Snapshot& h) {
 }  // namespace
 
 std::string ServeMetricsSnapshot::to_json() const {
+  std::string lint;
+  if (lint_ran) {
+    lint = strf(",\"lint_warnings\":%llu,\"lint_errors\":%llu",
+                (unsigned long long)lint_warnings,
+                (unsigned long long)lint_errors);
+  }
   return strf(
       "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"
       "\"completed\":%llu,\"cancelled\":%llu,\"deadline_expired\":%llu,"
       "\"errors\":%llu,\"pool_hits\":%llu,\"pool_misses\":%llu,"
       "\"pool_hit_rate\":%.3f,\"queue_depth\":%llu,\"queue_peak\":%llu,"
-      "\"latency\":%s,\"queue_wait\":%s}",
+      "\"latency\":%s,\"queue_wait\":%s%s}",
       (unsigned long long)submitted, (unsigned long long)admitted,
       (unsigned long long)rejected, (unsigned long long)completed,
       (unsigned long long)cancelled, (unsigned long long)deadline_expired,
       (unsigned long long)errors, (unsigned long long)pool_hits,
       (unsigned long long)pool_misses, pool_hit_rate(),
       (unsigned long long)queue_depth, (unsigned long long)queue_peak,
-      histogram_json(latency).c_str(), histogram_json(queue_wait).c_str());
+      histogram_json(latency).c_str(), histogram_json(queue_wait).c_str(),
+      lint.c_str());
 }
 
 }  // namespace ace

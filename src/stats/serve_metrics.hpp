@@ -68,6 +68,12 @@ struct ServeMetricsSnapshot {
   LatencyHistogram::Snapshot latency;     // admission -> response
   LatencyHistogram::Snapshot queue_wait;  // admission -> dispatch
 
+  // Load-time lint results (--analyze): present in to_json() only when a
+  // lint actually ran, so existing consumers see an unchanged object.
+  bool lint_ran = false;
+  std::uint64_t lint_warnings = 0;
+  std::uint64_t lint_errors = 0;
+
   double pool_hit_rate() const {
     std::uint64_t total = pool_hits + pool_misses;
     return total == 0 ? 0.0 : double(pool_hits) / double(total);
@@ -92,6 +98,13 @@ class ServeMetrics {
   }
   void set_queue_depth(std::uint64_t depth);
 
+  // Records the program's load-time lint result (see ace_serve --analyze).
+  void set_lint_counts(std::uint64_t warnings, std::uint64_t errors) {
+    lint_warnings_.store(warnings, std::memory_order_relaxed);
+    lint_errors_.store(errors, std::memory_order_relaxed);
+    lint_ran_.store(true, std::memory_order_relaxed);
+  }
+
   void record_latency(std::chrono::microseconds us) { latency_.record(us); }
   void record_queue_wait(std::chrono::microseconds us) {
     queue_wait_.record(us);
@@ -111,6 +124,9 @@ class ServeMetrics {
   std::atomic<std::uint64_t> pool_misses_{0};
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> queue_peak_{0};
+  std::atomic<bool> lint_ran_{false};
+  std::atomic<std::uint64_t> lint_warnings_{0};
+  std::atomic<std::uint64_t> lint_errors_{0};
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
 };

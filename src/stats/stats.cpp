@@ -28,6 +28,7 @@ void Counters::add(const Counters& o) {
   shallow_skipped_markers += o.shallow_skipped_markers;
   pdo_merges += o.pdo_merges;
   lao_reuses += o.lao_reuses;
+  static_elisions += o.static_elisions;
   fetches += o.fetches;
   steals += o.steals;
   idle_ticks += o.idle_ticks;
@@ -61,6 +62,9 @@ std::string Counters::summary() const {
       (unsigned long long)lpco_merges,
       (unsigned long long)shallow_skipped_markers,
       (unsigned long long)pdo_merges, (unsigned long long)lao_reuses);
+  if (static_elisions > 0) {
+    out += strf("static_elisions=%llu\n", (unsigned long long)static_elisions);
+  }
   out += strf("fetches=%llu steals=%llu idle=%llu copied_cells=%llu\n",
               (unsigned long long)fetches, (unsigned long long)steals,
               (unsigned long long)idle_ticks,
@@ -102,6 +106,7 @@ std::string Counters::to_json() const {
   put("shallow_skipped_markers", shallow_skipped_markers);
   put("pdo_merges", pdo_merges);
   put("lao_reuses", lao_reuses);
+  if (static_elisions > 0) put("static_elisions", static_elisions);
   put("fetches", fetches);
   put("steals", steals);
   put("idle_ticks", idle_ticks);

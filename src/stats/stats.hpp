@@ -43,6 +43,10 @@ struct Counters {
   std::uint64_t shallow_skipped_markers = 0;
   std::uint64_t pdo_merges = 0;
   std::uint64_t lao_reuses = 0;             // choice points reused in place
+  // Runtime applicability tests skipped because the static analyzer proved
+  // the property at load time (--static-facts). Reported only when nonzero
+  // so runs without the flag stay bit-identical.
+  std::uint64_t static_elisions = 0;
 
   // Scheduling.
   std::uint64_t fetches = 0;      // local work-pool fetches

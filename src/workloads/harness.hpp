@@ -23,6 +23,7 @@ struct RunConfig {
   bool shallow = false;
   bool pdo = false;
   bool lao = false;
+  bool static_facts = false;  // elide statically proven opt checks
   std::size_t max_solutions = SIZE_MAX;
   bool use_threads = false;  // AndpMachine only
   std::uint64_t resolution_limit = 0;
@@ -37,6 +38,7 @@ struct RunConfig {
     c.shallow = shallow;
     c.pdo = pdo;
     c.lao = lao;
+    c.static_facts = static_facts;
     c.use_threads = use_threads;
     c.resolution_limit = resolution_limit;
     return c;

@@ -1,0 +1,242 @@
+// Linter tests: every APL code fires on a minimal seeded-bug program and
+// stays silent on all shipped workloads (analyzed under their real
+// queries), plus renderer round-trip properties for every workload source.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/annotate.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/render.hpp"
+#include "parse/parser.hpp"
+#include "workloads/programs.hpp"
+
+namespace ace {
+namespace {
+
+LintReport lint(const std::string& src, LintOptions opts = {}) {
+  SymbolTable syms;
+  return lint_program(syms, src, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bugs: each code fires on a minimal bad program.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, Apl001FiresOnSharedUnboundVariable) {
+  LintOptions opts;
+  opts.entries = {"p(1, Out)."};
+  LintReport rep = lint(
+      "p(X, Y) :- q(X, Z) & r(Z, Y).\n"
+      "q(A, B) :- B is A + 1.\n"
+      "r(A, B) :- B is A * 2.\n",
+      opts);
+  EXPECT_EQ(rep.sink.count_code("APL001"), 1u);
+}
+
+TEST(Lint, Apl001SilentWhenSharedVariableIsGround) {
+  LintOptions opts;
+  opts.entries = {"p(1, A, B)."};
+  LintReport rep = lint(
+      "p(X, Y, Z) :- q(X, Y) & r(X, Z).\n"
+      "q(A, B) :- B is A + 1.\n"
+      "r(A, B) :- B is A * 2.\n",
+      opts);
+  EXPECT_EQ(rep.sink.count_code("APL001"), 0u);
+}
+
+TEST(Lint, Apl001SilentOnIndependentOutputs) {
+  // Two parallel goals with disjoint free output variables are safe.
+  LintOptions opts;
+  opts.entries = {"top(R)."};
+  LintReport rep = lint(
+      "f(0, 1) :- !.\n"
+      "f(N, V) :- N1 is N - 1, f(N1, V1), V is V1 + N.\n"
+      "top(R) :- f(3, A) & f(4, B), R is A + B.\n",
+      opts);
+  EXPECT_EQ(rep.sink.count_code("APL001"), 0u);
+}
+
+TEST(Lint, Apl002FiresOnSingletonAndRespectsUnderscore) {
+  LintReport rep = lint("u(X, Lone) :- v(X).\nv(_).\n");
+  EXPECT_EQ(rep.sink.count_code("APL002"), 1u);
+  LintReport silenced = lint("u(X, _Lone) :- v(X).\nv(_).\n");
+  EXPECT_EQ(silenced.sink.count_code("APL002"), 0u);
+}
+
+TEST(Lint, Apl003FiresOnUndefinedPredicate) {
+  LintReport rep = lint("v(X) :- w(X).\n");
+  EXPECT_EQ(rep.sink.count_code("APL003"), 1u);
+  // Library predicates are not "undefined".
+  LintReport ok = lint("v(X, Y) :- append(X, [1], Y).\n");
+  EXPECT_EQ(ok.sink.count_code("APL003"), 0u);
+}
+
+TEST(Lint, Apl004FiresOnPossiblyNonGroundArithmetic) {
+  LintOptions opts;
+  opts.entries = {"top(R)."};
+  LintReport rep = lint(
+      "c(X, Y) :- Y is X + 1.\n"
+      "top(R) :- c(_In, R).\n",
+      opts);
+  EXPECT_GE(rep.sink.count_code("APL004"), 1u);
+  // Same predicate under a ground call is clean.
+  LintOptions ground;
+  ground.entries = {"c(3, R)."};
+  LintReport ok = lint("c(X, Y) :- Y is X + 1.\n", ground);
+  EXPECT_EQ(ok.sink.count_code("APL004"), 0u);
+}
+
+TEST(Lint, Apl005FiresOnUnreachableClause) {
+  LintReport rep = lint(
+      "g(_) :- !, t1.\n"
+      "g(0) :- t2.\n"
+      "t1.\nt2.\n");
+  EXPECT_EQ(rep.sink.count_code("APL005"), 1u);
+}
+
+TEST(Lint, Apl006OverlapIsPedanticOnly) {
+  const std::string src =
+      "o(1).\n"
+      "o(N) :- N > 0.\n";
+  LintReport quiet = lint(src);
+  EXPECT_EQ(quiet.sink.count_code("APL006"), 0u);
+  LintOptions opts;
+  opts.pedantic = true;
+  LintReport rep = lint(src, opts);
+  EXPECT_GE(rep.sink.count_code("APL006"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped workloads are lint-clean under their real queries.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, AllWorkloadsAreCleanUnderTheirQueries) {
+  for (const Workload& w : workloads()) {
+    LintOptions opts;
+    opts.entries = {w.query, w.small_query};
+    SymbolTable syms;
+    LintReport rep = lint_program(syms, w.source, opts);
+    EXPECT_EQ(rep.warnings(), 0u) << w.name << ": " << rep.sink.to_text();
+    EXPECT_EQ(rep.errors(), 0u) << w.name << ": " << rep.sink.to_text();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Renderer round-trip: parse -> render -> parse is the identity on clause
+// templates (modulo a variable-slot bijection) for every workload program.
+// ---------------------------------------------------------------------------
+
+bool cells_equal(const TermTemplate& ta, Cell a, const TermTemplate& tb,
+                 Cell b, std::map<std::uint32_t, std::uint32_t>& vmap) {
+  if (a.tag() != b.tag()) return false;
+  switch (a.tag()) {
+    case Tag::Atm:
+      return a.symbol() == b.symbol();
+    case Tag::Int:
+      return a.integer() == b.integer();
+    case Tag::VarSlot: {
+      auto [it, inserted] = vmap.emplace(a.var_slot(), b.var_slot());
+      return it->second == b.var_slot();
+    }
+    case Tag::Lst: {
+      const Cell ha = ta.cells[a.ref()];
+      const Cell aa = ta.cells[a.ref() + 1];
+      const Cell hb = tb.cells[b.ref()];
+      const Cell ab = tb.cells[b.ref() + 1];
+      return cells_equal(ta, ha, tb, hb, vmap) &&
+             cells_equal(ta, aa, tb, ab, vmap);
+    }
+    case Tag::Str: {
+      const Cell fa = ta.cells[a.ref()];
+      const Cell fb = tb.cells[b.ref()];
+      if (fa.fun_symbol() != fb.fun_symbol() ||
+          fa.fun_arity() != fb.fun_arity()) {
+        return false;
+      }
+      for (unsigned i = 1; i <= fa.fun_arity(); ++i) {
+        if (!cells_equal(ta, ta.cells[a.ref() + i], tb,
+                         tb.cells[b.ref() + i], vmap)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;  // Ref/Fun never appear as template roots
+  }
+}
+
+bool templates_equal(const TermTemplate& a, const TermTemplate& b) {
+  std::map<std::uint32_t, std::uint32_t> vmap;
+  return a.nvars == b.nvars && cells_equal(a, a.root, b, b.root, vmap);
+}
+
+TEST(Render, ParseRenderParseIsIdentityOnWorkloads) {
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    std::vector<TermTemplate> orig = parse_program(syms, w.source);
+    std::string rendered;
+    for (const TermTemplate& t : orig) {
+      rendered += render_clause(syms, t);
+      rendered += ".\n";
+    }
+    std::vector<TermTemplate> back = parse_program(syms, rendered);
+    ASSERT_EQ(back.size(), orig.size()) << w.name << "\n" << rendered;
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_TRUE(templates_equal(orig[i], back[i]))
+          << w.name << " clause " << i << ":\n  rendered as: "
+          << render_clause(syms, orig[i]) << "\n  reparsed as: "
+          << render_clause(syms, back[i]);
+    }
+  }
+}
+
+TEST(Render, TrickyOperatorTermsRoundTrip) {
+  const char* cases[] = {
+      "a :- b, (c -> d ; e).",
+      "a :- (b ; c), d.",
+      "p(X) :- X = (1, 2).",
+      "p(X) :- X = [a, (b, c) | T], q(T).",
+      "p :- q(- 1 + 2, -(3), - X), r(X).",
+      "p(X, Y) :- Y is -X + (2 - 3) - 4, q(X).",
+      "p :- a = (:-), b = (&), c = [;].",
+      "p :- \\+ (a, b).",
+      "p(X) :- q((a :- b), X).",
+      "p :- a & (b, c) & (d ; e).",
+      "p(X) :- X = f(- 1), Y = - (2 + 3), q(Y).",
+      "p(X) :- X = '{}'(a), Y = {a, b}, q(Y).",
+  };
+  for (const char* src : cases) {
+    SymbolTable syms;
+    std::vector<TermTemplate> orig = parse_program(syms, src);
+    ASSERT_EQ(orig.size(), 1u) << src;
+    std::string rendered = render_clause(syms, orig[0]) + ".";
+    std::vector<TermTemplate> back = parse_program(syms, rendered);
+    ASSERT_EQ(back.size(), 1u) << src << " => " << rendered;
+    EXPECT_TRUE(templates_equal(orig[0], back[0]))
+        << src << " => " << rendered;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Annotator round-trip: annotated output must re-parse, and annotating an
+// already-annotated program is a fixpoint (catches lost parentheses).
+// ---------------------------------------------------------------------------
+
+TEST(Render, AnnotateOutputReparsesAndIsIdempotent) {
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    std::string once = annotate_program(syms, w.source);
+    std::vector<TermTemplate> reparsed = parse_program(syms, once);
+    std::vector<TermTemplate> orig = parse_program(syms, w.source);
+    ASSERT_EQ(reparsed.size(), orig.size()) << w.name << "\n" << once;
+    std::string twice = annotate_program(syms, once);
+    EXPECT_EQ(once, twice) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace ace

@@ -133,7 +133,9 @@ TEST_P(StatsInvariants, CountersAreConsistent) {
   // Bindings happen before they can be undone (range unwinds may untrail
   // the same entry more than once — by design, unbinding is idempotent —
   // but only after at least one binding existed).
-  if (r.stats.untrail_ops > 0) EXPECT_GT(r.stats.trail_entries, 0u);
+  if (r.stats.untrail_ops > 0) {
+    EXPECT_GT(r.stats.trail_entries, 0u);
+  }
   // Every slot completion stems from a fetch, a steal, the creator's own
   // first slot, an LPCO merge, a recomputation, or an outside-backtracking
   // resume of the target slot.

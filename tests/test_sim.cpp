@@ -45,8 +45,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DetCase{"queens1", EngineKind::Orp, 4, false},
                       DetCase{"queens1", EngineKind::Orp, 4, true},
                       DetCase{"members", EngineKind::Orp, 8, true}),
-    [](const ::testing::TestParamInfo<DetCase>& info) {
-      const DetCase& c = info.param;
+    [](const ::testing::TestParamInfo<DetCase>& pinfo) {
+      const DetCase& c = pinfo.param;
       std::string s = c.workload;
       s += c.engine == EngineKind::Andp ? "_andp" : "_orp";
       s += "_a" + std::to_string(c.agents);

@@ -1,0 +1,252 @@
+// Static-facts runtime wiring: check elision preserves solutions and only
+// removes charges, facts invalidate on mutation, and the predict-vs-observe
+// harness — analyzer verdicts (groundness, determinacy, parallel safety)
+// checked against what actually happens at runtime for every workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "analysis/determinacy.hpp"
+#include "analysis/static_facts.hpp"
+#include "builtins/lib.hpp"
+#include "db/database.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// The facts pass itself.
+// ---------------------------------------------------------------------------
+
+TEST(StaticFacts, ComputesAndStoresBits) {
+  Database db;
+  db.consult(
+      "f(0, 1) :- !.\n"
+      "f(N, V) :- N1 is N - 1, f(N1, V1), V is V1 + N.\n"
+      "gen(1).\ngen(2).\ngen(N) :- N > 2.\n"
+      "chain(0).\nchain(N) :- N > 0, N1 is N - 1, chain(N1).\n");
+  StaticFactsReport rep = compute_static_facts(db);
+  EXPECT_GT(rep.preds_analyzed, 0u);
+
+  SymbolTable& syms = db.syms();
+  const Predicate* f = db.find(syms.intern("f"), 2);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->fact(StaticFacts::kDet));
+  EXPECT_TRUE(f->fact(StaticFacts::kGroundOnSuccess));
+
+  // gen/1 has disjoint *head constants* (gen(1) / gen(2) / gen(N) :- N > 2)
+  // but a free call gen(X) succeeds through all three clauses: the
+  // exclusivity evidence is index-dependent, so it must earn kDetIndexed
+  // and not the mode-independent kDet.
+  const Predicate* gen = db.find(syms.intern("gen"), 1);
+  ASSERT_NE(gen, nullptr);
+  EXPECT_FALSE(gen->fact(StaticFacts::kDet));
+  EXPECT_TRUE(gen->fact(StaticFacts::kDetIndexed));
+
+  const Predicate* chain = db.find(syms.intern("chain"), 1);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(chain->fact(StaticFacts::kValid));
+}
+
+TEST(StaticFacts, MutationInvalidatesAndRecomputeRestores) {
+  Database db;
+  db.consult("f(0, 1) :- !.\nf(N, V) :- N > 0, V is N * 2.\n");
+  compute_static_facts(db);
+  SymbolTable& syms = db.syms();
+  const std::uint32_t fsym = syms.intern("f");
+  ASSERT_TRUE(db.find(fsym, 2)->fact(StaticFacts::kDet));
+
+  // assert(f(9, 9)) through the Database API clears the bits.
+  SymbolTable& s2 = db.syms();
+  TemplateBuilder b(s2);
+  Cell head = b.structure("f", {b.integer(9), b.integer(9)});
+  db.add_clause(b.finish(head));
+  EXPECT_FALSE(db.find(fsym, 2)->fact(StaticFacts::kValid));
+  EXPECT_FALSE(db.find(fsym, 2)->fact(StaticFacts::kDet));
+
+  // Re-running the pass reattaches (now without the det fact: the new
+  // fact f(9,9) overlaps the N > 0 clause).
+  compute_static_facts(db);
+  EXPECT_TRUE(db.find(fsym, 2)->fact(StaticFacts::kValid));
+  EXPECT_FALSE(db.find(fsym, 2)->fact(StaticFacts::kDet));
+  // Not even indexed: f(9, 9) overlaps the N > 0 clause for calls with a
+  // bound first argument too.
+  EXPECT_FALSE(db.find(fsym, 2)->fact(StaticFacts::kDetIndexed));
+}
+
+// ---------------------------------------------------------------------------
+// Elision semantics: identical solutions; with one agent (deterministic
+// schedule) the charged + elided checks exactly partition the baseline's.
+// ---------------------------------------------------------------------------
+
+TEST(StaticFacts, ElisionPreservesSolutionsAndPartitionsChecks) {
+  struct Case {
+    const char* name;
+    EngineKind engine;
+  };
+  const Case cases[] = {
+      {"map2", EngineKind::Andp},
+      {"occur", EngineKind::Andp},
+      {"takeuchi", EngineKind::Andp},
+      {"members", EngineKind::Orp},
+      {"queens1", EngineKind::Orp},
+  };
+  for (const Case& c : cases) {
+    for (unsigned agents : {1u, 5u}) {
+      RunConfig off;
+      off.engine = c.engine;
+      off.agents = agents;
+      if (c.engine == EngineKind::Andp) {
+        off.lpco = off.shallow = off.pdo = true;
+      } else {
+        off.lao = true;
+      }
+      RunConfig on = off;
+      on.static_facts = true;
+
+      RunOutcome base = run_small(c.name, off);
+      RunOutcome sf = run_small(c.name, on);
+      EXPECT_EQ(sorted(base.solutions), sorted(sf.solutions))
+          << c.name << " x" << agents;
+      EXPECT_EQ(base.stats.static_elisions, 0u) << c.name;
+      EXPECT_GT(sf.stats.static_elisions, 0u) << c.name << " x" << agents;
+      if (agents == 1) {
+        // Deterministic schedule: every baseline check is either still
+        // charged or counted as elided — nothing appears or disappears.
+        EXPECT_EQ(sf.stats.opt_checks + sf.stats.static_elisions,
+                  base.stats.opt_checks)
+            << c.name;
+        EXPECT_LE(sf.virtual_time, base.virtual_time) << c.name;
+      }
+    }
+  }
+}
+
+TEST(StaticFacts, FlagOffIsBitIdenticalToBaseline) {
+  // Same config twice, flag off: counters and time must match exactly
+  // (the static-facts plumbing must be invisible when disabled).
+  for (const char* name : {"map2", "members"}) {
+    RunConfig cfg;
+    cfg.engine = name == std::string("map2") ? EngineKind::Andp
+                                             : EngineKind::Orp;
+    cfg.agents = 5;
+    cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+    RunOutcome a = run_small(name, cfg);
+    RunOutcome b = run_small(name, cfg);
+    EXPECT_EQ(a.solutions, b.solutions) << name;
+    EXPECT_EQ(a.virtual_time, b.virtual_time) << name;
+    EXPECT_EQ(a.stats.opt_checks, b.stats.opt_checks) << name;
+    EXPECT_EQ(a.stats.static_elisions, 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predict vs observe: for every workload, run the analyzer on the real
+// query and check its verdicts against the runtime.
+// ---------------------------------------------------------------------------
+
+TEST(PredictVsObserve, GroundnessDeterminacyAndSafetyHoldAtRuntime) {
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    AbsProgram prog =
+        AbsProgram::from_source(syms, w.source, /*include_library=*/true);
+    AbstractInterpreter interp(prog, syms);
+    TermTemplate query = parse_term_text(syms, w.small_query);
+    AbsState exit_state(query.nvars);
+    SuccessSummary sum = interp.analyze_entry(query, &exit_state);
+    DeterminacyResult det = analyze_determinacy_program(prog, syms);
+
+    // Observe: run the workload's small query on the sequential engine.
+    RunConfig cfg;
+    cfg.engine = EngineKind::Seq;
+    RunOutcome obs = run_small(w.name, cfg);
+
+    // (1) If the analyzer says the query cannot succeed, it must not.
+    if (!sum.may_succeed) {
+      EXPECT_EQ(obs.num_solutions, 0u) << w.name;
+      continue;
+    }
+
+    // (2) Predicted-ground query variables are ground in every reported
+    // solution (unbound runtime variables print as _G<seg>_<off>).
+    bool all_ground = true;
+    for (std::uint32_t v = 0; v < query.nvars; ++v) {
+      if (exit_state.mode(v) != AbsMode::Ground) all_ground = false;
+    }
+    if (all_ground) {
+      for (const std::string& s : obs.solutions) {
+        EXPECT_EQ(s.find("_G"), std::string::npos)
+            << w.name << ": predicted-ground solution has a free var: " << s;
+      }
+    }
+
+    // (3) A determinacy fact on the query's predicate bounds the solution
+    // count by one. The strict fact covers any call; the indexed fact
+    // only covers calls whose first argument is ground, so it is checked
+    // only when the query supplies a variable-free term there (this
+    // distinction is load-bearing: maps(Cs) reaches free calls to a
+    // multi-clause color/1 and yields hundreds of solutions).
+    Cell root = query.root;
+    if (root.tag() == Tag::Str || root.tag() == Tag::Atm) {
+      std::uint32_t sym;
+      unsigned arity = 0;
+      if (root.tag() == Tag::Str) {
+        Cell f = query.cells[root.ref()];
+        sym = f.fun_symbol();
+        arity = f.fun_arity();
+      } else {
+        sym = root.symbol();
+      }
+      std::function<bool(Cell)> tmpl_ground = [&](Cell t) -> bool {
+        switch (t.tag()) {
+          case Tag::VarSlot:
+            return false;
+          case Tag::Lst:
+            return tmpl_ground(query.cells[t.ref()]) &&
+                   tmpl_ground(query.cells[t.ref() + 1]);
+          case Tag::Str: {
+            Cell f = query.cells[t.ref()];
+            for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+              if (!tmpl_ground(query.cells[t.ref() + i])) return false;
+            }
+            return true;
+          }
+          default:
+            return true;
+        }
+      };
+      const bool first_arg_ground =
+          arity > 0 && tmpl_ground(query.cells[root.ref() + 1]);
+      auto it = det.preds.find(pred_key(sym, arity));
+      if (it != det.preds.end() &&
+          (it->second.det ||
+           (it->second.det_indexed && first_arg_ground))) {
+        EXPECT_LE(obs.num_solutions, 1u) << w.name;
+      }
+    }
+
+    // (4) The workloads carry '&' annotations the linter verified safe
+    // (test_lint); observe: parallel execution agrees with sequential.
+    if (w.and_parallel) {
+      RunConfig par;
+      par.engine = EngineKind::Andp;
+      par.agents = 4;
+      par.lpco = par.shallow = par.pdo = true;
+      RunOutcome pobs = run_small(w.name, par);
+      EXPECT_EQ(sorted(obs.solutions), sorted(pobs.solutions)) << w.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ace

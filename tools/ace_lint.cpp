@@ -1,0 +1,133 @@
+// ace_lint: static-analysis linter for &-annotated programs — an
+// and-parallel "race detector" plus general hygiene checks.
+//
+//   ace_lint [options] file.pl...
+//
+//   --entry 'goal.'   entry query driving the sharing/groundness analysis
+//                     (repeatable; default: root predicates, ground args)
+//   --json            machine-readable diagnostics (one JSON object/file)
+//   --Werror          exit non-zero on warnings (for CI); also promotes
+//                     the reported severity
+//   --pedantic        include APL006 overlapping-clause notes
+//   --facts           print per-predicate static facts (det/no-choice/
+//                     lao-chain/ground-on-success)
+//
+// Exit status: 0 clean, 1 errors (or warnings with --Werror), 2 usage or
+// file/parse errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "support/strutil.hpp"
+
+using namespace ace;
+
+namespace {
+
+int lint_file(const char* path, const LintOptions& opts, bool json,
+              bool werror, bool facts) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  SymbolTable syms;
+  LintReport rep = lint_program(syms, ss.str(), opts);
+
+  if (json) {
+    std::printf(
+        "{\"file\":\"%s\",\"clauses\":%zu,\"summaries\":%zu,"
+        "\"warnings\":%zu,\"errors\":%zu,\"diagnostics\":%s}\n",
+        json_escape(path).c_str(), rep.num_clauses, rep.num_summaries,
+        rep.warnings(), rep.errors(), rep.sink.to_json().c_str());
+  } else {
+    for (const Diagnostic& d : rep.sink.all()) {
+      Severity sev = d.severity;
+      if (werror && sev == Severity::Warning) sev = Severity::Error;
+      std::printf("%s:%d:%d: %s: %s [%s%s%s]\n", path, d.span.line,
+                  d.span.col, severity_name(sev), d.message.c_str(),
+                  d.code.c_str(), d.predicate.empty() ? "" : " ",
+                  d.predicate.c_str());
+    }
+    std::fprintf(stderr,
+                 "%% %s: %zu clause(s), %zu summarie(s), %zu warning(s), "
+                 "%zu error(s)\n",
+                 path, rep.num_clauses, rep.num_summaries, rep.warnings(),
+                 rep.errors());
+  }
+
+  if (facts) {
+    AbsProgram prog =
+        AbsProgram::from_source(syms, ss.str(), /*include_library=*/false);
+    AbstractInterpreter interp(
+        AbsProgram::from_source(syms, ss.str(), /*include_library=*/true),
+        syms);
+    for (const auto& [pk, pa] : rep.det.preds) {
+      const auto sym = static_cast<std::uint32_t>(pk >> 12);
+      const auto arity = static_cast<unsigned>(pk & 0xFFF);
+      if (!prog.defines(sym, arity)) continue;  // program preds only
+      const bool gos = interp.ground_on_success_top(sym, arity);
+      std::printf("%% fact %s/%u: det=%d det_indexed=%d no_choice=%d "
+                  "lao_chain=%d ground_on_success=%d\n",
+                  syms.name(sym).c_str(), arity, pa.det ? 1 : 0,
+                  pa.det_indexed ? 1 : 0, pa.no_choice ? 1 : 0,
+                  pa.lao_chain ? 1 : 0, gos ? 1 : 0);
+    }
+  }
+
+  if (rep.errors() > 0) return 1;
+  if (werror && rep.warnings() > 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions opts;
+  bool json = false;
+  bool werror = false;
+  bool facts = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--entry") == 0 && i + 1 < argc) {
+      opts.entries.push_back(argv[++i]);
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(a, "--Werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(a, "--pedantic") == 0) {
+      opts.pedantic = true;
+    } else if (std::strcmp(a, "--facts") == 0) {
+      facts = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a);
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: ace_lint [--entry 'goal.'] [--json] [--Werror] "
+                 "[--pedantic] [--facts] <file.pl>...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const char* f : files) {
+    try {
+      rc = std::max(rc, lint_file(f, opts, json, werror, facts));
+    } catch (const AceError& e) {
+      std::fprintf(stderr, "%s: error: %s\n", f, e.what());
+      rc = 2;
+    }
+  }
+  return rc;
+}

@@ -7,6 +7,10 @@
 //   --engine seq|andp|orp      (default seq)
 //   --agents N                 (default 1)
 //   --lpco --shallow --pdo --lao --all-opts
+//   --static-facts             attach load-time analysis facts and elide
+//                              statically proven optimization checks
+//   --analyze                  lint the program before running (diagnostics
+//                              on stderr; the query still runs)
 //   --threads                  (andp only: real std::thread driver)
 //   --max-solutions N          (default: all for or-parallel corpus
 //                               queries, 1 otherwise)
@@ -27,6 +31,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/lint.hpp"
 #include "builtins/lib.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
@@ -47,6 +52,7 @@ std::string read_file(const std::string& path) {
                "usage: ace_run [--engine seq|andp|orp] [--agents N]\n"
                "               [--lpco] [--shallow] [--pdo] [--lao]"
                " [--all-opts]\n"
+               "               [--static-facts] [--analyze]\n"
                "               [--threads] [--max-solutions N] [--stats]"
                " [--limit N]\n"
                "               [--json] [--trace FILE]\n"
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool want_stats = false;
   bool want_json = false;
+  bool want_analyze = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -97,6 +104,10 @@ int main(int argc, char** argv) {
       cfg.lao = true;
     } else if (arg == "--all-opts") {
       cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+    } else if (arg == "--static-facts") {
+      cfg.static_facts = true;
+    } else if (arg == "--analyze") {
+      want_analyze = true;
     } else if (arg == "--threads") {
       cfg.use_threads = true;
     } else if (arg == "--max-solutions") {
@@ -125,9 +136,11 @@ int main(int argc, char** argv) {
   try {
     Database db;
     load_library(db);
+    std::string program_text;  // all consulted sources, for --analyze
     if (!workload_name.empty()) {
       const Workload& w = workload(workload_name);
       db.consult(w.source);
+      program_text = w.source;
       if (query.empty()) query = w.query;
       if (cfg.max_solutions == SIZE_MAX && !w.all_solutions) {
         cfg.max_solutions = 1;
@@ -140,7 +153,22 @@ int main(int argc, char** argv) {
         files.pop_back();
         if (files.empty() && query.find(".pl") != std::string::npos) usage();
       }
-      for (const std::string& f : files) db.consult(read_file(f));
+      for (const std::string& f : files) {
+        std::string src = read_file(f);
+        db.consult(src);
+        program_text += src;
+        program_text += "\n";
+      }
+    }
+
+    if (want_analyze) {
+      LintOptions lopts;
+      if (!query.empty()) lopts.entries.push_back(query);
+      LintReport rep = lint_program(db.syms(), program_text, lopts);
+      rep.sink.sort_by_location();
+      std::fprintf(stderr, "%s", rep.sink.to_text().c_str());
+      std::fprintf(stderr, "%% analyze: %zu warning(s), %zu error(s)\n",
+                   rep.warnings(), rep.errors());
     }
 
     const CostModel costs =

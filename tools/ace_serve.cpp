@@ -11,7 +11,7 @@
 //   [deadline=100 limit=500000] loop.
 //
 // Recognized per-line options: engine=seq|andp|orp, agents=N, lpco,
-// shallow, pdo, lao, all-opts, threads, max=N (solution cap),
+// shallow, pdo, lao, all-opts, sfacts, threads, max=N (solution cap),
 // deadline=MILLIS, limit=N (resolution budget).
 //
 // Service options:
@@ -25,6 +25,9 @@
 //                         rejects when feeding from a file)
 //   --quiet               suppress per-solution output
 //   --metrics             print the serving-metrics JSON on exit
+//   --analyze             lint the loaded program (diagnostics on stderr;
+//                         warning/error counts appear in --metrics JSON)
+//   --static-facts        default every query to static-fact check elision
 //   --v1                  PR-1 text output ("=== id=... outcome=...")
 //   --trace FILE          record the full request path (service, dispatch,
 //                         session and agent tracks) and write a Chrome
@@ -45,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "builtins/lib.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
@@ -65,7 +69,8 @@ std::string read_file(const std::string& path) {
   std::fprintf(stderr,
                "usage: ace_serve [--service-threads N] [--queue N] [--pool N]\n"
                "                 [--deadline MILLIS] [--limit N] [--window N]\n"
-               "                 [--quiet] [--metrics] [--v1]\n"
+               "                 [--quiet] [--metrics] [--v1]"
+               " [--analyze] [--static-facts]\n"
                "                 [--trace FILE] [--slowlog-ms N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
                "queries on stdin, one per line:\n"
@@ -115,6 +120,8 @@ bool parse_line_options(std::string& line, ace::QueryRequest& req) {
     } else if (key == "all-opts") {
       req.engine.lpco = req.engine.shallow = true;
       req.engine.pdo = req.engine.lao = true;
+    } else if (key == "sfacts") {
+      req.engine.static_facts = true;
     } else if (key == "threads") {
       req.engine.use_threads = true;
     } else if (key == "max") {
@@ -165,6 +172,8 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool want_metrics = false;
   bool v1 = false;
+  bool want_analyze = false;
+  bool default_sfacts = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -190,6 +199,10 @@ int main(int argc, char** argv) {
       want_metrics = true;
     } else if (arg == "--v1") {
       v1 = true;
+    } else if (arg == "--analyze") {
+      want_analyze = true;
+    } else if (arg == "--static-facts") {
+      default_sfacts = true;
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -216,12 +229,28 @@ int main(int argc, char** argv) {
   try {
     Database db;
     load_library(db);
+    std::string program_text;
     if (!workload_name.empty()) {
       db.consult(workload(workload_name).source);
+      program_text = workload(workload_name).source;
     }
-    for (const std::string& f : files) db.consult(read_file(f));
+    for (const std::string& f : files) {
+      std::string src = read_file(f);
+      db.consult(src);
+      program_text += src;
+      program_text += "\n";
+    }
 
     QueryService service(db, sopts);
+
+    if (want_analyze) {
+      LintReport rep = lint_program(db.syms(), program_text);
+      rep.sink.sort_by_location();
+      std::fprintf(stderr, "%s", rep.sink.to_text().c_str());
+      std::fprintf(stderr, "%% analyze: %zu warning(s), %zu error(s)\n",
+                   rep.warnings(), rep.errors());
+      service.set_lint_counts(rep.warnings(), rep.errors());
+    }
 
     // Closed-loop feed: keep at most `window` queries in flight so piping a
     // large file does not bounce off the admission queue that exists to
@@ -260,6 +289,7 @@ int main(int argc, char** argv) {
       if (pos == std::string::npos) continue;    // blank
       if (line[pos] == '%') continue;            // comment
       req.query = line.substr(pos);
+      if (default_sfacts) req.engine.static_facts = true;
       if (inflight.size() >= window) drain_one();
       InFlight f;
       f.text = req.query;
