@@ -1,0 +1,182 @@
+// bench_attrib: the attribution/perf-trajectory benchmark behind
+// BENCH_attrib.json.
+//
+// Runs every corpus workload (and-parallel ones on the andp engine with all
+// optimization schemas, or-parallel ones on the orp engine with LAO) at 1, 5
+// and 10 agents and prints, per run:
+//
+//   * a human-readable table row (virtual time, relative speedup, overhead
+//     and idle percentages of the agents*makespan budget), and
+//   * one machine-readable `ATTRIB key=value ...` line with the full
+//     per-category attribution, the schema-savings estimate and the
+//     optimization trigger/elision counters.
+//
+// The ATTRIB lines are the wire format of the bench pipeline:
+//
+//   bench_attrib | bench_to_json > BENCH_attrib.json
+//   scripts/check_bench_regression.py BENCH_attrib.json new.json
+//
+// Virtual times come from the deterministic simulator, so two builds of the
+// same source produce byte-identical ATTRIB lines; any diff the regression
+// gate sees is a real behavior change.
+//
+//   --quick      use each workload's reduced test query (CI smoke)
+//   --agents-list A,B,C   override the 1,5,10 ladder
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/attrib.hpp"
+#include "stats/speedup.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace ace;
+
+std::vector<unsigned> parse_agents_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
+struct RunRecord {
+  std::string name;
+  const char* engine;
+  unsigned agents;
+  std::uint64_t vt;
+  double speedup;  // vs the 1-agent rung of the same workload
+  SpeedupReport report;
+  Counters stats;
+};
+
+std::string attrib_line(const RunRecord& r) {
+  std::string out = strf("ATTRIB name=%s engine=%s agents=%u vt=%llu "
+                         "speedup=%.4f work=%llu overhead=%llu "
+                         "idle_charged=%llu idle_tail=%llu",
+                         r.name.c_str(), r.engine, r.agents,
+                         (unsigned long long)r.vt, r.speedup,
+                         (unsigned long long)r.report.work,
+                         (unsigned long long)r.report.overhead,
+                         (unsigned long long)r.report.idle_charged,
+                         (unsigned long long)r.report.idle_tail);
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    out += strf(" cat.%s=%llu", cost_cat_name(static_cast<CostCat>(i)),
+                (unsigned long long)r.report.attrib.at[i]);
+  }
+  const SchemaSavings& sv = r.report.savings;
+  out += strf(" save.flattening=%llu save.procrastination=%llu"
+              " save.sequentialization=%llu save.static_elision=%llu",
+              (unsigned long long)sv.flattening,
+              (unsigned long long)sv.procrastination,
+              (unsigned long long)sv.sequentialization,
+              (unsigned long long)sv.static_elision);
+  out += strf(" elide.opt_checks=%llu elide.lpco_merges=%llu"
+              " elide.shallow_skipped_markers=%llu elide.pdo_merges=%llu"
+              " elide.lao_reuses=%llu elide.static_elisions=%llu",
+              (unsigned long long)r.stats.opt_checks,
+              (unsigned long long)r.stats.lpco_merges,
+              (unsigned long long)r.stats.shallow_skipped_markers,
+              (unsigned long long)r.stats.pdo_merges,
+              (unsigned long long)r.stats.lao_reuses,
+              (unsigned long long)r.stats.static_elisions);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<unsigned> agents_list = {1, 5, 10};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--agents-list" && i + 1 < argc) {
+      agents_list = parse_agents_list(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_attrib [--quick] [--agents-list 1,5,10]\n");
+      return 2;
+    }
+  }
+  if (agents_list.empty()) agents_list = {1, 5, 10};
+
+  std::printf("==============================================================\n");
+  std::printf("Overhead attribution across the workload corpus\n");
+  std::printf("Cells: virtual time (relative speedup | overhead%% | idle%%)\n");
+  std::printf("and-parallel: andp + LPCO/SHALLOW/PDO/LAO; or-parallel: orp + "
+              "LAO%s\n\n",
+              quick ? "; quick (reduced) queries" : "");
+
+  std::vector<std::string> header{"workload"};
+  for (unsigned a : agents_list) {
+    header.push_back(strf("%u agent%s", a, a == 1 ? "" : "s"));
+  }
+  TextTable table(header);
+
+  std::vector<RunRecord> records;
+  for (const Workload& w : workloads()) {
+    RunConfig cfg;
+    cfg.engine = w.and_parallel ? EngineKind::Andp : EngineKind::Orp;
+    if (w.and_parallel) {
+      cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+    } else {
+      cfg.lao = true;
+    }
+    if (!w.all_solutions) cfg.max_solutions = 1;
+    const std::string& q = quick ? w.small_query : w.query;
+
+    std::vector<std::string> cells{w.name};
+    std::uint64_t vt1 = 0;
+    for (unsigned agents : agents_list) {
+      cfg.agents = agents;
+      RunOutcome out = run_workload(w, cfg, q);
+
+      SolveResult synth;  // analyze_speedup consumes a SolveResult shape
+      synth.virtual_time = out.virtual_time;
+      synth.stats = out.stats;
+      synth.attrib = out.attrib;
+      synth.agent_clocks = out.agent_clocks;
+      synth.savings = out.savings;
+      SpeedupReport rep = analyze_speedup(synth, agents);
+
+      if (vt1 == 0) vt1 = out.virtual_time;
+      double speedup =
+          out.virtual_time == 0 ? 0.0 : double(vt1) / double(out.virtual_time);
+      std::uint64_t budget = std::uint64_t{agents} * rep.makespan;
+      auto pct = [&](std::uint64_t v) {
+        return budget == 0 ? 0.0 : 100.0 * double(v) / double(budget);
+      };
+      cells.push_back(strf("%llu (%.2fx|%.1f%%|%.1f%%)",
+                           (unsigned long long)out.virtual_time, speedup,
+                           pct(rep.overhead),
+                           pct(rep.idle_charged + rep.idle_tail)));
+
+      RunRecord rec;
+      rec.name = w.name;
+      rec.engine = w.and_parallel ? "andp" : "orp";
+      rec.agents = agents;
+      rec.vt = out.virtual_time;
+      rec.speedup = speedup;
+      rec.report = rep;
+      rec.stats = out.stats;
+      records.push_back(std::move(rec));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  for (const RunRecord& r : records) {
+    std::printf("%s\n", attrib_line(r).c_str());
+  }
+  return 0;
+}

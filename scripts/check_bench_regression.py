@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Virtual-time regression gate for the bench_attrib pipeline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CANDIDATE.json [--tolerance 0.05]
+
+Compares two BENCH_attrib.json documents (bench_attrib | bench_to_json) run
+for run, keyed by (name, engine, agents). A run REGRESSES when its candidate
+virtual time exceeds the baseline by more than the tolerance (default 5%).
+Improvements and new runs are reported but never fail the gate; a run that
+disappears from the candidate fails it (a silently dropped workload is how
+regressions hide).
+
+The simulator is deterministic, so on an unchanged engine the two documents
+are identical and this script is a no-op that prints one OK line per run
+set. Exit codes: 0 ok, 1 regression/missing run, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        print(f"error: {path}: no runs[] array", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for r in runs:
+        try:
+            key = (r["name"], r["engine"], int(r["agents"]))
+            out[key] = r
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"error: {path}: malformed run {r!r}: {e}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional virtual-time increase "
+                         "(default 0.05 = 5%%)")
+    args = ap.parse_args()
+
+    base = load_runs(args.baseline)
+    cand = load_runs(args.candidate)
+
+    regressions = []
+    improvements = 0
+    unchanged = 0
+    for key, b in sorted(base.items()):
+        c = cand.get(key)
+        name = f"{key[0]}/{key[1]}@{key[2]}"
+        if c is None:
+            regressions.append(f"{name}: missing from candidate")
+            continue
+        bvt = int(b["virtual_time"])
+        cvt = int(c["virtual_time"])
+        if bvt == 0:
+            continue
+        delta = (cvt - bvt) / bvt
+        if delta > args.tolerance:
+            regressions.append(
+                f"{name}: virtual time {bvt} -> {cvt} (+{100 * delta:.2f}%, "
+                f"tolerance {100 * args.tolerance:.1f}%)")
+        elif cvt < bvt:
+            improvements += 1
+            print(f"ok: {name}: improved {bvt} -> {cvt} "
+                  f"({100 * delta:.2f}%)")
+        else:
+            unchanged += 1
+
+    new_runs = sorted(set(cand) - set(base))
+    for key in new_runs:
+        print(f"note: new run {key[0]}/{key[1]}@{key[2]} "
+              f"(no baseline; not gated)")
+
+    print(f"checked {len(base)} baseline runs: {unchanged} unchanged, "
+          f"{improvements} improved, {len(regressions)} regressed, "
+          f"{len(new_runs)} new")
+    if regressions:
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

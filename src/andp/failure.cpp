@@ -28,8 +28,8 @@ void Worker::unwind_parcall(std::uint32_t pf_id) {
     par_->failing_count.fetch_sub(1, std::memory_order_acq_rel);
   }
   pf.state = PfState::Dead;
-  charge(costs_.pf_teardown);
-  charge(costs_.pf_scan_slot * pf.slots.size());
+  charge(CostCat::kParcall, costs_.pf_teardown);
+  charge(CostCat::kParcall, costs_.pf_scan_slot * pf.slots.size());
   for (std::uint32_t i = 0; i < pf.slots.size(); ++i) {
     if (pf.slots[i].state == SlotState::Dead) continue;
     unwind_slot(pf_id, i);
@@ -48,7 +48,7 @@ void Worker::slot_initial_failure() {
   Slot& s = pf.slots[slot_idx];
 
   ++stats_.slot_failures;
-  charge(costs_.kill_slot);
+  charge(CostCat::kParcall, costs_.kill_slot);
   trace(TraceEvent::SlotFail, pf_id, slot_idx);
 
   close_current_part();
@@ -89,7 +89,7 @@ void Worker::fail_wait_step() {
   if (outer != kNoPf) {
     failing_pf_ = kNoPf;
     mode_ = Mode::Idle;
-    charge(costs_.idle_tick);
+    charge(CostCat::kIdle, costs_.idle_tick);
     return;
   }
 
@@ -97,7 +97,7 @@ void Worker::fail_wait_step() {
   // parcalls included) to acknowledge the kill.
   if (subtree_has_executing(failing_pf_)) {
     ++stats_.idle_ticks;
-    charge(costs_.idle_tick);
+    charge(CostCat::kIdle, costs_.idle_tick);
     return;
   }
   finish_parcall_failure();
@@ -112,7 +112,7 @@ void Worker::finish_parcall_failure() {
     if (pf.slots[i].state == SlotState::Dead) continue;
     unwind_slot(pf_id, i);
     pf.slots[i].state = SlotState::Dead;
-    charge(costs_.kill_slot);
+    charge(CostCat::kParcall, costs_.kill_slot);
   }
   {
     std::lock_guard<std::mutex> lock(pf.mu);
@@ -163,7 +163,7 @@ bool Worker::check_cancellation() {
   // Abandon every held context that lies inside the failing subtree:
   // the current slot, then (via the waiting stack) the suspended slots
   // around the parcalls we own.
-  charge(costs_.kill_slot);
+  charge(CostCat::kParcall, costs_.kill_slot);
   for (;;) {
     if (cur_pf_ != kNoPf) {
       if (!par_->in_subtree(cur_pf_, f)) break;
@@ -239,7 +239,7 @@ void Worker::undo_continuation(Parcall& pf) {
                                ? thi - pf.cont_trail_mark : 0;
     untrail_range(store_, ca.trail_, pf.cont_trail_mark, thi);
     stats_.untrail_ops += undone;
-    charge(undone * costs_.untrail_entry);
+    charge(CostCat::kBacktrack, undone * costs_.untrail_entry);
   }
 }
 
@@ -277,12 +277,12 @@ void Worker::reentry_wait_step() {
   if (outer != kNoPf) {
     reentry_pf_ = kNoPf;
     mode_ = Mode::Idle;
-    charge(costs_.idle_tick);
+    charge(CostCat::kIdle, costs_.idle_tick);
     return;
   }
   if (subtree_has_executing(reentry_pf_)) {
     ++stats_.idle_ticks;
-    charge(costs_.idle_tick);
+    charge(CostCat::kIdle, costs_.idle_tick);
     return;
   }
   std::uint32_t pf_id = reentry_pf_;
@@ -304,7 +304,7 @@ void Worker::outside_backtrack_resume(std::uint32_t pf_id) {
   std::uint32_t target = kNoSlot;
   std::uint32_t it = pf.order_tail;
   while (it != kNoSlot) {
-    charge(costs_.pf_scan_slot);
+    charge(CostCat::kParcall, costs_.pf_scan_slot);
     Slot& s = pf.slots[it];
     if (s.state == SlotState::Succeeded && s.newest_bt != kNoRef) {
       target = it;
@@ -392,7 +392,7 @@ void Worker::outside_backtrack_resume(std::uint32_t pf_id) {
   ACE_CHECK(frame(resume_at).kind == FrameKind::Parcall);
   cur_pf_ = pf_id;
   cur_slot_ = target;
-  charge(costs_.marker_bt);
+  charge(CostCat::kMarker, costs_.marker_bt);
   parcall_outside_backtrack(frame(resume_at).pf_id);
 }
 
@@ -500,7 +500,7 @@ void Worker::idle_step() {
 
   // 4. Nothing to do.
   ++stats_.idle_ticks;
-  charge(costs_.idle_tick);
+  charge(CostCat::kIdle, costs_.idle_tick);
 }
 
 }  // namespace ace

@@ -129,7 +129,7 @@ void Worker::maybe_materialize_input_marker() {
   ctrl_.push_back(f);
   s.in_marker = make_ref(agent_, idx);
   ++stats_.input_markers;
-  charge(costs_.input_marker);
+  charge(CostCat::kMarker, costs_.input_marker);
   note_ctrl_alloc(kWordsInputMarker);
 }
 
@@ -217,7 +217,7 @@ void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
       ++stats_.static_elisions;
     } else {
       ++stats_.opt_checks;
-      charge(costs_.opt_check);
+      charge(CostCat::kOptCheck, costs_.opt_check);
     }
     if (lpco_try_merge(subgoals)) return;
   }
@@ -247,7 +247,7 @@ void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
   ctrl_.push_back(f);
   pf.frame = make_ref(agent_, idx);
   ++stats_.parcall_frames;
-  charge(costs_.parcall_frame);
+  charge(CostCat::kParcall, costs_.parcall_frame);
   note_ctrl_alloc(kWordsParcallFrame);
 
   for (std::size_t i = 0; i < subgoals.size(); ++i) {
@@ -256,7 +256,7 @@ void Worker::begin_parcall(Addr amp_goal, Ref cut_parent) {
     s.static_det = subgoal_det[i] != 0;
     pf.append_slot(std::move(s));
     ++stats_.parcall_slots;
-    charge(costs_.parcall_slot);
+    charge(CostCat::kParcall, costs_.parcall_slot);
     note_ctrl_alloc(kWordsParcallSlot);
   }
   pf.pending.store(static_cast<std::uint32_t>(subgoals.size()),
@@ -312,7 +312,7 @@ bool Worker::lpco_try_merge(const std::vector<Addr>& subgoals) {
       after = pf.insert_slot_after(std::move(s), after);
       if (first_new == kNoSlot) first_new = after;
       ++stats_.parcall_slots;
-      charge(costs_.parcall_slot);
+      charge(CostCat::kParcall, costs_.parcall_slot);
       note_ctrl_alloc(kWordsParcallSlot);
     }
     // The current slot completes here (deterministically — no end marker
@@ -328,7 +328,7 @@ bool Worker::lpco_try_merge(const std::vector<Addr>& subgoals) {
   cur2.state = SlotState::Succeeded;
   cur2.marker_pending = false;
   ++stats_.slot_completions;
-  charge(costs_.slot_complete);
+  charge(CostCat::kParcall, costs_.slot_complete);
 
   // Publish all new slots but the first; run the first ourselves.
   std::uint32_t slot_iter = parcall(cur_pf_).slots[first_new].order_next;
@@ -364,11 +364,11 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
   ACE_CHECK(s.state == SlotState::Executing && s.exec_agent == agent_);
   if (stolen) {
     ++stats_.steals;
-    charge(costs_.steal);
+    charge(CostCat::kSched, costs_.steal);
     trace(TraceEvent::Steal, pf_id, slot_idx);
   } else {
     ++stats_.fetches;
-    charge(costs_.fetch);
+    charge(CostCat::kSched, costs_.fetch);
   }
   trace(TraceEvent::SlotStart, pf_id, slot_idx);
 
@@ -386,7 +386,7 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
       ++stats_.static_elisions;
     } else {
       ++stats_.opt_checks;
-      charge(costs_.opt_check);
+      charge(CostCat::kOptCheck, costs_.opt_check);
     }
     pdo_merge = last_done_adjacent_ && last_done_pf_ == pf_id &&
                 s.order_prev == last_done_slot_ &&
@@ -414,7 +414,7 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
       ++stats_.static_elisions;
     } else {
       ++stats_.opt_checks;
-      charge(costs_.opt_check);
+      charge(CostCat::kOptCheck, costs_.opt_check);
     }
     s.marker_pending = true;
   } else {
@@ -427,7 +427,7 @@ void Worker::start_slot(std::uint32_t pf_id, std::uint32_t slot_idx,
     ctrl_.push_back(f);
     s.in_marker = make_ref(agent_, idx);
     ++stats_.input_markers;
-    charge(costs_.input_marker);
+    charge(CostCat::kMarker, costs_.input_marker);
     note_ctrl_alloc(kWordsInputMarker);
   }
 
@@ -454,7 +454,7 @@ void Worker::resolve_pending_end_marker(bool pdo_merge) {
   ctrl_.push_back(f);
   s.end_marker = make_ref(agent_, idx);
   ++stats_.end_markers;
-  charge(costs_.end_marker);
+  charge(CostCat::kMarker, costs_.end_marker);
   note_ctrl_alloc(kWordsEndMarker);
   // Keep the marker inside the slot's last section part so unwinding
   // reclaims it.
@@ -500,7 +500,7 @@ void Worker::complete_slot() {
   }
 
   ++stats_.slot_completions;
-  charge(costs_.slot_complete);
+  charge(CostCat::kParcall, costs_.slot_complete);
   trace(TraceEvent::SlotComplete, pf_id, slot_idx);
 
   std::vector<std::uint32_t> to_publish;
@@ -606,7 +606,7 @@ void Worker::resume_continuation(std::uint32_t pf_id) {
   } else {
     bt_ = pf.prev_bt;
   }
-  charge(costs_.slot_complete);
+  charge(CostCat::kParcall, costs_.slot_complete);
   last_done_adjacent_ = false;
   mode_ = Mode::Run;
 }

@@ -122,16 +122,16 @@ bool do_unify(Worker& w, Addr a, Addr b) {
   std::uint64_t mark = w.trail_.size();
   bool ok = unify(w.store_, w.trail_, a, b, &steps, w.opts_.occurs_check);
   w.stats_.unify_steps += steps;
-  w.charge(steps * w.costs_.unify_step);
+  w.charge(CostCat::kUnify, steps * w.costs_.unify_step);
   if (!ok) {
     std::uint64_t undone = w.trail_.size() - mark;
     untrail(w.store_, w.trail_, mark);
     w.stats_.untrail_ops += undone;
-    w.charge(undone * w.costs_.untrail_entry);
+    w.charge(CostCat::kUnify, undone * w.costs_.untrail_entry);
   } else {
     std::uint64_t added = w.trail_.size() - mark;
     w.stats_.trail_entries += added;
-    w.charge(added * w.costs_.trail_entry);
+    w.charge(CostCat::kUnify, added * w.costs_.trail_entry);
   }
   return ok;
 }
@@ -310,7 +310,7 @@ BuiltinResult do_retract(Worker& w, Addr goal) {
     std::uint64_t mark = w.trail_.size();
     Addr inst = instantiate(w.store_, w.seg(), cl.tmpl);
     w.stats_.heap_cells += cl.tmpl.instantiation_cost();
-    w.charge(cl.tmpl.instantiation_cost() * w.costs_.heap_cell);
+    w.charge(CostCat::kBuiltin, cl.tmpl.instantiation_cost() * w.costs_.heap_cell);
     Addr ch = struct_arg(w.store_, inst, 1);
     Addr cb = struct_arg(w.store_, inst, 2);
     bool ok = do_unify(w, head, ch) && (body == 0 || do_unify(w, body, cb));
@@ -381,7 +381,7 @@ BuiltinResult do_sort(Worker& w, Addr goal, bool dedup) {
                             }),
                 items.end());
   }
-  w.charge(items.size() * w.costs_.heap_cell * 3);
+  w.charge(CostCat::kBuiltin, items.size() * w.costs_.heap_cell * 3);
   Addr lst = heap_list(w.store_, w.seg(), items, w.syms_.known().nil);
   return bool_result(w.unify_charge(out, lst));
 }
@@ -407,11 +407,11 @@ BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
       bool ok = unify(store, w.trail_, arg(1), arg(2), &steps,
                       w.opts_.occurs_check);
       w.stats_.unify_steps += steps;
-      w.charge(steps * w.costs_.unify_step);
+      w.charge(CostCat::kUnify, steps * w.costs_.unify_step);
       std::uint64_t undone = w.trail_.size() - mark;
       untrail(store, w.trail_, mark);
       w.stats_.untrail_ops += undone;
-      w.charge(undone * w.costs_.untrail_entry);
+      w.charge(CostCat::kUnify, undone * w.costs_.untrail_entry);
       return bool_result(!ok);
     }
     case BuiltinId::TermEq:
@@ -483,7 +483,7 @@ BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
       std::uint64_t cells = 0;
       Addr copy = copy_term(store, w.seg(), arg(1), var_map, &cells);
       w.stats_.heap_cells += cells;
-      w.charge(cells * w.costs_.heap_cell);
+      w.charge(CostCat::kBuiltin, cells * w.costs_.heap_cell);
       return bool_result(do_unify(w, arg(2), copy));
     }
     case BuiltinId::Findall:

@@ -58,7 +58,7 @@ void Worker::backtrack_step() {
 
 void Worker::retry_choice_alternative(Ref cref) {
   ++stats_.cp_restores;
-  charge(costs_.cp_restore);
+  charge(CostCat::kBacktrack, costs_.cp_restore);
   // Candidate buckets, predicate generations and clause templates are read
   // below; hold the database shared lock so concurrently served
   // assert/retract (which rebuild buckets under the write lock) cannot race
@@ -227,7 +227,7 @@ void Worker::do_throw(Addr ball) {
     ACE_CHECK(f.kind == FrameKind::Choice);
     if (f.alt_kind == AltKind::Catch) {
       ++stats_.cp_restores;
-      charge(costs_.cp_restore);
+      charge(CostCat::kBacktrack, costs_.cp_restore);
       restore_choice(r);
       Frame snapshot = frame(r);
       bt_ = snapshot.prev_bt;
@@ -235,7 +235,7 @@ void Worker::do_throw(Addr ball) {
       pop_dead_suffix();
       Addr ball2 = instantiate(store_, seg(), tmpl);
       stats_.heap_cells += tmpl.instantiation_cost();
-      charge(tmpl.instantiation_cost() * costs_.heap_cell);
+      charge(CostCat::kUserWork, tmpl.instantiation_cost() * costs_.heap_cell);
       if (unify_charge(snapshot.call_goal, ball2)) {
         glist_ = push_goal(snapshot.alt_term, snapshot.cont,
                            snapshot.cut_parent);
@@ -264,7 +264,7 @@ void Worker::restore_choice(Ref cref) {
       Frame& dead = ctrl_[i];
       if (dead.kind != FrameKind::Dead) {
         ++stats_.backtrack_frames;
-        charge(costs_.backtrack_frame);
+        charge(CostCat::kBacktrack, costs_.backtrack_frame);
         note_ctrl_free(frame_words(dead.kind));
         dead.kind = FrameKind::Dead;
       }
@@ -328,7 +328,7 @@ void Worker::restore_choice(Ref cref) {
   std::uint64_t undone = thi > f.trail_mark ? thi - f.trail_mark : 0;
   untrail_range(store_, owner.trail_, f.trail_mark, thi);
   stats_.untrail_ops += undone;
-  charge(undone * costs_.untrail_entry);
+  charge(CostCat::kBacktrack, undone * costs_.untrail_entry);
   part.trail_hi = f.trail_mark;
   part.ctrl_hi = ref_index(cref) + 1;
   if (part.open && part.agent == agent_) {
@@ -361,9 +361,9 @@ void Worker::mark_frame_dead(Worker& owner_agent, std::uint32_t index) {
     }
   }
   ++stats_.backtrack_frames;
-  charge(costs_.backtrack_frame);
+  charge(CostCat::kBacktrack, costs_.backtrack_frame);
   if (kind == FrameKind::InMarker || kind == FrameKind::EndMarker) {
-    charge(costs_.marker_bt);
+    charge(CostCat::kMarker, costs_.marker_bt);
   }
   owner_agent.note_ctrl_free(frame_words(kind));
   if (kind == FrameKind::Parcall) {
@@ -428,7 +428,7 @@ void Worker::unwind_part_range(const SectionPart& part, std::uint32_t pf_id,
   std::uint64_t undone = thi > part.trail_lo ? thi - part.trail_lo : 0;
   untrail_range(store_, owner.trail_, part.trail_lo, thi);
   stats_.untrail_ops += undone;
-  charge(undone * costs_.untrail_entry);
+  charge(CostCat::kBacktrack, undone * costs_.untrail_entry);
 }
 
 void Worker::unwind_slot(std::uint32_t pf_id, std::uint32_t slot_idx) {

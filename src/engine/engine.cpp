@@ -32,6 +32,7 @@ std::string EngineConfig::describe() const {
   if (lao) flags += "+lao";
   if (occurs_check) flags += "+occ";
   if (static_facts) flags += "+sfacts";
+  if (attrib) flags += "+attrib";
   if (use_threads) flags += "+threads";
   if (resolution_limit != 0) {
     flags += strf("+limit=%llu", (unsigned long long)resolution_limit);

@@ -60,6 +60,10 @@ struct EngineConfig {
   // as Counters::static_elisions instead. Never changes control flow or
   // solutions — off by default so runs stay bit-identical.
   bool static_facts = false;
+  // Per-predicate attribution rows in SolveResult (hash-map upkeep per
+  // charge). Per-category attribution is always collected — it never
+  // changes virtual times, so this flag only controls the extra detail.
+  bool attrib = false;
   bool use_threads = false;            // Andp only: real std::thread driver
   std::uint64_t resolution_limit = 0;  // default per-query budget (0 = none)
 

@@ -24,13 +24,59 @@ Worker::Worker(unsigned agent, Store& store, Database& db, const Builtins& bi,
       builtins_(bi),
       costs_(costs),
       opts_(opts),
-      io_(io) {}
+      io_(io) {
+  attrib_reset();
+}
+
+namespace {
+// Map key for a predicate's attribution row; kEnginePred collects charges
+// made before any user dispatch (query setup, scheduling on worker agents).
+constexpr std::uint64_t kEnginePredKey = ~0ull;
+std::uint64_t pred_key(std::uint32_t sym, unsigned arity) {
+  return (static_cast<std::uint64_t>(sym) << 32) | arity;
+}
+}  // namespace
+
+void Worker::attrib_reset() {
+  pred_attrib_.clear();
+  cur_pred_attrib_ =
+      opts_.attrib ? &pred_attrib_[kEnginePredKey] : nullptr;
+}
+
+void Worker::attrib_set_pred(std::uint32_t sym, unsigned arity) {
+  // unordered_map values are node-based: the cached pointer stays valid
+  // across later insertions.
+  cur_pred_attrib_ = &pred_attrib_[pred_key(sym, arity)];
+}
+
+std::vector<PredAttrib> Worker::pred_attrib_rows() const {
+  std::vector<PredAttrib> rows;
+  rows.reserve(pred_attrib_.size());
+  for (const auto& [key, a] : pred_attrib_) {
+    if (a.total() == 0) continue;
+    PredAttrib row;
+    if (key == kEnginePredKey) {
+      row.pred = "<engine>";
+    } else {
+      row.pred = strf("%s/%u", syms_.name(static_cast<std::uint32_t>(key >> 32)).c_str(),
+                      static_cast<unsigned>(key & 0xffffffffu));
+    }
+    row.a = a;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const PredAttrib& x, const PredAttrib& y) {
+    std::uint64_t tx = x.a.total(), ty = y.a.total();
+    if (tx != ty) return tx > ty;
+    return x.pred < y.pred;
+  });
+  return rows;
+}
 
 void Worker::load_query(const TermTemplate& query) {
   query_ = &query;
   Addr root = instantiate(store_, seg(), query, &query_vars_);
   stats_.heap_cells += query.instantiation_cost();
-  charge(query.instantiation_cost() * costs_.heap_cell);
+  charge(CostCat::kUserWork, query.instantiation_cost() * costs_.heap_cell);
   glist_ = push_goal(root, kNoRef, kNoRef);
   bt_ = kNoRef;
   cur_pf_ = kNoPf;
@@ -44,7 +90,7 @@ Ref Worker::push_goal(Addr goal, Ref next, Ref cut_parent) {
   node.cut_parent = cut_parent;
   std::uint64_t idx = garena_.push_back(node);
   ++stats_.goal_nodes;
-  charge(costs_.goal_node);
+  charge(CostCat::kUserWork, costs_.goal_node);
   return make_ref(agent_, idx);
 }
 
@@ -53,22 +99,22 @@ bool Worker::unify_charge(Addr a, Addr b) {
   std::uint64_t mark = trail_.size();
   bool ok = unify(store_, trail_, a, b, &steps, opts_.occurs_check);
   stats_.unify_steps += steps;
-  charge(steps * costs_.unify_step);
+  charge(CostCat::kUnify, steps * costs_.unify_step);
   if (ok) {
     std::uint64_t added = trail_.size() - mark;
     stats_.trail_entries += added;
-    charge(added * costs_.trail_entry);
+    charge(CostCat::kUnify, added * costs_.trail_entry);
   } else {
-    untrail_charge(mark);
+    untrail_charge(mark, CostCat::kUnify);
   }
   return ok;
 }
 
-void Worker::untrail_charge(std::uint64_t mark) {
+void Worker::untrail_charge(std::uint64_t mark, CostCat cat) {
   std::uint64_t undone = trail_.size() - mark;
   untrail(store_, trail_, mark);
   stats_.untrail_ops += undone;
-  charge(undone * costs_.untrail_entry);
+  charge(cat, undone * costs_.untrail_entry);
 }
 
 void Worker::note_ctrl_alloc(std::uint64_t words) {
@@ -176,6 +222,8 @@ void Worker::reset_for_reuse() {
   nested_.clear();
   clock_ = 0;
   stats_ = Counters{};
+  attrib_.clear();
+  attrib_reset();
   query_ = nullptr;
   query_vars_.clear();
   private_cps_ = 0;

@@ -44,6 +44,8 @@ void QueryResult::absorb(SolveResult&& r) {
   output = std::move(r.output);
   stats = r.stats;
   virtual_time = r.virtual_time;
+  attrib = r.attrib;
+  savings = r.savings;
 }
 
 std::string QueryResult::to_json(bool include_stats,
@@ -75,7 +77,14 @@ std::string QueryResult::to_json(bool include_stats,
   if (trace_id != 0) {
     out += strf(",\"trace\":%llu", (unsigned long long)trace_id);
   }
-  if (include_stats) out += ",\"stats\":" + stats.to_json();
+  if (include_stats) {
+    out += ",\"stats\":" + stats.to_json();
+    out += strf(",\"vt\":%llu", (unsigned long long)virtual_time);
+    out += ",\"attrib\":" + attrib.to_json();
+    if (savings.total() > 0) {
+      out += ",\"schema_savings\":" + savings.to_json();
+    }
+  }
   out += "}";
   return out;
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/attrib.hpp"
 #include "stats/stats.hpp"
 #include "support/cancel.hpp"
 
@@ -31,6 +32,16 @@ struct SolveResult {
   Counters stats;           // aggregated over all agents
   std::vector<Counters> per_agent;  // one entry per agent (parallel engines)
   std::vector<std::uint64_t> agent_clocks;
+  // Virtual-time attribution (always on). Invariants: per-agent totals
+  // equal the agent clocks; `attrib` is the sum over agents (so its total
+  // is Σ agent_clocks, not the makespan).
+  AttribBreakdown attrib;
+  std::vector<AttribBreakdown> per_agent_attrib;
+  // Per-predicate rows per agent; empty unless EngineConfig::attrib.
+  std::vector<std::vector<PredAttrib>> per_agent_preds;
+  // Estimated per-schema savings derived from the optimization trigger
+  // counters and the cost model.
+  SchemaSavings savings;
   std::string output;  // text written by write/1
   // Why the run ended early (None = ran to completion / solution cap).
   // Cancelled and Deadline stops still return the solutions found so far.
@@ -66,6 +77,10 @@ struct QueryResult {
   std::string error;                   // set when outcome == Error
   Counters stats;                      // per-query delta (all agents)
   std::uint64_t virtual_time = 0;
+  // Per-category attribution summed over agents (total == Σ agent clocks)
+  // and the derived per-schema savings estimate.
+  AttribBreakdown attrib;
+  SchemaSavings savings;
   bool engine_reused = false;          // served by a warm pooled session
   std::chrono::microseconds queue_wait{0};
   std::chrono::microseconds latency{0};

@@ -42,7 +42,7 @@ void Worker::begin_nested(Addr template_term, Addr goal, Addr result_var) {
 void Worker::nested_solution() {
   NestedCtx& ctx = nested_.back();
   ctx.collected.push_back(term_to_template(store_, ctx.template_term));
-  charge(ctx.collected.back().cells.size() * costs_.heap_cell);
+  charge(CostCat::kBuiltin, ctx.collected.back().cells.size() * costs_.heap_cell);
   mode_ = Mode::Backtrack;  // enumerate the next solution
 }
 
@@ -67,7 +67,7 @@ void Worker::nested_exhausted() {
   for (const TermTemplate& tmpl : ctx.collected) {
     items.push_back(instantiate(store_, seg(), tmpl));
     stats_.heap_cells += tmpl.instantiation_cost();
-    charge(tmpl.instantiation_cost() * costs_.heap_cell);
+    charge(CostCat::kBuiltin, tmpl.instantiation_cost() * costs_.heap_cell);
   }
   Addr list = heap_list(store_, seg(), items, syms_.known().nil);
   stats_.heap_cells += 2 * items.size() + 1;

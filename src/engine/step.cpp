@@ -82,7 +82,7 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
             {heap_int(store_, seg(),
                       static_cast<std::int64_t>(ite))});
         stats_.heap_cells += 4;
-        charge(4 * costs_.heap_cell);
+        charge(CostCat::kUserWork, 4 * costs_.heap_cell);
         Ref then_ref = push_goal(then, glist_, cut_parent);
         Ref commit_ref = push_goal(commit, then_ref, cut_parent);
         // Cut inside the condition is local to the condition: its barrier
@@ -107,7 +107,7 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
         heap_struct(store_, seg(), builtins_.ite_commit_sym(),
                     {heap_int(store_, seg(), static_cast<std::int64_t>(ite))});
     stats_.heap_cells += 5;
-    charge(5 * costs_.heap_cell);
+    charge(CostCat::kUserWork, 5 * costs_.heap_cell);
     Ref then_ref = push_goal(g.args + 1, glist_, cut_parent);
     Ref commit_ref = push_goal(commit, then_ref, cut_parent);
     glist_ = push_goal(g.args + 0, commit_ref, ite);
@@ -115,13 +115,13 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
   }
   if (g.arity == 0 && g.sym == k.cut) {
     stats_.builtin_calls++;
-    charge(costs_.builtin);
+    charge(CostCat::kBuiltin, costs_.builtin);
     do_cut(cut_parent);
     return;
   }
   if (g.arity == 1 && g.sym == k.call) {
     stats_.builtin_calls++;
-    charge(costs_.builtin);
+    charge(CostCat::kBuiltin, costs_.builtin);
     // call/1 is opaque to cut: the inner goal's barrier is the current bt.
     glist_ = push_goal(g.args + 0, glist_, bt_);
     return;
@@ -129,7 +129,7 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
   if (g.arity >= 2 && g.arity <= 8 && g.sym == k.call) {
     // call/N: apply the closure in arg 1 to the remaining arguments.
     stats_.builtin_calls++;
-    charge(costs_.builtin);
+    charge(CostCat::kBuiltin, costs_.builtin);
     Addr closure = deref(store_, g.args + 0);
     Cell cc = store_.get(closure);
     std::uint32_t fsym;
@@ -150,14 +150,14 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
     Addr built = args.empty() ? heap_atom(store_, seg(), fsym)
                               : heap_struct(store_, seg(), fsym, args);
     stats_.heap_cells += extra;
-    charge(extra * costs_.heap_cell);
+    charge(CostCat::kUserWork, extra * costs_.heap_cell);
     glist_ = push_goal(built, glist_, bt_);
     return;
   }
   if (g.arity == 1 && g.sym == k.naf) {
     // \+ G  ==  (G -> fail ; true)
     stats_.builtin_calls++;
-    charge(costs_.builtin);
+    charge(CostCat::kBuiltin, costs_.builtin);
     Addr alt = heap_atom(store_, seg(), k.truesym);
     Ref ite = push_choice_term(alt, cut_parent, AltKind::IteElse);
     Addr commit =
@@ -165,7 +165,7 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
                     {heap_int(store_, seg(), static_cast<std::int64_t>(ite))});
     Addr failatom = heap_atom(store_, seg(), k.fail);
     stats_.heap_cells += 6;
-    charge(6 * costs_.heap_cell);
+    charge(CostCat::kUserWork, 6 * costs_.heap_cell);
     Ref fail_ref = push_goal(failatom, glist_, cut_parent);
     Ref commit_ref = push_goal(commit, fail_ref, cut_parent);
     glist_ = push_goal(g.args + 0, commit_ref, ite);
@@ -175,7 +175,7 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
   // ---- Builtins ----
   if (auto id = builtins_.lookup(g.sym, g.arity)) {
     stats_.builtin_calls++;
-    charge(costs_.builtin);
+    charge(CostCat::kBuiltin, costs_.builtin);
     switch (exec_builtin(*this, *id, goal, glist_, cut_parent)) {
       case BuiltinResult::Ok:
         return;
@@ -194,7 +194,8 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
 
 void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
   ++stats_.resolutions;
-  charge(costs_.call_dispatch);
+  attrib_note_dispatch(sym, arity);  // dispatch cost bills to the callee
+  charge(CostCat::kClauseLookup, costs_.call_dispatch);
   if (opts_.resolution_limit != 0 &&
       stats_.resolutions > opts_.resolution_limit) {
     // Generalized stop protocol: the resolution budget funnels through the
@@ -245,7 +246,7 @@ bool Worker::try_clause(const Predicate& pred, std::uint32_t ordinal,
   const Clause& clause = pred.clause(ordinal);
   Addr inst = instantiate(store_, seg(), clause.tmpl);
   stats_.heap_cells += clause.tmpl.instantiation_cost();
-  charge(clause.tmpl.instantiation_cost() * costs_.heap_cell);
+  charge(CostCat::kClauseLookup, clause.tmpl.instantiation_cost() * costs_.heap_cell);
 
   // inst is ':-'(Head, Body).
   Cell root = store_.get(deref(store_, inst));
@@ -275,7 +276,7 @@ Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
       ++stats_.static_elisions;
     } else {
       ++stats_.opt_checks;
-      charge(costs_.opt_check);
+      charge(CostCat::kOptCheck, costs_.opt_check);
     }
     if (lao_try_reuse(goal, pred, key, cut_parent, next_bucket_pos,
                       last_ordinal)) {
@@ -309,7 +310,7 @@ Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
   bt_ = make_ref(agent_, idx);
   ++stats_.choicepoints;
   if (orp_ != nullptr) ++private_cps_;
-  charge(costs_.choicepoint);
+  charge(CostCat::kBacktrack, costs_.choicepoint);
   note_ctrl_alloc(kWordsChoicePoint);
   return bt_;
 }
@@ -338,7 +339,7 @@ Ref Worker::push_choice_term(Addr alt, Ref cut_parent, AltKind kind) {
   ++stats_.choicepoints;
   // Only shareable frames count toward sharing-session victim selection.
   if (orp_ != nullptr && kind == AltKind::Term) ++private_cps_;
-  charge(costs_.choicepoint);
+  charge(CostCat::kBacktrack, costs_.choicepoint);
   note_ctrl_alloc(kWordsChoicePoint);
   return bt_;
 }

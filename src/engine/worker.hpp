@@ -38,6 +38,7 @@
 #include "engine/parcall.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
+#include "stats/attrib.hpp"
 #include "stats/stats.hpp"
 #include "support/cancel.hpp"
 #include "term/print.hpp"
@@ -61,6 +62,11 @@ struct WorkerOptions {
   // Elide the charged opt_check at trigger sites whose outcome the
   // load-time static-facts pass proved (see analysis/static_facts.hpp).
   bool static_facts = false;
+  // Per-predicate attribution (hash-map upkeep on every charge made while a
+  // predicate is current). Per-CATEGORY attribution is always on — it is one
+  // array add per charge, never changes charge amounts, and keeps the
+  // conservation invariant checkable on every run.
+  bool attrib = false;
   bool occurs_check = false;
   // Abort the query (throws AceError) once resolutions exceed this
   // (0 = unlimited); failure-injection tests stop runaway programs with it.
@@ -204,6 +210,20 @@ class Worker {
 
   std::uint64_t clock_ = 0;  // virtual time
   Counters stats_;
+  // Per-category virtual-time attribution. Invariant (tested): the category
+  // sums exactly partition the clock — attrib_.total() == clock_ at all
+  // times, because charge() and sync_clock_to() are the only clock
+  // mutations and both update attrib_ by the same amount.
+  AttribBreakdown attrib_;
+  // Per-predicate attribution (opts_.attrib only). Charges are attributed
+  // to the most recently dispatched user predicate on this agent (sampling
+  // semantics: backtracking/scheduling between dispatches bills to the
+  // predicate that triggered it); charges before any dispatch bill to the
+  // "<engine>" pseudo-entry. cur_pred_attrib_ is non-null iff the feature
+  // is enabled; values are stable (node-based map), so the cached pointer
+  // survives rehashing.
+  std::unordered_map<std::uint64_t, AttribBreakdown> pred_attrib_;
+  AttribBreakdown* cur_pred_attrib_ = nullptr;
 
   // Query bookkeeping (top-level agent only).
   const TermTemplate* query_ = nullptr;
@@ -224,7 +244,35 @@ class Worker {
   std::uint64_t last_copy_heap_ = 0;
 
   // ---- Small helpers -----------------------------------------------------
-  void charge(std::uint64_t c) { clock_ += c; }
+  // Advance the virtual clock and attribute the time to `cat`. Attribution
+  // never alters amounts: runs with any combination of reporting flags are
+  // bit-identical in virtual time.
+  void charge(CostCat cat, std::uint64_t c) {
+    clock_ += c;
+    attrib_.at[static_cast<std::size_t>(cat)] += c;
+    if (cur_pred_attrib_ != nullptr) [[unlikely]] {
+      cur_pred_attrib_->at[static_cast<std::size_t>(cat)] += c;
+    }
+  }
+  // Virtual-time barrier: wait (by jumping the clock) until `t`. The
+  // catch-up is attributed to kIdle, keeping conservation intact. Replaces
+  // the raw `clock_ = max(clock_, other)` synchronizations.
+  void sync_clock_to(std::uint64_t t) {
+    if (t > clock_) charge(CostCat::kIdle, t - clock_);
+  }
+  // Per-predicate attribution hooks (opts_.attrib). Dispatch sites call
+  // attrib_note_dispatch before charging so the dispatch itself bills to
+  // the callee; the cold path lives in machine.cpp.
+  void attrib_note_dispatch(std::uint32_t sym, unsigned arity) {
+    if (cur_pred_attrib_ != nullptr) [[unlikely]] attrib_set_pred(sym, arity);
+  }
+  void attrib_set_pred(std::uint32_t sym, unsigned arity);
+  // (Re)starts per-predicate accounting when opts_.attrib is set: clears
+  // the map and points the current row at the "<engine>" pseudo-entry.
+  void attrib_reset();
+  // Per-predicate rows with resolved "name/arity" keys, largest total
+  // first. Empty unless opts_.attrib.
+  std::vector<PredAttrib> pred_attrib_rows() const;
   // One combined predicted-not-taken branch per event site when neither the
   // sim tracer nor the obs recorder is attached (the ISSUE's <=1-branch
   // discipline); the cold path lives out of line in machine.cpp.
@@ -252,7 +300,7 @@ class Worker {
 
   // Unifies with cost/stat accounting; on failure undoes its own bindings.
   bool unify_charge(Addr a, Addr b);
-  void untrail_charge(std::uint64_t mark);
+  void untrail_charge(std::uint64_t mark, CostCat cat = CostCat::kBacktrack);
 
   std::uint64_t heap_size() const { return store_.seg_size(seg_); }
 

@@ -160,7 +160,16 @@ std::string render(const std::vector<TrackSnapshot>& tracks,
               return x.ts_ns < y.ts_ns;
             });
 
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Surface ring overwrite loss in the export header: a consumer that only
+  // reads the first line knows whether the window is complete. Per-track
+  // counts additionally ride as metadata events below.
+  std::uint64_t dropped_total = 0;
+  for (const TrackSnapshot& t : tracks) dropped_total += t.dropped;
+
+  std::string out =
+      strf("{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%llu,"
+           "\"traceEvents\":[",
+           (unsigned long long)dropped_total);
   bool first = true;
   auto push = [&](const std::string& obj) {
     if (!first) out += ",";
@@ -542,6 +551,13 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
   const JsonValue* events = root.find("traceEvents");
   if (events == nullptr || events->kind != JsonValue::Kind::Arr) {
     return set_error(error, "missing traceEvents array");
+  }
+  // Optional header field written by render(): must be a non-negative
+  // number when present (wrapped rings report their overwrite loss here).
+  const JsonValue* dropped = root.find("droppedEvents");
+  if (dropped != nullptr &&
+      (dropped->kind != JsonValue::Kind::Num || dropped->num < 0)) {
+    return set_error(error, "droppedEvents is not a non-negative number");
   }
 
   std::map<std::pair<double, double>, double> last_ts;  // (pid,tid) -> ts

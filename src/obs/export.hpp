@@ -9,6 +9,13 @@
 // with "M" metadata events; the query id and the two payload words ride in
 // "args".
 //
+// Rings are bounded flight recorders: when a track's ring wrapped, the
+// overwritten-record count is surfaced in the export header as a top-level
+// "droppedEvents" field (sum over tracks) plus one per-track
+// "dropped_events" metadata event, and begin/end pairs whose partner was
+// overwritten degrade gracefully (orphan ends become instants, orphan
+// begins close at the track's last timestamp).
+//
 // to_csv() is the plain flat form: one line per record across all tracks.
 //
 // validate_chrome_trace() is a structural checker used by tests and by

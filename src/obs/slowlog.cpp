@@ -1,10 +1,46 @@
 #include "obs/slowlog.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "support/strutil.hpp"
 
 namespace ace::obs {
+
+namespace {
+
+// " ovh=12.3%[parcall:123,sched:45]": the fraction of the query's summed
+// virtual time spent on parallel overhead, with the top-3 overhead
+// categories and their charges — enough to pick the right schema before
+// opening a trace. Empty when the query carried no attribution.
+std::string attrib_note(const AttribBreakdown& a) {
+  std::uint64_t total = a.total();
+  if (total == 0) return "";
+  std::vector<std::pair<CostCat, std::uint64_t>> ovh;
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    CostCat c = static_cast<CostCat>(i);
+    if (cost_cat_is_overhead(c) && a.at[i] > 0) ovh.emplace_back(c, a.at[i]);
+  }
+  std::string out = strf(" ovh=%.1f%%", 100.0 * (double)a.overhead() /
+                                            (double)total);
+  if (ovh.empty()) return out;
+  std::stable_sort(ovh.begin(), ovh.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+  if (ovh.size() > 3) ovh.resize(3);
+  out += "[";
+  for (std::size_t i = 0; i < ovh.size(); ++i) {
+    if (i != 0) out += ",";
+    out += strf("%s:%llu", cost_cat_name(ovh[i].first),
+                (unsigned long long)ovh[i].second);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
 
 void SlowQueryLog::admit(const QueryResult& r) {
   QueryResult entry = r;
@@ -50,13 +86,14 @@ std::string SlowQueryLog::render() const {
                          (long long)opts_.threshold.count());
   for (const QueryResult& e : entries) {
     out += strf("%8lldus (queue %lldus) id=%llu outcome=%s sols=%llu "
-                "resolutions=%llu steals=%llu%s  %% %s\n",
+                "resolutions=%llu steals=%llu%s%s  %% %s\n",
                 (long long)e.latency.count(),
                 (long long)e.queue_wait.count(), (unsigned long long)e.id,
                 query_outcome_name(e.outcome),
                 (unsigned long long)e.stats.solutions,
                 (unsigned long long)e.stats.resolutions,
                 (unsigned long long)e.stats.steals,
+                attrib_note(e.attrib).c_str(),
                 e.trace_id != 0
                     ? strf(" trace=%llu", (unsigned long long)e.trace_id)
                           .c_str()

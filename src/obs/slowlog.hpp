@@ -46,8 +46,11 @@ class SlowQueryLog {
   // Slowest first.
   std::vector<QueryResult> snapshot() const;
 
-  // Human-readable rendering, slowest first:
-  //   1824ms (queue 3ms) id=42 outcome=ok resolutions=1922412  % slow(X).
+  // Human-readable rendering, slowest first. Queries that carried cost
+  // attribution additionally get an " ovh=..%[cat:time,...]" note with
+  // their top-3 overhead categories:
+  //   1824us (queue 3us) id=42 outcome=ok sols=1 resolutions=19224
+  //       ovh=12.3%[parcall:1230,sched:450,marker:60]  % slow(X).
   std::string render() const;
 
  private:

@@ -49,7 +49,7 @@ long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen) {
   SharedNode& n = orp_->node(shared_id);
   std::lock_guard<std::mutex> lock(n.mu);
   ++stats_.public_node_takes;
-  charge(costs_.public_take);
+  charge(CostCat::kPublish, costs_.public_take);
   if (n.cancelled || n.generation != expected_gen) return -1;
   if (n.is_term) {
     if (n.term_taken) return -1;
@@ -137,7 +137,7 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
   }
   ++stats_.lao_reuses;
   trace(TraceEvent::LaoReuse, top_idx);
-  charge(costs_.lao_update);
+  charge(CostCat::kPublish, costs_.lao_update);
   return true;
 }
 
@@ -154,7 +154,7 @@ void Worker::orp_idle_step() {
   auto guard = db_.read_guard();
   std::size_t scanned = 0;
   std::uint32_t target = orp_->oldest_with_work(&scanned);
-  charge(costs_.tree_descent * (scanned == 0 ? 1 : scanned));
+  charge(CostCat::kPublish, costs_.tree_descent * (scanned == 0 ? 1 : scanned));
   stats_.tree_descents += scanned == 0 ? 1 : scanned;
 
   if (target == kNoShare) {
@@ -169,14 +169,22 @@ void Worker::orp_idle_step() {
     }
     if (victim == nullptr) {
       ++stats_.idle_ticks;
-      charge(costs_.idle_tick);
+      charge(CostCat::kIdle, costs_.idle_tick);
       return;
     }
     ++stats_.sharing_sessions;
-    charge(costs_.share_session);
-    // Both sides synchronize for the session.
-    clock_ = std::max(clock_, victim->clock_) + costs_.share_session;
-    victim->clock_ = clock_;
+    // Both sides synchronize for the session and each pays the fixed
+    // session cost. The sequence below computes exactly
+    //   clock_ = max(clock_ + share_session, victim->clock_) + share_session
+    //   victim->clock_ = clock_
+    // — the pre-attribution arithmetic, bit for bit — while preserving the
+    // conservation invariant: the session costs are kPublish, and each
+    // side's catch-up to the slower party's clock is attributed as kIdle
+    // waiting via sync_clock_to.
+    charge(CostCat::kPublish, costs_.share_session);
+    sync_clock_to(victim->clock_);
+    charge(CostCat::kPublish, costs_.share_session);
+    victim->sync_clock_to(clock_);
 
     // Walk the victim's backtrack chain (newest to oldest). A live
     // IteElse frame means a condition is still being evaluated: every
@@ -219,15 +227,15 @@ void Worker::orp_idle_step() {
       f.shared_id = id;
       f.pred_gen = n.generation;  // shared frames track node generation
       --victim->private_cps_;
-      charge(costs_.public_make);
+      charge(CostCat::kPublish, costs_.public_make);
     }
     std::size_t rescanned = 0;
     target = orp_->oldest_with_work(&rescanned);
-    charge(costs_.tree_descent * (rescanned == 0 ? 1 : rescanned));
+    charge(CostCat::kPublish, costs_.tree_descent * (rescanned == 0 ? 1 : rescanned));
     stats_.tree_descents += rescanned == 0 ? 1 : rescanned;
     if (target == kNoShare) {
       ++stats_.idle_ticks;
-      charge(costs_.idle_tick);
+      charge(CostCat::kIdle, costs_.idle_tick);
       return;
     }
   }
@@ -235,7 +243,9 @@ void Worker::orp_idle_step() {
   // Copy the owner's stacks up to the node and resume backtracking there.
   SharedNode& n = orp_->node(target);
   Worker& victim = peer(n.owner_agent);
-  clock_ = std::max(clock_, victim.clock_);
+  // Wait (virtually) until the node's owner has reached this point before
+  // copying its stacks; the catch-up is idle time, not overhead.
+  sync_clock_to(victim.clock_);
   ACE_CHECK_MSG(victim.ctrl_.size() > n.ctrl_index,
                 "public node's owner frame vanished");
   const Frame& nf = victim.ctrl_[n.ctrl_index];
@@ -294,7 +304,7 @@ void Worker::orp_idle_step() {
   }
 
   stats_.copied_cells += copied;
-  charge(copied * costs_.copy_cell);
+  charge(CostCat::kPublish, copied * costs_.copy_cell);
   trace(TraceEvent::Share, victim.agent_, target);
 
   // Invariant: everything at or below a public node is public (the sharing

@@ -1,0 +1,113 @@
+#include "serve/http_metrics.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/diag.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn render)
+    : render_(std::move(render)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw AceError(strf("metrics: socket() failed: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw AceError(strf("metrics: cannot bind 127.0.0.1:%u: %s",
+                        unsigned{port}, std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw AceError(strf("metrics: listen() failed: %s", std::strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept(); close() then releases the fd.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listener gone
+    }
+    // Read the request line + headers (best effort: a scrape request fits
+    // in one read; we only need the connection to have *sent* something).
+    char buf[2048];
+    ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    (void)n;
+    std::string body;
+    bool ok = true;
+    try {
+      body = render_();
+    } catch (const std::exception& e) {
+      ok = false;
+      body = strf("render error: %s\n", e.what());
+    }
+    std::string resp = strf(
+        "HTTP/1.1 %s\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        ok ? "200 OK" : "500 Internal Server Error", body.size());
+    resp += body;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      ssize_t sent = ::send(fd, resp.data() + off, resp.size() - off,
+#ifdef MSG_NOSIGNAL
+                            MSG_NOSIGNAL
+#else
+                            0
+#endif
+      );
+      if (sent <= 0) break;
+      off += static_cast<std::size_t>(sent);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace ace

@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1 endpoint serving Prometheus text metrics.
+//
+// One accept thread, blocking I/O, one request per connection: every GET
+// (any path) receives `200 OK text/plain; version=0.0.4` with the body the
+// `render` callback produces at request time. That is all a Prometheus
+// scraper (or curl) needs; anything fancier belongs behind a real reverse
+// proxy. Port 0 binds an ephemeral port (tests); port() reports the bound
+// one. stop() shuts the listener down and joins the thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ace {
+
+class MetricsHttpServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  // Binds 127.0.0.1:port and starts the accept thread. Throws AceError if
+  // the socket cannot be bound.
+  MetricsHttpServer(std::uint16_t port, RenderFn render);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // The bound port (resolves port 0 to the kernel-assigned one).
+  std::uint16_t port() const { return port_; }
+
+  void stop();
+
+ private:
+  void accept_loop();
+
+  RenderFn render_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace ace

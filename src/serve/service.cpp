@@ -161,6 +161,11 @@ void QueryService::respond(Pending& p, QueryResult&& resp) {
   if (resp.query.empty()) resp.query = p.req.query;
   resp.latency = since(p.admitted_at);
   metrics_.record_latency(resp.latency);
+  // Roll the query's cost attribution into the serving metrics (skipped
+  // for responses that never reached an engine: their breakdown is empty).
+  if (resp.attrib.total() > 0) {
+    metrics_.add_attrib(resp.attrib, resp.virtual_time);
+  }
   switch (resp.outcome) {
     case QueryOutcome::Success:
     case QueryOutcome::Fail:

@@ -34,6 +34,7 @@ EngineSession::EngineSession(Database& db, const Builtins& builtins,
   wopts.pdo = cfg_.pdo;
   wopts.lao = cfg_.lao;
   wopts.static_facts = cfg_.static_facts;
+  wopts.attrib = cfg_.attrib;
   wopts.occurs_check = cfg_.occurs_check;
   wopts.resolution_limit = cfg_.resolution_limit;
 
@@ -128,7 +129,12 @@ void EngineSession::finalize(SolveResult& result) {
     result.stats.add(w->stats_);
     result.per_agent.push_back(w->stats_);
     result.agent_clocks.push_back(w->clock_);
+    result.attrib.add(w->attrib_);
+    result.per_agent_attrib.push_back(w->attrib_);
+    result.per_agent_preds.push_back(cfg_.attrib ? w->pred_attrib_rows()
+                                                 : std::vector<PredAttrib>{});
   }
+  result.savings = schema_savings(result.stats, costs_);
   result.output = io_.snapshot();
 }
 

@@ -18,6 +18,37 @@ namespace ace {
 // plus the marker crossings / pf scans during backward execution.
 CostModel CostModel::standard() { return CostModel{}; }
 
+const char* cost_cat_name(CostCat cat) {
+  switch (cat) {
+    case CostCat::kUnify: return "unify";
+    case CostCat::kClauseLookup: return "clause_lookup";
+    case CostCat::kBacktrack: return "backtrack";
+    case CostCat::kBuiltin: return "builtin";
+    case CostCat::kUserWork: return "user_work";
+    case CostCat::kParcall: return "parcall";
+    case CostCat::kMarker: return "marker";
+    case CostCat::kPublish: return "publish";
+    case CostCat::kSched: return "sched";
+    case CostCat::kIdle: return "idle";
+    case CostCat::kOptCheck: return "opt_check";
+    case CostCat::kCount: break;
+  }
+  return "?";
+}
+
+bool cost_cat_is_overhead(CostCat cat) {
+  switch (cat) {
+    case CostCat::kParcall:
+    case CostCat::kMarker:
+    case CostCat::kPublish:
+    case CostCat::kSched:
+    case CostCat::kOptCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
 CostModel CostModel::unit() {
   CostModel m;
   m.call_dispatch = 1;

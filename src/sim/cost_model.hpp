@@ -8,9 +8,45 @@
 // optimizations' savings flow from the operations they actually eliminate.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ace {
+
+// Overhead category a virtual-time charge is attributed to. Every charge an
+// agent makes carries exactly one category, so the per-category sums always
+// partition the agent's virtual clock (the conservation invariant tested in
+// test_sim). The categories follow the paper's accounting: the first five are
+// "work" an ideal sequential engine would also pay; the next five are the
+// parallel overheads the optimization schemas (flattening, procrastination,
+// sequentialization) attack; Idle is time an agent spends waiting.
+enum class CostCat : std::uint8_t {
+  kUnify = 0,     // unification steps, trail writes, unwind during unify
+  kClauseLookup,  // call dispatch + clause-head instantiation
+  kBacktrack,     // choice points, restores, untrail, frame unwinding
+  kBuiltin,       // builtin execution (arith, compare, findall copy, ...)
+  kUserWork,      // heap/goal-node construction for user code
+  kParcall,       // parcall frame + slot management, completion, teardown
+  kMarker,        // input/end marker allocation and crossings
+  kPublish,       // or-parallel: sharing sessions, node publication, copying
+  kSched,         // fetch/steal of parallel work
+  kIdle,          // scheduler idle ticks + waiting for a sharing partner
+  kOptCheck,      // runtime checks that guard LPCO/SHALLOW/PDO/LAO triggers
+  kCount,
+};
+
+inline constexpr std::size_t kNumCostCats =
+    static_cast<std::size_t>(CostCat::kCount);
+
+// Short stable identifier ("unify", "parcall", ...) used in JSON exports,
+// Prometheus labels and collapsed stacks. Returns "?" for out-of-range.
+const char* cost_cat_name(CostCat cat);
+
+// True for the categories that constitute parallel overhead (kParcall,
+// kMarker, kPublish, kSched, kOptCheck) — i.e. charges an ideal sequential
+// execution would not pay. kIdle is neither work nor overhead: the speedup
+// decomposition reports it separately.
+bool cost_cat_is_overhead(CostCat cat);
 
 struct CostModel {
   using C = std::uint64_t;

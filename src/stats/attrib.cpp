@@ -1,0 +1,136 @@
+#include "stats/attrib.hpp"
+
+#include <algorithm>
+
+#include "stats/stats.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+std::uint64_t AttribBreakdown::total() const {
+  std::uint64_t s = 0;
+  for (std::uint64_t v : at) s += v;
+  return s;
+}
+
+std::uint64_t AttribBreakdown::overhead() const {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    if (cost_cat_is_overhead(static_cast<CostCat>(i))) s += at[i];
+  }
+  return s;
+}
+
+std::uint64_t AttribBreakdown::work() const {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    CostCat c = static_cast<CostCat>(i);
+    if (!cost_cat_is_overhead(c) && c != CostCat::kIdle) s += at[i];
+  }
+  return s;
+}
+
+void AttribBreakdown::add(const AttribBreakdown& o) {
+  for (std::size_t i = 0; i < kNumCostCats; ++i) at[i] += o.at[i];
+}
+
+std::string AttribBreakdown::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    if (i != 0) out += ",";
+    out += strf("\"%s\":%llu", cost_cat_name(static_cast<CostCat>(i)),
+                (unsigned long long)at[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string AttribBreakdown::table(const std::string& indent) const {
+  std::uint64_t tot = total();
+  std::string out;
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    if (at[i] == 0) continue;
+    double pct = tot == 0 ? 0.0 : 100.0 * (double)at[i] / (double)tot;
+    out += strf("%s%-13s %12llu  %5.1f%%\n", indent.c_str(),
+                cost_cat_name(static_cast<CostCat>(i)),
+                (unsigned long long)at[i], pct);
+  }
+  return out;
+}
+
+std::vector<CostCat> AttribBreakdown::top_categories(std::size_t k) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    if (at[i] > 0) idx.push_back(i);
+  }
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return at[a] > at[b]; });
+  if (idx.size() > k) idx.resize(k);
+  std::vector<CostCat> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) out.push_back(static_cast<CostCat>(i));
+  return out;
+}
+
+std::string SchemaSavings::to_json() const {
+  return strf(
+      "{\"flattening\":%llu,\"procrastination\":%llu,"
+      "\"sequentialization\":%llu,\"static_elision\":%llu}",
+      (unsigned long long)flattening, (unsigned long long)procrastination,
+      (unsigned long long)sequentialization,
+      (unsigned long long)static_elision);
+}
+
+SchemaSavings schema_savings(const Counters& stats, const CostModel& costs) {
+  SchemaSavings s;
+  // LPCO: each merge avoids allocating a nested parcall frame and, on
+  // backward execution, tearing it down. LAO: each reuse replaces a fresh
+  // choice point (choicepoint) by an in-place refresh (lao_update); the
+  // saving can be negative per the paper's Table 3 at 1 agent, but with the
+  // standard model choicepoint > lao_update, so it is a saving here.
+  s.flattening = stats.lpco_merges * (costs.parcall_frame + costs.pf_teardown);
+  if (costs.choicepoint > costs.lao_update) {
+    s.flattening += stats.lao_reuses * (costs.choicepoint - costs.lao_update);
+  }
+  // SHALLOW procrastinates markers; each *pair* of skipped markers is one
+  // input + one end marker never allocated.
+  s.procrastination =
+      (stats.shallow_skipped_markers / 2) * (costs.input_marker +
+                                             costs.end_marker);
+  // PDO sequentializes adjacent slots; each merge elides the end marker of
+  // the finished slot and the input marker of the next.
+  s.sequentialization =
+      stats.pdo_merges * (costs.end_marker + costs.input_marker);
+  s.static_elision = stats.static_elisions * costs.opt_check;
+  return s;
+}
+
+std::string collapsed_stacks(
+    const std::vector<AttribBreakdown>& per_agent,
+    const std::vector<std::vector<PredAttrib>>& per_agent_preds) {
+  std::string out;
+  for (std::size_t a = 0; a < per_agent.size(); ++a) {
+    const bool have_preds =
+        a < per_agent_preds.size() && !per_agent_preds[a].empty();
+    if (have_preds) {
+      for (const PredAttrib& p : per_agent_preds[a]) {
+        for (std::size_t i = 0; i < kNumCostCats; ++i) {
+          if (p.a.at[i] == 0) continue;
+          out += strf("agent%zu;%s;%s %llu\n", a, p.pred.c_str(),
+                      cost_cat_name(static_cast<CostCat>(i)),
+                      (unsigned long long)p.a.at[i]);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < kNumCostCats; ++i) {
+        if (per_agent[a].at[i] == 0) continue;
+        out += strf("agent%zu;%s %llu\n", a,
+                    cost_cat_name(static_cast<CostCat>(i)),
+                    (unsigned long long)per_agent[a].at[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ace

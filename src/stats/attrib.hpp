@@ -1,0 +1,108 @@
+// Virtual-time attribution.
+//
+// The paper's argument is an accounting claim: the optimization schemas
+// (flattening, procrastination, sequentialization) remove *specific*
+// overheads — parcall frames, markers, choice-point publication, runtime
+// trigger checks. This module makes the accounting visible: every charge an
+// agent makes carries a CostCat (sim/cost_model.hpp), the per-category sums
+// exactly partition each agent's virtual clock (conservation invariant), and
+// the breakdowns roll up per agent, per predicate and per schema.
+//
+// Attribution is charged at the charge sites themselves and is always on —
+// it is one array add per charge and, because the charge *amounts* are
+// untouched, runs with and without the reporting flag are bit-identical in
+// virtual time. Only the per-predicate map (heavier: hashing) is gated
+// behind WorkerOptions::attrib / EngineConfig::attrib.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace ace {
+
+struct Counters;
+
+// Per-category virtual-time totals. `at[cat]` is the time charged to that
+// category; the conservation invariant is total() == the owning agent's
+// virtual clock.
+struct AttribBreakdown {
+  std::array<std::uint64_t, kNumCostCats> at{};
+
+  std::uint64_t& operator[](CostCat c) {
+    return at[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t operator[](CostCat c) const {
+    return at[static_cast<std::size_t>(c)];
+  }
+
+  // Sum over all categories (== virtual clock of the owning agent; for
+  // machine-level rollups, == the sum of the agents' clocks, NOT the
+  // makespan).
+  std::uint64_t total() const;
+  // Parallel-overhead categories only (parcall, marker, publish, sched,
+  // opt_check): time an ideal sequential execution would not pay.
+  std::uint64_t overhead() const;
+  // Work categories (unify, clause lookup, backtrack, builtin, user work):
+  // the sequential-equivalent fraction.
+  std::uint64_t work() const;
+  std::uint64_t idle() const { return (*this)[CostCat::kIdle]; }
+
+  void add(const AttribBreakdown& o);
+  void clear() { at.fill(0); }
+
+  // Compact JSON object {"unify":N,...,"opt_check":N} (all categories, fixed
+  // order).
+  std::string to_json() const;
+  // Human-readable one-category-per-line table, percentages of total().
+  std::string table(const std::string& indent = "  ") const;
+  // Category names with the largest times first (ties: category order);
+  // zero-time categories are skipped. Used by the slow-query log's "top
+  // overhead" annotation.
+  std::vector<CostCat> top_categories(std::size_t k) const;
+};
+
+// Per-predicate attribution row ("pred" is "name/arity", or a pseudo-entry
+// like "<query>" for charges made before the first user dispatch).
+struct PredAttrib {
+  std::string pred;
+  AttribBreakdown a;
+};
+
+// Estimated virtual time each optimization schema saved in a run, derived
+// from the trigger counters and the cost model — the paper's Tables 2-5
+// columns, recomputed from first principles per run:
+//   flattening        (LPCO + LAO): merged parcall frames avoid the frame +
+//                     its teardown; reused choice points pay lao_update
+//                     instead of a fresh choicepoint.
+//   procrastination   (SHALLOW): each skipped marker pair avoids an input
+//                     and an end marker allocation.
+//   sequentialization (PDO): each merge avoids one end+input marker pair at
+//                     a slot boundary.
+//   static elision    (--static-facts): each elision avoids one opt_check.
+struct SchemaSavings {
+  std::uint64_t flattening = 0;
+  std::uint64_t procrastination = 0;
+  std::uint64_t sequentialization = 0;
+  std::uint64_t static_elision = 0;
+
+  std::uint64_t total() const {
+    return flattening + procrastination + sequentialization + static_elision;
+  }
+  std::string to_json() const;
+};
+
+SchemaSavings schema_savings(const Counters& stats, const CostModel& costs);
+
+// Collapsed-stack (flamegraph) rendering: one line per non-zero
+// (agent, predicate, category) with the virtual time as the sample count,
+// e.g. "agent0;qsort/2;unify 1234". When per-predicate rows are absent the
+// predicate level is omitted. Feed to flamegraph.pl / speedscope / inferno.
+std::string collapsed_stacks(
+    const std::vector<AttribBreakdown>& per_agent,
+    const std::vector<std::vector<PredAttrib>>& per_agent_preds);
+
+}  // namespace ace

@@ -1,0 +1,96 @@
+#include "stats/prometheus.hpp"
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+namespace {
+
+void put_counter(std::string& out, const char* name, const char* help,
+                 std::uint64_t v) {
+  out += strf("# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help, name,
+              name, (unsigned long long)v);
+}
+
+void put_gauge(std::string& out, const char* name, const char* help,
+               std::uint64_t v) {
+  out += strf("# HELP %s %s\n# TYPE %s gauge\n%s %llu\n", name, help, name,
+              name, (unsigned long long)v);
+}
+
+// Renders a log2 LatencyHistogram snapshot as a Prometheus histogram:
+// cumulative buckets with le = the bucket upper bound in microseconds.
+void put_histogram(std::string& out, const char* name, const char* help,
+                   const LatencyHistogram::Snapshot& h) {
+  out += strf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cum += h.buckets[i];
+    if (i + 1 >= LatencyHistogram::kBuckets) break;  // top bucket -> +Inf
+    out += strf("%s_bucket{le=\"%llu\"} %llu\n", name,
+                (unsigned long long)((std::uint64_t{1} << (i + 1)) - 1),
+                (unsigned long long)cum);
+  }
+  out += strf("%s_bucket{le=\"+Inf\"} %llu\n", name,
+              (unsigned long long)h.count);
+  out += strf("%s_sum %llu\n", name, (unsigned long long)h.sum_us);
+  out += strf("%s_count %llu\n", name, (unsigned long long)h.count);
+}
+
+}  // namespace
+
+std::string prometheus_text(const ServeMetricsSnapshot& s) {
+  std::string out;
+  put_counter(out, "ace_serve_submitted_total", "Queries submitted",
+              s.submitted);
+  put_counter(out, "ace_serve_admitted_total", "Queries admitted",
+              s.admitted);
+  put_counter(out, "ace_serve_rejected_total",
+              "Queries shed at admission (overload)", s.rejected);
+  put_counter(out, "ace_serve_completed_total",
+              "Queries that ran to completion", s.completed);
+  put_counter(out, "ace_serve_cancelled_total",
+              "Queries stopped by external cancel", s.cancelled);
+  put_counter(out, "ace_serve_deadline_expired_total",
+              "Queries stopped by deadline", s.deadline_expired);
+  put_counter(out, "ace_serve_errors_total", "Queries that errored",
+              s.errors);
+  put_counter(out, "ace_serve_pool_hits_total",
+              "Engine checkouts served by a warm pooled session",
+              s.pool_hits);
+  put_counter(out, "ace_serve_pool_misses_total",
+              "Engine checkouts that constructed a session", s.pool_misses);
+  put_gauge(out, "ace_serve_queue_depth", "Instantaneous admission-queue depth",
+            s.queue_depth);
+  put_gauge(out, "ace_serve_queue_peak", "Admission-queue high-water mark",
+            s.queue_peak);
+  if (s.lint_ran) {
+    put_gauge(out, "ace_lint_warnings", "Load-time lint warnings",
+              s.lint_warnings);
+    put_gauge(out, "ace_lint_errors", "Load-time lint errors", s.lint_errors);
+  }
+  put_histogram(out, "ace_serve_latency_us",
+                "Admission-to-response latency (microseconds)", s.latency);
+  put_histogram(out, "ace_serve_queue_wait_us",
+                "Admission-to-dispatch wait (microseconds)", s.queue_wait);
+
+  if (s.attrib_queries > 0) {
+    put_counter(out, "ace_attrib_queries_total",
+                "Queries contributing cost attribution", s.attrib_queries);
+    put_counter(out, "ace_attrib_makespan_total",
+                "Sum of per-query virtual times (makespans)",
+                s.attrib_virtual_time);
+    out +=
+        "# HELP ace_attrib_virtual_time_total Virtual time charged per "
+        "overhead category (sum over agents and queries)\n"
+        "# TYPE ace_attrib_virtual_time_total counter\n";
+    for (std::size_t i = 0; i < kNumCostCats; ++i) {
+      out += strf("ace_attrib_virtual_time_total{category=\"%s\"} %llu\n",
+                  cost_cat_name(static_cast<CostCat>(i)),
+                  (unsigned long long)s.attrib.at[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ace

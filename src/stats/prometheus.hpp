@@ -1,0 +1,21 @@
+// Prometheus text exposition (version 0.0.4) for the serving metrics and
+// the virtual-time attribution rollup.
+//
+// prometheus_text() renders a ServeMetricsSnapshot as the body served by
+// `ace_serve --metrics-port` at /metrics: admission/outcome counters, the
+// engine-pool gauges, both log2 latency histograms (as native `histogram`
+// types with cumulative `le` buckets), and — once queries have reported —
+// one `ace_attrib_virtual_time_total{category=...}` counter per CostCat
+// plus the Σ-virtual-time counter the overhead percentages are computed
+// against.
+#pragma once
+
+#include <string>
+
+#include "stats/serve_metrics.hpp"
+
+namespace ace {
+
+std::string prometheus_text(const ServeMetricsSnapshot& s);
+
+}  // namespace ace

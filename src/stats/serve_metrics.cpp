@@ -22,14 +22,28 @@ void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
   }
 }
 
+// Saturating accumulate: a handful of microseconds::max() samples must
+// degrade the running sum to "very large", never wrap it back to small.
+void atomic_saturating_add(std::atomic<std::uint64_t>& slot,
+                           std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (true) {
+    std::uint64_t next = cur + v < cur ? ~std::uint64_t{0} : cur + v;
+    if (slot.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 void LatencyHistogram::record(std::chrono::microseconds us) {
   std::uint64_t v =
       us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count());
+  // bucket_index clamps anything beyond 2^39us into the top bucket.
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_us_.fetch_add(v, std::memory_order_relaxed);
+  atomic_saturating_add(sum_us_, v);
   atomic_max(max_us_, v);
 }
 
@@ -58,10 +72,24 @@ std::uint64_t LatencyHistogram::Snapshot::percentile_us(double p) const {
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];
     if (seen > rank) {
-      return i + 1 >= 64 ? max_us : (std::uint64_t{1} << (i + 1)) - 1;
+      // The top bucket is a clamp: its samples can be arbitrarily large,
+      // so its honest upper bound is the observed max, not 2^kBuckets-1.
+      if (i + 1 >= LatencyHistogram::kBuckets) return max_us;
+      return (std::uint64_t{1} << (i + 1)) - 1;
     }
   }
   return max_us;
+}
+
+void ServeMetrics::add_attrib(const AttribBreakdown& a,
+                              std::uint64_t virtual_time) {
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    if (a.at[i] != 0) {
+      atomic_saturating_add(attrib_[i], a.at[i]);
+    }
+  }
+  attrib_queries_.fetch_add(1, std::memory_order_relaxed);
+  atomic_saturating_add(attrib_virtual_time_, virtual_time);
 }
 
 void ServeMetrics::set_queue_depth(std::uint64_t depth) {
@@ -87,6 +115,12 @@ ServeMetricsSnapshot ServeMetrics::snapshot() const {
   s.lint_errors = lint_errors_.load(std::memory_order_relaxed);
   s.latency = latency_.snapshot();
   s.queue_wait = queue_wait_.snapshot();
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    s.attrib.at[i] = attrib_[i].load(std::memory_order_relaxed);
+  }
+  s.attrib_queries = attrib_queries_.load(std::memory_order_relaxed);
+  s.attrib_virtual_time =
+      attrib_virtual_time_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -117,6 +151,14 @@ std::string ServeMetricsSnapshot::to_json() const {
     lint = strf(",\"lint_warnings\":%llu,\"lint_errors\":%llu",
                 (unsigned long long)lint_warnings,
                 (unsigned long long)lint_errors);
+  }
+  // Attribution rollup: present only once a query has reported it, so
+  // pre-existing consumers of the metrics object see an unchanged shape.
+  if (attrib_queries > 0) {
+    lint += strf(",\"attrib_queries\":%llu,\"attrib_virtual_time\":%llu",
+                 (unsigned long long)attrib_queries,
+                 (unsigned long long)attrib_virtual_time);
+    lint += ",\"attrib\":" + attrib.to_json();
   }
   return strf(
       "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"

@@ -15,12 +15,20 @@
 #include <string>
 #include <vector>
 
+#include "stats/attrib.hpp"
+
 namespace ace {
 
 // Lock-free base-2 exponential histogram over microseconds: bucket i counts
 // samples in [2^i, 2^(i+1)) us (bucket 0 also takes 0us). Percentiles are
 // reported as the upper bound of the containing bucket — coarse but stable,
 // which is what a serving dashboard wants.
+//
+// Hardened against pathological inputs: all counts are 64-bit, durations
+// beyond the top bucket's range are clamped into the top bucket (whose
+// percentile upper bound reports the observed max instead of a fictitious
+// 2^40us), negative durations count as zero, and the running sum saturates
+// at UINT64_MAX instead of wrapping.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 40;  // 2^39 us ~ 6.4 days
@@ -68,6 +76,14 @@ struct ServeMetricsSnapshot {
   LatencyHistogram::Snapshot latency;     // admission -> response
   LatencyHistogram::Snapshot queue_wait;  // admission -> dispatch
 
+  // Virtual-time attribution accumulated over completed queries (sum of
+  // each query's per-category breakdown) — the serving-side rollup of the
+  // engine cost accounting. attrib_queries counts contributing queries;
+  // both are zero when the engines never reported attribution.
+  AttribBreakdown attrib;
+  std::uint64_t attrib_queries = 0;
+  std::uint64_t attrib_virtual_time = 0;  // Σ per-query virtual times
+
   // Load-time lint results (--analyze): present in to_json() only when a
   // lint actually ran, so existing consumers see an unchanged object.
   bool lint_ran = false;
@@ -110,6 +126,10 @@ class ServeMetrics {
     queue_wait_.record(us);
   }
 
+  // Accumulates one completed query's attribution breakdown and virtual
+  // time into the serving rollup (lock-free per-category atomics).
+  void add_attrib(const AttribBreakdown& a, std::uint64_t virtual_time);
+
   ServeMetricsSnapshot snapshot() const;
 
  private:
@@ -129,6 +149,9 @@ class ServeMetrics {
   std::atomic<std::uint64_t> lint_errors_{0};
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
+  std::array<std::atomic<std::uint64_t>, kNumCostCats> attrib_{};
+  std::atomic<std::uint64_t> attrib_queries_{0};
+  std::atomic<std::uint64_t> attrib_virtual_time_{0};
 };
 
 }  // namespace ace

@@ -1,0 +1,179 @@
+#include "stats/speedup.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+double SpeedupReport::achieved_speedup() const {
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(work) / static_cast<double>(makespan);
+}
+
+SpeedupReport analyze_speedup(const SolveResult& result, unsigned agents) {
+  SpeedupReport r;
+  r.agents = agents == 0 ? 1 : agents;
+  r.makespan = result.virtual_time;
+  r.attrib = result.attrib;
+  r.savings = result.savings;
+  r.work = result.attrib.work();
+  r.overhead = result.attrib.overhead();
+  r.idle_charged = result.attrib.idle();
+  for (std::uint64_t c : result.agent_clocks) r.total_agent_time += c;
+  if (result.agent_clocks.empty()) r.total_agent_time = result.virtual_time;
+  // Tail idle: agents whose clock stopped before the makespan. The or-
+  // parallel makespan is the max clock, the and-parallel one comes from the
+  // driver; either way each term is clamped at zero.
+  std::uint64_t slots = result.agent_clocks.empty() ? 1
+                        : static_cast<std::uint64_t>(result.agent_clocks.size());
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    std::uint64_t c =
+        result.agent_clocks.empty() ? result.virtual_time : result.agent_clocks[i];
+    if (r.makespan > c) r.idle_tail += r.makespan - c;
+  }
+  return r;
+}
+
+void analyze_critical_path(SpeedupReport& report,
+                           const std::vector<TraceRecord>& records,
+                           std::size_t max_rows) {
+  struct Acc {
+    unsigned slots = 0;
+    std::uint64_t serialized = 0;
+    std::uint64_t critical = 0;
+  };
+  // Open slot spans keyed by (agent, pf, slot) — a slot may run many times
+  // (recomputation after outside backtracking), each span counted.
+  std::map<std::tuple<unsigned, std::uint64_t, std::uint64_t>, std::uint64_t>
+      open;
+  std::unordered_map<std::uint64_t, Acc> per_pf;
+  for (const TraceRecord& rec : records) {
+    switch (rec.event) {
+      case TraceEvent::SlotStart:
+        open[{rec.agent, rec.a, rec.b}] = rec.time;
+        break;
+      case TraceEvent::SlotComplete:
+      case TraceEvent::SlotFail: {
+        auto it = open.find({rec.agent, rec.a, rec.b});
+        if (it == open.end()) break;  // truncated recording
+        std::uint64_t dur = rec.time >= it->second ? rec.time - it->second : 0;
+        open.erase(it);
+        Acc& acc = per_pf[rec.a];
+        ++acc.slots;
+        acc.serialized += dur;
+        acc.critical = std::max(acc.critical, dur);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  report.parcalls.clear();
+  report.parcall_serialized_total = 0;
+  report.parcall_critical_total = 0;
+  for (const auto& [pf, acc] : per_pf) {
+    report.parcalls.push_back({pf, acc.slots, acc.serialized, acc.critical});
+    report.parcall_serialized_total += acc.serialized;
+    report.parcall_critical_total += acc.critical;
+  }
+  std::sort(report.parcalls.begin(), report.parcalls.end(),
+            [](const ParcallPathRow& a, const ParcallPathRow& b) {
+              if (a.serialized != b.serialized) return a.serialized > b.serialized;
+              return a.pf < b.pf;
+            });
+  if (report.parcalls.size() > max_rows) report.parcalls.resize(max_rows);
+}
+
+std::string SpeedupReport::render() const {
+  std::string out;
+  out += strf("speedup decomposition (%u agents, makespan %llu)\n", agents,
+              (unsigned long long)makespan);
+  out += strf("  achieved speedup  %6.2fx   (ideal %.0fx, efficiency %.0f%%)\n",
+              achieved_speedup(), ideal_speedup(), 100.0 * efficiency());
+  std::uint64_t budget = static_cast<std::uint64_t>(agents) * makespan;
+  auto pct = [&](std::uint64_t v) {
+    return budget == 0 ? 0.0 : 100.0 * (double)v / (double)budget;
+  };
+  out += strf("  agent-time budget %12llu  (agents x makespan)\n",
+              (unsigned long long)budget);
+  out += strf("    work            %12llu  %5.1f%%\n", (unsigned long long)work,
+              pct(work));
+  out += strf("    overhead        %12llu  %5.1f%%\n",
+              (unsigned long long)overhead, pct(overhead));
+  out += strf("    idle (charged)  %12llu  %5.1f%%\n",
+              (unsigned long long)idle_charged, pct(idle_charged));
+  out += strf("    idle (tail)     %12llu  %5.1f%%\n",
+              (unsigned long long)idle_tail, pct(idle_tail));
+  out += "  by category:\n";
+  out += attrib.table("    ");
+  if (savings.total() > 0) {
+    out += "  schema savings (virtual time not spent):\n";
+    auto line = [&](const char* name, std::uint64_t v) {
+      if (v > 0) {
+        out += strf("    %-18s %12llu\n", name, (unsigned long long)v);
+      }
+    };
+    line("flattening", savings.flattening);
+    line("procrastination", savings.procrastination);
+    line("sequentialization", savings.sequentialization);
+    line("static elision", savings.static_elision);
+  }
+  if (!parcalls.empty()) {
+    out += strf(
+        "  critical path over %zu largest parcalls "
+        "(serialized %llu, critical %llu -> ideal parcall speedup %.2fx):\n",
+        parcalls.size(), (unsigned long long)parcall_serialized_total,
+        (unsigned long long)parcall_critical_total,
+        parcall_critical_total == 0
+            ? 0.0
+            : (double)parcall_serialized_total /
+                  (double)parcall_critical_total);
+    out += "    pf        slots   serialized     critical   balance\n";
+    for (const ParcallPathRow& row : parcalls) {
+      double balance = row.critical == 0 || row.slots == 0
+                           ? 0.0
+                           : (double)row.serialized /
+                                 ((double)row.critical * (double)row.slots);
+      out += strf("    %-8llu %6u %12llu %12llu    %5.1f%%\n",
+                  (unsigned long long)row.pf, row.slots,
+                  (unsigned long long)row.serialized,
+                  (unsigned long long)row.critical, 100.0 * balance);
+    }
+  }
+  return out;
+}
+
+std::string SpeedupReport::to_json() const {
+  std::string out = strf(
+      "{\"agents\":%u,\"makespan\":%llu,\"total_agent_time\":%llu,"
+      "\"work\":%llu,\"overhead\":%llu,\"idle_charged\":%llu,"
+      "\"idle_tail\":%llu,\"achieved_speedup\":%.4f,\"efficiency\":%.4f",
+      agents, (unsigned long long)makespan,
+      (unsigned long long)total_agent_time, (unsigned long long)work,
+      (unsigned long long)overhead, (unsigned long long)idle_charged,
+      (unsigned long long)idle_tail, achieved_speedup(), efficiency());
+  out += ",\"attrib\":" + attrib.to_json();
+  out += ",\"schema_savings\":" + savings.to_json();
+  if (!parcalls.empty()) {
+    out += strf(",\"parcall_serialized\":%llu,\"parcall_critical\":%llu",
+                (unsigned long long)parcall_serialized_total,
+                (unsigned long long)parcall_critical_total);
+    out += ",\"parcalls\":[";
+    for (std::size_t i = 0; i < parcalls.size(); ++i) {
+      if (i != 0) out += ",";
+      out += strf("{\"pf\":%llu,\"slots\":%u,\"serialized\":%llu,"
+                  "\"critical\":%llu}",
+                  (unsigned long long)parcalls[i].pf, parcalls[i].slots,
+                  (unsigned long long)parcalls[i].serialized,
+                  (unsigned long long)parcalls[i].critical);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,81 @@
+// Speedup decomposition and critical-path analysis ("where did the
+// speedup go").
+//
+// Virtual-time accounting identity, per run with N agents and makespan T:
+//
+//   N * T  =  work  +  overhead  +  idle_charged  +  idle_tail
+//
+// where work/overhead/idle_charged come straight from the per-category
+// attribution (conservation: their sum is Σ agent clocks) and idle_tail is
+// the uncharged time between an agent's final clock value and the makespan.
+// Dividing by the work term gives the decomposition the paper's tables
+// imply: achieved speedup = work / T (the run's own work as the
+// sequential-equivalent reference), ideal = N, and every lost fraction is
+// pinned on a category.
+//
+// The optional critical-path pass consumes a sim Tracer recording
+// (SlotStart/SlotComplete/SlotFail spans) and reports, per parcall frame,
+// the serialized slot time vs the longest slot — the irreducible critical
+// path — so load imbalance is distinguishable from overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/result.hpp"
+#include "sim/trace.hpp"
+#include "stats/attrib.hpp"
+
+namespace ace {
+
+struct ParcallPathRow {
+  std::uint64_t pf = 0;          // parcall frame id
+  unsigned slots = 0;            // executed slot spans
+  std::uint64_t serialized = 0;  // Σ slot durations
+  std::uint64_t critical = 0;    // max slot duration
+};
+
+struct SpeedupReport {
+  unsigned agents = 1;
+  std::uint64_t makespan = 0;          // virtual_time of the run
+  std::uint64_t total_agent_time = 0;  // Σ agent clocks
+  // The four-way split of agents*makespan (see header comment).
+  std::uint64_t work = 0;
+  std::uint64_t overhead = 0;
+  std::uint64_t idle_charged = 0;
+  std::uint64_t idle_tail = 0;
+  AttribBreakdown attrib;  // category detail behind work/overhead/idle
+  SchemaSavings savings;   // what the enabled schemas saved this run
+
+  double ideal_speedup() const { return static_cast<double>(agents); }
+  // work / makespan: how much faster than a hypothetical sequential
+  // execution of the same work this run finished.
+  double achieved_speedup() const;
+  double efficiency() const {
+    return agents == 0 ? 0.0 : achieved_speedup() / agents;
+  }
+
+  // Critical-path rows (filled by analyze_critical_path; empty otherwise),
+  // largest serialized time first, capped by the caller.
+  std::vector<ParcallPathRow> parcalls;
+  std::uint64_t parcall_serialized_total = 0;
+  std::uint64_t parcall_critical_total = 0;
+
+  // Multi-line human-readable report (the `ace_run --explain` output).
+  std::string render() const;
+  std::string to_json() const;
+};
+
+// Builds the decomposition from a finished run. `agents` must be the
+// configured agent count (SolveResult carries one clock per agent already,
+// but Seq runs have exactly one).
+SpeedupReport analyze_speedup(const SolveResult& result, unsigned agents);
+
+// Adds per-parcall critical-path rows from a sim Tracer recording of the
+// same run. Keeps the `max_rows` largest parcalls by serialized time.
+void analyze_critical_path(SpeedupReport& report,
+                           const std::vector<TraceRecord>& records,
+                           std::size_t max_rows = 8);
+
+}  // namespace ace

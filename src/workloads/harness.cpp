@@ -27,6 +27,9 @@ RunOutcome run_workload(const Workload& w, const RunConfig& cfg,
   out.num_solutions = r.solutions.size();
   out.solutions = std::move(r.solutions);
   out.stats = r.stats;
+  out.attrib = r.attrib;
+  out.agent_clocks = r.agent_clocks;
+  out.savings = r.savings;
   return out;
 }
 

@@ -24,6 +24,7 @@ struct RunConfig {
   bool pdo = false;
   bool lao = false;
   bool static_facts = false;  // elide statically proven opt checks
+  bool attrib = false;        // per-predicate attribution rows
   std::size_t max_solutions = SIZE_MAX;
   bool use_threads = false;  // AndpMachine only
   std::uint64_t resolution_limit = 0;
@@ -39,6 +40,7 @@ struct RunConfig {
     c.pdo = pdo;
     c.lao = lao;
     c.static_facts = static_facts;
+    c.attrib = attrib;
     c.use_threads = use_threads;
     c.resolution_limit = resolution_limit;
     return c;
@@ -50,6 +52,11 @@ struct RunOutcome {
   std::size_t num_solutions = 0;
   std::vector<std::string> solutions;
   Counters stats;
+  // Attribution rollups (PR 4): per-category virtual time summed over
+  // agents, one final clock per agent and the schema-savings estimate.
+  AttribBreakdown attrib;
+  std::vector<std::uint64_t> agent_clocks;
+  SchemaSavings savings;
 };
 
 // Runs `query` against the workload's program. Uses the workload's default

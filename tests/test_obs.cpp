@@ -501,6 +501,108 @@ TEST(SlowLog, ServiceFeedsTheLog) {
   EXPECT_NE(service.slowlog().render().find("pick(X)."), std::string::npos);
 }
 
+TEST(SlowLog, RenderIncludesTopOverheadCategories) {
+  obs::SlowLogOptions opts;
+  opts.threshold = 1us;
+  obs::SlowQueryLog log(opts);
+
+  // A query that carried attribution: five categories, three of which are
+  // overhead. Only the top-3 overhead categories appear in the note.
+  QueryResult r = result_with_latency(9, 500us);
+  r.attrib[CostCat::kUnify] = 400;     // work: contributes to total only
+  r.attrib[CostCat::kParcall] = 300;   // overhead #1
+  r.attrib[CostCat::kSched] = 200;     // overhead #2
+  r.attrib[CostCat::kMarker] = 50;     // overhead #3
+  r.attrib[CostCat::kOptCheck] = 10;   // overhead #4: squeezed out of top-3
+  log.consider(r);
+  // A query with no attribution renders without an overhead note.
+  log.consider(result_with_latency(10, 400us));
+
+  std::string out = log.render();
+  // 560 overhead / 960 total = 58.3%.
+  EXPECT_NE(out.find("ovh=58.3%[parcall:300,sched:200,marker:50]"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("opt_check"), std::string::npos) << out;
+  // The attribution-free entry has no "ovh=" on its line.
+  std::size_t q10 = out.find("q10.");
+  ASSERT_NE(q10, std::string::npos);
+  std::size_t line_start = out.rfind('\n', q10);
+  ASSERT_NE(line_start, std::string::npos);
+  EXPECT_EQ(out.find("ovh=", line_start), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Export robustness across ring states: empty, exactly full, overwritten.
+
+TEST(ChromeExport, EmptyRingExportsValidTraceWithZeroDropped) {
+  Recorder rec;
+  rec.create_track("idle");
+  std::string json = obs::chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"droppedEvents\":0,"), std::string::npos) << json;
+  EXPECT_EQ(json.find("dropped_events"), std::string::npos) << json;
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+}
+
+TEST(ChromeExport, ExactlyFullRingDropsNothing) {
+  obs::RecorderOptions opts;
+  opts.ring_capacity = 8;
+  Recorder rec(opts);
+  obs::Track* t = rec.create_track("t");
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    t->note_qid(EventKind::Solution, /*qid=*/1, /*a=*/i);
+  }
+  std::vector<TrackSnapshot> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].dropped, 0u);
+  EXPECT_EQ(snap[0].records.size(), 8u);
+
+  std::string json = obs::chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"droppedEvents\":0,"), std::string::npos) << json;
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+}
+
+TEST(ChromeExport, OverwrittenRingSurfacesDropsAndStillValidates) {
+  obs::RecorderOptions opts;
+  opts.ring_capacity = 8;
+  Recorder rec(opts);
+  obs::Track* t = rec.create_track("t");
+  // 22 records into an 8-slot ring: the RunBegin and the first 13
+  // solutions are overwritten; the surviving window ends with an orphan
+  // RunEnd whose begin partner is gone.
+  t->note_qid(EventKind::RunBegin, 1);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    t->note_qid(EventKind::Solution, 1, i);
+  }
+  t->note_qid(EventKind::RunEnd, 1);
+
+  std::vector<TrackSnapshot> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].dropped, 14u);
+  EXPECT_EQ(snap[0].records.size(), 8u);
+
+  std::string json = obs::chrome_trace_json(rec);
+  // Sum over tracks in the header plus a per-track metadata event.
+  EXPECT_NE(json.find("\"droppedEvents\":14,"), std::string::npos) << json;
+  EXPECT_NE(json.find("dropped_events"), std::string::npos) << json;
+  // The orphan RunEnd still appears (degraded, not silently discarded).
+  EXPECT_NE(json.find("run_end"), std::string::npos) << json;
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &err)) << err;
+}
+
+TEST(ChromeValidator, RejectsNegativeDroppedEvents) {
+  std::string err;
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"droppedEvents\":-3,\"traceEvents\":[]}", &err));
+  EXPECT_NE(err.find("droppedEvents"), std::string::npos) << err;
+  EXPECT_TRUE(obs::validate_chrome_trace(
+      "{\"droppedEvents\":3,\"traceEvents\":[]}", &err))
+      << err;
+}
+
 // ---------------------------------------------------------------------------
 // Engine facade: per-query Counters delta on all three engine kinds.
 

@@ -4,13 +4,21 @@
 // exists to win.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "builtins/lib.hpp"
+#include "serve/http_metrics.hpp"
 #include "serve/service.hpp"
+#include "stats/prometheus.hpp"
 
 namespace ace {
 namespace {
@@ -518,6 +526,101 @@ TEST(ServeMetricsTest, HistogramPercentilesAndJson) {
         "\"pool_hit_rate\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+// Satellite hardening: days-long (and corrupt) durations must neither wrap
+// the counters nor push percentiles outside the observed range.
+TEST(ServeMetricsTest, HistogramSurvivesExtremeDurations) {
+  LatencyHistogram h;
+  h.record(std::chrono::microseconds(-42));  // negative counts as zero
+  h.record(std::chrono::microseconds(0));
+  h.record(std::chrono::microseconds::max());
+  h.record(std::chrono::microseconds::max());
+  h.record(std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::hours(24 * 30)));  // one month
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  // The running sum saturates at UINT64_MAX instead of wrapping small.
+  EXPECT_EQ(s.sum_us, ~std::uint64_t{0});
+  EXPECT_EQ(s.max_us, static_cast<std::uint64_t>(
+                          std::chrono::microseconds::max().count()));
+  // Every sample landed in a bucket (the top bucket is a clamp).
+  ASSERT_EQ(s.buckets.size(), LatencyHistogram::kBuckets);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+  // Top-bucket percentiles report the observed max, not a fictitious
+  // power-of-two bound; low percentiles stay in the zero bucket.
+  EXPECT_EQ(s.percentile_us(1.0), s.max_us);
+  EXPECT_EQ(s.percentile_us(0.99), s.max_us);
+  EXPECT_LE(s.percentile_us(0.0), 1u);
+  // JSON and Prometheus renderings stay finite and well-formed.
+  ServeMetrics m;
+  m.record_latency(std::chrono::microseconds::max());
+  ServeMetricsSnapshot snap = m.snapshot();
+  EXPECT_NE(snap.to_json().find("\"latency\":"), std::string::npos);
+  std::string prom = prometheus_text(snap);
+  EXPECT_NE(prom.find("ace_serve_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(ServeMetricsTest, AttribRollupAggregatesAndRendersConditionally) {
+  ServeMetrics m;
+  // Before any attribution reports: neither surface mentions it.
+  EXPECT_EQ(m.snapshot().to_json().find("attrib"), std::string::npos);
+  EXPECT_EQ(prometheus_text(m.snapshot()).find("ace_attrib"),
+            std::string::npos);
+
+  AttribBreakdown a;
+  a[CostCat::kUnify] = 10;
+  a[CostCat::kParcall] = 5;
+  m.add_attrib(a, 15);
+  m.add_attrib(a, 15);
+  ServeMetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.attrib_queries, 2u);
+  EXPECT_EQ(snap.attrib_virtual_time, 30u);
+  EXPECT_EQ(snap.attrib[CostCat::kUnify], 20u);
+  EXPECT_EQ(snap.attrib[CostCat::kParcall], 10u);
+
+  std::string prom = prometheus_text(snap);
+  EXPECT_NE(prom.find("ace_attrib_queries_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("ace_attrib_makespan_total 30"), std::string::npos);
+  EXPECT_NE(
+      prom.find("ace_attrib_virtual_time_total{category=\"unify\"} 20"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("ace_attrib_virtual_time_total{category=\"parcall\"} 10"),
+      std::string::npos);
+}
+
+// End-to-end scrape of the metrics endpoint: bind an ephemeral port, speak
+// minimal HTTP/1.1, expect the render callback's body behind a 200.
+TEST(MetricsHttp, ServesRenderedBodyOverHttp) {
+  MetricsHttpServer server(0, [] { return std::string("ace_up 1\n"); });
+  ASSERT_GT(server.port(), 0);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char* req = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_EQ(::send(fd, req, std::strlen(req), 0),
+            static_cast<ssize_t>(std::strlen(req)));
+  std::string resp;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("ace_up 1\n"), std::string::npos);
+  server.stop();  // idempotent with the destructor
 }
 
 }  // namespace

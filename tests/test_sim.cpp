@@ -34,6 +34,14 @@ TEST_P(Determinism, RepeatedRunsIdentical) {
   EXPECT_EQ(a.stats.input_markers, b.stats.input_markers);
   EXPECT_EQ(a.stats.copied_cells, b.stats.copied_cells);
   EXPECT_EQ(a.stats.sharing_sessions, b.stats.sharing_sessions);
+  // Attribution is part of the deterministic surface too: identical runs
+  // produce identical per-category charges and per-agent clocks, and the
+  // categories partition the summed clocks exactly (conservation).
+  EXPECT_EQ(a.attrib.at, b.attrib.at);
+  EXPECT_EQ(a.agent_clocks, b.agent_clocks);
+  std::uint64_t clock_sum = 0;
+  for (std::uint64_t t : a.agent_clocks) clock_sum += t;
+  EXPECT_EQ(a.attrib.total(), clock_sum);
 }
 
 INSTANTIATE_TEST_SUITE_P(

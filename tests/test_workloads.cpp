@@ -194,5 +194,108 @@ sorted_ok([A, B|T]) :- A =< B, sorted_ok([B|T]).
   EXPECT_TRUE(eng.succeeds("quick_sort(30, S), sorted_ok(S), length(S, 30)."));
 }
 
+// ---------------------------------------------------------------------------
+// Attribution conservation (PR 4). The category sums must exactly partition
+// virtual time — no charge may escape or double-count — on every workload,
+// at 1, 5 and 10 agents, and enabling the per-predicate feature must not
+// perturb the run at all.
+
+RunConfig attrib_cfg(const Workload& w, unsigned agents) {
+  RunConfig cfg;
+  if (w.and_parallel) {
+    cfg.engine = EngineKind::Andp;
+    cfg.lpco = cfg.shallow = cfg.pdo = true;
+  } else {
+    cfg.engine = EngineKind::Orp;
+    cfg.lao = true;
+  }
+  cfg.agents = agents;
+  return cfg;
+}
+
+TEST(Attribution, CategorySumsPartitionVirtualTimeOnEveryWorkload) {
+  for (const Workload& w : workloads()) {
+    for (unsigned agents : {1u, 5u, 10u}) {
+      RunOutcome out = run_small(w.name, attrib_cfg(w, agents));
+      ASSERT_EQ(out.agent_clocks.size(), agents) << w.name << "@" << agents;
+
+      // Conservation: the machine-level rollup equals the summed agent
+      // clocks, and work/overhead/idle partition it with no remainder.
+      std::uint64_t clock_sum = 0;
+      for (std::uint64_t c : out.agent_clocks) clock_sum += c;
+      EXPECT_EQ(out.attrib.total(), clock_sum) << w.name << "@" << agents;
+      EXPECT_EQ(out.attrib.work() + out.attrib.overhead() + out.attrib.idle(),
+                out.attrib.total())
+          << w.name << "@" << agents;
+
+      // Makespan shape: or-parallel reports the largest agent clock; the
+      // and-parallel makespan is the top-level agent's clock, which helper
+      // teardown (charges paid after their last publish) may trail past by
+      // a few ticks — but never ahead of it.
+      std::uint64_t max_clock =
+          *std::max_element(out.agent_clocks.begin(), out.agent_clocks.end());
+      if (w.and_parallel) {
+        EXPECT_EQ(out.virtual_time, out.agent_clocks[0])
+            << w.name << "@" << agents;
+        EXPECT_LE(out.virtual_time, max_clock) << w.name << "@" << agents;
+      } else {
+        EXPECT_EQ(out.virtual_time, max_clock) << w.name << "@" << agents;
+      }
+      EXPECT_GT(out.attrib.work(), 0u) << w.name << "@" << agents;
+    }
+  }
+}
+
+TEST(Attribution, PerAgentAndPerPredicateRowsPartitionEachClock) {
+  for (const char* name : {"map2", "pderiv_bt", "queens1"}) {
+    const Workload& w = workload(name);
+    RunConfig cfg = attrib_cfg(w, 5);
+    cfg.attrib = true;  // enable per-predicate rows
+
+    Database db;
+    load_library(db);
+    db.consult(w.source);
+    Engine eng(db, cfg.engine_config());
+    SolveResult r =
+        eng.solve(w.small_query, w.all_solutions ? SIZE_MAX : std::size_t{1});
+
+    ASSERT_EQ(r.per_agent_attrib.size(), r.agent_clocks.size()) << name;
+    ASSERT_EQ(r.per_agent_preds.size(), r.agent_clocks.size()) << name;
+    for (std::size_t i = 0; i < r.agent_clocks.size(); ++i) {
+      // Each agent's category sums equal its clock...
+      EXPECT_EQ(r.per_agent_attrib[i].total(), r.agent_clocks[i])
+          << name << " agent " << i;
+      // ...and its per-predicate rows partition the same clock: every
+      // charge bills to the current predicate (or the pseudo-entry).
+      std::uint64_t pred_sum = 0;
+      for (const PredAttrib& row : r.per_agent_preds[i]) {
+        pred_sum += row.a.total();
+      }
+      EXPECT_EQ(pred_sum, r.agent_clocks[i]) << name << " agent " << i;
+    }
+  }
+}
+
+TEST(Attribution, PerPredicateFeatureDoesNotPerturbExecution) {
+  for (const Workload& w : workloads()) {
+    RunConfig off = attrib_cfg(w, 5);
+    RunConfig on = off;
+    on.attrib = true;
+
+    RunOutcome base = run_small(w.name, off);
+    RunOutcome instrumented = run_small(w.name, on);
+
+    // Bit-identical run: same makespan, same solutions in the same order,
+    // same counters, same category breakdown.
+    EXPECT_EQ(instrumented.virtual_time, base.virtual_time) << w.name;
+    EXPECT_EQ(instrumented.solutions, base.solutions) << w.name;
+    EXPECT_EQ(instrumented.stats.resolutions, base.stats.resolutions)
+        << w.name;
+    EXPECT_EQ(instrumented.stats.steals, base.stats.steals) << w.name;
+    EXPECT_EQ(instrumented.agent_clocks, base.agent_clocks) << w.name;
+    EXPECT_EQ(instrumented.attrib.at, base.attrib.at) << w.name;
+  }
+}
+
 }  // namespace
 }  // namespace ace

@@ -21,6 +21,17 @@
 //                              the plain-text solution listing
 //   --trace FILE               record the query with the obs layer and
 //                              write Chrome trace_event JSON (Perfetto)
+//   --attrib                   collect per-predicate attribution and print
+//                              the per-category virtual-time table
+//   --explain                  print the speedup decomposition ("where did
+//                              the speedup go"): work/overhead/idle split
+//                              of the agents*makespan budget, per-category
+//                              attribution, schema savings and the slot
+//                              critical path (with --json: the report as a
+//                              JSON object instead)
+//   --flame FILE               write collapsed-stack attribution samples
+//                              (agent;pred;category weight) for
+//                              flamegraph.pl / speedscope / inferno
 //
 // Prints each solution, then the virtual time; with --stats the counters
 // the paper's optimizations act on. All three engines run through the
@@ -35,6 +46,8 @@
 #include "builtins/lib.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "sim/trace.hpp"
+#include "stats/speedup.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -56,6 +69,7 @@ std::string read_file(const std::string& path) {
                "               [--threads] [--max-solutions N] [--stats]"
                " [--limit N]\n"
                "               [--json] [--trace FILE]\n"
+               "               [--attrib] [--explain] [--flame FILE]\n"
                "               (<file.pl>... '<query.>' | --workload <name>"
                " [--query '<q.>'])\n");
   std::exit(2);
@@ -71,9 +85,11 @@ int main(int argc, char** argv) {
   std::string query;
   std::string workload_name;
   std::string trace_path;
+  std::string flame_path;
   bool want_stats = false;
   bool want_json = false;
   bool want_analyze = false;
+  bool want_explain = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -122,6 +138,17 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--attrib") {
+      cfg.attrib = true;
+    } else if (arg == "--explain") {
+      want_explain = true;
+      cfg.attrib = true;  // per-predicate detail rides along
+    } else if (arg == "--flame") {
+      flame_path = next();
+      cfg.attrib = true;  // collapsed stacks want predicate frames
+    } else if (arg.rfind("--flame=", 0) == 0) {
+      flame_path = arg.substr(std::strlen("--flame="));
+      cfg.attrib = true;
     } else if (arg == "--workload") {
       workload_name = next();
     } else if (arg == "--query") {
@@ -177,9 +204,11 @@ int main(int argc, char** argv) {
 
     obs::Recorder recorder;
     if (!trace_path.empty()) eng.set_recorder(&recorder);
+    Tracer tracer;
+    if (want_explain) eng.set_tracer(&tracer);
 
     int rc;
-    if (want_json) {
+    if (want_json && !want_explain && flame_path.empty()) {
       QueryBudget budget;
       budget.max_solutions = cfg.max_solutions;
       QueryResult r = eng.query(query, budget);
@@ -188,12 +217,41 @@ int main(int argc, char** argv) {
       rc = r.outcome == QueryOutcome::Success ? 0 : 1;
     } else {
       SolveResult r = eng.solve(query, cfg.max_solutions);
-      for (const std::string& s : r.solutions) {
-        std::printf("%s\n", s.c_str());
+      if (!want_json) {
+        for (const std::string& s : r.solutions) {
+          std::printf("%s\n", s.c_str());
+        }
+        std::printf("%% %zu solution(s), virtual time %llu\n",
+                    r.solutions.size(), (unsigned long long)r.virtual_time);
+        if (want_stats) std::printf("%s", r.stats.summary().c_str());
+        if (cfg.attrib && !want_explain) {
+          std::printf("%% attribution by category:\n%s",
+                      r.attrib.table("  ").c_str());
+        }
       }
-      std::printf("%% %zu solution(s), virtual time %llu\n",
-                  r.solutions.size(), (unsigned long long)r.virtual_time);
-      if (want_stats) std::printf("%s", r.stats.summary().c_str());
+      if (want_explain) {
+        SpeedupReport rep = analyze_speedup(r, cfg.agents);
+        analyze_critical_path(rep, tracer.snapshot());
+        if (want_json) {
+          std::printf("%s\n", rep.to_json().c_str());
+        } else {
+          std::printf("%s", rep.render().c_str());
+        }
+      }
+      if (!flame_path.empty()) {
+        std::ofstream out(flame_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", flame_path.c_str());
+          return 2;
+        }
+        std::string stacks =
+            collapsed_stacks(r.per_agent_attrib, r.per_agent_preds);
+        out << stacks;
+        std::fprintf(stderr,
+                     "flame: %zu bytes of collapsed stacks -> %s "
+                     "(feed to flamegraph.pl or speedscope)\n",
+                     stacks.size(), flame_path.c_str());
+      }
       rc = r.solutions.empty() ? 1 : 0;
     }
 

@@ -35,6 +35,12 @@
 //                         Perfetto (ui.perfetto.dev) or about://tracing
 //   --slowlog-ms N        keep the slowest queries at/above N ms and print
 //                         the slow-query log to stderr on exit
+//   --attrib              default every query to cost attribution (per-
+//                         category virtual-time breakdowns feed the serving
+//                         metrics and the Prometheus endpoint)
+//   --metrics-port N      serve Prometheus text metrics on 127.0.0.1:N
+//                         (N=0 binds an ephemeral port; the bound port is
+//                         printed to stderr)
 //
 // Output: one versioned QueryResult JSON object per line (v2), in
 // submission order:
@@ -52,7 +58,9 @@
 #include "builtins/lib.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "serve/http_metrics.hpp"
 #include "serve/service.hpp"
+#include "stats/prometheus.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -71,7 +79,8 @@ std::string read_file(const std::string& path) {
                "                 [--deadline MILLIS] [--limit N] [--window N]\n"
                "                 [--quiet] [--metrics] [--v1]"
                " [--analyze] [--static-facts]\n"
-               "                 [--trace FILE] [--slowlog-ms N]\n"
+               "                 [--trace FILE] [--slowlog-ms N] [--attrib]\n"
+               "                 [--metrics-port N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
                "queries on stdin, one per line:\n"
                "  [engine=andp agents=4 lpco deadline=100 max=3] goal(X).\n");
@@ -122,6 +131,8 @@ bool parse_line_options(std::string& line, ace::QueryRequest& req) {
       req.engine.pdo = req.engine.lao = true;
     } else if (key == "sfacts") {
       req.engine.static_facts = true;
+    } else if (key == "attrib") {
+      req.engine.attrib = true;
     } else if (key == "threads") {
       req.engine.use_threads = true;
     } else if (key == "max") {
@@ -174,6 +185,8 @@ int main(int argc, char** argv) {
   bool v1 = false;
   bool want_analyze = false;
   bool default_sfacts = false;
+  bool default_attrib = false;
+  int metrics_port = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -203,6 +216,11 @@ int main(int argc, char** argv) {
       want_analyze = true;
     } else if (arg == "--static-facts") {
       default_sfacts = true;
+    } else if (arg == "--attrib") {
+      default_attrib = true;
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<int>(std::stoul(next()));
+      if (metrics_port > 65535) usage();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -242,6 +260,17 @@ int main(int argc, char** argv) {
     }
 
     QueryService service(db, sopts);
+
+    // The metrics server captures `service`; it is declared after it so it
+    // is destroyed (listener closed, thread joined) before the service.
+    std::unique_ptr<MetricsHttpServer> metrics_server;
+    if (metrics_port >= 0) {
+      metrics_server = std::make_unique<MetricsHttpServer>(
+          static_cast<std::uint16_t>(metrics_port),
+          [&service] { return prometheus_text(service.metrics_snapshot()); });
+      std::fprintf(stderr, "metrics: serving http://127.0.0.1:%u/metrics\n",
+                   unsigned{metrics_server->port()});
+    }
 
     if (want_analyze) {
       LintReport rep = lint_program(db.syms(), program_text);
@@ -290,6 +319,7 @@ int main(int argc, char** argv) {
       if (line[pos] == '%') continue;            // comment
       req.query = line.substr(pos);
       if (default_sfacts) req.engine.static_facts = true;
+      if (default_attrib) req.engine.attrib = true;
       if (inflight.size() >= window) drain_one();
       InFlight f;
       f.text = req.query;

@@ -1,0 +1,288 @@
+// ace_stats: speedup-trajectory analyzer.
+//
+//   ace_stats [options] <file.pl...> '<query.>'
+//   ace_stats [options] --workload <name> [--query '<query.>']
+//
+// Runs one query at a ladder of agent counts and reports, per rung, the
+// paper's accounting identity
+//
+//   agents * makespan = work + overhead + idle(charged) + idle(tail)
+//
+// as a table: relative speedup (vs the 1-agent rung), achieved speedup
+// (work/makespan), efficiency and the percentage each loss category eats.
+// The last rung additionally gets the full `--explain` style decomposition
+// (per-category attribution, schema savings, slot critical path) plus the
+// per-predicate attribution rows merged over agents.
+//
+// Options:
+//   --engine seq|andp|orp      (default andp)
+//   --agents-list A,B,C        agent counts to sweep (default 1,5,10)
+//   --lpco --shallow --pdo --lao --all-opts --static-facts
+//   --max-solutions N          solution cap per run
+//   --limit N                  resolution limit per run
+//   --preds N                  per-predicate rows to print (default 10)
+//   --json                     machine-readable output: one JSON object with
+//                              a "runs" array of speedup reports
+//   --flame FILE               write collapsed-stack attribution samples for
+//                              the last rung (flamegraph.pl / speedscope)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "builtins/lib.hpp"
+#include "sim/trace.hpp"
+#include "stats/speedup.hpp"
+#include "support/strutil.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ace::AceError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: ace_stats [--engine seq|andp|orp]"
+               " [--agents-list 1,5,10]\n"
+               "                 [--lpco] [--shallow] [--pdo] [--lao]"
+               " [--all-opts]\n"
+               "                 [--static-facts] [--max-solutions N]"
+               " [--limit N]\n"
+               "                 [--preds N] [--json] [--flame FILE]\n"
+               "                 (<file.pl>... '<query.>' | --workload <name>"
+               " [--query '<q.>'])\n");
+  std::exit(2);
+}
+
+std::vector<unsigned> parse_agents_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    unsigned long v = std::stoul(tok);
+    if (v == 0 || v > 1024) usage();
+    out.push_back(static_cast<unsigned>(v));
+  }
+  if (out.empty()) usage();
+  return out;
+}
+
+// Per-predicate rows merged over all agents of a run, largest total first.
+std::vector<ace::PredAttrib> merge_preds(
+    const std::vector<std::vector<ace::PredAttrib>>& per_agent_preds) {
+  std::map<std::string, ace::AttribBreakdown> merged;
+  for (const auto& rows : per_agent_preds) {
+    for (const ace::PredAttrib& row : rows) merged[row.pred].add(row.a);
+  }
+  std::vector<ace::PredAttrib> out;
+  out.reserve(merged.size());
+  for (auto& [pred, a] : merged) out.push_back({pred, a});
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ace::PredAttrib& x, const ace::PredAttrib& y) {
+                     return x.a.total() > y.a.total();
+                   });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.attrib = true;
+  std::vector<std::string> files;
+  std::string query;
+  std::string workload_name;
+  std::string flame_path;
+  std::vector<unsigned> agents_list = {1, 5, 10};
+  std::size_t num_preds = 10;
+  bool want_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      std::string e = next();
+      if (e == "seq") {
+        cfg.engine = EngineKind::Seq;
+      } else if (e == "andp") {
+        cfg.engine = EngineKind::Andp;
+      } else if (e == "orp") {
+        cfg.engine = EngineKind::Orp;
+      } else {
+        usage();
+      }
+    } else if (arg == "--agents-list") {
+      agents_list = parse_agents_list(next());
+    } else if (arg == "--lpco") {
+      cfg.lpco = true;
+    } else if (arg == "--shallow") {
+      cfg.shallow = true;
+    } else if (arg == "--pdo") {
+      cfg.pdo = true;
+    } else if (arg == "--lao") {
+      cfg.lao = true;
+    } else if (arg == "--all-opts") {
+      cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+    } else if (arg == "--static-facts") {
+      cfg.static_facts = true;
+    } else if (arg == "--max-solutions") {
+      cfg.max_solutions = std::stoul(next());
+    } else if (arg == "--limit") {
+      cfg.resolution_limit = std::stoull(next());
+    } else if (arg == "--preds") {
+      num_preds = std::stoul(next());
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg == "--flame") {
+      flame_path = next();
+    } else if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--query") {
+      query = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (cfg.engine == EngineKind::Seq) agents_list = {1};
+
+  try {
+    Database db;
+    load_library(db);
+    std::string label;
+    if (!workload_name.empty()) {
+      const Workload& w = workload(workload_name);
+      db.consult(w.source);
+      label = w.name;
+      if (query.empty()) query = w.query;
+      if (cfg.max_solutions == SIZE_MAX && !w.all_solutions) {
+        cfg.max_solutions = 1;
+      }
+    } else {
+      if (files.empty()) usage();
+      if (query.empty()) {
+        query = files.back();
+        files.pop_back();
+        if (files.empty() && query.find(".pl") != std::string::npos) usage();
+      }
+      for (const std::string& f : files) {
+        db.consult(read_file(f));
+        if (!label.empty()) label += "+";
+        label += f;
+      }
+    }
+
+    const CostModel costs =
+        cfg.costs != nullptr ? *cfg.costs : CostModel::standard();
+
+    struct Rung {
+      unsigned agents;
+      SpeedupReport report;
+      SolveResult result;
+    };
+    std::vector<Rung> rungs;
+    for (unsigned agents : agents_list) {
+      RunConfig rc = cfg;
+      rc.agents = agents;
+      Engine eng(db, rc.engine_config(), costs);
+      Tracer tracer;
+      eng.set_tracer(&tracer);
+      SolveResult r = eng.solve(query, cfg.max_solutions);
+      SpeedupReport rep = analyze_speedup(r, agents);
+      analyze_critical_path(rep, tracer.snapshot());
+      rungs.push_back({agents, std::move(rep), std::move(r)});
+    }
+
+    const Rung& last = rungs.back();
+    std::uint64_t base_vt = rungs.front().report.makespan;
+
+    if (want_json) {
+      std::string out = strf("{\"program\":\"%s\",\"engine\":\"%s\"",
+                             label.c_str(), engine_mode_name(cfg.engine));
+      out += ",\"runs\":[";
+      for (std::size_t i = 0; i < rungs.size(); ++i) {
+        if (i != 0) out += ",";
+        out += rungs[i].report.to_json();
+      }
+      out += "]}";
+      std::printf("%s\n", out.c_str());
+    } else {
+      std::printf("%% %s on %s engine, query %s\n", label.c_str(),
+                  engine_mode_name(cfg.engine), query.c_str());
+      std::printf(
+          "agents     makespan  rel-speedup  achieved   eff%%   work%%  "
+          "ovhd%%   idle%%\n");
+      for (const Rung& rung : rungs) {
+        const SpeedupReport& rep = rung.report;
+        double rel = rep.makespan == 0
+                         ? 0.0
+                         : (double)base_vt / (double)rep.makespan;
+        std::uint64_t budget = (std::uint64_t)rep.agents * rep.makespan;
+        auto pct = [&](std::uint64_t v) {
+          return budget == 0 ? 0.0 : 100.0 * (double)v / (double)budget;
+        };
+        std::printf("%6u %12llu %11.2fx %8.2fx %6.1f %7.1f %7.1f %7.1f\n",
+                    rep.agents, (unsigned long long)rep.makespan, rel,
+                    rep.achieved_speedup(), 100.0 * rep.efficiency(),
+                    pct(rep.work), pct(rep.overhead),
+                    pct(rep.idle_charged + rep.idle_tail));
+      }
+      std::printf("\n%s", last.report.render().c_str());
+      std::vector<PredAttrib> preds = merge_preds(last.result.per_agent_preds);
+      if (!preds.empty() && num_preds > 0) {
+        std::printf("  top predicates (%u agents):\n", last.agents);
+        std::printf(
+            "    predicate                 total    share    work%%    "
+            "ovhd%%\n");
+        std::uint64_t grand = 0;
+        for (const PredAttrib& p : preds) grand += p.a.total();
+        for (std::size_t i = 0; i < preds.size() && i < num_preds; ++i) {
+          const PredAttrib& p = preds[i];
+          std::uint64_t tot = p.a.total();
+          double share = grand == 0 ? 0.0 : 100.0 * (double)tot / (double)grand;
+          double workp = tot == 0 ? 0.0 : 100.0 * (double)p.a.work() / (double)tot;
+          double ovhp = tot == 0 ? 0.0 : 100.0 * (double)p.a.overhead() / (double)tot;
+          std::printf("    %-20s %12llu  %6.1f%%  %6.1f%%  %6.1f%%\n",
+                      p.pred.c_str(), (unsigned long long)tot, share, workp,
+                      ovhp);
+        }
+      }
+    }
+
+    if (!flame_path.empty()) {
+      std::ofstream out(flame_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", flame_path.c_str());
+        return 2;
+      }
+      std::string stacks = collapsed_stacks(last.result.per_agent_attrib,
+                                            last.result.per_agent_preds);
+      out << stacks;
+      std::fprintf(stderr,
+                   "flame: %zu bytes of collapsed stacks -> %s "
+                   "(feed to flamegraph.pl or speedscope)\n",
+                   stacks.size(), flame_path.c_str());
+    }
+    return 0;
+  } catch (const AceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

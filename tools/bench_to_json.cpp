@@ -1,0 +1,134 @@
+// bench_to_json: converts bench_attrib's machine-readable `ATTRIB` lines
+// (stdin) into the checked-in BENCH_attrib.json document (stdout).
+//
+//   bench_attrib | bench_to_json > BENCH_attrib.json
+//
+// Every `ATTRIB key=value ...` line becomes one object in the "runs" array;
+// dotted keys (cat.unify, save.flattening, elide.opt_checks) nest into the
+// "categories" / "savings" / "elisions" sub-objects. Non-ATTRIB lines (the
+// human-readable table) are ignored, so the tool can eat the bench's full
+// stdout. The output is deterministic for deterministic input: keys keep
+// their input order and numbers are emitted verbatim.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  bool seen_digit = false, seen_dot = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '-' && i == 0) continue;
+    if (c == '.' && !seen_dot) {
+      seen_dot = true;
+      continue;
+    }
+    if (c < '0' || c > '9') return false;
+    seen_digit = true;
+  }
+  return seen_digit;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string value_json(const std::string& v) {
+  if (is_number(v)) return v;
+  return "\"" + json_escape(v) + "\"";
+}
+
+// One ATTRIB line -> one JSON object. Dotted keys are grouped into nested
+// objects; grouping relies on dotted keys with the same prefix being
+// adjacent, which is how bench_attrib emits them.
+std::string line_to_json(const std::string& line) {
+  std::istringstream ss(line);
+  std::string tok;
+  ss >> tok;  // "ATTRIB"
+  std::string out = "{";
+  std::string open_group;
+  bool first = true;
+  auto close_group = [&]() {
+    if (!open_group.empty()) {
+      out += "}";
+      open_group.clear();
+    }
+  };
+  while (ss >> tok) {
+    std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = tok.substr(0, eq);
+    std::string val = tok.substr(eq + 1);
+    std::size_t dot = key.find('.');
+    std::string group = dot == std::string::npos ? "" : key.substr(0, dot);
+    std::string leaf = dot == std::string::npos ? key : key.substr(dot + 1);
+    if (group != open_group) {
+      close_group();
+      if (!first) out += ",";
+      first = false;
+      if (!group.empty()) {
+        static const char* kGroupName[] = {"cat", "save", "elide"};
+        static const char* kJsonName[] = {"categories", "savings", "elisions"};
+        std::string gname = group;
+        for (int i = 0; i < 3; ++i) {
+          if (group == kGroupName[i]) gname = kJsonName[i];
+        }
+        out += "\"" + json_escape(gname) + "\":{";
+        open_group = group;
+        out += "\"" + json_escape(leaf) + "\":" + value_json(val);
+        continue;
+      }
+    } else if (!group.empty()) {
+      out += ",\"" + json_escape(leaf) + "\":" + value_json(val);
+      continue;
+    } else if (!first) {
+      out += ",";
+    }
+    first = false;
+    if (key == "vt") key = "virtual_time";  // long-form name in the document
+    out += "\"" + json_escape(key) + "\":" + value_json(val);
+  }
+  close_group();
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::string> runs;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.rfind("ATTRIB ", 0) == 0) runs.push_back(line_to_json(line));
+  }
+  if (runs.empty()) {
+    std::fprintf(stderr, "bench_to_json: no ATTRIB lines on stdin\n");
+    return 1;
+  }
+  std::printf("{\n  \"version\": 1,\n");
+  std::printf("  \"generator\": \"bench_attrib | bench_to_json\",\n");
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::printf("    %s%s\n", runs[i].c_str(),
+                i + 1 == runs.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
