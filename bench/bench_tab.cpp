@@ -1,0 +1,165 @@
+// bench_tab: the tabling benchmark behind BENCH_tab.json.
+//
+// Runs the graph workload family (workloads/graphs.hpp) on the or-parallel
+// engine with LAO at 1, 5 and 10 agents. The family ships each program in a
+// tabled and an untabled (`*_notab`) variant over the same edge set, so the
+// paired rows quantify what SLG tabling buys: the tabled transitive closure
+// is left-recursive (impossible under plain SLD), and the untabled
+// comparators re-derive shared subgoals on every alternative.
+//
+// Prints the same two surfaces as bench_attrib: a human-readable table and
+// one machine-readable `ATTRIB key=value ...` line per run, extended with
+// the worker-side table counters (tab.hits, tab.misses, tab.inserts,
+// tab.suspends, tab.resumes, tab.completions). The lines feed the shared
+// bench pipeline:
+//
+//   bench_tab | bench_to_json > BENCH_tab.json
+//   scripts/check_bench_regression.py BENCH_tab.json new.json
+//
+// Virtual times come from the deterministic simulator, so two builds of the
+// same source produce byte-identical ATTRIB lines; any diff the regression
+// gate sees is a real behavior change.
+//
+//   --quick      use each workload's reduced test query (CI smoke)
+//   --agents-list A,B,C   override the 1,5,10 ladder
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/attrib.hpp"
+#include "stats/speedup.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace ace;
+
+std::vector<unsigned> parse_agents_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
+struct RunRecord {
+  std::string name;
+  unsigned agents;
+  std::uint64_t vt;
+  double speedup;  // vs the 1-agent rung of the same workload
+  SpeedupReport report;
+  Counters stats;
+};
+
+std::string attrib_line(const RunRecord& r) {
+  std::string out = strf("ATTRIB name=%s engine=orp agents=%u vt=%llu "
+                         "speedup=%.4f work=%llu overhead=%llu "
+                         "idle_charged=%llu idle_tail=%llu",
+                         r.name.c_str(), r.agents, (unsigned long long)r.vt,
+                         r.speedup, (unsigned long long)r.report.work,
+                         (unsigned long long)r.report.overhead,
+                         (unsigned long long)r.report.idle_charged,
+                         (unsigned long long)r.report.idle_tail);
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    out += strf(" cat.%s=%llu", cost_cat_name(static_cast<CostCat>(i)),
+                (unsigned long long)r.report.attrib.at[i]);
+  }
+  out += strf(" tab.hits=%llu tab.misses=%llu tab.inserts=%llu"
+              " tab.suspends=%llu tab.resumes=%llu tab.completions=%llu"
+              " solutions=%llu",
+              (unsigned long long)r.stats.table_hits,
+              (unsigned long long)r.stats.table_misses,
+              (unsigned long long)r.stats.table_inserts,
+              (unsigned long long)r.stats.table_suspends,
+              (unsigned long long)r.stats.table_resumes,
+              (unsigned long long)r.stats.table_completions,
+              (unsigned long long)r.stats.solutions);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<unsigned> agents_list = {1, 5, 10};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--agents-list" && i + 1 < argc) {
+      agents_list = parse_agents_list(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_tab [--quick] [--agents-list 1,5,10]\n");
+      return 2;
+    }
+  }
+  if (agents_list.empty()) agents_list = {1, 5, 10};
+
+  std::printf("==============================================================\n");
+  std::printf("SLG tabling on the graph workload family (orp + LAO)\n");
+  std::printf("Cells: virtual time (relative speedup | solutions)\n");
+  std::printf("Paired rows: <name> is tabled, <name>_notab the SLD "
+              "comparator%s\n\n",
+              quick ? "; quick (reduced) queries" : "");
+
+  std::vector<std::string> header{"workload"};
+  for (unsigned a : agents_list) {
+    header.push_back(strf("%u agent%s", a, a == 1 ? "" : "s"));
+  }
+  TextTable table(header);
+
+  std::vector<RunRecord> records;
+  for (const Workload& w : graph_workloads()) {
+    RunConfig cfg;
+    cfg.engine = EngineKind::Orp;
+    cfg.lao = true;
+    if (!w.all_solutions) cfg.max_solutions = 1;
+    const std::string& q = quick ? w.small_query : w.query;
+
+    std::vector<std::string> cells{w.name};
+    std::uint64_t vt1 = 0;
+    for (unsigned agents : agents_list) {
+      cfg.agents = agents;
+      RunOutcome out = run_workload(w, cfg, q);
+
+      SolveResult synth;  // analyze_speedup consumes a SolveResult shape
+      synth.virtual_time = out.virtual_time;
+      synth.stats = out.stats;
+      synth.attrib = out.attrib;
+      synth.agent_clocks = out.agent_clocks;
+      synth.savings = out.savings;
+      SpeedupReport rep = analyze_speedup(synth, agents);
+
+      if (vt1 == 0) vt1 = out.virtual_time;
+      double speedup =
+          out.virtual_time == 0 ? 0.0 : double(vt1) / double(out.virtual_time);
+      cells.push_back(strf("%llu (%.2fx|%llu sol)",
+                           (unsigned long long)out.virtual_time, speedup,
+                           (unsigned long long)out.stats.solutions));
+
+      RunRecord rec;
+      rec.name = w.name;
+      rec.agents = agents;
+      rec.vt = out.virtual_time;
+      rec.speedup = speedup;
+      rec.report = rep;
+      rec.stats = out.stats;
+      records.push_back(std::move(rec));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  for (const RunRecord& r : records) {
+    std::printf("%s\n", attrib_line(r).c_str());
+  }
+  return 0;
+}

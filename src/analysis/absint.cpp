@@ -195,7 +195,34 @@ void AbsProgram::add_clause(const SymbolTable& syms, TermTemplate tmpl,
       head = tmpl.cells[tmpl.root.payload() + 1];
       body = tmpl.cells[tmpl.root.payload() + 2];
     } else if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 1) {
-      return;  // directive
+      // Directives carry no clauses, but `:- table name/arity.` (with the
+      // same comma-separated spec list the Database accepts) feeds the
+      // linter's APL007 pass. Malformed specs are the runtime's problem.
+      const Cell goal = tmpl.cells[tmpl.root.payload() + 1];
+      if (goal.tag() != Tag::Str) return;
+      const Cell g = tmpl.cells[goal.payload()];
+      if (g.fun_arity() != 1 || syms.name(g.fun_symbol()) != "table") return;
+      std::vector<Cell> work{tmpl.cells[goal.payload() + 1]};
+      while (!work.empty()) {
+        Cell spec = work.back();
+        work.pop_back();
+        if (spec.tag() != Tag::Str) continue;
+        const Cell sf = tmpl.cells[spec.payload()];
+        if (sf.fun_symbol() == syms.known().comma && sf.fun_arity() == 2) {
+          work.push_back(tmpl.cells[spec.payload() + 1]);
+          work.push_back(tmpl.cells[spec.payload() + 2]);
+          continue;
+        }
+        if (syms.name(sf.fun_symbol()) == "/" && sf.fun_arity() == 2) {
+          const Cell name = tmpl.cells[spec.payload() + 1];
+          const Cell arity = tmpl.cells[spec.payload() + 2];
+          if (name.tag() == Tag::Atm && arity.tag() == Tag::Int) {
+            tabled.insert(pred_key(name.symbol(),
+                                   static_cast<unsigned>(arity.integer())));
+          }
+        }
+      }
+      return;
     }
   }
   if (head.tag() == Tag::Atm) {
@@ -238,6 +265,7 @@ AbsProgram AbsProgram::from_database(const SymbolTable& syms,
                                      const Database& db) {
   AbsProgram prog;
   db.for_each_predicate([&](const Predicate& p) {
+    if (p.is_tabled()) prog.tabled.insert(pred_key(p.sym(), p.arity()));
     for (std::uint32_t i = 0; i < p.num_clauses(); ++i) {
       const Clause& c = p.clause(i);
       if (c.retracted) continue;
@@ -463,6 +491,7 @@ bool AbstractInterpreter::exec_builtin(AbsState& st, const TermTemplate& tmpl,
     case BuiltinId::TermGeq:
     case BuiltinId::AssertZ:
     case BuiltinId::AssertA:
+    case BuiltinId::TabGen:  // runtime-internal; never in analyzed source
       return true;  // no bindings on success
     case BuiltinId::Fail:
     case BuiltinId::Throw:

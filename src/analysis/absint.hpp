@@ -115,9 +115,15 @@ struct AbsProgram {
 
   std::vector<ClauseInfo> clauses;
   std::map<PredKey, std::vector<std::size_t>> preds;  // source order
+  // Predicates declared `:- table name/arity.` — the linter uses this to
+  // suppress APL007 on predicates the programmer already tables.
+  std::set<PredKey> tabled;
 
   bool defines(std::uint32_t sym, unsigned arity) const {
     return preds.count(pred_key(sym, arity)) != 0;
+  }
+  bool is_tabled(std::uint32_t sym, unsigned arity) const {
+    return tabled.count(pred_key(sym, arity)) != 0;
   }
 
   // Parses `src` (throws AceError on syntax errors). When `include_library`

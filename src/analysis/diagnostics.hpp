@@ -13,6 +13,9 @@
 //   APL005  unreachable clause (a preceding clause always commits first)
 //   APL006  overlapping clauses (two clauses match the same call and the
 //           predicate is not otherwise proven determinate) — pedantic
+//   APL007  directly-recursive predicate that is neither tabled nor
+//           provably determinate (likely exponential recomputation); the
+//           fixit suggests `:- table name/arity.`
 #pragma once
 
 #include <cstddef>

@@ -197,6 +197,59 @@ LintReport lint_program(SymbolTable& syms, const std::string& source,
     }
   }
 
+  // APL007: directly-recursive predicates that are neither tabled nor
+  // provably determinate re-derive the same subgoals on every alternative —
+  // the exponential-recomputation class SLG tabling exists to collapse.
+  // det_indexed counts as "provably det": structural recursion over a
+  // ground first argument (nrev, append-style) yields each answer once.
+  // Requiring a genuinely overlapping clause pair (not just "unproven det")
+  // keeps structurally exclusive recursion like []/[H|T] walkers quiet:
+  // their subgoal trees are linear even when the det proof falls short.
+  std::set<PredKey> overlapping_preds;
+  for (const ClauseOverlap& ov : rep.det.overlapping) {
+    const auto& ci = prog.clauses[ov.a];
+    overlapping_preds.insert(pred_key(ci.pred_sym, ci.pred_arity));
+  }
+  for (const auto& [pk, idxs] : prog.preds) {
+    const auto& first = prog.clauses[idxs.front()];
+    if (first.from_library) continue;
+    if (prog.tabled.count(pk) != 0) continue;
+    if (overlapping_preds.count(pk) == 0) continue;
+    const auto it = rep.det.preds.find(pk);
+    if (it != rep.det.preds.end() &&
+        (it->second.det || it->second.det_indexed)) {
+      continue;
+    }
+    bool recursive = false;
+    for (std::size_t idx : idxs) {
+      const auto& ci = prog.clauses[idx];
+      walk_goals(syms, ci.tmpl, ci.body, [&](Cell g) {
+        std::uint32_t sym = 0;
+        unsigned arity = 0;
+        if (g.tag() == Tag::Atm) {
+          sym = g.symbol();
+        } else if (g.tag() == Tag::Str) {
+          const Cell f = ci.tmpl.cells[g.payload()];
+          sym = f.fun_symbol();
+          arity = f.fun_arity();
+        } else {
+          return;
+        }
+        if (pred_key(sym, arity) == pk) recursive = true;
+      });
+      if (recursive) break;
+    }
+    if (!recursive) continue;
+    const std::string pred = clause_pred(syms, first);
+    rep.sink.add(
+        "APL007", Severity::Warning,
+        SourceSpan{first.span.line, first.span.col}, pred,
+        strf("directly recursive predicate %s is neither tabled nor provably "
+             "determinate: backtracking re-derives its subgoals "
+             "exponentially; consider adding ':- table %s.'",
+             pred.c_str(), pred.c_str()));
+  }
+
   // ---- Flow-sensitive passes (abstract interpretation) --------------------
 
   AbstractInterpreter interp(prog, syms);

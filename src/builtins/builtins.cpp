@@ -64,6 +64,7 @@ Builtins::Builtins(SymbolTable& syms) {
   reg(syms, "nl", 0, BuiltinId::Nl);
   reg(syms, "tab", 1, BuiltinId::Tab);
   reg(syms, "$ite_commit", 1, BuiltinId::IteCommit);
+  reg(syms, "$tab_gen", 1, BuiltinId::TabGen);
   reg(syms, "throw", 1, BuiltinId::Throw);
   reg(syms, "catch", 3, BuiltinId::Catch);
   reg(syms, "once", 1, BuiltinId::Once);
@@ -76,6 +77,7 @@ Builtins::Builtins(SymbolTable& syms) {
   reg(syms, "atom_concat", 3, BuiltinId::AtomConcat);
   reg(syms, "char_code", 2, BuiltinId::CharCode);
   ite_commit_sym_ = syms.intern("$ite_commit");
+  tab_gen_sym_ = syms.intern("$tab_gen");
 
   arith_.plus = syms.intern("+");
   arith_.minus = syms.intern("-");
@@ -316,6 +318,7 @@ BuiltinResult do_retract(Worker& w, Addr goal) {
     bool ok = do_unify(w, head, ch) && (body == 0 || do_unify(w, body, cb));
     if (ok) {
       pred->retract_clause(i);
+      w.db_.note_change_nolock(sym, arity);
       return BuiltinResult::Ok;
     }
     std::uint64_t undone = w.trail_.size() - mark;
@@ -637,6 +640,20 @@ BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
       Ref ite = static_cast<Ref>(c.integer());
       w.do_cut(w.frame(ite).prev_bt);
       return BuiltinResult::Ok;
+    }
+    case BuiltinId::TabGen: {
+      // One clause pass of a tabled generator (engine/tabling.cpp pushes
+      // '$tab_gen'(Idx) as the re-runnable goal of the nested context).
+      Addr n = deref(store, arg(1));
+      Cell c = store.get(n);
+      ACE_CHECK(c.tag() == Tag::Int);
+      std::uint32_t gi = static_cast<std::uint32_t>(c.integer());
+      ACE_CHECK(gi < w.tab_gens_.size());
+      // Copy the descriptor: the pass below may push further generators,
+      // reallocating tab_gens_.
+      tab::GenFrame g = w.tab_gens_[gi];
+      w.call_user_pred_clauses(g.goal, g.sym, g.arity);
+      return BuiltinResult::Handled;
     }
   }
   ACE_CHECK_MSG(false, "unknown builtin id");

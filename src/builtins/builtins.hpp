@@ -53,6 +53,7 @@ enum class BuiltinId : std::uint8_t {
   Nl,
   Tab,          // tab/1
   IteCommit,    // internal $ite_commit/1
+  TabGen,       // internal $tab_gen/1: run one tabled-generator clause pass
   Throw,        // throw/1
   Catch,        // catch/3
   Once,         // once/1
@@ -86,6 +87,7 @@ class Builtins {
   std::optional<BuiltinId> lookup(std::uint32_t sym, unsigned arity) const;
   const ArithOps& arith() const { return arith_; }
   std::uint32_t ite_commit_sym() const { return ite_commit_sym_; }
+  std::uint32_t tab_gen_sym() const { return tab_gen_sym_; }
 
  private:
   void reg(SymbolTable& syms, const char* name, unsigned arity, BuiltinId id);
@@ -93,6 +95,7 @@ class Builtins {
   std::unordered_map<std::uint64_t, BuiltinId> map_;
   ArithOps arith_{};
   std::uint32_t ite_commit_sym_ = 0;
+  std::uint32_t tab_gen_sym_ = 0;
 };
 
 // Executes builtin `id` for the goal term at `goal`. `rest`/`cut_parent`

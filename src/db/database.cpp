@@ -103,10 +103,38 @@ void Database::add_clause_nolock(TermTemplate tmpl, bool front) {
     preds_.push_back(std::make_unique<Predicate>(sym, arity));
   }
   preds_[it->second]->add_clause(std::move(clause), front);
+  note_change_nolock(sym, arity);
 }
 
 void Database::set_dynamic(std::uint32_t sym, unsigned arity) {
   get_or_create(sym, arity).set_dynamic();
+}
+
+void Database::set_tabled(std::uint32_t sym, unsigned arity) {
+  get_or_create(sym, arity).set_tabled();
+  has_tabled_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t Database::add_change_hook(ChangeHook hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Database::remove_change_hook(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->first == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Database::note_change_nolock(std::uint32_t sym, unsigned arity) const {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  for (const auto& [id, hook] : hooks_) hook(sym, arity);
 }
 
 std::size_t Database::num_predicates() const {
@@ -115,21 +143,25 @@ std::size_t Database::num_predicates() const {
 }
 
 void Database::handle_directive(const TermTemplate& tmpl) {
-  // Directive root: ':-'(Goal). Recognize dynamic/1 with a (possibly
-  // comma-separated) list of name/arity specs; ignore everything else.
+  // Directive root: ':-'(Goal). Recognize dynamic/1 and table/1 with a
+  // (possibly comma-separated) list of name/arity specs; ignore everything
+  // else.
   const Cell goal = tmpl.cells[tmpl.root.payload() + 1];
   if (goal.tag() != Tag::Str) return;
   const Cell f = tmpl.cells[goal.payload()];
-  if (syms_.name(f.fun_symbol()) != "dynamic" || f.fun_arity() != 1) return;
+  if (f.fun_arity() != 1) return;
+  const std::string& fname = syms_.name(f.fun_symbol());
+  const bool tabled = fname == "table";
+  if (!tabled && fname != "dynamic") return;
+  const char* err = tabled ? "malformed table/1 directive"
+                           : "malformed dynamic/1 directive";
 
   std::vector<Cell> work{tmpl.cells[goal.payload() + 1]};
   const std::uint32_t comma = syms_.known().comma;
   while (!work.empty()) {
     Cell spec = work.back();
     work.pop_back();
-    if (spec.tag() != Tag::Str) {
-      throw AceError("malformed dynamic/1 directive");
-    }
+    if (spec.tag() != Tag::Str) throw AceError(err);
     const Cell sf = tmpl.cells[spec.payload()];
     if (sf.fun_symbol() == comma && sf.fun_arity() == 2) {
       work.push_back(tmpl.cells[spec.payload() + 1]);
@@ -140,12 +172,15 @@ void Database::handle_directive(const TermTemplate& tmpl) {
       const Cell name = tmpl.cells[spec.payload() + 1];
       const Cell arity = tmpl.cells[spec.payload() + 2];
       if (name.tag() == Tag::Atm && arity.tag() == Tag::Int) {
-        set_dynamic(name.symbol(),
-                    static_cast<unsigned>(arity.integer()));
+        if (tabled) {
+          set_tabled(name.symbol(), static_cast<unsigned>(arity.integer()));
+        } else {
+          set_dynamic(name.symbol(), static_cast<unsigned>(arity.integer()));
+        }
         continue;
       }
     }
-    throw AceError("malformed dynamic/1 directive");
+    throw AceError(err);
   }
 }
 

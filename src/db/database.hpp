@@ -6,7 +6,10 @@
 // with lookups in the real-thread runtime.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -26,6 +29,7 @@ class Database {
 
   // Parses and loads a program. Supports the directives
   //   :- dynamic name/arity, name/arity, ...
+  //   :- table name/arity, name/arity, ...
   // Other directives are ignored with effect only on parse (no warnings:
   // benchmark sources carry SICStus directives we do not need).
   void consult(const std::string& src);
@@ -39,6 +43,31 @@ class Database {
   Predicate& get_or_create(std::uint32_t sym, unsigned arity);
 
   void set_dynamic(std::uint32_t sym, unsigned arity);
+
+  // Marks a predicate as tabled (`:- table name/arity.`). has_tabled() is
+  // the engines' cheap gate: when no predicate was ever declared tabled,
+  // the tabling interception path is skipped entirely and execution is
+  // bit-identical to a build without the subsystem.
+  void set_tabled(std::uint32_t sym, unsigned arity);
+  bool has_tabled() const {
+    return has_tabled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Change hooks ------------------------------------------------------
+  // Observers of clause-set mutations (assert/retract/consult), keyed by
+  // the mutated predicate. Fired *inside* the database write lock, right
+  // where stale StaticFacts are discarded, so an observer sees every
+  // mutation exactly once and in order. Hooks must not call back into
+  // self-locking Database entry points (lock order: db -> hook internals).
+  // tab::TableSpace uses this to drop completed tables whose answers were
+  // derived from the mutated predicate.
+  using ChangeHook = std::function<void(std::uint32_t sym, unsigned arity)>;
+  std::uint64_t add_change_hook(ChangeHook hook);
+  void remove_change_hook(std::uint64_t id);
+  // Fires the hooks for one mutated predicate. Exposed for mutation sites
+  // that bypass add_clause_nolock (retract/1 calls Predicate::
+  // retract_clause directly under its own write_guard()).
+  void note_change_nolock(std::uint32_t sym, unsigned arity) const;
 
   // Snapshot of candidate ordinals for a call: copies under shared lock so
   // the result stays valid across mutations. The engine avoids the copy on
@@ -148,6 +177,13 @@ class Database {
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Predicate>> preds_;
   std::unordered_map<std::uint64_t, std::uint32_t> pred_ids_;
+
+  std::atomic<bool> has_tabled_{false};
+  // Hook registry under its own mutex so registration/removal never
+  // contends with the clause-set lock (fire order: mu_ -> hooks_mu_).
+  mutable std::mutex hooks_mu_;
+  mutable std::vector<std::pair<std::uint64_t, ChangeHook>> hooks_;
+  mutable std::uint64_t next_hook_id_ = 1;
 };
 
 }  // namespace ace

@@ -40,6 +40,9 @@ class Predicate {
   unsigned arity() const { return arity_; }
   bool is_dynamic() const { return dynamic_; }
   void set_dynamic() { dynamic_ = true; }
+  // Declared `:- table name/arity.` — calls run under SLG tabling.
+  bool is_tabled() const { return tabled_; }
+  void set_tabled() { tabled_ = true; }
   std::uint64_t generation() const { return generation_; }
 
   std::size_t num_clauses() const { return clauses_.size(); }
@@ -81,6 +84,7 @@ class Predicate {
   std::uint32_t sym_;
   unsigned arity_;
   bool dynamic_ = false;
+  bool tabled_ = false;
   std::uint64_t generation_ = 0;
   std::atomic<std::uint32_t> static_facts_{0};
   std::vector<Clause> clauses_;

@@ -92,12 +92,32 @@ void Worker::retry_choice_alternative(Ref cref) {
         mode_ = Mode::Backtrack;
         return;
       }
+      if (snapshot.alt_kind == AltKind::TabAnswers) {
+        // Shared memo-table consumer: ord indexes the completed table's
+        // answers (only completed tables are ever published).
+        const TermTemplate& a =
+            snapshot.tab_done->answers[static_cast<std::size_t>(ord)];
+        Addr inst = instantiate(store_, seg(), a);
+        stats_.heap_cells += a.instantiation_cost();
+        charge(CostCat::kTableLookup,
+               a.instantiation_cost() * costs_.heap_cell);
+        if (unify_charge(snapshot.call_goal, inst)) {
+          mode_ = Mode::Run;
+          return;
+        }
+        continue;
+      }
       if (try_clause(*snapshot.pred, static_cast<std::uint32_t>(ord),
                      snapshot.call_goal, snapshot.cut_parent)) {
         mode_ = Mode::Run;
         return;
       }
     }
+  }
+
+  if (snapshot.alt_kind == AltKind::TabAnswers) {
+    tab_retry_answers(cref, snapshot);
+    return;
   }
 
   if (snapshot.alt_kind == AltKind::Catch) {
@@ -200,8 +220,9 @@ void Worker::do_throw(Addr ball) {
   for (;;) {
     if (r == kNoRef) {
       if (!nested_.empty()) {
-        // Propagate out of a findall context: roll it back and continue
-        // unwinding the outer chain.
+        // Propagate out of a nested (findall / tabled-generator) context:
+        // roll it back and continue unwinding the outer chain.
+        if (nested_.back().kind == NestedCtx::Kind::TabGen) tab_abort_gen();
         NestedCtx ctx = std::move(nested_.back());
         nested_.pop_back();
         untrail_charge(ctx.trail_mark);
@@ -356,7 +377,9 @@ void Worker::mark_frame_dead(Worker& owner_agent, std::uint32_t index) {
     if (f.shared_id != kNoShare) {
       orp_cancel_node(f.shared_id, f.pred_gen);
     } else if (f.alt_kind == AltKind::Clauses ||
-               f.alt_kind == AltKind::Term) {
+               f.alt_kind == AltKind::Term ||
+               (f.alt_kind == AltKind::TabAnswers &&
+                f.tab_done != nullptr)) {
       --owner_agent.private_cps_;
     }
   }

@@ -31,6 +31,7 @@ std::string EngineConfig::describe() const {
   if (pdo) flags += "+pdo";
   if (lao) flags += "+lao";
   if (occurs_check) flags += "+occ";
+  if (!tabling) flags += "+notab";
   if (static_facts) flags += "+sfacts";
   if (attrib) flags += "+attrib";
   if (use_threads) flags += "+threads";

@@ -55,6 +55,11 @@ struct EngineConfig {
   bool pdo = false;
   bool lao = false;
   bool occurs_check = false;
+  // SLG tabling (src/tab/): honor `:- table p/N.` directives and reuse
+  // completed memo tables across queries. On by default — a program with
+  // no table directives runs bit-identically either way, so the flag only
+  // matters as an explicit kill switch (--no-table).
+  bool tabling = true;
   // Consult load-time StaticFacts at the LPCO/SHALLOW/PDO/LAO trigger
   // sites: statically proven checks skip the charged opt_check and count
   // as Counters::static_elisions instead. Never changes control flow or

@@ -16,6 +16,10 @@
 
 namespace ace {
 
+namespace tab {
+struct CompletedTable;
+}
+
 // Global reference to a frame or goal node: (agent << 32) | index.
 using Ref = std::uint64_t;
 constexpr Ref kNoRef = ~std::uint64_t{0};
@@ -29,6 +33,7 @@ constexpr std::uint32_t ref_index(Ref r) {
 
 constexpr std::uint32_t kNoPf = ~std::uint32_t{0};
 constexpr std::uint32_t kNoShare = ~std::uint32_t{0};
+constexpr std::uint32_t kNoTab = ~std::uint32_t{0};
 
 // Worker::shared_take() result for a term-alternative public node: the
 // single term alternative was granted to the caller (>= 0 results are
@@ -61,6 +66,10 @@ enum class AltKind : std::uint8_t {
   IteElse,   // like Term, but killed by '$ite_commit' when the cond succeeds
   Catch,     // catch/3 marker: transparent to backtracking, a target for
              // throw/1 (call_goal = catcher, alt_term = recovery goal)
+  TabAnswers,  // tabled-call consumer: iterates a memo table's answers
+               // (bucket_pos = next answer index; tab_done set for
+               // completed tables — shareable like Clauses — else
+               // tab_local indexes the worker's in-progress table)
 };
 
 // A control frame. One struct covers all kinds (wasted fields are cheap and
@@ -87,6 +96,15 @@ struct Frame {
   Ref prev_bt = kNoRef;
   std::uint32_t part_idx = 0;    // which section part of the slot we sit in
   std::uint32_t shared_id = kNoShare;  // or-parallel public-node handle
+
+  // --- TabAnswers ---
+  // Exactly one of these identifies the answer source: tab_done points at
+  // an immutable completed table (pinned by the owning worker for the
+  // whole query, so raw pointers stay valid across or-parallel sharing);
+  // tab_local indexes the worker's own in-progress table (never shared —
+  // workers with live generators are excluded from sharing sessions).
+  const tab::CompletedTable* tab_done = nullptr;
+  std::uint32_t tab_local = kNoTab;
 
   // --- Parcall / markers ---
   std::uint32_t pf_id = kNoPf;

@@ -220,6 +220,12 @@ void Worker::reset_for_reuse() {
   last_done_adjacent_ = false;
   waiting_pfs_.clear();
   nested_.clear();
+  tab_tables_.clear();
+  tab_local_ix_.clear();
+  tab_done_.clear();  // releases this query's completed-table pins
+  tab_gens_.clear();
+  tab_epoch_ = 0;
+  tab_next_dfn_ = 0;
   clock_ = 0;
   stats_ = Counters{};
   attrib_.clear();

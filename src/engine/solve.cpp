@@ -41,12 +41,22 @@ void Worker::begin_nested(Addr template_term, Addr goal, Addr result_var) {
 
 void Worker::nested_solution() {
   NestedCtx& ctx = nested_.back();
+  if (ctx.kind == NestedCtx::Kind::TabGen) {
+    tab_gen_solution();
+    return;
+  }
   ctx.collected.push_back(term_to_template(store_, ctx.template_term));
   charge(CostCat::kBuiltin, ctx.collected.back().cells.size() * costs_.heap_cell);
   mode_ = Mode::Backtrack;  // enumerate the next solution
 }
 
 void Worker::nested_exhausted() {
+  if (nested_.back().kind == NestedCtx::Kind::TabGen) {
+    // Generator pass exhausted: fixpoint driver (engine/tabling.cpp) —
+    // re-run, suspend, or complete the SCC. It pops the context itself.
+    tab_gen_exhausted();
+    return;
+  }
   NestedCtx ctx = std::move(nested_.back());
   nested_.pop_back();
   // Roll the nested execution back completely.

@@ -205,6 +205,17 @@ void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
     throw QueryStopped(StopCause::ResolutionLimit);
   }
 
+  // Tabling interception (engine/tabling.cpp). has_tabled() is false for
+  // programs with no `:- table` directive, so untabled runs take a single
+  // predicted branch here and stay bit-identical in virtual time.
+  if (opts_.tabling && db_.has_tabled()) [[unlikely]] {
+    if (tab_call(goal, sym, arity)) return;
+  }
+  call_user_pred_clauses(goal, sym, arity);
+}
+
+void Worker::call_user_pred_clauses(Addr goal, std::uint32_t sym,
+                                    unsigned arity) {
   // Hold the database shared lock across the bucket read and head
   // unification: under the serving layer, assert/retract from concurrently
   // served queries can rebuild index buckets while we iterate. The guard
@@ -215,6 +226,12 @@ void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
   if (pred == nullptr) {
     throw AceError(strf("undefined predicate %s/%u",
                         syms_.name(sym).c_str(), arity));
+  }
+  // Inside a tabled generator, every consulted predicate becomes a
+  // dependency of the table being produced (invalidation + publication
+  // generation check). tab_gens_ is empty whenever tabling is off.
+  if (!tab_gens_.empty()) [[unlikely]] {
+    tab_note_dep(sym, arity, pred->generation());
   }
   IndexKey key{IndexKey::Kind::AnyCall, 0};
   if (arity > 0) {

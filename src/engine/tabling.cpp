@@ -1,0 +1,382 @@
+// SLG tabling: call interception, generator fixpoint driver, answer
+// consumption. See src/tab/eval.hpp for the evaluation-strategy overview
+// and docs/tabling.md for the user-facing contract.
+#include "engine/worker.hpp"
+#include "term/build.hpp"
+#include "term/canon.hpp"
+
+namespace ace {
+
+bool Worker::tab_call(Addr goal, std::uint32_t sym, unsigned arity) {
+  {
+    // Tabled-predicate gate. The guard is scoped: the consumer/generator
+    // paths below reacquire locks (TableSpace mutex, db guard inside the
+    // generator's clause pass) in their own order.
+    auto guard = db_.read_guard();
+    const Predicate* pred = db_.find_nolock(sym, arity);
+    if (pred == nullptr || !pred->is_tabled()) return false;
+  }
+
+  // One lump charge covers canonicalization plus the table probes; answer
+  // consumption is charged per answer cell as answers are taken.
+  charge(CostCat::kTableLookup, costs_.table_lookup);
+  std::string key;
+  canonical_term_key_into(store_, goal, &key);
+
+  // 1. Completed table already pinned by this query?
+  if (auto it = tab_done_.find(key); it != tab_done_.end()) {
+    ++stats_.table_hits;
+    tab_union_deps(*it->second);
+    tab_push_consumer(goal, kNoTab, it->second.get());
+    return true;
+  }
+
+  // 2. Known to this query's local evaluation?
+  if (auto it = tab_local_ix_.find(key); it != tab_local_ix_.end()) {
+    const std::uint32_t ti = it->second;
+    tab::LocalTable& t = *tab_tables_[ti];
+    if (t.active) {
+      // Variant call under its own live generator: consume the answers
+      // recorded so far, then fail (the SLG suspension); the leader's
+      // fixpoint re-runs pick up later answers. Propagate the Tarjan
+      // low-link so the SCC is completed as a unit.
+      if (!tab_gens_.empty()) {
+        tab::GenFrame& g = tab_gens_.back();
+        g.low = std::min(g.low, t.dfn);
+      }
+      tab_push_consumer(goal, ti, nullptr);
+      return true;
+    }
+    // Inactive and incomplete: a previous generator pass was abandoned
+    // (non-leader exhaustion or an exception). Restart the generator,
+    // keeping the answers accumulated so far.
+    ++stats_.table_misses;
+    begin_tab_gen(goal, sym, arity, ti);
+    return true;
+  }
+
+  // 3. Cross-query serving cache (counts its own hit/miss statistics).
+  if (tabsp_ != nullptr) {
+    if (auto done = tabsp_->lookup(key)) {
+      ++stats_.table_hits;
+      tab_union_deps(*done);
+      const tab::CompletedTable* raw = done.get();
+      tab_done_.emplace(key, std::move(done));  // pin for this query
+      tab_push_consumer(goal, kNoTab, raw);
+      return true;
+    }
+  }
+
+  // 4. New subgoal: become its generator.
+  ++stats_.table_misses;
+  const std::uint32_t ti = static_cast<std::uint32_t>(tab_tables_.size());
+  auto table = std::make_unique<tab::LocalTable>();
+  table->key = key;
+  table->sym = sym;
+  table->arity = arity;
+  tab_tables_.push_back(std::move(table));
+  tab_local_ix_.emplace(std::move(key), ti);
+  begin_tab_gen(goal, sym, arity, ti);
+  return true;
+}
+
+void Worker::begin_tab_gen(Addr goal, std::uint32_t sym, unsigned arity,
+                           std::uint32_t table_idx) {
+  tab::LocalTable& t = *tab_tables_[table_idx];
+  t.active = true;
+  t.dfn = ++tab_next_dfn_;
+
+  // The re-runnable pass goal '$tab_gen'(gen_index) is allocated *before*
+  // the nested context takes its heap mark, so fixpoint rollbacks keep it.
+  const std::uint32_t gen_idx = static_cast<std::uint32_t>(tab_gens_.size());
+  Addr wrapper =
+      heap_struct(store_, seg(), builtins_.tab_gen_sym(),
+                  {heap_int(store_, seg(), static_cast<std::int64_t>(gen_idx))});
+  stats_.heap_cells += 3;
+  charge(CostCat::kTableInsert, costs_.table_insert + 3 * costs_.heap_cell);
+
+  tab::GenFrame g;
+  g.table_idx = table_idx;
+  g.dfn = t.dfn;
+  g.low = t.dfn;
+  g.pass_epoch = tab_epoch_;
+  g.passes = 1;
+  g.goal = goal;
+  g.wrapper = wrapper;
+  g.sym = sym;
+  g.arity = arity;
+  tab_gens_.push_back(g);
+
+  NestedCtx ctx;
+  ctx.kind = NestedCtx::Kind::TabGen;
+  ctx.template_term = goal;
+  ctx.saved_glist = glist_;
+  ctx.saved_bt = bt_;
+  ctx.trail_mark = trail_.size();
+  ctx.heap_mark = heap_size();
+  ctx.garena_mark = garena_.size();
+  ctx.ctrl_mark = static_cast<std::uint32_t>(ctrl_.size());
+  nested_.push_back(std::move(ctx));
+  // The pass runs on a fresh backtrack chain, like findall: cut inside the
+  // tabled predicate's clauses is local to the current pass.
+  bt_ = kNoRef;
+  glist_ = push_goal(wrapper, kNoRef, kNoRef);
+  mode_ = Mode::Run;
+}
+
+void Worker::tab_gen_solution() {
+  NestedCtx& ctx = nested_.back();
+  tab::GenFrame& g = tab_gens_.back();
+  tab::LocalTable& t = *tab_tables_[g.table_idx];
+  // The subgoal term now carries the answer substitution; its canonical
+  // form is the dedup key (variant answers are one answer).
+  std::string akey;
+  canonical_term_key_into(store_, ctx.template_term, &akey);
+  if (t.answer_keys.insert(std::move(akey)).second) {
+    t.answers.push_back(term_to_template(store_, ctx.template_term));
+    t.last_insert_epoch = ++tab_epoch_;
+    ++stats_.table_inserts;
+    charge(CostCat::kTableInsert,
+           costs_.table_insert +
+               t.answers.back().cells.size() * costs_.heap_cell);
+  } else {
+    // Duplicate: the probe is the whole cost.
+    charge(CostCat::kTableLookup, costs_.table_lookup);
+  }
+  mode_ = Mode::Backtrack;  // enumerate the next clause solution
+}
+
+namespace {
+
+// Rolls back one nested region (trail, control, goal arena, heap) exactly
+// as nested_exhausted does for findall.
+void rollback_nested_region(Worker& w, const NestedCtx& ctx) {
+  w.untrail_charge(ctx.trail_mark);
+  std::uint32_t top = static_cast<std::uint32_t>(w.ctrl_.size());
+  for (std::uint32_t i = top; i-- > ctx.ctrl_mark;) {
+    w.mark_frame_dead(w, i);
+  }
+  w.ctrl_.truncate(ctx.ctrl_mark);
+  w.garena_.truncate(ctx.garena_mark);
+  w.store_.truncate(w.seg(), ctx.heap_mark);
+}
+
+}  // namespace
+
+void Worker::tab_gen_exhausted() {
+  tab::GenFrame& g = tab_gens_.back();
+
+  if (g.low == g.dfn) {
+    // Leader. Fixpoint test: did any table of this SCC — exactly the
+    // incomplete tables with dfn >= ours, since generators stack in dfn
+    // order and independent deeper SCCs completed before we exhausted —
+    // gain an answer during this pass? Ancestors cannot gain answers while
+    // suspended, so tables below our dfn never trigger a re-run.
+    bool grew = false;
+    for (const auto& tp : tab_tables_) {
+      if (!tp->complete && tp->dfn >= g.dfn &&
+          tp->last_insert_epoch > g.pass_epoch) {
+        grew = true;
+        break;
+      }
+    }
+    if (grew) {
+      // Re-run the pass from scratch against the bigger tables.
+      rollback_nested_region(*this, nested_.back());
+      g.low = g.dfn;
+      g.pass_epoch = tab_epoch_;
+      ++g.passes;
+      ++stats_.table_resumes;
+      charge(CostCat::kTableResume, costs_.table_resume);
+      bt_ = kNoRef;
+      glist_ = push_goal(g.wrapper, kNoRef, kNoRef);
+      mode_ = Mode::Run;
+      return;
+    }
+
+    // Fixpoint reached: complete the whole SCC.
+    const std::uint32_t leader_dfn = g.dfn;
+    NestedCtx ctx = std::move(nested_.back());
+    nested_.pop_back();
+    tab::GenFrame gen = g;
+    tab_gens_.pop_back();
+    rollback_nested_region(*this, ctx);
+    glist_ = ctx.saved_glist;
+    bt_ = ctx.saved_bt;
+
+    // Union the member tables' dependencies: every member's answers may
+    // rest on every other member (mutual recursion), so they share one
+    // dependency set.
+    std::vector<tab::TableDep> deps;
+    std::unordered_set<std::uint64_t> dep_set;
+    for (const auto& tp : tab_tables_) {
+      if (tp->complete || tp->dfn < leader_dfn) continue;
+      for (const tab::TableDep& d : tp->deps) {
+        const std::uint64_t k = (std::uint64_t{d.sym} << 32) | d.arity;
+        if (dep_set.insert(k).second) deps.push_back(d);
+      }
+    }
+
+    std::vector<std::shared_ptr<const tab::CompletedTable>> fresh;
+    for (auto& tp : tab_tables_) {
+      tab::LocalTable& t = *tp;
+      if (t.complete || t.dfn < leader_dfn) continue;
+      auto done = std::make_shared<tab::CompletedTable>();
+      done->key = t.key;
+      done->sym = t.sym;
+      done->arity = t.arity;
+      done->answers = std::move(t.answers);
+      done->deps = deps;
+      t.done = done;
+      t.complete = true;
+      t.active = false;
+      tab_done_[t.key] = done;
+      fresh.push_back(std::move(done));
+      ++stats_.table_completions;
+      charge(CostCat::kTableInsert, costs_.table_insert);
+    }
+
+    // Publish to the cross-query cache — only if no dependency changed
+    // under us while the answers were being derived (a concurrent session
+    // asserting into an edge relation mid-derivation must not plant a
+    // stale table). The local completion stands either way: this query
+    // keeps its logical-update-view snapshot.
+    if (tabsp_ != nullptr) {
+      auto guard = db_.read_guard();
+      bool stable = true;
+      for (const tab::TableDep& d : deps) {
+        const Predicate* p = db_.find_nolock(d.sym, d.arity);
+        if (p == nullptr || p->generation() != d.gen) {
+          stable = false;
+          break;
+        }
+      }
+      if (stable) {
+        for (auto& done : fresh) tabsp_->insert(done);
+      }
+    }
+
+    // The SCC's answers may feed an enclosing generator.
+    tab_union_deps(*tab_tables_[gen.table_idx]->done);
+    // Resume the original call as a consumer of its completed table.
+    tab_push_consumer(gen.goal, kNoTab,
+                      tab_tables_[gen.table_idx]->done.get());
+    return;
+  }
+
+  // Non-leader: this generator's SCC extends below it. Suspend — record
+  // the low-link with the parent generator, leave the table inactive but
+  // incomplete, and turn the call into a consumer of the answers so far.
+  // The leader's next pass restarts this generator (tab_call case 2).
+  NestedCtx ctx = std::move(nested_.back());
+  nested_.pop_back();
+  tab::GenFrame gen = g;
+  tab_gens_.pop_back();
+  rollback_nested_region(*this, ctx);
+  glist_ = ctx.saved_glist;
+  bt_ = ctx.saved_bt;
+
+  tab::LocalTable& t = *tab_tables_[gen.table_idx];
+  t.active = false;
+  ACE_CHECK(!tab_gens_.empty());  // a non-leader always has a parent
+  tab::GenFrame& parent = tab_gens_.back();
+  parent.low = std::min(parent.low, gen.low);
+  ++stats_.table_suspends;
+  charge(CostCat::kTableSuspend, costs_.table_suspend);
+  tab_push_consumer(gen.goal, gen.table_idx, nullptr);
+}
+
+void Worker::tab_push_consumer(Addr goal, std::uint32_t local_ix,
+                               const tab::CompletedTable* done) {
+  Frame f;
+  f.kind = FrameKind::Choice;
+  f.alt_kind = AltKind::TabAnswers;
+  f.call_goal = goal;
+  f.cont = glist_;
+  f.cut_parent = bt_;
+  f.tab_done = done;
+  f.tab_local = done == nullptr ? local_ix : kNoTab;
+  f.bucket_pos = 0;  // next answer index
+  f.trail_mark = trail_.size();
+  f.heap_mark = heap_size();
+  f.garena_mark = garena_.size();
+  f.prev_bt = bt_;
+  f.pf_id = cur_pf_;
+  f.slot_idx = cur_slot_;
+  if (cur_pf_ != kNoPf) {
+    Slot& s = cur_slot_ref();
+    f.part_idx = static_cast<std::uint32_t>(s.parts.size()) - 1;
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(ctrl_.size());
+  f.ctrl_mark = idx;
+  ctrl_.push_back(f);
+  bt_ = make_ref(agent_, idx);
+  ++stats_.choicepoints;
+  // Completed-table consumers are shareable (their answers can be taken by
+  // or-parallel thieves); local consumers never leave this worker.
+  if (orp_ != nullptr && done != nullptr) ++private_cps_;
+  charge(CostCat::kBacktrack, costs_.choicepoint);
+  note_ctrl_alloc(kWordsChoicePoint);
+
+  Frame snapshot = ctrl_[idx];
+  tab_retry_answers(bt_, snapshot);
+}
+
+void Worker::tab_retry_answers(Ref cref, Frame& snapshot) {
+  const std::vector<TermTemplate>* answers;
+  const bool local = snapshot.tab_done == nullptr;
+  if (local) {
+    answers = &tab_tables_[snapshot.tab_local]->answers;
+  } else {
+    answers = &snapshot.tab_done->answers;
+  }
+
+  while (snapshot.bucket_pos < answers->size()) {
+    const TermTemplate& a = (*answers)[snapshot.bucket_pos];
+    ++snapshot.bucket_pos;
+    frame(cref).bucket_pos = snapshot.bucket_pos;
+    Addr inst = instantiate(store_, seg(), a);
+    stats_.heap_cells += a.instantiation_cost();
+    charge(CostCat::kTableLookup, a.instantiation_cost() * costs_.heap_cell);
+    if (unify_charge(snapshot.call_goal, inst)) {
+      mode_ = Mode::Run;
+      return;
+    }
+    // A variant call always unifies with its table's answers, but stay
+    // robust (and keep enumerating) if an answer does not apply.
+  }
+
+  // Exhausted. A local (incomplete) table may still grow on a later
+  // fixpoint pass — that is the SLG suspension, charged as such; the
+  // frame pops either way (the re-run re-creates consumers from scratch).
+  if (local) {
+    ++stats_.table_suspends;
+    charge(CostCat::kTableSuspend, costs_.table_suspend);
+  }
+  bt_ = snapshot.prev_bt;
+  mark_frame_dead(peer(ref_agent(cref)), ref_index(cref));
+  pop_dead_suffix();
+  mode_ = Mode::Backtrack;
+}
+
+void Worker::tab_note_dep(std::uint32_t sym, unsigned arity,
+                          std::uint64_t gen) {
+  tab::LocalTable& t = *tab_tables_[tab_gens_.back().table_idx];
+  t.add_dep(sym, arity, gen);
+}
+
+void Worker::tab_union_deps(const tab::CompletedTable& t) {
+  if (tab_gens_.empty()) return;
+  tab::LocalTable& inner = *tab_tables_[tab_gens_.back().table_idx];
+  for (const tab::TableDep& d : t.deps) {
+    inner.add_dep(d.sym, d.arity, d.gen);
+  }
+}
+
+void Worker::tab_abort_gen() {
+  ACE_CHECK(!tab_gens_.empty());
+  tab_tables_[tab_gens_.back().table_idx]->active = false;
+  tab_gens_.pop_back();
+}
+
+}  // namespace ace

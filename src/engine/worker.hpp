@@ -41,6 +41,7 @@
 #include "stats/attrib.hpp"
 #include "stats/stats.hpp"
 #include "support/cancel.hpp"
+#include "tab/eval.hpp"
 #include "term/print.hpp"
 #include "term/unify.hpp"
 
@@ -62,6 +63,12 @@ struct WorkerOptions {
   // Elide the charged opt_check at trigger sites whose outcome the
   // load-time static-facts pass proved (see analysis/static_facts.hpp).
   bool static_facts = false;
+  // SLG tabling for predicates declared `:- table name/arity.` (src/tab/).
+  // On by default; with no table directives in the program the
+  // interception path is never entered and execution is bit-identical to
+  // a tabling-free build. --no-table turns tabled predicates back into
+  // plain ones.
+  bool tabling = true;
   // Per-predicate attribution (hash-map upkeep on every charge made while a
   // predicate is current). Per-CATEGORY attribution is always on — it is one
   // array add per charge, never changes charge amounts, and keeps the
@@ -98,10 +105,16 @@ struct IoSink {
   }
 };
 
-// Nested-execution context (findall/3): runs a goal to exhaustion on top of
-// the current stacks, collecting solution copies, then rolls everything
-// back. Parallel conjunctions run sequentially inside a nested context.
+// Nested-execution context (findall/3 and tabled-generator passes): runs a
+// goal to exhaustion on top of the current stacks, collecting solution
+// copies, then rolls everything back. Parallel conjunctions run
+// sequentially inside a nested context. TabGen contexts correspond 1:1, in
+// stack order, with the worker's tab_gens_ entries (findall contexts may
+// interleave freely); for them template_term is the tabled subgoal and
+// solutions are recorded into the generator's table instead of collected.
 struct NestedCtx {
+  enum class Kind : std::uint8_t { Findall, TabGen };
+  Kind kind = Kind::Findall;
   Addr template_term = 0;
   Addr result_var = 0;
   // Solutions are serialized to templates so they survive the rollback of
@@ -208,6 +221,23 @@ class Worker {
 
   std::vector<NestedCtx> nested_;
 
+  // ---- Tabling state (src/tab/, engine/tabling.cpp) ----------------------
+  // Worker-local tables of this query's SLG evaluation. unique_ptr entries
+  // keep LocalTable references stable while the vector grows.
+  std::vector<std::unique_ptr<tab::LocalTable>> tab_tables_;
+  std::unordered_map<std::string, std::uint32_t> tab_local_ix_;
+  // Completed tables pinned for this query (from own completions or the
+  // cross-query TableSpace); raw pointers in frames and shared nodes stay
+  // valid until reset_for_reuse.
+  std::unordered_map<std::string, std::shared_ptr<const tab::CompletedTable>>
+      tab_done_;
+  std::vector<tab::GenFrame> tab_gens_;  // live generators, innermost last
+  std::uint64_t tab_epoch_ = 0;      // monotone answer-insert counter
+  std::uint32_t tab_next_dfn_ = 0;   // Tarjan dfn allocator
+  // Cross-query answer cache (may be null: tabling then still works, with
+  // per-query memoization only). Set by the owning session, survives reset.
+  tab::TableSpace* tabsp_ = nullptr;
+
   std::uint64_t clock_ = 0;  // virtual time
   Counters stats_;
   // Per-category virtual-time attribution. Invariant (tested): the category
@@ -311,6 +341,10 @@ class Worker {
   void run_step();
   void execute_goal(Addr goal, Ref cut_parent);
   void call_user_pred(Addr goal, std::uint32_t sym, unsigned arity);
+  // Clause dispatch for `goal` (the body of call_user_pred after the
+  // tabling interception): bucket lookup, choice point, first clause. Also
+  // the entry point of a generator's clause pass ($tab_gen builtin).
+  void call_user_pred_clauses(Addr goal, std::uint32_t sym, unsigned arity);
   bool try_clause(const Predicate& pred, std::uint32_t ordinal, Addr goal,
                   Ref barrier);
   Ref push_choice_clauses(Addr goal, const Predicate* pred,
@@ -329,6 +363,36 @@ class Worker {
   void begin_nested(Addr template_term, Addr goal, Addr result_var);
   void nested_solution();
   void nested_exhausted();
+
+  // ---- Tabling (engine/tabling.cpp) --------------------------------------
+  // Interception point of call_user_pred: true iff sym/arity is tabled and
+  // the call was handled (answered from a table, suspended as a consumer,
+  // or started as a generator). False -> caller runs plain clause dispatch.
+  bool tab_call(Addr goal, std::uint32_t sym, unsigned arity);
+  // Starts (or restarts, keeping accumulated answers) a generator for
+  // local table `table_idx` on a fresh nested context.
+  void begin_tab_gen(Addr goal, std::uint32_t sym, unsigned arity,
+                     std::uint32_t table_idx);
+  // nested_solution / nested_exhausted delegates for TabGen contexts.
+  void tab_gen_solution();
+  void tab_gen_exhausted();
+  // Pushes a TabAnswers consumer frame over a completed table (done !=
+  // null) or the worker-local table `local_ix`, and consumes the first
+  // answer (fails if the table is empty).
+  void tab_push_consumer(Addr goal, std::uint32_t local_ix,
+                         const tab::CompletedTable* done);
+  // Backtracking into a TabAnswers frame: next answer / pop on exhaustion.
+  // Called by retry_choice_alternative after restore_choice.
+  void tab_retry_answers(Ref cref, Frame& snapshot);
+  // Records predicate `sym/arity` (at db generation `gen`) as a dependency
+  // of the innermost live generator's table.
+  void tab_note_dep(std::uint32_t sym, unsigned arity, std::uint64_t gen);
+  // Unions a consumed completed table's dependencies into the innermost
+  // live generator's table (no-op outside generators).
+  void tab_union_deps(const tab::CompletedTable& t);
+  // do_throw unwinding support: rolls back the generator bookkeeping of a
+  // popped TabGen nested context (table goes inactive, gen frame pops).
+  void tab_abort_gen();
 
   // ---- Backtracking (engine/backtrack.cpp) -------------------------------
   void backtrack_step();

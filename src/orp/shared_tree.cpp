@@ -9,6 +9,7 @@ bool node_has_work(SharedNode& n) {
   std::lock_guard<std::mutex> lock(n.mu);
   if (n.cancelled) return false;
   if (n.is_term) return !n.term_taken;
+  if (n.tab != nullptr) return n.bucket_pos < n.tab->answers.size();
   if (n.pred == nullptr) return false;
   if (n.pred_gen != n.pred->generation()) {
     return n.pred->next_matching_from(n.key, n.last_ordinal) >= 0;
@@ -55,6 +56,11 @@ long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen) {
     if (n.term_taken) return -1;
     n.term_taken = true;
     return kTakeTermAlt;
+  }
+  if (n.tab != nullptr) {
+    // Completed memo table: grant the next answer index.
+    if (n.bucket_pos >= n.tab->answers.size()) return -1;
+    return static_cast<long>(n.bucket_pos++);
   }
   if (n.pred_gen != n.pred->generation()) {
     long ord = n.pred->next_matching_from(n.key, n.last_ordinal);
@@ -159,10 +165,16 @@ void Worker::orp_idle_step() {
 
   if (target == kNoShare) {
     // Sharing session: publicize the busiest peer's private choice points.
+    // A peer with a live tabled generator is not a candidate: its
+    // in-progress (local) tables must never become reachable from public
+    // nodes — MUSE's "everything below a public node is public" invariant
+    // holds only for state both workers can reproduce, and a local table's
+    // answers exist on the generator's worker alone. (tab_gens_ is always
+    // empty when tabling is off, so victim choice is unchanged then.)
     Worker* victim = nullptr;
     for (Worker* w : *group_) {
       if (w == this) continue;
-      if (w->private_cps_ > 0 &&
+      if (w->private_cps_ > 0 && w->tab_gens_.empty() &&
           (victim == nullptr || w->private_cps_ > victim->private_cps_)) {
         victim = w;
       }
@@ -208,8 +220,14 @@ void Worker::orp_idle_step() {
     for (std::size_t i = first_shareable; i < chain.size(); ++i) {
       Frame& f = victim->ctrl_[ref_index(chain[i])];
       if (f.shared_id != kNoShare) continue;
-      if (f.alt_kind != AltKind::Clauses && f.alt_kind != AltKind::Term) {
-        continue;  // catch/ITE markers have nothing stealable
+      const bool shareable_tab =
+          f.alt_kind == AltKind::TabAnswers && f.tab_done != nullptr;
+      if (f.alt_kind != AltKind::Clauses && f.alt_kind != AltKind::Term &&
+          !shareable_tab) {
+        // Catch/ITE markers have nothing stealable; local (incomplete)
+        // table consumers cannot exist here (the victim has no live
+        // generator) and would not be shareable if they could.
+        continue;
       }
       std::uint32_t id = orp_->make_node();
       SharedNode& n = orp_->node(id);
@@ -219,6 +237,9 @@ void Worker::orp_idle_step() {
         n.pred_gen = f.pred_gen;
         n.bucket_pos = f.bucket_pos;
         n.last_ordinal = f.last_ordinal;
+      } else if (shareable_tab) {
+        n.tab = f.tab_done;
+        n.bucket_pos = f.bucket_pos;  // next answer index
       } else {
         n.is_term = true;  // disjunction branch: single alternative
       }

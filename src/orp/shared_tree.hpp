@@ -23,6 +23,11 @@ struct SharedNode {
   std::mutex mu;
   const Predicate* pred = nullptr;
   IndexKey key;
+  // Completed memo table (tabling): when set, alternatives are answer
+  // indices (bucket_pos counts through tab->answers). The pointer stays
+  // valid across workers because the publishing worker pins the table for
+  // the whole query.
+  const tab::CompletedTable* tab = nullptr;
   std::uint64_t pred_gen = 0;     // database generation when captured
   std::uint32_t bucket_pos = 0;   // next alternative (shared counter)
   long last_ordinal = -1;

@@ -51,6 +51,7 @@ const std::unordered_map<std::string, OpDef>& prefix_table() {
       {":-", {1200, OpType::fx}},
       {"?-", {1200, OpType::fx}},
       {"dynamic", {1150, OpType::fx}},
+      {"table", {1150, OpType::fx}},
       {"discontiguous", {1150, OpType::fx}},
       {"multifile", {1150, OpType::fx}},
       {"\\+", {900, OpType::fy}},

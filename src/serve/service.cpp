@@ -24,6 +24,7 @@ QueryService::QueryService(Database& db, ServiceOptions opts,
       opts_(opts),
       costs_(costs),
       builtins_(db.syms()),
+      tablespace_(std::make_shared<tab::TableSpace>(&db)),
       slowlog_(opts.slowlog) {
   ACE_CHECK(opts_.dispatch_threads >= 1);
   if (opts_.recorder != nullptr) {
@@ -269,7 +270,24 @@ std::unique_ptr<EngineSession> QueryService::checkout(
   }
   metrics_.on_pool_miss();
   *reused_out = false;
-  return std::make_unique<EngineSession>(db_, builtins_, cfg, costs_);
+  auto session = std::make_unique<EngineSession>(db_, builtins_, cfg, costs_);
+  // Swap the session's private memo cache for the service-wide one so
+  // completed tables serve every tenant (pooled sessions keep it for life).
+  if (cfg.tabling) session->set_table_space(tablespace_);
+  return session;
+}
+
+ServeMetricsSnapshot QueryService::metrics_snapshot() const {
+  ServeMetricsSnapshot s = metrics_.snapshot();
+  tab::TableSpace::Stats t = tablespace_->stats();
+  s.tables_present = t.hits + t.misses + t.inserts + t.invalidations > 0 ||
+                     t.entries > 0;
+  s.table_hits = t.hits;
+  s.table_misses = t.misses;
+  s.table_inserts = t.inserts;
+  s.table_invalidations = t.invalidations;
+  s.table_entries = t.entries;
+  return s;
 }
 
 void QueryService::checkin(std::unique_ptr<EngineSession> session) {

@@ -47,6 +47,7 @@
 #include "obs/slowlog.hpp"
 #include "serve/session.hpp"
 #include "stats/serve_metrics.hpp"
+#include "tab/table_space.hpp"
 
 namespace ace {
 
@@ -111,7 +112,14 @@ class QueryService {
   void shutdown();
 
   const ServeMetrics& metrics() const { return metrics_; }
-  ServeMetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  // Serving metrics plus the shared memo-table cache counters (hits,
+  // misses, entries, invalidations) folded into the snapshot.
+  ServeMetricsSnapshot metrics_snapshot() const;
+
+  // The service-wide memo-table cache, shared by every pooled session:
+  // a table completed while serving one request answers later variant
+  // calls from any session until an assert/retract invalidates it.
+  tab::TableSpace& tables() { return *tablespace_; }
 
   // Attaches the load-time lint result of the served program to the
   // metrics (ace_serve --analyze); surfaced in metrics_snapshot().to_json().
@@ -144,6 +152,7 @@ class QueryService {
   ServiceOptions opts_;
   CostModel costs_;
   Builtins builtins_;  // shared by all sessions (const after construction)
+  std::shared_ptr<tab::TableSpace> tablespace_;
   ServeMetrics metrics_;
   obs::SlowQueryLog slowlog_;
 

@@ -13,6 +13,7 @@
 #include "runtime/thread_driver.hpp"
 #include "sim/virtual_driver.hpp"
 #include "support/strutil.hpp"
+#include "tab/table_space.hpp"
 
 namespace ace {
 
@@ -36,6 +37,7 @@ EngineSession::EngineSession(Database& db, const Builtins& builtins,
   wopts.static_facts = cfg_.static_facts;
   wopts.attrib = cfg_.attrib;
   wopts.occurs_check = cfg_.occurs_check;
+  wopts.tabling = cfg_.tabling;
   wopts.resolution_limit = cfg_.resolution_limit;
 
   if (cfg_.mode == EngineMode::Orp) {
@@ -72,6 +74,13 @@ EngineSession::EngineSession(Database& db, const Builtins& builtins,
       w->cancel_ = &token_;
     }
   }
+
+  // Private cross-query memo cache; the serving layer swaps in a shared
+  // one via set_table_space. Constructed even for programs without table
+  // directives — a worker only consults it behind the has_tabled() branch.
+  if (cfg_.tabling) {
+    set_table_space(std::make_shared<tab::TableSpace>(&db_));
+  }
 }
 
 EngineSession::~EngineSession() = default;
@@ -96,6 +105,11 @@ void EngineSession::set_recorder(obs::Recorder* recorder) {
     agent_tracks_.push_back(recorder_->create_track(strf("agent %zu", a)));
     workers_[a]->obs_ = agent_tracks_.back();
   }
+}
+
+void EngineSession::set_table_space(std::shared_ptr<tab::TableSpace> space) {
+  tabsp_ = std::move(space);
+  for (Worker* w : workers_) w->tabsp_ = tabsp_.get();
 }
 
 void EngineSession::reset() {

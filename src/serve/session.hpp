@@ -51,6 +51,10 @@ namespace ace {
 class ParContext;
 class OrpContext;
 
+namespace tab {
+class TableSpace;
+}
+
 namespace obs {
 class Recorder;
 class Track;
@@ -89,6 +93,15 @@ class EngineSession {
   // Creates the session's tracks on first attach; idempotent otherwise.
   void set_recorder(obs::Recorder* recorder);
 
+  // Cross-query memo-table cache. When the config has tabling enabled the
+  // session constructs a private TableSpace, so repeated queries on one
+  // session (the ace::Engine facade) already reuse completed tables. The
+  // serving layer replaces it with one space shared by the whole pool, so
+  // a table completed for one tenant serves every later variant call
+  // until an assert/retract into a supporting predicate invalidates it.
+  void set_table_space(std::shared_ptr<tab::TableSpace> space);
+  tab::TableSpace* table_space() const { return tabsp_.get(); }
+
  private:
   void reset();
   SolveResult run_seq(const QueryBudget& budget, CancelToken* tok);
@@ -109,6 +122,7 @@ class EngineSession {
   std::unique_ptr<OrpContext> orp_;             // Orp only
   std::vector<std::unique_ptr<Worker>> owned_;
   std::vector<Worker*> workers_;
+  std::shared_ptr<tab::TableSpace> tabsp_;
   CancelToken token_;
   std::uint64_t queries_run_ = 0;
 

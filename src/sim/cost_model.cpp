@@ -31,6 +31,10 @@ const char* cost_cat_name(CostCat cat) {
     case CostCat::kSched: return "sched";
     case CostCat::kIdle: return "idle";
     case CostCat::kOptCheck: return "opt_check";
+    case CostCat::kTableLookup: return "table_lookup";
+    case CostCat::kTableInsert: return "table_insert";
+    case CostCat::kTableSuspend: return "table_suspend";
+    case CostCat::kTableResume: return "table_resume";
     case CostCat::kCount: break;
   }
   return "?";
@@ -43,6 +47,10 @@ bool cost_cat_is_overhead(CostCat cat) {
     case CostCat::kPublish:
     case CostCat::kSched:
     case CostCat::kOptCheck:
+    // Table lookups/inserts are *work* (a sequential tabled engine pays
+    // them); only the scheduling half of tabling is overhead.
+    case CostCat::kTableSuspend:
+    case CostCat::kTableResume:
       return true;
     default:
       return false;
@@ -80,6 +88,10 @@ CostModel CostModel::unit() {
   m.public_take = 1;
   m.tree_descent = 1;
   m.public_make = 1;
+  m.table_lookup = 1;
+  m.table_insert = 1;
+  m.table_suspend = 1;
+  m.table_resume = 1;
   return m;
 }
 

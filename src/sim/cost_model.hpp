@@ -32,6 +32,12 @@ enum class CostCat : std::uint8_t {
   kSched,         // fetch/steal of parallel work
   kIdle,          // scheduler idle ticks + waiting for a sharing partner
   kOptCheck,      // runtime checks that guard LPCO/SHALLOW/PDO/LAO triggers
+  kTableLookup,   // tabling: subgoal canonicalization + table probes and
+                  // answer consumption (work: a sequential tabled engine
+                  // pays it too)
+  kTableInsert,   // tabling: answer dedup + template capture, table setup
+  kTableSuspend,  // tabling: consumer/generator suspension bookkeeping
+  kTableResume,   // tabling: fixpoint re-runs and consumer resumption
   kCount,
 };
 
@@ -96,6 +102,16 @@ struct CostModel {
   C public_take = 6;        // grab an alternative from a public node
   C tree_descent = 4;       // scan one public node looking for work
   C public_make = 8;        // convert a private CP to public
+
+  // Tabling (SLG) machinery. Lookup covers canonicalization plus the
+  // completed/local table probes of one tabled call; insert covers answer
+  // dedup and the per-cell template capture (charged per cell at
+  // heap_cell); suspend/resume are the scheduling costs of incomplete
+  // tables (consumer exhaustion, generator fixpoint re-runs).
+  C table_lookup = 8;
+  C table_insert = 10;
+  C table_suspend = 6;
+  C table_resume = 12;
 
   // Returns the default model.
   static CostModel standard();

@@ -69,6 +69,23 @@ std::string prometheus_text(const ServeMetricsSnapshot& s) {
               s.lint_warnings);
     put_gauge(out, "ace_lint_errors", "Load-time lint errors", s.lint_errors);
   }
+  if (s.tables_present) {
+    put_counter(out, "ace_table_hits",
+                "Tabled calls answered from a completed memo table",
+                s.table_hits);
+    put_counter(out, "ace_table_misses",
+                "Tabled calls that had to evaluate their subgoal",
+                s.table_misses);
+    put_counter(out, "ace_table_inserts",
+                "Completed memo tables published to the shared cache",
+                s.table_inserts);
+    put_counter(out, "ace_table_invalidations",
+                "Memo tables dropped because a supporting predicate changed",
+                s.table_invalidations);
+    put_gauge(out, "ace_table_entries",
+              "Live completed memo tables in the shared cache",
+              s.table_entries);
+  }
   put_histogram(out, "ace_serve_latency_us",
                 "Admission-to-response latency (microseconds)", s.latency);
   put_histogram(out, "ace_serve_queue_wait_us",

@@ -160,6 +160,16 @@ std::string ServeMetricsSnapshot::to_json() const {
                  (unsigned long long)attrib_virtual_time);
     lint += ",\"attrib\":" + attrib.to_json();
   }
+  // Memo-table cache rollup: same present-only-with-traffic contract.
+  if (tables_present) {
+    lint += strf(
+        ",\"table_hits\":%llu,\"table_misses\":%llu,\"table_inserts\":%llu,"
+        "\"table_invalidations\":%llu,\"table_entries\":%llu",
+        (unsigned long long)table_hits, (unsigned long long)table_misses,
+        (unsigned long long)table_inserts,
+        (unsigned long long)table_invalidations,
+        (unsigned long long)table_entries);
+  }
   return strf(
       "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"
       "\"completed\":%llu,\"cancelled\":%llu,\"deadline_expired\":%llu,"

@@ -90,6 +90,17 @@ struct ServeMetricsSnapshot {
   std::uint64_t lint_warnings = 0;
   std::uint64_t lint_errors = 0;
 
+  // Shared memo-table cache counters (src/tab/). Filled by
+  // QueryService::metrics_snapshot() from the service-wide TableSpace;
+  // present in to_json() only once the cache has seen traffic, so served
+  // programs without table directives keep the pre-tabling object shape.
+  bool tables_present = false;
+  std::uint64_t table_hits = 0;           // completed-table cache hits
+  std::uint64_t table_misses = 0;         // calls that had to evaluate
+  std::uint64_t table_inserts = 0;        // completed tables published
+  std::uint64_t table_invalidations = 0;  // tables dropped by assert/retract
+  std::uint64_t table_entries = 0;        // gauge: live completed tables
+
   double pool_hit_rate() const {
     std::uint64_t total = pool_hits + pool_misses;
     return total == 0 ? 0.0 : double(pool_hits) / double(total);

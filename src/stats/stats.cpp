@@ -36,6 +36,12 @@ void Counters::add(const Counters& o) {
   sharing_sessions += o.sharing_sessions;
   public_node_takes += o.public_node_takes;
   tree_descents += o.tree_descents;
+  table_hits += o.table_hits;
+  table_misses += o.table_misses;
+  table_inserts += o.table_inserts;
+  table_suspends += o.table_suspends;
+  table_resumes += o.table_resumes;
+  table_completions += o.table_completions;
   solutions += o.solutions;
   ctrl_words_hw += o.ctrl_words_hw;  // sum of per-agent high-water marks
   ctrl_words += o.ctrl_words;
@@ -64,6 +70,16 @@ std::string Counters::summary() const {
       (unsigned long long)pdo_merges, (unsigned long long)lao_reuses);
   if (static_elisions > 0) {
     out += strf("static_elisions=%llu\n", (unsigned long long)static_elisions);
+  }
+  if (table_hits + table_misses + table_inserts > 0) {
+    out += strf(
+        "table_hits=%llu table_misses=%llu table_inserts=%llu "
+        "table_suspends=%llu table_resumes=%llu table_completions=%llu\n",
+        (unsigned long long)table_hits, (unsigned long long)table_misses,
+        (unsigned long long)table_inserts,
+        (unsigned long long)table_suspends,
+        (unsigned long long)table_resumes,
+        (unsigned long long)table_completions);
   }
   out += strf("fetches=%llu steals=%llu idle=%llu copied_cells=%llu\n",
               (unsigned long long)fetches, (unsigned long long)steals,
@@ -114,6 +130,14 @@ std::string Counters::to_json() const {
   put("sharing_sessions", sharing_sessions);
   put("public_node_takes", public_node_takes);
   put("tree_descents", tree_descents);
+  if (table_hits + table_misses > 0) {
+    put("table_hits", table_hits);
+    put("table_misses", table_misses);
+    put("table_inserts", table_inserts);
+    put("table_suspends", table_suspends);
+    put("table_resumes", table_resumes);
+    put("table_completions", table_completions);
+  }
   put("solutions", solutions);
   put("ctrl_words_hw", ctrl_words_hw);
   out += "}";

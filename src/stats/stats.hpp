@@ -59,6 +59,18 @@ struct Counters {
   std::uint64_t public_node_takes = 0;  // alternatives taken from shared CPs
   std::uint64_t tree_descents = 0;      // public-node scan steps while idle
 
+  // Tabling (all zero unless the query touched a tabled predicate; the
+  // table_* fields are reported only when nonzero so untabled runs keep
+  // their historical JSON shape). Hits/misses here are the *worker-side*
+  // view (completed-table consumptions vs generator starts); the
+  // cross-query cache hit rate lives in tab::TableSpace's own counters.
+  std::uint64_t table_hits = 0;        // calls answered from a completed table
+  std::uint64_t table_misses = 0;      // calls that had to run a generator
+  std::uint64_t table_inserts = 0;     // distinct answers recorded
+  std::uint64_t table_suspends = 0;    // consumer/generator suspensions
+  std::uint64_t table_resumes = 0;     // fixpoint re-runs + resumed consumers
+  std::uint64_t table_completions = 0; // subgoals proven complete
+
   // Results.
   std::uint64_t solutions = 0;
 

@@ -1,0 +1,107 @@
+// Worker-local tabling state: the in-progress ("local") tables and the
+// generator stack of one agent's SLG evaluation.
+//
+// Evaluation strategy. The engines run *recomputation-based local
+// evaluation* (in the spirit of DRA / linear tabling): the first call to a
+// tabled subgoal becomes its **generator** — it runs the predicate's
+// clauses and records every answer into a LocalTable. A later variant call
+// found while the generator is still on the stack is a **consumer**: it
+// backtracks through the answers recorded so far and then fails (a
+// "suspension" in SLG terms). When the generator's clauses are exhausted,
+// the leader of the strongly-connected component checks whether any table
+// in the SCC gained answers during the pass; if so it re-runs the clauses
+// (charged as table_resume) until a pass adds nothing — the fixpoint — at
+// which point every table in the SCC is *complete*. Re-running clauses
+// trades stack-freezing machinery (the CAT/SLG-WAM consumer stacks) for
+// the choice-point rollback the engine already has; the cost shows up
+// honestly in virtual time as kTableResume.
+//
+// SCC tracking is Tarjan-style: each generator gets a depth-first number
+// (dfn) and maintains a low-link; a consumer call from inside generator G
+// to an active table T lowers G.low to T's generator dfn. A generator
+// whose low == dfn is a leader; its SCC is exactly the incomplete tables
+// with dfn >= its own (generators stack in dfn order).
+//
+// Or-parallel fusion. Local (incomplete) tables never cross workers: a
+// worker with a live generator is skipped as a sharing victim, so
+// everything below a public node stays generator-free and MUSE's "all
+// alternatives at or below a public node" invariant holds. *Completed*
+// tables do cross workers — a completed-consumer choice point (AltKind::
+// TabAnswers with tab_done set) is shareable like a clause node, and its
+// remaining answer indices can be taken by thieves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tab/table_space.hpp"
+#include "term/cell.hpp"
+
+namespace ace {
+namespace tab {
+
+// One subgoal's answer accumulation while its generator is (or was) live
+// on this worker. Indexed by Worker-side key map; answers move into an
+// immutable CompletedTable at SCC completion.
+struct LocalTable {
+  std::string key;  // canonical subgoal
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+
+  std::vector<TermTemplate> answers;
+  std::unordered_set<std::string> answer_keys;  // dedup by canonical form
+
+  // Worker epoch (monotone answer-insert counter) of the last insert into
+  // this table; the leader's fixpoint test compares it against the epoch
+  // at the start of the current pass.
+  std::uint64_t last_insert_epoch = 0;
+
+  bool active = false;    // a generator for this table is on the stack
+  bool complete = false;  // answer set proven final
+
+  // dfn of this table's (current or most recent) generator.
+  std::uint32_t dfn = 0;
+
+  // Set at completion; pinned for the rest of the query so answer
+  // consumption (including by or-parallel thieves holding shared
+  // TabAnswers nodes) survives TableSpace invalidation.
+  std::shared_ptr<const CompletedTable> done;
+
+  // Predicates consulted while producing these answers, at the database
+  // generation observed at call time. Used both for TableSpace
+  // publication (generation re-check) and invalidation indexing.
+  std::vector<TableDep> deps;
+  std::unordered_set<std::uint64_t> dep_set;
+
+  void add_dep(std::uint32_t dsym, unsigned darity, std::uint64_t gen) {
+    const std::uint64_t k = (std::uint64_t{dsym} << 32) | darity;
+    if (dep_set.insert(k).second) {
+      deps.push_back(TableDep{dsym, darity, gen});
+    }
+  }
+};
+
+// One live generator on a worker's generator stack. GenFrames correspond
+// 1:1, in order, with the worker's nested contexts of kind TabGen; the
+// fixpoint driver lives in the worker (solve.cpp), these are its state.
+struct GenFrame {
+  std::uint32_t table_idx = 0;  // into the worker's local table list
+  std::uint32_t dfn = 0;        // Tarjan depth-first number
+  std::uint32_t low = 0;        // Tarjan low-link
+  // Worker answer-epoch at the start of the current clause pass; a pass
+  // that ends with any SCC table's last_insert_epoch above this must be
+  // re-run.
+  std::uint64_t pass_epoch = 0;
+  std::uint32_t passes = 0;  // completed clause passes (first pass = 1)
+
+  Addr goal = 0;     // the original call term (survives pass rollback)
+  Addr wrapper = 0;  // '$tab_gen'(gen_index) — the re-runnable goal
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+};
+
+}  // namespace tab
+}  // namespace ace

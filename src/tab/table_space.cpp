@@ -1,0 +1,82 @@
+#include "tab/table_space.hpp"
+
+#include <algorithm>
+
+#include "db/database.hpp"
+
+namespace ace {
+namespace tab {
+
+TableSpace::TableSpace(Database* db) : db_(db) {
+  if (db_ != nullptr) {
+    hook_id_ = db_->add_change_hook(
+        [this](std::uint32_t sym, unsigned arity) {
+          invalidate_pred(sym, arity);
+        });
+  }
+}
+
+TableSpace::~TableSpace() {
+  if (db_ != nullptr) db_->remove_change_hook(hook_id_);
+}
+
+std::shared_ptr<const CompletedTable> TableSpace::lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void TableSpace::insert(std::shared_ptr<const CompletedTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TableDep& d : table->deps) {
+    auto& keys = by_dep_[dep_key(d.sym, d.arity)];
+    if (std::find(keys.begin(), keys.end(), table->key) == keys.end()) {
+      keys.push_back(table->key);
+    }
+  }
+  tables_[table->key] = std::move(table);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TableSpace::invalidate_pred(std::uint32_t sym, unsigned arity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_dep_.find(dep_key(sym, arity));
+  if (it == by_dep_.end()) return;
+  std::uint64_t dropped = 0;
+  for (const std::string& key : it->second) {
+    dropped += tables_.erase(key);
+  }
+  by_dep_.erase(it);
+  // Stale keys may remain in other predicates' reverse lists; erase() of a
+  // missing key above is a no-op, so they are harmless and die with their
+  // own predicate's next invalidation.
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+void TableSpace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.clear();
+  by_dep_.clear();
+}
+
+TableSpace::Stats TableSpace::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.entries = tables_.size();
+  return s;
+}
+
+}  // namespace tab
+}  // namespace ace

@@ -1,0 +1,128 @@
+// TableSpace: the cross-query answer cache of the SLG tabling subsystem.
+//
+// Tabled evaluation (see src/tab/eval.hpp and docs/tabling.md) proves
+// subgoals *complete*: the answer set of a completed subgoal is final with
+// respect to the clause database it was derived from, and — because
+// answers are stored as store-independent TermTemplates keyed by the
+// subgoal's canonical (variant) form — valid in any store, any worker,
+// and any later query. A TableSpace holds exactly those completed tables.
+//
+// Sharing & lifetime. One TableSpace is shared by every EngineSession of
+// a QueryService pool (and kept per-Engine on the CLI path), so a table
+// completed by one query serves all subsequent queries: the memo table
+// becomes a serving-scale cache. Entries are immutable CompletedTable
+// objects handed out by shared_ptr; a session pins the tables it reads
+// for the duration of its query, so invalidation can drop an entry from
+// the space while readers finish on their pinned snapshot (the same
+// logical-update view assert/retract already give untabled queries).
+//
+// Invalidation. Every completed table records the predicates its answers
+// were derived from, with the Database generation observed during the
+// derivation. The space registers a change hook with the Database (fired
+// from assert/retract, exactly where StaticFacts are already discarded)
+// and drops every table depending on the mutated predicate — the
+// explicit-invalidation contract the serving layer's Prometheus
+// ace_table_* counters report on.
+//
+// Locking. All methods take the space's own mutex only; the space never
+// calls back into the Database. Callers that hold a Database guard may
+// therefore call into the space (db -> space order), and the change hook
+// (fired under the Database write lock) may too. The counters are relaxed
+// atomics so the metrics snapshot never contends with queries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "term/build.hpp"
+
+namespace ace {
+
+class Database;
+
+namespace tab {
+
+// One predicate the answers of a table were derived from, at the Database
+// generation observed during derivation. Publication re-verifies the
+// generations so a table computed across a concurrent assert/retract is
+// never installed stale.
+struct TableDep {
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  std::uint64_t gen = 0;
+};
+
+// An immutable completed table: the full answer set of one canonical
+// subgoal. Answers are templates of the *subgoal term itself* with the
+// answer substitution applied (consuming = instantiate + unify with the
+// call), so they carry everything a variant call needs.
+struct CompletedTable {
+  std::string key;  // canonical subgoal (term/canon.hpp)
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  std::vector<TermTemplate> answers;
+  std::vector<TableDep> deps;
+};
+
+class TableSpace {
+ public:
+  // When `db` is non-null the space registers a change hook and
+  // invalidates affected tables on every assert/retract; the hook is
+  // removed on destruction. The space must not outlive the database.
+  explicit TableSpace(Database* db = nullptr);
+  ~TableSpace();
+
+  TableSpace(const TableSpace&) = delete;
+  TableSpace& operator=(const TableSpace&) = delete;
+
+  // Completed-table lookup by canonical subgoal key. Counts a hit or a
+  // miss; returns null on miss.
+  std::shared_ptr<const CompletedTable> lookup(const std::string& key);
+
+  // Installs a completed table (replacing any previous entry for the same
+  // key — the newer derivation saw a newer database state).
+  void insert(std::shared_ptr<const CompletedTable> table);
+
+  // Drops every table whose deps include sym/arity. Called by the
+  // database change hook; also usable directly by tests.
+  void invalidate_pred(std::uint32_t sym, unsigned arity);
+
+  // Drops everything (tests / explicit cache reset).
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t invalidations = 0;  // tables dropped by pred changes
+    std::uint64_t entries = 0;        // current table count (gauge)
+  };
+  Stats stats() const;
+
+ private:
+  static std::uint64_t dep_key(std::uint32_t sym, unsigned arity) {
+    return (std::uint64_t{sym} << 32) | arity;
+  }
+
+  Database* db_ = nullptr;
+  std::uint64_t hook_id_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CompletedTable>>
+      tables_;
+  // Reverse dependency index: pred -> keys of tables derived from it.
+  std::unordered_map<std::uint64_t, std::vector<std::string>> by_dep_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace tab
+}  // namespace ace

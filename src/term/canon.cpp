@@ -1,0 +1,74 @@
+#include "term/canon.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/strutil.hpp"
+
+namespace ace {
+
+void canonical_term_key_into(const Store& store, Addr root,
+                             std::string* out) {
+  // Explicit work stack: an entry is either a term address to serialize or
+  // a literal character to emit (closing parens). Entries are pushed in
+  // reverse so they pop in left-to-right order.
+  struct Item {
+    Addr addr = 0;
+    char lit = 0;  // nonzero: emit this character instead
+  };
+  std::vector<Item> work;
+  std::unordered_map<Addr, unsigned> var_ids;
+  work.push_back({root, 0});
+  while (!work.empty()) {
+    Item it = work.back();
+    work.pop_back();
+    if (it.lit != 0) {
+      out->push_back(it.lit);
+      continue;
+    }
+    Addr a = deref(store, it.addr);
+    Cell c = store.get(a);
+    switch (c.tag()) {
+      case Tag::Ref: {  // unbound variable: number by first occurrence
+        auto [pos, inserted] =
+            var_ids.emplace(a, static_cast<unsigned>(var_ids.size()));
+        *out += strf("_%u", pos->second);
+        (void)inserted;
+        break;
+      }
+      case Tag::Atm:
+        *out += strf("a%u", c.symbol());
+        break;
+      case Tag::Int:
+        *out += strf("i%lld", (long long)c.integer());
+        break;
+      case Tag::Str: {
+        Cell f = store.get(c.ref());
+        *out += strf("s%u:%u(", f.fun_symbol(), f.fun_arity());
+        work.push_back({0, ')'});
+        for (unsigned i = f.fun_arity(); i-- > 0;) {
+          work.push_back({c.ref() + 1 + i, 0});
+        }
+        break;
+      }
+      case Tag::Lst:
+        *out += "l(";
+        work.push_back({0, ')'});
+        work.push_back({c.ref() + 1, 0});
+        work.push_back({c.ref() + 0, 0});
+        break;
+      default:
+        // Fun/VarSlot never appear as dereferenced term roots.
+        *out += "?";
+        break;
+    }
+  }
+}
+
+std::string canonical_term_key(const Store& store, Addr a) {
+  std::string out;
+  canonical_term_key_into(store, a, &out);
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,29 @@
+// Canonical term keys for variant checking (tabling subsystem).
+//
+// Two subgoals are *variants* when they are identical up to a consistent
+// renaming of unbound variables. canonical_term_key() serializes a
+// dereferenced term with variables numbered by first occurrence ("_0",
+// "_1", ...), so two terms are variants iff their keys compare equal —
+// the table-space lookup in src/tab reduces variant checking to a string
+// hash. Symbols are serialized by id, which is stable for the lifetime of
+// the owning SymbolTable (and therefore of any table space keyed by it).
+#pragma once
+
+#include <string>
+
+#include "term/store.hpp"
+
+namespace ace {
+
+// Canonical serialization of the term at `a` (dereferenced). Iterative:
+// safe on deep structures (long lists). The format is unambiguous:
+//   atom      "a<sym>"        integer  "i<val>"
+//   struct    "s<sym>:<arity>(" args ")"   list  "l(" head tail ")"
+//   variable  "_<n>"          (n = first-occurrence index)
+std::string canonical_term_key(const Store& store, Addr a);
+
+// Appends the canonical key of `a` to `out` (bulk users avoid the
+// per-term string allocation). Variable numbering restarts per call.
+void canonical_term_key_into(const Store& store, Addr a, std::string* out);
+
+}  // namespace ace

@@ -1,0 +1,143 @@
+#include "workloads/graphs.hpp"
+
+#include <set>
+#include <utility>
+
+#include "support/diag.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+std::string chain_edges(unsigned n) {
+  std::string out;
+  for (unsigned i = 1; i < n; ++i) out += strf("edge(%u, %u).\n", i, i + 1);
+  return out;
+}
+
+std::string grid_edges(unsigned k) {
+  std::string out;
+  for (unsigned r = 0; r < k; ++r) {
+    for (unsigned c = 0; c < k; ++c) {
+      unsigned id = r * k + c + 1;
+      if (c + 1 < k) out += strf("edge(%u, %u).\n", id, id + 1);
+      if (r + 1 < k) out += strf("edge(%u, %u).\n", id, id + k);
+    }
+  }
+  return out;
+}
+
+std::string random_edges(unsigned nodes, unsigned edges, std::uint64_t seed) {
+  ACE_CHECK(nodes >= 2);
+  SplitMix64 rng(seed);
+  std::set<std::pair<unsigned, unsigned>> picked;
+  // a < b keeps the graph acyclic so the untabled comparators terminate.
+  while (picked.size() < edges) {
+    unsigned a = 1 + static_cast<unsigned>(rng.below(nodes - 1));
+    unsigned b = a + 1 + static_cast<unsigned>(rng.below(nodes - a));
+    picked.emplace(a, b);
+  }
+  std::string out;
+  for (const auto& [a, b] : picked) out += strf("edge(%u, %u).\n", a, b);
+  return out;
+}
+
+const std::string& graph_program_text() {
+  // tc/2 is deliberately LEFT recursive: without tabling it would loop
+  // forever, which is exactly the class of program SLG resolution admits.
+  // tcr/2 is the standard terminating right-recursive closure used as the
+  // untabled comparator (exponential re-derivation on dense DAGs).
+  static const std::string text = R"PL(
+:- table tc/2.
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+tc(X, Y) :- edge(X, Y).
+
+tcr(X, Y) :- edge(X, Y).
+tcr(X, Y) :- edge(X, Z), tcr(Z, Y).
+
+:- table path/2.
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+
+:- table sg/2.
+sg(X, X).
+sg(X, Y) :- edge(P, X), sg(P, Q), edge(Q, Y).
+
+sgu(X, X).
+sgu(X, Y) :- edge(P, X), sgu(P, Q), edge(Q, Y).
+)PL";
+  return text;
+}
+
+namespace {
+
+Workload graph_entry(const std::string& name, const std::string& desc,
+                     const std::string& edges, const std::string& query,
+                     const std::string& small_query) {
+  Workload w;
+  w.name = name;
+  w.description = desc;
+  w.source = graph_program_text() + edges;
+  w.query = query;
+  w.small_query = small_query;
+  w.and_parallel = false;
+  w.all_solutions = true;
+  return w;
+}
+
+std::vector<Workload> make_graph_workloads() {
+  std::vector<Workload> w;
+  const std::string chain64 = chain_edges(64);
+  const std::string grid8 = grid_edges(8);
+  const std::string rand64 = random_edges(64, 96, 7);
+
+  w.push_back(graph_entry(
+      "tc_chain64", "tabled transitive closure, 64-node chain", chain64,
+      "tc(1, X).", "tc(1, X)."));
+  w.push_back(graph_entry(
+      "tc_chain64_notab", "untabled transitive closure, 64-node chain",
+      chain64, "tcr(1, X).", "tcr(1, X)."));
+  w.push_back(graph_entry(
+      "tc_grid8", "tabled transitive closure, 8x8 grid DAG", grid8,
+      "tc(1, X).", "tc(1, X)."));
+  w.push_back(graph_entry(
+      "tc_grid8_notab",
+      "untabled transitive closure, 8x8 grid DAG (path-count blowup)", grid8,
+      "tcr(1, X).", "tcr(1, X)."));
+  w.push_back(graph_entry(
+      "tc_rand64", "tabled transitive closure, random sparse DAG (seed 7)",
+      rand64, "tc(1, X).", "tc(1, X)."));
+  w.push_back(graph_entry(
+      "tc_rand64_notab",
+      "untabled transitive closure, random sparse DAG (seed 7)", rand64,
+      "tcr(1, X).", "tcr(1, X)."));
+  w.push_back(graph_entry(
+      "path_grid8", "tabled right-recursive reachability, 8x8 grid", grid8,
+      "path(1, X).", "path(1, X)."));
+  w.push_back(graph_entry(
+      "path_grid8_notab", "untabled reachability, 8x8 grid", grid8,
+      "tcr(1, X).", "tcr(1, X)."));
+  w.push_back(graph_entry(
+      "sg_grid8", "tabled same-generation, 8x8 grid", grid8, "sg(28, X).",
+      "sg(28, X)."));
+  w.push_back(graph_entry(
+      "sg_grid8_notab", "untabled same-generation, 8x8 grid", grid8,
+      "sgu(28, X).", "sgu(28, X)."));
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& graph_workloads() {
+  static const std::vector<Workload> w = make_graph_workloads();
+  return w;
+}
+
+const Workload& graph_workload(const std::string& name) {
+  for (const Workload& w : graph_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw AceError("unknown graph workload: " + name);
+}
+
+}  // namespace ace

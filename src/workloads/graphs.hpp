@@ -1,0 +1,47 @@
+// Graph workload family for the tabling subsystem (src/tab/): seeded edge
+// generators (chain, grid, random sparse DAG) combined with the classic
+// tabling programs — transitive closure, path reachability and same
+// generation — in tabled and untabled form.
+//
+// These live in their own registry (graph_workloads()) rather than in
+// workloads(): the paper-corpus list feeds BENCH_attrib.json and must not
+// change shape. workload(name) falls back to this registry, so ace_run
+// --workload tc_grid8 and the sim sweep can still address them by name.
+//
+// Naming: <program>_<graph> runs the tabled predicate, and the paired
+// <program>_<graph>_notab runs the equivalent untabled (right-recursive)
+// definition over the same edge set — bench_tab reports both at 1/5/10
+// agents so the memoization win is measured against real re-derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/programs.hpp"
+
+namespace ace {
+
+// Edge-fact generators. All deterministic: the same arguments always
+// produce the same fact text, so virtual times are reproducible.
+//
+// chain_edges(n):   edge(i, i+1) for 1 <= i < n (a path of n nodes).
+// grid_edges(k):    k x k lattice, node (r,c) = r*k + c + 1, with right and
+//                   down edges — the path-counting blowup graph: the number
+//                   of distinct corner-to-corner derivations is binomial.
+// random_edges(..): `edges` distinct edges a -> b with a < b (guaranteed
+//                   acyclic, so untabled right recursion terminates) drawn
+//                   from SplitMix64(seed).
+std::string chain_edges(unsigned n);
+std::string grid_edges(unsigned k);
+std::string random_edges(unsigned nodes, unsigned edges, std::uint64_t seed);
+
+// The shared program text: tabled tc/2 (left recursive), path/2 (right
+// recursive) and sg/2, plus the untabled comparators tcr/2 and sgu/2.
+// Tests combine it with a generated edge set of their own size.
+const std::string& graph_program_text();
+
+// The registered family (each entry = program text + one edge set).
+const std::vector<Workload>& graph_workloads();
+const Workload& graph_workload(const std::string& name);
+
+}  // namespace ace

@@ -25,6 +25,7 @@ struct RunConfig {
   bool lao = false;
   bool static_facts = false;  // elide statically proven opt checks
   bool attrib = false;        // per-predicate attribution rows
+  bool tabling = true;        // honor `:- table p/N.` directives
   std::size_t max_solutions = SIZE_MAX;
   bool use_threads = false;  // AndpMachine only
   std::uint64_t resolution_limit = 0;
@@ -41,6 +42,7 @@ struct RunConfig {
     c.lao = lao;
     c.static_facts = static_facts;
     c.attrib = attrib;
+    c.tabling = tabling;
     c.use_threads = use_threads;
     c.resolution_limit = resolution_limit;
     return c;

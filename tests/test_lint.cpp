@@ -109,17 +109,91 @@ TEST(Lint, Apl006OverlapIsPedanticOnly) {
   EXPECT_GE(rep.sink.count_code("APL006"), 1u);
 }
 
+TEST(Lint, Apl007FiresOnUntabledNondetRecursion) {
+  // The seeded bug: a left-recursive transitive closure with overlapping
+  // clauses and no table declaration — the exponential-recomputation (and,
+  // for SLD, nontermination) shape the diagnostic exists to catch.
+  const std::string src =
+      "edge(1, 2). edge(2, 3).\n"
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n";
+  LintReport rep = lint(src);
+  EXPECT_EQ(rep.sink.count_code("APL007"), 1u);
+  // The message carries the machine-applicable fixit.
+  bool found = false;
+  for (const Diagnostic& d : rep.sink.all()) {
+    if (d.code != "APL007") continue;
+    found = true;
+    EXPECT_EQ(d.predicate, "tc/2");
+    EXPECT_NE(d.message.find(":- table tc/2."), std::string::npos)
+        << d.message;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lint, Apl007SilencedByTableDirective) {
+  const std::string src =
+      ":- table tc/2.\n"
+      "edge(1, 2). edge(2, 3).\n"
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n";
+  EXPECT_EQ(lint(src).sink.count_code("APL007"), 0u);
+  // Comma-separated spec lists count too.
+  const std::string multi =
+      ":- table tc/2, path/2.\n"
+      "edge(1, 2).\n"
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  EXPECT_EQ(lint(multi).sink.count_code("APL007"), 0u);
+}
+
+TEST(Lint, Apl007QuietOnDeterminateAndExclusiveRecursion) {
+  // Structurally exclusive []/[H|T] recursion: linear subgoal tree, no
+  // warning even though the det proof may fall short of full `det`.
+  const std::string walker =
+      "len([], 0).\n"
+      "len([_|T], N) :- len(T, M), N is M + 1.\n";
+  EXPECT_EQ(lint(walker).sink.count_code("APL007"), 0u);
+  // Cut-committed recursion is determinate: no warning.
+  const std::string cut =
+      "count(0) :- !.\n"
+      "count(N) :- N1 is N - 1, count(N1).\n";
+  EXPECT_EQ(lint(cut).sink.count_code("APL007"), 0u);
+  // Non-recursive nondeterminism is APL006 territory, not APL007.
+  const std::string flat =
+      "pick(1).\n"
+      "pick(N) :- N > 0.\n";
+  EXPECT_EQ(lint(flat).sink.count_code("APL007"), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Shipped workloads are lint-clean under their real queries.
 // ---------------------------------------------------------------------------
 
 TEST(Lint, AllWorkloadsAreCleanUnderTheirQueries) {
+  // Two shipped predicates legitimately trip the APL007 tabling advisor and
+  // are deliberately left untabled: anc/2 (ancestors) is the classic
+  // recomputation demo — the tabled closure family lives in
+  // graph_workloads() — and qperm/3 (queens1) overlaps because its
+  // select-based generator clause takes an unrestricted first argument.
+  // Everything else must be clean, and no other code may fire at all.
+  const std::map<std::string, std::size_t> known_apl007 = {
+      {"ancestors", 1},
+      {"queens1", 1},
+  };
   for (const Workload& w : workloads()) {
     LintOptions opts;
     opts.entries = {w.query, w.small_query};
     SymbolTable syms;
     LintReport rep = lint_program(syms, w.source, opts);
-    EXPECT_EQ(rep.warnings(), 0u) << w.name << ": " << rep.sink.to_text();
+    const auto it = known_apl007.find(w.name);
+    const std::size_t allowed = it == known_apl007.end() ? 0 : it->second;
+    EXPECT_EQ(rep.sink.count_code("APL007"), allowed)
+        << w.name << ": " << rep.sink.to_text();
+    EXPECT_EQ(rep.warnings(), allowed) << w.name << ": "
+                                       << rep.sink.to_text();
     EXPECT_EQ(rep.errors(), 0u) << w.name << ": " << rep.sink.to_text();
   }
 }

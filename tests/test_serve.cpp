@@ -19,6 +19,7 @@
 #include "serve/http_metrics.hpp"
 #include "serve/service.hpp"
 #include "stats/prometheus.hpp"
+#include "workloads/graphs.hpp"
 
 namespace ace {
 namespace {
@@ -493,6 +494,133 @@ TEST_F(ServeTest, ShutdownDrainsAdmittedWork) {
   QueryRequest late;
   late.query = "d(X).";
   EXPECT_EQ(service.run(std::move(late)).outcome, QueryOutcome::Overload);
+}
+
+// ---------------------------------------------------------------------------
+// Tabling across the serving path: the service-wide TableSpace is a
+// cross-query cache shared by every pooled session, so completed tables
+// must survive session checkin/checkout, serve renamed-variable variants,
+// and be invalidated when any tenant asserts/retracts into a predicate a
+// table depends on.
+
+TEST_F(ServeTest, TabledAnswersServeAcrossSessionsAndInvalidate) {
+  db.consult(graph_program_text() + ":- dynamic edge/2.\n" + chain_edges(16));
+  QueryService service(db);
+
+  // First call populates the shared table; tc/2 is left-recursive, so a
+  // working answer needs SLG, not SLD.
+  QueryRequest q1;
+  q1.query = "tc(1, X).";
+  QueryResponse r1 = service.run(std::move(q1));
+  ASSERT_EQ(r1.outcome, QueryOutcome::Success);
+  EXPECT_EQ(r1.solutions.size(), 15u);
+
+  ServeMetricsSnapshot after_fill = service.metrics_snapshot();
+  EXPECT_TRUE(after_fill.tables_present);
+  EXPECT_GT(after_fill.table_misses, 0u);
+  EXPECT_GT(after_fill.table_inserts, 0u);
+  EXPECT_GT(after_fill.table_entries, 0u);
+
+  // A renamed-variable variant from a different engine config (hence a
+  // different pooled session) hits the same completed table.
+  QueryRequest q2;
+  q2.engine = orp_cfg(2, true);
+  q2.query = "tc(1, Y).";
+  QueryResponse r2 = service.run(std::move(q2));
+  ASSERT_EQ(r2.outcome, QueryOutcome::Success);
+  EXPECT_EQ(r2.solutions.size(), 15u);
+  ServeMetricsSnapshot after_hit = service.metrics_snapshot();
+  EXPECT_GT(after_hit.table_hits, after_fill.table_hits);
+
+  // A tenant extends the graph: every table over edge/2 must drop, and the
+  // next read must see the new edge, not the stale cache.
+  QueryRequest w;
+  w.query = "assertz(edge(16, 17)).";
+  ASSERT_EQ(service.run(std::move(w)).outcome, QueryOutcome::Success);
+  ServeMetricsSnapshot after_write = service.metrics_snapshot();
+  EXPECT_GT(after_write.table_invalidations, 0u);
+
+  QueryRequest q3;
+  q3.query = "tc(1, X).";
+  QueryResponse r3 = service.run(std::move(q3));
+  ASSERT_EQ(r3.outcome, QueryOutcome::Success);
+  EXPECT_EQ(r3.solutions.size(), 16u);
+
+  // Retract restores the original closure.
+  QueryRequest u;
+  u.query = "retract(edge(16, 17)).";
+  ASSERT_EQ(service.run(std::move(u)).outcome, QueryOutcome::Success);
+  QueryRequest q4;
+  q4.query = "tc(1, Z).";
+  QueryResponse r4 = service.run(std::move(q4));
+  ASSERT_EQ(r4.outcome, QueryOutcome::Success);
+  EXPECT_EQ(r4.solutions.size(), 15u);
+
+  // The table counters reach both export surfaces.
+  ServeMetricsSnapshot final_snap = service.metrics_snapshot();
+  std::string json = final_snap.to_json();
+  EXPECT_NE(json.find("\"table_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"table_invalidations\":"), std::string::npos);
+  std::string prom = prometheus_text(final_snap);
+  EXPECT_NE(prom.find("ace_table_hits"), std::string::npos);
+  EXPECT_NE(prom.find("ace_table_misses"), std::string::npos);
+  EXPECT_NE(prom.find("ace_table_entries"), std::string::npos);
+  service.shutdown();
+}
+
+// The serving-cache race: concurrent sessions read completed tables while
+// a tenant asserts/retracts into the tabled predicate's support. Under
+// TSan this is the test that catches an unguarded TableSpace read or a
+// stale-generation publication.
+TEST_F(ServeTest, ConcurrentTabledReadsWithInvalidatingWriters) {
+  db.consult(graph_program_text() + ":- dynamic edge/2.\n" + chain_edges(12));
+  ServiceOptions opts;
+  opts.dispatch_threads = 8;
+  opts.queue_capacity = 1024;
+  opts.default_deadline = kBackstop;
+  QueryService service(db, opts);
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int round = 0; round < 40; ++round) {
+    QueryRequest w1;
+    w1.query = "assertz(edge(12, 13)).";
+    tickets.push_back(service.submit(std::move(w1)));
+
+    QueryRequest r1;
+    r1.query = "tc(1, X).";  // left-recursive: needs the table machinery
+    tickets.push_back(service.submit(std::move(r1)));
+
+    QueryRequest r2;
+    r2.engine = orp_cfg(2, true);
+    r2.query = "path(1, X).";
+    tickets.push_back(service.submit(std::move(r2)));
+
+    QueryRequest w2;
+    w2.query = "retract(edge(12, 13)).";
+    tickets.push_back(service.submit(std::move(w2)));
+
+    QueryRequest r3;
+    r3.query = "sg(5, X).";
+    tickets.push_back(service.submit(std::move(r3)));
+  }
+  for (auto& t : tickets) {
+    QueryResponse resp = t.result.get();
+    // Writers may fail (retract of an absent edge), readers see either the
+    // 12- or 13-node closure depending on interleaving; nothing may error,
+    // deadlock, or serve a wedged table.
+    ASSERT_TRUE(resp.completed()) << resp.error;
+    if (resp.query == "tc(1, X).") {
+      ASSERT_EQ(resp.outcome, QueryOutcome::Success);
+      EXPECT_GE(resp.solutions.size(), 11u);
+      EXPECT_LE(resp.solutions.size(), 12u);
+    }
+  }
+  // The mix produced real cache traffic on the shared TableSpace.
+  ServeMetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_TRUE(snap.tables_present);
+  EXPECT_GT(snap.table_misses, 0u);
+  EXPECT_GT(snap.table_invalidations, 0u);
+  service.shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,384 @@
+// SLG tabling tests (src/tab/): variant hits, SCC completion for mutual
+// recursion, cross-query caching with assert/retract invalidation,
+// tabled-vs-untabled solution equivalence, the cost-conservation invariant
+// with the table categories, and bit-identity when tabling is off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <memory>
+
+#include "builtins/lib.hpp"
+#include "parse/parser.hpp"
+#include "serve/session.hpp"
+#include "tab/table_space.hpp"
+#include "term/build.hpp"
+#include "term/canon.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+std::vector<std::string> sorted_unique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::unique_ptr<Database> make_db(const std::string& program) {
+  auto db = std::make_unique<Database>();
+  load_library(*db);
+  db->consult(program);
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical subgoal keys (variant checking).
+
+TEST(Canon, KeyDistinguishesStructureNotNames) {
+  auto db = make_db("");
+  SymbolTable& syms = db->syms();
+  Store store(1);
+  auto key_of = [&](const std::string& text) {
+    TermTemplate t = parse_term_text(syms, text);
+    Addr a = instantiate(store, 0, t, nullptr);
+    return canonical_term_key(store, a);
+  };
+  // Variants: same key under variable renaming.
+  EXPECT_EQ(key_of("p(X, Y, X)."), key_of("p(A, B, A)."));
+  // Different sharing pattern is not a variant.
+  EXPECT_NE(key_of("p(X, Y, X)."), key_of("p(A, A, B)."));
+  // Ground vs variable, different functor, different constant.
+  EXPECT_NE(key_of("p(1, Y, X)."), key_of("p(X, Y, X)."));
+  EXPECT_NE(key_of("p(a)."), key_of("q(a)."));
+  EXPECT_NE(key_of("p(1)."), key_of("p(2)."));
+  // Lists and nesting participate structurally.
+  EXPECT_EQ(key_of("p([X|T], f(T))."), key_of("p([A|B], f(B))."));
+}
+
+// ---------------------------------------------------------------------------
+// TableSpace: the cross-query cache container.
+
+TEST(TableSpace, LookupInsertInvalidate) {
+  tab::TableSpace space;
+  EXPECT_EQ(space.lookup("k"), nullptr);  // miss
+
+  auto t = std::make_shared<tab::CompletedTable>();
+  t->key = "k";
+  t->sym = 1;
+  t->arity = 2;
+  t->deps.push_back({7, 2, 0});
+  space.insert(t);
+
+  auto got = space.lookup("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->key, "k");
+
+  tab::TableSpace::Stats s = space.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // Invalidating an unrelated predicate keeps the table.
+  space.invalidate_pred(9, 1);
+  EXPECT_NE(space.lookup("k"), nullptr);
+  // Invalidating a dependency drops it.
+  space.invalidate_pred(7, 2);
+  EXPECT_EQ(space.lookup("k"), nullptr);
+  s = space.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.entries, 0u);
+
+  // The dropped entry stays valid through the caller's pin.
+  EXPECT_EQ(got->sym, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Left recursion and cyclic graphs: the programs SLG admits and plain SLD
+// cannot run.
+
+TEST(Tabling, LeftRecursiveClosureOnCycleTerminates) {
+  auto db = make_db(graph_program_text() +
+                    "edge(1, 2). edge(2, 3). edge(3, 1).");
+  Engine eng(*db);
+  SolveResult r = eng.solve("tc(1, X).");
+  EXPECT_EQ(sorted_unique(r.solutions),
+            sorted_unique({"X = 1", "X = 2", "X = 3"}));
+}
+
+TEST(Tabling, UntabledLeftRecursionBlowsTheBudgetTabledDoesNot) {
+  // Same clauses, no directive: plain SLD loops on the left recursion and
+  // exhausts the resolution budget; the tabled program finishes well inside
+  // it.
+  const std::string clauses =
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n" +
+      chain_edges(16);
+  EngineConfig cfg;
+  cfg.resolution_limit = 100000;
+
+  auto untabled = make_db(clauses);
+  Engine bad(*untabled, cfg);
+  QueryResult qr = bad.query("tc(1, X).");
+  EXPECT_EQ(qr.outcome, QueryOutcome::Error);  // budget exhausted
+
+  auto tabled = make_db(":- table tc/2.\n" + clauses);
+  Engine good(*tabled, cfg);
+  SolveResult r = good.solve("tc(1, X).");
+  EXPECT_EQ(r.solutions.size(), 15u);
+}
+
+TEST(Tabling, TabledClosureGrowsPolynomially) {
+  // Chain of n nodes: answers grow linearly, passes are bounded, so the
+  // virtual time of tabled tc must grow polynomially (~n^2), not
+  // exponentially. Doubling n twice may multiply time by ~16; 64x would
+  // mean super-cubic growth.
+  auto vt = [](unsigned n) {
+    auto db = make_db(graph_program_text() + chain_edges(n));
+    Engine eng(*db);
+    SolveResult r = eng.solve("tc(1, X).");
+    EXPECT_EQ(r.solutions.size(), std::size_t{n - 1});
+    return r.virtual_time;
+  };
+  std::uint64_t t8 = vt(8), t32 = vt(32);
+  EXPECT_GT(t8, 0u);
+  EXPECT_LT(t32, t8 * 64);
+}
+
+// ---------------------------------------------------------------------------
+// Mutual recursion: one SCC spanning two tabled predicates must complete
+// together, with answers flowing both ways.
+
+TEST(Tabling, MutualRecursionSccCompletesTogether) {
+  auto db = make_db(R"PL(
+:- table p/1.
+:- table q/1.
+p(X) :- q(X).
+p(a).
+q(X) :- p(X).
+q(b).
+)PL");
+  Engine eng(*db);
+  SolveResult rp = eng.solve("p(X).");
+  EXPECT_EQ(sorted_unique(rp.solutions), sorted_unique({"X = a", "X = b"}));
+  // q completed as part of p's SCC: the second query is answered from the
+  // cache without a new generator.
+  tab::TableSpace::Stats before = eng.session().table_space()->stats();
+  SolveResult rq = eng.solve("q(X).");
+  EXPECT_EQ(sorted_unique(rq.solutions), sorted_unique({"X = a", "X = b"}));
+  tab::TableSpace::Stats after = eng.session().table_space()->stats();
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Tabling, MutualEvenOddOverSuccessors) {
+  auto db = make_db(R"PL(
+:- table even/1.
+:- table odd/1.
+even(0).
+even(X) :- X > 0, Y is X - 1, odd(Y).
+odd(X) :- X > 0, Y is X - 1, even(Y).
+)PL");
+  Engine eng(*db);
+  EXPECT_TRUE(eng.succeeds("even(10)."));
+  EXPECT_FALSE(eng.succeeds("even(9)."));
+  EXPECT_TRUE(eng.succeeds("odd(7)."));
+}
+
+// ---------------------------------------------------------------------------
+// The cross-query serving cache: variant hits, renamed subgoals, and
+// assert/retract invalidation.
+
+TEST(Tabling, RepeatedQueryAnswersFromCompletedTable) {
+  auto db = make_db(graph_program_text() + chain_edges(32));
+  Engine eng(*db);
+
+  SolveResult first = eng.solve("tc(1, X).");
+  EXPECT_EQ(first.solutions.size(), 31u);
+  tab::TableSpace::Stats s1 = eng.session().table_space()->stats();
+  EXPECT_GE(s1.inserts, 1u);
+  EXPECT_GE(s1.misses, 1u);
+  EXPECT_EQ(s1.hits, 0u);
+
+  // Same subgoal with a renamed variable: a variant, so a cache hit.
+  SolveResult second = eng.solve("tc(1, Y).");
+  EXPECT_EQ(second.solutions.size(), 31u);
+  tab::TableSpace::Stats s2 = eng.session().table_space()->stats();
+  EXPECT_GE(s2.hits, 1u);
+  EXPECT_EQ(s2.misses, s1.misses);  // no re-evaluation
+
+  // The cached run never re-runs generator passes.
+  EXPECT_EQ(second.stats.table_completions, 0u);
+  EXPECT_LT(second.virtual_time, first.virtual_time);
+
+  // A different subgoal is not a variant.
+  SolveResult third = eng.solve("tc(2, X).");
+  EXPECT_EQ(third.solutions.size(), 30u);
+  EXPECT_GT(eng.session().table_space()->stats().misses, s2.misses);
+}
+
+TEST(Tabling, AssertAndRetractInvalidateDependentTables) {
+  auto db = make_db(graph_program_text() + ":- dynamic edge/2.\n" +
+                    chain_edges(8));
+  Engine eng(*db);
+
+  EXPECT_EQ(eng.solve("tc(1, X).").solutions.size(), 7u);
+  tab::TableSpace::Stats s1 = eng.session().table_space()->stats();
+  EXPECT_GE(s1.entries, 1u);
+
+  // Asserting into edge/2 must drop every table derived from it.
+  EXPECT_TRUE(eng.succeeds("assertz(edge(8, 9))."));
+  tab::TableSpace::Stats s2 = eng.session().table_space()->stats();
+  EXPECT_GT(s2.invalidations, s1.invalidations);
+
+  // The next call misses, re-evaluates, and sees the new edge.
+  SolveResult grown = eng.solve("tc(1, X).");
+  EXPECT_EQ(grown.solutions.size(), 8u);
+  EXPECT_GT(eng.session().table_space()->stats().misses, s1.misses);
+
+  // Retract invalidates again and shrinks the closure back.
+  EXPECT_TRUE(eng.succeeds("retract(edge(8, 9))."));
+  EXPECT_EQ(eng.solve("tc(1, X).").solutions.size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: tabled and untabled definitions agree on every terminating
+// graph workload, sequentially and under or-parallel execution.
+
+TEST(Tabling, TabledMatchesUntabledOnGraphFamily) {
+  const std::pair<const char*, const char*> pairs[] = {
+      {"tc_chain64", "tc_chain64_notab"},
+      {"tc_grid8", "tc_grid8_notab"},
+      {"tc_rand64", "tc_rand64_notab"},
+      {"path_grid8", "path_grid8_notab"},
+      {"sg_grid8", "sg_grid8_notab"},
+  };
+  for (const auto& [tabled, untabled] : pairs) {
+    RunConfig seq;
+    seq.engine = EngineKind::Seq;
+    RunOutcome a = run_workload(graph_workload(tabled), seq);
+    RunOutcome b = run_workload(graph_workload(untabled), seq);
+    // Tables deduplicate answers; the untabled run may enumerate a
+    // derivation per path. The solution *sets* must agree.
+    EXPECT_EQ(sorted_unique(a.solutions), sorted_unique(b.solutions))
+        << tabled;
+    EXPECT_GT(a.stats.table_misses, 0u) << tabled;
+    EXPECT_EQ(b.stats.table_misses, 0u) << untabled;
+  }
+}
+
+TEST(Tabling, OrParallelAgreesWithSequentialOnTabledWorkloads) {
+  for (const char* name : {"tc_grid8", "sg_grid8", "path_grid8"}) {
+    RunConfig seq;
+    seq.engine = EngineKind::Seq;
+    RunOutcome expect = run_workload(graph_workload(name), seq);
+    for (unsigned agents : {5u, 10u}) {
+      RunConfig orp;
+      orp.engine = EngineKind::Orp;
+      orp.agents = agents;
+      RunOutcome got = run_workload(graph_workload(name), orp);
+      EXPECT_EQ(sorted_unique(got.solutions), sorted_unique(expect.solutions))
+          << name << "@" << agents;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conservation: with tabling active, the per-category sums (including the
+// four table categories) still partition the summed agent clocks exactly.
+
+TEST(Tabling, CategorySumsPartitionClocksOnGraphWorkloads) {
+  for (const Workload& w : graph_workloads()) {
+    for (unsigned agents : {1u, 5u, 10u}) {
+      RunConfig cfg;
+      cfg.engine = agents == 1 ? EngineKind::Seq : EngineKind::Orp;
+      cfg.agents = agents;
+      RunOutcome out = run_workload(w, cfg);
+      std::uint64_t clock_sum = 0;
+      for (std::uint64_t c : out.agent_clocks) clock_sum += c;
+      EXPECT_EQ(out.attrib.total(), clock_sum) << w.name << "@" << agents;
+      EXPECT_EQ(out.attrib.work() + out.attrib.overhead() + out.attrib.idle(),
+                out.attrib.total())
+          << w.name << "@" << agents;
+      const bool tabled = w.name.find("notab") == std::string::npos;
+      if (tabled) {
+        // Table work must be visible in its own categories...
+        EXPECT_GT(out.attrib[CostCat::kTableLookup] +
+                      out.attrib[CostCat::kTableInsert],
+                  0u)
+            << w.name << "@" << agents;
+      } else {
+        // ...and absent when no predicate is tabled.
+        EXPECT_EQ(out.attrib[CostCat::kTableLookup] +
+                      out.attrib[CostCat::kTableInsert] +
+                      out.attrib[CostCat::kTableSuspend] +
+                      out.attrib[CostCat::kTableResume],
+                  0u)
+            << w.name << "@" << agents;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill switch: with tabling disabled (or no directive present) runs are
+// bit-identical to the pre-tabling engine.
+
+TEST(Tabling, NoDirectivesMeansBitIdenticalOnAndOff) {
+  for (const char* name : {"fib", "nrev", "queens1"}) {
+    const Workload& w = workload(name);
+    std::uint64_t vt_on = 0;
+    for (bool tabling : {true, false}) {
+      RunConfig cfg;
+      cfg.engine = w.and_parallel ? EngineKind::Andp : EngineKind::Orp;
+      cfg.agents = 4;
+      cfg.tabling = tabling;
+      RunOutcome out = run_small(name, cfg);
+      if (tabling) {
+        vt_on = out.virtual_time;
+      } else {
+        EXPECT_EQ(out.virtual_time, vt_on) << name;
+      }
+      EXPECT_EQ(out.stats.table_hits + out.stats.table_misses, 0u) << name;
+    }
+  }
+}
+
+TEST(Tabling, NoTableFlagIgnoresDirectives) {
+  // With the kill switch a tabled program runs as plain SLD: the
+  // right-recursive path/2 still terminates (and must produce the same
+  // answer set); no table counters move.
+  auto db = make_db(graph_program_text() + chain_edges(16));
+  EngineConfig cfg;
+  cfg.tabling = false;
+  Engine eng(*db, cfg);
+  SolveResult r = eng.solve("path(1, X).");
+  EXPECT_EQ(sorted_unique(r.solutions).size(), 15u);
+  EXPECT_EQ(r.stats.table_misses, 0u);
+  EXPECT_EQ(eng.session().table_space(), nullptr);
+  EXPECT_NE(eng.config().describe().find("+notab"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tabling composes with the rest of the language.
+
+TEST(Tabling, TabledCallInsideFindall) {
+  auto db = make_db(graph_program_text() + chain_edges(8));
+  Engine eng(*db);
+  SolveResult r = eng.solve("findall(X, tc(1, X), L), length(L, N).");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_NE(r.solutions[0].find("N = 7"), std::string::npos);
+}
+
+TEST(Tabling, TabledAnswersFeedArithmeticAndSort) {
+  auto db = make_db(graph_program_text() + grid_edges(4));
+  Engine eng(*db);
+  SolveResult r =
+      eng.solve("findall(X, tc(1, X), L), msort(L, S), length(S, N).");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_NE(r.solutions[0].find("N = 15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ace

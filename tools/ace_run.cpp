@@ -9,6 +9,9 @@
 //   --lpco --shallow --pdo --lao --all-opts
 //   --static-facts             attach load-time analysis facts and elide
 //                              statically proven optimization checks
+//   --table / --no-table       honor / ignore `:- table p/N.` directives
+//                              (default: honor; programs without the
+//                              directive are unaffected either way)
 //   --analyze                  lint the program before running (diagnostics
 //                              on stderr; the query still runs)
 //   --threads                  (andp only: real std::thread driver)
@@ -65,7 +68,8 @@ std::string read_file(const std::string& path) {
                "usage: ace_run [--engine seq|andp|orp] [--agents N]\n"
                "               [--lpco] [--shallow] [--pdo] [--lao]"
                " [--all-opts]\n"
-               "               [--static-facts] [--analyze]\n"
+               "               [--static-facts] [--analyze]"
+               " [--table] [--no-table]\n"
                "               [--threads] [--max-solutions N] [--stats]"
                " [--limit N]\n"
                "               [--json] [--trace FILE]\n"
@@ -122,6 +126,10 @@ int main(int argc, char** argv) {
       cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
     } else if (arg == "--static-facts") {
       cfg.static_facts = true;
+    } else if (arg == "--table") {
+      cfg.tabling = true;
+    } else if (arg == "--no-table") {
+      cfg.tabling = false;
     } else if (arg == "--analyze") {
       want_analyze = true;
     } else if (arg == "--threads") {

@@ -11,8 +11,9 @@
 //   [deadline=100 limit=500000] loop.
 //
 // Recognized per-line options: engine=seq|andp|orp, agents=N, lpco,
-// shallow, pdo, lao, all-opts, sfacts, threads, max=N (solution cap),
-// deadline=MILLIS, limit=N (resolution budget).
+// shallow, pdo, lao, all-opts, sfacts, notab (ignore table directives),
+// threads, max=N (solution cap), deadline=MILLIS, limit=N (resolution
+// budget).
 //
 // Service options:
 //   --service-threads N   dispatch threads / concurrent engines (default 4)
@@ -28,6 +29,9 @@
 //   --analyze             lint the loaded program (diagnostics on stderr;
 //                         warning/error counts appear in --metrics JSON)
 //   --static-facts        default every query to static-fact check elision
+//   --no-table            default every query to ignore `:- table p/N.`
+//                         directives (kill switch for the shared memo-table
+//                         cache; --table restores the default)
 //   --v1                  PR-1 text output ("=== id=... outcome=...")
 //   --trace FILE          record the full request path (service, dispatch,
 //                         session and agent tracks) and write a Chrome
@@ -78,7 +82,7 @@ std::string read_file(const std::string& path) {
                "usage: ace_serve [--service-threads N] [--queue N] [--pool N]\n"
                "                 [--deadline MILLIS] [--limit N] [--window N]\n"
                "                 [--quiet] [--metrics] [--v1]"
-               " [--analyze] [--static-facts]\n"
+               " [--analyze] [--static-facts] [--no-table]\n"
                "                 [--trace FILE] [--slowlog-ms N] [--attrib]\n"
                "                 [--metrics-port N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
@@ -131,6 +135,8 @@ bool parse_line_options(std::string& line, ace::QueryRequest& req) {
       req.engine.pdo = req.engine.lao = true;
     } else if (key == "sfacts") {
       req.engine.static_facts = true;
+    } else if (key == "notab") {
+      req.engine.tabling = false;
     } else if (key == "attrib") {
       req.engine.attrib = true;
     } else if (key == "threads") {
@@ -186,6 +192,7 @@ int main(int argc, char** argv) {
   bool want_analyze = false;
   bool default_sfacts = false;
   bool default_attrib = false;
+  bool default_notab = false;
   int metrics_port = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -216,6 +223,10 @@ int main(int argc, char** argv) {
       want_analyze = true;
     } else if (arg == "--static-facts") {
       default_sfacts = true;
+    } else if (arg == "--no-table") {
+      default_notab = true;
+    } else if (arg == "--table") {
+      default_notab = false;
     } else if (arg == "--attrib") {
       default_attrib = true;
     } else if (arg == "--metrics-port") {
@@ -320,6 +331,7 @@ int main(int argc, char** argv) {
       req.query = line.substr(pos);
       if (default_sfacts) req.engine.static_facts = true;
       if (default_attrib) req.engine.attrib = true;
+      if (default_notab) req.engine.tabling = false;
       if (inflight.size() >= window) drain_one();
       InFlight f;
       f.text = req.query;

@@ -1,11 +1,13 @@
-// bench_to_json: converts bench_attrib's machine-readable `ATTRIB` lines
-// (stdin) into the checked-in BENCH_attrib.json document (stdout).
+// bench_to_json: converts machine-readable `ATTRIB` lines (stdin) into the
+// checked-in BENCH_*.json documents (stdout). bench_attrib and bench_tab
+// both emit the wire format:
 //
 //   bench_attrib | bench_to_json > BENCH_attrib.json
+//   bench_tab    | bench_to_json > BENCH_tab.json
 //
 // Every `ATTRIB key=value ...` line becomes one object in the "runs" array;
-// dotted keys (cat.unify, save.flattening, elide.opt_checks) nest into the
-// "categories" / "savings" / "elisions" sub-objects. Non-ATTRIB lines (the
+// dotted keys (cat.unify, save.flattening, tab.hits) nest into the
+// "categories" / "savings" / "tab" / ... sub-objects. Non-ATTRIB lines (the
 // human-readable table) are ignored, so the tool can eat the bench's full
 // stdout. The output is deterministic for deterministic input: keys keep
 // their input order and numbers are emitted verbatim.
