@@ -1,0 +1,276 @@
+// bench_db: reader-scaling benchmark for the epoch-reclaimed clause
+// database behind BENCH_db.json.
+//
+// Readers hammer the hot engine read path — snapshot refresh, predicate
+// find, one PredIndex view, a first-argument bucket lookup and a clause
+// touch — at 1/8/32/64 threads while a writer thread publishes
+// assert/retract pairs at a 0%/1%/10% mutation mix. Every configuration
+// runs twice in the same process:
+//
+//   engine=epochdb   the shipped path: epoch-pinned db::Snapshot per
+//                    reader, refreshed before every operation (one relaxed
+//                    store + seq_cst load — no lock, no shared cache-line
+//                    write on the read side)
+//   engine=shmtx     the pre-redesign comparator: the same reads under a
+//                    per-operation std::shared_mutex shared_lock, writes
+//                    under the exclusive lock (what Database::read_guard()
+//                    used to cost)
+//
+// The paired rows quantify what the redesign buys: shared_mutex readers
+// serialize on the lock word and stay ~flat as threads grow, while the
+// epoch path scales with cores. Unlike the simulator benches this measures
+// *wall-clock* throughput, so numbers vary run to run and across machines;
+// the regression gate (scripts/check_bench_regression.py) therefore treats
+// the `mops` field as a higher-is-better metric with a wide tolerance
+// instead of the exact virtual-time comparison used for BENCH_attrib /
+// BENCH_tab.
+//
+//   bench_db | bench_to_json > BENCH_db.json
+//   scripts/check_bench_regression.py BENCH_db.json new.json
+//
+//   --smoke              tiny run for CI / TSan (threads 1,4; mixes 0,10)
+//   --threads-list A,B   override the thread ladder
+//   --ops N              reads per reader thread (default 30000)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/snapshot.hpp"
+#include "parse/parser.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ace;
+
+constexpr unsigned kFacts = 64;       // p/2 facts, first-arg int keys 0..63
+constexpr unsigned kWriteCap = 2000;  // max writes per configuration: a
+                                      // retract tombstones rather than
+                                      // compacts, so successor versions are
+                                      // O(n) copies and an uncapped 10% mix
+                                      // would measure vector copying, not
+                                      // the read path
+
+std::vector<unsigned> parse_threads_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
+// One hot read: refresh the pin, find p/2, take one consistent view, probe
+// a first-arg bucket and touch the first candidate clause. Mirrors what a
+// worker step does per call. Returns a value the compiler cannot discard.
+inline std::uint64_t read_once(db::Snapshot& snap, std::uint32_t psym,
+                               std::uint64_t& rng) {
+  rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+  snap.refresh();
+  const Predicate* p = snap.find(psym, 2);
+  if (p == nullptr) return 0;
+  const PredIndex& ix = snap.view(*p);
+  const IndexKey key{IndexKey::Kind::Int,
+                     static_cast<std::uint64_t>((rng >> 33) % kFacts)};
+  const std::vector<std::uint32_t>& cand = ix.candidates(key);
+  std::uint64_t acc = cand.size();
+  if (!cand.empty()) acc += ix.clause(cand[0]).head_arity;
+  return acc;
+}
+
+// The same read under the legacy discipline: no snapshot, a shared lock
+// held for the duration of the operation (quiescence by mutual exclusion
+// with the writer's unique lock).
+inline std::uint64_t read_once_shmtx(const Database& db,
+                                     std::shared_mutex& mu,
+                                     std::uint32_t psym, std::uint64_t& rng) {
+  rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+  std::shared_lock<std::shared_mutex> lock(mu);
+  const Predicate* p = db.find(psym, 2);
+  if (p == nullptr) return 0;
+  const PredIndex& ix = p->index();
+  const IndexKey key{IndexKey::Kind::Int,
+                     static_cast<std::uint64_t>((rng >> 33) % kFacts)};
+  const std::vector<std::uint32_t>& cand = ix.candidates(key);
+  std::uint64_t acc = cand.size();
+  if (!cand.empty()) acc += ix.clause(cand[0]).head_arity;
+  return acc;
+}
+
+struct RunResult {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double ms = 0.0;
+  double mops = 0.0;  // million reads+writes per wall-clock second
+};
+
+// Runs one configuration: `threads` readers doing `ops` reads each.
+// Thread 0 additionally performs one assert+retract pair on p/2 every
+// `stride` reads (stride 0 = read-only), up to kWriteCap pairs — inline
+// interleaving keeps the mutation mix proportional regardless of how the
+// OS schedules a dedicated writer. `shmtx` selects the comparator locking
+// discipline.
+RunResult run_config(unsigned threads, std::uint64_t ops, std::uint64_t stride,
+                     bool shmtx) {
+  Database db;
+  {
+    std::string src;
+    for (unsigned i = 0; i < kFacts; ++i)
+      src += "p(" + std::to_string(i) + ", v).\n";
+    db.consult(src);
+  }
+  const std::uint32_t psym = db.syms().intern("p");
+  std::vector<TermTemplate> padds;
+  padds.reserve(kFacts);
+  for (unsigned i = 0; i < kFacts; ++i)
+    padds.push_back(parse_term_text(db.syms(), "p(" + std::to_string(i) +
+                                                   ", z)."));
+
+  std::shared_mutex mu;
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::uint64_t writes_done = 0;
+
+  // One assert+retract pair: the nth add lands at ordinal kFacts + n
+  // (tombstones keep earlier ordinals occupied), so the retract hits
+  // exactly the clause just published.
+  auto write_pair = [&](std::uint64_t n) {
+    db.add_clause(padds[static_cast<unsigned>(n % kFacts)]);
+    db.retract_clause(psym, 2, static_cast<std::uint32_t>(kFacts + n));
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+      std::uint64_t acc = 0;
+      std::uint64_t nw = 0;
+      const bool writer = t == 0 && stride > 0;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (shmtx) {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+          acc += read_once_shmtx(db, mu, psym, rng);
+          if (writer && (i + 1) % stride == 0 && nw < kWriteCap) {
+            std::unique_lock<std::shared_mutex> lock(mu);
+            write_pair(nw++);
+          }
+        }
+      } else {
+        db::Snapshot snap(db);
+        for (std::uint64_t i = 0; i < ops; ++i) {
+          acc += read_once(snap, psym, rng);
+          if (writer && (i + 1) % stride == 0 && nw < kWriteCap) {
+            // Safe point: the reads above dropped their view references.
+            write_pair(nw++);
+          }
+        }
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+      if (writer) writes_done = nw;
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.reads = ops * threads;
+  r.writes = writes_done;
+  r.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double secs = r.ms / 1000.0;
+  r.mops = secs > 0 ? double(r.reads + r.writes) / secs / 1e6 : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint64_t ops = 30000;
+  std::vector<unsigned> threads_list = {1, 8, 32, 64};
+  std::vector<unsigned> mixes = {0, 1, 10};  // percent of reads mutated
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--threads-list" && i + 1 < argc) {
+      threads_list = parse_threads_list(argv[++i]);
+    } else if (arg == "--ops" && i + 1 < argc) {
+      ops = std::stoull(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_db [--smoke] [--threads-list 1,8,32,64] "
+                   "[--ops N]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    threads_list = {1, 4};
+    mixes = {0, 10};
+    ops = 3000;
+  }
+  if (threads_list.empty()) threads_list = {1, 8, 32, 64};
+
+  std::printf("==============================================================\n");
+  std::printf("Clause-database reader scaling: epoch snapshots vs "
+              "shared_mutex\n");
+  std::printf("Cells: Mops/s (scaling vs 1 thread). %llu reads/thread, "
+              "writes capped at %u/config.\n\n",
+              (unsigned long long)ops, kWriteCap);
+
+  struct Row {
+    std::string name;
+    std::string engine;
+    unsigned agents;
+    RunResult res;
+    double scaling;
+  };
+  std::vector<Row> rows;
+
+  for (bool shmtx : {false, true}) {
+    const char* engine = shmtx ? "shmtx" : "epochdb";
+    std::vector<std::string> header{std::string("mix \\ threads (") + engine +
+                                    ")"};
+    for (unsigned t : threads_list) header.push_back(strf("%u", t));
+    TextTable table(header);
+
+    for (unsigned pct : mixes) {
+      std::vector<std::string> cells{strf("%u%% mutation", pct)};
+      double mops1 = 0.0;
+      for (unsigned t : threads_list) {
+        const std::uint64_t stride = pct == 0 ? 0 : 100 / pct;
+        RunResult res = run_config(t, ops, stride, shmtx);
+        if (mops1 == 0.0) mops1 = res.mops;
+        const double scaling = mops1 > 0 ? res.mops / mops1 : 0.0;
+        cells.push_back(strf("%.2f (%.2fx)", res.mops, scaling));
+        rows.push_back(Row{strf("read_mix%u", pct), engine, t, res, scaling});
+      }
+      table.add_row(std::move(cells));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  for (const Row& r : rows) {
+    std::printf("ATTRIB name=%s engine=%s agents=%u ops=%llu writes=%llu "
+                "ms=%.1f mops=%.3f scaling=%.3f\n",
+                r.name.c_str(), r.engine.c_str(), r.agents,
+                (unsigned long long)r.res.reads,
+                (unsigned long long)r.res.writes, r.res.ms, r.res.mops,
+                r.scaling);
+  }
+  return 0;
+}

@@ -4,7 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
+#include "term/unify.hpp"
 #include "workloads/harness.hpp"
 
 namespace ace {
@@ -74,7 +75,7 @@ void BM_SeqNrev30(benchmark::State& state) {
 nrev([], []).
 nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
 )PL");
-  SeqEngine eng(db);
+  Engine eng(db);
   for (auto _ : state) {
     benchmark::DoNotOptimize(eng.solve("numlist(1, 30, L), nrev(L, R).", 1));
   }

@@ -6,9 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "andp/machine.hpp"
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 #include "support/strutil.hpp"
 
 int main(int argc, char** argv) {
@@ -40,7 +39,7 @@ run(K, N, Ds) :- mkexps(K, N, Es), deriv_all(Es, x, Ds).
   std::string query = strf("run(%d, %d, Ds).", k, depth);
   std::printf("differentiating %d expressions of depth %d\n\n", k, depth);
 
-  SeqEngine seq(db);
+  Engine seq(db);
   SolveResult rs = seq.solve(query, 1);
   std::printf("sequential:              vtime %10llu\n",
               (unsigned long long)rs.virtual_time);
@@ -51,12 +50,13 @@ run(K, N, Ds) :- mkexps(K, N, Es), deriv_all(Es, x, Ds).
   };
   for (const Config& c : {Config{"andp 1 agent, no opts  ", false, false, false},
                           Config{"andp 1 agent, all opts ", true, true, true}}) {
-    AndpOptions opts;
+    EngineConfig opts;
+    opts.mode = EngineMode::Andp;
     opts.agents = 1;
     opts.lpco = c.lpco;
     opts.shallow = c.shallow;
     opts.pdo = c.pdo;
-    AndpMachine m(db, opts);
+    Engine m(db, opts);
     SolveResult r = m.solve(query, 1);
     double overhead = (double(r.virtual_time) - double(rs.virtual_time)) /
                       double(rs.virtual_time) * 100.0;
@@ -67,10 +67,11 @@ run(K, N, Ds) :- mkexps(K, N, Es), deriv_all(Es, x, Ds).
   std::printf("\nscaling (all optimizations on):\n");
   std::uint64_t t1 = 0;
   for (unsigned agents = 1; agents <= 10; ++agents) {
-    AndpOptions opts;
+    EngineConfig opts;
+    opts.mode = EngineMode::Andp;
     opts.agents = agents;
     opts.lpco = opts.shallow = opts.pdo = true;
-    AndpMachine m(db, opts);
+    Engine m(db, opts);
     SolveResult r = m.solve(query, 1);
     if (agents == 1) t1 = r.virtual_time;
     std::printf("  %2u agents: vtime %10llu  speedup %5.2fx  "

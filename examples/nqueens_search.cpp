@@ -9,7 +9,7 @@
 #include <cstdlib>
 
 #include "builtins/lib.hpp"
-#include "orp/machine.hpp"
+#include "engine/engine.hpp"
 #include "support/strutil.hpp"
 
 int main(int argc, char** argv) {
@@ -35,10 +35,11 @@ safe(Q, [P|Ps], D) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, safe(Q, Ps, D1).
   for (bool lao : {false, true}) {
     std::uint64_t t1 = 0;
     for (unsigned agents = 1; agents <= max_agents; agents *= 2) {
-      OrpOptions opts;
+      EngineConfig opts;
+      opts.mode = EngineMode::Orp;
       opts.agents = agents;
       opts.lao = lao;
-      OrpMachine m(db, opts);
+      Engine m(db, opts);
       SolveResult r = m.solve(query);
       if (agents == 1) t1 = r.virtual_time;
       std::printf("%-7u %-5s %12llu %8.2fx %9zu %12llu %10llu\n", agents,

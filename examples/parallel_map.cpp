@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "andp/machine.hpp"
+#include "engine/engine.hpp"
 #include "builtins/lib.hpp"
 #include "support/strutil.hpp"
 
@@ -38,10 +38,11 @@ search(N, K, Out) :- numlist(1, N, L), process_list(L, Out),
   for (bool lpco : {false, true}) {
     std::uint64_t t1 = 0;
     for (unsigned agents : {1u, 2u, 4u, 8u}) {
-      AndpOptions opts;
+      EngineConfig opts;
+      opts.mode = EngineMode::Andp;
       opts.agents = agents;
       opts.lpco = lpco;
-      AndpMachine m(db, opts);
+      Engine m(db, opts);
       SolveResult r = m.solve(query, 1);
       if (agents == 1) t1 = r.virtual_time;
       std::printf("%-7u %-6s %12llu %8.2fx %10llu %11llu %12llu\n", agents,

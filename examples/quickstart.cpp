@@ -8,9 +8,8 @@
 // optimizations act on.
 #include <cstdio>
 
-#include "andp/machine.hpp"
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 
 int main() {
   using namespace ace;
@@ -38,7 +37,7 @@ both_trips(R1, D1, R2, D2) :-
 )PL");
 
   // 2. Sequential engine: enumerate all solutions of a query.
-  SeqEngine seq(db);
+  Engine seq(db);
   SolveResult r = seq.solve("trip(home, port, Route, Dist).");
   std::printf("trip(home, port, Route, Dist) — %zu solutions:\n",
               r.solutions.size());
@@ -49,10 +48,11 @@ both_trips(R1, D1, R2, D2) :-
   // 3. And-parallel engine with 4 simulated agents and all of the paper's
   //    optimizations on. Solutions (and their order) match the sequential
   //    engine exactly.
-  AndpOptions opts;
+  EngineConfig opts;
+  opts.mode = EngineMode::Andp;
   opts.agents = 4;
   opts.lpco = opts.shallow = opts.pdo = true;
-  AndpMachine andp(db, opts);
+  Engine andp(db, opts);
   SolveResult pr = andp.solve("both_trips(R1, D1, R2, D2).", 2);
   std::printf("\nboth_trips/4 on 4 agents, first two solutions:\n");
   for (const std::string& s : pr.solutions) {

@@ -13,10 +13,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "andp/machine.hpp"
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
-#include "orp/machine.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -37,8 +35,10 @@ int main(int argc, char** argv) {
 
   enum { kSeq, kAndp, kOrp } engine = kSeq;
   unsigned agents = 1;
-  AndpOptions andp_opts;
-  OrpOptions orp_opts;
+  EngineConfig andp_opts;
+  andp_opts.mode = EngineMode::Andp;
+  EngineConfig orp_opts;
+  orp_opts.mode = EngineMode::Orp;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -93,17 +93,17 @@ int main(int argc, char** argv) {
       for (;;) {
         switch (engine) {
           case kSeq: {
-            SeqEngine eng(db);
+            Engine eng(db);
             r = eng.solve(line, want);
             break;
           }
           case kAndp: {
-            AndpMachine m(db, andp_opts);
+            Engine m(db, andp_opts);
             r = m.solve(line, want);
             break;
           }
           case kOrp: {
-            OrpMachine m(db, orp_opts);
+            Engine m(db, orp_opts);
             r = m.solve(line, want);
             break;
           }

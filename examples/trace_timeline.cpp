@@ -20,11 +20,12 @@ int main(int argc, char** argv) {
     load_library(db);
     db.consult(w.source);
     Tracer tracer;
-    AndpOptions o;
+    EngineConfig o;
+    o.mode = EngineMode::Andp;
     o.agents = agents;
     o.lpco = o.shallow = o.pdo = opt;
-    o.tracer = &tracer;
-    AndpMachine m(db, o);
+    Engine m(db, o);
+    m.set_tracer(&tracer);
     SolveResult r = m.solve(w.query, 1);
 
     std::printf("%s on %u agents, optimizations %s — virtual time %llu\n",

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Virtual-time regression gate for the bench_attrib pipeline.
+"""Regression gate for the bench_attrib / bench_tab / bench_db pipeline.
 
 Usage:
     check_bench_regression.py BASELINE.json CANDIDATE.json [--tolerance 0.05]
+        [--throughput-tolerance 0.5]
 
-Compares two BENCH_attrib.json documents (bench_attrib | bench_to_json) run
-for run, keyed by (name, engine, agents). A run REGRESSES when its candidate
-virtual time exceeds the baseline by more than the tolerance (default 5%).
+Compares two BENCH_*.json documents (bench | bench_to_json) run for run,
+keyed by (name, engine, agents). Two metric kinds:
+
+  virtual_time  (bench_attrib, bench_tab) — lower is better. A run
+        REGRESSES when its candidate virtual time exceeds the baseline by
+        more than --tolerance (default 5%). The simulator is deterministic,
+        so on an unchanged engine the gate is exact.
+  mops  (bench_db) — higher is better. Wall-clock throughput is noisy and
+        machine-dependent, so a run only REGRESSES when its candidate
+        throughput drops below baseline by more than
+        --throughput-tolerance (default 50%) — the gate catches collapses
+        (a reader path that silently reverted to a global lock), not jitter.
+
 Improvements and new runs are reported but never fail the gate; a run that
 disappears from the candidate fails it (a silently dropped workload is how
-regressions hide).
-
-The simulator is deterministic, so on an unchanged engine the two documents
-are identical and this script is a no-op that prints one OK line per run
-set. Exit codes: 0 ok, 1 regression/missing run, 2 bad input.
+regressions hide). Exit codes: 0 ok, 1 regression/missing run, 2 bad input.
 """
 
 import argparse
@@ -50,6 +57,9 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="allowed fractional virtual-time increase "
                          "(default 0.05 = 5%%)")
+    ap.add_argument("--throughput-tolerance", type=float, default=0.5,
+                    help="allowed fractional throughput (mops) decrease for "
+                         "wall-clock runs (default 0.5 = 50%%)")
     args = ap.parse_args()
 
     base = load_runs(args.baseline)
@@ -64,21 +74,43 @@ def main():
         if c is None:
             regressions.append(f"{name}: missing from candidate")
             continue
-        bvt = int(b["virtual_time"])
-        cvt = int(c["virtual_time"])
-        if bvt == 0:
-            continue
-        delta = (cvt - bvt) / bvt
-        if delta > args.tolerance:
-            regressions.append(
-                f"{name}: virtual time {bvt} -> {cvt} (+{100 * delta:.2f}%, "
-                f"tolerance {100 * args.tolerance:.1f}%)")
-        elif cvt < bvt:
-            improvements += 1
-            print(f"ok: {name}: improved {bvt} -> {cvt} "
-                  f"({100 * delta:.2f}%)")
+        if "virtual_time" in b:
+            bvt = int(b["virtual_time"])
+            cvt = int(c.get("virtual_time", 0))
+            if bvt == 0:
+                continue
+            delta = (cvt - bvt) / bvt
+            if delta > args.tolerance:
+                regressions.append(
+                    f"{name}: virtual time {bvt} -> {cvt} "
+                    f"(+{100 * delta:.2f}%, "
+                    f"tolerance {100 * args.tolerance:.1f}%)")
+            elif cvt < bvt:
+                improvements += 1
+                print(f"ok: {name}: improved {bvt} -> {cvt} "
+                      f"({100 * delta:.2f}%)")
+            else:
+                unchanged += 1
+        elif "mops" in b:
+            bth = float(b["mops"])
+            cth = float(c.get("mops", 0.0))
+            if bth <= 0:
+                continue
+            drop = (bth - cth) / bth
+            if drop > args.throughput_tolerance:
+                regressions.append(
+                    f"{name}: throughput {bth:.3f} -> {cth:.3f} Mops/s "
+                    f"(-{100 * drop:.1f}%, tolerance "
+                    f"{100 * args.throughput_tolerance:.0f}%)")
+            elif cth > bth:
+                improvements += 1
+                print(f"ok: {name}: improved {bth:.3f} -> {cth:.3f} Mops/s")
+            else:
+                unchanged += 1
         else:
-            unchanged += 1
+            print(f"error: baseline run {name} has neither virtual_time "
+                  f"nor mops", file=sys.stderr)
+            sys.exit(2)
 
     new_runs = sorted(set(cand) - set(base))
     for key in new_runs:

@@ -195,13 +195,19 @@ void AbsProgram::add_clause(const SymbolTable& syms, TermTemplate tmpl,
       head = tmpl.cells[tmpl.root.payload() + 1];
       body = tmpl.cells[tmpl.root.payload() + 2];
     } else if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 1) {
-      // Directives carry no clauses, but `:- table name/arity.` (with the
-      // same comma-separated spec list the Database accepts) feeds the
-      // linter's APL007 pass. Malformed specs are the runtime's problem.
+      // Directives carry no clauses, but `:- table name/arity.` and
+      // `:- dynamic name/arity.` (with the same comma-separated spec list
+      // the Database accepts) feed the linter's APL007/APL008 passes.
+      // Malformed specs are the runtime's problem.
       const Cell goal = tmpl.cells[tmpl.root.payload() + 1];
       if (goal.tag() != Tag::Str) return;
       const Cell g = tmpl.cells[goal.payload()];
-      if (g.fun_arity() != 1 || syms.name(g.fun_symbol()) != "table") return;
+      if (g.fun_arity() != 1) return;
+      const std::string& dname = syms.name(g.fun_symbol());
+      std::set<PredKey>* dest = nullptr;
+      if (dname == "table") dest = &tabled;
+      if (dname == "dynamic") dest = &dynamic;
+      if (dest == nullptr) return;
       std::vector<Cell> work{tmpl.cells[goal.payload() + 1]};
       while (!work.empty()) {
         Cell spec = work.back();
@@ -217,8 +223,8 @@ void AbsProgram::add_clause(const SymbolTable& syms, TermTemplate tmpl,
           const Cell name = tmpl.cells[spec.payload() + 1];
           const Cell arity = tmpl.cells[spec.payload() + 2];
           if (name.tag() == Tag::Atm && arity.tag() == Tag::Int) {
-            tabled.insert(pred_key(name.symbol(),
-                                   static_cast<unsigned>(arity.integer())));
+            dest->insert(pred_key(name.symbol(),
+                                  static_cast<unsigned>(arity.integer())));
           }
         }
       }
@@ -266,6 +272,7 @@ AbsProgram AbsProgram::from_database(const SymbolTable& syms,
   AbsProgram prog;
   db.for_each_predicate([&](const Predicate& p) {
     if (p.is_tabled()) prog.tabled.insert(pred_key(p.sym(), p.arity()));
+    if (p.is_dynamic()) prog.dynamic.insert(pred_key(p.sym(), p.arity()));
     for (std::uint32_t i = 0; i < p.num_clauses(); ++i) {
       const Clause& c = p.clause(i);
       if (c.retracted) continue;
@@ -491,6 +498,7 @@ bool AbstractInterpreter::exec_builtin(AbsState& st, const TermTemplate& tmpl,
     case BuiltinId::TermGeq:
     case BuiltinId::AssertZ:
     case BuiltinId::AssertA:
+    case BuiltinId::SnapshotRefresh:
     case BuiltinId::TabGen:  // runtime-internal; never in analyzed source
       return true;  // no bindings on success
     case BuiltinId::Fail:

@@ -118,12 +118,18 @@ struct AbsProgram {
   // Predicates declared `:- table name/arity.` — the linter uses this to
   // suppress APL007 on predicates the programmer already tables.
   std::set<PredKey> tabled;
+  // Predicates declared `:- dynamic name/arity.` — the linter uses this
+  // for APL008 (assert/retract inside a '&'-parallel region).
+  std::set<PredKey> dynamic;
 
   bool defines(std::uint32_t sym, unsigned arity) const {
     return preds.count(pred_key(sym, arity)) != 0;
   }
   bool is_tabled(std::uint32_t sym, unsigned arity) const {
     return tabled.count(pred_key(sym, arity)) != 0;
+  }
+  bool is_dynamic(std::uint32_t sym, unsigned arity) const {
+    return dynamic.count(pred_key(sym, arity)) != 0;
   }
 
   // Parses `src` (throws AceError on syntax errors). When `include_library`

@@ -250,6 +250,117 @@ LintReport lint_program(SymbolTable& syms, const std::string& source,
              pred.c_str(), pred.c_str()));
   }
 
+  // APL008: a dynamic predicate asserted or retracted in one branch of a
+  // '&'-parallel conjunction and read in a parallel sibling. Workers read
+  // the clause database through epoch-pinned db::Snapshot views refreshed
+  // at their own step boundaries, so whether the sibling observes the
+  // update depends on agent scheduling. The snapshot-refresh idiom — a
+  // snapshot_refresh/0 call at the start of the reading goal — makes the
+  // read ordering explicit and silences the warning.
+  {
+    std::set<std::pair<std::size_t, PredKey>> reported;
+    const std::uint32_t refresh_sym = syms.intern("snapshot_refresh");
+    auto goal_pred = [&](const TermTemplate& tmpl, Cell g, std::uint32_t* sym,
+                         unsigned* arity) {
+      if (g.tag() == Tag::Atm) {
+        *sym = g.symbol();
+        *arity = 0;
+        return true;
+      }
+      if (g.tag() == Tag::Str) {
+        const Cell f = tmpl.cells[g.payload()];
+        *sym = f.fun_symbol();
+        *arity = f.fun_arity();
+        return true;
+      }
+      return false;
+    };
+    // The predicate a clause/fact template denotes (assert/retract arg).
+    auto clause_arg_pred = [&](const TermTemplate& tmpl, Cell t,
+                               std::uint32_t* sym, unsigned* arity) {
+      Cell head = t;
+      if (t.tag() == Tag::Str) {
+        const Cell f = tmpl.cells[t.payload()];
+        if (f.fun_symbol() == k.neck && f.fun_arity() == 2) {
+          head = tmpl.cells[t.payload() + 1];
+        }
+      }
+      return goal_pred(tmpl, head, sym, arity);
+    };
+    for (const auto& ci : prog.clauses) {
+      if (ci.from_library) continue;
+      const TermTemplate& tmpl = ci.tmpl;
+      auto process_chain = [&](Cell amp_node) {
+        const std::vector<Cell> members = amp_members(syms, tmpl, amp_node);
+        const std::size_t n = members.size();
+        std::vector<std::set<PredKey>> mutated(n), called(n);
+        std::vector<bool> refreshed(n, false);
+        for (std::size_t i = 0; i < n; ++i) {
+          walk_goals(syms, tmpl, members[i], [&](Cell g) {
+            std::uint32_t sym = 0;
+            unsigned arity = 0;
+            if (!goal_pred(tmpl, g, &sym, &arity)) return;
+            if (arity == 0 && sym == refresh_sym) refreshed[i] = true;
+            const std::string& gn = syms.name(sym);
+            if (arity == 1 && (gn == "assert" || gn == "asserta" ||
+                               gn == "assertz" || gn == "retract")) {
+              std::uint32_t tsym = 0;
+              unsigned tarity = 0;
+              if (clause_arg_pred(tmpl, tmpl.cells[g.payload() + 1], &tsym,
+                                  &tarity) &&
+                  prog.is_dynamic(tsym, tarity)) {
+                mutated[i].insert(pred_key(tsym, tarity));
+              }
+              return;
+            }
+            called[i].insert(pred_key(sym, arity));
+          });
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          for (PredKey pk : mutated[i]) {
+            for (std::size_t j = 0; j < n; ++j) {
+              if (j == i || refreshed[j] || called[j].count(pk) == 0) {
+                continue;
+              }
+              const std::size_t idx =
+                  static_cast<std::size_t>(&ci - prog.clauses.data());
+              if (!reported.emplace(idx, pk).second) continue;
+              const std::string pred =
+                  pred_name(syms, static_cast<std::uint32_t>(pk >> 12),
+                            static_cast<unsigned>(pk & 0xFFF));
+              rep.sink.add(
+                  "APL008", Severity::Warning,
+                  SourceSpan{ci.span.line, ci.span.col},
+                  clause_pred(syms, ci),
+                  strf("dynamic predicate %s is asserted/retracted in one "
+                       "'&' branch and read in a parallel sibling; the "
+                       "sibling reads an epoch-pinned snapshot, so whether "
+                       "it sees the update depends on scheduling — start "
+                       "the reading goal with snapshot_refresh/0 to order "
+                       "the read, or move the update out of the parallel "
+                       "region",
+                       pred.c_str()));
+            }
+          }
+        }
+      };
+      std::function<void(Cell)> scan = [&](Cell c) {
+        if (c.tag() == Tag::Lst) {
+          scan(tmpl.cells[c.payload()]);
+          scan(tmpl.cells[c.payload() + 1]);
+          return;
+        }
+        if (c.tag() != Tag::Str) return;
+        const Cell f = tmpl.cells[c.payload()];
+        if (f.fun_symbol() == k.amp && f.fun_arity() == 2) process_chain(c);
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          scan(tmpl.cells[c.payload() + i]);
+        }
+      };
+      scan(ci.body);
+    }
+  }
+
   // ---- Flow-sensitive passes (abstract interpretation) --------------------
 
   AbstractInterpreter interp(prog, syms);

@@ -168,15 +168,18 @@ bool Worker::goal_static_det(Addr goal) {
   } else {
     return false;  // control constructs / variables: no per-predicate fact
   }
-  const Predicate* p = db_.find(sym, arity);
+  // Lock-free snapshot lookup (this runs per parallel goal on the real-
+  // thread fast path); one index view keeps the two fact probes coherent.
+  const Predicate* p = snap_.find(sym, arity);
   if (p == nullptr) return false;
-  if (p->fact(StaticFacts::kDet)) return true;  // any call mode
+  const PredIndex& ix = snap_.view(*p);
+  if (ix.fact(StaticFacts::kDet)) return true;  // any call mode
   // The indexed determinacy fact was proven under the premise that the
   // call's first argument is GROUND (plain instantiation is not enough:
   // a partial list still leaves a list-walker's recursive calls free).
   // Groundness is stable — bindings this walk observes cannot be undone
   // by other agents — so a positive answer stays valid for the slot.
-  if (!p->fact(StaticFacts::kDetIndexed)) return false;
+  if (!ix.fact(StaticFacts::kDetIndexed)) return false;
   if (arity == 0) return true;
   return term_ground(c.ref() + 1);
 }

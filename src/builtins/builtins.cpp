@@ -55,6 +55,7 @@ Builtins::Builtins(SymbolTable& syms) {
   reg(syms, "=..", 2, BuiltinId::Univ);
   reg(syms, "copy_term", 2, BuiltinId::CopyTerm);
   reg(syms, "findall", 3, BuiltinId::Findall);
+  reg(syms, "snapshot_refresh", 0, BuiltinId::SnapshotRefresh);
   reg(syms, "assert", 1, BuiltinId::AssertZ);
   reg(syms, "assertz", 1, BuiltinId::AssertZ);
   reg(syms, "asserta", 1, BuiltinId::AssertA);
@@ -300,14 +301,17 @@ BuiltinResult do_retract(Worker& w, Addr goal) {
   } else {
     throw AceError("retract/1: head not callable");
   }
-  // Hold the write lock for the whole scan-unify-retract sequence: the
+  // A write transaction covers the whole scan-unify-retract sequence: the
   // clause we matched must still be clause i when we retract it, even with
-  // other served queries asserting/retracting concurrently.
-  auto lock = w.db_.write_guard();
-  Predicate* pred = w.db_.find_mutable_nolock(sym, arity);
+  // other served queries asserting/retracting concurrently. Change hooks
+  // queued by the retraction fire when the transaction closes (outside the
+  // writer critical section, so a hook may re-enter the database).
+  Database::WriteTxn txn(w.db_);
+  Predicate* pred = txn.find(sym, arity);
   if (pred == nullptr) return BuiltinResult::Failed;
-  for (std::uint32_t i = 0; i < pred->num_clauses(); ++i) {
-    const Clause& cl = pred->clause(i);
+  const PredIndex& ix = txn.view(*pred);
+  for (std::uint32_t i = 0; i < ix.num_clauses(); ++i) {
+    const Clause& cl = ix.clause(i);
     if (cl.retracted) continue;
     std::uint64_t mark = w.trail_.size();
     Addr inst = instantiate(w.store_, w.seg(), cl.tmpl);
@@ -317,8 +321,7 @@ BuiltinResult do_retract(Worker& w, Addr goal) {
     Addr cb = struct_arg(w.store_, inst, 2);
     bool ok = do_unify(w, head, ch) && (body == 0 || do_unify(w, body, cb));
     if (ok) {
-      pred->retract_clause(i);
-      w.db_.note_change_nolock(sym, arity);
+      txn.retract(*pred, i);
       return BuiltinResult::Ok;
     }
     std::uint64_t undone = w.trail_.size() - mark;
@@ -502,6 +505,11 @@ BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
     }
     case BuiltinId::Retract:
       return do_retract(w, goal);
+    case BuiltinId::SnapshotRefresh:
+      // Safe here: builtin dispatch holds no PredIndex reference (clause
+      // resolution borrows its view only inside call_user_pred_clauses).
+      w.snap_ensure();
+      return BuiltinResult::Ok;
     case BuiltinId::Write: {
       PrintOpts opts;
       opts.quoted = false;

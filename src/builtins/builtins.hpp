@@ -65,6 +65,12 @@ enum class BuiltinId : std::uint8_t {
   AtomLength,   // atom_length/2
   AtomConcat,   // atom_concat/3 (first two args bound)
   CharCode,     // char_code/2 (both modes)
+  // snapshot_refresh/0: re-pin the calling worker's db::Snapshot to the
+  // current database epoch so subsequent reads observe every assert/
+  // retract published before the call. A no-op for solutions/bindings;
+  // the snapshot-refresh idiom for '&'-parallel goals that must observe a
+  // sibling's database writes (see APL008 in docs/analysis.md).
+  SnapshotRefresh,
 };
 
 enum class BuiltinResult : std::uint8_t {

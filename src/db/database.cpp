@@ -12,106 +12,177 @@ std::uint64_t pred_key(std::uint32_t sym, unsigned arity) {
   return (std::uint64_t{sym} << 12) | arity;
 }
 
-#ifndef NDEBUG
-// One entry per database this thread currently guards. In practice a
-// thread guards at most one database, but tests construct several; the
-// registry is a tiny linear scan either way.
-struct GuardEntry {
-  const Database* db;
-  int depth;
-};
-thread_local std::vector<GuardEntry> t_guards;
-#endif
+void delete_index(const void* p) {
+  delete static_cast<const PredIndex*>(p);
+}
+
+// Databases this thread is currently draining change hooks for: a hook
+// that mutates the same database queues new events and returns here
+// immediately — the outer drain loop picks them up (re-entrancy guard).
+thread_local std::vector<const Database*> t_draining;
 
 }  // namespace
 
-#ifndef NDEBUG
-void Database::debug_note_guard(int delta) const {
-  for (auto it = t_guards.begin(); it != t_guards.end(); ++it) {
-    if (it->db == this) {
-      it->depth += delta;
-      if (it->depth <= 0) t_guards.erase(it);
-      return;
-    }
-  }
-  if (delta > 0) t_guards.push_back(GuardEntry{this, delta});
+void Database::retire_locked(const void* p, void (*del)(const void*)) {
+  if (p == nullptr) return;
+  limbo_.push_back(
+      Limbo{p, del, epoch_.load(std::memory_order_relaxed)});
 }
 
-void Database::debug_assert_unguarded(const char* fn) const {
-  for (const GuardEntry& e : t_guards) {
-    if (e.db == this && e.depth > 0) {
-      std::fprintf(
-          stderr,
-          "Database::%s called while this thread holds a read_guard()/"
-          "write_guard() on the same database; shared_mutex is not "
-          "recursive, so this would deadlock in a release build. Use the "
-          "*_nolock accessors inside guard scopes.\n",
-          fn);
+void Database::bump_and_reclaim_locked() {
+  // Publication order matters for the reclamation proof: the pointer swap
+  // happened-before this bump, so any reader pinned at an epoch > the
+  // retire tag is guaranteed (in the seq_cst total order) to load the
+  // successor version, never the retired one.
+  epoch_.fetch_add(1);
+  const std::uint64_t min = min_pinned_epoch();
+  std::size_t kept = 0;
+  for (Limbo& l : limbo_) {
+    if (l.epoch < min) {
+      l.del(l.p);
+    } else {
+      limbo_[kept++] = l;
+    }
+  }
+  limbo_.resize(kept);
+}
+
+std::uint64_t Database::min_pinned_epoch() const {
+  std::uint64_t min = epoch_.load();
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  for (const auto& s : slots_) {
+    const std::uint64_t e = s->epoch.load();
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+Database::EpochSlot* Database::acquire_slot() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  for (const auto& s : slots_) {
+    if (!s->in_use) {
+      s->in_use = true;
+      return s.get();
+    }
+  }
+  slots_.push_back(std::make_unique<EpochSlot>());
+  slots_.back()->in_use = true;
+  return slots_.back().get();
+}
+
+void Database::release_slot(EpochSlot* slot) const {
+  slot->epoch.store(kIdleEpoch);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  slot->in_use = false;
+}
+
+std::size_t Database::limbo_size() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return limbo_.size();
+}
+
+Database::Database() : root_(new Root()) {}
+
+Database::~Database() {
+#ifndef NDEBUG
+  for (const auto& s : slots_) {
+    if (s->epoch.load() != kIdleEpoch) {
+      std::fprintf(stderr,
+                   "~Database: a db::Snapshot is still pinned; snapshots "
+                   "must not outlive their database.\n");
       std::abort();
     }
   }
-}
 #endif
-
-Database::Database() = default;
-
-const Predicate* Database::find_locked(std::uint32_t sym,
-                                       unsigned arity) const {
-  auto it = pred_ids_.find(pred_key(sym, arity));
-  if (it == pred_ids_.end()) return nullptr;
-  return preds_[it->second].get();
+  for (Limbo& l : limbo_) l.del(l.p);
+  delete root_.load();
+  // owned_ predicates free their final published version in ~Predicate.
 }
 
 const Predicate* Database::find(std::uint32_t sym, unsigned arity) const {
-  debug_assert_unguarded("find");
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return find_locked(sym, arity);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Root* r = root_.load(std::memory_order_relaxed);
+  auto it = r->ids.find(pred_key(sym, arity));
+  return it == r->ids.end() ? nullptr : it->second;
 }
 
 Predicate* Database::find_mutable(std::uint32_t sym, unsigned arity) {
-  debug_assert_unguarded("find_mutable");
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = pred_ids_.find(pred_key(sym, arity));
-  if (it == pred_ids_.end()) return nullptr;
-  return preds_[it->second].get();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Root* r = root_.load(std::memory_order_relaxed);
+  auto it = r->ids.find(pred_key(sym, arity));
+  return it == r->ids.end() ? nullptr : it->second;
+}
+
+Predicate& Database::get_or_create_locked(std::uint32_t sym, unsigned arity) {
+  const Root* cur = root_.load(std::memory_order_relaxed);
+  auto it = cur->ids.find(pred_key(sym, arity));
+  if (it != cur->ids.end()) return *it->second;
+  owned_.push_back(std::make_unique<Predicate>(sym, arity));
+  Predicate* p = owned_.back().get();
+  auto* next = new Root(*cur);
+  next->ids.emplace(pred_key(sym, arity), p);
+  next->list.push_back(p);
+  const Root* old = root_.exchange(next);
+  retire_locked(old,
+                [](const void* q) { delete static_cast<const Root*>(q); });
+  bump_and_reclaim_locked();
+  return *p;
 }
 
 Predicate& Database::get_or_create(std::uint32_t sym, unsigned arity) {
-  debug_assert_unguarded("get_or_create");
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = pred_ids_.emplace(
-      pred_key(sym, arity), static_cast<std::uint32_t>(preds_.size()));
-  if (inserted) {
-    preds_.push_back(std::make_unique<Predicate>(sym, arity));
-  }
-  return *preds_[it->second];
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return get_or_create_locked(sym, arity);
+}
+
+void Database::add_clause_locked(TermTemplate tmpl, bool front) {
+  Clause clause = make_clause(std::move(tmpl), syms_);
+  const std::uint32_t sym = clause.head_sym;
+  const unsigned arity = clause.head_arity;
+  Predicate& p = get_or_create_locked(sym, arity);
+  const PredIndex* next =
+      PredIndex::make_add(p.index(), std::move(clause), front);
+  retire_locked(p.install(next), delete_index);
+  note_change_locked(sym, arity);
+  bump_and_reclaim_locked();
 }
 
 void Database::add_clause(TermTemplate tmpl, bool front) {
-  debug_assert_unguarded("add_clause");
-  auto lock = write_guard();
-  add_clause_nolock(std::move(tmpl), front);
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    add_clause_locked(std::move(tmpl), front);
+  }
+  drain_hooks();
 }
 
-void Database::add_clause_nolock(TermTemplate tmpl, bool front) {
-  Clause clause = make_clause(std::move(tmpl), syms_);
-  std::uint32_t sym = clause.head_sym;
-  unsigned arity = clause.head_arity;
-  auto [it, inserted] = pred_ids_.emplace(
-      pred_key(sym, arity), static_cast<std::uint32_t>(preds_.size()));
-  if (inserted) {
-    preds_.push_back(std::make_unique<Predicate>(sym, arity));
+bool Database::retract_clause(std::uint32_t sym, unsigned arity,
+                              std::uint32_t ordinal) {
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const Root* r = root_.load(std::memory_order_relaxed);
+    auto it = r->ids.find(pred_key(sym, arity));
+    if (it == r->ids.end()) return false;
+    Predicate& p = *it->second;
+    const PredIndex& ix = p.index();
+    if (ordinal >= ix.num_clauses() || ix.clause(ordinal).retracted) {
+      return false;
+    }
+    retire_locked(p.install(PredIndex::make_retract(ix, ordinal)),
+                  delete_index);
+    note_change_locked(sym, arity);
+    bump_and_reclaim_locked();
   }
-  preds_[it->second]->add_clause(std::move(clause), front);
-  note_change_nolock(sym, arity);
+  drain_hooks();
+  return true;
 }
 
 void Database::set_dynamic(std::uint32_t sym, unsigned arity) {
-  get_or_create(sym, arity).set_dynamic();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  get_or_create_locked(sym, arity).set_dynamic();
 }
 
 void Database::set_tabled(std::uint32_t sym, unsigned arity) {
-  get_or_create(sym, arity).set_tabled();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  get_or_create_locked(sym, arity).set_tabled();
   has_tabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -132,17 +203,67 @@ void Database::remove_change_hook(std::uint64_t id) {
   }
 }
 
-void Database::note_change_nolock(std::uint32_t sym, unsigned arity) const {
-  std::lock_guard<std::mutex> lock(hooks_mu_);
-  for (const auto& [id, hook] : hooks_) hook(sym, arity);
+void Database::note_change_locked(std::uint32_t sym, unsigned arity) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.emplace_back(sym, arity);
+}
+
+void Database::drain_hooks() const {
+  for (const Database* d : t_draining) {
+    if (d == this) return;  // nested mutation from a hook: outer loop drains
+  }
+  t_draining.push_back(this);
+  struct Pop {
+    ~Pop() { t_draining.pop_back(); }
+  } pop;
+  // dispatch_mu_ makes the drain single-file so events fire exactly once
+  // and in publication order even when several writers race to drain.
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  for (;;) {
+    std::uint32_t sym = 0;
+    unsigned arity = 0;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (pending_.empty()) break;
+      sym = pending_.front().first;
+      arity = pending_.front().second;
+      pending_.pop_front();
+    }
+    std::vector<std::pair<std::uint64_t, ChangeHook>> hooks;
+    {
+      std::lock_guard<std::mutex> lock(hooks_mu_);
+      hooks = hooks_;
+    }
+    for (const auto& [id, hook] : hooks) hook(sym, arity);
+  }
+}
+
+Database::WriteTxn::WriteTxn(Database& db) : db_(db), lock_(db.writer_mu_) {}
+
+Database::WriteTxn::~WriteTxn() {
+  lock_.unlock();
+  db_.drain_hooks();
+}
+
+Predicate* Database::WriteTxn::find(std::uint32_t sym, unsigned arity) {
+  const Root* r = db_.root_.load(std::memory_order_relaxed);
+  auto it = r->ids.find(pred_key(sym, arity));
+  return it == r->ids.end() ? nullptr : it->second;
+}
+
+void Database::WriteTxn::retract(Predicate& p, std::uint32_t ordinal) {
+  db_.retire_locked(p.install(PredIndex::make_retract(p.index(), ordinal)),
+                    delete_index);
+  db_.note_change_locked(p.sym(), p.arity());
+  db_.bump_and_reclaim_locked();
 }
 
 std::size_t Database::num_predicates() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return preds_.size();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return root_.load(std::memory_order_relaxed)->list.size();
 }
 
-void Database::handle_directive(const TermTemplate& tmpl) {
+void Database::handle_directive_locked(const TermTemplate& tmpl) {
   // Directive root: ':-'(Goal). Recognize dynamic/1 and table/1 with a
   // (possibly comma-separated) list of name/arity specs; ignore everything
   // else.
@@ -172,10 +293,13 @@ void Database::handle_directive(const TermTemplate& tmpl) {
       const Cell name = tmpl.cells[spec.payload() + 1];
       const Cell arity = tmpl.cells[spec.payload() + 2];
       if (name.tag() == Tag::Atm && arity.tag() == Tag::Int) {
+        Predicate& p = get_or_create_locked(
+            name.symbol(), static_cast<unsigned>(arity.integer()));
         if (tabled) {
-          set_tabled(name.symbol(), static_cast<unsigned>(arity.integer()));
+          p.set_tabled();
+          has_tabled_.store(true, std::memory_order_relaxed);
         } else {
-          set_dynamic(name.symbol(), static_cast<unsigned>(arity.integer()));
+          p.set_dynamic();
         }
         continue;
       }
@@ -187,17 +311,21 @@ void Database::handle_directive(const TermTemplate& tmpl) {
 void Database::consult(const std::string& src) {
   std::vector<TermTemplate> clauses = parse_program(syms_, src);
   const std::uint32_t neck = syms_.known().neck;
-  for (TermTemplate& tmpl : clauses) {
-    // A directive is ':-'(Goal) — the prefix operator parse.
-    if (tmpl.root.tag() == Tag::Str) {
-      const Cell f = tmpl.cells[tmpl.root.payload()];
-      if (f.fun_symbol() == neck && f.fun_arity() == 1) {
-        handle_directive(tmpl);
-        continue;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    for (TermTemplate& tmpl : clauses) {
+      // A directive is ':-'(Goal) — the prefix operator parse.
+      if (tmpl.root.tag() == Tag::Str) {
+        const Cell f = tmpl.cells[tmpl.root.payload()];
+        if (f.fun_symbol() == neck && f.fun_arity() == 1) {
+          handle_directive_locked(tmpl);
+          continue;
+        }
       }
+      add_clause_locked(std::move(tmpl), /*front=*/false);
     }
-    add_clause(std::move(tmpl));
   }
+  drain_hooks();
 }
 
 }  // namespace ace

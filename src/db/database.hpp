@@ -1,18 +1,34 @@
 // The clause database: predicate registry, program consultation (parsing +
-// directives), dynamic assert/retract.
+// directives), dynamic assert/retract — on an epoch-reclaimed concurrent
+// structure (RCU-style; see docs/database.md).
 //
-// Index buckets are rebuilt eagerly on mutation so that runtime candidate
-// lookups are read-only; a shared_mutex guards against assert/retract racing
-// with lookups in the real-thread runtime.
+// Concurrency model
+//   Readers   pin a db::Snapshot (db/snapshot.hpp) and then read predicate
+//             handles and PredIndex versions lock-free; they never block
+//             and never observe a half-published index.
+//   Writers   (assert/retract/consult/declarations) serialize on one
+//             internal writer mutex, build immutable successor versions
+//             off-line, publish them with a single atomic pointer swap,
+//             and retire the previous version into an epoch limbo list.
+//   Reclaim   a retired version is freed once the global epoch has moved
+//             past every pinned snapshot — a non-blocking check performed
+//             after each publication, so a parked reader only *delays*
+//             reclamation and never stalls a writer.
+//
+// Change hooks fire *outside* the writer critical section (queued under the
+// lock, drained after release), so a hook may freely call back into any
+// Database entry point — including mutating ones — without deadlock.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/predicate.hpp"
@@ -20,9 +36,16 @@
 
 namespace ace {
 
+namespace db {
+class Snapshot;
+}  // namespace db
+
 class Database {
  public:
   Database();
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
   SymbolTable& syms() { return syms_; }
   const SymbolTable& syms() const { return syms_; }
@@ -31,13 +54,24 @@ class Database {
   //   :- dynamic name/arity, name/arity, ...
   //   :- table name/arity, name/arity, ...
   // Other directives are ignored with effect only on parse (no warnings:
-  // benchmark sources carry SICStus directives we do not need).
+  // benchmark sources carry SICStus directives we do not need). The whole
+  // load publishes under one writer critical section; change hooks for the
+  // loaded clauses fire once the section is released.
   void consult(const std::string& src);
 
   // Adds one clause (already parsed). front=true for asserta.
   void add_clause(TermTemplate tmpl, bool front = false);
 
-  // Predicate lookup; returns nullptr if never defined.
+  // Retracts the clause at `ordinal` of sym/arity (tests and benches; the
+  // retract/1 builtin uses WriteTxn for its scan-and-retract sequence).
+  // Returns false when the predicate or live clause does not exist.
+  bool retract_clause(std::uint32_t sym, unsigned arity,
+                      std::uint32_t ordinal);
+
+  // Cold-path predicate lookup; returns nullptr if never defined. Briefly
+  // takes the writer mutex — hot paths use db::Snapshot::find() instead,
+  // which is lock-free under an epoch pin. The returned handle is stable
+  // for the lifetime of the database.
   const Predicate* find(std::uint32_t sym, unsigned arity) const;
   Predicate* find_mutable(std::uint32_t sym, unsigned arity);
   Predicate& get_or_create(std::uint32_t sym, unsigned arity);
@@ -55,135 +89,133 @@ class Database {
 
   // ---- Change hooks ------------------------------------------------------
   // Observers of clause-set mutations (assert/retract/consult), keyed by
-  // the mutated predicate. Fired *inside* the database write lock, right
-  // where stale StaticFacts are discarded, so an observer sees every
-  // mutation exactly once and in order. Hooks must not call back into
-  // self-locking Database entry points (lock order: db -> hook internals).
-  // tab::TableSpace uses this to drop completed tables whose answers were
-  // derived from the mutated predicate.
+  // the mutated predicate. Events are queued during the writer critical
+  // section and dispatched after it releases, exactly once and in
+  // publication order; a hook may therefore call back into any Database
+  // entry point (nested mutations fold into the outer drain).
+  // tab::TableSpace uses this to drop exactly the completed tables whose
+  // answers were derived from the mutated predicate.
   using ChangeHook = std::function<void(std::uint32_t sym, unsigned arity)>;
   std::uint64_t add_change_hook(ChangeHook hook);
   void remove_change_hook(std::uint64_t id);
-  // Fires the hooks for one mutated predicate. Exposed for mutation sites
-  // that bypass add_clause_nolock (retract/1 calls Predicate::
-  // retract_clause directly under its own write_guard()).
-  void note_change_nolock(std::uint32_t sym, unsigned arity) const;
-
-  // Snapshot of candidate ordinals for a call: copies under shared lock so
-  // the result stays valid across mutations. The engine avoids the copy on
-  // the fast path via with_candidates().
-  template <typename Fn>
-  auto with_candidates(std::uint32_t sym, unsigned arity,
-                       const IndexKey& call, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    const Predicate* p = find_locked(sym, arity);
-    static const std::vector<std::uint32_t> kEmpty;
-    if (p == nullptr) return fn(static_cast<const Predicate*>(nullptr), kEmpty);
-    return fn(p, p->candidates(call));
-  }
 
   std::size_t num_predicates() const;
 
-  // Enumerates every predicate under a shared lock (analysis and
-  // introspection; `fn` must not call self-locking Database entry points).
+  // Enumerates every predicate in creation order, under the writer mutex
+  // (analysis and introspection; `fn` must not call self-locking Database
+  // entry points — use get/lookup on the passed handles instead).
   template <typename Fn>
   void for_each_predicate(Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    for (const auto& p : preds_) fn(*p);
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    for (const Predicate* p : root_.load(std::memory_order_relaxed)->list) {
+      fn(*p);
+    }
   }
 
-  // Mutable variant (exclusive lock): the static-facts pass uses it to
-  // attach analysis results to predicates.
+  // Mutable variant: the static-facts pass uses it to attach analysis
+  // results to the current predicate versions.
   template <typename Fn>
   void for_each_predicate_mutable(Fn&& fn) {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    for (const auto& p : preds_) fn(*p);
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    for (Predicate* p : root_.load(std::memory_order_relaxed)->list) {
+      fn(*p);
+    }
   }
 
-  // ---- Engine hot-path locking surface -----------------------------------
-  // The engines read candidate buckets and clause templates on every call;
-  // under the serving layer those reads race with assert/retract from
-  // concurrently served queries. Hot paths therefore take read_guard() and
-  // use the *_nolock accessors inside it (shared_mutex is not recursive:
-  // never call find()/find_mutable() while holding a guard). Mutating
-  // builtins take write_guard() for the scan-and-mutate sequence.
-  //
-  // Debug builds enforce that contract: the guards register themselves in
-  // a thread-local registry, and the self-locking entry points (find,
-  // find_mutable, add_clause, consult, get_or_create) abort with a
-  // diagnostic when called while the same thread holds a guard on this
-  // database — the release-build behavior would be a silent deadlock.
-  class ReadGuard {
+  // ---- Write transactions ------------------------------------------------
+  // Scan-and-mutate sequence for retract/1: holds the writer mutex for its
+  // whole lifetime so the scanned view cannot change between the matching
+  // unification and the retraction. Change hooks queued by retract() fire
+  // from the destructor, after the lock releases.
+  class WriteTxn {
    public:
-    explicit ReadGuard(const Database& db) : db_(&db), lock_(db.mu_) {
-      db.debug_note_guard(+1);
-    }
-    ReadGuard(ReadGuard&& o) noexcept
-        : db_(o.db_), lock_(std::move(o.lock_)) {
-      o.db_ = nullptr;
-    }
-    ReadGuard& operator=(ReadGuard&&) = delete;
-    ~ReadGuard() {
-      if (db_ != nullptr) db_->debug_note_guard(-1);
-    }
+    explicit WriteTxn(Database& db);
+    ~WriteTxn();
+    WriteTxn(const WriteTxn&) = delete;
+    WriteTxn& operator=(const WriteTxn&) = delete;
+
+    Predicate* find(std::uint32_t sym, unsigned arity);
+    // The stable view for the scan: no publication can happen while the
+    // transaction is open, so the reference is valid until destruction.
+    const PredIndex& view(const Predicate& p) const { return p.index(); }
+    void retract(Predicate& p, std::uint32_t ordinal);
 
    private:
-    const Database* db_;
-    std::shared_lock<std::shared_mutex> lock_;
+    Database& db_;
+    std::unique_lock<std::mutex> lock_;
   };
-  class WriteGuard {
-   public:
-    explicit WriteGuard(const Database& db) : db_(&db), lock_(db.mu_) {
-      db.debug_note_guard(+1);
-    }
-    WriteGuard(WriteGuard&& o) noexcept
-        : db_(o.db_), lock_(std::move(o.lock_)) {
-      o.db_ = nullptr;
-    }
-    WriteGuard& operator=(WriteGuard&&) = delete;
-    ~WriteGuard() {
-      if (db_ != nullptr) db_->debug_note_guard(-1);
-    }
 
-   private:
-    const Database* db_;
-    std::unique_lock<std::shared_mutex> lock_;
-  };
-  ReadGuard read_guard() const { return ReadGuard(*this); }
-  WriteGuard write_guard() const { return WriteGuard(*this); }
-  const Predicate* find_nolock(std::uint32_t sym, unsigned arity) const {
-    return find_locked(sym, arity);
-  }
-  Predicate* find_mutable_nolock(std::uint32_t sym, unsigned arity) {
-    return const_cast<Predicate*>(find_locked(sym, arity));
-  }
-  // Adds one clause while the caller already holds write_guard().
-  void add_clause_nolock(TermTemplate tmpl, bool front = false);
+  // Debug/test introspection: retired-but-unreclaimed versions currently
+  // sitting in this database's limbo list.
+  std::size_t limbo_size() const;
 
  private:
-  const Predicate* find_locked(std::uint32_t sym, unsigned arity) const;
-  void handle_directive(const TermTemplate& tmpl);
+  friend class db::Snapshot;
 
-  // Debug re-entrancy sentinel (no-ops in release builds).
-#ifndef NDEBUG
-  void debug_note_guard(int delta) const;
-  void debug_assert_unguarded(const char* fn) const;
-#else
-  void debug_note_guard(int) const {}
-  void debug_assert_unguarded(const char*) const {}
-#endif
+  // The atomically published predicate registry. Predicate handles are
+  // owned by owned_ (stable addresses, freed only in ~Database); the Root
+  // itself is versioned and epoch-retired like a PredIndex.
+  struct Root {
+    std::unordered_map<std::uint64_t, Predicate*> ids;
+    std::vector<Predicate*> list;
+  };
+
+  // One reader pin slot. Slots have stable addresses (boxed), are reused
+  // via a free list, and are padded so pin/refresh stores of distinct
+  // snapshots do not false-share.
+  struct EpochSlot {
+    std::atomic<std::uint64_t> epoch{kIdleEpoch};
+    bool in_use = false;  // guarded by slots_mu_
+    char pad_[64 - sizeof(std::atomic<std::uint64_t>) - sizeof(bool)];
+  };
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+
+  struct Limbo {
+    const void* p;
+    void (*del)(const void*);
+    std::uint64_t epoch;  // global epoch at retirement
+  };
+
+  // Writer internals; all *_locked functions require writer_mu_ held.
+  Predicate& get_or_create_locked(std::uint32_t sym, unsigned arity);
+  void add_clause_locked(TermTemplate tmpl, bool front);
+  void retire_locked(const void* p, void (*del)(const void*));
+  void bump_and_reclaim_locked();
+  std::uint64_t min_pinned_epoch() const;
+  void note_change_locked(std::uint32_t sym, unsigned arity);
+  void drain_hooks() const;
+  void handle_directive_locked(const TermTemplate& tmpl);
+
+  // Snapshot support (see db/snapshot.cpp).
+  EpochSlot* acquire_slot() const;
+  void release_slot(EpochSlot* slot) const;
 
   SymbolTable syms_;
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Predicate>> preds_;
-  std::unordered_map<std::uint64_t, std::uint32_t> pred_ids_;
+
+  // Writer serialization; also taken briefly by the cold-path readers
+  // above (retire and free only ever happen under it, so pointers read
+  // inside are safe without an epoch pin).
+  mutable std::mutex writer_mu_;
+  std::atomic<const Root*> root_;                 // seq_cst swaps/loads
+  std::vector<std::unique_ptr<Predicate>> owned_;  // guarded by writer_mu_
+  std::vector<Limbo> limbo_;                       // guarded by writer_mu_
+  std::atomic<std::uint64_t> epoch_{1};
+
+  mutable std::mutex slots_mu_;
+  mutable std::vector<std::unique_ptr<EpochSlot>> slots_;
 
   std::atomic<bool> has_tabled_{false};
-  // Hook registry under its own mutex so registration/removal never
-  // contends with the clause-set lock (fire order: mu_ -> hooks_mu_).
+
+  // Hook registry and the pending-event queue. Lock order is strictly
+  // one-at-a-time: writer_mu_ -> pending_mu_ (queue), and the drain takes
+  // dispatch_mu_ -> pending_mu_ / hooks_mu_ with writer_mu_ released — no
+  // cycle, and hooks run with no Database lock held at all.
   mutable std::mutex hooks_mu_;
   mutable std::vector<std::pair<std::uint64_t, ChangeHook>> hooks_;
   mutable std::uint64_t next_hook_id_ = 1;
+  mutable std::mutex dispatch_mu_;
+  mutable std::mutex pending_mu_;
+  mutable std::deque<std::pair<std::uint32_t, unsigned>> pending_;
 };
 
 }  // namespace ace

@@ -2,27 +2,47 @@
 
 namespace ace {
 
-void Predicate::add_clause(Clause c, bool front) {
-  ACE_CHECK(c.head_sym == sym_ && c.head_arity == arity_);
+std::atomic<std::size_t> PredIndex::s_live_{0};
+
+Predicate::Predicate(std::uint32_t sym, unsigned arity)
+    : sym_(sym), arity_(arity) {
+  // Every predicate starts from a published empty version so index() is
+  // always a valid dereference.
+  cur_.store(new PredIndex());
+}
+
+Predicate::~Predicate() {
+  // Retired versions are owned by the database's limbo list; the handle
+  // only owns the final published one.
+  delete cur_.load();
+}
+
+const PredIndex* PredIndex::make_add(const PredIndex& prev, Clause c,
+                                     bool front) {
+  auto* next = new PredIndex();
+  next->generation_ = prev.generation_ + 1;
+  next->clauses_ = prev.clauses_;
   if (front) {
-    clauses_.insert(clauses_.begin(), std::move(c));
+    next->clauses_.insert(next->clauses_.begin(), std::move(c));
   } else {
-    clauses_.push_back(std::move(c));
+    next->clauses_.push_back(std::move(c));
   }
-  ++generation_;
-  static_facts_.store(0, std::memory_order_relaxed);  // facts are stale
-  rebuild_index();
+  next->rebuild_index();
+  return next;
 }
 
-void Predicate::retract_clause(std::uint32_t ordinal) {
-  ACE_CHECK(ordinal < clauses_.size());
-  clauses_[ordinal].retracted = true;
-  ++generation_;
-  static_facts_.store(0, std::memory_order_relaxed);  // facts are stale
-  rebuild_index();
+const PredIndex* PredIndex::make_retract(const PredIndex& prev,
+                                         std::uint32_t ordinal) {
+  ACE_CHECK(ordinal < prev.clauses_.size());
+  auto* next = new PredIndex();
+  next->generation_ = prev.generation_ + 1;
+  next->clauses_ = prev.clauses_;
+  next->clauses_[ordinal].retracted = true;
+  next->rebuild_index();
+  return next;
 }
 
-void Predicate::rebuild_index() {
+void PredIndex::rebuild_index() {
   buckets_.clear();
   var_only_.clear();
   all_.clear();
@@ -45,14 +65,7 @@ void Predicate::rebuild_index() {
   }
 }
 
-const std::vector<std::uint32_t>& Predicate::candidates(
-    const IndexKey& call) const {
-  if (call.kind == IndexKey::Kind::AnyCall) return all_;
-  auto it = buckets_.find(call);
-  return it != buckets_.end() ? it->second : var_only_;
-}
-
-long Predicate::next_matching_from(const IndexKey& call, long after) const {
+long PredIndex::next_matching_from(const IndexKey& call, long after) const {
   for (std::size_t i = static_cast<std::size_t>(after + 1);
        i < clauses_.size(); ++i) {
     if (clauses_[i].retracted) continue;

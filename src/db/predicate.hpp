@@ -1,6 +1,19 @@
-// Predicates: clause lists with eagerly maintained first-argument index
-// buckets. Buckets are rebuilt on every mutation so candidate lookups are
-// strictly read-only (safe under the Database's shared lock).
+// Predicates as epoch-published immutable index versions.
+//
+// A Predicate is a *stable handle*: it lives as long as its Database and
+// only carries the predicate's identity (symbol/arity), its dynamic/tabled
+// declarations, and an atomic pointer to the current PredIndex. A PredIndex
+// is one *immutable published version* of the clause list plus the eagerly
+// built first-argument index buckets. Writers never mutate a published
+// version: assert/retract build a successor version off-line and install it
+// with one atomic pointer swap; the retired version goes onto the
+// database's epoch limbo list and is freed once every pinned db::Snapshot
+// has moved past it (see db/snapshot.hpp and docs/database.md).
+//
+// Readers therefore never block and never observe a half-built index: any
+// PredIndex reference obtained while a snapshot is pinned is complete,
+// internally consistent, and stays valid until the snapshot is refreshed
+// or released.
 #pragma once
 
 #include <atomic>
@@ -12,7 +25,9 @@
 
 namespace ace {
 
-// Load-time analysis facts attached to a predicate (see
+class Database;
+
+// Load-time analysis facts attached to a predicate version (see
 // analysis/static_facts.hpp). Engines consult them — when enabled — to skip
 // the charged runtime applicability checks of the LPCO/SHALLOW/PDO/LAO
 // optimization schemas; a fact only ever *elides a check*, never changes
@@ -32,17 +47,21 @@ struct StaticFacts {
   static constexpr std::uint32_t kDetIndexed = 1u << 5;
 };
 
-class Predicate {
+// One immutable published version of a predicate's clause list and
+// first-argument index. Everything except the StaticFacts word is frozen
+// before publication; the facts word is a monotone analysis *hint* that the
+// static-facts pass stores into the current version after the fact (a new
+// version starts at 0, which is exactly the "mutation invalidates facts"
+// rule — and only for the mutated predicate).
+class PredIndex {
  public:
-  Predicate(std::uint32_t sym, unsigned arity) : sym_(sym), arity_(arity) {}
+  PredIndex(const PredIndex&) = delete;
+  PredIndex& operator=(const PredIndex&) = delete;
+  ~PredIndex() { s_live_.fetch_sub(1, std::memory_order_relaxed); }
 
-  std::uint32_t sym() const { return sym_; }
-  unsigned arity() const { return arity_; }
-  bool is_dynamic() const { return dynamic_; }
-  void set_dynamic() { dynamic_ = true; }
-  // Declared `:- table name/arity.` — calls run under SLG tabling.
-  bool is_tabled() const { return tabled_; }
-  void set_tabled() { tabled_ = true; }
+  // Version counter: strictly increasing per predicate, bumped by every
+  // assert/retract. Choice points and tables record it and compare for
+  // equality to detect that the clause set changed under them.
   std::uint64_t generation() const { return generation_; }
 
   std::size_t num_clauses() const { return clauses_.size(); }
@@ -50,43 +69,60 @@ class Predicate {
     return clauses_[ordinal];
   }
 
-  void add_clause(Clause c, bool front);
-  void retract_clause(std::uint32_t ordinal);
+  // Ordinals of live clauses whose key can match `call`, in source order.
+  // The returned reference lives as long as this version.
+  const std::vector<std::uint32_t>& candidates(const IndexKey& call) const {
+    if (call.kind == IndexKey::Kind::AnyCall) return all_;
+    auto it = buckets_.find(call);
+    return it != buckets_.end() ? it->second : var_only_;
+  }
+
+  // Index-free fallback: the first live matching ordinal > `after`
+  // (pass -1 to start from the beginning), or -1 if none.
+  long next_matching_from(const IndexKey& call, long after) const;
 
   // Packed StaticFacts bits (relaxed atomics: facts are a monotone hint —
-  // readers either see valid analysis results or zero, and any mutation
-  // clears them before the clause list changes becomes visible under the
-  // Database lock).
+  // readers either see valid analysis results or zero; a fresh version
+  // always starts at zero, so a mutation implicitly and precisely
+  // invalidates the mutated predicate's facts and nobody else's).
   std::uint32_t static_facts() const {
     return static_facts_.load(std::memory_order_relaxed);
-  }
-  void set_static_facts(std::uint32_t bits) {
-    static_facts_.store(bits, std::memory_order_relaxed);
   }
   bool fact(std::uint32_t bit) const {
     const std::uint32_t f = static_facts();
     return (f & StaticFacts::kValid) != 0 && (f & bit) != 0;
   }
 
-  // Ordinals of live clauses whose key can match `call`, in source order.
-  // Read-only: valid until the next mutation (generation bump); engine
-  // choice points detect generation changes and fall back to
-  // next_matching_from().
-  const std::vector<std::uint32_t>& candidates(const IndexKey& call) const;
-
-  // Index-free fallback: the first live matching ordinal > `after`
-  // (pass -1 to start from the beginning), or -1 if none.
-  long next_matching_from(const IndexKey& call, long after) const;
+  // Number of PredIndex versions currently alive in the process. Tests use
+  // deltas of this to prove that epoch reclamation actually frees retired
+  // versions (satellite: epoch-reclamation coverage).
+  static std::size_t live_count() {
+    return s_live_.load(std::memory_order_relaxed);
+  }
 
  private:
+  friend class Database;
+  friend class Predicate;
+
+  PredIndex() { s_live_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Writer-side successor construction (called under the database writer
+  // lock; `prev` is the currently published version).
+  static const PredIndex* make_add(const PredIndex& prev, Clause c,
+                                   bool front);
+  static const PredIndex* make_retract(const PredIndex& prev,
+                                       std::uint32_t ordinal);
   void rebuild_index();
 
-  std::uint32_t sym_;
-  unsigned arity_;
-  bool dynamic_ = false;
-  bool tabled_ = false;
+  // The static-facts pass stores into the *current* version. Callers must
+  // hold the database writer lock (or be single-threaded w.r.t. writers)
+  // so the version cannot be retired and freed mid-store.
+  void set_static_facts(std::uint32_t bits) const {
+    static_facts_.store(bits, std::memory_order_relaxed);
+  }
+
   std::uint64_t generation_ = 0;
-  std::atomic<std::uint32_t> static_facts_{0};
+  mutable std::atomic<std::uint32_t> static_facts_{0};
   std::vector<Clause> clauses_;
   // Buckets for every key that appears on some clause (each merged with the
   // var-key clauses, in ordinal order), plus the var-only and all-clause
@@ -95,6 +131,74 @@ class Predicate {
       buckets_;
   std::vector<std::uint32_t> var_only_;
   std::vector<std::uint32_t> all_;
+
+  static std::atomic<std::size_t> s_live_;
+};
+
+// The stable per-predicate handle. Never freed while its Database lives, so
+// engine frames, shared or-tree nodes and table dependencies may hold a
+// `const Predicate*` across steps, queries and threads without any pin; only
+// dereferencing index() requires a pinned db::Snapshot (or quiescence —
+// single-threaded tools that never race a writer need no pin).
+class Predicate {
+ public:
+  Predicate(std::uint32_t sym, unsigned arity);
+  ~Predicate();
+  Predicate(const Predicate&) = delete;
+  Predicate& operator=(const Predicate&) = delete;
+
+  std::uint32_t sym() const { return sym_; }
+  unsigned arity() const { return arity_; }
+  bool is_dynamic() const { return dynamic_.load(std::memory_order_relaxed); }
+  void set_dynamic() { dynamic_.store(true, std::memory_order_relaxed); }
+  // Declared `:- table name/arity.` — calls run under SLG tabling.
+  bool is_tabled() const { return tabled_.load(std::memory_order_relaxed); }
+  void set_tabled() { tabled_.store(true, std::memory_order_relaxed); }
+
+  // The currently published index version. The caller must hold a pinned
+  // db::Snapshot on the owning database (or be quiescent w.r.t. writers);
+  // the reference stays valid until that snapshot refreshes or releases.
+  //
+  // Scoped operations that need one *consistent* view (generation check +
+  // candidates + clause access) must load index() once and use the
+  // reference throughout — two separate loads may straddle a publication.
+  const PredIndex& index() const { return *cur_.load(); }
+
+  // Single-load convenience passthroughs for point queries.
+  std::uint64_t generation() const { return index().generation(); }
+  std::size_t num_clauses() const { return index().num_clauses(); }
+  const Clause& clause(std::uint32_t ordinal) const {
+    return index().clause(ordinal);
+  }
+  const std::vector<std::uint32_t>& candidates(const IndexKey& call) const {
+    return index().candidates(call);
+  }
+  long next_matching_from(const IndexKey& call, long after) const {
+    return index().next_matching_from(call, after);
+  }
+  std::uint32_t static_facts() const { return index().static_facts(); }
+  bool fact(std::uint32_t bit) const { return index().fact(bit); }
+  // Stores analysis facts into the current version (writer-lock or
+  // quiescence required; see PredIndex::set_static_facts).
+  void set_static_facts(std::uint32_t bits) { index().set_static_facts(bits); }
+
+ private:
+  friend class Database;
+
+  // Writer side (under the database writer lock): publishes `next` with one
+  // atomic swap and returns the retired version for epoch limbo.
+  const PredIndex* install(const PredIndex* next) {
+    return cur_.exchange(next);
+  }
+
+  std::uint32_t sym_;
+  unsigned arity_;
+  std::atomic<bool> dynamic_{false};
+  std::atomic<bool> tabled_{false};
+  // seq_cst on purpose: the epoch-reclamation safety argument (see
+  // docs/database.md) relies on the swap, the reader's pin store and the
+  // writer's slot scan all participating in the single seq_cst total order.
+  std::atomic<const PredIndex*> cur_;
 };
 
 }  // namespace ace

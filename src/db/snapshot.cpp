@@ -1,0 +1,89 @@
+#include "db/snapshot.hpp"
+
+#include "db/database.hpp"
+
+namespace ace {
+namespace db {
+
+namespace {
+
+std::uint64_t pred_key(std::uint32_t sym, unsigned arity) {
+  return (std::uint64_t{sym} << 12) | arity;
+}
+
+}  // namespace
+
+Snapshot::Snapshot(Snapshot&& o) noexcept
+    : db_(o.db_), slot_(o.slot_), epoch_(o.epoch_) {
+  o.db_ = nullptr;
+  o.slot_ = nullptr;
+}
+
+Snapshot& Snapshot::operator=(Snapshot&& o) noexcept {
+  if (this != &o) {
+    reset();
+    db_ = o.db_;
+    slot_ = o.slot_;
+    epoch_ = o.epoch_;
+    o.db_ = nullptr;
+    o.slot_ = nullptr;
+  }
+  return *this;
+}
+
+void Snapshot::pin(const Database& d) {
+  if (slot_ != nullptr) {
+    if (db_ == &d) {
+      refresh();
+      return;
+    }
+    reset();
+  }
+  db_ = &d;
+  auto* slot = d.acquire_slot();
+  slot_ = slot;
+  // Announce with seq_cst on both sides: in the single seq_cst total
+  // order, either a reclaiming writer's slot scan observes this store (and
+  // keeps everything retired at or after `epoch_` alive), or the scan
+  // precedes it — in which case every later load through this snapshot is
+  // also after the writer's publication swap and returns the successor
+  // version, never the retired one. See docs/database.md.
+  epoch_ = d.epoch_.load();
+  slot->epoch.store(epoch_);
+}
+
+void Snapshot::reset() {
+  if (slot_ == nullptr) return;
+  db_->release_slot(static_cast<Database::EpochSlot*>(slot_));
+  slot_ = nullptr;
+  db_ = nullptr;
+}
+
+void Snapshot::refresh() {
+  if (slot_ == nullptr) return;
+  // Relaxed probe: a stale read only delays reclamation (the pin never
+  // passes through idle, and the announced epoch never exceeds the global
+  // one, so protection is continuous). The store stays seq_cst.
+  const std::uint64_t e = db_->epoch_.load(std::memory_order_relaxed);
+  if (e != epoch_) {
+    epoch_ = e;
+    static_cast<Database::EpochSlot*>(slot_)->epoch.store(e);
+  }
+}
+
+const Predicate* Snapshot::find(std::uint32_t sym, unsigned arity) const {
+  const Database::Root* r = db_->root_.load();
+  auto it = r->ids.find(pred_key(sym, arity));
+  return it == r->ids.end() ? nullptr : it->second;
+}
+
+std::size_t Snapshot::num_predicates() const {
+  return db_->root_.load()->list.size();
+}
+
+const Predicate* Snapshot::predicate_at(std::size_t i) const {
+  return db_->root_.load()->list[i];
+}
+
+}  // namespace db
+}  // namespace ace

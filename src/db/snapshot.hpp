@@ -1,0 +1,91 @@
+// db::Snapshot — the epoch-pinned read view of a Database.
+//
+// A pinned snapshot announces an epoch in one of the database's reader
+// slots; from then on every PredIndex version (and registry Root) the
+// reader can reach stays allocated until the snapshot refreshes past it or
+// releases. Reads are lock-free: find() is one atomic root load plus a hash
+// lookup, candidates() is one atomic version load plus a bucket lookup.
+//
+// Semantics: a pin guarantees *memory validity*, not staleness — accessors
+// always see the latest published state at the moment of the access, which
+// is exactly what the old per-access ReadGuard provided. Readers that need
+// one consistent multi-step view of a predicate load `view(p)` (or
+// p.index()) once and use that reference for the whole scoped operation.
+//
+// Lifecycle:
+//   db::Snapshot snap(db);        // pin now, or default-construct + pin()
+//   snap.refresh();               // safe point: caller holds no PredIndex
+//                                 //   references; re-announces the current
+//                                 //   epoch so writers can reclaim
+//   snap.reset();                 // unpin (also on destruction)
+//
+// Engines pin one snapshot per worker and refresh it at the top of every
+// step — turning the old per-lookup lock acquisition into a per-step
+// relaxed load and branch. Single-threaded tools that never race a writer
+// may skip pinning entirely (quiescent access is trivially safe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/predicate.hpp"
+
+namespace ace {
+
+class Database;
+
+namespace db {
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+  explicit Snapshot(const Database& d) { pin(d); }
+  ~Snapshot() { reset(); }
+  Snapshot(Snapshot&& o) noexcept;
+  Snapshot& operator=(Snapshot&& o) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  bool pinned() const { return slot_ != nullptr; }
+  const Database* database() const { return db_; }
+
+  // Pins to `d` (refreshes when already pinned to it, repins when pinned
+  // to a different database).
+  void pin(const Database& d);
+  // Releases the pin; lock-free accessors must not be used afterwards.
+  void reset();
+  // Re-announces the current global epoch. Precondition: the caller holds
+  // no PredIndex references obtained through this snapshot — after the
+  // refresh, versions retired before the new epoch may be freed.
+  void refresh();
+
+  // Lock-free predicate lookup; nullptr if never defined. The returned
+  // handle is stable for the database's lifetime (only index() accesses
+  // need the pin).
+  const Predicate* find(std::uint32_t sym, unsigned arity) const;
+
+  // One consistent index view for a scoped operation (generation check +
+  // candidates + clause access must all go through the same view).
+  const PredIndex& view(const Predicate& p) const { return p.index(); }
+
+  // Point-query conveniences (each is a single version load).
+  const std::vector<std::uint32_t>& candidates(const Predicate& p,
+                                               const IndexKey& call) const {
+    return p.candidates(call);
+  }
+  std::uint32_t static_facts(const Predicate& p) const {
+    return p.static_facts();
+  }
+
+  // Registry enumeration (creation order), lock-free on the pinned root.
+  std::size_t num_predicates() const;
+  const Predicate* predicate_at(std::size_t i) const;
+
+ private:
+  const Database* db_ = nullptr;
+  void* slot_ = nullptr;  // Database::EpochSlot (opaque here)
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace db
+}  // namespace ace

@@ -60,12 +60,10 @@ void Worker::retry_choice_alternative(Ref cref) {
   ++stats_.cp_restores;
   charge(CostCat::kBacktrack, costs_.cp_restore);
   // Candidate buckets, predicate generations and clause templates are read
-  // below; hold the database shared lock so concurrently served
-  // assert/retract (which rebuild buckets under the write lock) cannot race
-  // the iteration. shared_take takes node mutexes *inside* this guard; node
-  // mutexes are session-local, so the db→node ordering cannot cycle with
-  // another session.
-  auto guard = db_.read_guard();
+  // below through the worker's step-scoped snapshot pin: concurrently
+  // served assert/retract publish *new* index versions, so every view
+  // loaded here stays alive and internally consistent for the whole retry.
+  // Each scoped read below loads its view exactly once.
   restore_choice(cref);
 
   // Copy the immutable fields; the frame may be popped below.
@@ -78,7 +76,8 @@ void Worker::retry_choice_alternative(Ref cref) {
     // node's counter. Never trust-popped — the node may be refilled (LAO)
     // or drained by thieves.
     for (;;) {
-      long ord = shared_take(snapshot.shared_id, snapshot.pred_gen);
+      const PredIndex* tix = nullptr;
+      long ord = shared_take(snapshot.shared_id, snapshot.pred_gen, &tix);
       if (ord == kTakeTermAlt) {
         glist_ = push_goal(snapshot.alt_term, snapshot.cont,
                            snapshot.cut_parent);
@@ -107,7 +106,7 @@ void Worker::retry_choice_alternative(Ref cref) {
         }
         continue;
       }
-      if (try_clause(*snapshot.pred, static_cast<std::uint32_t>(ord),
+      if (try_clause(*tix, static_cast<std::uint32_t>(ord),
                      snapshot.call_goal, snapshot.cut_parent)) {
         mode_ = Mode::Run;
         return;
@@ -139,12 +138,15 @@ void Worker::retry_choice_alternative(Ref cref) {
     return;
   }
 
-  const Predicate* pred = snapshot.pred;
+  // One index view for the whole retry loop: the generation check, the
+  // bucket iteration and every clause instantiation go through the same
+  // published version (the step-scoped pin keeps it alive).
+  const PredIndex& ix = snapshot.pred->index();
   for (;;) {
     long ord = -1;
     bool is_last = false;
-    if (snapshot.pred_gen == pred->generation()) {
-      const std::vector<std::uint32_t>& bucket = pred->candidates(snapshot.key);
+    if (snapshot.pred_gen == ix.generation()) {
+      const std::vector<std::uint32_t>& bucket = ix.candidates(snapshot.key);
       if (snapshot.bucket_pos < bucket.size()) {
         ord = static_cast<long>(bucket[snapshot.bucket_pos]);
         ++snapshot.bucket_pos;
@@ -154,10 +156,10 @@ void Worker::retry_choice_alternative(Ref cref) {
     } else {
       // The predicate changed under us (assert/retract): fall back to an
       // ordinal scan over the mutated clause list.
-      ord = pred->next_matching_from(snapshot.key, snapshot.last_ordinal);
+      ord = ix.next_matching_from(snapshot.key, snapshot.last_ordinal);
       if (ord >= 0) {
         snapshot.last_ordinal = ord;
-        is_last = pred->next_matching_from(snapshot.key, ord) < 0;
+        is_last = ix.next_matching_from(snapshot.key, ord) < 0;
       }
     }
 
@@ -195,7 +197,7 @@ void Worker::retry_choice_alternative(Ref cref) {
       live.last_ordinal = snapshot.last_ordinal;
     }
 
-    if (try_clause(*pred, static_cast<std::uint32_t>(ord), snapshot.call_goal,
+    if (try_clause(ix, static_cast<std::uint32_t>(ord), snapshot.call_goal,
                    snapshot.cut_parent)) {
       mode_ = Mode::Run;
       return;

@@ -1,8 +1,8 @@
-// ace::Engine — the one engine facade (PR 2 API redesign).
+// ace::Engine — the one engine facade.
 //
 // One class constructed from an EngineConfig replaces the three historical
-// facades (SeqEngine / AndpMachine / OrpMachine, kept as thin deprecated
-// wrappers for one PR). An Engine owns a pre-warmed EngineSession, so
+// facades (SeqEngine / AndpMachine / OrpMachine, removed in the database
+// API redesign PR). An Engine owns a pre-warmed EngineSession, so
 // repeated queries on the same Engine run in warm arenas exactly like
 // pooled serving-layer sessions — the old facades rebuilt stores and
 // workers on every solve().
@@ -27,8 +27,10 @@
 #include <string>
 
 #include "builtins/builtins.hpp"
+#include "db/database.hpp"
 #include "engine/result.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
 
 namespace ace {
 
@@ -37,9 +39,7 @@ class Recorder;
 }
 
 class CancelToken;
-class Database;
 class EngineSession;
-class Tracer;
 
 enum class EngineMode : std::uint8_t { Seq, Andp, Orp };
 

@@ -133,6 +133,12 @@ StepOutcome Worker::step() {
   // exception; the owning session then resets every arena wholesale, which
   // releases all stack sections at once.
   if (mode_ != Mode::Done) poll_cancellation();
+  // Per-step snapshot refresh: the step boundary is the safe point (no
+  // PredIndex reference survives across it), so this is where the worker
+  // re-announces its epoch and picks up concurrently published clause-set
+  // versions — the per-query/per-step granularity that replaces the old
+  // per-lookup read lock.
+  snap_ensure();
   switch (mode_) {
     case Mode::Run:
       if (par_ != nullptr && check_cancellation()) break;
@@ -240,6 +246,9 @@ void Worker::reset_for_reuse() {
   last_copy_heap_ = 0;
   cancel_poll_stride_ = 0;
   mode_ = Mode::Idle;
+  // Unpin between queries: a parked pooled worker must not hold an old
+  // epoch open (that would stall reclamation for every writer on this db).
+  snap_.reset();
 }
 
 Slot& Worker::cur_slot_ref() {

@@ -3,7 +3,7 @@
 //
 // SolveResult is the engine-internal form: raw solutions plus the
 // virtual-time and per-agent counter surfaces the paper's measurements are
-// built from (moved here from engine/seq_engine.hpp in PR 2).
+// built from.
 //
 // QueryResult is the versioned, wire-facing response (v2): one outcome
 // enum covering completion, failure, every stop cause and admission

@@ -1,6 +1,5 @@
-// Goal-list completion, findall/3 nested execution, and the SeqEngine
-// facade.
-#include "engine/seq_engine.hpp"
+// Goal-list completion, findall/3 nested execution, and the per-agent
+// report helper.
 #include "engine/worker.hpp"
 #include "serve/session.hpp"
 #include "support/strutil.hpp"
@@ -86,28 +85,6 @@ void Worker::nested_exhausted() {
   } else {
     mode_ = Mode::Backtrack;
   }
-}
-
-// ---------------------------------------------------------------------------
-// SeqEngine facade.
-
-SeqEngine::SeqEngine(Database& db, WorkerOptions opts, const CostModel& costs)
-    : db_(db), opts_(opts), costs_(costs), builtins_(db.syms()) {
-  opts_.parallel_and = false;
-}
-
-SolveResult SeqEngine::solve(const std::string& query_text,
-                             std::size_t max_solutions) {
-  // One-shot facade over the reusable serving-layer session (the serving
-  // pool keeps sessions alive across queries; here one is built per call).
-  EngineConfig cfg;
-  cfg.mode = EngineMode::Seq;
-  cfg.occurs_check = opts_.occurs_check;
-  cfg.resolution_limit = opts_.resolution_limit;
-  EngineSession session(db_, builtins_, cfg, costs_);
-  QueryBudget budget;
-  budget.max_solutions = max_solutions;
-  return session.run(query_text, budget);
 }
 
 std::string per_agent_report(const SolveResult& result) {

@@ -216,29 +216,31 @@ void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
 
 void Worker::call_user_pred_clauses(Addr goal, std::uint32_t sym,
                                     unsigned arity) {
-  // Hold the database shared lock across the bucket read and head
-  // unification: under the serving layer, assert/retract from concurrently
-  // served queries can rebuild index buckets while we iterate. The guard
-  // also covers push_choice_clauses (LAO reuse reads pred->candidates) —
-  // none of the callees re-acquire the (non-recursive) lock.
-  auto guard = db_.read_guard();
-  const Predicate* pred = db_.find_nolock(sym, arity);
+  // One consistent index view for the whole call: the lock-free snapshot
+  // lookup resolves the stable predicate handle, and a single index() load
+  // pins the version used for the generation record, the bucket read, the
+  // head unification and push_choice_clauses (LAO reuse reads the same
+  // view). Under the serving layer, a concurrent assert/retract publishes
+  // a *new* version — this one stays valid and internally consistent until
+  // the next step's snapshot refresh.
+  const Predicate* pred = snap_.find(sym, arity);
   if (pred == nullptr) {
     throw AceError(strf("undefined predicate %s/%u",
                         syms_.name(sym).c_str(), arity));
   }
+  const PredIndex& ix = snap_.view(*pred);
   // Inside a tabled generator, every consulted predicate becomes a
   // dependency of the table being produced (invalidation + publication
   // generation check). tab_gens_ is empty whenever tabling is off.
   if (!tab_gens_.empty()) [[unlikely]] {
-    tab_note_dep(sym, arity, pred->generation());
+    tab_note_dep(sym, arity, ix.generation());
   }
   IndexKey key{IndexKey::Kind::AnyCall, 0};
   if (arity > 0) {
     Cell c = store_.get(deref(store_, goal));
     key = call_index_key(store_, c.ref() + 1, syms_);
   }
-  const std::vector<std::uint32_t>& bucket = pred->candidates(key);
+  const std::vector<std::uint32_t>& bucket = ix.candidates(key);
   if (bucket.empty()) {
     fail();
     return;
@@ -246,21 +248,21 @@ void Worker::call_user_pred_clauses(Addr goal, std::uint32_t sym,
 
   Ref barrier = bt_;
   if (bucket.size() == 1) {
-    if (!try_clause(*pred, bucket[0], goal, barrier)) fail();
+    if (!try_clause(ix, bucket[0], goal, barrier)) fail();
     return;
   }
-  Ref cp = push_choice_clauses(goal, pred, key, /*next_bucket_pos=*/1,
+  Ref cp = push_choice_clauses(goal, pred, ix, key, /*next_bucket_pos=*/1,
                                static_cast<long>(bucket[0]), barrier);
   // LAO may have recycled an exhausted frame in place, in which case the
   // clause bodies' cut barrier is that frame's predecessor, not bt_ as it
   // was before the call. The frame records the correct barrier either way.
   barrier = frame(cp).cut_parent;
-  if (!try_clause(*pred, bucket[0], goal, barrier)) fail();
+  if (!try_clause(ix, bucket[0], goal, barrier)) fail();
 }
 
-bool Worker::try_clause(const Predicate& pred, std::uint32_t ordinal,
+bool Worker::try_clause(const PredIndex& ix, std::uint32_t ordinal,
                         Addr goal, Ref barrier) {
-  const Clause& clause = pred.clause(ordinal);
+  const Clause& clause = ix.clause(ordinal);
   Addr inst = instantiate(store_, seg(), clause.tmpl);
   stats_.heap_cells += clause.tmpl.instantiation_cost();
   charge(CostCat::kClauseLookup, clause.tmpl.instantiation_cost() * costs_.heap_cell);
@@ -280,7 +282,7 @@ bool Worker::try_clause(const Predicate& pred, std::uint32_t ordinal,
 }
 
 Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
-                                const IndexKey& key,
+                                const PredIndex& ix, const IndexKey& key,
                                 std::uint32_t next_bucket_pos,
                                 long last_ordinal, Ref cut_parent) {
   if (orp_ != nullptr && opts_.lao) {
@@ -289,13 +291,13 @@ Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
     // A static lao-chain fact (last clause tail-recursive, earlier clauses
     // leaf) proves the generator shape the charged test verifies, so the
     // charge is elided; lao_try_reuse itself runs either way.
-    if (opts_.static_facts && pred->fact(StaticFacts::kLaoChain)) {
+    if (opts_.static_facts && ix.fact(StaticFacts::kLaoChain)) {
       ++stats_.static_elisions;
     } else {
       ++stats_.opt_checks;
       charge(CostCat::kOptCheck, costs_.opt_check);
     }
-    if (lao_try_reuse(goal, pred, key, cut_parent, next_bucket_pos,
+    if (lao_try_reuse(goal, pred, ix, key, cut_parent, next_bucket_pos,
                       last_ordinal)) {
       return bt_;
     }
@@ -308,7 +310,7 @@ Ref Worker::push_choice_clauses(Addr goal, const Predicate* pred,
   f.cut_parent = cut_parent;
   f.pred = pred;
   f.key = key;
-  f.pred_gen = pred->generation();
+  f.pred_gen = ix.generation();
   f.bucket_pos = next_bucket_pos;
   f.last_ordinal = last_ordinal;
   f.trail_mark = trail_.size();

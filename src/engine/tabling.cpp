@@ -9,11 +9,9 @@ namespace ace {
 
 bool Worker::tab_call(Addr goal, std::uint32_t sym, unsigned arity) {
   {
-    // Tabled-predicate gate. The guard is scoped: the consumer/generator
-    // paths below reacquire locks (TableSpace mutex, db guard inside the
-    // generator's clause pass) in their own order.
-    auto guard = db_.read_guard();
-    const Predicate* pred = db_.find_nolock(sym, arity);
+    // Tabled-predicate gate: lock-free snapshot lookup on a stable handle
+    // plus one relaxed flag read — no index version is touched here.
+    const Predicate* pred = snap_.find(sym, arity);
     if (pred == nullptr || !pred->is_tabled()) return false;
   }
 
@@ -242,10 +240,9 @@ void Worker::tab_gen_exhausted() {
     // stale table). The local completion stands either way: this query
     // keeps its logical-update-view snapshot.
     if (tabsp_ != nullptr) {
-      auto guard = db_.read_guard();
       bool stable = true;
       for (const tab::TableDep& d : deps) {
-        const Predicate* p = db_.find_nolock(d.sym, d.arity);
+        const Predicate* p = snap_.find(d.sym, d.arity);
         if (p == nullptr || p->generation() != d.gen) {
           stable = false;
           break;
@@ -253,6 +250,19 @@ void Worker::tab_gen_exhausted() {
       }
       if (stable) {
         for (auto& done : fresh) tabsp_->insert(done);
+        // Re-verify after the insert (lock-free double-check): a mutation
+        // publishing between the check above and the insert may have fired
+        // its change hook while our keys were not in the space yet, so the
+        // hook could not drop them. Seeing the newer generation here means
+        // exactly that race happened — drop the affected tables ourselves.
+        // A mutation publishing after this re-check fires its hook after
+        // our insert and invalidates the registered keys normally.
+        for (const tab::TableDep& d : deps) {
+          const Predicate* p = snap_.find(d.sym, d.arity);
+          if (p == nullptr || p->generation() != d.gen) {
+            tabsp_->invalidate_pred(d.sym, d.arity);
+          }
+        }
       }
     }
 

@@ -25,7 +25,7 @@
 //
 // Fields and internal methods are public: the andp/orp modules are
 // co-implementors of the engine, not clients. Applications use the
-// SeqEngine / AndpMachine / OrpMachine facades.
+// ace::Engine facade (engine/engine.hpp).
 #pragma once
 
 #include <string>
@@ -34,6 +34,7 @@
 
 #include "builtins/builtins.hpp"
 #include "db/database.hpp"
+#include "db/snapshot.hpp"
 #include "engine/frames.hpp"
 #include "engine/parcall.hpp"
 #include "sim/cost_model.hpp"
@@ -158,13 +159,27 @@ class Worker {
   unsigned seg_;
   Store& store_;
   Database& db_;
+  // This worker's epoch-pinned read view of db_ (see db/snapshot.hpp).
+  // Pinned lazily at the first step of a query and refreshed at the top of
+  // every step() — a step is the safe point: no PredIndex reference
+  // crosses a step boundary (frames and shared nodes hold stable Predicate
+  // handles plus generation numbers instead). Released between queries so
+  // parked workers never delay writers' epoch reclamation.
+  db::Snapshot snap_;
+  void snap_ensure() {
+    if (!snap_.pinned()) {
+      snap_.pin(db_);
+    } else {
+      snap_.refresh();
+    }
+  }
   const SymbolTable& syms_;
   const Builtins& builtins_;
   const CostModel& costs_;
   WorkerOptions opts_;
   IoSink& io_;
-  ParContext* par_ = nullptr;              // set by AndpMachine
-  OrpContext* orp_ = nullptr;              // set by OrpMachine
+  ParContext* par_ = nullptr;              // set for Andp-mode sessions
+  OrpContext* orp_ = nullptr;              // set for Orp-mode sessions
   Tracer* tracer_ = nullptr;               // optional sim event recording
   obs::Track* obs_ = nullptr;              // optional real-thread recording
   std::vector<Worker*>* group_ = nullptr;  // all agents, self included
@@ -345,11 +360,14 @@ class Worker {
   // tabling interception): bucket lookup, choice point, first clause. Also
   // the entry point of a generator's clause pass ($tab_gen builtin).
   void call_user_pred_clauses(Addr goal, std::uint32_t sym, unsigned arity);
-  bool try_clause(const Predicate& pred, std::uint32_t ordinal, Addr goal,
+  // `ix` is the caller's pinned index view — the same view that produced
+  // the ordinal, so the clause template cannot have shifted under it.
+  bool try_clause(const PredIndex& ix, std::uint32_t ordinal, Addr goal,
                   Ref barrier);
   Ref push_choice_clauses(Addr goal, const Predicate* pred,
-                          const IndexKey& key, std::uint32_t next_bucket_pos,
-                          long last_ordinal, Ref cut_parent);
+                          const PredIndex& ix, const IndexKey& key,
+                          std::uint32_t next_bucket_pos, long last_ordinal,
+                          Ref cut_parent);
   Ref push_choice_term(Addr alt, Ref cut_parent, AltKind kind);
   void do_cut(Ref barrier);
   void fail() { mode_ = Mode::Backtrack; }
@@ -446,12 +464,15 @@ class Worker {
   void orp_idle_step();
   // LAO hook: attempts to reuse an exhausted top choice point in place
   // (returns true if reused; bt_ then references the recycled frame).
-  bool lao_try_reuse(Addr goal, const Predicate* pred, const IndexKey& key,
-                     Ref cut_parent, std::uint32_t next_bucket_pos,
-                     long last_ordinal);
+  bool lao_try_reuse(Addr goal, const Predicate* pred, const PredIndex& ix,
+                     const IndexKey& key, Ref cut_parent,
+                     std::uint32_t next_bucket_pos, long last_ordinal);
   // Takes the next alternative of a shared (public) choice point; -1 when
-  // exhausted or the node moved on (LAO refill generation mismatch).
-  long shared_take(std::uint32_t shared_id, std::uint64_t expected_gen);
+  // exhausted or the node moved on (LAO refill generation mismatch). For
+  // clause nodes, *ix_out receives the index view the ordinal was drawn
+  // from — the caller must instantiate through that same view.
+  long shared_take(std::uint32_t shared_id, std::uint64_t expected_gen,
+                   const PredIndex** ix_out = nullptr);
   // Cancels a public node when the dying frame still owns its current
   // incarnation (LAO refills bump the generation; a stale copy's death
   // must not kill the refilled node).

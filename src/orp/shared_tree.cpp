@@ -5,16 +5,20 @@
 namespace ace {
 namespace {
 
+// Callers must hold a pinned db::Snapshot (workers pin per step; the
+// serving session pins one around its idle poll) — the single index() load
+// below gives one consistent view per probe.
 bool node_has_work(SharedNode& n) {
   std::lock_guard<std::mutex> lock(n.mu);
   if (n.cancelled) return false;
   if (n.is_term) return !n.term_taken;
   if (n.tab != nullptr) return n.bucket_pos < n.tab->answers.size();
   if (n.pred == nullptr) return false;
-  if (n.pred_gen != n.pred->generation()) {
-    return n.pred->next_matching_from(n.key, n.last_ordinal) >= 0;
+  const PredIndex& ix = n.pred->index();
+  if (n.pred_gen != ix.generation()) {
+    return ix.next_matching_from(n.key, n.last_ordinal) >= 0;
   }
-  return n.bucket_pos < n.pred->candidates(n.key).size();
+  return n.bucket_pos < ix.candidates(n.key).size();
 }
 
 }  // namespace
@@ -46,7 +50,8 @@ std::uint32_t OrpContext::oldest_with_work(std::size_t* scanned) {
   return found;
 }
 
-long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen) {
+long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen,
+                         const PredIndex** ix_out) {
   SharedNode& n = orp_->node(shared_id);
   std::lock_guard<std::mutex> lock(n.mu);
   ++stats_.public_node_takes;
@@ -62,12 +67,18 @@ long Worker::shared_take(std::uint32_t shared_id, std::uint64_t expected_gen) {
     if (n.bucket_pos >= n.tab->answers.size()) return -1;
     return static_cast<long>(n.bucket_pos++);
   }
-  if (n.pred_gen != n.pred->generation()) {
-    long ord = n.pred->next_matching_from(n.key, n.last_ordinal);
+  // One consistent view both for the grant and for the caller's clause
+  // instantiation: the granted ordinal is only meaningful against the very
+  // version it was drawn from (the worker's step-scoped pin keeps it
+  // alive; see db/snapshot.hpp).
+  const PredIndex& ix = n.pred->index();
+  if (ix_out != nullptr) *ix_out = &ix;
+  if (n.pred_gen != ix.generation()) {
+    long ord = ix.next_matching_from(n.key, n.last_ordinal);
     if (ord >= 0) n.last_ordinal = ord;
     return ord;
   }
-  const std::vector<std::uint32_t>& bucket = n.pred->candidates(n.key);
+  const std::vector<std::uint32_t>& bucket = ix.candidates(n.key);
   if (n.bucket_pos >= bucket.size()) return -1;
   long ord = static_cast<long>(bucket[n.bucket_pos++]);
   n.last_ordinal = ord;
@@ -82,8 +93,9 @@ void Worker::orp_cancel_node(std::uint32_t shared_id,
 }
 
 bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
-                           const IndexKey& key, Ref cut_parent,
-                           std::uint32_t next_bucket_pos, long last_ordinal) {
+                           const PredIndex& ix, const IndexKey& key,
+                           Ref cut_parent, std::uint32_t next_bucket_pos,
+                           long last_ordinal) {
   if (ctrl_.size() == 0) return false;
   std::uint32_t top_idx = static_cast<std::uint32_t>(ctrl_.size()) - 1;
   if (bt_ != make_ref(agent_, top_idx)) return false;
@@ -92,17 +104,21 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
     return false;
   }
   // The previous choice point must be exhausted (its last alternative is
-  // the execution creating this new choice point).
+  // the execution creating this new choice point). One index view per
+  // probed predicate keeps the generation check and the bucket size read
+  // coherent.
   bool exhausted;
   if (top.shared_id != kNoShare) {
     SharedNode& n = orp_->node(top.shared_id);
     std::lock_guard<std::mutex> lock(n.mu);
+    const PredIndex& nix = n.pred->index();
     exhausted = !n.cancelled && n.generation == top.pred_gen &&
-                n.pred_gen == n.pred->generation() &&
-                n.bucket_pos >= n.pred->candidates(n.key).size();
+                n.pred_gen == nix.generation() &&
+                n.bucket_pos >= nix.candidates(n.key).size();
   } else {
-    exhausted = top.pred_gen == top.pred->generation() &&
-                top.bucket_pos >= top.pred->candidates(top.key).size();
+    const PredIndex& tix = top.pred->index();
+    exhausted = top.pred_gen == tix.generation() &&
+                top.bucket_pos >= tix.candidates(top.key).size();
   }
   if (!exhausted) return false;
 
@@ -117,7 +133,7 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
   top.cut_parent = top.prev_bt;
   top.pred = pred;
   top.key = key;
-  top.pred_gen = pred->generation();
+  top.pred_gen = ix.generation();
   top.bucket_pos = next_bucket_pos;
   top.last_ordinal = last_ordinal;
   top.trail_mark = trail_.size();
@@ -131,7 +147,7 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
     ++n.generation;
     n.pred = pred;
     n.key = key;
-    n.pred_gen = pred->generation();
+    n.pred_gen = ix.generation();
     n.bucket_pos = next_bucket_pos;
     n.last_ordinal = last_ordinal;
     // The refiller's copy of the frame carries the new (B2-era) state;
@@ -153,11 +169,10 @@ bool Worker::lao_try_reuse(Addr goal, const Predicate* pred,
 void Worker::orp_idle_step() {
   // oldest_with_work()/node_has_work() read candidate buckets and predicate
   // generations, and the sharing session publishes pred pointers into
-  // shared nodes; hold the db shared lock for the whole idle step so those
-  // reads cannot race assert/retract from other served queries. Node and
-  // context mutexes nest inside (db → ctx → node); they are session-local,
-  // so no cross-session cycle is possible.
-  auto guard = db_.read_guard();
+  // shared nodes; the worker's step-scoped snapshot pin (refreshed at the
+  // top of step()) keeps every version they touch alive, and the published
+  // pred pointers are stable handles that need no pin at all. Context and
+  // node mutexes are session-local, so no cross-session cycle is possible.
   std::size_t scanned = 0;
   std::uint32_t target = orp_->oldest_with_work(&scanned);
   charge(CostCat::kPublish, costs_.tree_descent * (scanned == 0 ? 1 : scanned));

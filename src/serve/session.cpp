@@ -1,7 +1,6 @@
 // EngineSession implementation: pre-warmed engine construction, the
-// between-queries reset, and the three per-mode drive loops (these moved
-// here from the SeqEngine/AndpMachine/OrpMachine facades, which now
-// delegate to a throwaway session — one implementation of each loop).
+// between-queries reset, and the three per-mode drive loops (one
+// implementation of each loop; ace::Engine delegates here).
 #include "serve/session.hpp"
 
 #include <algorithm>
@@ -283,9 +282,11 @@ SolveResult EngineSession::run_orp(const QueryBudget& budget,
           std::all_of(workers_.begin(), workers_.end(),
                       [](Worker* w) { return w->is_idle(); });
       if (all_idle) {
-        // has_public_work() reads candidate buckets; take the db shared
-        // lock so a concurrently served assert/retract cannot race it.
-        auto guard = db_.read_guard();
+        // has_public_work() reads candidate buckets; pin a snapshot for
+        // the probe so a concurrently served assert/retract cannot free
+        // the index versions it walks (the session thread runs between
+        // worker steps here, so no worker pin covers it).
+        db::Snapshot snap(db_);
         if (!orp_->has_public_work()) break;
       }
 

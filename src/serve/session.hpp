@@ -34,7 +34,8 @@
 //   * a session is single-query-at-a-time; concurrency comes from running
 //     many sessions (the QueryService pool), never from sharing one.
 //   * the Database outlives the session and is the only mutable state
-//     shared between concurrent sessions (guarded by its shared lock).
+//     shared between concurrent sessions (epoch-reclaimed; workers read it
+//     through per-step db::Snapshot pins, see docs/database.md).
 #pragma once
 
 #include <chrono>
@@ -44,7 +45,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/worker.hpp"
 
 namespace ace {
 

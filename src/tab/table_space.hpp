@@ -22,13 +22,16 @@
 // from assert/retract, exactly where StaticFacts are already discarded)
 // and drops every table depending on the mutated predicate — the
 // explicit-invalidation contract the serving layer's Prometheus
-// ace_table_* counters report on.
+// ace_table_* counters report on. Hooks are dispatched *after* the
+// database releases its writer lock (see docs/database.md), so
+// publication re-verifies each dep generation after insert and
+// self-invalidates on mismatch (engine/tabling.cpp's double-check).
 //
 // Locking. All methods take the space's own mutex only; the space never
-// calls back into the Database. Callers that hold a Database guard may
-// therefore call into the space (db -> space order), and the change hook
-// (fired under the Database write lock) may too. The counters are relaxed
-// atomics so the metrics snapshot never contends with queries.
+// calls back into the Database. Callers may hold database read snapshots
+// or the writer lock when calling in (db -> space order); the change hook
+// runs outside the writer lock. The counters are relaxed atomics so the
+// metrics snapshot never contends with queries.
 #pragma once
 
 #include <atomic>

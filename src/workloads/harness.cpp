@@ -1,6 +1,7 @@
 #include "workloads/harness.hpp"
 
 #include "builtins/lib.hpp"
+#include "db/database.hpp"
 
 namespace ace {
 

@@ -1,19 +1,16 @@
-// Workload runner: builds a database for a workload and runs it on one of
-// the three engines with a given configuration, returning the paper-style
+// Workload runner: builds a database for a workload and runs it through
+// ace::Engine with a given configuration, returning the paper-style
 // measurements. Also provides the speedup/table helpers the bench binaries
 // share.
 #pragma once
 
-#include "andp/machine.hpp"  // deprecated facades, kept one PR for clients
 #include "engine/engine.hpp"
-#include "orp/machine.hpp"
 #include "workloads/programs.hpp"
 
 namespace ace {
 
-// PR 2: the harness now runs everything through the unified ace::Engine;
-// EngineKind survives as an alias of the engine's mode enum (identical
-// enumerators), so existing callers keep compiling for one PR.
+// The harness runs everything through the unified ace::Engine; EngineKind
+// is an alias of the engine's mode enum (identical enumerators).
 using EngineKind = EngineMode;
 
 struct RunConfig {
@@ -27,7 +24,7 @@ struct RunConfig {
   bool attrib = false;        // per-predicate attribution rows
   bool tabling = true;        // honor `:- table p/N.` directives
   std::size_t max_solutions = SIZE_MAX;
-  bool use_threads = false;  // AndpMachine only
+  bool use_threads = false;  // Andp mode only
   std::uint64_t resolution_limit = 0;
   const CostModel* costs = nullptr;  // defaults to CostModel::standard()
 

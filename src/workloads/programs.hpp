@@ -17,7 +17,7 @@ struct Workload {
   std::string source;       // Prolog program text
   std::string query;        // default query (bench scale)
   std::string small_query;  // reduced instance for tests
-  bool and_parallel;        // uses '&' (AndpMachine benchmarks)
+  bool and_parallel;        // uses '&' (and-parallel benchmarks)
   bool all_solutions;       // enumerate every solution (or-parallel style)
 };
 

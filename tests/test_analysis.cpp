@@ -70,17 +70,18 @@ fib(N, F) :- N1 is N - 1, N2 is N - 2, fib(N1, F1), fib(N2, F2),
   Database db_plain;
   load_library(db_plain);
   db_plain.consult(plain);
-  SeqEngine seq(db_plain);
+  Engine seq(db_plain);
   std::vector<std::string> expect = seq.solve("fib(12, F).", 1).solutions;
   EXPECT_EQ(expect, (std::vector<std::string>{"F = 144"}));
 
   Database db_ann;
   load_library(db_ann);
   db_ann.consult(annotated);
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
   o.lpco = o.shallow = o.pdo = true;
-  AndpMachine m(db_ann, o);
+  Engine m(db_ann, o);
   SolveResult r = m.solve("fib(12, F).", 1);
   EXPECT_EQ(r.solutions, expect);
   EXPECT_GT(r.stats.parcall_frames + r.stats.lpco_merges, 0u);
@@ -140,10 +141,11 @@ go(A, B) :- tr(1, A) & tr(2, B).
 )PL");
   EXPECT_EQ(analyze_determinacy(db, db.syms().intern("tr"), 2),
             Determinacy::Unknown);
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 2;
   o.shallow = true;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   SolveResult r = m.solve("go(A, B).", 1);
   // tr creates choice points, so markers materialize despite SHALLOW.
   EXPECT_GT(r.stats.input_markers, 0u);

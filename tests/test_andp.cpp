@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "andp/machine.hpp"
 #include "builtins/lib.hpp"
+#include "engine/engine.hpp"
 
 namespace ace {
 namespace {
@@ -10,19 +10,20 @@ class AndpTest : public ::testing::Test {
  protected:
   AndpTest() { load_library(db); }
 
-  SolveResult run(const std::string& q, AndpOptions opts,
+  SolveResult run(const std::string& q, EngineConfig opts,
                   std::size_t max = SIZE_MAX) {
-    AndpMachine m(db, opts);
+    Engine m(db, opts);
     return m.solve(q, max);
   }
   std::vector<std::string> seq(const std::string& q,
                                std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
 
-  AndpOptions agents(unsigned n) {
-    AndpOptions o;
+  EngineConfig agents(unsigned n) {
+    EngineConfig o;
+    o.mode = EngineMode::Andp;
     o.agents = n;
     return o;
   }
@@ -92,7 +93,7 @@ dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
 )PL");
   std::vector<std::string> expect = seq("dbl([1, 2, 3, 4, 5], Out).");
   for (unsigned n : {1u, 2u, 4u}) {
-    AndpOptions o = agents(n);
+    EngineConfig o = agents(n);
     EXPECT_EQ(run("dbl([1, 2, 3, 4, 5], Out).", o).solutions, expect);
     o.lpco = o.shallow = o.pdo = true;
     EXPECT_EQ(run("dbl([1, 2, 3, 4, 5], Out).", o).solutions, expect);
@@ -110,7 +111,7 @@ mapl([H|T], [H2|T2]) :- tr(H, H2) & mapl(T, T2).
   ASSERT_EQ(expect.size(), 8u);
   for (unsigned n : {1u, 2u, 4u}) {
     for (bool opt : {false, true}) {
-      AndpOptions o = agents(n);
+      EngineConfig o = agents(n);
       o.lpco = o.shallow = o.pdo = opt;
       EXPECT_EQ(run("mapl([1, 2, 3], Out).", o).solutions, expect)
           << n << " agents, opts=" << opt;
@@ -129,7 +130,7 @@ pick(L, Out) :- mapl(L, Out), sum_list(Out, S), 0 =:= S mod 7.
   std::vector<std::string> expect = seq("pick([1, 2, 3, 4], Out).");
   for (unsigned n : {1u, 3u}) {
     for (bool opt : {false, true}) {
-      AndpOptions o = agents(n);
+      EngineConfig o = agents(n);
       o.lpco = o.shallow = o.pdo = opt;
       EXPECT_EQ(run("pick([1, 2, 3, 4], Out).", o).solutions, expect);
     }
@@ -153,7 +154,7 @@ fibp(N, F) :- N < 2, !, F = N.
 fibp(N, F) :- N1 is N - 1, N2 is N - 2,
     fibp(N1, F1) & fibp(N2, F2), F is F1 + F2.
 )PL");
-  AndpOptions o = agents(4);
+  EngineConfig o = agents(4);
   SolveResult a = run("fibp(10, F).", o, 1);
   SolveResult b = run("fibp(10, F).", o, 1);
   EXPECT_EQ(a.solutions, (std::vector<std::string>{"F = 55"}));
@@ -179,7 +180,7 @@ work(0) :- !.
 work(N) :- N1 is N - 1, work(N1).
 two :- work(200) & work(200).
 )PL");
-  SeqEngine eng(db);
+  Engine eng(db);
   std::uint64_t tseq = eng.solve("two.", 1).virtual_time;
   std::uint64_t tpar = run("two.", agents(1), 1).virtual_time;
   EXPECT_GT(tpar, tseq);  // parallel machinery costs something
@@ -188,14 +189,14 @@ two :- work(200) & work(200).
 
 TEST_F(AndpTest, MarkersAllocatedWithoutShallow) {
   db.consult("m2 :- (1 =:= 1) & (2 =:= 2).");
-  AndpOptions o = agents(2);
+  EngineConfig o = agents(2);
   SolveResult r = run("m2.", o, 1);
   EXPECT_GT(r.stats.input_markers, 0u);
 }
 
 TEST_F(AndpTest, ShallowSkipsMarkersForDeterministicSlots) {
   db.consult("m2 :- (1 =:= 1) & (2 =:= 2).");
-  AndpOptions o = agents(2);
+  EngineConfig o = agents(2);
   o.shallow = true;
   SolveResult r = run("m2.", o, 1);
   EXPECT_EQ(r.stats.input_markers, 0u);
@@ -208,7 +209,7 @@ TEST_F(AndpTest, ShallowMaterializesMarkerOnChoicePoint) {
 nd(1). nd(2).
 m2(X) :- nd(X) & (2 =:= 2).
 )PL");
-  AndpOptions o = agents(1);
+  EngineConfig o = agents(1);
   o.shallow = true;
   SolveResult r = run("m2(X).", o);
   // The nondeterministic slot needs its input marker after all.
@@ -221,19 +222,19 @@ TEST_F(AndpTest, LpcoMergesRecursiveParcalls) {
 dbl([], []).
 dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
 )PL");
-  AndpOptions o = agents(2);
+  EngineConfig o = agents(2);
   o.lpco = true;
   SolveResult r = run("dbl([1, 2, 3, 4, 5, 6], Out).", o, 1);
   EXPECT_GE(r.stats.lpco_merges, 4u);
   // Flattening: far fewer parcall frames than without.
-  AndpOptions off = agents(2);
+  EngineConfig off = agents(2);
   SolveResult r0 = run("dbl([1, 2, 3, 4, 5, 6], Out).", off, 1);
   EXPECT_LT(r.stats.parcall_frames, r0.stats.parcall_frames);
 }
 
 TEST_F(AndpTest, PdoMergesAdjacentSlotsOnOneAgent) {
   db.consult("m3 :- (1 =:= 1) & (2 =:= 2) & (3 =:= 3).");
-  AndpOptions o = agents(1);
+  EngineConfig o = agents(1);
   o.pdo = true;
   SolveResult r = run("m3.", o, 1);
   // On one agent every next slot is sequentially adjacent.
@@ -247,8 +248,8 @@ dbl([], []).
 dbl([H|T], [H2|T2]) :- H2 is H * 2 & dbl(T, T2).
 )PL");
   std::string q = "dbl([1,2,3,4,5,6,7,8,9,10,11,12], Out).";
-  AndpOptions off = agents(1);
-  AndpOptions on = agents(1);
+  EngineConfig off = agents(1);
+  EngineConfig on = agents(1);
   on.lpco = on.shallow = on.pdo = true;
   EXPECT_LT(run(q, on, 1).virtual_time, run(q, off, 1).virtual_time);
 }

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 
 namespace ace {
 namespace {
@@ -14,15 +14,15 @@ class BuiltinTest : public ::testing::Test {
 
   std::vector<std::string> solve(const std::string& q,
                                  std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
   bool succeeds(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.succeeds(q);
   }
   std::string output_of(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, 1).output;
   }
 
@@ -183,6 +183,20 @@ TEST_F(BuiltinTest, AssertRule) {
   db.consult(":- dynamic dbl/2.");
   EXPECT_EQ(solve("assert((dbl(X, Y) :- Y is X * 2)), dbl(21, R)."),
             (std::vector<std::string>{"R = 42"}));
+}
+
+TEST_F(BuiltinTest, SnapshotRefresh) {
+  // snapshot_refresh/0: re-pins the worker's epoch snapshot. Semantically
+  // transparent — succeeds once, binds nothing, reads see every update
+  // published before the call.
+  db.consult(":- dynamic sr/1.");
+  EXPECT_TRUE(succeeds("snapshot_refresh."));
+  EXPECT_EQ(solve("assert(sr(7)), snapshot_refresh, sr(X)."),
+            (std::vector<std::string>{"X = 7"}));
+  // Still deterministic under backtracking pressure.
+  EXPECT_EQ(solve("assert(sr(1)), assert(sr(2)), snapshot_refresh, "
+                  "findall(X, sr(X), L)."),
+            (std::vector<std::string>{"L = [7,1,2]"}));
 }
 
 TEST_F(BuiltinTest, Retract) {

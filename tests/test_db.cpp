@@ -70,10 +70,11 @@ TEST_F(DbTest, StructKeyIncludesArity) {
 
 TEST_F(DbTest, RetractTombstonesAndGeneration) {
   db.consult("d(1). d(2). d(3).");
-  Predicate* p = db.find_mutable(db.syms().intern("d"), 1);
+  const Predicate* p = pred("d", 1);
   std::uint64_t gen = p->generation();
-  p->retract_clause(1);
+  EXPECT_TRUE(db.retract_clause(db.syms().intern("d"), 1, /*ordinal=*/1));
   EXPECT_GT(p->generation(), gen);
+  EXPECT_FALSE(db.retract_clause(db.syms().intern("d"), 1, /*ordinal=*/1));
   IndexKey any{IndexKey::Kind::AnyCall, 0};
   EXPECT_EQ(p->candidates(any), (std::vector<std::uint32_t>{0, 2}));
   EXPECT_TRUE(p->clause(1).retracted);

@@ -1,0 +1,327 @@
+// Concurrency contract of the epoch-reclaimed clause database.
+//
+// Covers the db::Snapshot read API end to end: readers pinning snapshots
+// against concurrent writers (run under TSan/ASan in CI), stability of a
+// pinned PredIndex view across publications, epoch reclamation draining
+// the limbo list exactly when the last pin releases, the precision of the
+// implicit StaticFacts invalidation and of TableSpace dependency
+// invalidation (mutating p/N must not touch facts or tables that do not
+// depend on p/N), and the hook-reentrancy guarantee: a change hook runs
+// outside the writer lock and may call back into any Database entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/static_facts.hpp"
+#include "db/database.hpp"
+#include "db/snapshot.hpp"
+#include "parse/parser.hpp"
+#include "tab/table_space.hpp"
+
+namespace ace {
+namespace {
+
+TermTemplate tt(Database& db, const std::string& src) {
+  return parse_term_text(db.syms(), src);
+}
+
+// ---------------------------------------------------------------------------
+// Readers vs writers: snapshots are never torn.
+
+// Reader threads hammer find() + one view() per iteration while the main
+// thread asserts and retracts. Every invariant violation is recorded in an
+// atomic flag (gtest macros are not reliable off the main thread); memory
+// safety of the retired versions is what ASan/TSan check in CI.
+TEST(DbConcurrentTest, ReadersNeverTearWhileWritersPublish) {
+  Database db;
+  db.consult("p(0, seed).");
+  const std::uint32_t psym = db.syms().intern("p");
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> reads{0};
+
+  const unsigned kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (unsigned t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      db::Snapshot snap(db);
+      const IndexKey any{IndexKey::Kind::AnyCall, 0};
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Predicate* p = snap.find(psym, 2);
+        if (p == nullptr) {
+          ok.store(false);
+          break;
+        }
+        // One view per scoped operation: candidates, clause access and the
+        // generation must all be mutually consistent within it.
+        const PredIndex& ix = snap.view(*p);
+        const std::vector<std::uint32_t>& cand = ix.candidates(any);
+        std::uint32_t prev = 0;
+        bool first = true;
+        for (std::uint32_t o : cand) {
+          if (o >= ix.num_clauses() || (!first && o <= prev)) {
+            ok.store(false);
+            break;
+          }
+          const Clause& c = ix.clause(o);
+          if (c.retracted || c.head_sym != psym || c.head_arity != 2) {
+            ok.store(false);
+            break;
+          }
+          prev = o;
+          first = false;
+        }
+        // Registry enumeration races the writer's root swaps too.
+        const std::size_t n = snap.num_predicates();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (snap.predicate_at(i) == nullptr) ok.store(false);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+        snap.refresh();  // safe point: all references above are dead
+      }
+    });
+  }
+
+  // Writer: grow p/2, tombstone every third clause, and register brand-new
+  // predicates so the registry root is republished as well.
+  std::uint32_t last_ordinal = 0;
+  for (int i = 1; i <= 300; ++i) {
+    db.add_clause(tt(db, "p(" + std::to_string(i) + ", v)."));
+    ++last_ordinal;
+    if (i % 3 == 0) db.retract_clause(psym, 2, last_ordinal - 1);
+    if (i % 50 == 0) db.consult("extra_" + std::to_string(i) + "(x).");
+  }
+
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(reads.load(), 0u);
+  // With every pin gone, one more publication reclaims all retired
+  // versions.
+  db.add_clause(tt(db, "p(999, tail)."));
+  EXPECT_EQ(db.limbo_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot stability: a pinned view is immutable across publications.
+
+TEST(DbConcurrentTest, PinnedViewSurvivesPublications) {
+  Database db;
+  db.consult("s(1). s(2).");
+  const Predicate* p = db.find(db.syms().intern("s"), 1);
+  ASSERT_NE(p, nullptr);
+
+  db::Snapshot snap(db);
+  const PredIndex& old_ix = snap.view(*p);
+  const std::uint64_t old_gen = old_ix.generation();
+  ASSERT_EQ(old_ix.num_clauses(), 2u);
+
+  db.add_clause(tt(db, "s(3)."));
+  db.add_clause(tt(db, "s(4)."));
+
+  // The retired version is parked behind our pin: still allocated and
+  // bit-for-bit what it was at publication time.
+  const IndexKey any{IndexKey::Kind::AnyCall, 0};
+  EXPECT_EQ(old_ix.generation(), old_gen);
+  EXPECT_EQ(old_ix.num_clauses(), 2u);
+  EXPECT_EQ(old_ix.candidates(any), (std::vector<std::uint32_t>{0, 1}));
+
+  // A fresh view through the same (still-pinned) snapshot sees the latest
+  // published state — a pin buys memory validity, not staleness.
+  const PredIndex& new_ix = snap.view(*p);
+  EXPECT_EQ(new_ix.num_clauses(), 4u);
+  EXPECT_GT(new_ix.generation(), old_gen);
+
+  EXPECT_GE(db.limbo_size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch reclamation: limbo drains exactly when the last pin releases.
+
+TEST(DbConcurrentTest, EpochReclamationDrainsWhenLastPinReleases) {
+  Database db;
+  db.consult("e(0).");
+  const std::size_t live0 = PredIndex::live_count();
+  // No pinned reader: every publication reclaims its own retired version.
+  EXPECT_EQ(db.limbo_size(), 0u);
+
+  {
+    db::Snapshot snap(db);
+    for (int i = 1; i <= 8; ++i)
+      db.add_clause(tt(db, "e(" + std::to_string(i) + ")."));
+    // All eight retired versions are held alive by the pin.
+    EXPECT_EQ(db.limbo_size(), 8u);
+    EXPECT_EQ(PredIndex::live_count(), live0 + 8);
+
+    // refresh() moves the pin past the retired epochs; the next
+    // publication may then free them.
+    snap.refresh();
+    db.add_clause(tt(db, "e(100)."));
+    EXPECT_EQ(db.limbo_size(), 1u);  // only the newest retiree remains
+  }
+
+  // Pin fully released: the next publication drains the limbo list and the
+  // live-version count returns to one per predicate.
+  db.add_clause(tt(db, "e(101)."));
+  EXPECT_EQ(db.limbo_size(), 0u);
+  EXPECT_EQ(PredIndex::live_count(), live0);
+}
+
+// ---------------------------------------------------------------------------
+// StaticFacts invalidation precision: only the mutated predicate's facts
+// are dropped (a fresh PredIndex starts with a zero facts word).
+
+TEST(DbConcurrentTest, StaticFactsInvalidationIsPerPredicate) {
+  Database db;
+  db.consult("p(1). p(2). q(a). q(b).");
+  compute_static_facts(db);
+
+  const Predicate* p = db.find(db.syms().intern("p"), 1);
+  const Predicate* q = db.find(db.syms().intern("q"), 1);
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(q, nullptr);
+  ASSERT_TRUE(p->static_facts() & StaticFacts::kValid);
+  ASSERT_TRUE(q->static_facts() & StaticFacts::kValid);
+  const std::uint32_t q_bits = q->static_facts();
+
+  // Assert into p/1: p's facts are implicitly invalidated, q's survive.
+  db.add_clause(tt(db, "p(3)."));
+  EXPECT_EQ(p->static_facts(), 0u);
+  EXPECT_EQ(q->static_facts(), q_bits);
+
+  // Same for retract.
+  compute_static_facts(db);
+  ASSERT_TRUE(p->static_facts() & StaticFacts::kValid);
+  EXPECT_TRUE(db.retract_clause(db.syms().intern("p"), 1, 2));
+  EXPECT_EQ(p->static_facts(), 0u);
+  EXPECT_EQ(q->static_facts(), q_bits);
+}
+
+// ---------------------------------------------------------------------------
+// TableSpace invalidation precision: mutating a dependency drops exactly
+// the tables derived from it.
+
+TEST(DbConcurrentTest, TableInvalidationIsPerDependency) {
+  Database db;
+  db.consult("edge(1, 2). link(a, b).");
+  tab::TableSpace space(&db);
+
+  auto table_on = [&](const std::string& key, const char* dep) {
+    auto t = std::make_shared<tab::CompletedTable>();
+    t->key = key;
+    t->sym = db.syms().intern(key.substr(0, key.find('(')));
+    t->arity = 2;
+    const std::uint32_t dsym = db.syms().intern(dep);
+    const Predicate* dp = db.find(dsym, 2);
+    t->deps.push_back(tab::TableDep{dsym, 2, dp->generation()});
+    return t;
+  };
+  space.insert(table_on("path(A,B)", "edge"));
+  space.insert(table_on("rel(A,B)", "link"));
+  ASSERT_EQ(space.stats().entries, 2u);
+
+  // Assert into edge/2: the change hook must drop the edge-dependent table
+  // and nothing else.
+  db.add_clause(tt(db, "edge(2, 3)."));
+  EXPECT_EQ(space.lookup("path(A,B)"), nullptr);
+  EXPECT_NE(space.lookup("rel(A,B)"), nullptr);
+  tab::TableSpace::Stats st = space.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.invalidations, 1u);
+
+  // Retract from link/2: now the link-dependent table goes too.
+  EXPECT_TRUE(db.retract_clause(db.syms().intern("link"), 2, 0));
+  EXPECT_EQ(space.lookup("rel(A,B)"), nullptr);
+  EXPECT_EQ(space.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hook reentrancy: change hooks run outside the writer lock, so a hook may
+// call straight back into the Database without deadlocking; the nested
+// mutation's event folds into the outer drain.
+
+TEST(DbConcurrentTest, HookCallingBackIntoDatabaseDoesNotDeadlock) {
+  Database db;
+  std::vector<std::pair<std::uint32_t, unsigned>> events;
+  std::atomic<int> fired{0};
+
+  const std::uint64_t id =
+      db.add_change_hook([&](std::uint32_t sym, unsigned arity) {
+        events.emplace_back(sym, arity);
+        if (fired.fetch_add(1) == 0) {
+          // Re-entrant mutation: would deadlock if hooks were dispatched
+          // under the writer lock.
+          db.add_clause(tt(db, "nested(1)."));
+          // The nested clause is already published (only its hook event is
+          // deferred), and snapshot reads are legal from inside a hook.
+          db::Snapshot snap(db);
+          const Predicate* n = snap.find(db.syms().intern("nested"), 1);
+          EXPECT_NE(n, nullptr);
+          if (n != nullptr) EXPECT_EQ(snap.view(*n).num_clauses(), 1u);
+        }
+      });
+
+  db.add_clause(tt(db, "outer(1)."));
+
+  // Both the outer and the nested mutation were dispatched, in order.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].first, db.syms().intern("outer"));
+  EXPECT_EQ(events[0].second, 1u);
+  EXPECT_EQ(events[1].first, db.syms().intern("nested"));
+  EXPECT_EQ(events[1].second, 1u);
+
+  db.remove_change_hook(id);
+  db.add_clause(tt(db, "outer(2)."));
+  EXPECT_EQ(events.size(), 2u);  // removed hooks never fire again
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent hooks: a writer thread mutating while another thread reads
+// through snapshots must keep the TableSpace hook path race-free (TSan).
+
+TEST(DbConcurrentTest, ConcurrentWritersWithTableSpaceHook) {
+  Database db;
+  db.consult("base(0).");
+  tab::TableSpace space(&db);
+  const std::uint32_t bsym = db.syms().intern("base");
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    db::Snapshot snap(db);
+    const IndexKey any{IndexKey::Kind::AnyCall, 0};
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Predicate* p = snap.find(bsym, 1);
+      if (p != nullptr) (void)snap.view(*p).candidates(any).size();
+      snap.refresh();
+    }
+  });
+
+  for (int i = 1; i <= 200; ++i) {
+    auto t = std::make_shared<tab::CompletedTable>();
+    t->key = "k" + std::to_string(i);
+    t->sym = bsym;
+    t->arity = 1;
+    t->deps.push_back(tab::TableDep{bsym, 1, 0});
+    space.insert(std::move(t));
+    db.add_clause(tt(db, "base(" + std::to_string(i) + ")."));
+  }
+
+  stop.store(true);
+  reader.join();
+
+  // Every insert was invalidated by the very next assert.
+  tab::TableSpace::Stats st = space.stats();
+  EXPECT_EQ(st.inserts, 200u);
+  EXPECT_EQ(st.invalidations, 200u);
+  EXPECT_EQ(st.entries, 0u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 #include "support/rng.hpp"
 #include "support/strutil.hpp"
 #include "workloads/harness.hpp"
@@ -15,11 +15,11 @@ class EdgeTest : public ::testing::Test {
 
   std::vector<std::string> solve(const std::string& q,
                                  std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
   bool succeeds(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.succeeds(q);
   }
 
@@ -82,7 +82,7 @@ TEST_F(EdgeTest, RepeatedSolveOnSameDatabase) {
 
 TEST_F(EdgeTest, AssertAcrossSolves) {
   db.consult(":- dynamic seen/1.");
-  SeqEngine eng(db);
+  Engine eng(db);
   EXPECT_EQ(eng.solve("assert(seen(1)).", 1).solutions.size(), 1u);
   EXPECT_EQ(eng.solve("findall(X, seen(X), L).", 1).solutions,
             (std::vector<std::string>{"L = [1]"}));
@@ -130,9 +130,10 @@ TEST(PerAgentReport, CoversAllAgents) {
   Database db;
   load_library(db);
   db.consult(w.source);
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   SolveResult r = m.solve(w.small_query, 1);
   ASSERT_EQ(r.per_agent.size(), 4u);
   ASSERT_EQ(r.agent_clocks.size(), 4u);
@@ -156,9 +157,10 @@ TEST(PerAgentReport, WorkIsActuallyDistributed) {
   Database db;
   load_library(db);
   db.consult(workload("takeuchi").source);
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   SolveResult r = m.solve("takeuchi(8, 4, 0, A).", 1);
   int busy = 0;
   for (const Counters& c : r.per_agent) {

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 
 namespace ace {
 namespace {
@@ -12,11 +12,11 @@ class ExceptionTest : public ::testing::Test {
 
   std::vector<std::string> solve(const std::string& q,
                                  std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
   bool succeeds(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.succeeds(q);
   }
 

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 #include "workloads/harness.hpp"
 
 namespace ace {
@@ -13,11 +13,11 @@ class HigherOrderTest : public ::testing::Test {
 
   std::vector<std::string> solve(const std::string& q,
                                  std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
   bool succeeds(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.succeeds(q);
   }
 
@@ -92,10 +92,11 @@ dbl(X, Y) :- Y is X * 2.
 trip(X, Y) :- Y is X * 3.
 both(L, A, B) :- maplist(dbl, L, A) & maplist(trip, L, B).
 )PL");
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 3;
   o.lpco = o.shallow = o.pdo = true;
-  AndpMachine m(pdb, o);
+  Engine m(pdb, o);
   EXPECT_EQ(m.solve("both([1, 2], A, B).").solutions,
             (std::vector<std::string>{"A = [2,4], B = [3,6]"}));
 }

@@ -168,6 +168,68 @@ TEST(Lint, Apl007QuietOnDeterminateAndExclusiveRecursion) {
   EXPECT_EQ(lint(flat).sink.count_code("APL007"), 0u);
 }
 
+TEST(Lint, Apl008FiresOnParallelAssertReadWithoutRefresh) {
+  // The seeded bug: one '&' branch asserts into a dynamic predicate that a
+  // parallel sibling reads. The sibling reads through an epoch-pinned
+  // snapshot, so whether it observes the new clause depends on agent
+  // scheduling.
+  const std::string src =
+      ":- dynamic fact/1.\n"
+      "fact(0).\n"
+      "run(X) :- assert(fact(1)) & fact(X).\n";
+  LintReport rep = lint(src);
+  EXPECT_EQ(rep.sink.count_code("APL008"), 1u);
+  bool found = false;
+  for (const Diagnostic& d : rep.sink.all()) {
+    if (d.code != "APL008") continue;
+    found = true;
+    EXPECT_EQ(d.predicate, "run/1");
+    // The message carries the fixit idiom.
+    EXPECT_NE(d.message.find("snapshot_refresh/0"), std::string::npos)
+        << d.message;
+    EXPECT_NE(d.message.find("fact/1"), std::string::npos) << d.message;
+  }
+  EXPECT_TRUE(found);
+  // retract into the sibling-read predicate fires identically.
+  const std::string retract_src =
+      ":- dynamic fact/1.\n"
+      "fact(0).\n"
+      "run(X) :- retract(fact(0)) & fact(X).\n";
+  EXPECT_EQ(lint(retract_src).sink.count_code("APL008"), 1u);
+}
+
+TEST(Lint, Apl008SilencedByRefreshIdiom) {
+  // The documented idiom: the reading goal starts with snapshot_refresh/0.
+  const std::string src =
+      ":- dynamic fact/1.\n"
+      "fact(0).\n"
+      "run(X) :- assert(fact(1)) & (snapshot_refresh, fact(X)).\n";
+  EXPECT_EQ(lint(src).sink.count_code("APL008"), 0u);
+}
+
+TEST(Lint, Apl008QuietWithoutDynamicOrParallelRead) {
+  // Not declared dynamic: assert is a (runtime) bug of a different kind,
+  // not a snapshot-ordering hazard the lint owns.
+  const std::string not_dynamic =
+      "fact(0).\n"
+      "run(X) :- assert(fact(1)) & fact(X).\n";
+  EXPECT_EQ(lint(not_dynamic).sink.count_code("APL008"), 0u);
+  // No sibling reads the mutated predicate: nothing to mis-order.
+  const std::string no_read =
+      ":- dynamic fact/1.\n"
+      "fact(0).\n"
+      "other(1).\n"
+      "run(X) :- assert(fact(1)) & other(X).\n";
+  EXPECT_EQ(lint(no_read).sink.count_code("APL008"), 0u);
+  // Sequential assert-then-read is ordered by the worker's own step
+  // refresh: no warning outside '&'.
+  const std::string sequential =
+      ":- dynamic fact/1.\n"
+      "fact(0).\n"
+      "run(X) :- assert(fact(1)), fact(X).\n";
+  EXPECT_EQ(lint(sequential).sink.count_code("APL008"), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Shipped workloads are lint-clean under their real queries.
 // ---------------------------------------------------------------------------

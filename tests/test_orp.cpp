@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "builtins/lib.hpp"
-#include "orp/machine.hpp"
+#include "engine/engine.hpp"
 
 namespace ace {
 namespace {
@@ -19,14 +19,15 @@ class OrpTest : public ::testing::Test {
 
   SolveResult run(const std::string& q, unsigned agents, bool lao = false,
                   std::size_t max = SIZE_MAX) {
-    OrpOptions o;
+    EngineConfig o;
+    o.mode = EngineMode::Orp;
     o.agents = agents;
     o.lao = lao;
-    OrpMachine m(db, o);
+    Engine m(db, o);
     return m.solve(q, max);
   }
   std::vector<std::string> seq(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q).solutions;
   }
 

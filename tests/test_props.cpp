@@ -45,25 +45,27 @@ walk([H|T], [H2|T2]) :- digit(H, H2) & walk(T, T2).
   load_library(db);
   db.consult(src);
 
-  SeqEngine seq(db);
+  Engine seq(db);
   std::vector<std::string> expect = seq.solve("go(Out).").solutions;
 
   for (unsigned agents : {1u, 3u}) {
     for (bool opts : {false, true}) {
-      AndpOptions o;
+      EngineConfig o;
+      o.mode = EngineMode::Andp;
       o.agents = agents;
       o.lpco = o.shallow = o.pdo = opts;
-      AndpMachine m(db, o);
+      Engine m(db, o);
       EXPECT_EQ(m.solve("go(Out).").solutions, expect)
           << "agents=" << agents << " opts=" << opts << "\n"
           << src;
     }
   }
   for (bool lao : {false, true}) {
-    OrpOptions o;
+    EngineConfig o;
+    o.mode = EngineMode::Orp;
     o.agents = 3;
     o.lao = lao;
-    OrpMachine m(db, o);
+    Engine m(db, o);
     EXPECT_EQ(sorted(m.solve("go(Out).").solutions), sorted(expect))
         << "lao=" << lao << "\n"
         << src;
@@ -108,10 +110,11 @@ perm_ok(L, S) :- length(L, N), length(S, N),
 
   std::string q = strf("qsort(%s, S), sorted_ok(S), perm_ok(%s, S).",
                        list.c_str(), list.c_str());
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
   o.lpco = o.shallow = o.pdo = true;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   EXPECT_EQ(m.solve(q, 1).solutions.size(), 1u) << list;
 }
 
@@ -165,10 +168,11 @@ TEST(FailureInjection, ResolutionLimitAndp) {
   Database db;
   load_library(db);
   db.consult("spin :- spin & spin.");
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 2;
   o.resolution_limit = 5000;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   EXPECT_THROW(m.solve("spin.", 1), AceError);
 }
 
@@ -176,10 +180,11 @@ TEST(FailureInjection, ResolutionLimitOrp) {
   Database db;
   load_library(db);
   db.consult("spin :- spin.\nspin :- spin.");
-  OrpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Orp;
   o.agents = 2;
   o.resolution_limit = 5000;
-  OrpMachine m(db, o);
+  Engine m(db, o);
   EXPECT_THROW(m.solve("spin.", 1), AceError);
 }
 
@@ -187,9 +192,10 @@ TEST(FailureInjection, TypeErrorSurfacesFromParallelGoal) {
   Database db;
   load_library(db);
   db.consult("bad :- (X is foo) & true.");
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 2;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   EXPECT_THROW(m.solve("bad.", 1), AceError);
 }
 

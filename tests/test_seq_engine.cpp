@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "engine/seq_engine.hpp"
+#include "engine/engine.hpp"
 
 namespace ace {
 namespace {
@@ -12,11 +12,11 @@ class SeqEngineTest : public ::testing::Test {
 
   std::vector<std::string> solve(const std::string& q,
                                  std::size_t max = SIZE_MAX) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.solve(q, max).solutions;
   }
   bool succeeds(const std::string& q) {
-    SeqEngine eng(db);
+    Engine eng(db);
     return eng.succeeds(q);
   }
 
@@ -146,9 +146,9 @@ TEST_F(SeqEngineTest, UndefinedPredicateThrows) {
 
 TEST_F(SeqEngineTest, ResolutionLimitStopsRunaway) {
   db.consult("loop :- loop.");
-  WorkerOptions opts;
+  EngineConfig opts;
   opts.resolution_limit = 10000;
-  SeqEngine eng(db, opts);
+  Engine eng(db, opts);
   EXPECT_THROW(eng.solve("loop.", 1), AceError);
 }
 
@@ -174,7 +174,7 @@ TEST_F(SeqEngineTest, IndexingAvoidsChoicePoints) {
   db.consult(R"PL(
 kind(1, one). kind(2, two). kind(3, three).
 )PL");
-  SeqEngine eng(db);
+  Engine eng(db);
   SolveResult r = eng.solve("kind(2, K).", SIZE_MAX);
   ASSERT_EQ(r.solutions.size(), 1u);
   // First-argument indexing selects a single clause: no choice point.
@@ -183,7 +183,7 @@ kind(1, one). kind(2, two). kind(3, three).
 
 TEST_F(SeqEngineTest, VirtualTimeGrowsWithWork) {
   db.consult("idle. busy :- numlist(1, 200, L), sum_list(L, _).");
-  SeqEngine eng(db);
+  Engine eng(db);
   std::uint64_t t_idle = eng.solve("idle.", 1).virtual_time;
   std::uint64_t t_busy = eng.solve("busy.", 1).virtual_time;
   EXPECT_GT(t_busy, t_idle * 10);
@@ -191,7 +191,7 @@ TEST_F(SeqEngineTest, VirtualTimeGrowsWithWork) {
 
 TEST_F(SeqEngineTest, StatsCountResolutions) {
   db.consult("cnt([]).\ncnt([_|T]) :- cnt(T).");
-  SeqEngine eng(db);
+  Engine eng(db);
   SolveResult r = eng.solve("numlist(1, 50, L), cnt(L).", 1);
   EXPECT_GE(r.stats.resolutions, 51u);
   EXPECT_GT(r.stats.heap_cells, 0u);

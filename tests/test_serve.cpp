@@ -110,8 +110,18 @@ TEST_F(ServeTest, CancelMidParcallAcrossOptimizationLevels) {
     EngineSession session(db, builtins, andp_cfg(4, v.shallow, v.pdo,
                                                  v.threads));
     std::thread canceller([&session] {
+      // run() resets the session token at query start, so under heavy
+      // scheduler load an early request can land before the reset and be
+      // wiped. The backstop deadline is armed right after that reset:
+      // once it is visible the reset is behind us and a cancel sticks.
+      while (!session.token().has_deadline()) {
+        std::this_thread::sleep_for(1ms);
+      }
       std::this_thread::sleep_for(20ms);
-      session.token().request_cancel();
+      while (session.token().cause() == StopCause::None) {
+        session.token().request_cancel();
+        std::this_thread::sleep_for(1ms);
+      }
     });
     QueryBudget budget;
     budget.deadline = kBackstop;  // safety net only; cancel should win

@@ -56,10 +56,11 @@ TEST(ThreadedAndpFailure, FailingQueryTerminates) {
   Database db;
   load_library(db);
   db.consult("bad :- (1 =:= 1) & (1 =:= 2).");
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
   o.use_threads = true;
-  AndpMachine m(db, o);
+  Engine m(db, o);
   EXPECT_TRUE(m.solve("bad.").solutions.empty());
 }
 
@@ -71,12 +72,13 @@ fibp(N, F) :- N < 2, !, F = N.
 fibp(N, F) :- N1 is N - 1, N2 is N - 2,
     fibp(N1, F1) & fibp(N2, F2), F is F1 + F2.
 )PL");
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
   o.use_threads = true;
   o.lpco = o.shallow = o.pdo = true;
   for (int i = 0; i < 5; ++i) {
-    AndpMachine m(db, o);
+    Engine m(db, o);
     EXPECT_EQ(m.solve("fibp(11, F).").solutions,
               (std::vector<std::string>{"F = 89"}));
   }

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "builtins/lib.hpp"
-#include "orp/machine.hpp"
+#include "engine/engine.hpp"
 #include "workloads/harness.hpp"
 
 namespace ace {
@@ -12,11 +12,12 @@ TEST(Trace, RecordsAndpEvents) {
   load_library(db);
   db.consult(workload("occur").source);
   Tracer tracer;
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 3;
   o.lpco = true;
-  o.tracer = &tracer;
-  AndpMachine m(db, o);
+  Engine m(db, o);
+  m.set_tracer(&tracer);
   SolveResult r = m.solve("occur(25, Cs).", 1);
   ASSERT_EQ(r.solutions.size(), 1u);
   ASSERT_GT(tracer.size(), 0u);
@@ -53,10 +54,11 @@ TEST(Trace, RecordsOrpSharing) {
   load_library(db);
   db.consult(workload("members").source);
   Tracer tracer;
-  OrpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Orp;
   o.agents = 4;
-  o.tracer = &tracer;
-  OrpMachine m(db, o);
+  Engine m(db, o);
+  m.set_tracer(&tracer);
   SolveResult r = m.solve("members(12, V, R).");
   EXPECT_EQ(r.solutions.size(), 12u);
   bool saw_share = false;
@@ -78,10 +80,11 @@ TEST(Trace, CsvAndTimelineRender) {
   load_library(db);
   db.consult(workload("takeuchi").source);
   Tracer tracer;
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 4;
-  o.tracer = &tracer;
-  AndpMachine m(db, o);
+  Engine m(db, o);
+  m.set_tracer(&tracer);
   m.solve("takeuchi(6, 4, 0, A).", 1);
 
   std::string csv = tracer.to_csv();
@@ -105,10 +108,11 @@ TEST(Trace, NullTracerCostsNothingAndChangesNothing) {
   load_library(db);
   db.consult(workload("matrix").source);
   Tracer tracer;
-  AndpOptions o;
+  EngineConfig o;
+  o.mode = EngineMode::Andp;
   o.agents = 3;
-  o.tracer = &tracer;
-  AndpMachine m(db, o);
+  Engine m(db, o);
+  m.set_tracer(&tracer);
   SolveResult b = m.solve(workload("matrix").small_query, 1);
   // Tracing must not perturb virtual time or results.
   EXPECT_EQ(a.virtual_time, b.virtual_time);

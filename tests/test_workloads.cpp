@@ -190,7 +190,7 @@ sorted_ok([]).
 sorted_ok([_]).
 sorted_ok([A, B|T]) :- A =< B, sorted_ok([B|T]).
 )PL");
-  SeqEngine eng(db);
+  Engine eng(db);
   EXPECT_TRUE(eng.succeeds("quick_sort(30, S), sorted_ok(S), length(S, 30)."));
 }
 
