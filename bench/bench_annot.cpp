@@ -1,0 +1,193 @@
+// bench_annot: auto-parallelizer quality benchmark behind BENCH_annot.json.
+//
+// The paper's benchmarks carry hand '&' annotations (the corpus in
+// src/workloads). This bench measures how much of that hand-tuned
+// and-parallel speedup the abstract-interpretation annotator
+// (analysis/annotate) recovers on its own. For every and-parallel workload
+// it runs three variants:
+//
+//   seq    '&'-stripped source (every '&' replaced by ','), sequential
+//          engine, 1 agent — the speedup baseline
+//   hand   the checked-in hand annotation, andp + LPCO/SHALLOW/PDO/LAO
+//   auto   ace_annotate's output over the stripped source (absint proof +
+//          CGE emission, entries = the benchmark query), same engine config
+//
+// and prints one `ATTRIB key=value` line per run (the bench pipeline wire
+// format — see bench_attrib.cpp). `auto` rows carry `recovery=` — the
+// auto/hand speedup ratio at that agent count. Virtual times come from the
+// deterministic simulator, so the lines are byte-stable across builds:
+//
+//   bench_annot | bench_to_json > BENCH_annot.json
+//   scripts/check_bench_regression.py BENCH_annot.json new.json
+//
+//   --quick           use each workload's reduced test query (CI smoke)
+//   --agents-list A,B,C   override the 1,5,10 ladder
+//   --check           exit non-zero unless auto-annotation recovers >= 80%
+//                     of the hand speedup at the top agent rung on >= 5
+//                     workloads (the acceptance bar for the annotator)
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/annotate.hpp"
+#include "support/strutil.hpp"
+#include "support/table.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace ace;
+
+std::vector<unsigned> parse_agents_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
+// Replaces every ' & ' with ', ': the corpus writes the parallel operator
+// with surrounding spaces, so this recovers the plain sequential program.
+std::string strip_annotations(std::string src) {
+  std::size_t at = 0;
+  while ((at = src.find(" & ", at)) != std::string::npos) {
+    src.replace(at, 3, ", ");
+  }
+  return src;
+}
+
+RunConfig andp_config(unsigned agents) {
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = agents;
+  cfg.lpco = cfg.shallow = cfg.pdo = cfg.lao = true;
+  return cfg;
+}
+
+std::string attrib_line(const std::string& name, const char* engine,
+                        unsigned agents, const RunOutcome& out,
+                        double speedup, double recovery) {
+  std::string line =
+      strf("ATTRIB name=%s engine=%s agents=%u vt=%llu speedup=%.4f",
+           name.c_str(), engine, agents,
+           (unsigned long long)out.virtual_time, speedup);
+  if (recovery >= 0.0) line += strf(" recovery=%.4f", recovery);
+  line += strf(" cge_checks=%llu", (unsigned long long)out.stats.cge_checks);
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    line += strf(" cat.%s=%llu", cost_cat_name(static_cast<CostCat>(i)),
+                 (unsigned long long)out.attrib.at[i]);
+  }
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  std::vector<unsigned> agents_list = {1, 5, 10};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--agents-list" && i + 1 < argc) {
+      agents_list = parse_agents_list(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_annot [--quick] [--check] "
+                   "[--agents-list 1,5,10]\n");
+      return 2;
+    }
+  }
+  if (agents_list.empty()) agents_list = {1, 5, 10};
+  const unsigned top = agents_list.back();
+
+  std::printf("==============================================================\n");
+  std::printf("Auto-annotation quality: hand '&' vs ace_annotate (absint+CGE)\n");
+  std::printf("Speedups vs the '&'-stripped sequential run%s\n\n",
+              quick ? "; quick (reduced) queries" : "");
+
+  TextTable table({"workload", "seq vt",
+                   strf("hand @%u", top), strf("auto @%u", top), "recovery"});
+
+  std::vector<std::string> lines;
+  std::size_t and_workloads = 0;
+  std::size_t recovered = 0;
+  for (const Workload& w : workloads()) {
+    if (!w.and_parallel) continue;
+    ++and_workloads;
+    const std::string& q = quick ? w.small_query : w.query;
+
+    Workload stripped = w;
+    stripped.source = strip_annotations(w.source);
+
+    SymbolTable syms;
+    AnnotateOptions aopts;
+    aopts.cge = true;
+    aopts.entries.push_back(q);
+    Workload autogen = w;
+    autogen.source = annotate_program(syms, stripped.source, aopts);
+
+    RunConfig seq_cfg;  // EngineKind::Seq, 1 agent
+    if (!w.all_solutions) seq_cfg.max_solutions = 1;
+    RunOutcome seq = run_workload(stripped, seq_cfg, q);
+    const double seq_vt = double(seq.virtual_time);
+    lines.push_back(
+        attrib_line(w.name + ".seq", "seq", 1, seq, 1.0, -1.0));
+
+    double hand_top = 0.0;
+    double auto_top = 0.0;
+    for (unsigned agents : agents_list) {
+      RunConfig cfg = andp_config(agents);
+      if (!w.all_solutions) cfg.max_solutions = 1;
+
+      RunOutcome hand = run_workload(w, cfg, q);
+      const double hand_speedup =
+          hand.virtual_time == 0 ? 0.0 : seq_vt / double(hand.virtual_time);
+      lines.push_back(attrib_line(w.name + ".hand", "andp", agents, hand,
+                                  hand_speedup, -1.0));
+
+      RunOutcome autod = run_workload(autogen, cfg, q);
+      const double auto_speedup =
+          autod.virtual_time == 0 ? 0.0 : seq_vt / double(autod.virtual_time);
+      const double recovery =
+          hand_speedup == 0.0 ? 1.0 : auto_speedup / hand_speedup;
+      lines.push_back(attrib_line(w.name + ".auto", "andp", agents, autod,
+                                  auto_speedup, recovery));
+
+      if (agents == top) {
+        hand_top = hand_speedup;
+        auto_top = auto_speedup;
+      }
+    }
+
+    const double recovery_top =
+        hand_top == 0.0 ? 1.0 : auto_top / hand_top;
+    if (recovery_top >= 0.80) ++recovered;
+    table.add_row({w.name, strf("%llu", (unsigned long long)seq.virtual_time),
+                   strf("%.2fx", hand_top), strf("%.2fx", auto_top),
+                   strf("%.0f%%", 100.0 * recovery_top)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  for (const std::string& l : lines) std::printf("%s\n", l.c_str());
+
+  std::printf("\n%zu/%zu and-parallel workloads recover >= 80%% of the "
+              "hand-annotated speedup at %u agents\n",
+              recovered, and_workloads, top);
+  if (check && recovered < 5) {
+    std::fprintf(stderr,
+                 "bench_annot --check: FAIL — only %zu workloads recover "
+                 ">= 80%% (need >= 5)\n",
+                 recovered);
+    return 1;
+  }
+  if (check) std::printf("bench_annot --check: OK\n");
+  return 0;
+}

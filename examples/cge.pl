@@ -1,0 +1,18 @@
+% A Conditional Graph Expression, as emitted by `ace_annotate --cge`: at
+% compile time mk/1 may exit with its argument ground or unbound, so goal
+% independence is undecidable. The runtime ground/1 guard (charged to the
+% cge_check cost category) picks the parallel branch exactly when it is
+% safe; the else branch is the unchanged sequential conjunction.
+%
+%   ace_annotate --cge --entry 'main(A).' examples/cge.pl
+%   ace_run --engine andp --agents 4 --all-opts --stats examples/cge.pl \
+%       'main(A).'
+mk(a).
+mk(_).
+q(a).
+q(b).
+r(a).
+r(b).
+main(A) :-
+    mk(A),
+    (ground(A) -> q(A) & r(A) ; q(A), r(A)).

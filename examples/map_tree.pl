@@ -1,0 +1,10 @@
+% Independent and-parallel tree map: the two subtree recursions share no
+% variable once the input tree is ground, so they run under one '&' group.
+%
+%   ace_run --engine andp --agents 4 --all-opts examples/map_tree.pl \
+%       'main(T).'
+%   ace_lint --entry 'main(T).' examples/map_tree.pl
+tr(leaf(N), leaf(M)) :- M is N * N.
+tr(node(L, R), node(L2, R2)) :- tr(L, L2) & tr(R, R2).
+main(Out) :-
+    tr(node(node(leaf(1), leaf(2)), node(leaf(3), leaf(4))), Out).

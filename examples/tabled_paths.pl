@@ -1,0 +1,14 @@
+% Tabled transitive closure: without the directive, APL007 flags path/2
+% (directly recursive, not provably determinate -> exponential re-derivation
+% under backtracking). `ace_lint --fix` inserts the directive automatically.
+%
+%   ace_lint --Werror --pedantic examples/tabled_paths.pl
+%   ace_run --engine orp --agents 4 --lao examples/tabled_paths.pl \
+%       'path(a, X).'
+:- table path/2.
+edge(a, b).
+edge(b, c).
+edge(c, d).
+edge(b, d).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).

@@ -545,6 +545,28 @@ bool AbstractInterpreter::exec_builtin(AbsState& st, const TermTemplate& tmpl,
       ground_term(st, tmpl, arg(1));
       return true;
     }
+    case BuiltinId::Indep: {
+      // indep(A, B) succeeds exactly when A and B reach no common unbound
+      // variable at call time. Success therefore (a) grounds every
+      // variable occurring on both sides (a shared non-ground binding
+      // would be a common reachable variable), and (b) discharges every
+      // may-share pair across the two sides. This is the transfer that
+      // makes CGE then-branches APL001-clean by construction.
+      const std::vector<std::uint32_t> va = collect_template_vars(tmpl, arg(1));
+      const std::vector<std::uint32_t> vb = collect_template_vars(tmpl, arg(2));
+      for (std::uint32_t u : va) {
+        if (std::find(vb.begin(), vb.end(), u) == vb.end()) continue;
+        if (st.mode(u) == AbsMode::Free) return false;  // always fails
+        st.set_ground(u);
+      }
+      for (std::uint32_t u : va) {
+        for (std::uint32_t v : vb) {
+          if (u == v) continue;
+          st.share.erase({std::min(u, v), std::max(u, v)});
+        }
+      }
+      return true;
+    }
     case BuiltinId::Is:
       // Success implies the expression evaluated (all its variables bound to
       // ground arithmetic terms) and the left side unified with a number.

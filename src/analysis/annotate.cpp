@@ -1,8 +1,14 @@
 #include "analysis/annotate.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
 #include <set>
+#include <utility>
 
+#include "analysis/absint.hpp"
+#include "analysis/purity.hpp"
 #include "analysis/render.hpp"
 #include "parse/parser.hpp"
 #include "support/strutil.hpp"
@@ -81,11 +87,66 @@ GoalInfo goal_info(const SymbolTable& syms, const TermTemplate& tmpl,
   } else {
     g.name = "?";
   }
-  // Control constructs and tests never fork.
+  // Control constructs and tests never fork. This also makes the rewrite
+  // idempotent: an existing '&' chain or CGE is one comma-level conjunct,
+  // kept opaque and re-printed verbatim.
   g.builtin_like = is_arith_or_test(g.name, g.arity) || g.name == ";" ||
                    g.name == "->" || g.name == "," || g.name == "&";
   return g;
 }
+
+// Walks all goal positions of a body (the same descent as the linter) and
+// calls `fn(goal)` for each callable goal.
+void walk_goals(const SymbolTable& syms, const TermTemplate& tmpl, Cell c,
+                const std::function<void(Cell)>& fn) {
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (c.tag() == Tag::Atm) {
+    sym = c.symbol();
+  } else if (c.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[c.payload()];
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    return;  // variables / data
+  }
+  const SymbolTable::Known& k = syms.known();
+  const std::string& n = syms.name(sym);
+  if (arity == 2 && (sym == k.comma || sym == k.amp || sym == k.semicolon ||
+                     sym == k.arrow)) {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 2], fn);
+    return;
+  }
+  if (arity == 1 && (sym == k.naf || sym == k.call || n == "once")) {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    return;
+  }
+  if (arity == 3 && n == "findall") {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 2], fn);
+    fn(c);
+    return;
+  }
+  if (arity == 3 && n == "catch") {
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 1], fn);
+    walk_goals(syms, tmpl, tmpl.cells[c.payload() + 3], fn);
+    return;
+  }
+  fn(c);
+}
+
+// Renders a variable slot the way render_template does, so CGE guards name
+// the same variables the re-printed goals do.
+std::string var_text(const TermTemplate& tmpl, std::uint32_t slot) {
+  const std::string& n = tmpl.var_names[slot];
+  if (n == "_" || n.empty()) return strf("_V%u", slot);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy syntactic path (use_absint = false): groundness is approximated by
+// "bound by an arithmetic `is` earlier in the body"; independence is the
+// absence of shared non-ground variables.
 
 bool shares_unground_var(const GoalInfo& a, const GoalInfo& b,
                          const std::set<std::uint32_t>& ground) {
@@ -98,36 +159,17 @@ bool shares_unground_var(const GoalInfo& a, const GoalInfo& b,
   return false;
 }
 
-ClauseAnalysis analyze_clause(const SymbolTable& syms,
-                              const TermTemplate& tmpl,
-                              const AnnotateOptions& opts) {
-  ClauseAnalysis out;
-
-  // Split head/body (templates from the parser are not yet normalized).
-  Cell head = tmpl.root;
-  Cell body = atm_cell(syms.known().truesym);
-  if (tmpl.root.tag() == Tag::Str) {
-    const Cell f = tmpl.cells[tmpl.root.payload()];
-    if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
-      head = tmpl.cells[tmpl.root.payload() + 1];
-      body = tmpl.cells[tmpl.root.payload() + 2];
-    }
-  }
-  // The head sits left of xfx ':-' (priority 1200), so it may carry
-  // priority up to 1199.
-  out.head = render_template(syms, tmpl, head, 1199);
-
-  std::vector<Cell> conjuncts;
-  flatten_comma(syms, tmpl, body, conjuncts);
-  for (Cell c : conjuncts) out.goals.push_back(goal_info(syms, tmpl, c));
-
-  // Groundness approximation: the left-hand side of an `is` is ground after
-  // the goal runs (it is a fresh arithmetic result in all our corpora).
+void group_syntactic(const TermTemplate& tmpl,
+                     const std::vector<Cell>& conjuncts,
+                     const AnnotateOptions& opts, ClauseAnalysis& out) {
   std::set<std::uint32_t> ground;
-
   std::vector<std::size_t> group;
   auto close_group = [&]() {
-    if (!group.empty()) out.groups.push_back(group);
+    if (!group.empty()) {
+      ParGroup pg;
+      pg.goals = group;
+      out.par_groups.push_back(std::move(pg));
+    }
     group.clear();
   };
   for (std::size_t i = 0; i < out.goals.size(); ++i) {
@@ -160,31 +202,325 @@ ClauseAnalysis analyze_clause(const SymbolTable& syms,
     }
   }
   close_group();
+}
+
+// ---------------------------------------------------------------------------
+// Abstract-interpretation path.
+
+// Program-wide analysis context shared by all clauses.
+struct AbsContext {
+  AbsProgram prog;
+  PuritySummary purity;
+  std::optional<Builtins> builtins;
+  // The program defines its own indep/2 (which then takes precedence over
+  // the CGE-guard builtin at dispatch): never emit indep/2 checks, since
+  // they would call user code instead of the runtime independence test.
+  bool user_indep = false;
+  // Joined (over all reached call patterns) abstract state *before* each
+  // goal, keyed by (program clause index, goal cell).
+  std::map<std::pair<std::size_t, std::uint64_t>, AbsState> pre;
+};
+
+AbsContext build_abs_context(SymbolTable& syms, const std::string& source,
+                             const AnnotateOptions& opts) {
+  AbsContext ctx;
+  ctx.prog = AbsProgram::from_source(syms, source, /*include_library=*/true);
+  ctx.purity = analyze_purity(ctx.prog, syms);
+  ctx.builtins.emplace(syms);
+  ctx.user_indep = ctx.prog.defines(syms.intern("indep"), 2);
+
+  AbstractInterpreter interp(ctx.prog, syms);
+  if (!opts.entries.empty()) {
+    for (const std::string& q : opts.entries) {
+      TermTemplate query = parse_term_text(syms, q);
+      interp.analyze_entry(query);
+    }
+  } else {
+    // Root predicates (never called by another predicate; self-recursion
+    // does not count) under all-ground arguments — the benchmark-driver
+    // shape. This mirrors the linter's default entry set exactly, so the
+    // annotator's independence proofs cover every call pattern the
+    // linter's APL001 replay will examine.
+    std::set<PredKey> called;
+    for (const auto& ci : ctx.prog.clauses) {
+      if (ci.from_library) continue;
+      walk_goals(syms, ci.tmpl, ci.body, [&](Cell g) {
+        std::uint32_t sym = 0;
+        unsigned arity = 0;
+        if (g.tag() == Tag::Atm) {
+          sym = g.symbol();
+        } else if (g.tag() == Tag::Str) {
+          const Cell f = ci.tmpl.cells[g.payload()];
+          sym = f.fun_symbol();
+          arity = f.fun_arity();
+        } else {
+          return;
+        }
+        if (pred_key(sym, arity) != pred_key(ci.pred_sym, ci.pred_arity)) {
+          called.insert(pred_key(sym, arity));
+        }
+      });
+    }
+    std::set<PredKey> roots;
+    for (const auto& ci : ctx.prog.clauses) {
+      if (ci.from_library) continue;
+      const PredKey pk = pred_key(ci.pred_sym, ci.pred_arity);
+      if (called.count(pk) == 0) roots.insert(pk);
+    }
+    if (roots.empty()) {
+      for (const auto& ci : ctx.prog.clauses) {
+        if (!ci.from_library) {
+          roots.insert(pred_key(ci.pred_sym, ci.pred_arity));
+        }
+      }
+    }
+    for (PredKey pk : roots) {
+      const auto sym = static_cast<std::uint32_t>(pk >> 12);
+      const auto arity = static_cast<unsigned>(pk & 0xFFF);
+      interp.analyze_call(sym, arity, ArgPattern::all_ground(arity));
+    }
+  }
+
+  interp.report([&](std::size_t clause_idx, Cell goal, const AbsState& st) {
+    if (clause_idx == AbstractInterpreter::kEntryClause) return;
+    auto key = std::make_pair(clause_idx, goal.raw);
+    auto [it, fresh] = ctx.pre.emplace(key, st);
+    if (!fresh) it->second.join(st);
+  });
+  return ctx;
+}
+
+enum class IndepStatus { kYes, kConditional, kNo };
+
+// Independence of two goals under the abstract state at the group's fork
+// point. Blocking pairs of mode Any become runtime checks; a definitely
+// free shared variable means the check could never succeed, so the pair is
+// reported dependent outright.
+IndepStatus pair_status(const AbsContext& ctx, const AbsState& st,
+                        const TermTemplate& tmpl, const GoalInfo& a,
+                        const GoalInfo& b, std::vector<std::string>* checks) {
+  bool conditional = false;
+  for (std::uint32_t u : a.vars) {
+    for (std::uint32_t v : b.vars) {
+      if (u == v) {
+        if (st.is_ground(u)) continue;
+        if (st.mode(u) == AbsMode::Free) return IndepStatus::kNo;
+        conditional = true;
+        checks->push_back("ground(" + var_text(tmpl, u) + ")");
+      } else if (st.may_share(u, v) && !st.is_ground(u) && !st.is_ground(v)) {
+        if (ctx.user_indep) return IndepStatus::kNo;
+        conditional = true;
+        const std::uint32_t lo = std::min(u, v);
+        const std::uint32_t hi = std::max(u, v);
+        checks->push_back("indep(" + var_text(tmpl, lo) + ", " +
+                          var_text(tmpl, hi) + ")");
+      }
+    }
+  }
+  return conditional ? IndepStatus::kConditional : IndepStatus::kYes;
+}
+
+void group_absint(const AbsContext& ctx, std::size_t clause_idx,
+                  const TermTemplate& tmpl,
+                  const std::vector<Cell>& conjuncts,
+                  const AnnotateOptions& opts, ClauseAnalysis& out) {
+  auto pre_of = [&](Cell c) -> const AbsState* {
+    auto it = ctx.pre.find({clause_idx, c.raw});
+    return it == ctx.pre.end() ? nullptr : &it->second;
+  };
+
+  ParGroup cur;
+  const AbsState* start = nullptr;  // pre-state of the group's first member
+  auto close = [&]() {
+    if (!cur.goals.empty()) out.par_groups.push_back(std::move(cur));
+    cur = ParGroup{};
+    start = nullptr;
+  };
+
+  for (std::size_t i = 0; i < out.goals.size(); ++i) {
+    const GoalInfo& g = out.goals[i];
+    const AbsState* sti = pre_of(conjuncts[i]);
+    // Goals with observable effects never join a group and close the
+    // current one: side effects keep their sequential order. Clauses the
+    // entry analysis never reaches have no pre-states and stay sequential.
+    const bool eligible = (!g.builtin_like || !opts.skip_builtins) &&
+                          g.effects == 0 && sti != nullptr;
+    if (!eligible) {
+      close();
+      cur.goals.push_back(i);
+      close();
+      continue;
+    }
+    if (cur.goals.empty()) {
+      cur.goals.push_back(i);
+      start = sti;
+      if (g.builtin_like) close();
+      continue;
+    }
+    std::vector<std::string> checks;
+    IndepStatus status = IndepStatus::kYes;
+    bool member_builtin = false;
+    for (std::size_t j : cur.goals) {
+      if (out.goals[j].builtin_like) member_builtin = true;
+      const IndepStatus s =
+          pair_status(ctx, *start, tmpl, out.goals[j], g, &checks);
+      if (s == IndepStatus::kNo) {
+        status = IndepStatus::kNo;
+        break;
+      }
+      if (s == IndepStatus::kConditional) status = IndepStatus::kConditional;
+    }
+    if (member_builtin || status == IndepStatus::kNo ||
+        (status == IndepStatus::kConditional && !opts.cge)) {
+      close();
+      cur.goals.push_back(i);
+      start = sti;
+      if (g.builtin_like) close();
+      continue;
+    }
+    cur.goals.push_back(i);
+    for (std::string& c : checks) {
+      if (std::find(cur.checks.begin(), cur.checks.end(), c) ==
+          cur.checks.end()) {
+        cur.checks.push_back(std::move(c));
+      }
+    }
+    if (g.builtin_like) close();
+  }
+  close();
+}
+
+// ---------------------------------------------------------------------------
+
+// One analyzed source term, with everything needed to re-print it.
+struct AnalyzedTerm {
+  ClauseAnalysis ca;
+  const TermTemplate* tmpl = nullptr;
+  std::vector<Cell> conjuncts;
+};
+
+bool is_directive(const SymbolTable& syms, const TermTemplate& tmpl) {
+  if (tmpl.root.tag() != Tag::Str) return false;
+  const Cell f = tmpl.cells[tmpl.root.payload()];
+  return f.fun_symbol() == syms.known().neck && f.fun_arity() == 1;
+}
+
+AnalyzedTerm analyze_clause_term(const SymbolTable& syms,
+                                 const TermTemplate& tmpl,
+                                 const AnnotateOptions& opts,
+                                 const AbsContext* ctx,
+                                 std::size_t clause_idx) {
+  AnalyzedTerm out;
+  out.tmpl = &tmpl;
+
+  // Split head/body (templates from the parser are not yet normalized).
+  Cell head = tmpl.root;
+  Cell body = atm_cell(syms.known().truesym);
+  if (tmpl.root.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[tmpl.root.payload()];
+    if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
+      head = tmpl.cells[tmpl.root.payload() + 1];
+      body = tmpl.cells[tmpl.root.payload() + 2];
+    }
+  }
+  // The head sits left of xfx ':-' (priority 1200), so it may carry
+  // priority up to 1199.
+  out.ca.head = render_template(syms, tmpl, head, 1199);
+  if (ctx != nullptr) {
+    const AbsProgram::ClauseInfo& ci = ctx->prog.clauses[clause_idx];
+    out.ca.pred = strf("%s/%u", syms.name(ci.pred_sym).c_str(),
+                       ci.pred_arity);
+    out.ca.line = ci.span.line;
+    out.ca.col = ci.span.col;
+  }
+
+  flatten_comma(syms, tmpl, body, out.conjuncts);
+  for (Cell c : out.conjuncts) {
+    GoalInfo g = goal_info(syms, tmpl, c);
+    if (ctx != nullptr) {
+      g.effects = goal_effects(ctx->prog, syms, *ctx->builtins, ctx->purity,
+                               tmpl, c);
+    }
+    out.ca.goals.push_back(std::move(g));
+  }
+
+  if (ctx != nullptr) {
+    group_absint(*ctx, clause_idx, tmpl, out.conjuncts, opts, out.ca);
+  } else {
+    group_syntactic(tmpl, out.conjuncts, opts, out.ca);
+  }
+  for (const ParGroup& pg : out.ca.par_groups) {
+    out.ca.groups.push_back(pg.goals);
+  }
   return out;
 }
 
-std::string render_annotated(const SymbolTable& syms,
-                             const TermTemplate& tmpl,
-                             const ClauseAnalysis& ca,
-                             const std::vector<Cell>& conjuncts) {
+std::vector<AnalyzedTerm> analyze_impl(SymbolTable& syms,
+                                       const std::string& source,
+                                       const std::vector<TermTemplate>& tmpls,
+                                       const AnnotateOptions& opts,
+                                       const AbsContext* ctx) {
+  std::vector<AnalyzedTerm> out;
+  std::size_t clause_idx = 0;  // index into ctx->prog.clauses
+  (void)source;
+  for (const TermTemplate& tmpl : tmpls) {
+    if (is_directive(syms, tmpl)) {
+      AnalyzedTerm at;
+      at.tmpl = &tmpl;
+      at.ca.directive = true;
+      // A directive term carries priority 1200 (prefix ':-').
+      at.ca.head = render_template(syms, tmpl, tmpl.root, 1200);
+      out.push_back(std::move(at));
+      continue;
+    }
+    // AbsProgram skips directives, so non-directive templates line up with
+    // its program clauses in order. Analyze against the AbsProgram's own
+    // template: the observer's pre-states are keyed by its cells.
+    const TermTemplate& atmpl =
+        ctx != nullptr ? ctx->prog.clauses[clause_idx].tmpl : tmpl;
+    out.push_back(analyze_clause_term(syms, atmpl, opts, ctx, clause_idx));
+    ++clause_idx;
+  }
+  return out;
+}
+
+std::string render_annotated(const SymbolTable& syms, const AnalyzedTerm& at) {
+  const ClauseAnalysis& ca = at.ca;
+  if (ca.directive) return ca.head + ".";
   if (ca.goals.empty() ||
       (ca.goals.size() == 1 && ca.goals[0].name == "true" &&
        ca.goals[0].arity == 0)) {
     return ca.head + ".";
   }
+  const TermTemplate& tmpl = *at.tmpl;
   std::vector<std::string> parts;
-  for (const auto& grp : ca.groups) {
+  for (const ParGroup& grp : ca.par_groups) {
     // Members of a '&' group (xfy 975) may carry priority up to 974; a
     // lone conjunct of the ',' chain (xfy 1000) up to 999. This is what
-    // keeps ';'/'->' subterms parenthesized on re-print.
-    const int member_prec = grp.size() == 1 ? 999 : 974;
-    std::vector<std::string> members;
-    for (std::size_t idx : grp) {
-      members.push_back(
-          render_template(syms, tmpl, conjuncts[idx], member_prec));
+    // keeps ';'/'->' subterms parenthesized on re-print, and what makes a
+    // second annotation pass re-print '&' chains and CGEs byte-identically.
+    if (grp.goals.size() == 1) {
+      parts.push_back(
+          render_template(syms, tmpl, at.conjuncts[grp.goals[0]], 999));
+      continue;
     }
-    parts.push_back(members.size() == 1 ? members[0]
-                                        : join(members, " & "));
+    std::vector<std::string> members;
+    for (std::size_t idx : grp.goals) {
+      members.push_back(render_template(syms, tmpl, at.conjuncts[idx], 974));
+    }
+    const std::string amp = join(members, " & ");
+    if (grp.checks.empty()) {
+      parts.push_back(amp);
+      continue;
+    }
+    // Conditional Graph Expression: checks guard the parallel conjunction,
+    // the else branch preserves the sequential program.
+    std::vector<std::string> seq;
+    for (std::size_t idx : grp.goals) {
+      seq.push_back(render_template(syms, tmpl, at.conjuncts[idx], 999));
+    }
+    parts.push_back("(" + join(grp.checks, ", ") + " -> " + amp + " ; " +
+                    join(seq, ", ") + ")");
   }
   return ca.head + " :-\n    " + join(parts, ",\n    ") + ".";
 }
@@ -194,29 +530,28 @@ std::string render_annotated(const SymbolTable& syms,
 std::vector<ClauseAnalysis> analyze_program(SymbolTable& syms,
                                             const std::string& source,
                                             const AnnotateOptions& opts) {
+  std::vector<TermTemplate> tmpls = parse_program(syms, source);
+  AbsContext ctx;
+  if (opts.use_absint) ctx = build_abs_context(syms, source, opts);
   std::vector<ClauseAnalysis> out;
-  for (const TermTemplate& tmpl : parse_program(syms, source)) {
-    out.push_back(analyze_clause(syms, tmpl, opts));
+  for (AnalyzedTerm& at :
+       analyze_impl(syms, source, tmpls, opts,
+                    opts.use_absint ? &ctx : nullptr)) {
+    out.push_back(std::move(at.ca));
   }
   return out;
 }
 
 std::string annotate_program(SymbolTable& syms, const std::string& source,
                              const AnnotateOptions& opts) {
+  std::vector<TermTemplate> tmpls = parse_program(syms, source);
+  AbsContext ctx;
+  if (opts.use_absint) ctx = build_abs_context(syms, source, opts);
   std::string out;
-  for (const TermTemplate& tmpl : parse_program(syms, source)) {
-    ClauseAnalysis ca = analyze_clause(syms, tmpl, opts);
-    // Recompute the conjunct cells (analyze_clause keeps only GoalInfo).
-    Cell body = atm_cell(syms.known().truesym);
-    if (tmpl.root.tag() == Tag::Str) {
-      const Cell f = tmpl.cells[tmpl.root.payload()];
-      if (f.fun_symbol() == syms.known().neck && f.fun_arity() == 2) {
-        body = tmpl.cells[tmpl.root.payload() + 2];
-      }
-    }
-    std::vector<Cell> conjuncts;
-    flatten_comma(syms, tmpl, body, conjuncts);
-    out += render_annotated(syms, tmpl, ca, conjuncts) + "\n";
+  for (const AnalyzedTerm& at :
+       analyze_impl(syms, source, tmpls, opts,
+                    opts.use_absint ? &ctx : nullptr)) {
+    out += render_annotated(syms, at) + "\n";
   }
   return out;
 }

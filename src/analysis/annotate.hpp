@@ -1,25 +1,32 @@
-// Compile-time parallelization: independence-based '&' annotation and
-// determinacy analysis.
+// Compile-time parallelization: abstract-interpretation-driven '&'
+// annotation, Conditional Graph Expressions, and determinacy analysis.
 //
 // The paper's benchmarks are annotated by &ACE's abstract-interpretation
-// parallelizing compiler [Muthukumar & Hermenegildo 91]; this module is a
-// (much simpler) stand-in: a syntactic sharing/groundness analysis that
-// conservatively rewrites  g1, g2  into  g1 & g2  when the goals cannot
-// share unbound variables at call time, plus a clause-level determinacy
-// analysis used to predict where the runtime optimizations will fire.
+// parallelizing compiler [Muthukumar & Hermenegildo 91]; this module now
+// follows the same recipe. Goal independence is proved from the
+// groundness + freeness + pair-sharing domain in analysis/absint: the
+// joined abstract state before the first goal of a candidate group (over
+// every call pattern the entry analysis reaches) must show no shared
+// unbound variable and no may-share pair between any two members. An
+// interprocedural purity analysis (analysis/purity) keeps goals with
+// observable effects — assert/retract, stream output, snapshot_refresh,
+// tabled calls, opaque metacalls — out of parallel groups and in their
+// original order.
 //
-// The analysis is deliberately conservative (strict independence): two
-// goals are independent if they share no variables, except variables that
-// are guaranteed ground at the first goal's call — here approximated by
-// "bound by an arithmetic `is` earlier in the body" and "ground in the
-// clause head position is not assumed" (heads bind unknown terms).
+// Where independence is plausible but statically undecidable (blocking
+// variables of mode Any), the annotator can emit a Conditional Graph
+// Expression instead of giving up:
 //
-// It also demonstrates the paper's §1/§3.1 point: compile-time detection is
-// necessarily approximate — determinacy and independence are runtime
-// properties, which is why ACE's optimizations trigger at runtime. The
-// tests compare this analyzer's predictions against the runtime counters.
+//     ( ground(X), indep(X, Y) -> g1 & g2 ; g1, g2 )
+//
+// The runtime checks (charged to CostCat::kCgeCheck) decide at call time;
+// the else branch preserves the sequential program. Clauses the entry
+// analysis never reaches stay sequential — compile-time detection is
+// necessarily approximate (the paper's §1/§3.1 point), which is also why
+// the runtime half of every optimization remains in place.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,10 +39,23 @@ struct AnnotateOptions {
   unsigned min_goals = 2;
   // Treat calls to these predicates as "cheap" (never worth forking).
   bool skip_builtins = true;
+  // Prove independence with the abstract interpreter (polyvariant
+  // groundness + freeness + pair-sharing). When off, falls back to the
+  // legacy syntactic sharing approximation.
+  bool use_absint = true;
+  // Emit Conditional Graph Expressions where independence is undecidable
+  // (instead of keeping those conjunctions sequential).
+  bool cge = false;
+  // Entry queries (Prolog text, e.g. "main(100)"). Empty: root predicates
+  // under all-ground arguments — the same assumption the linter makes, so
+  // annotator output is APL001-clean under the linter's default analysis.
+  std::vector<std::string> entries;
 };
 
 // Rewrites a program: for each clause body, greedily groups maximal runs of
-// pairwise-independent user-goal conjuncts with '&'. Returns the annotated
+// pairwise-independent conjuncts with '&' (wrapped in a CGE when the proof
+// needs runtime checks). Directives and already-annotated conjunctions are
+// preserved verbatim, making the rewrite idempotent. Returns the annotated
 // program text (clauses re-printed).
 std::string annotate_program(SymbolTable& syms, const std::string& source,
                              const AnnotateOptions& opts = {});
@@ -46,14 +66,29 @@ struct GoalInfo {
   unsigned arity = 0;
   std::vector<std::uint32_t> vars;  // variable slots occurring in the goal
   bool builtin_like = false;        // control construct or arithmetic
+  unsigned effects = 0;             // purity bits (see analysis/purity.hpp)
+};
+
+// One body group: parallel when it has >= 2 goals. `checks` holds the
+// rendered CGE guards (ground/1, indep/2); empty means the group is
+// unconditionally parallel (or sequential, for singleton groups).
+struct ParGroup {
+  std::vector<std::size_t> goals;
+  std::vector<std::string> checks;
 };
 
 struct ClauseAnalysis {
   std::string head;
+  std::string pred;        // "name/arity" ("" for directives / legacy path)
+  int line = 0;            // 1-based source position (absint path only)
+  int col = 0;
+  bool directive = false;  // `:- ...` term: passed through verbatim
   std::vector<GoalInfo> goals;
   // Indices of body conjuncts grouped into one parallel conjunction;
-  // groups of size 1 stay sequential.
+  // groups of size 1 stay sequential. Mirrors par_groups for callers that
+  // only need the index view.
   std::vector<std::vector<std::size_t>> groups;
+  std::vector<ParGroup> par_groups;
 };
 
 std::vector<ClauseAnalysis> analyze_program(SymbolTable& syms,

@@ -21,7 +21,7 @@ const char* severity_name(Severity s) {
 void DiagnosticSink::add(const std::string& code, Severity sev,
                          SourceSpan span, const std::string& predicate,
                          const std::string& message) {
-  add(Diagnostic{code, sev, span, predicate, message});
+  add(Diagnostic{code, sev, span, predicate, message, Fixit{}});
 }
 
 std::size_t DiagnosticSink::count(Severity s) const {
@@ -70,9 +70,14 @@ std::string DiagnosticSink::to_json() const {
     first = false;
     out += strf(
         "{\"code\":\"%s\",\"severity\":\"%s\",\"line\":%d,\"col\":%d,"
-        "\"predicate\":\"%s\",\"message\":\"%s\"}",
+        "\"predicate\":\"%s\",\"message\":\"%s\"",
         d.code.c_str(), severity_name(d.severity), d.span.line, d.span.col,
         json_escape(d.predicate).c_str(), json_escape(d.message).c_str());
+    if (d.fixit.line > 0) {
+      out += strf(",\"fixit\":{\"line\":%d,\"text\":\"%s\"}", d.fixit.line,
+                  json_escape(d.fixit.text).c_str());
+    }
+    out += "}";
   }
   return out + "]";
 }

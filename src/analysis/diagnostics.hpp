@@ -16,6 +16,11 @@
 //   APL007  directly-recursive predicate that is neither tabled nor
 //           provably determinate (likely exponential recomputation); the
 //           fixit suggests `:- table name/arity.`
+//   APL008  dynamic predicate asserted/retracted in one '&' branch and
+//           read in a parallel sibling without snapshot_refresh/0
+//   APL009  provably-independent conjunction left sequential: the
+//           annotator's abstract-interpretation proof would allow '&'
+//           here — pedantic advisor note
 #pragma once
 
 #include <cstddef>
@@ -34,12 +39,21 @@ struct SourceSpan {
   int col = 0;
 };
 
+// Machine-applicable fix: insert `text` as its own line immediately before
+// 1-based source line `line`. `line == 0` means "no machine-applicable
+// fix". Applied by `ace_lint --fix`.
+struct Fixit {
+  int line = 0;
+  std::string text;  // line to insert, without trailing '\n'
+};
+
 struct Diagnostic {
   std::string code;  // stable lint code, e.g. "APL001"
   Severity severity = Severity::Warning;
   SourceSpan span;
   std::string predicate;  // "name/arity" context ("" when not applicable)
   std::string message;
+  Fixit fixit;
 };
 
 // Accumulates diagnostics; knows how to render them for terminals and CI.

@@ -6,6 +6,7 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/annotate.hpp"
 #include "analysis/render.hpp"
 #include "support/strutil.hpp"
 
@@ -241,13 +242,19 @@ LintReport lint_program(SymbolTable& syms, const std::string& source,
     }
     if (!recursive) continue;
     const std::string pred = clause_pred(syms, first);
-    rep.sink.add(
+    Diagnostic d{
         "APL007", Severity::Warning,
         SourceSpan{first.span.line, first.span.col}, pred,
         strf("directly recursive predicate %s is neither tabled nor provably "
              "determinate: backtracking re-derives its subgoals "
              "exponentially; consider adding ':- table %s.'",
-             pred.c_str(), pred.c_str()));
+             pred.c_str(), pred.c_str()),
+        Fixit{}};
+    // Machine-applicable: insert the table directive right before the
+    // predicate's first clause (applied by `ace_lint --fix`).
+    d.fixit.line = first.span.line;
+    d.fixit.text = strf(":- table %s.", pred.c_str());
+    rep.sink.add(std::move(d));
   }
 
   // APL008: a dynamic predicate asserted or retracted in one branch of a
@@ -490,6 +497,32 @@ LintReport lint_program(SymbolTable& syms, const std::string& source,
   };
   interp.report(observer);
   rep.num_summaries = interp.num_summaries();
+
+  // APL009 (pedantic): provably-independent conjunctions left sequential —
+  // the advisor dual of APL001. Re-uses the auto-annotator's analysis: any
+  // unconditional group of >= 2 sequential conjuncts is a parallelization
+  // the programmer left on the table. Existing '&' chains and CGEs are
+  // opaque conjuncts to the annotator, so annotated code stays quiet.
+  if (opts.pedantic) {
+    AnnotateOptions aopts;
+    aopts.entries = opts.entries;
+    for (const ClauseAnalysis& ca : analyze_program(syms, source, aopts)) {
+      for (const ParGroup& g : ca.par_groups) {
+        if (g.goals.size() < 2 || !g.checks.empty()) continue;
+        std::string members;
+        for (std::size_t idx : g.goals) {
+          if (!members.empty()) members += " & ";
+          members += strf("%s/%u", ca.goals[idx].name.c_str(),
+                          ca.goals[idx].arity);
+        }
+        rep.sink.add(
+            "APL009", Severity::Note, SourceSpan{ca.line, ca.col}, ca.pred,
+            strf("provably independent goals %s run sequentially; "
+                 "ace_annotate would rewrite them with '&'",
+                 members.c_str()));
+      }
+    }
+  }
 
   rep.sink.sort_by_location();
   return rep;

@@ -1,0 +1,89 @@
+#include "analysis/purity.hpp"
+
+#include <string>
+
+namespace ace {
+
+unsigned goal_effects(const AbsProgram& prog, const SymbolTable& syms,
+                      const Builtins& builtins, const PuritySummary& purity,
+                      const TermTemplate& tmpl, Cell goal) {
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  if (goal.tag() == Tag::Atm) {
+    sym = goal.symbol();
+  } else if (goal.tag() == Tag::Str) {
+    const Cell f = tmpl.cells[goal.payload()];
+    sym = f.fun_symbol();
+    arity = f.fun_arity();
+  } else {
+    // Variable metacall (or a non-callable term the runtime will reject).
+    return kEffectMeta;
+  }
+
+  const SymbolTable::Known& k = syms.known();
+  auto sub = [&](unsigned i) {
+    return goal_effects(prog, syms, builtins, purity, tmpl,
+                        tmpl.cells[goal.payload() + i]);
+  };
+  if (arity == 2 && (sym == k.comma || sym == k.amp || sym == k.semicolon ||
+                     sym == k.arrow)) {
+    return sub(1) | sub(2);
+  }
+  if (arity == 1 && (sym == k.naf || sym == k.call)) return sub(1);
+  const std::string& n = syms.name(sym);
+  if (arity == 1 && n == "once") return sub(1);
+  if (arity == 3 && n == "findall") return sub(2);
+  if (arity == 3 && n == "catch") return sub(1) | sub(3);
+  if (arity >= 2 && sym == k.call) {
+    // call/N closures: the callee's effective arity is unknown here.
+    return kEffectMeta;
+  }
+
+  if (auto id = builtins.lookup(sym, arity)) {
+    switch (*id) {
+      case BuiltinId::AssertZ:
+      case BuiltinId::AssertA:
+      case BuiltinId::Retract:
+        return kEffectDbWrite;
+      case BuiltinId::Write:
+      case BuiltinId::Nl:
+      case BuiltinId::Tab:
+        return kEffectIo;
+      case BuiltinId::SnapshotRefresh:
+        return kEffectSnapshot;
+      default:
+        return 0;
+    }
+  }
+
+  unsigned e = 0;
+  if (prog.is_tabled(sym, arity)) e |= kEffectTabled;
+  if (prog.defines(sym, arity)) e |= purity.of(sym, arity);
+  return e;
+}
+
+PuritySummary analyze_purity(const AbsProgram& prog, SymbolTable& syms) {
+  Builtins builtins(syms);
+  PuritySummary out;
+  for (const auto& ci : prog.clauses) {
+    out.effects[pred_key(ci.pred_sym, ci.pred_arity)] = 0;
+  }
+  // Chaotic iteration: bits only grow (five per predicate), so this
+  // terminates quickly even over mutual recursion.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& ci : prog.clauses) {
+      const unsigned e =
+          goal_effects(prog, syms, builtins, out, ci.tmpl, ci.body);
+      unsigned& cur = out.effects[pred_key(ci.pred_sym, ci.pred_arity)];
+      if ((cur | e) != cur) {
+        cur |= e;
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ace

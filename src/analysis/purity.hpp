@@ -1,0 +1,58 @@
+// Interprocedural purity / side-effect analysis.
+//
+// Computes, for every defined predicate, a bitset of observable effects a
+// call may perform: database writes (assert/asserta/assertz/retract),
+// stream output (write/print/nl/tab), snapshot re-pinning
+// (snapshot_refresh/0), answers drawn from a shared memo table (tabled
+// predicates), and opaque metacalls (call(Var), call/N closures). The
+// auto-parallelizing annotator uses these bits to forbid '&'-fusion of
+// impure goals and to keep every impure goal as a sequential barrier, so
+// side effects observe the same order as the unannotated program.
+//
+// The analysis is a least fixpoint over the call graph: effect bits only
+// grow, so chaotic iteration over all clauses terminates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/absint.hpp"
+
+namespace ace {
+
+// Effect bits. kEffectMeta marks goals whose callee cannot be resolved
+// statically (variable metacalls, call/N closures, non-callable terms);
+// the annotator must assume the worst for those.
+inline constexpr unsigned kEffectDbWrite = 1u << 0;
+inline constexpr unsigned kEffectIo = 1u << 1;
+inline constexpr unsigned kEffectSnapshot = 1u << 2;
+inline constexpr unsigned kEffectTabled = 1u << 3;
+inline constexpr unsigned kEffectMeta = 1u << 4;
+
+inline constexpr unsigned kEffectAll = kEffectDbWrite | kEffectIo |
+                                       kEffectSnapshot | kEffectTabled |
+                                       kEffectMeta;
+
+struct PuritySummary {
+  // Effects of one call to each defined predicate (program + library).
+  std::map<PredKey, unsigned> effects;
+
+  unsigned of(std::uint32_t sym, unsigned arity) const {
+    auto it = effects.find(pred_key(sym, arity));
+    return it == effects.end() ? 0u : it->second;
+  }
+};
+
+// Least fixpoint of the effect bits over `prog`'s call graph. `syms` is
+// non-const because the builtin registry interns its names on construction.
+PuritySummary analyze_purity(const AbsProgram& prog, SymbolTable& syms);
+
+// Effects of one goal term, descending through the control constructs the
+// engine knows (',', '&', ';', '->', '\+', call/1, once/1, findall/3,
+// catch/3). Calls to undefined non-builtin predicates report no effects:
+// they simply fail at runtime (the linter flags them as APL003).
+unsigned goal_effects(const AbsProgram& prog, const SymbolTable& syms,
+                      const Builtins& builtins, const PuritySummary& purity,
+                      const TermTemplate& tmpl, Cell goal);
+
+}  // namespace ace

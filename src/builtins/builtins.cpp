@@ -22,6 +22,69 @@ Addr struct_arg(const Store& store, Addr str_root, unsigned i) {
   return c.ref() + i;
 }
 
+// CGE guard walks (ground/1, indep/2). Both count visited cells so the
+// caller can charge the walk to CostCat::kCgeCheck — the runtime price of
+// an independence question the annotator could not settle at compile time.
+
+// Early-exit groundness test; `*cells` counts visited positions.
+bool walk_ground(const Store& store, Addr a, std::uint64_t* cells) {
+  std::vector<Addr> work{a};
+  while (!work.empty()) {
+    Addr t = deref(store, work.back());
+    work.pop_back();
+    ++*cells;
+    Cell c = store.get(t);
+    switch (c.tag()) {
+      case Tag::Ref:
+        return false;
+      case Tag::Str: {
+        Cell f = store.get(c.ref());
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          work.push_back(c.ref() + i);
+        }
+        break;
+      }
+      case Tag::Lst:
+        work.push_back(c.ref());
+        work.push_back(c.ref() + 1);
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+// Collects the unbound variables reachable from `a` (by address).
+void collect_unbound(const Store& store, Addr a, std::vector<Addr>& vars,
+                     std::uint64_t* cells) {
+  std::vector<Addr> work{a};
+  while (!work.empty()) {
+    Addr t = deref(store, work.back());
+    work.pop_back();
+    ++*cells;
+    Cell c = store.get(t);
+    switch (c.tag()) {
+      case Tag::Ref:
+        vars.push_back(t);
+        break;
+      case Tag::Str: {
+        Cell f = store.get(c.ref());
+        for (unsigned i = 1; i <= f.fun_arity(); ++i) {
+          work.push_back(c.ref() + i);
+        }
+        break;
+      }
+      case Tag::Lst:
+        work.push_back(c.ref());
+        work.push_back(c.ref() + 1);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 Builtins::Builtins(SymbolTable& syms) {
@@ -56,6 +119,7 @@ Builtins::Builtins(SymbolTable& syms) {
   reg(syms, "copy_term", 2, BuiltinId::CopyTerm);
   reg(syms, "findall", 3, BuiltinId::Findall);
   reg(syms, "snapshot_refresh", 0, BuiltinId::SnapshotRefresh);
+  reg(syms, "indep", 2, BuiltinId::Indep);
   reg(syms, "assert", 1, BuiltinId::AssertZ);
   reg(syms, "assertz", 1, BuiltinId::AssertZ);
   reg(syms, "asserta", 1, BuiltinId::AssertA);
@@ -458,8 +522,31 @@ BuiltinResult exec_builtin(Worker& w, BuiltinId id, Addr goal, Ref rest,
       Cell c = store.get(deref(store, arg(1)));
       return bool_result(c.tag() == Tag::Str || c.tag() == Tag::Lst);
     }
-    case BuiltinId::Ground:
-      return bool_result(is_ground(store, arg(1)));
+    case BuiltinId::Ground: {
+      std::uint64_t cells = 0;
+      const bool ok = walk_ground(store, arg(1), &cells);
+      w.charge(CostCat::kCgeCheck, cells * w.costs_.cge_check_cell);
+      return bool_result(ok);
+    }
+    case BuiltinId::Indep: {
+      std::uint64_t cells = 0;
+      std::vector<Addr> left;
+      collect_unbound(store, arg(1), left, &cells);
+      bool disjoint = true;
+      if (!left.empty()) {
+        std::sort(left.begin(), left.end());
+        std::vector<Addr> right;
+        collect_unbound(store, arg(2), right, &cells);
+        for (Addr v : right) {
+          if (std::binary_search(left.begin(), left.end(), v)) {
+            disjoint = false;
+            break;
+          }
+        }
+      }
+      w.charge(CostCat::kCgeCheck, cells * w.costs_.cge_check_cell);
+      return bool_result(disjoint);
+    }
     case BuiltinId::Is: {
       std::int64_t v = arith_eval(w, arg(2));
       Addr vi = heap_int(store, w.seg(), v);

@@ -71,6 +71,12 @@ enum class BuiltinId : std::uint8_t {
   // the snapshot-refresh idiom for '&'-parallel goals that must observe a
   // sibling's database writes (see APL008 in docs/analysis.md).
   SnapshotRefresh,
+  // indep/2: succeeds when the two argument terms reach no common unbound
+  // variable *right now* — the runtime half of a Conditional Graph
+  // Expression, `( ground(X), indep(X, Y) -> g1 & g2 ; g1, g2 )`. Like
+  // ground/1 it is a test (no bindings); both are charged to
+  // CostCat::kCgeCheck rather than kBuiltin.
+  Indep,
 };
 
 enum class BuiltinResult : std::uint8_t {

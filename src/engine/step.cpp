@@ -174,8 +174,24 @@ void Worker::execute_goal(Addr goal, Ref cut_parent) {
 
   // ---- Builtins ----
   if (auto id = builtins_.lookup(g.sym, g.arity)) {
+    if (*id == BuiltinId::Indep && snap_.find(g.sym, g.arity) != nullptr)
+        [[unlikely]] {
+      // indep/2 postdates user programs (the annotator corpus workload
+      // defines its own): a program-defined indep/2 keeps its semantics,
+      // and the builtin only serves CGE guards in programs that don't.
+      call_user_pred(goal, g.sym, g.arity);
+      return;
+    }
     stats_.builtin_calls++;
-    charge(CostCat::kBuiltin, costs_.builtin);
+    if (*id == BuiltinId::Ground || *id == BuiltinId::Indep) {
+      // CGE guards get their own category so the attribution decomposition
+      // can price conditional parallelism separately from ordinary builtin
+      // work (the walk itself charges per cell inside exec_builtin).
+      stats_.cge_checks++;
+      charge(CostCat::kCgeCheck, costs_.cge_check);
+    } else {
+      charge(CostCat::kBuiltin, costs_.builtin);
+    }
     switch (exec_builtin(*this, *id, goal, glist_, cut_parent)) {
       case BuiltinResult::Ok:
         return;

@@ -199,19 +199,6 @@ void Worker::orp_idle_step() {
       charge(CostCat::kIdle, costs_.idle_tick);
       return;
     }
-    ++stats_.sharing_sessions;
-    // Both sides synchronize for the session and each pays the fixed
-    // session cost. The sequence below computes exactly
-    //   clock_ = max(clock_ + share_session, victim->clock_) + share_session
-    //   victim->clock_ = clock_
-    // — the pre-attribution arithmetic, bit for bit — while preserving the
-    // conservation invariant: the session costs are kPublish, and each
-    // side's catch-up to the slower party's clock is attributed as kIdle
-    // waiting via sync_clock_to.
-    charge(CostCat::kPublish, costs_.share_session);
-    sync_clock_to(victim->clock_);
-    charge(CostCat::kPublish, costs_.share_session);
-    victim->sync_clock_to(clock_);
 
     // Walk the victim's backtrack chain (newest to oldest). A live
     // IteElse frame means a condition is still being evaluated: every
@@ -232,6 +219,44 @@ void Worker::orp_idle_step() {
         first_shareable = i + 1;
       }
     }
+    // A session that could publish nothing (every candidate frame is
+    // guarded by a live IteElse, already public, or of an unstealable
+    // kind) must be a plain idle tick. Running the clock-sync protocol
+    // below would drag the victim's clock up to the thief's without
+    // yielding any work — under lowest-clock-first scheduling the victim
+    // would then never be stepped again while thieves retry the same
+    // empty session forever, stalling the driver (seen with `\+` goals:
+    // their condition choice points all sit under the naf's IteElse).
+    bool publishable = false;
+    for (std::size_t i = first_shareable; i < chain.size(); ++i) {
+      const Frame& f = victim->ctrl_[ref_index(chain[i])];
+      if (f.shared_id != kNoShare) continue;
+      if (f.alt_kind == AltKind::Clauses || f.alt_kind == AltKind::Term ||
+          (f.alt_kind == AltKind::TabAnswers && f.tab_done != nullptr)) {
+        publishable = true;
+        break;
+      }
+    }
+    if (!publishable) {
+      ++stats_.idle_ticks;
+      charge(CostCat::kIdle, costs_.idle_tick);
+      return;
+    }
+
+    ++stats_.sharing_sessions;
+    // Both sides synchronize for the session and each pays the fixed
+    // session cost. The sequence below computes exactly
+    //   clock_ = max(clock_ + share_session, victim->clock_) + share_session
+    //   victim->clock_ = clock_
+    // — the pre-attribution arithmetic, bit for bit — while preserving the
+    // conservation invariant: the session costs are kPublish, and each
+    // side's catch-up to the slower party's clock is attributed as kIdle
+    // waiting via sync_clock_to.
+    charge(CostCat::kPublish, costs_.share_session);
+    sync_clock_to(victim->clock_);
+    charge(CostCat::kPublish, costs_.share_session);
+    victim->sync_clock_to(clock_);
+
     for (std::size_t i = first_shareable; i < chain.size(); ++i) {
       Frame& f = victim->ctrl_[ref_index(chain[i])];
       if (f.shared_id != kNoShare) continue;

@@ -35,6 +35,7 @@ const char* cost_cat_name(CostCat cat) {
     case CostCat::kTableInsert: return "table_insert";
     case CostCat::kTableSuspend: return "table_suspend";
     case CostCat::kTableResume: return "table_resume";
+    case CostCat::kCgeCheck: return "cge_check";
     case CostCat::kCount: break;
   }
   return "?";
@@ -51,6 +52,9 @@ bool cost_cat_is_overhead(CostCat cat) {
     // them); only the scheduling half of tabling is overhead.
     case CostCat::kTableSuspend:
     case CostCat::kTableResume:
+    // CGE guards exist only to enable parallelism: a sequential execution
+    // of the unannotated program never runs them.
+    case CostCat::kCgeCheck:
       return true;
     default:
       return false;
@@ -83,6 +87,8 @@ CostModel CostModel::unit() {
   m.kill_slot = 1;
   m.opt_check = 1;
   m.lao_update = 1;
+  m.cge_check = 1;
+  m.cge_check_cell = 1;
   m.copy_cell = 1;
   m.share_session = 1;
   m.public_take = 1;

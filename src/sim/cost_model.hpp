@@ -38,6 +38,9 @@ enum class CostCat : std::uint8_t {
   kTableInsert,   // tabling: answer dedup + template capture, table setup
   kTableSuspend,  // tabling: consumer/generator suspension bookkeeping
   kTableResume,   // tabling: fixpoint re-runs and consumer resumption
+  kCgeCheck,      // runtime independence checks of conditional graph
+                  // expressions (ground/1, indep/2 guarding a '&' the
+                  // annotator could not prove independent statically)
   kCount,
 };
 
@@ -95,6 +98,11 @@ struct CostModel {
   // LAO's in-place refresh of the reused choice point (MUSE must update
   // the shared node under its lock; nearly as dear as a fresh frame).
   C lao_update = 10;
+  // Dispatching a CGE guard (ground/1, indep/2); the groundness /
+  // disjointness walk itself additionally charges cge_check_cell per cell
+  // visited — the run-time price of compile-time undecidability.
+  C cge_check = 4;
+  C cge_check_cell = 1;
 
   // Or-parallel machinery.
   C copy_cell = 1;          // MUSE stack copying, per word

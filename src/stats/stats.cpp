@@ -29,6 +29,7 @@ void Counters::add(const Counters& o) {
   pdo_merges += o.pdo_merges;
   lao_reuses += o.lao_reuses;
   static_elisions += o.static_elisions;
+  cge_checks += o.cge_checks;
   fetches += o.fetches;
   steals += o.steals;
   idle_ticks += o.idle_ticks;
@@ -123,6 +124,7 @@ std::string Counters::to_json() const {
   put("pdo_merges", pdo_merges);
   put("lao_reuses", lao_reuses);
   if (static_elisions > 0) put("static_elisions", static_elisions);
+  if (cge_checks > 0) put("cge_checks", cge_checks);
   put("fetches", fetches);
   put("steals", steals);
   put("idle_ticks", idle_ticks);

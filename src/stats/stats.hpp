@@ -47,6 +47,9 @@ struct Counters {
   // the property at load time (--static-facts). Reported only when nonzero
   // so runs without the flag stay bit-identical.
   std::uint64_t static_elisions = 0;
+  // CGE guard executions (ground/1, indep/2). Reported only when nonzero
+  // so programs without conditional annotations keep their JSON shape.
+  std::uint64_t cge_checks = 0;
 
   // Scheduling.
   std::uint64_t fetches = 0;      // local work-pool fetches

@@ -1,0 +1,544 @@
+// Tests for the abstract-interpretation-driven auto-parallelizer: CGE
+// emission, purity barriers, idempotence, differential solution sets
+// against the whole workload corpus, kCgeCheck attribution conservation,
+// flag-off fingerprint stability, lint fixits and the APL009 advisor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/annotate.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/purity.hpp"
+#include "builtins/lib.hpp"
+#include "support/strutil.hpp"
+#include "workloads/harness.hpp"
+
+namespace ace {
+namespace {
+
+// A program whose fork-point groundness is genuinely undecidable at
+// compile time: mk/1 exits with its argument Any (joined ground/free), so
+// q and r provably share A only when mk took the free branch.
+const char* kUndecidable = R"PL(
+main(A) :- mk(A), q(A), r(A).
+mk(a).
+mk(_).
+q(a).
+q(X) :- X = b.
+r(a).
+r(b).
+)PL";
+
+AnnotateOptions cge_opts() {
+  AnnotateOptions o;
+  o.cge = true;
+  o.entries.push_back("main(A).");
+  return o;
+}
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// CGE emission
+
+TEST(Cge, EmittedWhereIndependenceIsUndecidable) {
+  SymbolTable syms;
+  std::string out = annotate_program(syms, kUndecidable, cge_opts());
+  EXPECT_NE(out.find("(ground(A) -> q(A) & r(A) ; q(A), r(A))"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Cge, OffByDefaultKeepsUndecidableSequential) {
+  SymbolTable syms;
+  AnnotateOptions o;
+  o.entries.push_back("main(A).");
+  std::string out = annotate_program(syms, kUndecidable, o);
+  EXPECT_EQ(out.find("&"), std::string::npos) << out;
+  EXPECT_EQ(out.find("indep"), std::string::npos) << out;
+}
+
+TEST(Cge, DefinitelyFreeSharedVariableStaysSequential) {
+  // Z is definitely free at the fork point: ground(Z) could never succeed,
+  // so no CGE is emitted even with --cge.
+  SymbolTable syms;
+  AnnotateOptions o;
+  o.cge = true;
+  std::string out =
+      annotate_program(syms, "p(X, Y) :- q(X, Z), r(Z, Y).", o);
+  EXPECT_EQ(out.find("&"), std::string::npos) << out;
+  EXPECT_EQ(out.find("ground"), std::string::npos) << out;
+}
+
+TEST(Cge, IndepCheckForMaySharePairs) {
+  // w/2 joins an aliasing exit (A = B) with a grounding one, so A and B
+  // may share without being the same variable: the guard must be indep/2.
+  const char* src = R"PL(
+main(A, B) :- w(A, B), p(A), p(B).
+w(X, X).
+w(a, b).
+p(a).
+p(b).
+)PL";
+  SymbolTable syms;
+  AnnotateOptions o;
+  o.cge = true;
+  o.entries.push_back("main(A, B).");
+  std::string out = annotate_program(syms, src, o);
+  EXPECT_NE(out.find("indep(A, B)"), std::string::npos) << out;
+  EXPECT_NE(out.find("p(A) & p(B)"), std::string::npos) << out;
+}
+
+TEST(Cge, AnnotatedSolutionsMatchAcrossEngines) {
+  SymbolTable syms;
+  std::string annotated = annotate_program(syms, kUndecidable, cge_opts());
+
+  Database db_plain;
+  load_library(db_plain);
+  db_plain.consult(kUndecidable);
+  Engine seq(db_plain);
+  const std::vector<std::string> expect = seq.solve("main(A).").solutions;
+  ASSERT_FALSE(expect.empty());
+
+  for (EngineMode mode : {EngineMode::Seq, EngineMode::Andp,
+                          EngineMode::Orp}) {
+    Database db;
+    load_library(db);
+    db.consult(annotated);
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.agents = mode == EngineMode::Seq ? 1 : 4;
+    Engine e(db, cfg);
+    SolveResult r = e.solve("main(A).");
+    EXPECT_EQ(sorted(r.solutions), sorted(expect))
+        << "mode " << static_cast<int>(mode);
+    if (mode != EngineMode::Seq) {
+      // The guard really ran (and was charged to its own category).
+      EXPECT_GT(r.stats.cge_checks, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Purity barriers
+
+TEST(Purity, AssertIsABarrier) {
+  SymbolTable syms;
+  auto cas = analyze_program(
+      syms, "main(X, Y) :- p(X), assertz(f(X)), q(Y).\np(1).\nq(2).");
+  ASSERT_FALSE(cas.empty());
+  // Three singleton groups: the assert may not move or run in parallel.
+  EXPECT_EQ(cas[0].groups.size(), 3u);
+  for (const auto& g : cas[0].groups) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Purity, IoAndIndirectEffectsPropagate) {
+  SymbolTable syms;
+  auto cas = analyze_program(syms, R"PL(
+main(X, Y) :- log(X), q(Y).
+log(X) :- write(X), nl.
+q(2).
+)PL");
+  ASSERT_FALSE(cas.empty());
+  EXPECT_EQ(cas[0].groups.size(), 2u);  // log/1 is impure via write/nl
+  EXPECT_EQ(cas[0].goals[0].effects & kEffectIo, kEffectIo);
+}
+
+TEST(Purity, TabledCallsStaySequential) {
+  SymbolTable syms;
+  auto cas = analyze_program(syms, R"PL(
+:- table t/1.
+main(X, Y) :- t(X), q(Y).
+t(1).
+q(2).
+)PL");
+  // cas[0] is the directive; cas[1] is main/2.
+  ASSERT_GE(cas.size(), 2u);
+  EXPECT_TRUE(cas[0].directive);
+  EXPECT_EQ(cas[1].groups.size(), 2u);
+  EXPECT_EQ(cas[1].goals[0].effects & kEffectTabled, kEffectTabled);
+}
+
+TEST(Purity, FixpointOverMutualRecursion) {
+  SymbolTable syms;
+  AbsProgram prog = AbsProgram::from_source(syms, R"PL(
+a(X) :- b(X).
+b(X) :- a(X).
+b(X) :- assertz(f(X)).
+)PL",
+                                            /*include_library=*/false);
+  PuritySummary purity = analyze_purity(prog, syms);
+  EXPECT_EQ(purity.of(syms.intern("a"), 1) & kEffectDbWrite, kEffectDbWrite);
+  EXPECT_EQ(purity.of(syms.intern("b"), 1) & kEffectDbWrite, kEffectDbWrite);
+}
+
+// ---------------------------------------------------------------------------
+// Idempotence
+
+TEST(Idempotence, DirectivesAndCgeSurviveRoundTrip) {
+  SymbolTable syms;
+  std::string once = annotate_program(syms, kUndecidable, cge_opts());
+  SymbolTable syms2;
+  std::string twice = annotate_program(syms2, once, cge_opts());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Idempotence, WholeCorpusFixedPoint) {
+  // The hand-annotated workload corpus already contains '&' conjunctions;
+  // annotating an annotated program must be a fixed point.
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    std::string once = annotate_program(syms, w.source);
+    SymbolTable syms2;
+    std::string twice = annotate_program(syms2, once);
+    EXPECT_EQ(once, twice) << w.name;
+  }
+}
+
+TEST(Idempotence, DirectivesSurviveAndStayEffective) {
+  // Directives are re-printed in the renderer's canonical spacing
+  // (`path / 2`), which parses to the same term; the tabling declaration
+  // must survive a round trip through the annotator.
+  SymbolTable syms;
+  std::string out = annotate_program(
+      syms, ":- table path/2.\npath(X, Y) :- edge(X, Y).\nedge(a, b).");
+  EXPECT_NE(out.find(":- table path / 2."), std::string::npos) << out;
+
+  SymbolTable syms2;
+  AbsProgram prog =
+      AbsProgram::from_source(syms2, out, /*include_library=*/false);
+  EXPECT_TRUE(prog.is_tabled(syms2.intern("path"), 2));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: auto-annotated solution sets match the original program on
+// the whole corpus, across all three engines.
+
+TEST(Differential, AutoAnnotationPreservesSolutionsOnCorpus) {
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    AnnotateOptions opts;
+    opts.cge = true;
+    opts.entries.push_back(w.small_query);
+    std::string annotated;
+    ASSERT_NO_THROW(annotated = annotate_program(syms, w.source, opts))
+        << w.name;
+
+    Workload rewritten = w;
+    rewritten.source = annotated;
+
+    RunConfig seq_cfg;
+    const std::vector<std::string> expect =
+        sorted(run_workload(w, seq_cfg, w.small_query).solutions);
+
+    for (EngineKind mode : {EngineKind::Seq, EngineKind::Andp,
+                            EngineKind::Orp}) {
+      RunConfig cfg;
+      cfg.engine = mode;
+      cfg.agents = mode == EngineKind::Seq ? 1 : 4;
+      if (mode == EngineKind::Andp) cfg.lpco = cfg.shallow = cfg.pdo = true;
+      if (mode == EngineKind::Orp) cfg.lao = true;
+      try {
+        RunOutcome out = run_workload(rewritten, cfg, w.small_query);
+        EXPECT_EQ(sorted(out.solutions), expect)
+            << w.name << " mode " << static_cast<int>(mode);
+      } catch (const std::exception& e) {
+        FAIL() << w.name << " mode " << static_cast<int>(mode) << ": "
+               << e.what() << "\n"
+               << annotated;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution: the new kCgeCheck category partitions agent clocks like
+// every other category, and stays exactly zero when no guard runs.
+
+TEST(Attribution, CgeCheckCategoryPartitionsAgentClocks) {
+  SymbolTable syms;
+  std::string annotated = annotate_program(syms, kUndecidable, cge_opts());
+  Workload w;
+  w.name = "cge_synthetic";
+  w.source = annotated;
+  w.query = "main(A).";
+  w.small_query = "main(A).";
+  w.and_parallel = true;
+  w.all_solutions = true;
+
+  for (unsigned agents : {1u, 5u, 10u}) {
+    RunConfig cfg;
+    cfg.engine = EngineKind::Andp;
+    cfg.agents = agents;
+    cfg.lpco = cfg.shallow = cfg.pdo = true;
+    RunOutcome out = run_workload(w, cfg);
+    ASSERT_EQ(out.agent_clocks.size(), agents) << agents;
+
+    EXPECT_GT(out.attrib[CostCat::kCgeCheck], 0u) << agents;
+    EXPECT_GT(out.stats.cge_checks, 0u) << agents;
+
+    std::uint64_t clock_sum = 0;
+    for (std::uint64_t c : out.agent_clocks) clock_sum += c;
+    EXPECT_EQ(out.attrib.total(), clock_sum) << agents;
+    EXPECT_EQ(out.attrib.work() + out.attrib.overhead() + out.attrib.idle(),
+              out.attrib.total())
+        << agents;
+  }
+}
+
+TEST(Attribution, NoGuardsMeansZeroCgeCheckAndUnchangedJson) {
+  // Programs without conditional annotations must not pay for the feature:
+  // the category stays zero and the counters JSON keeps its shape.
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 5;
+  cfg.lpco = cfg.shallow = cfg.pdo = true;
+  RunOutcome out = run_small("fib", cfg);
+  EXPECT_EQ(out.attrib[CostCat::kCgeCheck], 0u);
+  EXPECT_EQ(out.stats.cge_checks, 0u);
+  EXPECT_EQ(out.stats.to_json().find("cge_checks"), std::string::npos);
+}
+
+TEST(Attribution, RepeatedCgeRunsAreDeterministic) {
+  SymbolTable syms;
+  std::string annotated = annotate_program(syms, kUndecidable, cge_opts());
+  Workload w;
+  w.name = "cge_synthetic";
+  w.source = annotated;
+  w.query = "main(A).";
+  w.small_query = "main(A).";
+  w.and_parallel = true;
+  w.all_solutions = true;
+  RunConfig cfg;
+  cfg.engine = EngineKind::Andp;
+  cfg.agents = 5;
+  cfg.lpco = cfg.shallow = cfg.pdo = true;
+  RunOutcome a = run_workload(w, cfg);
+  RunOutcome b = run_workload(w, cfg);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.agent_clocks, b.agent_clocks);
+  EXPECT_EQ(a.attrib.at, b.attrib.at);
+}
+
+// ---------------------------------------------------------------------------
+// Annotator output is APL001-clean (the linter's default analysis agrees
+// with the annotator's own proofs), on the corpus and on fuzzed programs.
+
+TEST(LintClean, CorpusAnnotationsPassApl001) {
+  for (const Workload& w : workloads()) {
+    SymbolTable syms;
+    std::string annotated = annotate_program(syms, w.source);
+    SymbolTable syms2;
+    LintReport rep = lint_program(syms2, annotated);
+    EXPECT_EQ(rep.sink.count_code("APL001"), 0u) << w.name << "\n"
+                                                 << annotated;
+  }
+}
+
+// Deterministic random program generator: a pool of defined predicates
+// with bodies mixing facts, arithmetic, unifications, shared and private
+// variables — shapes that exercise grouping, CGE synthesis and rendering.
+std::string fuzz_program(std::mt19937& rng) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> d3(0, 2);
+  std::uniform_int_distribution<int> d4(0, 3);
+  std::string src;
+  const int npreds = 3 + d3(rng);
+  // Leaf facts every generated goal can call.
+  src += "leaf(0, zero).\nleaf(N, s) :- N > 0.\n";
+  for (int p = 0; p < npreds; ++p) {
+    const std::string name = strf("p%d", p);
+    const int ngoals = 2 + d4(rng);
+    std::string body;
+    std::vector<std::string> vars = {"A", "B", "C", "D"};
+    for (int g = 0; g < ngoals; ++g) {
+      if (!body.empty()) body += ", ";
+      switch (d4(rng)) {
+        case 0:
+          body += strf("%s is A + %d", vars[1 + d3(rng)].c_str(), g);
+          break;
+        case 1:
+          body += strf("leaf(A, %s)", vars[d4(rng)].c_str());
+          break;
+        case 2:
+          if (p > 0) {
+            body += strf("p%d(A, %s)", d3(rng) % p,
+                         vars[1 + d3(rng)].c_str());
+          } else {
+            body += strf("leaf(A, %s)", vars[1 + d3(rng)].c_str());
+          }
+          break;
+        default:
+          body += strf("%s = %s", vars[1 + d3(rng)].c_str(),
+                       coin(rng) ? "A" : "k");
+          break;
+      }
+    }
+    src += strf("%s(A, Out) :- %s.\n", name.c_str(), body.c_str());
+    src += strf("%s(0, base).\n", name.c_str());
+  }
+  src += strf("main(A, Out) :- p%d(A, Out).\n", npreds - 1);
+  return src;
+}
+
+TEST(LintClean, FuzzedAnnotationsParseAndPassApl001) {
+  std::mt19937 rng(0xACEu);
+  for (int i = 0; i < 500; ++i) {
+    const std::string src = fuzz_program(rng);
+    SymbolTable syms;
+    AnnotateOptions opts;
+    opts.cge = (i % 2) == 1;  // alternate: plain '&' and CGE emission
+    std::string annotated;
+    ASSERT_NO_THROW(annotated = annotate_program(syms, src, opts))
+        << "iteration " << i << "\n"
+        << src;
+
+    // Output re-parses...
+    Database db;
+    ASSERT_NO_THROW(db.consult(annotated)) << "iteration " << i << "\n"
+                                           << annotated;
+    // ...is APL001-clean under the linter's default analysis...
+    SymbolTable syms2;
+    LintReport rep = lint_program(syms2, annotated);
+    EXPECT_EQ(rep.sink.count_code("APL001"), 0u)
+        << "iteration " << i << "\n"
+        << annotated << "\n"
+        << rep.sink.to_text();
+    // ...and annotation is idempotent.
+    SymbolTable syms3;
+    EXPECT_EQ(annotate_program(syms3, annotated, opts), annotated)
+        << "iteration " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lint fixits and the APL009 advisor
+
+TEST(Fixit, Apl007CarriesMachineApplicableTableDirective) {
+  const std::string src = R"PL(path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+edge(a, b).
+edge(b, c).
+edge(a, c).
+main(X, Y) :- path(X, Y).
+)PL";
+  SymbolTable syms;
+  LintReport rep = lint_program(syms, src);
+  ASSERT_EQ(rep.sink.count_code("APL007"), 1u) << rep.sink.to_text();
+
+  const Diagnostic* d = nullptr;
+  for (const Diagnostic& di : rep.sink.all()) {
+    if (di.code == "APL007") d = &di;
+  }
+  ASSERT_NE(d, nullptr);
+  ASSERT_GT(d->fixit.line, 0);
+  EXPECT_EQ(d->fixit.text, ":- table path/2.");
+
+  // Apply the insertion the way `ace_lint --fix` does and re-lint: the
+  // diagnostic must be gone.
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : src) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.insert(lines.begin() + (d->fixit.line - 1), d->fixit.text);
+  std::string fixed;
+  for (const std::string& l : lines) fixed += l + "\n";
+
+  SymbolTable syms2;
+  LintReport rep2 = lint_program(syms2, fixed);
+  EXPECT_EQ(rep2.sink.count_code("APL007"), 0u) << rep2.sink.to_text();
+  EXPECT_EQ(rep2.sink.count_code("APL001"), 0u);
+}
+
+TEST(Apl009, FiresOnlyUnderPedanticAsNote) {
+  const std::string src = "main(X, Y) :- left(X), right(Y).\nleft(1).\n"
+                          "right(2).\n";
+  SymbolTable syms;
+  LintOptions opts;
+  LintReport quiet = lint_program(syms, src, opts);
+  EXPECT_EQ(quiet.sink.count_code("APL009"), 0u);
+
+  opts.pedantic = true;
+  SymbolTable syms2;
+  LintReport rep = lint_program(syms2, src, opts);
+  ASSERT_EQ(rep.sink.count_code("APL009"), 1u) << rep.sink.to_text();
+  for (const Diagnostic& d : rep.sink.all()) {
+    if (d.code == "APL009") {
+      EXPECT_EQ(d.severity, Severity::Note);
+      EXPECT_NE(d.message.find("left/1 & right/1"), std::string::npos);
+    }
+  }
+  // Notes never trip --Werror (which promotes Warnings only).
+  EXPECT_EQ(rep.warnings(), 0u);
+}
+
+TEST(Apl009, QuietOnAlreadyAnnotatedCode) {
+  SymbolTable syms;
+  LintOptions opts;
+  opts.pedantic = true;
+  LintReport rep = lint_program(
+      syms, "main(X, Y) :- left(X) & right(Y).\nleft(1).\nright(2).\n",
+      opts);
+  EXPECT_EQ(rep.sink.count_code("APL009"), 0u) << rep.sink.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// indep/2 runtime semantics
+
+TEST(IndepBuiltin, RuntimeSemantics) {
+  Database db;
+  load_library(db);
+  db.consult("ok1 :- indep(f(X), g(Y)), q(X, Y).\n"
+             "ok2(X) :- X = stuff, indep(X, X).\n"
+             "no(X) :- indep(f(X, a), g(b, X)).\n"
+             "q(1, 2).\n");
+  Engine e(db);
+  EXPECT_EQ(e.solve("ok1.", 1).solutions.size(), 1u);   // disjoint vars
+  EXPECT_EQ(e.solve("ok2(X).", 1).solutions.size(), 1u);  // ground both sides
+  EXPECT_TRUE(e.solve("no(X).", 1).solutions.empty());  // shared unbound X
+}
+
+TEST(IndepBuiltin, UserDefinitionTakesPrecedence) {
+  // indep/2 postdates user programs (the annotator corpus workload defines
+  // its own version-disjointness indep/2): a program-level definition must
+  // keep its semantics instead of being shadowed by the CGE-guard builtin.
+  Database db;
+  load_library(db);
+  db.consult("indep(g(A), g(B)) :- A =\\= B.\n"
+             "t1 :- indep(g(1), g(2)).\n"
+             "t2 :- indep(g(3), g(3)).\n");
+  Engine e(db);
+  EXPECT_TRUE(e.succeeds("t1."));
+  // Both args are ground, so the *builtin* would succeed; the user
+  // definition must fail here.
+  EXPECT_FALSE(e.succeeds("t2."));
+
+  // And the annotator never emits indep/2 guards into such a program.
+  SymbolTable syms;
+  AnnotateOptions o;
+  o.cge = true;
+  o.entries.push_back("main(A, B).");
+  std::string out = annotate_program(syms,
+                                     "main(A, B) :- w(A, B), p(A), p(B).\n"
+                                     "w(X, X).\nw(a, b).\np(a).\np(b).\n"
+                                     "indep(g(A), g(B)) :- A =\\= B.\n",
+                                     o);
+  EXPECT_EQ(out.find("indep(A, B)"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ace

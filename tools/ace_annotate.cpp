@@ -1,45 +1,124 @@
-// ace_annotate: the stand-in parallelizing compiler (see
+// ace_annotate: the parallelizing compiler front end (see
 // src/analysis/annotate.hpp). Reads Prolog source files, prints the
 // '&'-annotated program on stdout and a per-clause analysis summary on
 // stderr.
 //
-//   ace_annotate file.pl... > annotated.pl
+//   ace_annotate [options] file.pl... > annotated.pl
+//
+//   --cge            emit Conditional Graph Expressions where independence
+//                    is statically undecidable (default: keep sequential)
+//   --no-absint      use the legacy syntactic analysis instead of the
+//                    abstract interpreter
+//   --absint         force the abstract interpreter (the default)
+//   --entry QUERY    analyze from QUERY (repeatable; default: root
+//                    predicates under all-ground arguments)
+//   --report         print a per-clause decision report on stderr
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/annotate.hpp"
+#include "support/strutil.hpp"
+
+namespace {
+
+void annotate_file(const char* path, const ace::AnnotateOptions& opts,
+                   bool report) {
+  using namespace ace;
+  std::ifstream in(path);
+  if (!in) throw AceError(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  SymbolTable syms;
+  std::string annotated = annotate_program(syms, ss.str(), opts);
+  std::printf("%% %s (annotated by ace_annotate)\n%s", path,
+              annotated.c_str());
+
+  SymbolTable syms2;
+  std::size_t fused = 0;
+  std::size_t conditional = 0;
+  std::size_t clauses = 0;
+  for (const ClauseAnalysis& ca : analyze_program(syms2, ss.str(), opts)) {
+    ++clauses;
+    for (const ParGroup& g : ca.par_groups) {
+      if (g.goals.size() <= 1) continue;
+      ++fused;
+      if (!g.checks.empty()) ++conditional;
+      if (report) {
+        std::string members;
+        for (std::size_t idx : g.goals) {
+          if (!members.empty()) members += " & ";
+          members += strf("%s/%u", ca.goals[idx].name.c_str(),
+                          ca.goals[idx].arity);
+        }
+        if (g.checks.empty()) {
+          std::fprintf(stderr, "%%   %s: parallel [%s]\n", ca.head.c_str(),
+                       members.c_str());
+        } else {
+          std::string checks;
+          for (const std::string& c : g.checks) {
+            if (!checks.empty()) checks += ", ";
+            checks += c;
+          }
+          std::fprintf(stderr, "%%   %s: conditional [%s] if %s\n",
+                       ca.head.c_str(), members.c_str(), checks.c_str());
+        }
+      }
+    }
+    if (report) {
+      for (std::size_t i = 0; i < ca.goals.size(); ++i) {
+        if (ca.goals[i].effects != 0) {
+          std::fprintf(stderr, "%%   %s: barrier %s/%u (effects 0x%x)\n",
+                       ca.head.c_str(), ca.goals[i].name.c_str(),
+                       ca.goals[i].arity, ca.goals[i].effects);
+        }
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "%% %s: %zu clause(s), %zu parallel group(s), "
+               "%zu conditional\n",
+               path, clauses, fused, conditional);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ace;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: ace_annotate <file.pl>...\n");
+  AnnotateOptions opts;
+  bool report = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--cge") == 0) {
+      opts.cge = true;
+    } else if (std::strcmp(a, "--absint") == 0) {
+      opts.use_absint = true;
+    } else if (std::strcmp(a, "--no-absint") == 0) {
+      opts.use_absint = false;
+    } else if (std::strcmp(a, "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(a, "--entry") == 0 && i + 1 < argc) {
+      opts.entries.push_back(argv[++i]);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a);
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: ace_annotate [--cge] [--absint|--no-absint] "
+                 "[--entry QUERY] [--report] <file.pl>...\n");
     return 2;
   }
   try {
-    for (int i = 1; i < argc; ++i) {
-      std::ifstream in(argv[i]);
-      if (!in) throw AceError(std::string("cannot open ") + argv[i]);
-      std::ostringstream ss;
-      ss << in.rdbuf();
-
-      SymbolTable syms;
-      std::string annotated = annotate_program(syms, ss.str());
-      std::printf("%% %s (annotated by ace_annotate)\n%s", argv[i],
-                  annotated.c_str());
-
-      SymbolTable syms2;
-      std::size_t fused = 0;
-      std::size_t clauses = 0;
-      for (const ClauseAnalysis& ca : analyze_program(syms2, ss.str())) {
-        ++clauses;
-        for (const auto& g : ca.groups) {
-          if (g.size() > 1) ++fused;
-        }
-      }
-      std::fprintf(stderr, "%% %s: %zu clause(s), %zu parallel group(s)\n",
-                   argv[i], clauses, fused);
-    }
+    for (const char* f : files) annotate_file(f, opts, report);
     return 0;
   } catch (const AceError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,12 +8,16 @@
 //   --json            machine-readable diagnostics (one JSON object/file)
 //   --Werror          exit non-zero on warnings (for CI); also promotes
 //                     the reported severity
-//   --pedantic        include APL006 overlapping-clause notes
+//   --pedantic        include APL006 overlapping-clause notes and the
+//                     APL009 missed-parallelism advisor
 //   --facts           print per-predicate static facts (det/no-choice/
 //                     lao-chain/ground-on-success)
+//   --fix             apply machine-applicable fixits in place (e.g. the
+//                     APL007 ':- table p/N.' insertion), then re-lint
 //
 // Exit status: 0 clean, 1 errors (or warnings with --Werror), 2 usage or
 // file/parse errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,8 +32,46 @@ using namespace ace;
 
 namespace {
 
+// Applies all machine-applicable fixits to `source` (insertions are
+// processed bottom-up so earlier line numbers stay valid). Returns the
+// number of fixits applied.
+std::size_t apply_fixits(const LintReport& rep, std::string& source) {
+  std::vector<const Fixit*> fixes;
+  for (const Diagnostic& d : rep.sink.all()) {
+    if (d.fixit.line > 0) fixes.push_back(&d.fixit);
+  }
+  if (fixes.empty()) return 0;
+  std::stable_sort(fixes.begin(), fixes.end(),
+                   [](const Fixit* a, const Fixit* b) {
+                     return a->line > b->line;
+                   });
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const bool trailing = !cur.empty();
+  if (trailing) lines.push_back(cur);
+  for (const Fixit* f : fixes) {
+    const std::size_t at =
+        std::min(static_cast<std::size_t>(f->line - 1), lines.size());
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), f->text);
+  }
+  source.clear();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    source += lines[i];
+    if (i + 1 < lines.size() || !trailing) source += '\n';
+  }
+  return fixes.size();
+}
+
 int lint_file(const char* path, const LintOptions& opts, bool json,
-              bool werror, bool facts) {
+              bool werror, bool facts, bool fix) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", path);
@@ -37,9 +79,27 @@ int lint_file(const char* path, const LintOptions& opts, bool json,
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+  std::string source = ss.str();
 
   SymbolTable syms;
-  LintReport rep = lint_program(syms, ss.str(), opts);
+  LintReport rep = lint_program(syms, source, opts);
+
+  if (fix) {
+    const std::size_t applied = apply_fixits(rep, source);
+    if (applied > 0) {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path);
+        return 2;
+      }
+      out << source;
+      out.close();
+      std::fprintf(stderr, "%% %s: applied %zu fixit(s)\n", path, applied);
+      // Re-lint the fixed source so the report reflects the file on disk.
+      SymbolTable syms2;
+      rep = lint_program(syms2, source, opts);
+    }
+  }
 
   if (json) {
     std::printf(
@@ -94,6 +154,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   bool facts = false;
+  bool fix = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -107,6 +168,8 @@ int main(int argc, char** argv) {
       opts.pedantic = true;
     } else if (std::strcmp(a, "--facts") == 0) {
       facts = true;
+    } else if (std::strcmp(a, "--fix") == 0) {
+      fix = true;
     } else if (a[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", a);
       return 2;
@@ -117,13 +180,13 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: ace_lint [--entry 'goal.'] [--json] [--Werror] "
-                 "[--pedantic] [--facts] <file.pl>...\n");
+                 "[--pedantic] [--facts] [--fix] <file.pl>...\n");
     return 2;
   }
   int rc = 0;
   for (const char* f : files) {
     try {
-      rc = std::max(rc, lint_file(f, opts, json, werror, facts));
+      rc = std::max(rc, lint_file(f, opts, json, werror, facts, fix));
     } catch (const AceError& e) {
       std::fprintf(stderr, "%s: error: %s\n", f, e.what());
       rc = 2;

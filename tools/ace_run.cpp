@@ -75,7 +75,9 @@ std::string read_file(const std::string& path) {
                "               [--json] [--trace FILE]\n"
                "               [--attrib] [--explain] [--flame FILE]\n"
                "               (<file.pl>... '<query.>' | --workload <name>"
-               " [--query '<q.>'])\n");
+               " [--query '<q.>'])\n"
+               "       ace_run --list-workloads\n"
+               "       ace_run --workload <name> --dump-program\n");
   std::exit(2);
 }
 
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
   bool want_json = false;
   bool want_analyze = false;
   bool want_explain = false;
+  bool dump_program = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -161,11 +164,32 @@ int main(int argc, char** argv) {
       workload_name = next();
     } else if (arg == "--query") {
       query = next();
+    } else if (arg == "--list-workloads") {
+      // One name per line, for shell loops (CI dogfood gates).
+      for (const Workload& w : workloads()) {
+        std::printf("%s\n", w.name.c_str());
+      }
+      return 0;
+    } else if (arg == "--dump-program") {
+      dump_program = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
       files.push_back(arg);
     }
+  }
+
+  if (dump_program) {
+    // Print the corpus program source (the CI lint/annotate dogfood gates
+    // feed these dumps straight into ace_lint / ace_annotate).
+    if (workload_name.empty()) usage();
+    try {
+      std::printf("%s", workload(workload_name).source.c_str());
+    } catch (const AceError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    return 0;
   }
 
   try {
