@@ -19,6 +19,19 @@
 //               [--workload name] [--engines seq,andp,orp]
 //               [--trace FILE]   record the reuse pass with the obs layer
 //                                and write Chrome trace_event JSON
+//
+// --soak runs the fixed mixed-workload scenario suite instead (seq_small,
+// mixed_engines, tabled_cache, assert_churn) and emits one machine-readable
+// `ATTRIB name=... engine=serve agents=...` line per scenario with
+// throughput (qps) and latency percentiles — the input of
+//
+//   bench_serve --soak | bench_to_json > BENCH_serve.json
+//
+// which is the checked-in serving-performance trajectory gated in CI
+// (higher-is-better qps with a generous collapse tolerance; the latency
+// fields ride along as data). --smoke shrinks the per-scenario query count
+// for CI runners; the scenario keys stay identical so the documents stay
+// comparable.
 #include <chrono>
 #include <cstring>
 #include <deque>
@@ -46,7 +59,13 @@ struct BenchConfig {
   bool use_seq = true;
   bool use_andp = true;
   bool use_orp = true;
+  // Soak-scenario knob: every 8th query asserts and retracts a dynamic
+  // fact, exercising the database write path (epoch bumps, index
+  // republication, table invalidation hooks) under serving load.
+  bool churn = false;
 };
+
+const char kChurnQuery[] = "assertz(churn_fact(1)), retract(churn_fact(1)).";
 
 EngineConfig engine_for(const BenchConfig& bc, std::size_t i) {
   std::vector<EngineConfig> mix;
@@ -95,7 +114,7 @@ Measurement drive(Database& db, const BenchConfig& bc,
       }
     }
     QueryRequest req;
-    req.query = bc.query;
+    req.query = (bc.churn && i % 8 == 7) ? kChurnQuery : bc.query;
     req.engine = engine_for(bc, i);
     inflight.push_back(service.submit(std::move(req)));
   }
@@ -128,11 +147,76 @@ void report(const char* mode, const BenchConfig& bc, const Measurement& m) {
       (unsigned long long)lat.max_us, m.metrics.pool_hit_rate());
 }
 
+// ---- --soak: the fixed mixed-workload scenario suite ----------------------
+
+struct SoakScenario {
+  const char* name;
+  const char* workload;
+  bool use_seq, use_andp, use_orp;
+  bool churn;
+};
+
+// The four serving profiles the dashboard cares about: pure sequential
+// small queries (baseline), a seq/andp/orp engine mix (pool keyed by
+// config), tabled queries answered from the shared memo cache, and a
+// workload that mutates the database while serving.
+const SoakScenario kSoakScenarios[] = {
+    {"seq_small", "queens1", true, false, false, false},
+    {"mixed_engines", "queens1", true, true, true, false},
+    {"tabled_cache", "tc_chain64", true, false, false, false},
+    {"assert_churn", "queens1", true, false, false, true},
+};
+
+int run_soak(bool smoke, unsigned threads, std::size_t clients) {
+  for (const SoakScenario& sc : kSoakScenarios) {
+    BenchConfig bc;
+    bc.queries = smoke ? 64 : 512;
+    bc.threads = threads;
+    bc.clients = clients;
+    bc.workload_name = sc.workload;
+    bc.use_seq = sc.use_seq;
+    bc.use_andp = sc.use_andp;
+    bc.use_orp = sc.use_orp;
+    bc.churn = sc.churn;
+
+    const Workload& w = workload(bc.workload_name);
+    bc.query = w.small_query.empty() ? w.query : w.small_query;
+    Database db;
+    load_library(db);
+    db.consult(w.source);
+
+    BenchConfig warm = bc;
+    warm.queries = 16;
+    drive(db, warm, /*pool_capacity=*/16);
+
+    Measurement m = drive(db, bc, /*pool_capacity=*/16);
+    const LatencyHistogram::Snapshot& lat = m.metrics.latency;
+    double qps = double(bc.queries) / m.seconds;
+    std::printf("%-14s %5zu queries on %-10s %9.1f q/s  p50 %6llu us  "
+                "p99 %6llu us  pool hit %.2f\n",
+                sc.name, bc.queries, sc.workload, qps,
+                (unsigned long long)lat.percentile_us(0.50),
+                (unsigned long long)lat.percentile_us(0.99),
+                m.metrics.pool_hit_rate());
+    std::printf("ATTRIB name=%s engine=serve agents=%u queries=%zu "
+                "qps=%.1f mean_us=%.1f p50_us=%llu p99_us=%llu max_us=%llu "
+                "pool_hit_rate=%.3f\n",
+                sc.name, bc.threads, bc.queries, qps, lat.mean_us(),
+                (unsigned long long)lat.percentile_us(0.50),
+                (unsigned long long)lat.percentile_us(0.99),
+                (unsigned long long)lat.max_us, m.metrics.pool_hit_rate());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchConfig bc;
   std::string trace_path;
+  bool soak = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -161,6 +245,10 @@ int main(int argc, char** argv) {
       bc.use_seq = mix.find("seq") != std::string::npos;
       bc.use_andp = mix.find("andp") != std::string::npos;
       bc.use_orp = mix.find("orp") != std::string::npos;
+    } else if (arg == "--soak") {
+      soak = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -168,6 +256,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (soak) return run_soak(smoke, bc.threads, bc.clients);
+
     const Workload& w = workload(bc.workload_name);
     if (bc.query.empty()) {
       bc.query = w.small_query.empty() ? w.query : w.small_query;

@@ -3,10 +3,10 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CANDIDATE.json [--tolerance 0.05]
-        [--throughput-tolerance 0.5]
+        [--throughput-tolerance 0.5] [--noise-floor METRIC=VALUE]...
 
 Compares two BENCH_*.json documents (bench | bench_to_json) run for run,
-keyed by (name, engine, agents). Two metric kinds:
+keyed by (name, engine, agents). Three metric kinds:
 
   virtual_time  (bench_attrib, bench_tab) — lower is better. A run
         REGRESSES when its candidate virtual time exceeds the baseline by
@@ -17,6 +17,16 @@ keyed by (name, engine, agents). Two metric kinds:
         throughput drops below baseline by more than
         --throughput-tolerance (default 50%) — the gate catches collapses
         (a reader path that silently reverted to a global lock), not jitter.
+  qps   (bench_serve --soak) — higher is better, same wall-clock gate as
+        mops. Latency fields (p50_us, p99_us, ...) ride along as data and
+        never gate: percentiles on a shared CI runner are all jitter.
+
+--noise-floor METRIC=VALUE (repeatable) declares the absolute value below
+which a wall-clock metric is indistinguishable from scheduler noise: when
+the BASELINE value of that metric is under the floor the run is reported
+but not gated. This keeps tiny-denominator runs (a 3ms scenario on a busy
+runner) from tripping the percentage gate while the meaningful runs still
+gate hard.
 
 Improvements and new runs are reported but never fail the gate; a run that
 disappears from the candidate fails it (a silently dropped workload is how
@@ -58,9 +68,27 @@ def main():
                     help="allowed fractional virtual-time increase "
                          "(default 0.05 = 5%%)")
     ap.add_argument("--throughput-tolerance", type=float, default=0.5,
-                    help="allowed fractional throughput (mops) decrease for "
-                         "wall-clock runs (default 0.5 = 50%%)")
+                    help="allowed fractional throughput (mops/qps) decrease "
+                         "for wall-clock runs (default 0.5 = 50%%)")
+    ap.add_argument("--noise-floor", action="append", default=[],
+                    metavar="METRIC=VALUE",
+                    help="absolute baseline value below which METRIC does "
+                         "not gate (repeatable, e.g. --noise-floor qps=25)")
     args = ap.parse_args()
+
+    floors = {}
+    for spec in args.noise_floor:
+        metric, sep, value = spec.partition("=")
+        if not sep or not metric:
+            print(f"error: bad --noise-floor {spec!r} (want METRIC=VALUE)",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            floors[metric] = float(value)
+        except ValueError:
+            print(f"error: bad --noise-floor value {value!r}",
+                  file=sys.stderr)
+            sys.exit(2)
 
     base = load_runs(args.baseline)
     cand = load_runs(args.candidate)
@@ -79,6 +107,10 @@ def main():
             cvt = int(c.get("virtual_time", 0))
             if bvt == 0:
                 continue
+            if bvt < floors.get("virtual_time", 0.0):
+                print(f"note: {name}: virtual_time {bvt} below noise floor "
+                      f"{floors['virtual_time']:g}; not gated")
+                continue
             delta = (cvt - bvt) / bvt
             if delta > args.tolerance:
                 regressions.append(
@@ -91,25 +123,31 @@ def main():
                       f"({100 * delta:.2f}%)")
             else:
                 unchanged += 1
-        elif "mops" in b:
-            bth = float(b["mops"])
-            cth = float(c.get("mops", 0.0))
+        elif "mops" in b or "qps" in b:
+            metric, unit = (("mops", "Mops/s") if "mops" in b
+                            else ("qps", "q/s"))
+            bth = float(b[metric])
+            cth = float(c.get(metric, 0.0))
             if bth <= 0:
+                continue
+            if bth < floors.get(metric, 0.0):
+                print(f"note: {name}: {metric} {bth:.3f} below noise floor "
+                      f"{floors[metric]:g}; not gated")
                 continue
             drop = (bth - cth) / bth
             if drop > args.throughput_tolerance:
                 regressions.append(
-                    f"{name}: throughput {bth:.3f} -> {cth:.3f} Mops/s "
+                    f"{name}: throughput {bth:.3f} -> {cth:.3f} {unit} "
                     f"(-{100 * drop:.1f}%, tolerance "
                     f"{100 * args.throughput_tolerance:.0f}%)")
             elif cth > bth:
                 improvements += 1
-                print(f"ok: {name}: improved {bth:.3f} -> {cth:.3f} Mops/s")
+                print(f"ok: {name}: improved {bth:.3f} -> {cth:.3f} {unit}")
             else:
                 unchanged += 1
         else:
-            print(f"error: baseline run {name} has neither virtual_time "
-                  f"nor mops", file=sys.stderr)
+            print(f"error: baseline run {name} has none of virtual_time, "
+                  f"mops, qps", file=sys.stderr)
             sys.exit(2)
 
     new_runs = sorted(set(cand) - set(base))

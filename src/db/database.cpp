@@ -1,8 +1,10 @@
 #include "db/database.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "db/snapshot.hpp"
 #include "support/strutil.hpp"
 
 namespace ace {
@@ -72,8 +74,39 @@ Database::EpochSlot* Database::acquire_slot() const {
 
 void Database::release_slot(EpochSlot* slot) const {
   slot->epoch.store(kIdleEpoch);
+  slot->pinned_at_ns.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(slots_mu_);
   slot->in_use = false;
+}
+
+Database::HealthStats Database::health_stats() const {
+  HealthStats h;
+  h.epoch = epoch_.load();
+  h.min_pinned_epoch = min_pinned_epoch();
+  h.epoch_lag = h.epoch - h.min_pinned_epoch;
+  h.limbo_depth = limbo_size();
+  h.index_versions = PredIndex::live_count();
+  const std::uint64_t now = db::Snapshot::mono_ns();
+  std::uint64_t oldest = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (const auto& s : slots_) {
+      if (s->epoch.load() == kIdleEpoch) continue;
+      ++h.pinned_snapshots;
+      const std::uint64_t at = s->pinned_at_ns.load(std::memory_order_relaxed);
+      // at == 0: the pin is published but its stamp is not yet visible (or
+      // was cleared by a racing release); skip rather than report a bogus
+      // full-clock age.
+      if (at != 0 && now > at) oldest = std::max(oldest, now - at);
+    }
+  }
+  h.oldest_pin_age_ns = oldest;
+  std::uint64_t hw = pin_age_hw_ns_.load(std::memory_order_relaxed);
+  while (hw < oldest && !pin_age_hw_ns_.compare_exchange_weak(
+                            hw, oldest, std::memory_order_relaxed)) {
+  }
+  h.pin_age_hw_ns = std::max(hw, oldest);
+  return h;
 }
 
 std::size_t Database::limbo_size() const {

@@ -149,6 +149,24 @@ class Database {
   // sitting in this database's limbo list.
   std::size_t limbo_size() const;
 
+  // ---- Health introspection ----------------------------------------------
+  // Instantaneous view of the epoch/RCU machinery for the serving metrics:
+  // how far reclamation lags behind the newest epoch, how many snapshots
+  // currently pin one, how old the oldest pin is. Sampled (each field is
+  // its own atomic read, the pin-age high-water advances at sampling time),
+  // so values are monotone-ish gauges, not a transactional cut.
+  struct HealthStats {
+    std::uint64_t epoch = 0;             // current global epoch
+    std::uint64_t min_pinned_epoch = 0;  // == epoch when nothing is pinned
+    std::uint64_t epoch_lag = 0;         // epoch - min_pinned_epoch
+    std::uint64_t limbo_depth = 0;       // retired versions awaiting free
+    std::uint64_t pinned_snapshots = 0;  // slots holding a live pin
+    std::uint64_t index_versions = 0;    // live PredIndex objects (global)
+    std::uint64_t oldest_pin_age_ns = 0; // age of the oldest live pin
+    std::uint64_t pin_age_hw_ns = 0;     // high-water pin age observed
+  };
+  HealthStats health_stats() const;
+
  private:
   friend class db::Snapshot;
 
@@ -165,8 +183,12 @@ class Database {
   // snapshots do not false-share.
   struct EpochSlot {
     std::atomic<std::uint64_t> epoch{kIdleEpoch};
+    // Steady-clock stamp of the pin() that claimed this slot (0 = idle).
+    // Written once per Snapshot lifetime — pin(), not the per-step
+    // refresh() hot path — and read by health_stats().
+    std::atomic<std::uint64_t> pinned_at_ns{0};
     bool in_use = false;  // guarded by slots_mu_
-    char pad_[64 - sizeof(std::atomic<std::uint64_t>) - sizeof(bool)];
+    char pad_[64 - 2 * sizeof(std::atomic<std::uint64_t>) - sizeof(bool)];
   };
   static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
 
@@ -203,6 +225,10 @@ class Database {
 
   mutable std::mutex slots_mu_;
   mutable std::vector<std::unique_ptr<EpochSlot>> slots_;
+  // High-water pin age, advanced whenever health_stats() samples the
+  // slots (sampling semantics: a pin released between samples may never
+  // contribute its final age).
+  mutable std::atomic<std::uint64_t> pin_age_hw_ns_{0};
 
   std::atomic<bool> has_tabled_{false};
 

@@ -1,5 +1,7 @@
 #include "db/snapshot.hpp"
 
+#include <chrono>
+
 #include "db/database.hpp"
 
 namespace ace {
@@ -50,6 +52,17 @@ void Snapshot::pin(const Database& d) {
   // version, never the retired one. See docs/database.md.
   epoch_ = d.epoch_.load();
   slot->epoch.store(epoch_);
+  // Pin-age stamp for health_stats(). Once per pin (refresh, the per-step
+  // hot path, never touches it), after the epoch announce so a nonzero
+  // stamp implies the pin is already protective.
+  slot->pinned_at_ns.store(mono_ns(), std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void Snapshot::reset() {

@@ -81,6 +81,10 @@ class Snapshot {
   std::size_t num_predicates() const;
   const Predicate* predicate_at(std::size_t i) const;
 
+  // Steady-clock nanoseconds (shared monotonic scale for pin-age
+  // accounting; also used by Database::health_stats).
+  static std::uint64_t mono_ns();
+
  private:
   const Database* db_ = nullptr;
   void* slot_ = nullptr;  // Database::EpochSlot (opaque here)

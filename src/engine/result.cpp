@@ -74,6 +74,18 @@ std::string QueryResult::to_json(bool include_stats,
   out += strf(",\"reused\":%s", engine_reused ? "true" : "false");
   out += strf(",\"queue_us\":%lld,\"latency_us\":%lld",
               (long long)queue_wait.count(), (long long)latency.count());
+  if (phases.present) {
+    out += strf(
+        ",\"phases\":{\"queue_ns\":%llu,\"acquire_ns\":%llu,"
+        "\"parse_ns\":%llu,\"run_ns\":%llu,\"render_ns\":%llu,"
+        "\"total_ns\":%llu}",
+        (unsigned long long)phases.queue_ns,
+        (unsigned long long)phases.acquire_ns,
+        (unsigned long long)phases.parse_ns,
+        (unsigned long long)phases.run_ns,
+        (unsigned long long)phases.render_ns,
+        (unsigned long long)phases.total_ns());
+  }
   if (trace_id != 0) {
     out += strf(",\"trace\":%llu", (unsigned long long)trace_id);
   }

@@ -46,6 +46,11 @@ struct SolveResult {
   // Why the run ended early (None = ran to completion / solution cap).
   // Cancelled and Deadline stops still return the solutions found so far.
   StopCause stop = StopCause::None;
+  // Wall-clock phase boundaries stamped by EngineSession::run (steady
+  // clock; zero when the solve ran outside a session). Virtual time above
+  // is untouched by these — they only feed the serving phase timelines.
+  std::chrono::steady_clock::time_point wall_parse_done{};
+  std::chrono::steady_clock::time_point wall_run_done{};
 };
 
 // Renders a per-agent breakdown table (work distribution, steals, idle
@@ -63,6 +68,24 @@ enum class QueryOutcome : std::uint8_t {
 };
 
 const char* query_outcome_name(QueryOutcome o);
+
+// Wall-clock phase breakdown of one served query. The phases are
+// contiguous by construction (each boundary timestamp ends one phase and
+// starts the next), so total_ns() is exactly the admit-to-respond wall
+// time the serving layer measured — QueryResult::latency is derived from
+// the same boundaries.
+struct PhaseNanos {
+  std::uint64_t queue_ns = 0;    // admit -> picked up by a dispatch thread
+  std::uint64_t acquire_ns = 0;  // session checkout (pool hit or cold build)
+  std::uint64_t parse_ns = 0;    // query-text parse + load
+  std::uint64_t run_ns = 0;      // engine drive loop
+  std::uint64_t render_ns = 0;   // response build + bookkeeping
+  bool present = false;          // false for CLI-path results
+
+  std::uint64_t total_ns() const {
+    return queue_ns + acquire_ns + parse_ns + run_ns + render_ns;
+  }
+};
 
 // The single response type for serve and CLI paths. Versioned: kVersion
 // bumps (and is emitted as "v" in JSON) whenever the wire shape changes.
@@ -84,6 +107,9 @@ struct QueryResult {
   bool engine_reused = false;          // served by a warm pooled session
   std::chrono::microseconds queue_wait{0};
   std::chrono::microseconds latency{0};
+  // Wall-clock phase breakdown (serve path only; phases.present gates the
+  // JSON block). Phases partition `latency` exactly.
+  PhaseNanos phases;
   // Non-zero when the query ran with an obs::Recorder attached: the qid
   // its spans/events are stamped with in the exported trace.
   std::uint64_t trace_id = 0;

@@ -58,6 +58,16 @@ const char* event_kind_name(EventKind k) {
       return "session_checkout";
     case EventKind::SessionCheckin:
       return "session_checkin";
+    case EventKind::AcquireBegin:
+      return "acquire_begin";
+    case EventKind::AcquireEnd:
+      return "acquire_end";
+    case EventKind::RenderBegin:
+      return "render_begin";
+    case EventKind::RenderEnd:
+      return "render_end";
+    case EventKind::WatchdogFire:
+      return "watchdog_fire";
     case EventKind::kCount:
       break;
   }

@@ -53,6 +53,13 @@ enum class EventKind : std::uint8_t {
   SessionCheckout,  // a = 1 if pool hit (warm reuse), 0 if cold build
   SessionCheckin,   //
 
+  // ---- Wall-clock phase spans (appended; see obs/timeline.hpp) -----------
+  AcquireBegin,     // session-acquire (pool checkout / cold build) begins
+  AcquireEnd,       // a = 1 if pool hit, 0 if cold build
+  RenderBegin,      // response rendering/bookkeeping begins
+  RenderEnd,        //
+  WatchdogFire,     // wall budget exceeded: a = phase ordinal, b = age in ms
+
   kCount,
 };
 

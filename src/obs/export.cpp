@@ -40,6 +40,10 @@ const char* span_name_of_begin(EventKind k) {
       return "parse";
     case EventKind::RunBegin:
       return "run";
+    case EventKind::AcquireBegin:
+      return "acquire";
+    case EventKind::RenderBegin:
+      return "render";
     case EventKind::SlotStart:
       return "slot";
     default:
@@ -60,6 +64,10 @@ bool is_end_of(EventKind end, EventKind begin) {
       return begin == EventKind::ParseBegin;
     case EventKind::RunEnd:
       return begin == EventKind::RunBegin;
+    case EventKind::AcquireEnd:
+      return begin == EventKind::AcquireBegin;
+    case EventKind::RenderEnd:
+      return begin == EventKind::RenderBegin;
     case EventKind::SlotComplete:
     case EventKind::SlotFail:
       return begin == EventKind::SlotStart;
@@ -75,6 +83,8 @@ bool is_span_end(EventKind k) {
     case EventKind::QueryEnd:
     case EventKind::ParseEnd:
     case EventKind::RunEnd:
+    case EventKind::AcquireEnd:
+    case EventKind::RenderEnd:
     case EventKind::SlotComplete:
     case EventKind::SlotFail:
       return true;

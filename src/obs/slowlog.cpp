@@ -62,6 +62,19 @@ void SlowQueryLog::admit(const QueryResult& r) {
   }
 }
 
+void SlowQueryLog::add_flight_note(std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flight_notes_.size() >= kMaxFlightNotes) {
+    flight_notes_.erase(flight_notes_.begin());
+  }
+  flight_notes_.push_back(std::move(note));
+}
+
+std::vector<std::string> SlowQueryLog::flight_notes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flight_notes_;
+}
+
 std::vector<QueryResult> SlowQueryLog::snapshot() const {
   std::vector<QueryResult> out;
   {
@@ -77,13 +90,19 @@ std::vector<QueryResult> SlowQueryLog::snapshot() const {
 
 std::string SlowQueryLog::render() const {
   std::vector<QueryResult> entries = snapshot();
-  if (entries.empty()) {
-    return strf("slow-query log: empty (threshold %lldus)\n",
-                (long long)opts_.threshold.count());
+  std::vector<std::string> notes = flight_notes();
+  std::string out;
+  if (!notes.empty()) {
+    out += strf("watchdog flight notes: %zu\n", notes.size());
+    for (const std::string& n : notes) out += n;
   }
-  std::string out = strf("slow-query log: %zu entr%s at/above %lldus\n",
-                         entries.size(), entries.size() == 1 ? "y" : "ies",
-                         (long long)opts_.threshold.count());
+  if (entries.empty()) {
+    return out + strf("slow-query log: empty (threshold %lldus)\n",
+                      (long long)opts_.threshold.count());
+  }
+  out += strf("slow-query log: %zu entr%s at/above %lldus\n",
+              entries.size(), entries.size() == 1 ? "y" : "ies",
+              (long long)opts_.threshold.count());
   for (const QueryResult& e : entries) {
     out += strf("%8lldus (queue %lldus) id=%llu outcome=%s sols=%llu "
                 "resolutions=%llu steals=%llu%s%s  %% %s\n",

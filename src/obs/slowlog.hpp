@@ -46,6 +46,14 @@ class SlowQueryLog {
   // Slowest first.
   std::vector<QueryResult> snapshot() const;
 
+  // Watchdog flight notes: pre-rendered evidence dumps for queries that
+  // exceeded their wall budget *while still running* (so they cannot be
+  // admitted as completed entries yet, and their ring events would be
+  // overwritten by the time they finish). Bounded side-channel, newest
+  // kept; works even when the latency threshold is zero/disabled.
+  void add_flight_note(std::string note);
+  std::vector<std::string> flight_notes() const;
+
   // Human-readable rendering, slowest first. Queries that carried cost
   // attribution additionally get an " ovh=..%[cat:time,...]" note with
   // their top-3 overhead categories:
@@ -56,9 +64,12 @@ class SlowQueryLog {
  private:
   void admit(const QueryResult& r);
 
+  static constexpr std::size_t kMaxFlightNotes = 16;
+
   SlowLogOptions opts_;
   mutable std::mutex mu_;
   std::vector<QueryResult> entries_;  // unordered; eviction scans for min
+  std::vector<std::string> flight_notes_;  // oldest first, bounded
 };
 
 }  // namespace ace::obs

@@ -1,0 +1,234 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strutil.hpp"
+
+namespace ace::obs {
+
+namespace {
+
+bool is_engine_kind(EventKind k) {
+  return static_cast<int>(k) <= static_cast<int>(EventKind::CancelLand);
+}
+
+// Span-pairing vocabulary; mirrors obs/export.cpp so the text timelines and
+// the Chrome traces agree on names.
+const char* begin_name(EventKind k) {
+  switch (k) {
+    case EventKind::QueueEnter:
+      return "queued";
+    case EventKind::ServeBegin:
+      return "serve";
+    case EventKind::QueryBegin:
+      return "query";
+    case EventKind::ParseBegin:
+      return "parse";
+    case EventKind::RunBegin:
+      return "run";
+    case EventKind::AcquireBegin:
+      return "acquire";
+    case EventKind::RenderBegin:
+      return "render";
+    case EventKind::SlotStart:
+      return "slot";
+    default:
+      return nullptr;
+  }
+}
+
+bool closes(EventKind end, EventKind begin) {
+  switch (end) {
+    case EventKind::QueueLeave:
+      return begin == EventKind::QueueEnter;
+    case EventKind::ServeEnd:
+      return begin == EventKind::ServeBegin;
+    case EventKind::QueryEnd:
+      return begin == EventKind::QueryBegin;
+    case EventKind::ParseEnd:
+      return begin == EventKind::ParseBegin;
+    case EventKind::RunEnd:
+      return begin == EventKind::RunBegin;
+    case EventKind::AcquireEnd:
+      return begin == EventKind::AcquireBegin;
+    case EventKind::RenderEnd:
+      return begin == EventKind::RenderBegin;
+    case EventKind::SlotComplete:
+    case EventKind::SlotFail:
+      return begin == EventKind::SlotStart;
+    default:
+      return false;
+  }
+}
+
+bool is_close(EventKind k) {
+  switch (k) {
+    case EventKind::QueueLeave:
+    case EventKind::ServeEnd:
+    case EventKind::QueryEnd:
+    case EventKind::ParseEnd:
+    case EventKind::RunEnd:
+    case EventKind::AcquireEnd:
+    case EventKind::RenderEnd:
+    case EventKind::SlotComplete:
+    case EventKind::SlotFail:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<QueryTimeline> extract_timelines(
+    const std::vector<TrackSnapshot>& tracks, bool include_engine_events) {
+  std::map<std::uint64_t, QueryTimeline> by_qid;
+
+  auto touch = [&](std::uint64_t qid, std::uint64_t ts) -> QueryTimeline& {
+    QueryTimeline& tl = by_qid[qid];
+    if (tl.spans.empty() && tl.points.empty()) {
+      tl.qid = qid;
+      tl.first_ns = ts;
+      tl.last_ns = ts;
+    } else {
+      tl.first_ns = std::min(tl.first_ns, ts);
+      tl.last_ns = std::max(tl.last_ns, ts);
+    }
+    return tl;
+  };
+
+  for (const TrackSnapshot& track : tracks) {
+    std::vector<EventRecord> stack;
+    std::uint64_t track_last = 0;
+    for (const EventRecord& r : track.records) {
+      track_last = std::max(track_last, r.ts_ns);
+    }
+
+    auto emit_span = [&](const EventRecord& begin, std::uint64_t end_ts) {
+      QueryTimeline& tl = touch(begin.qid, begin.ts_ns);
+      tl.last_ns = std::max(tl.last_ns, end_ts);
+      PhaseSpan s;
+      s.name = begin_name(begin.kind);
+      s.track = track.id;
+      s.begin_ns = begin.ts_ns;
+      s.end_ns = end_ts;
+      s.a = begin.a;
+      s.b = begin.b;
+      tl.spans.push_back(std::move(s));
+    };
+    auto emit_point = [&](const EventRecord& r) {
+      QueryTimeline& tl = touch(r.qid, r.ts_ns);
+      TimelinePoint p;
+      p.name = event_kind_name(r.kind);
+      p.track = track.id;
+      p.ts_ns = r.ts_ns;
+      p.a = r.a;
+      p.b = r.b;
+      tl.points.push_back(std::move(p));
+    };
+
+    for (const EventRecord& r : track.records) {
+      if (r.qid == 0) continue;
+      if (!include_engine_events && is_engine_kind(r.kind)) continue;
+      if (begin_name(r.kind) != nullptr) {
+        stack.push_back(r);
+        continue;
+      }
+      if (is_close(r.kind)) {
+        bool matched = false;
+        for (std::size_t i = stack.size(); i-- > 0;) {
+          const EventRecord& o = stack[i];
+          if (!closes(r.kind, o.kind) || o.qid != r.qid) continue;
+          if (o.kind == EventKind::SlotStart &&
+              (o.a != r.a || o.b != r.b)) {
+            continue;
+          }
+          emit_span(o, r.ts_ns);
+          stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+          matched = true;
+          break;
+        }
+        if (!matched) emit_point(r);
+        continue;
+      }
+      emit_point(r);
+    }
+    // Ring overwrite or an in-flight query can leave a begin unmatched;
+    // close at the track's last timestamp so the span is still visible.
+    for (const EventRecord& o : stack) emit_span(o, track_last);
+  }
+
+  std::vector<QueryTimeline> out;
+  out.reserve(by_qid.size());
+  for (auto& [qid, tl] : by_qid) {
+    std::sort(tl.spans.begin(), tl.spans.end(),
+              [](const PhaseSpan& x, const PhaseSpan& y) {
+                if (x.begin_ns != y.begin_ns) return x.begin_ns < y.begin_ns;
+                return x.end_ns < y.end_ns;
+              });
+    std::sort(tl.points.begin(), tl.points.end(),
+              [](const TimelinePoint& x, const TimelinePoint& y) {
+                return x.ts_ns < y.ts_ns;
+              });
+    out.push_back(std::move(tl));
+  }
+  return out;
+}
+
+namespace {
+
+std::string us(std::uint64_t ns) {
+  return strf("%.1fus", double(ns) / 1000.0);
+}
+
+}  // namespace
+
+std::string render_timelines_text(const std::vector<QueryTimeline>& tls,
+                                  std::size_t max_queries) {
+  // Newest first: highest first_ns at the top.
+  std::vector<const QueryTimeline*> order;
+  order.reserve(tls.size());
+  for (const QueryTimeline& tl : tls) order.push_back(&tl);
+  std::sort(order.begin(), order.end(),
+            [](const QueryTimeline* x, const QueryTimeline* y) {
+              return x->first_ns > y->first_ns;
+            });
+  if (max_queries != 0 && order.size() > max_queries) {
+    order.resize(max_queries);
+  }
+
+  std::string out = strf("recent query timelines (%zu shown)\n",
+                         order.size());
+  for (const QueryTimeline* tl : order) {
+    out += strf("qid %llu  wall %s\n", (unsigned long long)tl->qid,
+                us(tl->wall_ns()).c_str());
+    for (const PhaseSpan& s : tl->spans) {
+      out += strf("  +%-12s %-8s %s\n",
+                  us(s.begin_ns - tl->first_ns).c_str(), s.name.c_str(),
+                  us(s.dur_ns()).c_str());
+    }
+  }
+  return out;
+}
+
+std::string render_timeline_detail(const QueryTimeline& tl) {
+  std::string out =
+      strf("qid %llu  wall %s  spans %zu  points %zu\n",
+           (unsigned long long)tl.qid, us(tl.wall_ns()).c_str(),
+           tl.spans.size(), tl.points.size());
+  for (const PhaseSpan& s : tl.spans) {
+    out += strf("  span  +%-12s %-8s dur %-12s track %u a=%llu b=%llu\n",
+                us(s.begin_ns - tl.first_ns).c_str(), s.name.c_str(),
+                us(s.dur_ns()).c_str(), s.track, (unsigned long long)s.a,
+                (unsigned long long)s.b);
+  }
+  for (const TimelinePoint& p : tl.points) {
+    out += strf("  point +%-12s %-16s track %u a=%llu b=%llu\n",
+                us(p.ts_ns - tl.first_ns).c_str(), p.name.c_str(), p.track,
+                (unsigned long long)p.a, (unsigned long long)p.b);
+  }
+  return out;
+}
+
+}  // namespace ace::obs

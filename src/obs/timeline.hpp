@@ -1,0 +1,76 @@
+// Per-query wall-clock phase timelines, reconstructed from flight-recorder
+// snapshots.
+//
+// The serving stack stamps qid-correlated begin/end events (QueueEnter,
+// AcquireBegin, ParseBegin, RunBegin, RenderBegin, ...) across several
+// tracks: the service's shared submit track, per-dispatch-thread tracks and
+// per-session tracks. extract_timelines() re-assembles those records into
+// one QueryTimeline per query id — the same pairing rules the Chrome
+// exporter uses, but grouped by query instead of by track — so /tracez and
+// the watchdog can show "where did query 42 spend its wall time" without
+// loading a trace file into a UI.
+//
+// All timestamps are nanoseconds since the owning Recorder's epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace ace::obs {
+
+struct PhaseSpan {
+  std::string name;           // "queued", "serve", "acquire", "parse", ...
+  std::uint32_t track = 0;    // track id the span was recorded on
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t a = 0;        // payload words from the begin record
+  std::uint64_t b = 0;
+
+  std::uint64_t dur_ns() const {
+    return end_ns >= begin_ns ? end_ns - begin_ns : 0;
+  }
+};
+
+struct TimelinePoint {
+  std::string name;         // instant event name ("submit", "cancel_request")
+  std::uint32_t track = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+struct QueryTimeline {
+  std::uint64_t qid = 0;
+  std::vector<PhaseSpan> spans;     // sorted by begin_ns
+  std::vector<TimelinePoint> points;  // sorted by ts_ns
+  std::uint64_t first_ns = 0;       // earliest record for this qid
+  std::uint64_t last_ns = 0;        // latest record for this qid
+
+  std::uint64_t wall_ns() const {
+    return last_ns >= first_ns ? last_ns - first_ns : 0;
+  }
+};
+
+// Reconstructs per-query timelines from a recorder snapshot. Engine-internal
+// events (slot lifecycles, steals, ...) are skipped unless
+// `include_engine_events` is set — serving timelines only need the phase
+// vocabulary. Unmatched begins (ring overwrite, in-flight queries) are
+// closed at the owning track's last timestamp. Records with qid 0 are
+// ignored. Result is sorted by qid.
+std::vector<QueryTimeline> extract_timelines(
+    const std::vector<TrackSnapshot>& tracks,
+    bool include_engine_events = false);
+
+// Renders timelines as an aligned text table, newest-first, at most
+// `max_queries` entries (0 = all). This is the /tracez payload.
+std::string render_timelines_text(const std::vector<QueryTimeline>& tls,
+                                  std::size_t max_queries = 0);
+
+// One-timeline detail dump (watchdog flight notes): every span and point
+// with offsets relative to the query's first event.
+std::string render_timeline_detail(const QueryTimeline& tl);
+
+}  // namespace ace::obs

@@ -1,0 +1,144 @@
+#include "serve/debug_pages.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+#include "serve/service.hpp"
+#include "support/strutil.hpp"
+
+namespace ace {
+
+namespace {
+
+std::string us(std::uint64_t ns) {
+  return strf("%.1fus", double(ns) / 1000.0);
+}
+
+}  // namespace
+
+std::string render_statusz(const QueryService& service) {
+  const ServeMetricsSnapshot s = service.metrics_snapshot();
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - service.started_at());
+  std::string out = "ace_serve status\n================\n";
+  out += strf("uptime_ms            %lld\n", (long long)uptime.count());
+  out += strf("dispatch_threads     %llu\n",
+              (unsigned long long)s.dispatch_threads);
+  out += "\n[queries]\n";
+  out += strf("submitted            %llu\n", (unsigned long long)s.submitted);
+  out += strf("admitted             %llu\n", (unsigned long long)s.admitted);
+  out += strf("rejected             %llu\n", (unsigned long long)s.rejected);
+  out += strf("completed            %llu\n", (unsigned long long)s.completed);
+  out += strf("cancelled            %llu\n", (unsigned long long)s.cancelled);
+  out += strf("deadline_expired     %llu\n",
+              (unsigned long long)s.deadline_expired);
+  out += strf("errors               %llu\n", (unsigned long long)s.errors);
+  out += strf("active               %llu\n",
+              (unsigned long long)s.active_queries);
+  out += strf("inflight             %llu\n", (unsigned long long)s.inflight);
+  out += "\n[queue]\n";
+  out += strf("depth                %llu\n",
+              (unsigned long long)s.queue_depth);
+  out += strf("peak                 %llu\n", (unsigned long long)s.queue_peak);
+  out += strf("p50_wait_us          %llu\n",
+              (unsigned long long)s.queue_wait.percentile_us(0.50));
+  out += strf("p99_wait_us          %llu\n",
+              (unsigned long long)s.queue_wait.percentile_us(0.99));
+  out += "\n[latency]\n";
+  out += strf("p50_us               %llu\n",
+              (unsigned long long)s.latency.percentile_us(0.50));
+  out += strf("p99_us               %llu\n",
+              (unsigned long long)s.latency.percentile_us(0.99));
+  out += strf("max_us               %llu\n",
+              (unsigned long long)s.latency.max_us);
+  out += "\n[engine pool]\n";
+  out += strf("idle                 %llu\n", (unsigned long long)s.pool_idle);
+  out += strf("capacity             %llu\n",
+              (unsigned long long)s.pool_capacity);
+  out += strf("hits                 %llu\n", (unsigned long long)s.pool_hits);
+  out += strf("misses               %llu\n",
+              (unsigned long long)s.pool_misses);
+  out += strf("hit_rate             %.3f\n", s.pool_hit_rate());
+  out += "\n[database]\n";
+  out += strf("epoch                %llu\n", (unsigned long long)s.db_epoch);
+  out += strf("epoch_lag            %llu\n",
+              (unsigned long long)s.db_epoch_lag);
+  out += strf("limbo_depth          %llu\n",
+              (unsigned long long)s.db_limbo_depth);
+  out += strf("pinned_snapshots     %llu\n",
+              (unsigned long long)s.db_pinned_snapshots);
+  out += strf("index_versions       %llu\n",
+              (unsigned long long)s.db_index_versions);
+  out += strf("oldest_pin_age       %s\n", us(s.db_oldest_pin_age_ns).c_str());
+  out += strf("pin_age_highwater    %s\n", us(s.db_pin_age_hw_ns).c_str());
+  out += "\n[table cache]\n";
+  out += strf("entries              %llu\n",
+              (unsigned long long)s.table_entries);
+  out += strf("bytes                %llu\n",
+              (unsigned long long)s.table_bytes);
+  out += strf("hits                 %llu\n", (unsigned long long)s.table_hits);
+  out += strf("misses               %llu\n",
+              (unsigned long long)s.table_misses);
+  out += strf("invalidations        %llu\n",
+              (unsigned long long)s.table_invalidations);
+  out += "\n[watchdog]\n";
+  const auto budget = service.options().watchdog_budget;
+  out += strf("budget_ms            %lld\n",
+              (long long)(budget.count() / 1000000));
+  out += strf("fired                %llu\n",
+              (unsigned long long)s.watchdog_fired);
+  return out;
+}
+
+std::string render_tracez(const QueryService& service) {
+  std::vector<RecentQuery> recent = service.recent_queries();
+  std::string out = strf("recent queries: %zu (newest first)\n",
+                         recent.size());
+  // Newest last in the ring; print newest first.
+  for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
+    const RecentQuery& q = *it;
+    out += strf("qid %llu  %s  wall %lldus  vt %llu  %% %s\n",
+                (unsigned long long)q.id, query_outcome_name(q.outcome),
+                (long long)q.latency.count(),
+                (unsigned long long)q.virtual_time, q.query.c_str());
+    if (q.phases.present) {
+      out += strf(
+          "  phases: queue %s | acquire %s | parse %s | run %s | render %s\n",
+          us(q.phases.queue_ns).c_str(), us(q.phases.acquire_ns).c_str(),
+          us(q.phases.parse_ns).c_str(), us(q.phases.run_ns).c_str(),
+          us(q.phases.render_ns).c_str());
+    }
+  }
+  // Recorder-level detail (per-track spans) when tracing is attached.
+  if (service.recorder() != nullptr) {
+    std::vector<obs::QueryTimeline> tls =
+        obs::extract_timelines(service.recorder()->snapshot());
+    out += "\n";
+    out += obs::render_timelines_text(tls, QueryService::kRecentCapacity);
+  }
+  return out;
+}
+
+std::string render_flamez(const QueryService& service) {
+  // Collapsed-stack attribution: one "q<id>;<category> <charge>" line per
+  // (recent query, nonzero category) — flamegraph.pl-compatible, with the
+  // query id as the root frame.
+  std::vector<RecentQuery> recent = service.recent_queries();
+  std::string out;
+  for (const RecentQuery& q : recent) {
+    for (std::size_t i = 0; i < kNumCostCats; ++i) {
+      if (q.attrib.at[i] == 0) continue;
+      out += strf("q%llu;%s %llu\n", (unsigned long long)q.id,
+                  cost_cat_name(static_cast<CostCat>(i)),
+                  (unsigned long long)q.attrib.at[i]);
+    }
+  }
+  if (out.empty()) {
+    out = "# no attribution recorded yet (run queries first)\n";
+  }
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,26 @@
+// The /debug introspection pages served next to /metrics:
+//
+//   /statusz  one-screen service state: pool + queue + db + table-cache
+//             gauges, watchdog counters, uptime.
+//   /tracez   recent query phase timelines (from the service's bounded
+//             RecentQuery ring; recorder detail when one is attached).
+//   /flamez   collapsed-stack attribution ("qid;category charge" lines)
+//             for the last N queries — feed straight into a flamegraph
+//             script, or read the totals by eye.
+//
+// All renderers are read-only: metrics snapshots, bounded ring copies and
+// lock-free recorder snapshots — safe to call while the service is under
+// load. Register with MetricsHttpServer::set_handler().
+#pragma once
+
+#include <string>
+
+namespace ace {
+
+class QueryService;
+
+std::string render_statusz(const QueryService& service);
+std::string render_tracez(const QueryService& service);
+std::string render_flamez(const QueryService& service);
+
+}  // namespace ace

@@ -65,6 +65,27 @@ void MetricsHttpServer::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void MetricsHttpServer::set_handler(const std::string& path,
+                                    RenderFn render) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(render);
+}
+
+std::string MetricsHttpServer::request_path(const char* buf, std::size_t n) {
+  // "GET /path HTTP/1.1\r\n..." — tolerate any method token; return the
+  // path up to the first space or query string. Empty on malformed input.
+  std::size_t i = 0;
+  while (i < n && buf[i] != ' ') ++i;
+  if (i >= n) return "";
+  ++i;  // the space
+  std::size_t start = i;
+  while (i < n && buf[i] != ' ' && buf[i] != '\r' && buf[i] != '\n' &&
+         buf[i] != '?') {
+    ++i;
+  }
+  return std::string(buf + start, i - start);
+}
+
 void MetricsHttpServer::accept_loop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -77,11 +98,17 @@ void MetricsHttpServer::accept_loop() {
     // in one read; we only need the connection to have *sent* something).
     char buf[2048];
     ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-    (void)n;
+    RenderFn handler;
+    if (n > 0) {
+      std::string path = request_path(buf, static_cast<std::size_t>(n));
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      auto it = handlers_.find(path);
+      if (it != handlers_.end()) handler = it->second;
+    }
     std::string body;
     bool ok = true;
     try {
-      body = render_();
+      body = handler ? handler() : render_();
     } catch (const std::exception& e) {
       ok = false;
       body = strf("render error: %s\n", e.what());

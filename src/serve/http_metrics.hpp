@@ -1,16 +1,22 @@
-// Minimal HTTP/1.1 endpoint serving Prometheus text metrics.
+// Minimal HTTP/1.1 endpoint serving Prometheus text metrics and the
+// /debug introspection pages.
 //
-// One accept thread, blocking I/O, one request per connection: every GET
-// (any path) receives `200 OK text/plain; version=0.0.4` with the body the
-// `render` callback produces at request time. That is all a Prometheus
-// scraper (or curl) needs; anything fancier belongs behind a real reverse
-// proxy. Port 0 binds an ephemeral port (tests); port() reports the bound
-// one. stop() shuts the listener down and joins the thread.
+// One accept thread, blocking I/O, one request per connection. The GET
+// path selects a handler registered with set_handler() (/statusz, /tracez,
+// /flamez); any other path — including /metrics and the bare / — falls
+// back to the default `render` callback, preserving the original
+// "any path scrapes metrics" contract. Responses are
+// `200 OK text/plain; version=0.0.4`; anything fancier belongs behind a
+// real reverse proxy. Port 0 binds an ephemeral port (tests); port()
+// reports the bound one. stop() shuts the listener down and joins the
+// thread.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -31,12 +37,20 @@ class MetricsHttpServer {
   // The bound port (resolves port 0 to the kernel-assigned one).
   std::uint16_t port() const { return port_; }
 
+  // Registers (or replaces) the handler for an exact request path, e.g.
+  // "/statusz". Thread-safe; takes effect for the next request.
+  void set_handler(const std::string& path, RenderFn render);
+
   void stop();
 
  private:
   void accept_loop();
+  // Extracts the request path from a raw request buffer ("GET /x HTTP/1.1").
+  static std::string request_path(const char* buf, std::size_t n);
 
   RenderFn render_;
+  std::mutex handlers_mu_;
+  std::map<std::string, RenderFn> handlers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "support/strutil.hpp"
 
 namespace ace {
@@ -16,7 +17,30 @@ std::chrono::microseconds since(SteadyClock::time_point t0) {
       SteadyClock::now() - t0);
 }
 
+std::uint64_t ns_between(SteadyClock::time_point a,
+                         SteadyClock::time_point b) {
+  return b > a ? static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         b - a)
+                         .count())
+               : 0;
+}
+
 }  // namespace
+
+const char* serve_phase_name(ServePhase p) {
+  switch (p) {
+    case ServePhase::Queued:
+      return "queued";
+    case ServePhase::Acquire:
+      return "acquire";
+    case ServePhase::Engine:
+      return "engine";
+    case ServePhase::Render:
+      return "render";
+  }
+  return "?";
+}
 
 QueryService::QueryService(Database& db, ServiceOptions opts,
                            const CostModel& costs)
@@ -25,7 +49,8 @@ QueryService::QueryService(Database& db, ServiceOptions opts,
       costs_(costs),
       builtins_(db.syms()),
       tablespace_(std::make_shared<tab::TableSpace>(&db)),
-      slowlog_(opts.slowlog) {
+      slowlog_(opts.slowlog),
+      started_at_(SteadyClock::now()) {
   ACE_CHECK(opts_.dispatch_threads >= 1);
   if (opts_.recorder != nullptr) {
     // Tracks are created before the threads so every dispatch thread sees
@@ -41,6 +66,9 @@ QueryService::QueryService(Database& db, ServiceOptions opts,
   for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
     threads_.emplace_back([this, i] { dispatch_loop(i); });
   }
+  if (opts_.watchdog_budget.count() > 0) {
+    wd_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 QueryService::~QueryService() { shutdown(); }
@@ -54,6 +82,12 @@ void QueryService::shutdown() {
   queue_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  if (wd_thread_.joinable()) wd_thread_.join();
 }
 
 std::size_t QueryService::queue_depth() const {
@@ -105,9 +139,14 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
       service_track_->note_qid(obs::EventKind::QueueEnter, p.id,
                                queue_.size());
     }
+    p.progress = std::make_shared<QueryProgress>();
+    p.progress->id = p.id;
+    p.progress->query = p.req.query;
+    p.progress->admitted_at = p.admitted_at;
+    p.progress->token = p.token;
     {
       std::lock_guard<std::mutex> rlock(reg_mu_);
-      inflight_.emplace(p.id, p.token);
+      inflight_.emplace(p.id, p.progress);
     }
     queue_.push_back(std::move(p));
     metrics_.set_queue_depth(queue_.size());
@@ -128,7 +167,7 @@ bool QueryService::cancel(std::uint64_t id) {
   if (service_track_ != nullptr) {
     service_track_->note_qid(obs::EventKind::CancelRequest, id);
   }
-  it->second->request_cancel();
+  it->second->token->request_cancel();
   return true;
 }
 
@@ -160,13 +199,23 @@ void QueryService::dispatch_loop(unsigned thread_index) {
 void QueryService::respond(Pending& p, QueryResult&& resp) {
   resp.id = p.id;
   if (resp.query.empty()) resp.query = p.req.query;
-  resp.latency = since(p.admitted_at);
+  // One final timestamp closes both the render phase and the end-to-end
+  // latency, so the phase durations telescope to exactly the reported
+  // latency (admit -> this point).
+  const SteadyClock::time_point t_final = SteadyClock::now();
+  resp.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      t_final - p.admitted_at);
+  if (p.phase_mark.time_since_epoch().count() != 0) {
+    resp.phases.render_ns = ns_between(p.phase_mark, t_final);
+    resp.phases.present = true;
+  }
   metrics_.record_latency(resp.latency);
   // Roll the query's cost attribution into the serving metrics (skipped
   // for responses that never reached an engine: their breakdown is empty).
   if (resp.attrib.total() > 0) {
     metrics_.add_attrib(resp.attrib, resp.virtual_time);
   }
+  metrics_.add_cge_checks(resp.stats.cge_checks);
   switch (resp.outcome) {
     case QueryOutcome::Success:
     case QueryOutcome::Fail:
@@ -187,24 +236,57 @@ void QueryService::respond(Pending& p, QueryResult&& resp) {
   }
   slowlog_.consider(resp);
   {
+    RecentQuery rq;
+    rq.id = resp.id;
+    rq.query = resp.query;
+    rq.outcome = resp.outcome;
+    rq.latency = resp.latency;
+    rq.virtual_time = resp.virtual_time;
+    rq.phases = resp.phases;
+    rq.attrib = resp.attrib;
+    std::lock_guard<std::mutex> lock(recent_mu_);
+    if (recent_.size() >= kRecentCapacity) recent_.pop_front();
+    recent_.push_back(std::move(rq));
+  }
+  {
     std::lock_guard<std::mutex> lock(reg_mu_);
     inflight_.erase(p.id);
   }
   p.promise.set_value(std::move(resp));
 }
 
+std::vector<RecentQuery> QueryService::recent_queries() const {
+  std::lock_guard<std::mutex> lock(recent_mu_);
+  return std::vector<RecentQuery>(recent_.begin(), recent_.end());
+}
+
+std::size_t QueryService::pool_idle() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return idle_sessions_.size();
+}
+
 void QueryService::serve_one(Pending&& p, obs::Track* track) {
+  active_.fetch_add(1, std::memory_order_relaxed);
+  struct ActiveGuard {
+    std::atomic<std::uint64_t>& a;
+    ~ActiveGuard() { a.fetch_sub(1, std::memory_order_relaxed); }
+  } active_guard{active_};
+
+  // First phase boundary: everything before this instant was queue time.
+  const SteadyClock::time_point t_dispatch = SteadyClock::now();
   QueryResult resp;
-  resp.queue_wait = since(p.admitted_at);
+  resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+      t_dispatch - p.admitted_at);
+  resp.phases.queue_ns = ns_between(p.admitted_at, t_dispatch);
+  p.phase_mark = t_dispatch;
   metrics_.record_queue_wait(resp.queue_wait);
   if (track != nullptr) track->set_query(p.id);
   obs::Span serve_span(track, p.id, obs::EventKind::ServeBegin,
                        obs::EventKind::ServeEnd);
 
   // Deadline-aware dispatch: answer queue-expired requests without
-  // spending an engine on them.
-  SteadyClock::time_point now = SteadyClock::now();
-  if (p.has_deadline && now >= p.deadline_at) {
+  // spending an engine on them. (Phases: queue + render only.)
+  if (p.has_deadline && t_dispatch >= p.deadline_at) {
     resp.outcome = QueryOutcome::DeadlineExpired;
     respond(p, std::move(resp));
     return;
@@ -216,8 +298,21 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     return;
   }
 
+  if (p.progress != nullptr) {
+    p.progress->phase.store(static_cast<int>(ServePhase::Acquire),
+                            std::memory_order_relaxed);
+  }
   bool reused = false;
-  std::unique_ptr<EngineSession> session = checkout(p.req.engine, &reused);
+  std::unique_ptr<EngineSession> session;
+  {
+    obs::Span acquire_span(track, p.id, obs::EventKind::AcquireBegin,
+                           obs::EventKind::AcquireEnd);
+    session = checkout(p.req.engine, &reused);
+    acquire_span.close(reused ? 1 : 0);
+  }
+  const SteadyClock::time_point t_acquired = SteadyClock::now();
+  resp.phases.acquire_ns = ns_between(t_dispatch, t_acquired);
+  p.phase_mark = t_acquired;
   resp.engine_reused = reused;
   if (opts_.recorder != nullptr) {
     session->set_recorder(opts_.recorder);
@@ -232,19 +327,39 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
   budget.resolution_limit = p.req.resolution_limit;
   if (p.has_deadline) {
     budget.deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        p.deadline_at - now);
+        p.deadline_at - t_dispatch);
   }
 
+  if (p.progress != nullptr) {
+    p.progress->phase.store(static_cast<int>(ServePhase::Engine),
+                            std::memory_order_relaxed);
+  }
   try {
-    resp.absorb(session->run(p.req.query, budget, p.token.get(), p.id));
+    SolveResult sr = session->run(p.req.query, budget, p.token.get(), p.id);
+    // Wall boundaries stamped inside run(): parse covers session reset +
+    // query parse/load, run covers the drive loop; both stay inside
+    // [t_acquired, now] so the phase sum still telescopes exactly.
+    resp.phases.parse_ns = ns_between(t_acquired, sr.wall_parse_done);
+    resp.phases.run_ns = ns_between(sr.wall_parse_done, sr.wall_run_done);
+    if (sr.wall_run_done.time_since_epoch().count() != 0) {
+      p.phase_mark = sr.wall_run_done;
+    }
+    resp.absorb(std::move(sr));
   } catch (const AceError& e) {
     // Parse errors, undefined predicates, resolution-budget exhaustion,
     // uncaught throw/1 balls. The session's next run() resets all engine
-    // state, so the pooled engine stays healthy regardless.
+    // state, so the pooled engine stays healthy regardless. Wall time of
+    // the failed attempt lands in the render phase.
     resp.outcome = QueryOutcome::Error;
     resp.error = e.what();
   }
 
+  if (p.progress != nullptr) {
+    p.progress->phase.store(static_cast<int>(ServePhase::Render),
+                            std::memory_order_relaxed);
+  }
+  obs::Span render_span(track, p.id, obs::EventKind::RenderBegin,
+                        obs::EventKind::RenderEnd);
   // Always return the session: the reset-on-run invariant means even a
   // stopped or errored session is safe to reuse.
   if (track != nullptr && opts_.recorder != nullptr) {
@@ -287,7 +402,103 @@ ServeMetricsSnapshot QueryService::metrics_snapshot() const {
   s.table_inserts = t.inserts;
   s.table_invalidations = t.invalidations;
   s.table_entries = t.entries;
+  s.table_bytes = t.bytes;
+  // Runtime health: only the service can see the pool, the registry and
+  // the database's epoch machinery, so this block is filled here, not in
+  // ServeMetrics::snapshot().
+  s.runtime_present = true;
+  s.pool_idle = pool_idle();
+  s.pool_capacity = opts_.pool_capacity;
+  s.dispatch_threads = opts_.dispatch_threads;
+  s.active_queries = active_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    s.inflight = inflight_.size();
+  }
+  s.watchdog_fired = watchdog_fired_.load(std::memory_order_relaxed);
+  Database::HealthStats h = db_.health_stats();
+  s.db_epoch = h.epoch;
+  s.db_epoch_lag = h.epoch_lag;
+  s.db_limbo_depth = h.limbo_depth;
+  s.db_pinned_snapshots = h.pinned_snapshots;
+  s.db_index_versions = h.index_versions;
+  s.db_oldest_pin_age_ns = h.oldest_pin_age_ns;
+  s.db_pin_age_hw_ns = h.pin_age_hw_ns;
   return s;
+}
+
+std::string QueryService::watchdog_report(
+    const QueryProgress& prog, std::chrono::nanoseconds age) const {
+  const ServePhase phase =
+      static_cast<ServePhase>(prog.phase.load(std::memory_order_relaxed));
+  std::string out = strf(
+      "watchdog: qid=%llu over budget (age %lldms, budget %lldms) "
+      "phase=%s  %% %s\n",
+      (unsigned long long)prog.id,
+      (long long)(age.count() / 1000000),
+      (long long)(opts_.watchdog_budget.count() / 1000000),
+      serve_phase_name(phase), prog.query.c_str());
+  // Attribution rollup across served queries: the serving-side picture of
+  // where virtual time has been going (top-3 categories).
+  ServeMetricsSnapshot ms = metrics_.snapshot();
+  if (ms.attrib.total() > 0) {
+    out += "  attrib top:";
+    for (CostCat cat : ms.attrib.top_categories(3)) {
+      out += strf(" %s:%llu", cost_cat_name(cat),
+                  (unsigned long long)ms.attrib.at[static_cast<std::size_t>(
+                      cat)]);
+    }
+    out += "\n";
+  }
+  // Flight-recorder evidence: the stuck query's own timeline (phase spans
+  // still open are closed at the track's last event). Ring snapshots are
+  // lock-free; nothing here touches the running query.
+  if (opts_.recorder != nullptr) {
+    std::vector<obs::QueryTimeline> tls =
+        obs::extract_timelines(opts_.recorder->snapshot(),
+                               /*include_engine_events=*/true);
+    for (const obs::QueryTimeline& tl : tls) {
+      if (tl.qid != prog.id) continue;
+      out += obs::render_timeline_detail(tl);
+      break;
+    }
+  }
+  return out;
+}
+
+void QueryService::watchdog_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wd_mu_);
+      wd_cv_.wait_for(lock, opts_.watchdog_poll, [this] { return wd_stop_; });
+      if (wd_stop_) return;
+    }
+    const SteadyClock::time_point now = SteadyClock::now();
+    std::vector<std::shared_ptr<QueryProgress>> over;
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      for (const auto& [id, prog] : inflight_) {
+        if (now - prog->admitted_at >= opts_.watchdog_budget &&
+            !prog->dumped.load(std::memory_order_relaxed)) {
+          over.push_back(prog);
+        }
+      }
+    }
+    for (const auto& prog : over) {
+      if (prog->dumped.exchange(true, std::memory_order_relaxed)) continue;
+      const auto age = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now - prog->admitted_at);
+      watchdog_fired_.fetch_add(1, std::memory_order_relaxed);
+      if (service_track_ != nullptr) {
+        service_track_->note_qid(
+            obs::EventKind::WatchdogFire, prog->id,
+            static_cast<std::uint64_t>(
+                prog->phase.load(std::memory_order_relaxed)),
+            static_cast<std::uint64_t>(age.count() / 1000000));
+      }
+      slowlog_.add_flight_note(watchdog_report(*prog, age));
+    }
+  }
 }
 
 void QueryService::checkin(std::unique_ptr<EngineSession> session) {

@@ -35,6 +35,7 @@
 // slow-query log (slowlog()).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -67,6 +68,31 @@ struct ServiceOptions {
   // service) and the slow-query log configuration.
   obs::Recorder* recorder = nullptr;
   obs::SlowLogOptions slowlog{};
+  // Stuck-query watchdog: when > 0, a background thread checks in-flight
+  // queries every `watchdog_poll` and dumps a flight-recorder snapshot
+  // (current phase, qid-correlated events, attribution top-3) to the
+  // slow-query log for any query older than `watchdog_budget` — once per
+  // query. Strictly read-only w.r.t. the running query.
+  std::chrono::nanoseconds watchdog_budget{0};  // 0 = disabled
+  std::chrono::milliseconds watchdog_poll{50};
+};
+
+// Coarse serving phase of one in-flight query, advanced by the dispatch
+// thread and read by the watchdog (relaxed atomic int).
+enum class ServePhase : int { Queued, Acquire, Engine, Render };
+const char* serve_phase_name(ServePhase p);
+
+// Bounded per-query history entry kept by the service for the /tracez and
+// /flamez debug pages: phases are always measured (no recorder needed),
+// attribution rides along when the engine reported it.
+struct RecentQuery {
+  std::uint64_t id = 0;
+  std::string query;
+  QueryOutcome outcome = QueryOutcome::Error;
+  std::chrono::microseconds latency{0};
+  std::uint64_t virtual_time = 0;
+  PhaseNanos phases;
+  AttribBreakdown attrib;
 };
 
 // PR 1 compatibility alias: the serving response is now the shared
@@ -129,21 +155,56 @@ class QueryService {
   const obs::SlowQueryLog& slowlog() const { return slowlog_; }
   std::size_t queue_depth() const;
   Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  // ---- Introspection for the /debug surface ------------------------------
+  const ServiceOptions& options() const { return opts_; }
+  obs::Recorder* recorder() const { return opts_.recorder; }
+  std::size_t pool_idle() const;
+  std::uint64_t watchdog_fired() const {
+    return watchdog_fired_.load(std::memory_order_relaxed);
+  }
+  std::chrono::steady_clock::time_point started_at() const {
+    return started_at_;
+  }
+  // Most recent completed queries, newest last (bounded ring of
+  // kRecentCapacity).
+  std::vector<RecentQuery> recent_queries() const;
+  static constexpr std::size_t kRecentCapacity = 64;
 
  private:
+  // Shared in-flight registry entry: the submit side creates it, the
+  // dispatch thread advances `phase`, cancel() reaches the token through
+  // it, and the watchdog reads all of it without touching the query.
+  struct QueryProgress {
+    std::uint64_t id = 0;
+    std::string query;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::shared_ptr<CancelToken> token;
+    std::atomic<int> phase{static_cast<int>(ServePhase::Queued)};
+    std::atomic<bool> dumped{false};  // watchdog fired for this query
+  };
+
   struct Pending {
     std::uint64_t id = 0;
     QueryRequest req;
     std::promise<QueryResult> promise;
     std::shared_ptr<CancelToken> token;
+    std::shared_ptr<QueryProgress> progress;
     std::chrono::steady_clock::time_point admitted_at;
     std::chrono::steady_clock::time_point deadline_at;  // max() = none
     bool has_deadline = false;
+    // Last phase-boundary timestamp (zero until serve_one runs); respond()
+    // closes the render phase against it so phases partition latency.
+    std::chrono::steady_clock::time_point phase_mark{};
   };
 
   void dispatch_loop(unsigned thread_index);
   void serve_one(Pending&& p, obs::Track* track);
   void respond(Pending& p, QueryResult&& resp);
+  void watchdog_loop();
+  std::string watchdog_report(const QueryProgress& prog,
+                              std::chrono::nanoseconds age) const;
   std::unique_ptr<EngineSession> checkout(const EngineConfig& cfg,
                                           bool* reused_out);
   void checkin(std::unique_ptr<EngineSession> session);
@@ -167,14 +228,26 @@ class QueryService {
   std::deque<Pending> queue_;
   bool stopping_ = false;
 
-  std::mutex pool_mu_;
+  mutable std::mutex pool_mu_;
   std::vector<std::unique_ptr<EngineSession>> idle_sessions_;
 
-  std::mutex reg_mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<CancelToken>> inflight_;
+  mutable std::mutex reg_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<QueryProgress>> inflight_;
+
+  mutable std::mutex recent_mu_;
+  std::deque<RecentQuery> recent_;  // bounded to kRecentCapacity
 
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> active_{0};  // queries inside serve_one
+  std::atomic<std::uint64_t> watchdog_fired_{0};
+  std::chrono::steady_clock::time_point started_at_;
   std::vector<std::thread> threads_;
+
+  // Watchdog thread state (only started when watchdog_budget > 0).
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::thread wd_thread_;
 };
 
 }  // namespace ace

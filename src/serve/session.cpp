@@ -186,6 +186,7 @@ SolveResult EngineSession::run(const std::string& query_text,
   TermTemplate query = parse_term_text(db_.syms(), query_text);
   workers_[0]->load_query(query);
   parse_span.close(query_text.size());
+  const auto wall_parse_done = std::chrono::steady_clock::now();
 
   SolveResult result;
   {
@@ -204,6 +205,8 @@ SolveResult EngineSession::run(const std::string& query_text,
     }
     run_span.close(result.solutions.size(), result.stats.resolutions);
   }
+  result.wall_parse_done = wall_parse_done;
+  result.wall_run_done = std::chrono::steady_clock::now();
   ++queries_run_;
   query_span.close(result.solutions.size(),
                    static_cast<std::uint64_t>(result.stop));

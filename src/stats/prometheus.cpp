@@ -69,22 +69,65 @@ std::string prometheus_text(const ServeMetricsSnapshot& s) {
               s.lint_warnings);
     put_gauge(out, "ace_lint_errors", "Load-time lint errors", s.lint_errors);
   }
+  if (s.cge_checks > 0) {
+    put_counter(out, "ace_cge_checks_total",
+                "CGE guard evaluations (ground/indep checks) in served "
+                "queries",
+                s.cge_checks);
+  }
   if (s.tables_present) {
-    put_counter(out, "ace_table_hits",
+    put_counter(out, "ace_table_hits_total",
                 "Tabled calls answered from a completed memo table",
                 s.table_hits);
-    put_counter(out, "ace_table_misses",
+    put_counter(out, "ace_table_misses_total",
                 "Tabled calls that had to evaluate their subgoal",
                 s.table_misses);
-    put_counter(out, "ace_table_inserts",
+    put_counter(out, "ace_table_inserts_total",
                 "Completed memo tables published to the shared cache",
                 s.table_inserts);
-    put_counter(out, "ace_table_invalidations",
+    put_counter(out, "ace_table_invalidations_total",
                 "Memo tables dropped because a supporting predicate changed",
                 s.table_invalidations);
     put_gauge(out, "ace_table_entries",
               "Live completed memo tables in the shared cache",
               s.table_entries);
+    put_gauge(out, "ace_table_bytes",
+              "Approximate resident bytes of the shared memo-table cache",
+              s.table_bytes);
+  }
+  if (s.runtime_present) {
+    put_gauge(out, "ace_pool_idle_sessions",
+              "Warm engine sessions parked in the pool", s.pool_idle);
+    put_gauge(out, "ace_pool_capacity", "Configured engine-pool bound",
+              s.pool_capacity);
+    put_gauge(out, "ace_serve_dispatch_threads",
+              "Configured dispatch concurrency", s.dispatch_threads);
+    put_gauge(out, "ace_serve_active_queries",
+              "Queries currently being served", s.active_queries);
+    put_gauge(out, "ace_serve_inflight_queries",
+              "Admitted queries not yet responded", s.inflight);
+    put_counter(out, "ace_serve_watchdog_fired_total",
+                "Stuck-query watchdog flight-recorder dumps",
+                s.watchdog_fired);
+    put_gauge(out, "ace_db_epoch", "Current clause-database global epoch",
+              s.db_epoch);
+    put_gauge(out, "ace_db_epoch_lag",
+              "Global epoch minus the oldest pinned epoch", s.db_epoch_lag);
+    put_gauge(out, "ace_db_limbo_depth",
+              "Retired index versions awaiting epoch reclamation",
+              s.db_limbo_depth);
+    put_gauge(out, "ace_db_pinned_snapshots",
+              "Reader snapshots currently pinning an epoch",
+              s.db_pinned_snapshots);
+    put_gauge(out, "ace_db_index_versions",
+              "Live predicate index versions (process-wide)",
+              s.db_index_versions);
+    put_gauge(out, "ace_db_oldest_pin_age_ns",
+              "Age of the oldest live snapshot pin (nanoseconds)",
+              s.db_oldest_pin_age_ns);
+    put_gauge(out, "ace_db_pin_age_highwater_ns",
+              "High-water snapshot pin age observed (nanoseconds)",
+              s.db_pin_age_hw_ns);
   }
   put_histogram(out, "ace_serve_latency_us",
                 "Admission-to-response latency (microseconds)", s.latency);

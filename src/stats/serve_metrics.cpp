@@ -93,8 +93,19 @@ void ServeMetrics::add_attrib(const AttribBreakdown& a,
 }
 
 void ServeMetrics::set_queue_depth(std::uint64_t depth) {
-  queue_depth_.store(depth, std::memory_order_relaxed);
-  atomic_max(queue_peak_, depth);
+  // Single CAS-published word: a reader loading queue_dp_ always sees a
+  // (depth, peak) pair that coexisted, so depth > peak is unobservable.
+  const std::uint64_t d = depth & 0xFFFFFFFFull;
+  std::uint64_t cur = queue_dp_.load(std::memory_order_relaxed);
+  while (true) {
+    std::uint64_t peak = cur >> 32;
+    if (d > peak) peak = d;
+    std::uint64_t next = (peak << 32) | d;
+    if (queue_dp_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
 }
 
 ServeMetricsSnapshot ServeMetrics::snapshot() const {
@@ -108,8 +119,10 @@ ServeMetricsSnapshot ServeMetrics::snapshot() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
-  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
-  s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  const std::uint64_t dp = queue_dp_.load(std::memory_order_relaxed);
+  s.queue_depth = dp & 0xFFFFFFFFull;
+  s.queue_peak = dp >> 32;
+  s.cge_checks = cge_checks_.load(std::memory_order_relaxed);
   s.lint_ran = lint_ran_.load(std::memory_order_relaxed);
   s.lint_warnings = lint_warnings_.load(std::memory_order_relaxed);
   s.lint_errors = lint_errors_.load(std::memory_order_relaxed);
@@ -160,15 +173,42 @@ std::string ServeMetricsSnapshot::to_json() const {
                  (unsigned long long)attrib_virtual_time);
     lint += ",\"attrib\":" + attrib.to_json();
   }
+  // CGE guard rollup: present once a CGE-annotated program has actually
+  // evaluated a guard (same traffic-gated contract as the blocks above).
+  if (cge_checks > 0) {
+    lint += strf(",\"cge_checks\":%llu", (unsigned long long)cge_checks);
+  }
   // Memo-table cache rollup: same present-only-with-traffic contract.
   if (tables_present) {
     lint += strf(
         ",\"table_hits\":%llu,\"table_misses\":%llu,\"table_inserts\":%llu,"
-        "\"table_invalidations\":%llu,\"table_entries\":%llu",
+        "\"table_invalidations\":%llu,\"table_entries\":%llu,"
+        "\"table_bytes\":%llu",
         (unsigned long long)table_hits, (unsigned long long)table_misses,
         (unsigned long long)table_inserts,
         (unsigned long long)table_invalidations,
-        (unsigned long long)table_entries);
+        (unsigned long long)table_entries, (unsigned long long)table_bytes);
+  }
+  // Runtime health gauges: only QueryService::metrics_snapshot() fills
+  // these, so the plain ServeMetrics::snapshot() JSON shape is unchanged.
+  if (runtime_present) {
+    lint += strf(
+        ",\"runtime\":{\"pool_idle\":%llu,\"pool_capacity\":%llu,"
+        "\"dispatch_threads\":%llu,\"active_queries\":%llu,"
+        "\"inflight\":%llu,\"watchdog_fired\":%llu,"
+        "\"db_epoch\":%llu,\"db_epoch_lag\":%llu,\"db_limbo_depth\":%llu,"
+        "\"db_pinned_snapshots\":%llu,\"db_index_versions\":%llu,"
+        "\"db_oldest_pin_age_ns\":%llu,\"db_pin_age_hw_ns\":%llu}",
+        (unsigned long long)pool_idle, (unsigned long long)pool_capacity,
+        (unsigned long long)dispatch_threads,
+        (unsigned long long)active_queries, (unsigned long long)inflight,
+        (unsigned long long)watchdog_fired, (unsigned long long)db_epoch,
+        (unsigned long long)db_epoch_lag,
+        (unsigned long long)db_limbo_depth,
+        (unsigned long long)db_pinned_snapshots,
+        (unsigned long long)db_index_versions,
+        (unsigned long long)db_oldest_pin_age_ns,
+        (unsigned long long)db_pin_age_hw_ns);
   }
   return strf(
       "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"

@@ -69,9 +69,13 @@ struct ServeMetricsSnapshot {
   // Engine pool.
   std::uint64_t pool_hits = 0;    // checkout served by a warm session
   std::uint64_t pool_misses = 0;  // checkout had to construct a session
-  // Queue gauges.
+  // Queue gauges. Taken from one packed atomic, so depth <= peak holds in
+  // every snapshot (a scrape can never see a fresh depth with a stale peak).
   std::uint64_t queue_depth = 0;  // instantaneous
   std::uint64_t queue_peak = 0;   // high-water mark
+  // Engine-side CGE guard evaluations (ground/indep checks) accumulated
+  // over served queries; zero until a CGE-annotated program runs.
+  std::uint64_t cge_checks = 0;
 
   LatencyHistogram::Snapshot latency;     // admission -> response
   LatencyHistogram::Snapshot queue_wait;  // admission -> dispatch
@@ -100,6 +104,27 @@ struct ServeMetricsSnapshot {
   std::uint64_t table_inserts = 0;        // completed tables published
   std::uint64_t table_invalidations = 0;  // tables dropped by assert/retract
   std::uint64_t table_entries = 0;        // gauge: live completed tables
+  std::uint64_t table_bytes = 0;          // gauge: approx. cached bytes
+
+  // Runtime health gauges. Filled by QueryService::metrics_snapshot()
+  // (the service is the only holder of the pool/db/watchdog state); a bare
+  // ServeMetrics::snapshot() leaves the block absent so the JSON shape is
+  // unchanged for unit-level consumers.
+  bool runtime_present = false;
+  std::uint64_t pool_idle = 0;         // warm sessions parked in the pool
+  std::uint64_t pool_capacity = 0;     // configured pool bound
+  std::uint64_t dispatch_threads = 0;  // configured dispatch concurrency
+  std::uint64_t active_queries = 0;    // queries inside serve_one right now
+  std::uint64_t inflight = 0;          // admitted, not yet responded
+  std::uint64_t watchdog_fired = 0;    // flight-recorder dumps taken
+  // db::Database epoch/RCU health (see db::Database::HealthStats).
+  std::uint64_t db_epoch = 0;
+  std::uint64_t db_epoch_lag = 0;        // epoch - min pinned epoch
+  std::uint64_t db_limbo_depth = 0;      // retired versions awaiting reclaim
+  std::uint64_t db_pinned_snapshots = 0; // snapshots holding an epoch pin
+  std::uint64_t db_index_versions = 0;   // live PredIndex objects
+  std::uint64_t db_oldest_pin_age_ns = 0;
+  std::uint64_t db_pin_age_hw_ns = 0;    // high-water observed pin age
 
   double pool_hit_rate() const {
     std::uint64_t total = pool_hits + pool_misses;
@@ -124,6 +149,11 @@ class ServeMetrics {
     pool_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void set_queue_depth(std::uint64_t depth);
+
+  // Accumulates one served query's CGE guard evaluations.
+  void add_cge_checks(std::uint64_t n) {
+    if (n != 0) cge_checks_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   // Records the program's load-time lint result (see ace_serve --analyze).
   void set_lint_counts(std::uint64_t warnings, std::uint64_t errors) {
@@ -153,8 +183,10 @@ class ServeMetrics {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> pool_hits_{0};
   std::atomic<std::uint64_t> pool_misses_{0};
-  std::atomic<std::uint64_t> queue_depth_{0};
-  std::atomic<std::uint64_t> queue_peak_{0};
+  // Packed queue gauge: depth in the low 32 bits, high-water peak in the
+  // high 32. One word means one load yields a coherent (depth, peak) pair.
+  std::atomic<std::uint64_t> queue_dp_{0};
+  std::atomic<std::uint64_t> cge_checks_{0};
   std::atomic<bool> lint_ran_{false};
   std::atomic<std::uint64_t> lint_warnings_{0};
   std::atomic<std::uint64_t> lint_errors_{0};

@@ -32,6 +32,16 @@ std::shared_ptr<const CompletedTable> TableSpace::lookup(
   return it->second;
 }
 
+std::uint64_t TableSpace::approx_bytes(const CompletedTable& t) {
+  std::uint64_t n = sizeof(CompletedTable) + t.key.size();
+  for (const TermTemplate& a : t.answers) {
+    n += sizeof(TermTemplate) + a.cells.size() * sizeof(Cell);
+    for (const std::string& v : a.var_names) n += v.size();
+  }
+  n += t.deps.size() * sizeof(TableDep);
+  return n;
+}
+
 void TableSpace::insert(std::shared_ptr<const CompletedTable> table) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const TableDep& d : table->deps) {
@@ -40,6 +50,10 @@ void TableSpace::insert(std::shared_ptr<const CompletedTable> table) {
       keys.push_back(table->key);
     }
   }
+  // Same-key insert replaces the older derivation: drop its bytes first.
+  auto prev = tables_.find(table->key);
+  if (prev != tables_.end()) bytes_ -= approx_bytes(*prev->second);
+  bytes_ += approx_bytes(*table);
   tables_[table->key] = std::move(table);
   inserts_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -50,7 +64,11 @@ void TableSpace::invalidate_pred(std::uint32_t sym, unsigned arity) {
   if (it == by_dep_.end()) return;
   std::uint64_t dropped = 0;
   for (const std::string& key : it->second) {
-    dropped += tables_.erase(key);
+    auto entry = tables_.find(key);
+    if (entry == tables_.end()) continue;
+    bytes_ -= approx_bytes(*entry->second);
+    tables_.erase(entry);
+    ++dropped;
   }
   by_dep_.erase(it);
   // Stale keys may remain in other predicates' reverse lists; erase() of a
@@ -65,6 +83,7 @@ void TableSpace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   tables_.clear();
   by_dep_.clear();
+  bytes_ = 0;
 }
 
 TableSpace::Stats TableSpace::stats() const {
@@ -75,6 +94,7 @@ TableSpace::Stats TableSpace::stats() const {
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   s.entries = tables_.size();
+  s.bytes = bytes_;
   return s;
 }
 

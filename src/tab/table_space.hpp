@@ -104,8 +104,13 @@ class TableSpace {
     std::uint64_t inserts = 0;
     std::uint64_t invalidations = 0;  // tables dropped by pred changes
     std::uint64_t entries = 0;        // current table count (gauge)
+    std::uint64_t bytes = 0;          // approx. resident bytes (gauge)
   };
   Stats stats() const;
+
+  // Approximate resident size of one completed table (key + answer cells
+  // + variable names + deps). A sizing gauge, not an allocator audit.
+  static std::uint64_t approx_bytes(const CompletedTable& t);
 
  private:
   static std::uint64_t dep_key(std::uint32_t sym, unsigned arity) {
@@ -120,6 +125,7 @@ class TableSpace {
       tables_;
   // Reverse dependency index: pred -> keys of tables derived from it.
   std::unordered_map<std::uint64_t, std::vector<std::string>> by_dep_;
+  std::uint64_t bytes_ = 0;  // Σ approx_bytes over tables_; guarded by mu_
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

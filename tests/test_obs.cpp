@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "obs/recorder.hpp"
 #include "obs/ring.hpp"
 #include "obs/slowlog.hpp"
+#include "obs/timeline.hpp"
 #include "serve/service.hpp"
 
 namespace ace {
@@ -665,6 +667,116 @@ TEST(EngineFacade, DescribeAndJsonShape) {
   EXPECT_NE(json.find("\"sols\":3"), std::string::npos);
   EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
   EXPECT_NE(json.find("\"resolutions\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-query wall-clock timelines (obs/timeline.hpp).
+
+TEST(Timeline, ExtractsQidCorrelatedSpansFromSnapshots) {
+  Recorder rec;
+  obs::Track* t = rec.create_track("svc");
+  t->note_qid(EventKind::Submit, 7, /*a=*/1);
+  t->note_qid(EventKind::QueueEnter, 7);
+  t->note_qid(EventKind::QueueLeave, 7);
+  t->note_qid(EventKind::AcquireBegin, 7);
+  t->note_qid(EventKind::AcquireEnd, 7, /*a=*/1);
+  t->note_qid(EventKind::RenderBegin, 7);
+  t->note_qid(EventKind::RenderEnd, 7);
+  t->note_qid(EventKind::QueueEnter, 0);  // qid 0: outside any query
+  // An engine-internal event: skipped unless explicitly included.
+  t->note_qid(EventKind::Steal, 7, 3, 4);
+  // A begin left open (in-flight query): closed at the track's last event.
+  t->note_qid(EventKind::ParseBegin, 9);
+  t->note_qid(EventKind::Solution, 9);
+
+  std::vector<obs::QueryTimeline> tls =
+      obs::extract_timelines(rec.snapshot());
+  ASSERT_EQ(tls.size(), 2u);  // sorted by qid; qid 0 dropped
+
+  const obs::QueryTimeline& q7 = tls[0];
+  EXPECT_EQ(q7.qid, 7u);
+  ASSERT_EQ(q7.spans.size(), 3u);  // queued, acquire, render (no Steal)
+  EXPECT_EQ(q7.spans[0].name, "queued");
+  EXPECT_EQ(q7.spans[1].name, "acquire");
+  EXPECT_EQ(q7.spans[2].name, "render");
+  ASSERT_EQ(q7.points.size(), 1u);
+  EXPECT_EQ(q7.points[0].name, "submit");
+  EXPECT_GE(q7.last_ns, q7.first_ns);
+  for (const obs::PhaseSpan& s : q7.spans) {
+    EXPECT_GE(s.begin_ns, q7.first_ns);
+    EXPECT_LE(s.end_ns, q7.last_ns);
+    EXPECT_GE(s.end_ns, s.begin_ns);
+  }
+
+  const obs::QueryTimeline& q9 = tls[1];
+  EXPECT_EQ(q9.qid, 9u);
+  ASSERT_EQ(q9.spans.size(), 1u);
+  EXPECT_EQ(q9.spans[0].name, "parse");
+  // Closed at the track's last timestamp, not dropped.
+  EXPECT_EQ(q9.spans[0].end_ns, q9.last_ns);
+
+  // Engine events opt in (the watchdog's detailed view).
+  std::vector<obs::QueryTimeline> deep =
+      obs::extract_timelines(rec.snapshot(), /*include_engine_events=*/true);
+  ASSERT_EQ(deep[0].qid, 7u);
+  bool saw_steal = false;
+  for (const obs::TimelinePoint& p : deep[0].points) {
+    if (p.name == std::string("steal") && p.a == 3 && p.b == 4) {
+      saw_steal = true;
+    }
+  }
+  EXPECT_TRUE(saw_steal);
+
+  std::string text = obs::render_timelines_text(tls);
+  EXPECT_NE(text.find("recent query timelines (2 shown)"),
+            std::string::npos);
+  EXPECT_NE(text.find("qid 7"), std::string::npos);
+  EXPECT_NE(text.find("queued"), std::string::npos);
+  std::string capped = obs::render_timelines_text(tls, 1);
+  EXPECT_NE(capped.find("(1 shown)"), std::string::npos);
+
+  std::string detail = obs::render_timeline_detail(q7);
+  EXPECT_NE(detail.find("qid 7"), std::string::npos);
+  EXPECT_NE(detail.find("span"), std::string::npos);
+  EXPECT_NE(detail.find("point"), std::string::npos);
+}
+
+TEST(Timeline, ServiceQueriesProduceCompletePhaseTimelines) {
+  Database db;
+  load_library(db);
+  db.consult(kProgram);
+
+  Recorder rec;
+  ServiceOptions sopts;
+  sopts.dispatch_threads = 2;
+  sopts.recorder = &rec;
+  QueryService service(db, sopts);
+  QueryRequest req;
+  req.query = "both(X, Y).";
+  QueryResult resp = service.run(std::move(req));
+  ASSERT_TRUE(resp.completed()) << resp.error;
+  ASSERT_NE(resp.trace_id, 0u);
+  service.shutdown();
+
+  std::vector<obs::QueryTimeline> tls =
+      obs::extract_timelines(rec.snapshot());
+  const obs::QueryTimeline* mine = nullptr;
+  for (const obs::QueryTimeline& tl : tls) {
+    if (tl.qid == resp.trace_id) mine = &tl;
+  }
+  ASSERT_NE(mine, nullptr);
+
+  // The serving path stamps every phase of the vocabulary.
+  std::set<std::string> names;
+  for (const obs::PhaseSpan& s : mine->spans) names.insert(s.name);
+  for (const char* want :
+       {"queued", "serve", "acquire", "query", "parse", "run", "render"}) {
+    EXPECT_EQ(names.count(want), 1u) << want;
+  }
+  // The acquire span records whether the pool served the checkout.
+  for (const obs::PhaseSpan& s : mine->spans) {
+    if (s.name == "acquire") EXPECT_LE(s.a, 1u);
+  }
 }
 
 }  // namespace

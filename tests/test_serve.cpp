@@ -13,9 +13,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "builtins/lib.hpp"
+#include "obs/recorder.hpp"
+#include "serve/debug_pages.hpp"
 #include "serve/http_metrics.hpp"
 #include "serve/service.hpp"
 #include "stats/prometheus.hpp"
@@ -759,6 +764,408 @@ TEST(MetricsHttp, ServesRenderedBodyOverHttp) {
   EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
   EXPECT_NE(resp.find("ace_up 1\n"), std::string::npos);
   server.stop();  // idempotent with the destructor
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock phase timelines, watchdog, /debug pages, Prometheus lint.
+
+// Minimal HTTP GET against 127.0.0.1:port; returns the full response.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string http_body(const std::string& resp) {
+  std::size_t pos = resp.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : resp.substr(pos + 4);
+}
+
+// A program whose independence is undecidable statically, pre-annotated
+// with the CGE the annotator would emit: the ground/1 guard runs at query
+// time and is counted in Counters::cge_checks.
+constexpr const char* kCgeSrc = R"PL(
+cmain(A) :- cmk(A), (ground(A) -> cq(A) & cr(A) ; cq(A), cr(A)).
+cmk(a).
+cq(a).
+cr(a).
+)PL";
+
+TEST_F(ServeTest, PhaseSpansPartitionWallLatency) {
+  db.consult(kSpinSrc);
+  QueryService service(db);
+
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.query = "work(20000).";
+    if (i % 2 == 1) req.engine = andp_cfg(2, true, true);
+    QueryResult r = service.run(std::move(req));
+    ASSERT_EQ(r.outcome, QueryOutcome::Success) << r.error;
+
+    // Phases are measured unconditionally (no recorder attached here) and
+    // partition the admission->response interval: contiguous boundaries
+    // telescope, so the sum IS the latency (acceptance bar: within 1%).
+    ASSERT_TRUE(r.phases.present);
+    const std::uint64_t total = r.phases.total_ns();
+    const std::uint64_t lat_ns =
+        static_cast<std::uint64_t>(r.latency.count()) * 1000;
+    EXPECT_EQ(total / 1000, static_cast<std::uint64_t>(r.latency.count()));
+    EXPECT_LE(total >= lat_ns ? total - lat_ns : lat_ns - total,
+              lat_ns / 100 + 1000)
+        << "phases " << total << "ns vs latency " << lat_ns << "ns";
+    EXPECT_GT(r.phases.run_ns, 0u);
+
+    std::string json = r.to_json(true, false);
+    EXPECT_NE(json.find("\"phases\":{\"queue_ns\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"run_ns\":"), std::string::npos);
+  }
+  service.shutdown();
+}
+
+TEST_F(ServeTest, WatchdogDumpsFlightRecorderForStuckQuery) {
+  db.consult(kSpinSrc);
+  obs::Recorder rec;
+  ServiceOptions sopts;
+  sopts.dispatch_threads = 2;
+  sopts.recorder = &rec;
+  sopts.watchdog_budget = 60ms;
+  sopts.watchdog_poll = 10ms;
+  QueryService service(db, sopts);
+
+  // Attribution traffic first, so the dump has a rollup to cite.
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest req;
+    req.query = "work(10000).";
+    req.engine.attrib = true;
+    QueryResult r = service.run(std::move(req));
+    ASSERT_EQ(r.outcome, QueryOutcome::Success) << r.error;
+  }
+
+  QueryRequest stuck;
+  stuck.query = "spin.";
+  QueryService::Ticket ticket = service.submit(std::move(stuck));
+
+  const auto deadline = std::chrono::steady_clock::now() + kBackstop;
+  while (service.watchdog_fired() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_GE(service.watchdog_fired(), 1u) << "watchdog never fired";
+
+  // Concurrent queries on the remaining dispatch thread are unperturbed
+  // while the stuck query spins and the watchdog snapshots around it.
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.query = "work(10000).";
+    QueryResult r = service.run(std::move(req));
+    EXPECT_EQ(r.outcome, QueryOutcome::Success) << r.error;
+  }
+
+  std::vector<std::string> notes = service.slowlog().flight_notes();
+  ASSERT_FALSE(notes.empty());
+  const std::string& note = notes.front();
+  char qid_tag[64];
+  std::snprintf(qid_tag, sizeof(qid_tag), "watchdog: qid=%llu",
+                (unsigned long long)ticket.id);
+  EXPECT_NE(note.find(qid_tag), std::string::npos) << note;
+  EXPECT_NE(note.find("phase=engine"), std::string::npos) << note;
+  EXPECT_NE(note.find("% spin."), std::string::npos) << note;
+  EXPECT_NE(note.find("attrib top:"), std::string::npos) << note;
+  // qid-correlated flight-recorder evidence: the stuck query's own spans.
+  EXPECT_NE(note.find("span"), std::string::npos) << note;
+  EXPECT_NE(note.find("queued"), std::string::npos) << note;
+  EXPECT_NE(service.slowlog().render().find("watchdog flight notes"),
+            std::string::npos);
+
+  // Once per query: the dump does not repeat on later polls.
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(service.watchdog_fired(), 1u);
+
+  ASSERT_TRUE(service.cancel(ticket.id));
+  QueryResult r = ticket.result.get();
+  EXPECT_EQ(r.outcome, QueryOutcome::Cancelled);
+  service.shutdown();
+}
+
+TEST_F(ServeTest, CgeChecksFlowThroughMetricsAndPrometheus) {
+  db.consult(kCgeSrc);
+  QueryService service(db);
+
+  // Before any CGE traffic the family is absent (traffic-gated).
+  EXPECT_EQ(prometheus_text(service.metrics_snapshot())
+                .find("ace_cge_checks_total"),
+            std::string::npos);
+
+  QueryRequest req;
+  req.query = "cmain(A).";
+  req.engine = andp_cfg(4, true, true);
+  QueryResult r = service.run(std::move(req));
+  ASSERT_EQ(r.outcome, QueryOutcome::Success) << r.error;
+  EXPECT_GT(r.stats.cge_checks, 0u);
+
+  ServeMetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_GT(snap.cge_checks, 0u);
+  EXPECT_NE(snap.to_json().find("\"cge_checks\":"), std::string::npos);
+  EXPECT_NE(prometheus_text(snap).find("ace_cge_checks_total"),
+            std::string::npos);
+  service.shutdown();
+}
+
+TEST(ServeMetricsTest, QueueGaugeDepthNeverExceedsPeak) {
+  // The depth/peak pair is packed into one atomic word: no interleaving of
+  // writers and a scraper may ever observe depth > peak or a peak decrease.
+  ServeMetrics m;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < 4; ++t) {
+    writers.emplace_back([&m, &stop, t] {
+      std::uint64_t x = 88172645463325252ULL + t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        m.set_queue_depth(x % 97);
+      }
+    });
+  }
+  std::uint64_t last_peak = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ServeMetricsSnapshot s = m.snapshot();
+    ASSERT_LE(s.queue_depth, s.queue_peak);
+    ASSERT_GE(s.queue_peak, last_peak);
+    last_peak = s.queue_peak;
+  }
+  stop = true;
+  for (std::thread& w : writers) w.join();
+  EXPECT_LE(m.snapshot().queue_peak, 96u);
+}
+
+// Exposition-format linter: the rules a Prometheus scraper actually
+// enforces. HELP/TYPE pairing before samples, counter names end _total,
+// histogram `le` strictly increasing with cumulative counts and a terminal
+// +Inf, no duplicate series.
+void lint_prometheus_text(const std::string& body) {
+  std::map<std::string, std::string> types;  // family -> type
+  std::set<std::string> helped;
+  std::set<std::string> series;
+  std::string hist;  // family of the open histogram bucket run
+  double last_le = -1.0;
+  bool saw_inf = false;
+  std::uint64_t last_cum = 0;
+  auto close_hist = [&] {
+    if (!hist.empty()) EXPECT_TRUE(saw_inf) << hist << ": no +Inf bucket";
+    hist.clear();
+    last_le = -1.0;
+    saw_inf = false;
+    last_cum = 0;
+  };
+  auto ends_with = [](const std::string& s, const char* suf) {
+    std::size_t n = std::strlen(suf);
+    return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+  };
+
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string fam;
+      ls >> fam;
+      EXPECT_TRUE(helped.insert(fam).second) << "duplicate HELP " << fam;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string fam, ty;
+      ls >> fam >> ty;
+      EXPECT_EQ(helped.count(fam), 1u) << "TYPE without HELP: " << fam;
+      EXPECT_TRUE(types.emplace(fam, ty).second) << "duplicate TYPE " << fam;
+      if (ty == "counter") {
+        EXPECT_TRUE(ends_with(fam, "_total"))
+            << "counter without _total suffix: " << fam;
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;
+
+    std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string sname = line.substr(0, sp);
+    EXPECT_TRUE(series.insert(sname).second) << "duplicate series " << sname;
+    std::string name = sname.substr(0, sname.find('{'));
+
+    // _bucket/_sum/_count roll up to their histogram family.
+    std::string fam = name;
+    for (const char* suf : {"_bucket", "_sum", "_count"}) {
+      if (!ends_with(name, suf)) continue;
+      std::string base = name.substr(0, name.size() - std::strlen(suf));
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") {
+        fam = base;
+        break;
+      }
+    }
+    ASSERT_EQ(types.count(fam), 1u) << "sample without TYPE: " << name;
+    EXPECT_EQ(helped.count(fam), 1u) << "sample without HELP: " << name;
+
+    if (types[fam] == "histogram" && name == fam + "_bucket") {
+      if (fam != hist) {
+        close_hist();
+        hist = fam;
+      }
+      std::size_t lp = sname.find("le=\"");
+      ASSERT_NE(lp, std::string::npos) << sname;
+      std::size_t lq = sname.find('"', lp + 4);
+      ASSERT_NE(lq, std::string::npos) << sname;
+      std::string le = sname.substr(lp + 4, lq - lp - 4);
+      std::uint64_t cum = std::stoull(line.substr(sp + 1));
+      if (le == "+Inf") {
+        saw_inf = true;
+      } else {
+        EXPECT_FALSE(saw_inf) << fam << ": +Inf bucket not terminal";
+        double v = std::stod(le);
+        EXPECT_GT(v, last_le) << fam << ": le not increasing";
+        last_le = v;
+      }
+      EXPECT_GE(cum, last_cum) << fam << ": bucket counts not cumulative";
+      last_cum = cum;
+    } else if (!hist.empty() && fam != hist) {
+      close_hist();
+    }
+  }
+  close_hist();
+}
+
+TEST_F(ServeTest, PrometheusExpositionFormatLintOnLiveScrape) {
+  // Traffic first so every traffic-gated family (tables, cge, attrib) is
+  // present in the scrape the linter sees.
+  db.consult(graph_program_text() + chain_edges(8) + kCgeSrc);
+  QueryService service(db);
+
+  QueryRequest tabled;
+  tabled.query = "tc(1, X).";
+  ASSERT_EQ(service.run(std::move(tabled)).outcome, QueryOutcome::Success);
+  QueryRequest cge;
+  cge.query = "cmain(A).";
+  cge.engine = andp_cfg(4, true, true);
+  cge.engine.attrib = true;
+  ASSERT_EQ(service.run(std::move(cge)).outcome, QueryOutcome::Success);
+
+  MetricsHttpServer server(
+      0, [&service] { return prometheus_text(service.metrics_snapshot()); });
+  std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  std::string body = http_body(resp);
+
+  // Everything this PR exports is in the live scrape...
+  for (const char* needle :
+       {"ace_serve_queue_depth", "ace_serve_queue_peak",
+        "ace_cge_checks_total", "ace_table_hits_total", "ace_table_bytes",
+        "ace_pool_idle_sessions", "ace_serve_active_queries",
+        "ace_db_epoch", "ace_db_limbo_depth", "ace_db_pinned_snapshots",
+        "ace_db_index_versions", "ace_db_pin_age_highwater_ns",
+        "ace_serve_watchdog_fired_total", "ace_attrib_queries_total"}) {
+    EXPECT_NE(body.find(needle), std::string::npos) << needle;
+  }
+  // ...and the whole exposition is format-clean.
+  lint_prometheus_text(body);
+
+  server.stop();
+  service.shutdown();
+}
+
+TEST_F(ServeTest, DebugPagesRenderLiveState) {
+  db.consult(kSpinSrc);
+  obs::Recorder rec;
+  ServiceOptions sopts;
+  sopts.recorder = &rec;
+  QueryService service(db, sopts);
+
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest req;
+    req.query = "work(10000).";
+    req.engine.attrib = true;
+    ASSERT_EQ(service.run(std::move(req)).outcome, QueryOutcome::Success);
+  }
+
+  std::string statusz = render_statusz(service);
+  EXPECT_NE(statusz.find("ace_serve status"), std::string::npos);
+  EXPECT_NE(statusz.find("completed            3"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("[engine pool]"), std::string::npos);
+  EXPECT_NE(statusz.find("[database]"), std::string::npos);
+  EXPECT_NE(statusz.find("[watchdog]"), std::string::npos);
+
+  std::string tracez = render_tracez(service);
+  EXPECT_NE(tracez.find("recent queries: 3"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("phases: queue"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("% work(10000)."), std::string::npos) << tracez;
+  // Recorder detail rides along when one is attached.
+  EXPECT_NE(tracez.find("recent query timelines"), std::string::npos);
+
+  std::string flamez = render_flamez(service);
+  EXPECT_NE(flamez.find(";user_work "), std::string::npos) << flamez;
+
+  std::vector<RecentQuery> recent = service.recent_queries();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_TRUE(recent.back().phases.present);
+  EXPECT_GT(recent.back().attrib.total(), 0u);
+  service.shutdown();
+}
+
+TEST_F(ServeTest, DebugEndpointsServeOverHttpWithMetricsFallback) {
+  db.consult(kSpinSrc);
+  QueryService service(db);
+  QueryRequest req;
+  req.query = "work(10000).";
+  ASSERT_EQ(service.run(std::move(req)).outcome, QueryOutcome::Success);
+
+  MetricsHttpServer server(
+      0, [&service] { return prometheus_text(service.metrics_snapshot()); });
+  server.set_handler("/statusz",
+                     [&service] { return render_statusz(service); });
+  server.set_handler("/tracez",
+                     [&service] { return render_tracez(service); });
+  server.set_handler("/flamez",
+                     [&service] { return render_flamez(service); });
+
+  EXPECT_NE(http_body(http_get(server.port(), "/statusz"))
+                .find("ace_serve status"),
+            std::string::npos);
+  EXPECT_NE(http_body(http_get(server.port(), "/tracez"))
+                .find("recent queries:"),
+            std::string::npos);
+  std::string flamez = http_body(http_get(server.port(), "/flamez"));
+  EXPECT_FALSE(flamez.empty());
+  // Unknown paths (and /metrics itself) keep scraping metrics: the
+  // original "any path" contract survives the handler registry.
+  EXPECT_NE(http_body(http_get(server.port(), "/metrics"))
+                .find("ace_serve_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(http_body(http_get(server.port(), "/anything"))
+                .find("ace_serve_submitted_total"),
+            std::string::npos);
+
+  server.stop();
+  service.shutdown();
 }
 
 }  // namespace

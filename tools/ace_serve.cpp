@@ -44,7 +44,11 @@
 //                         metrics and the Prometheus endpoint)
 //   --metrics-port N      serve Prometheus text metrics on 127.0.0.1:N
 //                         (N=0 binds an ephemeral port; the bound port is
-//                         printed to stderr)
+//                         printed to stderr); also serves the /statusz,
+//                         /tracez and /flamez debug pages
+//   --watchdog-ms N       stuck-query watchdog: dump a flight-recorder
+//                         snapshot to the slow-query log for any query
+//                         older than N ms (once per query)
 //
 // Output: one versioned QueryResult JSON object per line (v2), in
 // submission order:
@@ -62,6 +66,7 @@
 #include "builtins/lib.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "serve/debug_pages.hpp"
 #include "serve/http_metrics.hpp"
 #include "serve/service.hpp"
 #include "stats/prometheus.hpp"
@@ -84,7 +89,7 @@ std::string read_file(const std::string& path) {
                "                 [--quiet] [--metrics] [--v1]"
                " [--analyze] [--static-facts] [--no-table]\n"
                "                 [--trace FILE] [--slowlog-ms N] [--attrib]\n"
-               "                 [--metrics-port N]\n"
+               "                 [--metrics-port N] [--watchdog-ms N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
                "queries on stdin, one per line:\n"
                "  [engine=andp agents=4 lpco deadline=100 max=3] goal(X).\n");
@@ -238,6 +243,8 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--slowlog-ms") {
       sopts.slowlog.threshold = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--watchdog-ms") {
+      sopts.watchdog_budget = std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--workload") {
       workload_name = next();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -279,7 +286,15 @@ int main(int argc, char** argv) {
       metrics_server = std::make_unique<MetricsHttpServer>(
           static_cast<std::uint16_t>(metrics_port),
           [&service] { return prometheus_text(service.metrics_snapshot()); });
-      std::fprintf(stderr, "metrics: serving http://127.0.0.1:%u/metrics\n",
+      metrics_server->set_handler(
+          "/statusz", [&service] { return render_statusz(service); });
+      metrics_server->set_handler(
+          "/tracez", [&service] { return render_tracez(service); });
+      metrics_server->set_handler(
+          "/flamez", [&service] { return render_flamez(service); });
+      std::fprintf(stderr,
+                   "metrics: serving http://127.0.0.1:%u/metrics "
+                   "(+/statusz /tracez /flamez)\n",
                    unsigned{metrics_server->port()});
     }
 

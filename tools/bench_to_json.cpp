@@ -11,11 +11,26 @@
 // human-readable table) are ignored, so the tool can eat the bench's full
 // stdout. The output is deterministic for deterministic input: keys keep
 // their input order and numbers are emitted verbatim.
+//
+// The document carries "schema_version" (bumped when the document layout
+// changes incompatibly). `-o FILE` writes there instead of stdout and
+// REFUSES to overwrite an existing FILE whose schema_version is newer than
+// this tool's — regenerating an old baseline with an old binary cannot
+// silently drop fields a newer schema added.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+namespace {
+
+// The document layout version this tool emits.
+constexpr long kSchemaVersion = 1;
+
+}  // namespace
 
 namespace {
 
@@ -112,9 +127,44 @@ std::string line_to_json(const std::string& line) {
   return out;
 }
 
+// Best-effort extraction of "schema_version": N from an existing document
+// (no JSON parser needed for a flat header field). Returns 0 when the file
+// does not exist or carries no schema_version (pre-versioning documents).
+long existing_schema_version(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find("\"schema_version\"");
+    if (pos == std::string::npos) continue;
+    pos = line.find(':', pos);
+    if (pos == std::string::npos) continue;
+    return std::strtol(line.c_str() + pos + 1, nullptr, 10);
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" || arg == "--output") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_to_json: missing value for %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench | bench_to_json [-o FILE]  (ATTRIB lines on "
+                   "stdin)\n");
+      return 2;
+    }
+  }
+
   std::vector<std::string> runs;
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -124,13 +174,35 @@ int main() {
     std::fprintf(stderr, "bench_to_json: no ATTRIB lines on stdin\n");
     return 1;
   }
-  std::printf("{\n  \"version\": 1,\n");
-  std::printf("  \"generator\": \"bench_attrib | bench_to_json\",\n");
-  std::printf("  \"runs\": [\n");
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    std::printf("    %s%s\n", runs[i].c_str(),
-                i + 1 == runs.size() ? "" : ",");
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    long existing = existing_schema_version(out_path);
+    if (existing > kSchemaVersion) {
+      std::fprintf(stderr,
+                   "bench_to_json: refusing to overwrite %s: its "
+                   "schema_version %ld is newer than this tool's %ld "
+                   "(regenerating would drop fields)\n",
+                   out_path.c_str(), existing, kSchemaVersion);
+      return 1;
+    }
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_to_json: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
   }
-  std::printf("  ]\n}\n");
+
+  std::fprintf(out, "{\n  \"version\": 1,\n");
+  std::fprintf(out, "  \"schema_version\": %ld,\n", kSchemaVersion);
+  std::fprintf(out, "  \"generator\": \"bench_attrib | bench_to_json\",\n");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(out, "    %s%s\n", runs[i].c_str(),
+                 i + 1 == runs.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (out != stdout) std::fclose(out);
   return 0;
 }
