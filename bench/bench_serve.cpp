@@ -21,9 +21,12 @@
 //                                and write Chrome trace_event JSON
 //
 // --soak runs the fixed mixed-workload scenario suite instead (seq_small,
-// mixed_engines, tabled_cache, assert_churn) and emits one machine-readable
+// mixed_engines, tabled_cache, assert_churn, plus the result-cache pair
+// repeat_nocache/repeat_cache and the shard-scaling pair
+// tenants_1shard/tenants_4shard) and emits one machine-readable
 // `ATTRIB name=... engine=serve agents=...` line per scenario with
-// throughput (qps) and latency percentiles — the input of
+// throughput (qps), latency percentiles and — for cache-fronted scenarios —
+// the cache hit rate. That stream is the input of
 //
 //   bench_serve --soak | bench_to_json > BENCH_serve.json
 //
@@ -31,12 +34,17 @@
 // (higher-is-better qps with a generous collapse tolerance; the latency
 // fields ride along as data). --smoke shrinks the per-scenario query count
 // for CI runners; the scenario keys stay identical so the documents stay
-// comparable.
+// comparable. --check additionally asserts the two structural claims the
+// topology makes — repeat_cache beats repeat_nocache by >= 2x qps, and
+// tenants_4shard beats tenants_1shard by >= 1.15x qps — and fails the run
+// when either does not hold.
 #include <chrono>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -63,6 +71,13 @@ struct BenchConfig {
   // fact, exercising the database write path (epoch bumps, index
   // republication, table invalidation hooks) under serving load.
   bool churn = false;
+  // Sharded/cached topology knobs (defaults = historical single-pool,
+  // cache-off service).
+  unsigned shards = 1;
+  std::size_t cache_capacity = 0;
+  // When > 0, request i carries tenant "t<i % tenants>" so the service
+  // spreads the closed loop across its shards.
+  unsigned tenants = 0;
 };
 
 const char kChurnQuery[] = "assertz(churn_fact(1)), retract(churn_fact(1)).";
@@ -96,10 +111,12 @@ Measurement drive(Database& db, const BenchConfig& bc,
                   std::size_t pool_capacity,
                   obs::Recorder* recorder = nullptr) {
   ServiceOptions opts;
+  opts.shards = bc.shards;
   opts.dispatch_threads = bc.threads;
-  opts.queue_capacity = bc.clients + bc.threads + 8;
+  opts.queue_capacity = bc.clients + bc.threads + 8;  // per shard
   opts.pool_capacity = pool_capacity;
-  opts.recorder = recorder;
+  opts.result_cache_capacity = bc.cache_capacity;
+  opts.obs.recorder = recorder;
   QueryService service(db, opts);
 
   SteadyClock::time_point t0 = SteadyClock::now();
@@ -113,10 +130,13 @@ Measurement drive(Database& db, const BenchConfig& bc,
                        query_outcome_name(resp.outcome) + " " + resp.error);
       }
     }
-    QueryRequest req;
-    req.query = (bc.churn && i % 8 == 7) ? kChurnQuery : bc.query;
-    req.engine = engine_for(bc, i);
-    inflight.push_back(service.submit(std::move(req)));
+    QueryRequestBuilder req((bc.churn && i % 8 == 7) ? kChurnQuery
+                                                     : bc.query);
+    req.engine(engine_for(bc, i));
+    if (bc.tenants > 0) {
+      req.tenant("t" + std::to_string(i % bc.tenants));
+    }
+    inflight.push_back(service.submit(std::move(req).build()));
   }
   while (!inflight.empty()) {
     QueryResult resp = inflight.front().result.get();
@@ -154,30 +174,50 @@ struct SoakScenario {
   const char* workload;
   bool use_seq, use_andp, use_orp;
   bool churn;
+  unsigned shards;             // 1 = historical single-pool topology
+  std::size_t cache_capacity;  // 0 = result cache off
+  unsigned tenants;            // 0 = no tenant keys (route by query)
+  unsigned threads_override;   // 0 = use the CLI thread count
+  // 0 = use the CLI client count. The shard-scaling pair needs a wide
+  // in-flight window: the closed loop waits on its *oldest* ticket, so a
+  // narrow window serializes behind whichever shard holds it and the
+  // extra shards idle.
+  std::size_t clients_override;
 };
 
-// The four serving profiles the dashboard cares about: pure sequential
-// small queries (baseline), a seq/andp/orp engine mix (pool keyed by
-// config), tabled queries answered from the shared memo cache, and a
-// workload that mutates the database while serving.
+// The serving profiles the dashboard cares about: pure sequential small
+// queries (baseline), a seq/andp/orp engine mix (pool keyed by config),
+// tabled queries answered from the shared memo cache, a workload that
+// mutates the database while serving, the result-cache A/B pair (same
+// repeated query with the cache off vs fronting the engines), and the
+// shard-scaling A/B pair (16 tenants driven through 1 vs 4 single-thread
+// shards — one engine per shard, so added shards are the only lever).
 const SoakScenario kSoakScenarios[] = {
-    {"seq_small", "queens1", true, false, false, false},
-    {"mixed_engines", "queens1", true, true, true, false},
-    {"tabled_cache", "tc_chain64", true, false, false, false},
-    {"assert_churn", "queens1", true, false, false, true},
+    {"seq_small", "queens1", true, false, false, false, 1, 0, 0, 0, 0},
+    {"mixed_engines", "queens1", true, true, true, false, 1, 0, 0, 0, 0},
+    {"tabled_cache", "tc_chain64", true, false, false, false, 1, 0, 0, 0, 0},
+    {"assert_churn", "queens1", true, false, false, true, 1, 0, 0, 0, 0},
+    {"repeat_nocache", "queens1", true, false, false, false, 1, 0, 0, 0, 0},
+    {"repeat_cache", "queens1", true, false, false, false, 1, 256, 0, 0, 0},
+    {"tenants_1shard", "queens1", true, false, false, false, 1, 0, 16, 1, 64},
+    {"tenants_4shard", "queens1", true, false, false, false, 4, 0, 16, 1, 64},
 };
 
-int run_soak(bool smoke, unsigned threads, std::size_t clients) {
+int run_soak(bool smoke, unsigned threads, std::size_t clients, bool check) {
+  std::vector<std::pair<std::string, double>> qps_by_name;
   for (const SoakScenario& sc : kSoakScenarios) {
     BenchConfig bc;
     bc.queries = smoke ? 64 : 512;
-    bc.threads = threads;
-    bc.clients = clients;
+    bc.threads = sc.threads_override != 0 ? sc.threads_override : threads;
+    bc.clients = sc.clients_override != 0 ? sc.clients_override : clients;
     bc.workload_name = sc.workload;
     bc.use_seq = sc.use_seq;
     bc.use_andp = sc.use_andp;
     bc.use_orp = sc.use_orp;
     bc.churn = sc.churn;
+    bc.shards = sc.shards;
+    bc.cache_capacity = sc.cache_capacity;
+    bc.tenants = sc.tenants;
 
     const Workload& w = workload(bc.workload_name);
     bc.query = w.small_query.empty() ? w.query : w.small_query;
@@ -192,22 +232,72 @@ int run_soak(bool smoke, unsigned threads, std::size_t clients) {
     Measurement m = drive(db, bc, /*pool_capacity=*/16);
     const LatencyHistogram::Snapshot& lat = m.metrics.latency;
     double qps = double(bc.queries) / m.seconds;
+    qps_by_name.emplace_back(sc.name, qps);
     std::printf("%-14s %5zu queries on %-10s %9.1f q/s  p50 %6llu us  "
-                "p99 %6llu us  pool hit %.2f\n",
+                "p99 %6llu us  pool hit %.2f",
                 sc.name, bc.queries, sc.workload, qps,
                 (unsigned long long)lat.percentile_us(0.50),
                 (unsigned long long)lat.percentile_us(0.99),
                 m.metrics.pool_hit_rate());
+    if (m.metrics.cache_present) {
+      std::printf("  cache hit %.2f", m.metrics.cache_hit_rate());
+    }
+    std::printf("\n");
     std::printf("ATTRIB name=%s engine=serve agents=%u queries=%zu "
                 "qps=%.1f mean_us=%.1f p50_us=%llu p99_us=%llu max_us=%llu "
-                "pool_hit_rate=%.3f\n",
+                "pool_hit_rate=%.3f",
                 sc.name, bc.threads, bc.queries, qps, lat.mean_us(),
                 (unsigned long long)lat.percentile_us(0.50),
                 (unsigned long long)lat.percentile_us(0.99),
                 (unsigned long long)lat.max_us, m.metrics.pool_hit_rate());
+    if (m.metrics.cache_present) {
+      std::printf(" cache_hit_rate=%.3f", m.metrics.cache_hit_rate());
+    }
+    std::printf("\n");
     std::fflush(stdout);
   }
-  return 0;
+  if (!check) return 0;
+  // Structural claims of the sharded/cached topology, enforced so a CI run
+  // cannot silently regress into "the cache/shards exist but buy nothing".
+  auto qps_of = [&](const char* name) {
+    for (const auto& [n, q] : qps_by_name) {
+      if (n == name) return q;
+    }
+    return 0.0;
+  };
+  int failures = 0;
+  const double cache_ratio = qps_of("repeat_cache") / qps_of("repeat_nocache");
+  if (!(cache_ratio >= 2.0)) {
+    std::fprintf(stderr,
+                 "CHECK FAIL: repeat_cache/%s qps ratio %.2f < 2.0\n",
+                 "repeat_nocache", cache_ratio);
+    ++failures;
+  } else {
+    std::printf("CHECK ok: repeat_cache vs repeat_nocache qps x%.2f\n",
+                cache_ratio);
+  }
+  // Cross-shard scaling is real-thread parallelism (one dispatch thread
+  // per shard), so it can only show up when the hardware has cores to run
+  // them on — skip the assertion (not the measurement) on 1-core boxes.
+  const unsigned hc = std::thread::hardware_concurrency();
+  const double shard_ratio =
+      qps_of("tenants_4shard") / qps_of("tenants_1shard");
+  if (hc < 2) {
+    std::printf(
+        "CHECK skip: tenants_4shard vs tenants_1shard qps x%.2f "
+        "(only %u hardware thread(s); scaling needs >= 2)\n",
+        shard_ratio, hc);
+  } else if (!(shard_ratio >= 1.15)) {
+    std::fprintf(stderr,
+                 "CHECK FAIL: tenants_4shard/%s qps ratio %.2f < 1.15\n",
+                 "tenants_1shard", shard_ratio);
+    ++failures;
+  } else {
+    std::printf("CHECK ok: tenants_4shard vs tenants_1shard qps x%.2f\n",
+                shard_ratio);
+  }
+  std::fflush(stdout);
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -217,6 +307,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool soak = false;
   bool smoke = false;
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -249,6 +340,8 @@ int main(int argc, char** argv) {
       soak = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--check") {
+      check = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -256,7 +349,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (soak) return run_soak(smoke, bc.threads, bc.clients);
+    if (soak) return run_soak(smoke, bc.threads, bc.clients, check);
 
     const Workload& w = workload(bc.workload_name);
     if (bc.query.empty()) {

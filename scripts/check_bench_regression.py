@@ -20,6 +20,13 @@ keyed by (name, engine, agents). Three metric kinds:
   qps   (bench_serve --soak) — higher is better, same wall-clock gate as
         mops. Latency fields (p50_us, p99_us, ...) ride along as data and
         never gate: percentiles on a shared CI runner are all jitter.
+  cache_hit_rate  (bench_serve --soak, cache-fronted scenarios) — higher
+        is better, checked in addition to the run's qps. The rate is a
+        deterministic property of the scenario's query mix (not wall
+        clock), so it gates on an absolute drop: a run REGRESSES when the
+        candidate rate falls more than --hit-rate-tolerance (default 0.10)
+        below baseline. --noise-floor cache_hit_rate=V skips gating runs
+        whose baseline rate is under V.
 
 --noise-floor METRIC=VALUE (repeatable) declares the absolute value below
 which a wall-clock metric is indistinguishable from scheduler noise: when
@@ -70,6 +77,9 @@ def main():
     ap.add_argument("--throughput-tolerance", type=float, default=0.5,
                     help="allowed fractional throughput (mops/qps) decrease "
                          "for wall-clock runs (default 0.5 = 50%%)")
+    ap.add_argument("--hit-rate-tolerance", type=float, default=0.10,
+                    help="allowed absolute cache_hit_rate drop "
+                         "(default 0.10)")
     ap.add_argument("--noise-floor", action="append", default=[],
                     metavar="METRIC=VALUE",
                     help="absolute baseline value below which METRIC does "
@@ -149,6 +159,23 @@ def main():
             print(f"error: baseline run {name} has none of virtual_time, "
                   f"mops, qps", file=sys.stderr)
             sys.exit(2)
+        # Cache hit rate rides on qps runs as an extra gated metric: the
+        # scenario's query mix makes it deterministic, so it gates on an
+        # absolute drop rather than the wall-clock percentage tolerance.
+        if "cache_hit_rate" in b:
+            brate = float(b["cache_hit_rate"])
+            crate = float(c.get("cache_hit_rate", 0.0))
+            if brate < floors.get("cache_hit_rate", 0.0):
+                print(f"note: {name}: cache_hit_rate {brate:.3f} below "
+                      f"noise floor {floors['cache_hit_rate']:g}; not gated")
+            elif brate - crate > args.hit_rate_tolerance:
+                regressions.append(
+                    f"{name}: cache_hit_rate {brate:.3f} -> {crate:.3f} "
+                    f"(drop {brate - crate:.3f}, tolerance "
+                    f"{args.hit_rate_tolerance:.2f})")
+            elif crate > brate:
+                print(f"ok: {name}: cache_hit_rate improved "
+                      f"{brate:.3f} -> {crate:.3f}")
 
     new_runs = sorted(set(cand) - set(base))
     for key in new_runs:

@@ -6,6 +6,7 @@
 
 #include "db/snapshot.hpp"
 #include "support/strutil.hpp"
+#include "tab/dep.hpp"
 
 namespace ace {
 namespace {
@@ -137,6 +138,17 @@ const Predicate* Database::find(std::uint32_t sym, unsigned arity) const {
   const Root* r = root_.load(std::memory_order_relaxed);
   auto it = r->ids.find(pred_key(sym, arity));
   return it == r->ids.end() ? nullptr : it->second;
+}
+
+std::uint64_t Database::pred_generation(std::uint32_t sym,
+                                        unsigned arity) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Root* r = root_.load(std::memory_order_relaxed);
+  auto it = r->ids.find(pred_key(sym, arity));
+  // Reading the published index is safe here: retire and free only ever
+  // happen under writer_mu_, which we hold.
+  return it == r->ids.end() ? tab::kDepUndefined
+                            : it->second->index().generation();
 }
 
 Predicate* Database::find_mutable(std::uint32_t sym, unsigned arity) {

@@ -76,6 +76,22 @@ class Database {
   Predicate* find_mutable(std::uint32_t sym, unsigned arity);
   Predicate& get_or_create(std::uint32_t sym, unsigned arity);
 
+  // Current global epoch. Every publication (assert/retract/consult, and
+  // even cold-path predicate creation) bumps it, so an unchanged value
+  // across two reads proves no mutation was published in between — the
+  // serving result cache samples it before a query and declines to
+  // install an entry when it moved (stale-insert double-check).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // Current generation of sym/arity's published index, read under the
+  // writer mutex so the version cannot be retired mid-read. Returns
+  // tab-style kDepUndefined (all-ones) when the predicate was never
+  // defined: a later definition publishes a real generation and therefore
+  // mismatches. Used by the result cache's hit-time dep validation.
+  std::uint64_t pred_generation(std::uint32_t sym, unsigned arity) const;
+
   void set_dynamic(std::uint32_t sym, unsigned arity);
 
   // Marks a predicate as tabled (`:- table name/arity.`). has_tabled() is

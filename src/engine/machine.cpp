@@ -232,6 +232,8 @@ void Worker::reset_for_reuse() {
   tab_gens_.clear();
   tab_epoch_ = 0;
   tab_next_dfn_ = 0;
+  deps_track_.reset();
+  deps_on_ = false;
   clock_ = 0;
   stats_ = Counters{};
   attrib_.clear();

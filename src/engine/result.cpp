@@ -72,6 +72,9 @@ std::string QueryResult::to_json(bool include_stats,
     out += strf(",\"error\":\"%s\"", json_escape(error).c_str());
   }
   out += strf(",\"reused\":%s", engine_reused ? "true" : "false");
+  // Only cached responses carry the field: the uncached wire shape stays
+  // byte-compatible with pre-cache v2 consumers.
+  if (cache_hit) out += ",\"cache_hit\":true";
   out += strf(",\"queue_us\":%lld,\"latency_us\":%lld",
               (long long)queue_wait.count(), (long long)latency.count());
   if (phases.present) {

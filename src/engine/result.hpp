@@ -23,6 +23,7 @@
 #include "stats/attrib.hpp"
 #include "stats/stats.hpp"
 #include "support/cancel.hpp"
+#include "tab/dep.hpp"
 
 namespace ace {
 
@@ -51,6 +52,12 @@ struct SolveResult {
   // is untouched by these — they only feed the serving phase timelines.
   std::chrono::steady_clock::time_point wall_parse_done{};
   std::chrono::steady_clock::time_point wall_run_done{};
+  // Query-dependency record for the serving result cache, merged over all
+  // agents; filled only when the session ran with collect_deps (the
+  // default engine paths leave it empty and pay nothing).
+  std::vector<tab::TableDep> query_deps;
+  bool deps_tracked = false;  // query_deps is meaningful
+  bool deps_tabled = false;   // run touched the tabling subsystem
 };
 
 // Renders a per-agent breakdown table (work distribution, steals, idle
@@ -105,6 +112,10 @@ struct QueryResult {
   AttribBreakdown attrib;
   SchemaSavings savings;
   bool engine_reused = false;          // served by a warm pooled session
+  // Served from the canonicalized result cache: the engine never ran, so
+  // stats/virtual_time/attrib are zero. Emitted in JSON only when true
+  // (the v2 wire shape is unchanged for uncached responses).
+  bool cache_hit = false;
   std::chrono::microseconds queue_wait{0};
   std::chrono::microseconds latency{0};
   // Wall-clock phase breakdown (serve path only; phases.present gates the

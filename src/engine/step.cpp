@@ -225,7 +225,12 @@ void Worker::call_user_pred(Addr goal, std::uint32_t sym, unsigned arity) {
   // programs with no `:- table` directive, so untabled runs take a single
   // predicted branch here and stay bit-identical in virtual time.
   if (opts_.tabling && db_.has_tabled()) [[unlikely]] {
-    if (tab_call(goal, sym, arity)) return;
+    if (tab_call(goal, sym, arity)) {
+      // Tabled answers carry their own TableSpace dep machinery; the
+      // serving result cache declines to cache runs that went through it.
+      if (deps_on_) deps_track_.tabled = true;
+      return;
+    }
   }
   call_user_pred_clauses(goal, sym, arity);
 }
@@ -241,6 +246,9 @@ void Worker::call_user_pred_clauses(Addr goal, std::uint32_t sym,
   // the next step's snapshot refresh.
   const Predicate* pred = snap_.find(sym, arity);
   if (pred == nullptr) {
+    // Observed-undefined still counts as a cache dependency: a query that
+    // catches the error depends on the predicate staying undefined.
+    if (deps_on_) deps_track_.note(sym, arity, tab::kDepUndefined);
     throw AceError(strf("undefined predicate %s/%u",
                         syms_.name(sym).c_str(), arity));
   }
@@ -250,6 +258,11 @@ void Worker::call_user_pred_clauses(Addr goal, std::uint32_t sym,
   // generation check). tab_gens_ is empty whenever tabling is off.
   if (!tab_gens_.empty()) [[unlikely]] {
     tab_note_dep(sym, arity, ix.generation());
+  }
+  // Serving result cache: record the consulted index generation so the
+  // cached entry can be precisely invalidated and re-validated on hit.
+  if (deps_on_) [[unlikely]] {
+    deps_track_.note(sym, arity, ix.generation());
   }
   IndexKey key{IndexKey::Kind::AnyCall, 0};
   if (arity > 0) {

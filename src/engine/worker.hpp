@@ -30,6 +30,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "builtins/builtins.hpp"
@@ -252,6 +253,30 @@ class Worker {
   // Cross-query answer cache (may be null: tabling then still works, with
   // per-query memoization only). Set by the owning session, survives reset.
   tab::TableSpace* tabsp_ = nullptr;
+
+  // ---- Query-dependency tracking (serving result cache) ------------------
+  // When armed by the session (deps_on_), every user-predicate dispatch
+  // records (sym, arity, generation) of the consulted index version —
+  // dedup'd per worker, merged across agents in EngineSession::finalize().
+  // Recording is observation-only: it never charges virtual time, so a
+  // run with tracking on is clock- and solution-identical to one without.
+  struct QueryDepTracker {
+    std::vector<tab::TableDep> deps;
+    std::unordered_set<std::uint64_t> seen;  // tab::dep_key() of deps
+    bool tabled = false;  // query touched the tabling subsystem
+    void note(std::uint32_t dsym, unsigned darity, std::uint64_t gen) {
+      if (seen.insert(tab::dep_key(dsym, darity)).second) {
+        deps.push_back(tab::TableDep{dsym, darity, gen});
+      }
+    }
+    void reset() {
+      deps.clear();
+      seen.clear();
+      tabled = false;
+    }
+  };
+  QueryDepTracker deps_track_;
+  bool deps_on_ = false;  // armed per run by EngineSession
 
   std::uint64_t clock_ = 0;  // virtual time
   Counters stats_;

@@ -24,6 +24,7 @@ std::string render_statusz(const QueryService& service) {
       std::chrono::steady_clock::now() - service.started_at());
   std::string out = "ace_serve status\n================\n";
   out += strf("uptime_ms            %lld\n", (long long)uptime.count());
+  out += strf("shards               %u\n", service.num_shards());
   out += strf("dispatch_threads     %llu\n",
               (unsigned long long)s.dispatch_threads);
   out += "\n[queries]\n";
@@ -83,8 +84,46 @@ std::string render_statusz(const QueryService& service) {
               (unsigned long long)s.table_misses);
   out += strf("invalidations        %llu\n",
               (unsigned long long)s.table_invalidations);
+  if (s.cache_present) {
+    out += "\n[result cache]\n";
+    out += strf("entries              %llu\n",
+                (unsigned long long)s.cache_entries);
+    out += strf("capacity             %llu\n",
+                (unsigned long long)s.cache_capacity);
+    out += strf("bytes                %llu\n",
+                (unsigned long long)s.cache_bytes);
+    out += strf("hits                 %llu\n",
+                (unsigned long long)s.cache_hits);
+    out += strf("misses               %llu\n",
+                (unsigned long long)s.cache_misses);
+    out += strf("hit_rate             %.3f\n", s.cache_hit_rate());
+    out += strf("inserts              %llu\n",
+                (unsigned long long)s.cache_inserts);
+    out += strf("invalidations        %llu\n",
+                (unsigned long long)s.cache_invalidations);
+    out += strf("evictions            %llu\n",
+                (unsigned long long)s.cache_evictions);
+    out += strf("bypasses             %llu\n",
+                (unsigned long long)s.cache_bypasses);
+  }
+  if (s.shards.size() > 1) {
+    out += "\n[shards]\n";
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const ServeMetricsSnapshot::ShardSnapshot& sh = s.shards[i];
+      out += strf(
+          "shard %-2llu  submitted %llu  completed %llu  depth %llu  "
+          "peak %llu  pool_idle %llu  pool_hits %llu  pool_misses %llu\n",
+          (unsigned long long)i, (unsigned long long)sh.submitted,
+          (unsigned long long)sh.completed,
+          (unsigned long long)sh.queue_depth,
+          (unsigned long long)sh.queue_peak,
+          (unsigned long long)sh.pool_idle,
+          (unsigned long long)sh.pool_hits,
+          (unsigned long long)sh.pool_misses);
+    }
+  }
   out += "\n[watchdog]\n";
-  const auto budget = service.options().watchdog_budget;
+  const auto budget = service.options().obs.watchdog_budget;
   out += strf("budget_ms            %lld\n",
               (long long)(budget.count() / 1000000));
   out += strf("fired                %llu\n",

@@ -57,10 +57,10 @@ void MetricsHttpServer::stop() {
     return;
   }
   // shutdown() wakes the blocking accept(); close() then releases the fd.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (thread_.joinable()) thread_.join();
 }

@@ -51,7 +51,9 @@ class MetricsHttpServer {
   RenderFn render_;
   std::mutex handlers_mu_;
   std::map<std::string, RenderFn> handlers_;
-  int listen_fd_ = -1;
+  // Written by the constructor and stop(), read concurrently by the accept
+  // thread — atomic so the shutdown handshake is race-free.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread thread_;

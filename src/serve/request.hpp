@@ -1,0 +1,87 @@
+// QueryRequest: one query submission to a QueryService, plus the fluent
+// builder the tools and tests construct it with.
+//
+// Redesigned with the sharded/cached serving topology: a request now
+// carries a routing key (`tenant`) and a cache policy (`cache_mode`) next
+// to the engine/budget fields. Requests stay plain aggregates — existing
+// brace-init call sites keep compiling — while QueryRequestBuilder gives
+// call sites that only set a few fields a named, order-independent form
+// that will not churn when the struct grows again.
+#pragma once
+
+#include <chrono>
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "engine/engine.hpp"
+
+namespace ace {
+
+// Per-request result-cache policy (see src/serve/result_cache.hpp).
+enum class CacheMode : std::uint8_t {
+  // Serve from / install into the result cache when the service has one
+  // and the purity analysis clears the query of effects. This is the
+  // default: effectful queries are detected and bypassed automatically.
+  Auto,
+  // Never consult or populate the cache for this request (clients that
+  // need a fresh engine run, e.g. when measuring).
+  Bypass,
+};
+
+struct QueryRequest {
+  std::string query;  // '.'-terminated goal text
+  EngineConfig engine;
+  // Shard routing key: requests with equal tenants land on the same shard
+  // (queue + engine pool), isolating tenants from each other's bursts.
+  // Empty = route by the query text itself.
+  std::string tenant;
+  CacheMode cache_mode = CacheMode::Auto;
+  // Zero = no deadline (or the service default, if one is configured).
+  std::chrono::nanoseconds deadline{0};
+  std::size_t max_solutions = SIZE_MAX;
+  // Overrides ServiceOptions::default_resolution_limit when nonzero.
+  std::uint64_t resolution_limit = 0;
+};
+
+// Fluent construction: QueryRequestBuilder("p(X).").tenant("acme").build().
+class QueryRequestBuilder {
+ public:
+  explicit QueryRequestBuilder(std::string query) {
+    req_.query = std::move(query);
+  }
+
+  QueryRequestBuilder& engine(EngineConfig cfg) {
+    req_.engine = cfg;
+    return *this;
+  }
+  QueryRequestBuilder& tenant(std::string t) {
+    req_.tenant = std::move(t);
+    return *this;
+  }
+  QueryRequestBuilder& cache_mode(CacheMode m) {
+    req_.cache_mode = m;
+    return *this;
+  }
+  QueryRequestBuilder& deadline(std::chrono::nanoseconds d) {
+    req_.deadline = d;
+    return *this;
+  }
+  QueryRequestBuilder& max_solutions(std::size_t n) {
+    req_.max_solutions = n;
+    return *this;
+  }
+  QueryRequestBuilder& resolution_limit(std::uint64_t n) {
+    req_.resolution_limit = n;
+    return *this;
+  }
+
+  QueryRequest build() const& { return req_; }
+  QueryRequest build() && { return std::move(req_); }
+
+ private:
+  QueryRequest req_;
+};
+
+}  // namespace ace

@@ -1,0 +1,169 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+#include "db/database.hpp"
+
+namespace ace {
+namespace serve {
+
+ResultCache::ResultCache(Database* db, std::size_t capacity)
+    : db_(db), capacity_(capacity == 0 ? 1 : capacity) {
+  if (db_ != nullptr) {
+    hook_id_ = db_->add_change_hook(
+        [this](std::uint32_t sym, unsigned arity) {
+          invalidate_pred(sym, arity);
+        });
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (db_ != nullptr) db_->remove_change_hook(hook_id_);
+}
+
+std::uint64_t ResultCache::approx_bytes(const CachedResult& e) {
+  std::uint64_t n = sizeof(CachedResult) + e.key.size();
+  for (const std::string& s : e.result.solutions) n += s.size();
+  n += e.result.query.size() + e.result.output.size() +
+       e.result.error.size();
+  n += e.deps.size() * sizeof(tab::TableDep);
+  return n;
+}
+
+bool ResultCache::erase_locked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_ -= approx_bytes(*it->second.entry);
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  // Stale keys may remain in by_dep_ lists; a missing-key erase later is a
+  // no-op, so they are harmless and die with their predicate's next
+  // invalidation (same policy as tab::TableSpace).
+  return true;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::lookup(
+    const std::string& key) {
+  std::shared_ptr<const CachedResult> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second.entry;
+      // LRU bump now; a failed validation below removes the entry anyway.
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    }
+  }
+  if (entry == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Hit-time validation, outside mu_ (no lock nesting with the database):
+  // every recorded generation must still be the published one. This closes
+  // the publication->hook-drain window — a mutated predicate makes the
+  // generations mismatch immediately, before its hook runs.
+  if (db_ != nullptr) {
+    for (const tab::TableDep& d : entry->deps) {
+      if (db_->pred_generation(d.sym, d.arity) != d.gen) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          erase_locked(key);
+        }
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+bool ResultCache::insert(std::shared_ptr<const CachedResult> entry,
+                         std::uint64_t epoch_before) {
+  // Discard outright when any write was published since the run began —
+  // the entry may have observed a half-old, half-new database.
+  if (db_ != nullptr && db_->epoch() != epoch_before) return false;
+  const std::string key = entry->key;
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    erase_locked(key);  // replace an older same-key derivation
+    for (const tab::TableDep& d : entry->deps) {
+      auto& keys = by_dep_[tab::dep_key(d.sym, d.arity)];
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+    bytes_ += approx_bytes(*entry);
+    lru_.push_front(key);
+    entries_[key] = Slot{std::move(entry), lru_.begin()};
+    while (entries_.size() > capacity_) {
+      erase_locked(lru_.back());
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  // Publication double-check: a write racing this insert may have fired
+  // its change hook before the entry was visible to it. Re-read the epoch
+  // and self-invalidate on movement (the tabling publication pattern).
+  if (db_ != nullptr && db_->epoch() != epoch_before) {
+    bool dropped;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dropped = erase_locked(key);
+    }
+    if (dropped) {
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  return true;
+}
+
+void ResultCache::invalidate_pred(std::uint32_t sym, unsigned arity) {
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_dep_.find(tab::dep_key(sym, arity));
+    if (it == by_dep_.end()) return;
+    // Move the list out so erase_locked()'s by_dep_ laziness cannot touch
+    // the bucket we are iterating.
+    std::vector<std::string> keys = std::move(it->second);
+    by_dep_.erase(it);
+    for (const std::string& key : keys) {
+      if (erase_locked(key)) ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  by_dep_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace ace

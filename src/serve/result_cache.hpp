@@ -1,0 +1,155 @@
+// ResultCache: the canonicalized whole-query answer cache of the serving
+// layer.
+//
+// Where tab::TableSpace memoizes *subgoals* (per-predicate, under SLG
+// tabling), the ResultCache memoizes *entire served queries*: the key is
+// the query's canonical template form (term/canon.hpp — variant-invariant
+// structure plus the variable-name trailer solutions render with) joined
+// with the engine identity and result-shaping budget fields, and the
+// value is a completed QueryResult. A hit skips admission-to-render
+// engine work entirely.
+//
+// Correctness contract: a cached answer is never served across an
+// invalidating assert/retract ("zero stale results"). Three mechanisms
+// compose, all built on the db::Database change-hook + generation
+// machinery the tabling subsystem introduced (src/tab/dep.hpp):
+//
+//   1. Precise invalidation. Every entry records the predicates the run
+//      consulted, with the index generation observed (including
+//      observed-undefined predicates, kDepUndefined). The cache registers
+//      a Database change hook and drops exactly the entries derived from
+//      a mutated predicate.
+//   2. Insert double-check. The service samples Database::epoch() before
+//      the engine runs; insert() re-reads it before *and* after
+//      publishing and discards the entry when any write intervened — an
+//      entry computed across a concurrent mutation is never left
+//      installed (engine/tabling.cpp's publication double-check).
+//   3. Hit-time validation. Hooks fire after the writer lock releases, so
+//      there is a window where a new clause set is readable while the
+//      hook has not yet dropped dependent entries. lookup() therefore
+//      re-verifies every recorded generation against the live database
+//      (Database::pred_generation) and treats any mismatch as a miss,
+//      dropping the entry. A hit is thus indistinguishable from a fresh
+//      run against the current database.
+//
+// Locking: the cache's own mutex guards the map/LRU/reverse index; the
+// hit-time generation checks call back into the Database *outside* that
+// mutex (no lock nesting in either direction — the change hook also runs
+// with no Database lock held). Counters are relaxed atomics so metrics
+// snapshots never contend with queries.
+//
+// Eviction: bounded by entry count (ServiceOptions::result_cache_capacity)
+// with LRU order maintained on every hit; resident bytes are tracked as a
+// gauge for the metrics surface.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/result.hpp"
+#include "tab/dep.hpp"
+
+namespace ace {
+
+class Database;
+
+namespace serve {
+
+// One immutable cached query: the completed QueryResult (with per-response
+// fields like id/latency zeroed by the service before insert) plus the
+// dependency record that guards it.
+struct CachedResult {
+  std::string key;
+  QueryResult result;
+  std::vector<tab::TableDep> deps;
+};
+
+class ResultCache {
+ public:
+  // `capacity` is the maximum entry count (LRU beyond it). When `db` is
+  // non-null the cache registers a change hook and invalidates affected
+  // entries on every assert/retract; the hook is removed on destruction.
+  // The cache must not outlive the database.
+  ResultCache(Database* db, std::size_t capacity);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Validated lookup: returns the entry only when every recorded dep
+  // generation still matches the live database (mechanism 3 above);
+  // stale entries are dropped and counted as a miss + invalidation.
+  std::shared_ptr<const CachedResult> lookup(const std::string& key);
+
+  // Publishes an entry derived while the database sat at `epoch_before`
+  // (Database::epoch() sampled before the engine ran). Returns false —
+  // and installs nothing durable — when any write intervened.
+  bool insert(std::shared_ptr<const CachedResult> entry,
+              std::uint64_t epoch_before);
+
+  // A request the service chose not to cache (effectful per the purity
+  // analysis, CacheMode::Bypass, unparseable, or an uncacheable outcome).
+  void note_bypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Drops every entry whose deps include sym/arity. Called by the
+  // database change hook; also usable directly by tests.
+  void invalidate_pred(std::uint32_t sym, unsigned arity);
+
+  // Drops everything (tests / explicit reset).
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t invalidations = 0;  // entries dropped by pred changes
+    std::uint64_t evictions = 0;      // entries dropped by LRU pressure
+    std::uint64_t bypasses = 0;       // requests served around the cache
+    std::uint64_t entries = 0;        // current entry count (gauge)
+    std::uint64_t bytes = 0;          // approx. resident bytes (gauge)
+  };
+  Stats stats() const;
+
+  // Approximate resident size of one entry (key + solutions + output +
+  // deps). A sizing gauge, not an allocator audit.
+  static std::uint64_t approx_bytes(const CachedResult& e);
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CachedResult> entry;
+    std::list<std::string>::iterator lru;  // position in lru_
+  };
+
+  // Removes `key` if present; returns true when an entry was dropped.
+  // Caller classifies the drop (invalidation vs eviction). mu_ held.
+  bool erase_locked(const std::string& key);
+
+  Database* db_ = nullptr;
+  std::uint64_t hook_id_ = 0;
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  // Reverse dependency index: pred -> keys of entries derived from it.
+  std::unordered_map<std::uint64_t, std::vector<std::string>> by_dep_;
+  std::uint64_t bytes_ = 0;  // Σ approx_bytes over entries_; guarded by mu_
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+};
+
+}  // namespace serve
+}  // namespace ace

@@ -1,10 +1,13 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <functional>
 
+#include "analysis/purity.hpp"
 #include "obs/recorder.hpp"
 #include "obs/timeline.hpp"
 #include "support/strutil.hpp"
+#include "term/canon.hpp"
 
 namespace ace {
 
@@ -49,24 +52,44 @@ QueryService::QueryService(Database& db, ServiceOptions opts,
       costs_(costs),
       builtins_(db.syms()),
       tablespace_(std::make_shared<tab::TableSpace>(&db)),
-      slowlog_(opts.slowlog),
+      slowlog_(opts.obs.slowlog),
       started_at_(SteadyClock::now()) {
+  ACE_CHECK(opts_.shards >= 1);
   ACE_CHECK(opts_.dispatch_threads >= 1);
-  if (opts_.recorder != nullptr) {
+  if (opts_.result_cache_capacity > 0) {
+    result_cache_ =
+        std::make_unique<serve::ResultCache>(&db_, opts_.result_cache_capacity);
+    // Any mutation staled the purity summary the cache-bypass decision
+    // reads; rebuild lazily on the next cacheable request.
+    purity_hook_ = db_.add_change_hook([this](std::uint32_t, unsigned) {
+      purity_dirty_.store(true, std::memory_order_release);
+    });
+  }
+  const unsigned total_threads = opts_.shards * opts_.dispatch_threads;
+  if (opts_.obs.recorder != nullptr) {
     // Tracks are created before the threads so every dispatch thread sees
-    // its own pointer without synchronization.
-    service_track_ = opts_.recorder->create_track("service");
-    dispatch_tracks_.reserve(opts_.dispatch_threads);
-    for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
+    // its own pointer without synchronization. Numbered across shards
+    // (shard * threads + i) to keep the historical "dispatch N" names.
+    service_track_ = opts_.obs.recorder->create_track("service");
+    dispatch_tracks_.reserve(total_threads);
+    for (unsigned i = 0; i < total_threads; ++i) {
       dispatch_tracks_.push_back(
-          opts_.recorder->create_track(strf("dispatch %u", i)));
+          opts_.obs.recorder->create_track(strf("dispatch %u", i)));
     }
   }
-  threads_.reserve(opts_.dispatch_threads);
-  for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
-    threads_.emplace_back([this, i] { dispatch_loop(i); });
+  shards_.reserve(opts_.shards);
+  for (unsigned s = 0; s < opts_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = s;
   }
-  if (opts_.watchdog_budget.count() > 0) {
+  for (auto& sh : shards_) {
+    sh->threads.reserve(opts_.dispatch_threads);
+    for (unsigned i = 0; i < opts_.dispatch_threads; ++i) {
+      Shard* shard = sh.get();
+      sh->threads.emplace_back([this, shard, i] { dispatch_loop(*shard, i); });
+    }
+  }
+  if (opts_.obs.watchdog_budget.count() > 0) {
     wd_thread_ = std::thread([this] { watchdog_loop(); });
   }
 }
@@ -75,24 +98,48 @@ QueryService::~QueryService() { shutdown(); }
 
 void QueryService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_ && threads_.empty()) return;
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    if (stopped_) return;
+    stopped_ = true;
   }
-  queue_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-  threads_.clear();
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(sh->queue_mu);
+      sh->stopping = true;
+    }
+    sh->queue_cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    for (std::thread& t : sh->threads) t.join();
+    sh->threads.clear();
+  }
   {
     std::lock_guard<std::mutex> lock(wd_mu_);
     wd_stop_ = true;
   }
   wd_cv_.notify_all();
   if (wd_thread_.joinable()) wd_thread_.join();
+  if (purity_hook_ != 0) {
+    db_.remove_change_hook(purity_hook_);
+    purity_hook_ = 0;
+  }
 }
 
-std::size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  return queue_.size();
+std::size_t QueryService::total_queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->depth.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t QueryService::queue_depth() const { return total_queue_depth(); }
+
+unsigned QueryService::shard_of(const QueryRequest& req) const {
+  if (shards_.size() <= 1) return 0;
+  const std::string& key = req.tenant.empty() ? req.query : req.tenant;
+  return static_cast<unsigned>(std::hash<std::string>{}(key) %
+                               shards_.size());
 }
 
 QueryService::Ticket QueryService::submit(QueryRequest req) {
@@ -100,6 +147,7 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
   Pending p;
   p.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   p.req = std::move(req);
+  p.shard = shard_of(p.req);
   p.token = std::make_shared<CancelToken>();
   p.admitted_at = SteadyClock::now();
   std::chrono::nanoseconds dl = p.req.deadline.count() != 0
@@ -119,9 +167,10 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
   ticket.id = p.id;
   ticket.result = p.promise.get_future();
 
+  Shard& shard = *shards_[p.shard];
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+    std::lock_guard<std::mutex> lock(shard.queue_mu);
+    if (shard.stopping || shard.queue.size() >= opts_.queue_capacity) {
       // Reject-with-overload: resolve the future immediately; the caller
       // sees backpressure without blocking.
       metrics_.on_rejected();
@@ -129,15 +178,17 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
       resp.id = p.id;
       resp.query = p.req.query;
       resp.outcome = QueryOutcome::Overload;
-      resp.error = stopping_ ? "service stopping" : "admission queue full";
+      resp.error =
+          shard.stopping ? "service stopping" : "admission queue full";
       resp.latency = since(p.admitted_at);
       p.promise.set_value(std::move(resp));
       return ticket;
     }
     metrics_.on_admitted();
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
     if (service_track_ != nullptr) {
       service_track_->note_qid(obs::EventKind::QueueEnter, p.id,
-                               queue_.size());
+                               shard.queue.size());
     }
     p.progress = std::make_shared<QueryProgress>();
     p.progress->id = p.id;
@@ -148,10 +199,15 @@ QueryService::Ticket QueryService::submit(QueryRequest req) {
       std::lock_guard<std::mutex> rlock(reg_mu_);
       inflight_.emplace(p.id, p.progress);
     }
-    queue_.push_back(std::move(p));
-    metrics_.set_queue_depth(queue_.size());
+    shard.queue.push_back(std::move(p));
+    const std::uint64_t depth = shard.queue.size();
+    shard.depth.store(depth, std::memory_order_relaxed);
+    if (depth > shard.depth_peak.load(std::memory_order_relaxed)) {
+      shard.depth_peak.store(depth, std::memory_order_relaxed);
+    }
+    metrics_.set_queue_depth(total_queue_depth());
   }
-  queue_cv_.notify_one();
+  shard.queue_cv.notify_one();
   return ticket;
 }
 
@@ -171,25 +227,29 @@ bool QueryService::cancel(std::uint64_t id) {
   return true;
 }
 
-void QueryService::dispatch_loop(unsigned thread_index) {
-  obs::Track* track = thread_index < dispatch_tracks_.size()
-                          ? dispatch_tracks_[thread_index]
+void QueryService::dispatch_loop(Shard& shard, unsigned thread_index) {
+  const unsigned track_index =
+      shard.index * opts_.dispatch_threads + thread_index;
+  obs::Track* track = track_index < dispatch_tracks_.size()
+                          ? dispatch_tracks_[track_index]
                           : nullptr;
   for (;;) {
     Pending p;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // stopping_ && drained: exit after the queue is fully served.
+      std::unique_lock<std::mutex> lock(shard.queue_mu);
+      shard.queue_cv.wait(
+          lock, [&shard] { return shard.stopping || !shard.queue.empty(); });
+      if (shard.queue.empty()) {
+        // stopping && drained: exit after the queue is fully served.
         return;
       }
-      p = std::move(queue_.front());
-      queue_.pop_front();
-      metrics_.set_queue_depth(queue_.size());
+      p = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
+      metrics_.set_queue_depth(total_queue_depth());
       if (service_track_ != nullptr) {
         service_track_->note_qid(obs::EventKind::QueueLeave, p.id,
-                                 queue_.size());
+                                 shard.queue.size());
       }
     }
     serve_one(std::move(p), track);
@@ -234,6 +294,9 @@ void QueryService::respond(Pending& p, QueryResult&& resp) {
       metrics_.on_rejected();  // defensive: overloads resolve in submit()
       break;
   }
+  if (p.shard < shards_.size()) {
+    shards_[p.shard]->completed.fetch_add(1, std::memory_order_relaxed);
+  }
   slowlog_.consider(resp);
   {
     RecentQuery rq;
@@ -261,8 +324,46 @@ std::vector<RecentQuery> QueryService::recent_queries() const {
 }
 
 std::size_t QueryService::pool_idle() const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  return idle_sessions_.size();
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->pool_mu);
+    total += sh->idle_sessions.size();
+  }
+  return total;
+}
+
+unsigned QueryService::query_effects(const TermTemplate& tmpl) const {
+  std::lock_guard<std::mutex> lock(purity_mu_);
+  if (purity_ == nullptr ||
+      purity_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    purity_prog_ = std::make_unique<AbsProgram>(
+        AbsProgram::from_database(db_.syms(), db_));
+    purity_ = std::make_unique<PuritySummary>(
+        analyze_purity(*purity_prog_, db_.syms()));
+  }
+  return goal_effects(*purity_prog_, db_.syms(), builtins_, *purity_, tmpl,
+                      tmpl.root);
+}
+
+std::string QueryService::cache_key(const TermTemplate& tmpl,
+                                    const QueryRequest& req) {
+  // Canonical query structure + variable names, then the engine identity
+  // and every request field that shapes the result. Deadlines are not
+  // part of the key: only completed runs are cached, and a hit satisfies
+  // any deadline.
+  std::string key = canonical_template_key(tmpl);
+  const EngineConfig& c = req.engine;
+  const unsigned flags =
+      (c.lpco ? 1u : 0u) | (c.shallow ? 2u : 0u) | (c.pdo ? 4u : 0u) |
+      (c.lao ? 8u : 0u) | (c.occurs_check ? 16u : 0u) |
+      (c.tabling ? 32u : 0u) | (c.static_facts ? 64u : 0u) |
+      (c.attrib ? 128u : 0u) | (c.use_threads ? 256u : 0u);
+  key += strf("#m%u.a%u.f%x.rl%llu.qrl%llu.max%llu",
+              static_cast<unsigned>(c.mode), c.agents, flags,
+              (unsigned long long)c.resolution_limit,
+              (unsigned long long)req.resolution_limit,
+              (unsigned long long)req.max_solutions);
+  return key;
 }
 
 void QueryService::serve_one(Pending&& p, obs::Track* track) {
@@ -271,6 +372,7 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     std::atomic<std::uint64_t>& a;
     ~ActiveGuard() { a.fetch_sub(1, std::memory_order_relaxed); }
   } active_guard{active_};
+  Shard& shard = *shards_[p.shard];
 
   // First phase boundary: everything before this instant was queue time.
   const SteadyClock::time_point t_dispatch = SteadyClock::now();
@@ -298,6 +400,54 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     return;
   }
 
+  // ---- Result cache front -------------------------------------------------
+  // Decide cacheability on the dispatch thread (submit stays O(1)): parse
+  // the query once for its canonical key and ask the purity analysis
+  // whether running it could have observable effects. Any effect bit —
+  // database writes, IO, snapshot pins, tabled answers, opaque metacalls —
+  // routes the request around the cache.
+  serve::ResultCache* cache = result_cache_.get();
+  bool cacheable = false;
+  std::string ckey;
+  std::uint64_t epoch_before = 0;
+  if (cache != nullptr) {
+    if (p.req.cache_mode == CacheMode::Bypass) {
+      cache->note_bypass();
+    } else {
+      try {
+        const TermTemplate tmpl = parse_term_text(db_.syms(), p.req.query);
+        if (query_effects(tmpl) == 0) {
+          ckey = cache_key(tmpl, p.req);
+          cacheable = true;
+        } else {
+          cache->note_bypass();
+        }
+      } catch (const AceError&) {
+        // Unparseable: the engine path below reports the parse error.
+        cache->note_bypass();
+      }
+    }
+  }
+  if (cacheable) {
+    if (std::shared_ptr<const serve::CachedResult> hit = cache->lookup(ckey)) {
+      // Served entirely from cache: no session checkout, no engine run.
+      // The stored result carries outcome/solutions only — stats, attrib
+      // and virtual_time are zero because no engine work happened.
+      if (p.progress != nullptr) {
+        p.progress->phase.store(static_cast<int>(ServePhase::Render),
+                                std::memory_order_relaxed);
+      }
+      QueryResult cached = hit->result;
+      cached.queue_wait = resp.queue_wait;
+      cached.phases = resp.phases;
+      cached.cache_hit = true;
+      respond(p, std::move(cached));
+      return;
+    }
+    // Miss: remember the pre-run epoch for the insert double-check.
+    epoch_before = db_.epoch();
+  }
+
   if (p.progress != nullptr) {
     p.progress->phase.store(static_cast<int>(ServePhase::Acquire),
                             std::memory_order_relaxed);
@@ -307,15 +457,15 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
   {
     obs::Span acquire_span(track, p.id, obs::EventKind::AcquireBegin,
                            obs::EventKind::AcquireEnd);
-    session = checkout(p.req.engine, &reused);
+    session = checkout(shard, p.req.engine, &reused);
     acquire_span.close(reused ? 1 : 0);
   }
   const SteadyClock::time_point t_acquired = SteadyClock::now();
   resp.phases.acquire_ns = ns_between(t_dispatch, t_acquired);
   p.phase_mark = t_acquired;
   resp.engine_reused = reused;
-  if (opts_.recorder != nullptr) {
-    session->set_recorder(opts_.recorder);
+  if (opts_.obs.recorder != nullptr) {
+    session->set_recorder(opts_.obs.recorder);
     resp.trace_id = p.id;
     if (track != nullptr) {
       track->note(obs::EventKind::SessionCheckout, reused ? 1 : 0);
@@ -334,8 +484,11 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     p.progress->phase.store(static_cast<int>(ServePhase::Engine),
                             std::memory_order_relaxed);
   }
+  std::vector<tab::TableDep> run_deps;
+  bool deps_ok = false;
   try {
-    SolveResult sr = session->run(p.req.query, budget, p.token.get(), p.id);
+    SolveResult sr =
+        session->run(p.req.query, budget, p.token.get(), p.id, cacheable);
     // Wall boundaries stamped inside run(): parse covers session reset +
     // query parse/load, run covers the drive loop; both stay inside
     // [t_acquired, now] so the phase sum still telescopes exactly.
@@ -344,6 +497,8 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     if (sr.wall_run_done.time_since_epoch().count() != 0) {
       p.phase_mark = sr.wall_run_done;
     }
+    deps_ok = sr.deps_tracked && !sr.deps_tabled;
+    run_deps = std::move(sr.query_deps);
     resp.absorb(std::move(sr));
   } catch (const AceError& e) {
     // Parse errors, undefined predicates, resolution-budget exhaustion,
@@ -354,6 +509,20 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
     resp.error = e.what();
   }
 
+  // Publish to the result cache: only completed (Success/Fail), effect-free
+  // runs whose dependency record is intact. completed() excludes stops, so
+  // a deadline-truncated solution set can never be served as authoritative.
+  if (cacheable && deps_ok && resp.completed() && resp.error.empty() &&
+      resp.output.empty()) {
+    auto entry = std::make_shared<serve::CachedResult>();
+    entry->key = ckey;
+    entry->result.outcome = resp.outcome;
+    entry->result.query = p.req.query;
+    entry->result.solutions = resp.solutions;
+    entry->deps = std::move(run_deps);
+    cache->insert(std::move(entry), epoch_before);
+  }
+
   if (p.progress != nullptr) {
     p.progress->phase.store(static_cast<int>(ServePhase::Render),
                             std::memory_order_relaxed);
@@ -362,28 +531,31 @@ void QueryService::serve_one(Pending&& p, obs::Track* track) {
                         obs::EventKind::RenderEnd);
   // Always return the session: the reset-on-run invariant means even a
   // stopped or errored session is safe to reuse.
-  if (track != nullptr && opts_.recorder != nullptr) {
+  if (track != nullptr && opts_.obs.recorder != nullptr) {
     track->note(obs::EventKind::SessionCheckin);
   }
-  checkin(std::move(session));
+  checkin(shard, std::move(session));
   respond(p, std::move(resp));
 }
 
 std::unique_ptr<EngineSession> QueryService::checkout(
-    const EngineConfig& cfg, bool* reused_out) {
+    Shard& shard, const EngineConfig& cfg, bool* reused_out) {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    for (auto it = idle_sessions_.begin(); it != idle_sessions_.end(); ++it) {
+    std::lock_guard<std::mutex> lock(shard.pool_mu);
+    for (auto it = shard.idle_sessions.begin();
+         it != shard.idle_sessions.end(); ++it) {
       if ((*it)->config() == cfg) {
         std::unique_ptr<EngineSession> s = std::move(*it);
-        idle_sessions_.erase(it);
+        shard.idle_sessions.erase(it);
         metrics_.on_pool_hit();
+        shard.pool_hits.fetch_add(1, std::memory_order_relaxed);
         *reused_out = true;
         return s;
       }
     }
   }
   metrics_.on_pool_miss();
+  shard.pool_misses.fetch_add(1, std::memory_order_relaxed);
   *reused_out = false;
   auto session = std::make_unique<EngineSession>(db_, builtins_, cfg, costs_);
   // Swap the session's private memo cache for the service-wide one so
@@ -403,7 +575,36 @@ ServeMetricsSnapshot QueryService::metrics_snapshot() const {
   s.table_invalidations = t.invalidations;
   s.table_entries = t.entries;
   s.table_bytes = t.bytes;
-  // Runtime health: only the service can see the pool, the registry and
+  if (result_cache_ != nullptr) {
+    serve::ResultCache::Stats c = result_cache_->stats();
+    s.cache_present = true;
+    s.cache_hits = c.hits;
+    s.cache_misses = c.misses;
+    s.cache_inserts = c.inserts;
+    s.cache_invalidations = c.invalidations;
+    s.cache_evictions = c.evictions;
+    s.cache_bypasses = c.bypasses;
+    s.cache_entries = c.entries;
+    s.cache_bytes = c.bytes;
+    s.cache_capacity = result_cache_->capacity();
+  }
+  // Per-shard gauges (queue depth/peak, pool occupancy, traffic split).
+  s.shards.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ServeMetricsSnapshot::ShardSnapshot ss;
+    ss.queue_depth = sh->depth.load(std::memory_order_relaxed);
+    ss.queue_peak = sh->depth_peak.load(std::memory_order_relaxed);
+    ss.submitted = sh->submitted.load(std::memory_order_relaxed);
+    ss.completed = sh->completed.load(std::memory_order_relaxed);
+    ss.pool_hits = sh->pool_hits.load(std::memory_order_relaxed);
+    ss.pool_misses = sh->pool_misses.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(sh->pool_mu);
+      ss.pool_idle = sh->idle_sessions.size();
+    }
+    s.shards.push_back(ss);
+  }
+  // Runtime health: only the service can see the pools, the registry and
   // the database's epoch machinery, so this block is filled here, not in
   // ServeMetrics::snapshot().
   s.runtime_present = true;
@@ -436,7 +637,7 @@ std::string QueryService::watchdog_report(
       "phase=%s  %% %s\n",
       (unsigned long long)prog.id,
       (long long)(age.count() / 1000000),
-      (long long)(opts_.watchdog_budget.count() / 1000000),
+      (long long)(opts_.obs.watchdog_budget.count() / 1000000),
       serve_phase_name(phase), prog.query.c_str());
   // Attribution rollup across served queries: the serving-side picture of
   // where virtual time has been going (top-3 categories).
@@ -453,9 +654,9 @@ std::string QueryService::watchdog_report(
   // Flight-recorder evidence: the stuck query's own timeline (phase spans
   // still open are closed at the track's last event). Ring snapshots are
   // lock-free; nothing here touches the running query.
-  if (opts_.recorder != nullptr) {
+  if (opts_.obs.recorder != nullptr) {
     std::vector<obs::QueryTimeline> tls =
-        obs::extract_timelines(opts_.recorder->snapshot(),
+        obs::extract_timelines(opts_.obs.recorder->snapshot(),
                                /*include_engine_events=*/true);
     for (const obs::QueryTimeline& tl : tls) {
       if (tl.qid != prog.id) continue;
@@ -470,7 +671,8 @@ void QueryService::watchdog_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(wd_mu_);
-      wd_cv_.wait_for(lock, opts_.watchdog_poll, [this] { return wd_stop_; });
+      wd_cv_.wait_for(lock, opts_.obs.watchdog_poll,
+                      [this] { return wd_stop_; });
       if (wd_stop_) return;
     }
     const SteadyClock::time_point now = SteadyClock::now();
@@ -478,7 +680,7 @@ void QueryService::watchdog_loop() {
     {
       std::lock_guard<std::mutex> lock(reg_mu_);
       for (const auto& [id, prog] : inflight_) {
-        if (now - prog->admitted_at >= opts_.watchdog_budget &&
+        if (now - prog->admitted_at >= opts_.obs.watchdog_budget &&
             !prog->dumped.load(std::memory_order_relaxed)) {
           over.push_back(prog);
         }
@@ -501,10 +703,11 @@ void QueryService::watchdog_loop() {
   }
 }
 
-void QueryService::checkin(std::unique_ptr<EngineSession> session) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (idle_sessions_.size() < opts_.pool_capacity) {
-    idle_sessions_.push_back(std::move(session));
+void QueryService::checkin(Shard& shard,
+                           std::unique_ptr<EngineSession> session) {
+  std::lock_guard<std::mutex> lock(shard.pool_mu);
+  if (shard.idle_sessions.size() < opts_.pool_capacity) {
+    shard.idle_sessions.push_back(std::move(session));
   }
   // else: drop — the pool is bounded.
 }

@@ -1,16 +1,35 @@
 // QueryService: the concurrent multi-tenant query front-end.
 //
-//             submit() ──► bounded admission queue ──► dispatch threads
-//                 │   (reject-with-overload when full)      │
-//                 ▼                                         ▼
-//           Ticket{id, future}                    engine-pool checkout
-//                                                (warm EngineSession reuse)
+//   submit() ──route by tenant──► shard 0 ┐ admission queue ► dispatch
+//       │                        shard 1 │ (reject-with-    │ threads
+//       ▼                          ...   │  overload when   ▼
+//  Ticket{id, future}            shard N ┘  full)     result cache?
+//                                                      hit ─► respond
+//                                                      miss ► engine-pool
+//                                                             checkout
 //
 // One QueryService owns: the shared Database (callers consult programs
 // before/while serving; assert/retract from served queries is safe under
-// the Database's shared lock), a pool of pre-warmed EngineSessions keyed by
-// EngineConfig, a bounded FIFO admission queue with backpressure, and the
-// serving metrics surface (src/stats/serve_metrics.hpp).
+// the Database's shared lock), N independent *shards* — each a bounded
+// FIFO admission queue, its own dispatch threads and its own pool of
+// pre-warmed EngineSessions — an optional canonicalized query->result
+// cache fronting the engines (serve/result_cache.hpp), and the serving
+// metrics surface (src/stats/serve_metrics.hpp).
+//
+// Sharding. Requests are routed by QueryRequest::tenant (falling back to
+// the query text when empty): hash(key) % shards. Everything contended —
+// queue mutex, pool mutex, dispatch wakeups — is per shard, so tenants on
+// different shards never serialize on each other's admission path, and a
+// burst from one tenant can only fill its own queue. shards=1 (the
+// default) is exactly the historical single-pool topology.
+//
+// Result cache. With result_cache_capacity > 0, completed pure queries
+// are cached under their canonical template key (variant structure +
+// variable names + engine identity + result-shaping budget) and repeated
+// submissions are answered without touching an engine. Effectful queries
+// — flagged by the purity analysis (analysis/purity.hpp) or
+// CacheMode::Bypass — always run. Invalidation and the zero-stale-results
+// guarantee live in serve/result_cache.hpp.
 //
 // Per-query budgets: wall-clock deadline (measured from admission, so time
 // spent queued counts — a request that expires in the queue is answered
@@ -19,15 +38,15 @@
 // query whether it is still queued or already running (the per-request
 // CancelToken is shared with the running session's workers).
 //
-// Dispatch is FIFO and deadline-aware: expired requests are answered
-// immediately on pop instead of wasting an engine. Responses carry partial
-// solutions for Cancelled/DeadlineExpired queries — everything found
-// before the stop landed.
+// Dispatch is FIFO per shard and deadline-aware: expired requests are
+// answered immediately on pop instead of wasting an engine. Responses
+// carry partial solutions for Cancelled/DeadlineExpired queries —
+// everything found before the stop landed.
 //
-// Responses are the versioned wire type ace::QueryResult (PR 2): one
-// outcome enum, per-query Counters delta, queue/latency accounting, and a
-// trace handle when an obs::Recorder is attached via ServiceOptions. With
-// a recorder the service traces the full request path — Submit and
+// Responses are the versioned wire type ace::QueryResult: one outcome
+// enum, per-query Counters delta, queue/latency accounting, and a trace
+// handle when an obs::Recorder is attached via ServiceOptions. With a
+// recorder the service traces the full request path — Submit and
 // QueueEnter/QueueLeave on a shared service track, ServeBegin/ServeEnd
 // plus SessionCheckout/Checkin on per-dispatch-thread tracks, and the
 // session/agent spans below them (same qid = the ticket id throughout).
@@ -46,6 +65,8 @@
 #include <vector>
 
 #include "obs/slowlog.hpp"
+#include "serve/request.hpp"
+#include "serve/result_cache.hpp"
 #include "serve/session.hpp"
 #include "stats/serve_metrics.hpp"
 #include "tab/table_space.hpp"
@@ -57,24 +78,40 @@ class Recorder;
 class Track;
 }
 
+struct AbsProgram;
+struct PuritySummary;
+
 struct ServiceOptions {
-  unsigned dispatch_threads = 4;   // concurrent engine instances
-  std::size_t queue_capacity = 128;  // admission bound (backpressure)
-  std::size_t pool_capacity = 16;    // max idle warm sessions kept
+  // Shard topology: `shards` independent (queue + dispatch threads +
+  // engine pool) units; the three capacity knobs below are PER SHARD.
+  unsigned shards = 1;
+  unsigned dispatch_threads = 4;     // concurrent engines per shard
+  std::size_t queue_capacity = 128;  // admission bound per shard
+  std::size_t pool_capacity = 16;    // max idle warm sessions per shard
+  // Canonicalized query->result cache: maximum cached entries (LRU
+  // beyond). 0 = no cache — the engine runs every request, bit-identical
+  // to the pre-cache serving path.
+  std::size_t result_cache_capacity = 0;
   // Defaults applied when a request leaves the field zero.
   std::chrono::nanoseconds default_deadline{0};  // 0 = no deadline
   std::uint64_t default_resolution_limit = 0;
-  // Optional observability: a caller-owned recorder (must outlive the
-  // service) and the slow-query log configuration.
-  obs::Recorder* recorder = nullptr;
-  obs::SlowLogOptions slowlog{};
-  // Stuck-query watchdog: when > 0, a background thread checks in-flight
-  // queries every `watchdog_poll` and dumps a flight-recorder snapshot
-  // (current phase, qid-correlated events, attribution top-3) to the
-  // slow-query log for any query older than `watchdog_budget` — once per
-  // query. Strictly read-only w.r.t. the running query.
-  std::chrono::nanoseconds watchdog_budget{0};  // 0 = disabled
-  std::chrono::milliseconds watchdog_poll{50};
+
+  // Observability knobs, grouped so the serving-topology fields above
+  // stay a flat, skimmable bag. All members are defaulted: existing
+  // aggregate-init call sites that never named them keep compiling.
+  struct Observability {
+    // Caller-owned recorder (must outlive the service); null = no tracing.
+    obs::Recorder* recorder = nullptr;
+    obs::SlowLogOptions slowlog{};
+    // Stuck-query watchdog: when > 0, a background thread checks
+    // in-flight queries every `watchdog_poll` and dumps a flight-recorder
+    // snapshot (current phase, qid-correlated events, attribution top-3)
+    // to the slow-query log for any query older than `watchdog_budget` —
+    // once per query. Strictly read-only w.r.t. the running query.
+    std::chrono::nanoseconds watchdog_budget{0};  // 0 = disabled
+    std::chrono::milliseconds watchdog_poll{50};
+  };
+  Observability obs{};
 };
 
 // Coarse serving phase of one in-flight query, advanced by the dispatch
@@ -95,23 +132,11 @@ struct RecentQuery {
   AttribBreakdown attrib;
 };
 
-// PR 1 compatibility alias: the serving response is now the shared
-// versioned wire type (engine/result.hpp). Kept for one PR.
-using QueryResponse = QueryResult;
-
-struct QueryRequest {
-  std::string query;            // '.'-terminated goal text
-  EngineConfig engine;          // which engine/flags to run it on
-  std::chrono::nanoseconds deadline{0};  // 0 = service default
-  std::size_t max_solutions = SIZE_MAX;
-  std::uint64_t resolution_limit = 0;    // 0 = service default
-};
-
 class QueryService {
  public:
   QueryService(Database& db, ServiceOptions opts = {},
                const CostModel& costs = CostModel::standard());
-  ~QueryService();  // shutdown(): drains the queue, joins threads
+  ~QueryService();  // shutdown(): drains the queues, joins threads
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -121,9 +146,9 @@ class QueryService {
     std::future<QueryResult> result;
   };
 
-  // Admission control: O(1). If the queue is at capacity the ticket's
-  // future is already resolved with QueryOutcome::Overload (backpressure —
-  // callers should retry later or shed load).
+  // Admission control: O(1). If the routed shard's queue is at capacity
+  // the ticket's future is already resolved with QueryOutcome::Overload
+  // (backpressure — callers should retry later or shed load).
   Ticket submit(QueryRequest req);
 
   // Convenience: submit and wait.
@@ -138,8 +163,8 @@ class QueryService {
   void shutdown();
 
   const ServeMetrics& metrics() const { return metrics_; }
-  // Serving metrics plus the shared memo-table cache counters (hits,
-  // misses, entries, invalidations) folded into the snapshot.
+  // Serving metrics plus the shared memo-table cache counters, the result
+  // cache counters and the per-shard gauges folded into the snapshot.
   ServeMetricsSnapshot metrics_snapshot() const;
 
   // The service-wide memo-table cache, shared by every pooled session:
@@ -147,19 +172,34 @@ class QueryService {
   // calls from any session until an assert/retract invalidates it.
   tab::TableSpace& tables() { return *tablespace_; }
 
+  // The whole-query result cache; null when result_cache_capacity == 0.
+  serve::ResultCache* result_cache() { return result_cache_.get(); }
+  const serve::ResultCache* result_cache() const {
+    return result_cache_.get();
+  }
+
+  // Shard a request would be routed to (metrics/tests; pure function of
+  // the routing key).
+  unsigned shard_of(const QueryRequest& req) const;
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
   // Attaches the load-time lint result of the served program to the
   // metrics (ace_serve --analyze); surfaced in metrics_snapshot().to_json().
   void set_lint_counts(std::uint64_t warnings, std::uint64_t errors) {
     metrics_.set_lint_counts(warnings, errors);
   }
   const obs::SlowQueryLog& slowlog() const { return slowlog_; }
+  // Total queued requests across all shards.
   std::size_t queue_depth() const;
   Database& db() { return db_; }
   const Database& db() const { return db_; }
 
   // ---- Introspection for the /debug surface ------------------------------
   const ServiceOptions& options() const { return opts_; }
-  obs::Recorder* recorder() const { return opts_.recorder; }
+  obs::Recorder* recorder() const { return opts_.obs.recorder; }
+  // Total idle warm sessions across all shard pools.
   std::size_t pool_idle() const;
   std::uint64_t watchdog_fired() const {
     return watchdog_fired_.load(std::memory_order_relaxed);
@@ -188,6 +228,7 @@ class QueryService {
   struct Pending {
     std::uint64_t id = 0;
     QueryRequest req;
+    unsigned shard = 0;  // routed shard index
     std::promise<QueryResult> promise;
     std::shared_ptr<CancelToken> token;
     std::shared_ptr<QueryProgress> progress;
@@ -199,37 +240,69 @@ class QueryService {
     std::chrono::steady_clock::time_point phase_mark{};
   };
 
-  void dispatch_loop(unsigned thread_index);
+  // One independent serving unit: admission queue, dispatch threads and
+  // warm-session pool, plus the relaxed gauges the per-shard metrics
+  // surface reads without touching the mutexes.
+  struct Shard {
+    unsigned index = 0;
+    mutable std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<Pending> queue;
+    bool stopping = false;  // guarded by queue_mu
+
+    mutable std::mutex pool_mu;
+    std::vector<std::unique_ptr<EngineSession>> idle_sessions;
+
+    std::vector<std::thread> threads;
+
+    std::atomic<std::uint64_t> submitted{0};  // admitted to this shard
+    std::atomic<std::uint64_t> completed{0};  // responses sent
+    std::atomic<std::uint64_t> pool_hits{0};
+    std::atomic<std::uint64_t> pool_misses{0};
+    std::atomic<std::uint64_t> depth{0};  // mirrors queue.size()
+    std::atomic<std::uint64_t> depth_peak{0};
+  };
+
+  void dispatch_loop(Shard& shard, unsigned thread_index);
   void serve_one(Pending&& p, obs::Track* track);
   void respond(Pending& p, QueryResult&& resp);
   void watchdog_loop();
   std::string watchdog_report(const QueryProgress& prog,
                               std::chrono::nanoseconds age) const;
-  std::unique_ptr<EngineSession> checkout(const EngineConfig& cfg,
+  std::unique_ptr<EngineSession> checkout(Shard& shard,
+                                          const EngineConfig& cfg,
                                           bool* reused_out);
-  void checkin(std::unique_ptr<EngineSession> session);
+  void checkin(Shard& shard, std::unique_ptr<EngineSession> session);
+  std::size_t total_queue_depth() const;  // relaxed sum of shard gauges
+
+  // ---- Result-cache support ----------------------------------------------
+  // Effects of `tmpl`'s goal per the purity analysis, built lazily from
+  // the live database and rebuilt after any mutation (change-hook dirty
+  // flag). Conservative staleness is fine: correctness of served answers
+  // never depends on it (the cache's dep machinery does that); it only
+  // decides which queries are worth caching.
+  unsigned query_effects(const TermTemplate& tmpl) const;
+  static std::string cache_key(const TermTemplate& tmpl,
+                               const QueryRequest& req);
 
   Database& db_;
   ServiceOptions opts_;
   CostModel costs_;
   Builtins builtins_;  // shared by all sessions (const after construction)
   std::shared_ptr<tab::TableSpace> tablespace_;
+  std::unique_ptr<serve::ResultCache> result_cache_;
   ServeMetrics metrics_;
   obs::SlowQueryLog slowlog_;
 
   // Multi-writer track for the submit/cancel side (clients call from
   // arbitrary threads; the ring is lock-free) and one single-writer track
-  // per dispatch thread. Null when no recorder is configured.
+  // per dispatch thread (numbered across shards). Null when no recorder
+  // is configured.
   obs::Track* service_track_ = nullptr;
   std::vector<obs::Track*> dispatch_tracks_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
-
-  mutable std::mutex pool_mu_;
-  std::vector<std::unique_ptr<EngineSession>> idle_sessions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool stopped_ = false;  // shutdown() ran to completion (guarded by reg_mu_)
 
   mutable std::mutex reg_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<QueryProgress>> inflight_;
@@ -237,11 +310,17 @@ class QueryService {
   mutable std::mutex recent_mu_;
   std::deque<RecentQuery> recent_;  // bounded to kRecentCapacity
 
+  // Purity-analysis cache for the effectful-query bypass.
+  mutable std::mutex purity_mu_;
+  mutable std::unique_ptr<AbsProgram> purity_prog_;
+  mutable std::unique_ptr<PuritySummary> purity_;
+  mutable std::atomic<bool> purity_dirty_{true};
+  std::uint64_t purity_hook_ = 0;
+
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> active_{0};  // queries inside serve_one
   std::atomic<std::uint64_t> watchdog_fired_{0};
   std::chrono::steady_clock::time_point started_at_;
-  std::vector<std::thread> threads_;
 
   // Watchdog thread state (only started when watchdog_budget > 0).
   std::mutex wd_mu_;

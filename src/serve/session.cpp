@@ -149,14 +149,35 @@ void EngineSession::finalize(SolveResult& result) {
   }
   result.savings = schema_savings(result.stats, costs_);
   result.output = io_.snapshot();
+
+  // Merge per-worker query-dependency records (result-cache runs only).
+  if (workers_[0]->deps_on_) {
+    result.deps_tracked = true;
+    std::unordered_set<std::uint64_t> seen;
+    for (Worker* w : workers_) {
+      result.deps_tabled |= w->deps_track_.tabled;
+      for (const tab::TableDep& d : w->deps_track_.deps) {
+        if (seen.insert(tab::dep_key(d.sym, d.arity)).second) {
+          result.query_deps.push_back(d);
+        }
+      }
+    }
+  }
 }
 
 SolveResult EngineSession::run(const std::string& query_text,
                                const QueryBudget& budget,
-                               CancelToken* external, std::uint64_t qid) {
+                               CancelToken* external, std::uint64_t qid,
+                               bool collect_deps) {
   // Reset first: this is what guarantees a cancelled/failed previous query
   // can never wedge the reused engine.
   reset();
+
+  // reset_for_reuse() disarmed every tracker; re-arm when the serving
+  // layer wants this run's predicate dependencies (result-cache insert).
+  if (collect_deps) {
+    for (Worker* w : workers_) w->deps_on_ = true;
+  }
 
   // Stamp the query id onto every track before any worker runs; the driver
   // threads are created after this, so the store is ordered-before their

@@ -75,9 +75,13 @@ class EngineSession {
   // hands out per-request tokens so queued requests can be cancelled);
   // otherwise the session's own token is reset and used. `qid` stamps the
   // run's trace events when a recorder is attached (0 = anonymous).
+  // `collect_deps` arms per-worker query-dependency tracking for the
+  // serving result cache (SolveResult::query_deps); off by default so the
+  // CLI/Engine paths stay bit-identical to a build without the cache.
   SolveResult run(const std::string& query_text,
                   const QueryBudget& budget = {},
-                  CancelToken* external = nullptr, std::uint64_t qid = 0);
+                  CancelToken* external = nullptr, std::uint64_t qid = 0,
+                  bool collect_deps = false);
 
   // The session-owned token (valid when run() was called without an
   // external one): cancel from another thread to stop the current query.

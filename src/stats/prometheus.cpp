@@ -95,6 +95,77 @@ std::string prometheus_text(const ServeMetricsSnapshot& s) {
               "Approximate resident bytes of the shared memo-table cache",
               s.table_bytes);
   }
+  if (s.cache_present) {
+    put_counter(out, "ace_result_cache_hits_total",
+                "Served queries answered from the result cache",
+                s.cache_hits);
+    put_counter(out, "ace_result_cache_misses_total",
+                "Cacheable queries that had to run an engine",
+                s.cache_misses);
+    put_counter(out, "ace_result_cache_inserts_total",
+                "Completed query results published to the cache",
+                s.cache_inserts);
+    put_counter(out, "ace_result_cache_invalidations_total",
+                "Cached results dropped because a supporting predicate "
+                "changed",
+                s.cache_invalidations);
+    put_counter(out, "ace_result_cache_evictions_total",
+                "Cached results dropped by LRU capacity pressure",
+                s.cache_evictions);
+    put_counter(out, "ace_result_cache_bypasses_total",
+                "Requests routed around the cache (effectful or bypass "
+                "mode)",
+                s.cache_bypasses);
+    put_gauge(out, "ace_result_cache_entries",
+              "Live entries in the result cache", s.cache_entries);
+    put_gauge(out, "ace_result_cache_bytes",
+              "Approximate resident bytes of the result cache",
+              s.cache_bytes);
+    put_gauge(out, "ace_result_cache_capacity",
+              "Configured result-cache entry bound", s.cache_capacity);
+  }
+  if (s.shards.size() > 1) {
+    // Per-shard families: one HELP/TYPE header each, one labeled sample
+    // per shard.
+    struct ShardField {
+      const char* name;
+      const char* type;
+      const char* help;
+      std::uint64_t ServeMetricsSnapshot::ShardSnapshot::* field;
+    };
+    static const ShardField kFields[] = {
+        {"ace_shard_queue_depth", "gauge",
+         "Instantaneous admission-queue depth per shard",
+         &ServeMetricsSnapshot::ShardSnapshot::queue_depth},
+        {"ace_shard_queue_peak", "gauge",
+         "Admission-queue high-water mark per shard",
+         &ServeMetricsSnapshot::ShardSnapshot::queue_peak},
+        {"ace_shard_pool_idle_sessions", "gauge",
+         "Warm engine sessions parked in the shard's pool",
+         &ServeMetricsSnapshot::ShardSnapshot::pool_idle},
+        {"ace_shard_submitted_total", "counter",
+         "Queries admitted to the shard",
+         &ServeMetricsSnapshot::ShardSnapshot::submitted},
+        {"ace_shard_completed_total", "counter",
+         "Responses sent by the shard",
+         &ServeMetricsSnapshot::ShardSnapshot::completed},
+        {"ace_shard_pool_hits_total", "counter",
+         "Shard engine checkouts served by a warm pooled session",
+         &ServeMetricsSnapshot::ShardSnapshot::pool_hits},
+        {"ace_shard_pool_misses_total", "counter",
+         "Shard engine checkouts that constructed a session",
+         &ServeMetricsSnapshot::ShardSnapshot::pool_misses},
+    };
+    for (const ShardField& f : kFields) {
+      out += strf("# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name,
+                  f.type);
+      for (std::size_t i = 0; i < s.shards.size(); ++i) {
+        out += strf("%s{shard=\"%llu\"} %llu\n", f.name,
+                    (unsigned long long)i,
+                    (unsigned long long)(s.shards[i].*(f.field)));
+      }
+    }
+  }
   if (s.runtime_present) {
     put_gauge(out, "ace_pool_idle_sessions",
               "Warm engine sessions parked in the pool", s.pool_idle);

@@ -189,6 +189,42 @@ std::string ServeMetricsSnapshot::to_json() const {
         (unsigned long long)table_invalidations,
         (unsigned long long)table_entries, (unsigned long long)table_bytes);
   }
+  // Result-cache rollup: present only when a cache is configured.
+  if (cache_present) {
+    lint += strf(
+        ",\"cache_hits\":%llu,\"cache_misses\":%llu,"
+        "\"cache_hit_rate\":%.3f,\"cache_inserts\":%llu,"
+        "\"cache_invalidations\":%llu,\"cache_evictions\":%llu,"
+        "\"cache_bypasses\":%llu,\"cache_entries\":%llu,"
+        "\"cache_bytes\":%llu,\"cache_capacity\":%llu",
+        (unsigned long long)cache_hits, (unsigned long long)cache_misses,
+        cache_hit_rate(), (unsigned long long)cache_inserts,
+        (unsigned long long)cache_invalidations,
+        (unsigned long long)cache_evictions,
+        (unsigned long long)cache_bypasses,
+        (unsigned long long)cache_entries, (unsigned long long)cache_bytes,
+        (unsigned long long)cache_capacity);
+  }
+  // Per-shard breakdown: rendered only for multi-shard topologies so the
+  // default shards=1 object keeps its historical shape.
+  if (shards.size() > 1) {
+    lint += ",\"shards\":[";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const ShardSnapshot& sh = shards[i];
+      if (i != 0) lint += ",";
+      lint += strf(
+          "{\"queue_depth\":%llu,\"queue_peak\":%llu,\"pool_idle\":%llu,"
+          "\"submitted\":%llu,\"completed\":%llu,\"pool_hits\":%llu,"
+          "\"pool_misses\":%llu}",
+          (unsigned long long)sh.queue_depth,
+          (unsigned long long)sh.queue_peak,
+          (unsigned long long)sh.pool_idle, (unsigned long long)sh.submitted,
+          (unsigned long long)sh.completed,
+          (unsigned long long)sh.pool_hits,
+          (unsigned long long)sh.pool_misses);
+    }
+    lint += "]";
+  }
   // Runtime health gauges: only QueryService::metrics_snapshot() fills
   // these, so the plain ServeMetrics::snapshot() JSON shape is unchanged.
   if (runtime_present) {

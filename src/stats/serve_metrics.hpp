@@ -106,6 +106,35 @@ struct ServeMetricsSnapshot {
   std::uint64_t table_entries = 0;        // gauge: live completed tables
   std::uint64_t table_bytes = 0;          // gauge: approx. cached bytes
 
+  // Whole-query result cache counters (serve/result_cache.hpp). Filled by
+  // QueryService::metrics_snapshot() when a cache is configured
+  // (result_cache_capacity > 0); absent from to_json() otherwise, so
+  // cache-off deployments keep the pre-cache object shape.
+  bool cache_present = false;
+  std::uint64_t cache_hits = 0;           // served without an engine
+  std::uint64_t cache_misses = 0;         // cacheable but had to run
+  std::uint64_t cache_inserts = 0;        // completed results published
+  std::uint64_t cache_invalidations = 0;  // entries dropped by assert/retract
+  std::uint64_t cache_evictions = 0;      // entries dropped by LRU pressure
+  std::uint64_t cache_bypasses = 0;       // effectful / bypass-mode requests
+  std::uint64_t cache_entries = 0;        // gauge: live entries
+  std::uint64_t cache_bytes = 0;          // gauge: approx. resident bytes
+  std::uint64_t cache_capacity = 0;       // configured entry bound
+
+  // Per-shard gauges/counters, one element per shard in routing order.
+  // Filled by QueryService::metrics_snapshot(); rendered in to_json() only
+  // for multi-shard topologies so the default shards=1 JSON is unchanged.
+  struct ShardSnapshot {
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_peak = 0;
+    std::uint64_t pool_idle = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+  };
+  std::vector<ShardSnapshot> shards;
+
   // Runtime health gauges. Filled by QueryService::metrics_snapshot()
   // (the service is the only holder of the pool/db/watchdog state); a bare
   // ServeMetrics::snapshot() leaves the block absent so the JSON shape is
@@ -129,6 +158,12 @@ struct ServeMetricsSnapshot {
   double pool_hit_rate() const {
     std::uint64_t total = pool_hits + pool_misses;
     return total == 0 ? 0.0 : double(pool_hits) / double(total);
+  }
+  // Hit rate over cacheable lookups only (bypasses excluded): the number a
+  // dashboard alarms on and the bench regression gate tracks.
+  double cache_hit_rate() const {
+    std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : double(cache_hits) / double(total);
   }
   std::string to_json() const;
 };

@@ -1,0 +1,44 @@
+// Dependency records shared by the answer caches.
+//
+// Both cross-query caches — the tabling TableSpace (src/tab) and the
+// serving-layer ResultCache (src/serve) — remember which predicates an
+// entry was derived from, at the Database generation observed during the
+// derivation. The record powers two mechanisms:
+//
+//   * precise invalidation: the Database change hook maps a mutated
+//     (sym, arity) to the entries derived from it via a reverse index
+//     keyed by dep_key();
+//   * staleness double-checks: publication (and, for the result cache,
+//     every hit) re-verifies the recorded generations against the live
+//     database, closing the window between a writer's publication and
+//     its hook dispatch (engine/tabling.cpp's double-check pattern).
+//
+// Lives in its own header so engine/result.hpp can carry dep lists
+// without pulling in the whole table-space machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace ace {
+namespace tab {
+
+// One predicate an entry's answers were derived from, at the Database
+// generation observed during derivation.
+struct TableDep {
+  std::uint32_t sym = 0;
+  unsigned arity = 0;
+  std::uint64_t gen = 0;
+};
+
+// Generation recorded for a predicate that was *consulted but undefined*
+// when the entry was derived (e.g. observed through catch/3). Any later
+// definition publishes a real generation and mismatches this marker.
+inline constexpr std::uint64_t kDepUndefined = ~std::uint64_t{0};
+
+// Reverse-index key for a predicate.
+inline constexpr std::uint64_t dep_key(std::uint32_t sym, unsigned arity) {
+  return (std::uint64_t{sym} << 32) | arity;
+}
+
+}  // namespace tab
+}  // namespace ace

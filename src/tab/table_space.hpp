@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tab/dep.hpp"
 #include "term/build.hpp"
 
 namespace ace {
@@ -49,16 +50,6 @@ namespace ace {
 class Database;
 
 namespace tab {
-
-// One predicate the answers of a table were derived from, at the Database
-// generation observed during derivation. Publication re-verifies the
-// generations so a table computed across a concurrent assert/retract is
-// never installed stale.
-struct TableDep {
-  std::uint32_t sym = 0;
-  unsigned arity = 0;
-  std::uint64_t gen = 0;
-};
 
 // An immutable completed table: the full answer set of one canonical
 // subgoal. Answers are templates of the *subgoal term itself* with the
@@ -113,10 +104,6 @@ class TableSpace {
   static std::uint64_t approx_bytes(const CompletedTable& t);
 
  private:
-  static std::uint64_t dep_key(std::uint32_t sym, unsigned arity) {
-    return (std::uint64_t{sym} << 32) | arity;
-  }
-
   Database* db_ = nullptr;
   std::uint64_t hook_id_ = 0;
 

@@ -71,4 +71,75 @@ std::string canonical_term_key(const Store& store, Addr a) {
   return out;
 }
 
+void canonical_template_key_into(const TermTemplate& tmpl, std::string* out) {
+  // Same shape as canonical_term_key_into(), walking the template pool
+  // instead of a heap: Str/Lst/Ref payloads are pool indices, variables
+  // are VarSlot cells numbered here by first occurrence.
+  struct Item {
+    Cell cell{};
+    char lit = 0;  // nonzero: emit this character instead
+  };
+  std::vector<Item> work;
+  std::unordered_map<std::uint32_t, unsigned> var_ids;
+  std::vector<std::uint32_t> var_order;  // slots in first-occurrence order
+  work.push_back({tmpl.root, 0});
+  while (!work.empty()) {
+    Item it = work.back();
+    work.pop_back();
+    if (it.lit != 0) {
+      out->push_back(it.lit);
+      continue;
+    }
+    Cell c = it.cell;
+    // Internal Ref cells (none are produced by the parser, but
+    // term_to_template can emit them) point at another pool cell.
+    while (c.tag() == Tag::Ref) c = tmpl.cells[c.ref()];
+    switch (c.tag()) {
+      case Tag::VarSlot: {
+        auto [pos, inserted] =
+            var_ids.emplace(c.var_slot(), static_cast<unsigned>(var_ids.size()));
+        if (inserted) var_order.push_back(c.var_slot());
+        *out += strf("_%u", pos->second);
+        break;
+      }
+      case Tag::Atm:
+        *out += strf("a%u", c.symbol());
+        break;
+      case Tag::Int:
+        *out += strf("i%lld", (long long)c.integer());
+        break;
+      case Tag::Str: {
+        const Cell f = tmpl.cells[c.ref()];
+        *out += strf("s%u:%u(", f.fun_symbol(), f.fun_arity());
+        work.push_back({Cell{}, ')'});
+        for (unsigned i = f.fun_arity(); i-- > 0;) {
+          work.push_back({tmpl.cells[c.ref() + 1 + i], 0});
+        }
+        break;
+      }
+      case Tag::Lst:
+        *out += "l(";
+        work.push_back({Cell{}, ')'});
+        work.push_back({tmpl.cells[c.ref() + 1], 0});
+        work.push_back({tmpl.cells[c.ref() + 0], 0});
+        break;
+      default:
+        *out += "?";
+        break;
+    }
+  }
+  // Name trailer: cached solutions render "Name = value" lines, so keys
+  // must distinguish variants that differ only in variable names.
+  for (std::uint32_t slot : var_order) {
+    out->push_back('|');
+    *out += slot < tmpl.var_names.size() ? tmpl.var_names[slot] : "_";
+  }
+}
+
+std::string canonical_template_key(const TermTemplate& tmpl) {
+  std::string out;
+  canonical_template_key_into(tmpl, &out);
+  return out;
+}
+
 }  // namespace ace

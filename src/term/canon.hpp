@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "term/build.hpp"
 #include "term/store.hpp"
 
 namespace ace {
@@ -25,5 +26,19 @@ std::string canonical_term_key(const Store& store, Addr a);
 // Appends the canonical key of `a` to `out` (bulk users avoid the
 // per-term string allocation). Variable numbering restarts per call.
 void canonical_term_key_into(const Store& store, Addr a, std::string* out);
+
+// Canonical serialization of a parsed-but-uninstantiated TermTemplate
+// (the serving result cache keys queries without touching any Store).
+// Structure cells serialize exactly like canonical_term_key() — two
+// queries produce equal structural prefixes iff instantiating both and
+// serializing the heap terms would — with variable slots numbered by
+// first occurrence. Because a cached QueryResult renders solutions with
+// the query's *variable names* ("X = 1"), the structural key is followed
+// by a '|'-separated trailer of the names in first-occurrence order:
+// `p(X,Y)` and `p(A,B)` are variants but must not share a cache entry.
+std::string canonical_template_key(const TermTemplate& tmpl);
+
+// Appending variant of canonical_template_key().
+void canonical_template_key_into(const TermTemplate& tmpl, std::string* out);
 
 }  // namespace ace

@@ -218,7 +218,7 @@ TEST(ServeTracing, SpansNestFromServiceThroughSessionToWorkers) {
   Recorder rec;
   ServiceOptions sopts;
   sopts.dispatch_threads = 2;
-  sopts.recorder = &rec;
+  sopts.obs.recorder = &rec;
   QueryService service(db, sopts);
 
   QueryRequest req;
@@ -324,7 +324,7 @@ TEST(ChromeExport, TracedServeRunProducesValidChromeTrace) {
   Recorder rec;
   ServiceOptions sopts;
   sopts.dispatch_threads = 2;
-  sopts.recorder = &rec;
+  sopts.obs.recorder = &rec;
   QueryService service(db, sopts);
 
   for (int i = 0; i < 8; ++i) {
@@ -492,7 +492,7 @@ TEST(SlowLog, ServiceFeedsTheLog) {
   db.consult(kProgram);
   ServiceOptions sopts;
   sopts.dispatch_threads = 1;
-  sopts.slowlog.threshold = std::chrono::microseconds(1);  // everything
+  sopts.obs.slowlog.threshold = std::chrono::microseconds(1);  // everything
   QueryService service(db, sopts);
   QueryRequest req;
   req.query = "pick(X).";
@@ -749,7 +749,7 @@ TEST(Timeline, ServiceQueriesProduceCompletePhaseTimelines) {
   Recorder rec;
   ServiceOptions sopts;
   sopts.dispatch_threads = 2;
-  sopts.recorder = &rec;
+  sopts.obs.recorder = &rec;
   QueryService service(db, sopts);
   QueryRequest req;
   req.query = "both(X, Y).";

@@ -13,12 +13,20 @@
 // Recognized per-line options: engine=seq|andp|orp, agents=N, lpco,
 // shallow, pdo, lao, all-opts, sfacts, notab (ignore table directives),
 // threads, max=N (solution cap), deadline=MILLIS, limit=N (resolution
-// budget).
+// budget), tenant=NAME (shard routing key), nocache (bypass the result
+// cache for this query).
 //
 // Service options:
-//   --service-threads N   dispatch threads / concurrent engines (default 4)
-//   --queue N             admission queue capacity (default 128)
-//   --pool N              warm-session pool capacity (default 16)
+//   --shards N            independent shards, each with its own admission
+//                         queue, dispatch threads and engine pool; requests
+//                         route by tenant= (default 1)
+//   --service-threads N   dispatch threads / concurrent engines per shard
+//                         (default 4)
+//   --queue N             admission queue capacity per shard (default 128)
+//   --pool N              warm-session pool capacity per shard (default 16)
+//   --result-cache N      canonicalized query->result cache, max N entries
+//                         (default 0 = off); pure repeated queries are
+//                         answered without running an engine
 //   --deadline MILLIS     default per-query deadline (default none)
 //   --limit N             default resolution limit (default none)
 //   --window N            max in-flight submissions (default = queue size;
@@ -84,7 +92,9 @@ std::string read_file(const std::string& path) {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: ace_serve [--service-threads N] [--queue N] [--pool N]\n"
+               "usage: ace_serve [--shards N] [--service-threads N]"
+               " [--queue N] [--pool N]\n"
+               "                 [--result-cache N]\n"
                "                 [--deadline MILLIS] [--limit N] [--window N]\n"
                "                 [--quiet] [--metrics] [--v1]"
                " [--analyze] [--static-facts] [--no-table]\n"
@@ -92,13 +102,25 @@ std::string read_file(const std::string& path) {
                "                 [--metrics-port N] [--watchdog-ms N]\n"
                "                 (<file.pl>... | --workload <name>)\n"
                "queries on stdin, one per line:\n"
-               "  [engine=andp agents=4 lpco deadline=100 max=3] goal(X).\n");
+               "  [engine=andp agents=4 lpco deadline=100 max=3"
+               " tenant=acme] goal(X).\n");
   std::exit(2);
 }
 
+// Everything a bracketed option group can set for one query; main() turns
+// this into a QueryRequest through QueryRequestBuilder.
+struct LineOptions {
+  ace::EngineConfig engine;
+  std::string tenant;
+  bool nocache = false;
+  std::size_t max_solutions = SIZE_MAX;
+  std::chrono::nanoseconds deadline{0};
+  std::uint64_t resolution_limit = 0;
+};
+
 // Parses a leading "[opt opt ...] " group off `line` into `req`.
 // Returns false on a malformed group.
-bool parse_line_options(std::string& line, ace::QueryRequest& req) {
+bool parse_line_options(std::string& line, LineOptions& req) {
   std::size_t start = line.find_first_not_of(" \t");
   if (start == std::string::npos || line[start] != '[') return true;
   std::size_t end = line.find(']', start);
@@ -152,6 +174,10 @@ bool parse_line_options(std::string& line, ace::QueryRequest& req) {
       req.deadline = std::chrono::milliseconds(std::stoull(val));
     } else if (key == "limit") {
       req.resolution_limit = std::stoull(val);
+    } else if (key == "tenant") {
+      req.tenant = val;
+    } else if (key == "nocache") {
+      req.nocache = true;
     } else {
       return false;
     }
@@ -206,7 +232,12 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
-    if (arg == "--service-threads") {
+    if (arg == "--shards") {
+      sopts.shards = static_cast<unsigned>(std::stoul(next()));
+      if (sopts.shards == 0) usage();
+    } else if (arg == "--result-cache") {
+      sopts.result_cache_capacity = std::stoul(next());
+    } else if (arg == "--service-threads") {
       sopts.dispatch_threads = static_cast<unsigned>(std::stoul(next()));
     } else if (arg == "--queue") {
       sopts.queue_capacity = std::stoul(next());
@@ -242,9 +273,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--slowlog-ms") {
-      sopts.slowlog.threshold = std::chrono::milliseconds(std::stoull(next()));
+      sopts.obs.slowlog.threshold =
+          std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--watchdog-ms") {
-      sopts.watchdog_budget = std::chrono::milliseconds(std::stoull(next()));
+      sopts.obs.watchdog_budget =
+          std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--workload") {
       workload_name = next();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -259,7 +292,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::Recorder> recorder;
   if (!trace_path.empty()) {
     recorder = std::make_unique<obs::Recorder>();
-    sopts.recorder = recorder.get();
+    sopts.obs.recorder = recorder.get();
   }
 
   try {
@@ -333,8 +366,8 @@ int main(int argc, char** argv) {
 
     std::string line;
     while (std::getline(std::cin, line)) {
-      QueryRequest req;
-      if (!parse_line_options(line, req)) {
+      LineOptions lo;
+      if (!parse_line_options(line, lo)) {
         std::fprintf(stderr, "error: malformed option group: %s\n",
                      line.c_str());
         ++errors;
@@ -343,14 +376,21 @@ int main(int argc, char** argv) {
       std::size_t pos = line.find_first_not_of(" \t");
       if (pos == std::string::npos) continue;    // blank
       if (line[pos] == '%') continue;            // comment
-      req.query = line.substr(pos);
-      if (default_sfacts) req.engine.static_facts = true;
-      if (default_attrib) req.engine.attrib = true;
-      if (default_notab) req.engine.tabling = false;
+      if (default_sfacts) lo.engine.static_facts = true;
+      if (default_attrib) lo.engine.attrib = true;
+      if (default_notab) lo.engine.tabling = false;
       if (inflight.size() >= window) drain_one();
       InFlight f;
-      f.text = req.query;
-      f.ticket = service.submit(std::move(req));
+      f.text = line.substr(pos);
+      f.ticket = service.submit(
+          QueryRequestBuilder(f.text)
+              .engine(lo.engine)
+              .tenant(std::move(lo.tenant))
+              .cache_mode(lo.nocache ? CacheMode::Bypass : CacheMode::Auto)
+              .deadline(lo.deadline)
+              .max_solutions(lo.max_solutions)
+              .resolution_limit(lo.resolution_limit)
+              .build());
       inflight.push_back(std::move(f));
     }
     while (!inflight.empty()) drain_one();
@@ -359,7 +399,7 @@ int main(int argc, char** argv) {
     if (want_metrics) {
       std::printf("%s\n", service.metrics_snapshot().to_json().c_str());
     }
-    if (sopts.slowlog.threshold.count() > 0) {
+    if (sopts.obs.slowlog.threshold.count() > 0) {
       std::fprintf(stderr, "%s", service.slowlog().render().c_str());
     }
     if (recorder != nullptr) {
